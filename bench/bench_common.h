@@ -1,0 +1,94 @@
+#ifndef VREC_BENCH_BENCH_COMMON_H_
+#define VREC_BENCH_BENCH_COMMON_H_
+
+// Shared harness code for the figure-reproduction benchmarks. Each bench
+// binary regenerates one table/figure of the paper's Section 5 and prints
+// the same rows/series the paper reports.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/recommender.h"
+#include "datagen/dataset.h"
+#include "eval/metrics.h"
+#include "eval/rating_oracle.h"
+
+namespace vrec::bench {
+
+/// The standard effectiveness-experiment dataset: a miniature of the
+/// paper's 200-hour crawl, sized to run all sweeps in minutes on one core.
+inline datagen::DatasetOptions EffectivenessDatasetOptions() {
+  datagen::DatasetOptions options;
+  options.num_topics = 20;
+  options.base_videos_per_topic = 3;
+  options.corpus.frames_per_video = 32;
+  options.corpus.derivatives_per_base = 1;
+  options.community.num_users = 600;
+  options.community.num_user_groups = 60;
+  options.community.months = 16;
+  options.community.comments_per_video_month = 9.0;
+  options.community.offtopic_rate = 0.002;
+  options.community.popularity_skew = 0.0;
+  options.community.secondary_interest = 0.02;
+  options.community.interest_floor = 0.0005;
+  options.source_months = 12;
+  return options;
+}
+
+/// Builds a recommender over the dataset's source period.
+inline std::unique_ptr<core::Recommender> BuildRecommender(
+    const datagen::Dataset& dataset, core::RecommenderOptions options) {
+  auto rec = std::make_unique<core::Recommender>(options);
+  const auto descriptors = dataset.SourceDescriptors();
+  for (size_t v = 0; v < dataset.video_count(); ++v) {
+    const Status status =
+        rec->AddVideo(dataset.corpus.videos[v], descriptors[v]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", status.ToString().c_str());
+      std::abort();
+    }
+  }
+  const Status status = rec->Finalize(dataset.community.user_count);
+  if (!status.ok()) {
+    std::fprintf(stderr, "finalize failed: %s\n", status.ToString().c_str());
+    std::abort();
+  }
+  return rec;
+}
+
+/// AR / AC / MAP at one cutoff over the paper's 10 query videos.
+inline eval::EffectivenessReport Effectiveness(
+    const datagen::Dataset& dataset, core::Recommender* rec, int cutoff) {
+  const eval::RatingOracle oracle(&dataset);
+  std::vector<std::vector<double>> ratings;
+  for (video::VideoId q : dataset.QueryVideoIds()) {
+    const auto results = rec->RecommendById(q, cutoff);
+    if (!results.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   results.status().ToString().c_str());
+      std::abort();
+    }
+    std::vector<video::VideoId> ids;
+    for (const auto& r : *results) ids.push_back(r.id);
+    ratings.push_back(oracle.RateList(q, ids));
+  }
+  return eval::Evaluate(ratings, static_cast<size_t>(cutoff));
+}
+
+/// Prints one AR/AC/MAP row for the standard top-5/10/20 cutoffs.
+inline void PrintEffectivenessRow(const std::string& label,
+                                  const datagen::Dataset& dataset,
+                                  core::Recommender* rec) {
+  for (int cutoff : {5, 10, 20}) {
+    const auto report = Effectiveness(dataset, rec, cutoff);
+    std::printf("%-14s top-%-2d  AR=%.3f  AC=%.3f  MAP=%.3f\n", label.c_str(),
+                cutoff, report.average_rating, report.average_accuracy,
+                report.map);
+  }
+}
+
+}  // namespace vrec::bench
+
+#endif  // VREC_BENCH_BENCH_COMMON_H_

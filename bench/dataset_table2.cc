@@ -1,0 +1,55 @@
+// Table 2: the dataset composition. Prints the five query channels (the
+// paper's five most-popular YouTube queries) with per-channel corpus and
+// community statistics, plus the ten query (source) videos used by every
+// effectiveness experiment.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace vrec;
+  std::printf("=== Table 2: query channels and dataset composition ===\n");
+  const auto dataset =
+      datagen::GenerateDataset(bench::EffectivenessDatasetOptions());
+
+  std::printf("corpus: %zu videos, %.1f hours, %zu users, %zu comments "
+              "(%d months)\n\n",
+              dataset.video_count(), dataset.TotalHours(),
+              dataset.community.user_count,
+              dataset.community.comments.size(),
+              dataset.options.community.months);
+
+  std::printf("%-4s %-16s %-8s %-10s %-10s\n", "id", "query", "videos",
+              "originals", "comments");
+  std::vector<size_t> videos(datagen::kNumChannels, 0);
+  std::vector<size_t> originals(datagen::kNumChannels, 0);
+  std::vector<size_t> comments(datagen::kNumChannels, 0);
+  for (const auto& meta : dataset.corpus.meta) {
+    ++videos[static_cast<size_t>(meta.channel)];
+    if (meta.source_id < 0) ++originals[static_cast<size_t>(meta.channel)];
+  }
+  for (const auto& c : dataset.community.comments) {
+    const int channel =
+        dataset.corpus.meta[static_cast<size_t>(c.video)].channel;
+    ++comments[static_cast<size_t>(channel)];
+  }
+  for (int ch = 0; ch < datagen::kNumChannels; ++ch) {
+    std::printf("q%-3d %-16s %-8zu %-10zu %-10zu\n", ch + 1,
+                datagen::ChannelNames()[static_cast<size_t>(ch)].c_str(),
+                videos[static_cast<size_t>(ch)],
+                originals[static_cast<size_t>(ch)],
+                comments[static_cast<size_t>(ch)]);
+  }
+
+  std::printf("\nsource (query) videos — top two per channel:\n");
+  for (video::VideoId q : dataset.QueryVideoIds()) {
+    const auto& meta = dataset.corpus.meta[static_cast<size_t>(q)];
+    std::printf("  video %-4lld channel=%s  title=\"%s\"\n",
+                static_cast<long long>(q),
+                datagen::ChannelNames()[static_cast<size_t>(meta.channel)]
+                    .c_str(),
+                dataset.corpus.videos[static_cast<size_t>(q)].title().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 12 (c): cost of social updates over 1..4 months of new activity
+// against the fixed 12-month source period. The paper reports roughly
+// linear growth in update cost with the update-window size, kept low by
+// incremental maintenance and the hash dictionary.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+int main() {
+  using namespace vrec;
+  std::printf("=== Figure 12(c): cost of social updates (1-4 months) ===\n");
+  const auto dataset = datagen::GenerateDataset(
+      datagen::ScaledToHours(bench::EffectivenessDatasetOptions(), 200.0));
+  std::printf("dataset: %zu videos, %zu users, %zu comments total\n\n",
+              dataset.video_count(), dataset.community.user_count,
+              dataset.community.comments.size());
+  std::printf("%-10s %-14s %-12s %-10s %-10s\n", "months", "connections",
+              "time(ms)", "merges", "splits");
+
+  for (int window = 1; window <= 4; ++window) {
+    core::RecommenderOptions options;
+    options.social_mode = core::SocialMode::kSarHash;
+    auto rec = bench::BuildRecommender(dataset, options);
+
+    size_t connections = 0, merges = 0, splits = 0;
+    Stopwatch sw;
+    double total_ms = 0.0;
+    for (int m = 0; m < window; ++m) {
+      const int month = dataset.options.source_months + m;
+      std::vector<std::pair<video::VideoId, social::UserId>> comments;
+      for (const auto& c : dataset.community.CommentsInMonth(month)) {
+        comments.emplace_back(c.video, c.user);
+      }
+      const auto month_connections = dataset.ConnectionsForMonth(month);
+      sw.Restart();
+      const auto stats = rec->ApplySocialUpdate(month_connections, comments);
+      total_ms += sw.ElapsedMillis();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "update failed: %s\n",
+                     stats.status().ToString().c_str());
+        return 1;
+      }
+      connections += month_connections.size();
+      merges += stats->merges;
+      splits += stats->splits;
+    }
+    std::printf("%-10d %-14zu %-12.1f %-10zu %-10zu\n", window, connections,
+                total_ms, merges, splits);
+  }
+  std::printf("\nexpected shape: update cost grows roughly linearly with "
+              "the number of update months (paper Fig. 12c)\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation backing Section 4.1's qualitative signature comparison: how well
+// does each near-duplicate measure separate an *edited copy* of a video
+// from an *unrelated* video, per editing operation? Reported value is the
+// separation margin
+//     margin = sim(original, edited) - sim(original, unrelated)
+// averaged over several videos (higher is better; negative means the
+// measure confuses the edit with foreign content). The paper's claims:
+// ordinal handles global transforms but not frame editing; color-shift is
+// robust but undiscriminative; the cuboid signature + EMD handles both.
+
+#include <cstdio>
+#include <vector>
+
+#include "datagen/topic_model.h"
+#include "datagen/video_corpus.h"
+#include "detect/detector.h"
+#include "util/random.h"
+#include "video/transforms.h"
+
+namespace {
+
+using namespace vrec;
+
+using TransformFn = video::Video (*)(const video::Video&, Rng*);
+
+video::Video TBrightness(const video::Video& v, Rng*) {
+  return video::transforms::BrightnessShift(v, 22);
+}
+video::Video TNoise(const video::Video& v, Rng* rng) {
+  return video::transforms::AddNoise(v, 6, rng);
+}
+video::Video TShift(const video::Video& v, Rng*) {
+  return video::transforms::SpatialShift(v, 3, 2);
+}
+video::Video TCrop(const video::Video& v, Rng*) {
+  return video::transforms::CropZoom(v, 0.12);
+}
+video::Video TDrop(const video::Video& v, Rng*) {
+  return video::transforms::DropFrames(v, 8);
+}
+video::Video TSlate(const video::Video& v, Rng*) {
+  return video::transforms::InsertSlate(v, 6, 3);
+}
+video::Video TShuffle(const video::Video& v, Rng* rng) {
+  return video::transforms::ShuffleChunks(v, 3, rng);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Detector robustness ablation (Section 4.1 rationale) "
+              "===\n");
+  std::printf("cells: mean separation margin sim(orig, edited) - "
+              "sim(orig, unrelated)\n\n");
+
+  Rng rng(2015);
+  const auto topics = datagen::MakeTopics(10, &rng);
+  datagen::CorpusOptions options;
+  options.frames_per_video = 32;
+
+  const int trials = 4;
+  std::vector<video::Video> originals, unrelated;
+  for (int t = 0; t < trials; ++t) {
+    originals.push_back(datagen::RenderVideo(
+        topics[static_cast<size_t>(t)], t, options, &rng));
+    unrelated.push_back(datagen::RenderVideo(
+        topics[static_cast<size_t>(t + 5)], 100 + t, options, &rng));
+  }
+
+  const std::pair<const char*, TransformFn> edits[] = {
+      {"brightness", &TBrightness}, {"noise", &TNoise},
+      {"spatial-shift", &TShift},   {"crop-zoom", &TCrop},
+      {"drop-frames", &TDrop},      {"insert-slate", &TSlate},
+      {"shuffle", &TShuffle},
+  };
+
+  const auto detectors = detect::AllDetectors();
+  std::printf("%-14s", "edit");
+  for (const auto& d : detectors) std::printf("%-13s", d->name().c_str());
+  std::printf("\n");
+
+  for (const auto& [edit_name, apply] : edits) {
+    std::printf("%-14s", edit_name);
+    for (const auto& detector : detectors) {
+      double margin = 0.0;
+      for (int t = 0; t < trials; ++t) {
+        Rng trng(static_cast<uint64_t>(t) + 11);
+        const auto edited = apply(originals[static_cast<size_t>(t)], &trng);
+        margin += detector->Similarity(originals[static_cast<size_t>(t)],
+                                       edited) -
+                  detector->Similarity(originals[static_cast<size_t>(t)],
+                                       unrelated[static_cast<size_t>(t)]);
+      }
+      std::printf("%-13.3f", margin / trials);
+    }
+    std::printf("\n");
+  }
+  std::printf("\nexpected shape: cuboid-kJ keeps a positive margin on every "
+              "edit; ordinal collapses under temporal edits; color-shift "
+              "margins are small (undiscriminative)\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Section 4.2.2 in-text study: clustering quality of the paper's subgraph
+// extraction vs spectral clustering, measured by the mean Silhouette
+// Coefficient. Paper: 0.498 (ours) vs 0.242 (spectral) on a 2000-video
+// sample.
+//
+// Protocol: users are clustered over the UIG; silhouette distances are
+// measured in the space the clustering is *about* — the Jaccard distance
+// between users' video-interest sets. The community sample is generated in
+// the assortative regime (fan groups with little cross-interest), matching
+// the paper's hand-picked 2000-video sample of popular-query fan videos.
+
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_common.h"
+#include "graph/silhouette.h"
+#include "graph/spectral_clustering.h"
+#include "social/subcommunity.h"
+#include "social/uig.h"
+
+int main() {
+  using namespace vrec;
+  std::printf("=== Silhouette study: subgraph extraction vs spectral "
+              "clustering ===\n");
+
+  datagen::DatasetOptions options = bench::EffectivenessDatasetOptions();
+  // A sampled sub-population keeps the O(n^3) spectral eigensolve tractable
+  // (the paper likewise clusters a 2000-video random sample); fan groups
+  // are assortative: users stick to their community's videos.
+  options.community.num_users = 240;
+  options.community.num_user_groups = 24;
+  options.community.comments_per_video_month = 6.0;
+  options.community.secondary_interest = 0.0;
+  options.community.offtopic_rate = 0.002;
+  options.community.interest_floor = 0.0005;
+  options.community.popularity_skew = 0.0;
+  options.community.drift_rate = 0.0;
+  const auto dataset = datagen::GenerateDataset(options);
+
+  const auto descriptors = dataset.SourceDescriptors();
+  const auto uig = social::BuildUserInterestGraph(
+      descriptors, dataset.community.user_count);
+  std::printf("UIG: %zu users, %zu edges\n\n", uig.node_count(),
+              uig.edge_count());
+
+  // Silhouette distance: Jaccard distance of the users' video-interest
+  // sets (the signal the UIG is built from).
+  std::vector<std::set<int>> interests(dataset.community.user_count);
+  for (size_t v = 0; v < descriptors.size(); ++v) {
+    for (social::UserId u : descriptors[v].users()) {
+      interests[static_cast<size_t>(u)].insert(static_cast<int>(v));
+    }
+  }
+  const auto distance = [&interests](size_t i, size_t j) {
+    size_t inter = 0;
+    for (int v : interests[i]) inter += interests[j].count(v);
+    const size_t uni = interests[i].size() + interests[j].size() - inter;
+    return uni > 0 ? 1.0 - static_cast<double>(inter) /
+                               static_cast<double>(uni)
+                   : 1.0;
+  };
+
+  std::printf("%-6s %-22s %-22s\n", "k", "extraction (Fig. 3)",
+              "spectral baseline");
+  Rng rng(99);
+  for (int k : {24, 40, 60}) {
+    const auto ours = social::ExtractSubCommunities(uig, k);
+    const auto spectral = graph::SpectralClustering(uig, k, &rng);
+    if (!ours.ok() || !spectral.ok()) {
+      std::fprintf(stderr, "clustering failed\n");
+      return 1;
+    }
+    std::printf("%-6d %-22.3f %-22.3f\n", k,
+                graph::SilhouetteCoefficient(ours->labels, distance),
+                graph::SilhouetteCoefficient(*spectral, distance));
+  }
+  std::printf("\nexpected shape: extraction > spectral at every k (paper "
+              "reports 0.498 vs 0.242)\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Scenario: ad placement for anonymous viewers.
+//
+// An advertiser wants their spot to run next to videos related to a
+// campaign clip — but the viewers are anonymous (private browsing, no
+// profile), exactly the setting the paper targets. This example compares
+// content-only placement (CR) against content-social fusion (CSF) and shows
+// the fusion surfacing *relevant but visually unmatched* videos: clips the
+// same audience engages with even though their pixels differ.
+//
+// Build & run:  ./examples/anonymous_ad_targeting
+
+#include <cstdio>
+#include <set>
+
+#include "core/recommender.h"
+#include "datagen/dataset.h"
+#include "eval/rating_oracle.h"
+
+namespace {
+
+std::unique_ptr<vrec::core::Recommender> Build(
+    const vrec::datagen::Dataset& dataset,
+    vrec::core::RecommenderOptions options) {
+  options.k_subcommunities = 60;
+  auto rec = std::make_unique<vrec::core::Recommender>(options);
+  const auto descriptors = dataset.SourceDescriptors();
+  for (size_t v = 0; v < dataset.video_count(); ++v) {
+    if (!rec->AddVideo(dataset.corpus.videos[v], descriptors[v]).ok()) {
+      std::abort();
+    }
+  }
+  if (!rec->Finalize(dataset.community.user_count).ok()) std::abort();
+  return rec;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vrec;
+
+  datagen::DatasetOptions options;
+  options.num_topics = 10;
+  options.base_videos_per_topic = 3;
+  options.corpus.derivatives_per_base = 1;
+  options.community.num_users = 300;
+  options.community.num_user_groups = 30;
+  options.community.months = 6;
+  options.community.comments_per_video_month = 10.0;
+  options.community.popularity_skew = 0.1;
+  options.community.offtopic_rate = 0.01;
+  options.community.secondary_interest = 0.05;
+  options.community.interest_floor = 0.002;
+  options.source_months = 6;
+  const datagen::Dataset dataset = datagen::GenerateDataset(options);
+  const eval::RatingOracle oracle(&dataset);
+
+  core::RecommenderOptions cr;
+  cr.social_mode = core::SocialMode::kNone;  // content only
+  core::RecommenderOptions csf;
+  csf.social_mode = core::SocialMode::kSarHash;  // the paper's CSF
+
+  auto rec_cr = Build(dataset, cr);
+  auto rec_csf = Build(dataset, csf);
+
+  const video::VideoId campaign = dataset.QueryVideoIds()[2];
+  std::printf("campaign clip: \"%s\"\n\n",
+              dataset.corpus.videos[static_cast<size_t>(campaign)]
+                  .title()
+                  .c_str());
+
+  const auto placements_cr = rec_cr->RecommendById(campaign, 8);
+  const auto placements_csf = rec_csf->RecommendById(campaign, 8);
+  if (!placements_cr.ok() || !placements_csf.ok()) {
+    std::fprintf(stderr, "query failed\n");
+    return 1;
+  }
+
+  std::set<video::VideoId> cr_set;
+  double cr_quality = 0.0;
+  std::printf("content-only placements (CR):\n");
+  for (const auto& r : *placements_cr) {
+    cr_set.insert(r.id);
+    const double rating = oracle.Rate(campaign, r.id);
+    cr_quality += rating;
+    std::printf("  v%-4lld score=%.3f rating=%.1f  \"%s\"\n",
+                static_cast<long long>(r.id), r.score, rating,
+                dataset.corpus.videos[static_cast<size_t>(r.id)]
+                    .title()
+                    .c_str());
+  }
+
+  double csf_quality = 0.0;
+  std::printf("\ncontent-social placements (CSF):\n");
+  for (const auto& r : *placements_csf) {
+    const double rating = oracle.Rate(campaign, r.id);
+    csf_quality += rating;
+    const bool social_find = !cr_set.count(r.id) && r.social > r.content;
+    std::printf("  v%-4lld score=%.3f (content=%.2f social=%.2f) "
+                "rating=%.1f%s\n",
+                static_cast<long long>(r.id), r.score, r.content, r.social,
+                rating, social_find ? "  <- surfaced by the audience" : "");
+    if (social_find) {
+      std::printf("        \"%s\"\n",
+                  dataset.corpus.videos[static_cast<size_t>(r.id)]
+                      .title()
+                      .c_str());
+    }
+  }
+
+  std::printf("\nmean placement rating: CR %.2f vs CSF %.2f\n",
+              cr_quality / static_cast<double>(placements_cr->size()),
+              csf_quality / static_cast<double>(placements_csf->size()));
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Scenario: community analytics.
+//
+// A community manager wants to see the interest structure hidden in the
+// comment stream: who clusters with whom, how good the clustering is, and
+// how the paper's lightest-edge extraction compares with the spectral
+// baseline. This example works directly with the social substrate — UIG
+// construction, sub-community extraction (Figure 3), silhouette scoring —
+// without the recommendation engine on top.
+//
+// Build & run:  ./examples/community_explorer
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "graph/silhouette.h"
+#include "graph/spectral_clustering.h"
+#include "social/subcommunity.h"
+#include "social/uig.h"
+
+int main() {
+  using namespace vrec;
+
+  datagen::DatasetOptions options;
+  options.num_topics = 8;
+  options.base_videos_per_topic = 3;
+  options.community.num_users = 160;
+  options.community.num_user_groups = 16;
+  options.community.months = 6;
+  options.community.comments_per_video_month = 6.0;
+  // Assortative fan groups: this is the regime where graph clustering has
+  // something to find.
+  options.community.secondary_interest = 0.0;
+  options.community.offtopic_rate = 0.002;
+  options.community.interest_floor = 0.0005;
+  options.community.popularity_skew = 0.0;
+  options.community.drift_rate = 0.0;
+  options.source_months = 6;
+  const datagen::Dataset dataset = datagen::GenerateDataset(options);
+
+  const auto descriptors = dataset.SourceDescriptors();
+  const auto uig = social::BuildUserInterestGraph(
+      descriptors, dataset.community.user_count);
+  std::printf("user interest graph: %zu users, %zu weighted edges\n",
+              uig.node_count(), uig.edge_count());
+
+  const int k = 24;
+  const auto extraction = social::ExtractSubCommunities(uig, k);
+  if (!extraction.ok()) {
+    std::fprintf(stderr, "extraction failed: %s\n",
+                 extraction.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("extracted %d sub-communities (threshold w = %.0f)\n\n",
+              extraction->num_communities,
+              extraction->lightest_intra_weight);
+
+  // Size histogram, largest first.
+  std::map<int, size_t> sizes;
+  for (int label : extraction->labels) ++sizes[label];
+  std::vector<size_t> ordered;
+  for (const auto& [label, size] : sizes) ordered.push_back(size);
+  std::sort(ordered.rbegin(), ordered.rend());
+  std::printf("sub-community sizes:");
+  for (size_t s : ordered) std::printf(" %zu", s);
+  std::printf("\n(different sizes by design — the paper keeps communities "
+              "unbalanced so members stay highly similar)\n\n");
+
+  // Quality comparison against the spectral baseline (Section 4.2.2),
+  // measured in interest space: Jaccard distance of users' video sets.
+  std::vector<std::set<int>> interests(dataset.community.user_count);
+  for (size_t v = 0; v < descriptors.size(); ++v) {
+    for (social::UserId u : descriptors[v].users()) {
+      interests[static_cast<size_t>(u)].insert(static_cast<int>(v));
+    }
+  }
+  const auto distance = [&interests](size_t i, size_t j) {
+    size_t inter = 0;
+    for (int v : interests[i]) inter += interests[j].count(v);
+    const size_t uni = interests[i].size() + interests[j].size() - inter;
+    return uni > 0 ? 1.0 - static_cast<double>(inter) /
+                               static_cast<double>(uni)
+                   : 1.0;
+  };
+  const double s_ours =
+      graph::SilhouetteCoefficient(extraction->labels, distance);
+  Rng rng(2015);
+  const auto spectral = graph::SpectralClustering(uig, k, &rng);
+  if (!spectral.ok()) {
+    std::fprintf(stderr, "spectral failed: %s\n",
+                 spectral.status().ToString().c_str());
+    return 1;
+  }
+  const double s_spectral =
+      graph::SilhouetteCoefficient(*spectral, distance);
+  std::printf("silhouette coefficient: extraction %.3f vs spectral %.3f\n",
+              s_ours, s_spectral);
+  std::printf("(the paper reports 0.498 vs 0.242 on its YouTube sample)\n");
+  return 0;
+}

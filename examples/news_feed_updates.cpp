@@ -1,0 +1,98 @@
+// Scenario: online news broadcasting with a live community.
+//
+// A news channel's audience evolves month by month: new commenters arrive,
+// interests drift, sub-communities merge and split. This example drives the
+// paper's dynamic-maintenance machinery (Figure 5): after every month of
+// social activity the recommender ingests the new connections, repairs its
+// sub-communities, refreshes descriptor vectors incrementally — and keeps
+// answering queries with steady quality.
+//
+// Build & run:  ./examples/news_feed_updates
+
+#include <cstdio>
+
+#include "core/recommender.h"
+#include "datagen/dataset.h"
+#include "eval/metrics.h"
+#include "eval/rating_oracle.h"
+
+int main() {
+  using namespace vrec;
+
+  datagen::DatasetOptions options;
+  options.num_topics = 10;
+  options.base_videos_per_topic = 3;
+  options.corpus.derivatives_per_base = 1;
+  options.community.num_users = 300;
+  options.community.num_user_groups = 30;
+  options.community.months = 10;            // 6 source + 4 live months
+  options.community.comments_per_video_month = 8.0;
+  options.community.drift_rate = 0.04;      // a fast-moving audience
+  options.source_months = 6;
+  const datagen::Dataset dataset = datagen::GenerateDataset(options);
+  const eval::RatingOracle oracle(&dataset);
+
+  core::RecommenderOptions config;
+  config.social_mode = core::SocialMode::kSarHash;
+  config.k_subcommunities = 30;
+  core::Recommender recommender(config);
+  const auto descriptors = dataset.SourceDescriptors();
+  for (size_t v = 0; v < dataset.video_count(); ++v) {
+    if (const Status s = recommender.AddVideo(dataset.corpus.videos[v],
+                                              descriptors[v]);
+        !s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  if (const Status s = recommender.Finalize(dataset.community.user_count);
+      !s.ok()) {
+    std::fprintf(stderr, "finalize failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  const auto queries = dataset.QueryVideoIds();
+  const auto report_quality = [&](const char* label) {
+    std::vector<std::vector<double>> ratings;
+    for (video::VideoId q : queries) {
+      const auto results = recommender.RecommendById(q, 10);
+      if (!results.ok()) return;
+      std::vector<video::VideoId> ids;
+      for (const auto& r : *results) ids.push_back(r.id);
+      ratings.push_back(oracle.RateList(q, ids));
+    }
+    const auto report = eval::Evaluate(ratings, 10);
+    std::printf("%-18s AR=%.3f AC=%.3f MAP=%.3f  (%d sub-communities)\n",
+                label, report.average_rating, report.average_accuracy,
+                report.map, recommender.num_communities());
+  };
+
+  std::printf("newsroom goes live with the source-period index:\n");
+  report_quality("launch");
+
+  for (int month = options.source_months; month < options.community.months;
+       ++month) {
+    std::vector<std::pair<video::VideoId, social::UserId>> comments;
+    for (const auto& c : dataset.community.CommentsInMonth(month)) {
+      comments.emplace_back(c.video, c.user);
+    }
+    const auto connections = dataset.ConnectionsForMonth(month);
+    const auto stats = recommender.ApplySocialUpdate(connections, comments);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "update failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\nmonth %d: %zu comments, %zu new connections -> "
+                "%zu merges, %zu splits, %zu dictionary updates\n",
+                month + 1, comments.size(), connections.size(),
+                stats->merges, stats->splits, stats->dictionary_updates);
+    char label[32];
+    std::snprintf(label, sizeof(label), "after month %d", month + 1);
+    report_quality(label);
+  }
+
+  std::printf("\nrecommendation quality holds steady while the community "
+              "churns — the Figure 11 behaviour.\n");
+  return 0;
+}

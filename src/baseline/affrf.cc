@@ -1,0 +1,181 @@
+#include "baseline/affrf.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace vrec::baseline {
+namespace {
+
+// Histogram-intersection similarity for normalized histograms, in [0, 1].
+double HistogramIntersection(const std::vector<double>& a,
+                             const std::vector<double>& b) {
+  double s = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) s += std::min(a[i], b[i]);
+  return s;
+}
+
+double Cosine(const std::vector<double>& a, const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+// Attention of a score distribution: how sharply the top stands out from
+// the mean — peaked modalities get more fusion weight.
+double Attention(const std::vector<double>& scores) {
+  if (scores.empty()) return 0.0;
+  double mx = 0.0, mean = 0.0;
+  for (double s : scores) {
+    mx = std::max(mx, s);
+    mean += s;
+  }
+  mean /= static_cast<double>(scores.size());
+  return std::max(1e-6, mx - mean);
+}
+
+void MixInto(std::vector<double>* base, const std::vector<double>& add,
+             double alpha) {
+  const size_t n = std::min(base->size(), add.size());
+  for (size_t i = 0; i < n; ++i) {
+    (*base)[i] = (1.0 - alpha) * (*base)[i] + alpha * add[i];
+  }
+}
+
+}  // namespace
+
+Affrf::Affrf(const datagen::Dataset* dataset) : Affrf(dataset, Options{}) {}
+
+Affrf::Affrf(const datagen::Dataset* dataset, const Options& options)
+    : dataset_(dataset), options_(options) {
+  features_.reserve(dataset->corpus.videos.size());
+  for (size_t v = 0; v < dataset->corpus.videos.size(); ++v) {
+    Features f;
+    // Visual: mean normalized intensity histogram over all frames.
+    f.visual.assign(static_cast<size_t>(options_.histogram_bins), 0.0);
+    const auto& frames = dataset->corpus.videos[v].frames();
+    for (const auto& frame : frames) {
+      const auto h = frame.NormalizedHistogram(options_.histogram_bins);
+      for (size_t i = 0; i < f.visual.size(); ++i) f.visual[i] += h[i];
+    }
+    if (!frames.empty()) {
+      for (double& x : f.visual) x /= static_cast<double>(frames.size());
+    }
+    f.text = dataset->corpus.meta[v].text_features;
+    f.aural = dataset->corpus.meta[v].aural_features;
+    features_.push_back(std::move(f));
+  }
+}
+
+std::vector<std::array<double, 3>> Affrf::ModalityScores(
+    const Features& query) const {
+  std::vector<std::array<double, 3>> scores(features_.size());
+  for (size_t v = 0; v < features_.size(); ++v) {
+    scores[v][0] = HistogramIntersection(query.visual, features_[v].visual);
+    scores[v][1] = Cosine(query.text, features_[v].text);
+    scores[v][2] = Cosine(query.aural, features_[v].aural);
+  }
+  return scores;
+}
+
+std::vector<video::VideoId> Affrf::Recommend(video::VideoId query,
+                                             int k) const {
+  Features q = features_[static_cast<size_t>(query)];
+
+  std::vector<double> fused(features_.size(), 0.0);
+  for (int round = 0; round <= options_.feedback_rounds; ++round) {
+    const auto scores = ModalityScores(q);
+
+    // Attention fusion weights from the per-modality score distributions
+    // (query video excluded so its self-similarity of 1 does not dominate).
+    std::array<std::vector<double>, 3> per_modality;
+    for (size_t v = 0; v < scores.size(); ++v) {
+      if (static_cast<video::VideoId>(v) == query) continue;
+      for (size_t m = 0; m < 3; ++m) {
+        per_modality[m].push_back(scores[v][m]);
+      }
+    }
+    std::array<double, 3> attention{};
+    double total_attention = 0.0;
+    for (size_t m = 0; m < 3; ++m) {
+      attention[m] = Attention(per_modality[m]);
+      total_attention += attention[m];
+    }
+    for (size_t m = 0; m < 3; ++m) attention[m] /= total_attention;
+
+    for (size_t v = 0; v < scores.size(); ++v) {
+      fused[v] = attention[0] * scores[v][0] + attention[1] * scores[v][1] +
+                 attention[2] * scores[v][2];
+    }
+
+    if (round == options_.feedback_rounds) break;
+
+    // Pseudo relevance feedback: fold the top results' features into the
+    // query (Rocchio) and re-run.
+    std::vector<size_t> order(fused.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&fused](size_t a, size_t b) {
+      if (fused[a] != fused[b]) return fused[a] > fused[b];
+      return a < b;
+    });
+    Features centroid;
+    centroid.visual.assign(q.visual.size(), 0.0);
+    centroid.text.assign(q.text.size(), 0.0);
+    centroid.aural.assign(q.aural.size(), 0.0);
+    int taken = 0;
+    for (size_t idx : order) {
+      if (static_cast<video::VideoId>(idx) == query) continue;
+      const Features& f = features_[idx];
+      for (size_t i = 0; i < centroid.visual.size() && i < f.visual.size();
+           ++i) {
+        centroid.visual[i] += f.visual[i];
+      }
+      for (size_t i = 0; i < centroid.text.size() && i < f.text.size(); ++i) {
+        centroid.text[i] += f.text[i];
+      }
+      for (size_t i = 0; i < centroid.aural.size() && i < f.aural.size();
+           ++i) {
+        centroid.aural[i] += f.aural[i];
+      }
+      if (++taken >= options_.feedback_depth) break;
+    }
+    if (taken > 0) {
+      const double inv = 1.0 / static_cast<double>(taken);
+      for (double& x : centroid.visual) x *= inv;
+      for (double& x : centroid.text) x *= inv;
+      for (double& x : centroid.aural) x *= inv;
+      MixInto(&q.visual, centroid.visual, options_.feedback_alpha);
+      MixInto(&q.text, centroid.text, options_.feedback_alpha);
+      MixInto(&q.aural, centroid.aural, options_.feedback_alpha);
+    }
+  }
+
+  // Final ranking, excluding the query itself.
+  std::vector<video::VideoId> ranked;
+  ranked.reserve(fused.size());
+  for (size_t v = 0; v < fused.size(); ++v) {
+    if (static_cast<video::VideoId>(v) != query) {
+      ranked.push_back(static_cast<video::VideoId>(v));
+    }
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [&fused](video::VideoId a, video::VideoId b) {
+              const double fa = fused[static_cast<size_t>(a)];
+              const double fb = fused[static_cast<size_t>(b)];
+              if (fa != fb) return fa > fb;
+              return a < b;
+            });
+  if (static_cast<size_t>(k) < ranked.size()) {
+    ranked.resize(static_cast<size_t>(k));
+  }
+  return ranked;
+}
+
+}  // namespace vrec::baseline

@@ -1,0 +1,434 @@
+#include "core/recommender.h"
+
+#include <algorithm>
+#include <set>
+
+#include "signature/emd.h"
+#include "signature/sequence_distances.h"
+#include "social/uig.h"
+#include "util/stopwatch.h"
+#include "video/segmenter.h"
+
+namespace vrec::core {
+
+Status ValidateOptions(const RecommenderOptions& options) {
+  if (options.omega < 0.0 || options.omega > 1.0) {
+    return Status::InvalidArgument("omega must be in [0, 1]");
+  }
+  if (options.k_subcommunities <= 0) {
+    return Status::InvalidArgument("k_subcommunities must be positive");
+  }
+  if (options.lsb_probes <= 0) {
+    return Status::InvalidArgument("lsb_probes must be positive");
+  }
+  if (options.max_candidates == 0) {
+    return Status::InvalidArgument("max_candidates must be positive");
+  }
+  if (!options.use_content && options.social_mode == SocialMode::kNone) {
+    return Status::InvalidArgument(
+        "at least one of content and social must be enabled");
+  }
+  if (options.signature.grid_dim <= 0) {
+    return Status::InvalidArgument("signature.grid_dim must be positive");
+  }
+  if (options.segmenter.q < 1 || options.segmenter.keyframe_stride < 1) {
+    return Status::InvalidArgument("segmenter parameters must be positive");
+  }
+  if (options.lsb.num_trees <= 0 || options.lsb.tree_fanout < 4) {
+    return Status::InvalidArgument("invalid LSB index configuration");
+  }
+  if (options.lsb.lsh.num_hashes * options.lsb.lsh.bits_per_key > 64) {
+    return Status::InvalidArgument(
+        "LSH keys exceed 64 Z-order bits (num_hashes * bits_per_key)");
+  }
+  return Status::Ok();
+}
+
+Recommender::Recommender(RecommenderOptions options)
+    : options_(std::move(options)) {}
+
+Status Recommender::AddVideo(const video::Video& video,
+                             const social::SocialDescriptor& descriptor) {
+  const video::Segmenter segmenter(options_.segmenter);
+  const signature::SignatureBuilder builder(options_.signature);
+  StatusOr<signature::SignatureSeries> series =
+      builder.BuildSeries(segmenter.Segment(video));
+  if (!series.ok()) return series.status();
+  return AddVideoRecord(video.id(), std::move(series).value(), descriptor);
+}
+
+Status Recommender::AddVideoRecord(video::VideoId id,
+                                   signature::SignatureSeries series,
+                                   social::SocialDescriptor descriptor) {
+  if (finalized_) {
+    return Status::FailedPrecondition("cannot add videos after Finalize");
+  }
+  if (index_of_.count(id) > 0) {
+    return Status::InvalidArgument("duplicate video id");
+  }
+  Record record;
+  record.id = id;
+  record.series = std::move(series);
+  record.descriptor = std::move(descriptor);
+  if (options_.social_mode == SocialMode::kExact) {
+    record.user_names = NamesOf(record.descriptor);
+  }
+  index_of_[id] = records_.size();
+  for (social::UserId u : record.descriptor.users()) {
+    videos_of_user_[u].push_back(records_.size());
+  }
+  records_.push_back(std::move(record));
+  return Status::Ok();
+}
+
+void Recommender::RefreshVideoVector(size_t index) {
+  Record& record = records_[index];
+  if (!record.active) return;
+  // Remove the old postings, then re-vectorize and re-post.
+  for (size_t c = 0; c < record.social_vector.size(); ++c) {
+    if (record.social_vector[c] > 0.0) {
+      inverted_file_.RemoveVideoFromCommunity(static_cast<int>(c), record.id);
+    }
+  }
+  record.social_vector = dictionary_->Vectorize(record.descriptor);
+  for (size_t c = 0; c < record.social_vector.size(); ++c) {
+    if (record.social_vector[c] > 0.0) {
+      inverted_file_.Add(static_cast<int>(c), record.id,
+                         record.social_vector[c]);
+    }
+  }
+}
+
+Status Recommender::Finalize(size_t user_count) {
+  if (finalized_) return Status::FailedPrecondition("already finalized");
+  if (const Status s = ValidateOptions(options_); !s.ok()) return s;
+  user_count_ = user_count;
+
+  if (UsesSar()) {
+    std::vector<social::SocialDescriptor> descriptors;
+    descriptors.reserve(records_.size());
+    for (const Record& r : records_) descriptors.push_back(r.descriptor);
+    const graph::WeightedGraph uig =
+        social::BuildUserInterestGraph(descriptors, user_count);
+    // Users who never co-commented form singleton components; they would
+    // satisfy Figure 3's component count without ever partitioning the
+    // connected fan groups, so k is interpreted as the target number of
+    // sub-communities *over and above* the isolated users.
+    const auto [labels, components] = uig.ConnectedComponents();
+    std::vector<size_t> component_size(static_cast<size_t>(components), 0);
+    for (int l : labels) ++component_size[static_cast<size_t>(l)];
+    size_t singletons = 0;
+    for (size_t s : component_size) {
+      if (s <= 1) ++singletons;
+    }
+    const int effective_k = static_cast<int>(
+        std::min(uig.node_count(),
+                 static_cast<size_t>(options_.k_subcommunities) + singletons));
+    StatusOr<social::SubCommunityResult> extraction =
+        social::ExtractSubCommunities(uig, effective_k);
+    if (!extraction.ok()) return extraction.status();
+
+    // SAR without the hash optimization resolves user names by scanning
+    // the dictionary — the baseline Figure 12(a) measures SAR-H against.
+    const social::DictionaryLookup lookup =
+        options_.social_mode == SocialMode::kSarHash
+            ? social::DictionaryLookup::kChainedHash
+            : social::DictionaryLookup::kLinearScan;
+    dictionary_ = std::make_unique<social::UserDictionary>(
+        extraction->labels, extraction->num_communities, lookup);
+    maintainer_ = std::make_unique<social::SubCommunityMaintainer>(
+        uig, *extraction, options_.k_subcommunities, dictionary_.get());
+
+    for (size_t i = 0; i < records_.size(); ++i) RefreshVideoVector(i);
+  }
+
+  if (options_.use_content && options_.use_lsb_index &&
+      options_.content_measure == ContentMeasure::kKappaJ) {
+    index::LsbIndex::Options lsb = options_.lsb;
+    lsb_ = std::make_unique<index::LsbIndex>(lsb);
+    for (const Record& r : records_) lsb_->AddVideo(r.id, r.series);
+  }
+
+  finalized_ = true;
+  return Status::Ok();
+}
+
+int Recommender::num_communities() const {
+  return maintainer_ ? maintainer_->num_communities() : 0;
+}
+
+const signature::SignatureSeries* Recommender::SeriesOf(
+    video::VideoId id) const {
+  const auto it = index_of_.find(id);
+  return it == index_of_.end() ? nullptr : &records_[it->second].series;
+}
+
+const social::SocialDescriptor* Recommender::DescriptorOf(
+    video::VideoId id) const {
+  const auto it = index_of_.find(id);
+  return it == index_of_.end() ? nullptr : &records_[it->second].descriptor;
+}
+
+double Recommender::ContentScore(const signature::SignatureSeries& query,
+                                 const Record& record) const {
+  switch (options_.content_measure) {
+    case ContentMeasure::kKappaJ:
+      return signature::KappaJ(query, record.series, options_.kappa);
+    case ContentMeasure::kDtw:
+      return signature::DtwSimilarity(query, record.series);
+    case ContentMeasure::kErp:
+      return signature::ErpSimilarity(query, record.series);
+  }
+  return 0.0;
+}
+
+std::vector<std::string> Recommender::NamesOf(
+    const social::SocialDescriptor& descriptor) {
+  std::vector<std::string> names;
+  names.reserve(descriptor.size());
+  for (social::UserId u : descriptor.users()) {
+    names.push_back(social::UserName(u));
+  }
+  return names;
+}
+
+double Recommender::SocialScore(const std::vector<std::string>& query_names,
+                                const std::vector<double>& query_vector,
+                                const Record& record) const {
+  switch (options_.social_mode) {
+    case SocialMode::kNone:
+      return 0.0;
+    case SocialMode::kExact:
+      // The paper's unoptimized Equation 5: quadratic string-set
+      // comparison over the raw user names.
+      return social::ExactJaccardByNames(query_names, record.user_names);
+    case SocialMode::kSar:
+    case SocialMode::kSarHash:
+      return social::ApproxJaccard(query_vector, record.social_vector);
+  }
+  return 0.0;
+}
+
+StatusOr<std::vector<ScoredVideo>> Recommender::RecommendById(
+    video::VideoId query, int k) const {
+  const auto it = index_of_.find(query);
+  if (it == index_of_.end()) return Status::NotFound("unknown video id");
+  const Record& record = records_[it->second];
+  return Recommend(record.series, record.descriptor, k, query);
+}
+
+StatusOr<std::vector<ScoredVideo>> Recommender::Recommend(
+    const signature::SignatureSeries& series,
+    const social::SocialDescriptor& descriptor, int k,
+    video::VideoId exclude) const {
+  return RecommendInternal(series, descriptor, k, exclude,
+                           options_.lsb_probes);
+}
+
+StatusOr<std::vector<ScoredVideo>> Recommender::RecommendAdaptive(
+    const signature::SignatureSeries& series,
+    const social::SocialDescriptor& descriptor, int k, video::VideoId exclude,
+    int max_probes) const {
+  std::vector<video::VideoId> previous_ids;
+  StatusOr<std::vector<ScoredVideo>> best =
+      Status::Internal("adaptive search did not run");
+  for (int probes = std::max(1, options_.lsb_probes); probes <= max_probes;
+       probes *= 2) {
+    best = RecommendInternal(series, descriptor, k, exclude, probes);
+    if (!best.ok()) return best;
+    std::vector<video::VideoId> ids;
+    for (const auto& r : *best) ids.push_back(r.id);
+    if (ids == previous_ids) break;  // widening found nothing new: stable
+    previous_ids = std::move(ids);
+  }
+  return best;
+}
+
+Status Recommender::RemoveVideo(video::VideoId id) {
+  const auto it = index_of_.find(id);
+  if (it == index_of_.end()) return Status::NotFound("unknown video id");
+  Record& record = records_[it->second];
+  record.active = false;
+  for (size_t c = 0; c < record.social_vector.size(); ++c) {
+    if (record.social_vector[c] > 0.0) {
+      inverted_file_.RemoveVideoFromCommunity(static_cast<int>(c), id);
+    }
+  }
+  record.social_vector.clear();
+  index_of_.erase(it);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
+    const signature::SignatureSeries& series,
+    const social::SocialDescriptor& descriptor, int k,
+    video::VideoId exclude, int probes) const {
+  if (!finalized_) return Status::FailedPrecondition("Finalize() not called");
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+
+  Stopwatch total;
+  QueryTiming timing;
+  std::set<size_t> pool;
+
+  // --- Social candidate stage (Figure 6 lines 1-3). ---
+  Stopwatch phase;
+  std::vector<double> query_vector;
+  std::vector<std::string> query_names;
+  if (options_.social_mode == SocialMode::kExact) {
+    query_names = NamesOf(descriptor);
+    // Plain CSF: the unoptimized quadratic string-set Jaccard against every
+    // video — exactly the cost Figure 12(a) shows SAR removing.
+    std::vector<std::pair<double, size_t>> scored;
+    scored.reserve(records_.size());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (!records_[i].active) continue;
+      const double s = social::ExactJaccardByNames(query_names,
+                                                   records_[i].user_names);
+      if (s > 0.0) scored.emplace_back(s, i);
+    }
+    std::sort(scored.rbegin(), scored.rend());
+    for (const auto& [s, i] : scored) {
+      if (pool.size() >= options_.max_candidates) break;
+      pool.insert(i);
+    }
+  } else if (UsesSar()) {
+    // Vectorize the query descriptor through the dictionary (by user name:
+    // this is exactly the lookup path SAR vs SAR-H optimizes), then walk
+    // the inverted files.
+    query_vector = dictionary_->VectorizeByName(NamesOf(descriptor));
+    const auto candidates = inverted_file_.Candidates(query_vector);
+    for (const auto& [vid, score] : candidates) {
+      if (pool.size() >= options_.max_candidates) break;
+      const auto idx = index_of_.find(vid);
+      if (idx != index_of_.end()) pool.insert(idx->second);
+    }
+  }
+  timing.social_ms = phase.ElapsedMillis();
+
+  // --- Content candidate stage (Figure 6 lines 5-6). ---
+  phase.Restart();
+  if (options_.use_content) {
+    if (lsb_ != nullptr) {
+      auto hits = lsb_->CandidatesForSeries(series, probes);
+      std::vector<std::pair<int, video::VideoId>> ranked;
+      ranked.reserve(hits.size());
+      for (const auto& [vid, count] : hits) ranked.emplace_back(count, vid);
+      std::sort(ranked.rbegin(), ranked.rend());
+      size_t budget = options_.max_candidates;
+      for (const auto& [count, vid] : ranked) {
+        if (budget-- == 0) break;
+        const auto idx = index_of_.find(vid);
+        if (idx != index_of_.end()) pool.insert(idx->second);
+      }
+    } else {
+      // Exhaustive content mode (DTW / ERP baselines, or index disabled).
+      for (size_t i = 0; i < records_.size(); ++i) {
+        if (records_[i].active) pool.insert(i);
+      }
+    }
+  }
+  if (!options_.use_content && options_.social_mode == SocialMode::kNone) {
+    return Status::InvalidArgument(
+        "at least one of content and social must be enabled");
+  }
+  // SR with sparse social overlap can yield fewer candidates than k; pad
+  // with arbitrary videos so the contract of K results holds.
+  for (size_t i = 0; i < records_.size() && pool.size() <
+                                                static_cast<size_t>(k) + 1;
+       ++i) {
+    if (records_[i].active) pool.insert(i);
+  }
+  timing.content_ms = phase.ElapsedMillis();
+
+  // --- Refinement (Figure 6 lines 7-10): full FJ on the pool. ---
+  phase.Restart();
+  std::vector<ScoredVideo> scored;
+  scored.reserve(pool.size());
+  for (size_t i : pool) {
+    const Record& record = records_[i];
+    if (record.id == exclude || !record.active) continue;
+    ScoredVideo sv;
+    sv.id = record.id;
+    if (options_.use_content) sv.content = ContentScore(series, record);
+    sv.social = SocialScore(query_names, query_vector, record);
+    if (!options_.use_content) {
+      sv.score = sv.social;  // SR
+    } else if (options_.social_mode == SocialMode::kNone) {
+      sv.score = sv.content;  // CR
+    } else {
+      switch (options_.fusion_rule) {
+        case FusionRule::kWeighted:  // Equation 9
+          sv.score = (1.0 - options_.omega) * sv.content +
+                     options_.omega * sv.social;
+          break;
+        case FusionRule::kAverage:
+          sv.score = 0.5 * (sv.content + sv.social);
+          break;
+        case FusionRule::kMax:
+          sv.score = std::max(sv.content, sv.social);
+          break;
+      }
+    }
+    scored.push_back(sv);
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredVideo& a, const ScoredVideo& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (scored.size() > static_cast<size_t>(k)) {
+    scored.resize(static_cast<size_t>(k));
+  }
+  timing.refine_ms = phase.ElapsedMillis();
+  timing.total_ms = total.ElapsedMillis();
+  last_timing_ = timing;
+  return scored;
+}
+
+StatusOr<social::MaintenanceStats> Recommender::ApplySocialUpdate(
+    const std::vector<social::SocialConnection>& connections,
+    const std::vector<std::pair<video::VideoId, social::UserId>>&
+        new_comments) {
+  if (!finalized_) return Status::FailedPrecondition("Finalize() not called");
+
+  // 1. Extend descriptors with the period's comments.
+  std::set<size_t> touched_videos;
+  for (const auto& [vid, user] : new_comments) {
+    const auto it = index_of_.find(vid);
+    if (it == index_of_.end()) continue;
+    Record& record = records_[it->second];
+    if (!record.descriptor.Contains(user)) {
+      record.descriptor.Add(user);
+      if (options_.social_mode == SocialMode::kExact) {
+        record.user_names.push_back(social::UserName(user));
+      }
+      videos_of_user_[user].push_back(it->second);
+      touched_videos.insert(it->second);
+    }
+    user_count_ = std::max(user_count_, static_cast<size_t>(user) + 1);
+  }
+
+  social::MaintenanceStats stats;
+  if (maintainer_ != nullptr) {
+    // 2. Run Figure 5's maintenance over the new connections.
+    StatusOr<social::MaintenanceStats> result =
+        maintainer_->ApplyUpdates(connections);
+    if (!result.ok()) return result.status();
+    stats = std::move(result).value();
+
+    // 3. Refresh the vectors of videos touched by comments or by community
+    //    membership changes (incremental, per the paper's Section 4.2.5).
+    for (int community : stats.changed_communities) {
+      for (social::UserId member : maintainer_->MembersOf(community)) {
+        const auto it = videos_of_user_.find(member);
+        if (it == videos_of_user_.end()) continue;
+        for (size_t v : it->second) touched_videos.insert(v);
+      }
+    }
+    for (size_t v : touched_videos) RefreshVideoVector(v);
+  }
+  stats.connections_processed = connections.size();
+  return stats;
+}
+
+}  // namespace vrec::core

@@ -1,0 +1,211 @@
+#ifndef VREC_CORE_RECOMMENDER_H_
+#define VREC_CORE_RECOMMENDER_H_
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_file.h"
+#include "index/lsb_index.h"
+#include "signature/cuboid_signature.h"
+#include "signature/series_measures.h"
+#include "social/descriptor.h"
+#include "social/sar.h"
+#include "social/update_maintainer.h"
+#include "util/status.h"
+#include "video/segmenter.h"
+#include "video/video.h"
+
+namespace vrec::core {
+
+/// How social relevance is computed — the paper's method family:
+///   kNone     -> CR   (content relevance only, [35])
+///   kExact    -> CSF  (content-social fusion with exact Jaccard, Eq. 5)
+///   kSar      -> CSF-SAR   (sub-community approximation, Eq. 6)
+///   kSarHash  -> CSF-SAR-H (SAR + chained hash dictionary)
+/// Combine kExact/kSar/kSarHash with use_content=false for SR (social only).
+enum class SocialMode { kNone, kExact, kSar, kSarHash };
+
+/// Content series measure (Figure 7's comparison).
+enum class ContentMeasure { kKappaJ, kDtw, kErp };
+
+/// How content and social relevance are combined (Section 4.3). The paper
+/// adopts the omega-weighted rule (Equation 9) and dismisses the two naive
+/// search-fusion rules; all three are implemented so the choice can be
+/// ablated.
+enum class FusionRule {
+  kWeighted,  // (1 - omega) * content + omega * social  (Equation 9)
+  kAverage,   // (content + social) / 2
+  kMax,       // max(content, social)
+};
+
+/// Configuration of a recommender instance.
+struct RecommenderOptions {
+  /// Fusion weight of social relevance (Equation 9); the paper's optimum.
+  double omega = 0.7;
+  FusionRule fusion_rule = FusionRule::kWeighted;
+  /// Number of sub-communities k for SAR; the paper's optimum.
+  int k_subcommunities = 60;
+  SocialMode social_mode = SocialMode::kSarHash;
+  /// false turns off the content term (the SR alternative).
+  bool use_content = true;
+  ContentMeasure content_measure = ContentMeasure::kKappaJ;
+  /// Use the LSB index for content candidates (kKappaJ only); otherwise the
+  /// refine stage scans all videos.
+  bool use_lsb_index = true;
+  int lsb_probes = 8;
+  /// Refinement pool size (top social + content candidates kept).
+  size_t max_candidates = 400;
+  video::SegmenterOptions segmenter;
+  signature::SignatureOptions signature;
+  signature::KappaJOptions kappa;
+  index::LsbIndex::Options lsb;
+};
+
+/// Validates a configuration; returned errors name the offending field.
+Status ValidateOptions(const RecommenderOptions& options);
+
+/// One recommendation with its score decomposition.
+struct ScoredVideo {
+  video::VideoId id = -1;
+  double score = 0.0;    // FJ (Equation 9)
+  double content = 0.0;  // kJ / DTW-sim / ERP-sim component
+  double social = 0.0;   // sJ or its SAR approximation
+};
+
+/// Wall-clock breakdown of the last query (Figure 12 instrumentation).
+struct QueryTiming {
+  double social_ms = 0.0;   // descriptor vectorization + inverted file
+  double content_ms = 0.0;  // LSB probing
+  double refine_ms = 0.0;   // FJ computation over the candidate pool
+  double total_ms = 0.0;
+};
+
+/// The content-social video recommender (Sections 3-4).
+///
+/// Usage: construct, AddVideo()/AddVideoRecord() for the corpus, then
+/// Finalize() once to build the social structures (UIG -> sub-communities ->
+/// dictionary -> descriptor vectors -> inverted files) and the LSB content
+/// index; then Recommend*() any number of times, interleaved with
+/// ApplySocialUpdate() as new activity arrives.
+class Recommender {
+ public:
+  explicit Recommender(RecommenderOptions options);
+
+  /// Ingests a video: segments it, builds its cuboid signature series, and
+  /// stores it with its social descriptor.
+  Status AddVideo(const video::Video& video,
+                  const social::SocialDescriptor& descriptor);
+
+  /// Ingests a pre-computed record (bulk loading path).
+  Status AddVideoRecord(video::VideoId id,
+                        signature::SignatureSeries series,
+                        social::SocialDescriptor descriptor);
+
+  /// Builds all derived structures. `user_count` is the size of the user id
+  /// space. Must be called exactly once, after ingestion.
+  Status Finalize(size_t user_count);
+
+  /// Top-K recommendations for an already-ingested video (self excluded).
+  StatusOr<std::vector<ScoredVideo>> RecommendById(video::VideoId query,
+                                                   int k) const;
+
+  /// Top-K recommendations for an arbitrary query clip + social context.
+  /// `exclude` (if >= 0) is dropped from results.
+  StatusOr<std::vector<ScoredVideo>> Recommend(
+      const signature::SignatureSeries& series,
+      const social::SocialDescriptor& descriptor, int k,
+      video::VideoId exclude = -1) const;
+
+  /// Figure 6's iterative form of the search: repeatedly widen the LSB
+  /// probe depth ("pick the leaf entry having the *next* longest common
+  /// prefix") and refine, until the top-K list is stable across a widening
+  /// round (or the probe budget is exhausted). Costs more than Recommend()
+  /// on easy queries but tracks the paper's any-time search procedure.
+  StatusOr<std::vector<ScoredVideo>> RecommendAdaptive(
+      const signature::SignatureSeries& series,
+      const social::SocialDescriptor& descriptor, int k,
+      video::VideoId exclude = -1, int max_probes = 64) const;
+
+  /// Removes a video from the database, its inverted-file postings and all
+  /// future results. Stale LSB entries are filtered at query time.
+  Status RemoveVideo(video::VideoId id);
+
+  /// Applies one period of social updates: new comments extend the video
+  /// descriptors, new user-user connections drive Figure 5's sub-community
+  /// maintenance, and the descriptor vectors / inverted files of affected
+  /// videos are refreshed incrementally.
+  StatusOr<social::MaintenanceStats> ApplySocialUpdate(
+      const std::vector<social::SocialConnection>& connections,
+      const std::vector<std::pair<video::VideoId, social::UserId>>&
+          new_comments);
+
+  /// Number of live (non-removed) videos.
+  size_t video_count() const {
+    size_t n = 0;
+    for (const auto& r : records_) n += r.active ? 1 : 0;
+    return n;
+  }
+  size_t user_count() const { return user_count_; }
+  bool finalized() const { return finalized_; }
+  const RecommenderOptions& options() const { return options_; }
+  const QueryTiming& last_timing() const { return last_timing_; }
+  /// Sub-community count currently live (SAR modes; 0 otherwise).
+  int num_communities() const;
+  /// The signature series of an ingested video (for query construction).
+  const signature::SignatureSeries* SeriesOf(video::VideoId id) const;
+  const social::SocialDescriptor* DescriptorOf(video::VideoId id) const;
+
+ private:
+  struct Record {
+    video::VideoId id = -1;
+    signature::SignatureSeries series;
+    social::SocialDescriptor descriptor;
+    std::vector<double> social_vector;  // SAR histogram (SAR modes)
+    /// Cached user-name strings (kExact mode only): the paper's baseline
+    /// CSF compares descriptors as raw name sets, string by string.
+    std::vector<std::string> user_names;
+    /// false after RemoveVideo (tombstone; slot indexes stay stable).
+    bool active = true;
+  };
+
+  StatusOr<std::vector<ScoredVideo>> RecommendInternal(
+      const signature::SignatureSeries& series,
+      const social::SocialDescriptor& descriptor, int k,
+      video::VideoId exclude, int probes) const;
+
+  bool UsesSar() const {
+    return options_.social_mode == SocialMode::kSar ||
+           options_.social_mode == SocialMode::kSarHash;
+  }
+  double ContentScore(const signature::SignatureSeries& query,
+                      const Record& record) const;
+  double SocialScore(const std::vector<std::string>& query_names,
+                     const std::vector<double>& query_vector,
+                     const Record& record) const;
+  static std::vector<std::string> NamesOf(
+      const social::SocialDescriptor& descriptor);
+  void RefreshVideoVector(size_t index);
+
+  RecommenderOptions options_;
+  bool finalized_ = false;
+  size_t user_count_ = 0;
+  std::vector<Record> records_;
+  std::unordered_map<video::VideoId, size_t> index_of_;
+  std::unordered_map<social::UserId, std::vector<size_t>> videos_of_user_;
+
+  // Social structures (SAR modes).
+  std::unique_ptr<social::UserDictionary> dictionary_;
+  std::unique_ptr<social::SubCommunityMaintainer> maintainer_;
+  index::InvertedFile inverted_file_;
+
+  // Content index.
+  std::unique_ptr<index::LsbIndex> lsb_;
+
+  mutable QueryTiming last_timing_;
+};
+
+}  // namespace vrec::core
+
+#endif  // VREC_CORE_RECOMMENDER_H_

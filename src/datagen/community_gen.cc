@@ -1,0 +1,152 @@
+#include "datagen/community_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrec::datagen {
+
+std::vector<social::SocialDescriptor> Community::DescriptorsUpToMonth(
+    int month_end) const {
+  std::vector<social::SocialDescriptor> descriptors(video_owner.size());
+  for (size_t v = 0; v < video_owner.size(); ++v) {
+    descriptors[v].Add(video_owner[v]);
+  }
+  for (const Comment& c : comments) {
+    if (c.month >= month_end) continue;
+    descriptors[static_cast<size_t>(c.video)].Add(c.user);
+  }
+  return descriptors;
+}
+
+std::vector<Comment> Community::CommentsInMonth(int month) const {
+  std::vector<Comment> out;
+  for (const Comment& c : comments) {
+    if (c.month == month) out.push_back(c);
+  }
+  return out;
+}
+
+Community GenerateCommunity(const Corpus& corpus, size_t num_topics,
+                            const CommunityOptions& options, Rng* rng) {
+  Community community;
+  community.user_count = static_cast<size_t>(options.num_users);
+
+  // Group interest profiles: a primary topic plus a weaker secondary one.
+  community.group_interest.resize(
+      static_cast<size_t>(options.num_user_groups));
+  for (int g = 0; g < options.num_user_groups; ++g) {
+    auto& interest = community.group_interest[static_cast<size_t>(g)];
+    interest.assign(num_topics, options.interest_floor);
+    const auto primary = static_cast<size_t>(g) % num_topics;
+    const auto secondary =
+        static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(
+                                                   num_topics) -
+                                                   1));
+    interest[primary] += 1.0;
+    interest[secondary] += options.secondary_interest;
+  }
+
+  // Assign users to groups (skewed sizes: a few large fan groups, many
+  // niche ones — matches the paper's "sub-communities of different sizes").
+  community.user_group.resize(community.user_count);
+  for (size_t u = 0; u < community.user_count; ++u) {
+    community.user_group[u] = static_cast<int>(
+        rng->Zipf(options.num_user_groups, 0.6) - 1);
+  }
+
+  // Video owners: a user whose group likes the video's topic.
+  const size_t num_videos = corpus.videos.size();
+  community.video_owner.resize(num_videos);
+  std::vector<double> owner_weights(community.user_count);
+  for (size_t v = 0; v < num_videos; ++v) {
+    const int topic = corpus.meta[v].topic;
+    for (size_t u = 0; u < community.user_count; ++u) {
+      owner_weights[u] =
+          community.group_interest[static_cast<size_t>(
+              community.user_group[u])][static_cast<size_t>(topic)];
+    }
+    community.video_owner[v] =
+        static_cast<social::UserId>(rng->Weighted(owner_weights));
+  }
+
+  // Per-video popularity (Zipf over a random permutation of videos).
+  std::vector<double> popularity(num_videos);
+  {
+    std::vector<size_t> ranking(num_videos);
+    for (size_t i = 0; i < num_videos; ++i) ranking[i] = i;
+    rng->Shuffle(&ranking);
+    for (size_t r = 0; r < num_videos; ++r) {
+      popularity[ranking[r]] =
+          1.0 / std::pow(static_cast<double>(r + 1), options.popularity_skew);
+    }
+    double mean = 0.0;
+    for (double p : popularity) mean += p;
+    mean /= static_cast<double>(num_videos);
+    for (double& p : popularity) p /= mean;  // mean popularity 1
+  }
+
+  // Month-by-month comment stream with interest drift.
+  std::vector<int> group_now = community.user_group;
+  std::vector<double> commenter_weights(community.user_count);
+  for (int month = 0; month < options.months; ++month) {
+    // Drift: some users move to a different group this month.
+    if (month > 0) {
+      for (size_t u = 0; u < community.user_count; ++u) {
+        if (rng->Bernoulli(options.drift_rate)) {
+          group_now[u] = static_cast<int>(
+              rng->UniformInt(0, options.num_user_groups - 1));
+        }
+      }
+    }
+    for (size_t v = 0; v < num_videos; ++v) {
+      const bool viral = options.burst_probability > 0.0 &&
+                         rng->Bernoulli(options.burst_probability);
+      const double expected = options.comments_per_video_month *
+                              popularity[v] *
+                              (viral ? options.burst_multiplier : 1.0);
+      // Poisson-ish: integer part plus Bernoulli remainder.
+      int count = static_cast<int>(expected);
+      if (rng->Bernoulli(expected - std::floor(expected))) ++count;
+      if (count == 0) continue;
+      if (viral) {
+        // Viral pile-on: commenters from the whole community.
+        for (int c = 0; c < count; ++c) {
+          community.comments.push_back(
+              {static_cast<social::UserId>(rng->UniformInt(
+                   0, static_cast<int64_t>(community.user_count) - 1)),
+               static_cast<video::VideoId>(v), month});
+        }
+        continue;
+      }
+
+      const int topic = corpus.meta[v].topic;
+      for (size_t u = 0; u < community.user_count; ++u) {
+        commenter_weights[u] =
+            community.group_interest[static_cast<size_t>(
+                group_now[u])][static_cast<size_t>(topic)];
+      }
+      for (int c = 0; c < count; ++c) {
+        social::UserId user;
+        if (rng->Bernoulli(options.offtopic_rate)) {
+          user = static_cast<social::UserId>(rng->UniformInt(
+              0, static_cast<int64_t>(community.user_count) - 1));
+        } else {
+          user = static_cast<social::UserId>(
+              rng->Weighted(commenter_weights));
+        }
+        community.comments.push_back(
+            {user, static_cast<video::VideoId>(v), month});
+      }
+    }
+  }
+
+  std::sort(community.comments.begin(), community.comments.end(),
+            [](const Comment& a, const Comment& b) {
+              if (a.month != b.month) return a.month < b.month;
+              if (a.video != b.video) return a.video < b.video;
+              return a.user < b.user;
+            });
+  return community;
+}
+
+}  // namespace vrec::datagen

@@ -1,0 +1,86 @@
+#ifndef VREC_DATAGEN_COMMUNITY_GEN_H_
+#define VREC_DATAGEN_COMMUNITY_GEN_H_
+
+#include <vector>
+
+#include "datagen/video_corpus.h"
+#include "social/descriptor.h"
+#include "util/random.h"
+
+namespace vrec::datagen {
+
+/// One comment event in the simulated sharing community.
+struct Comment {
+  social::UserId user = -1;
+  video::VideoId video = -1;
+  /// Month index in [0, months); the last `test_months` months form the
+  /// update stream of the paper's dynamic experiments (Figs. 11, 12c).
+  int month = 0;
+};
+
+/// Options for the planted-partition community simulator.
+struct CommunityOptions {
+  int num_users = 1200;
+  /// Number of planted interest groups — the natural sub-community count
+  /// the paper's k should recover (its optimum is k = 60).
+  int num_user_groups = 60;
+  /// Total months of activity; the paper uses 12 source + 4 test months.
+  int months = 16;
+  /// Expected comments per video per month. Sized so that a typical user
+  /// accumulates several comments over the source period — the UIG only
+  /// develops weight structure (co-commented counts > 1) when users are
+  /// active enough, which the paper's crawled communities are.
+  double comments_per_video_month = 3.0;
+  /// Probability that a comment ignores user interest entirely (noise).
+  double offtopic_rate = 0.05;
+  /// Per-month probability that a user drifts to another interest group
+  /// ("the interests of people may change over time").
+  double drift_rate = 0.02;
+  /// Popularity skew across videos (Zipf exponent). Large values create
+  /// hub videos whose commenter cliques glue unrelated groups together in
+  /// the UIG.
+  double popularity_skew = 0.3;
+  /// Weight of a group's secondary topic relative to its primary (1.0).
+  double secondary_interest = 0.15;
+  /// Interest floor shared by all topics (anyone may comment anything).
+  double interest_floor = 0.005;
+  /// Per-video-per-month probability of going viral: a burst month draws
+  /// `burst_multiplier` times the usual comments, and burst commenters
+  /// ignore interest structure (everyone piles on). Stresses the
+  /// sub-community maintenance with exactly the hub-shaped noise real
+  /// communities produce.
+  double burst_probability = 0.0;
+  double burst_multiplier = 10.0;
+};
+
+/// The simulated community: planted user groups plus the comment stream.
+struct Community {
+  size_t user_count = 0;
+  /// Planted interest-group id per user (ground truth for clustering
+  /// quality metrics; the recommender never reads it).
+  std::vector<int> user_group;
+  /// Group -> topic interest weights.
+  std::vector<std::vector<double>> group_interest;
+  /// Owner user of each video (owners count into social descriptors).
+  std::vector<social::UserId> video_owner;
+  /// All comments, sorted by (month, video, user).
+  std::vector<Comment> comments;
+
+  /// Social descriptors built from owners plus comments in months
+  /// [0, month_end) — one per video.
+  std::vector<social::SocialDescriptor> DescriptorsUpToMonth(
+      int month_end) const;
+
+  /// Comments of exactly one month.
+  std::vector<Comment> CommentsInMonth(int month) const;
+};
+
+/// Simulates the community for a given corpus. Users join groups; each
+/// month every video draws popularity-weighted comments from users whose
+/// group is interested in the video's dominant topic.
+Community GenerateCommunity(const Corpus& corpus, size_t num_topics,
+                            const CommunityOptions& options, Rng* rng);
+
+}  // namespace vrec::datagen
+
+#endif  // VREC_DATAGEN_COMMUNITY_GEN_H_

@@ -1,0 +1,112 @@
+#include "datagen/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace vrec::datagen {
+
+std::vector<social::SocialConnection> Dataset::ConnectionsForMonth(
+    int month) const {
+  // Users already on each video before `month`.
+  std::vector<std::set<social::UserId>> before(corpus.videos.size());
+  for (size_t v = 0; v < community.video_owner.size(); ++v) {
+    before[v].insert(community.video_owner[v]);
+  }
+  for (const Comment& c : community.comments) {
+    if (c.month < month) {
+      before[static_cast<size_t>(c.video)].insert(c.user);
+    }
+  }
+  // Fresh commenters this month, per video.
+  std::vector<std::set<social::UserId>> fresh(corpus.videos.size());
+  for (const Comment& c : community.comments) {
+    if (c.month != month) continue;
+    const auto v = static_cast<size_t>(c.video);
+    if (!before[v].count(c.user)) fresh[v].insert(c.user);
+  }
+
+  std::map<std::pair<social::UserId, social::UserId>, double> weights;
+  auto add_pair = [&weights](social::UserId a, social::UserId b) {
+    if (a == b) return;
+    if (a > b) std::swap(a, b);
+    weights[{a, b}] += 1.0;
+  };
+  for (size_t v = 0; v < fresh.size(); ++v) {
+    for (auto it = fresh[v].begin(); it != fresh[v].end(); ++it) {
+      // fresh x fresh pairs
+      for (auto jt = std::next(it); jt != fresh[v].end(); ++jt) {
+        add_pair(*it, *jt);
+      }
+      // fresh x existing pairs
+      for (social::UserId u : before[v]) add_pair(*it, u);
+    }
+  }
+
+  std::vector<social::SocialConnection> connections;
+  connections.reserve(weights.size());
+  for (const auto& [pair, w] : weights) {
+    connections.push_back({pair.first, pair.second, w});
+  }
+  return connections;
+}
+
+std::vector<video::VideoId> Dataset::QueryVideoIds() const {
+  // Comment counts over the source period, originals only.
+  std::vector<size_t> counts(corpus.videos.size(), 0);
+  for (const Comment& c : community.comments) {
+    if (c.month < options.source_months) {
+      ++counts[static_cast<size_t>(c.video)];
+    }
+  }
+  std::vector<video::VideoId> queries;
+  for (int channel = 0; channel < kNumChannels; ++channel) {
+    std::vector<video::VideoId> channel_videos;
+    for (size_t v = 0; v < corpus.meta.size(); ++v) {
+      if (corpus.meta[v].channel == channel && corpus.meta[v].source_id < 0) {
+        channel_videos.push_back(static_cast<video::VideoId>(v));
+      }
+    }
+    std::sort(channel_videos.begin(), channel_videos.end(),
+              [&counts](video::VideoId a, video::VideoId b) {
+                const size_t ca = counts[static_cast<size_t>(a)];
+                const size_t cb = counts[static_cast<size_t>(b)];
+                if (ca != cb) return ca > cb;
+                return a < b;
+              });
+    for (size_t i = 0; i < 2 && i < channel_videos.size(); ++i) {
+      queries.push_back(channel_videos[i]);
+    }
+  }
+  return queries;
+}
+
+Dataset GenerateDataset(const DatasetOptions& options) {
+  Dataset dataset;
+  dataset.options = options;
+  Rng rng(options.seed);
+  dataset.topics = MakeTopics(options.num_topics, &rng);
+  dataset.corpus = GenerateCorpus(dataset.topics, options.base_videos_per_topic,
+                                  options.corpus, &rng);
+  dataset.community =
+      GenerateCommunity(dataset.corpus, static_cast<size_t>(options.num_topics),
+                        options.community, &rng);
+  return dataset;
+}
+
+DatasetOptions ScaledToHours(DatasetOptions options, double target_hours) {
+  const double hours_per_video =
+      static_cast<double>(options.corpus.frames_per_video) /
+      options.corpus.fps / 3600.0;
+  const double videos_per_base =
+      1.0 + static_cast<double>(options.corpus.derivatives_per_base);
+  const double target_videos = target_hours / hours_per_video;
+  options.base_videos_per_topic = std::max(
+      1, static_cast<int>(std::round(
+             target_videos /
+             (videos_per_base * static_cast<double>(options.num_topics)))));
+  return options;
+}
+
+}  // namespace vrec::datagen

@@ -1,0 +1,65 @@
+#ifndef VREC_DATAGEN_DATASET_H_
+#define VREC_DATAGEN_DATASET_H_
+
+#include <vector>
+
+#include "datagen/community_gen.h"
+#include "datagen/topic_model.h"
+#include "datagen/video_corpus.h"
+#include "social/update_maintainer.h"
+
+namespace vrec::datagen {
+
+/// Options assembling a full experiment dataset (corpus + community).
+struct DatasetOptions {
+  int num_topics = 20;
+  /// Base (original) videos generated per topic; each also gets
+  /// `corpus.derivatives_per_base` edited re-uploads.
+  int base_videos_per_topic = 3;
+  CorpusOptions corpus;
+  CommunityOptions community;
+  /// Months whose comments form the *source* social state; later months are
+  /// the update stream (paper: 12 source months + 4 test months).
+  int source_months = 12;
+  uint64_t seed = 20150531;  // SIGMOD'15 :-)
+};
+
+/// A fully-assembled synthetic dataset reproducing the shape of the paper's
+/// 200-hour YouTube crawl: videos with latent topics, near-duplicate
+/// re-uploads, a commenting community with planted sub-communities, and a
+/// 16-month activity timeline.
+struct Dataset {
+  DatasetOptions options;
+  std::vector<Topic> topics;
+  Corpus corpus;
+  Community community;
+
+  size_t video_count() const { return corpus.videos.size(); }
+  double TotalHours() const { return corpus.TotalHours(); }
+
+  /// Social descriptors as of the end of the source period.
+  std::vector<social::SocialDescriptor> SourceDescriptors() const {
+    return community.DescriptorsUpToMonth(options.source_months);
+  }
+
+  /// The new user-user connections created by `month`'s comments: for every
+  /// video commented that month, each fresh co-commenter pair (including
+  /// new-user x existing-user pairs) becomes a connection of weight 1 per
+  /// shared video. This is the input of Figure 5's maintenance algorithm.
+  std::vector<social::SocialConnection> ConnectionsForMonth(int month) const;
+
+  /// The paper's query protocol: the top two most-commented *original*
+  /// videos of each of the five channels (10 source videos in total).
+  std::vector<video::VideoId> QueryVideoIds() const;
+};
+
+/// Generates the dataset (deterministic for a fixed options.seed).
+Dataset GenerateDataset(const DatasetOptions& options);
+
+/// Adjusts `base_videos_per_topic` so the corpus spans roughly
+/// `target_hours` hours of playback — the x-axis of Figure 12(a)/(b).
+DatasetOptions ScaledToHours(DatasetOptions options, double target_hours);
+
+}  // namespace vrec::datagen
+
+#endif  // VREC_DATAGEN_DATASET_H_

@@ -1,0 +1,48 @@
+#include "datagen/topic_model.h"
+
+#include <cmath>
+
+namespace vrec::datagen {
+
+const std::vector<std::string>& ChannelNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "youtube", "mariah carey", "miley cyrus", "american idol", "wwe"};
+  return *names;
+}
+
+std::vector<Topic> MakeTopics(int num_topics, Rng* rng) {
+  std::vector<Topic> topics;
+  topics.reserve(static_cast<size_t>(num_topics));
+  for (int i = 0; i < num_topics; ++i) {
+    Topic t;
+    t.id = i;
+    t.channel = i % kNumChannels;
+    // Spread base intensities across the range, jittered so no two topics
+    // coincide exactly.
+    t.base_intensity =
+        40.0 + 180.0 * static_cast<double>(i) /
+                   std::max(1.0, static_cast<double>(num_topics - 1)) +
+        rng->Uniform(-8.0, 8.0);
+    t.spatial_period = 4.0 + static_cast<double>((i * 3) % 12) +
+                       rng->Uniform(0.0, 2.0);
+    t.motion_speed = 0.5 + 0.35 * static_cast<double>(i % 7);
+    t.dynamics = 6.0 + 2.0 * static_cast<double>(i % 5);
+    topics.push_back(t);
+  }
+  return topics;
+}
+
+double TopicSimilarity(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace vrec::datagen

@@ -1,0 +1,42 @@
+#ifndef VREC_DATAGEN_TOPIC_MODEL_H_
+#define VREC_DATAGEN_TOPIC_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace vrec::datagen {
+
+/// A latent topic: the hidden variable that ties together (a) the visual
+/// appearance of videos, (b) user interests, and (c) the relevance ground
+/// truth used by the simulated raters. Each topic owns procedural "scene"
+/// parameters; videos of the same topic render visually-similar shots.
+struct Topic {
+  int id = 0;
+  /// Which Table-2 query channel the topic belongs to.
+  int channel = 0;
+  /// Procedural scene parameters (drive the frame renderer).
+  double base_intensity = 128.0;   // mean brightness of the topic's scenes
+  double spatial_period = 8.0;     // texture coarseness in pixels
+  double motion_speed = 1.0;       // pixels/frame of scene drift
+  double dynamics = 8.0;           // per-shot brightness modulation depth
+};
+
+/// The five Table-2 query channels of the paper's YouTube crawl.
+inline constexpr int kNumChannels = 5;
+const std::vector<std::string>& ChannelNames();
+
+/// Generates `num_topics` topics spread round-robin over the five channels,
+/// with well-separated procedural parameters so different topics render
+/// distinguishable scenes.
+std::vector<Topic> MakeTopics(int num_topics, Rng* rng);
+
+/// Cosine similarity of two (non-negative) topic-mixture vectors — the
+/// latent relevance signal behind the rating oracle.
+double TopicSimilarity(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+}  // namespace vrec::datagen
+
+#endif  // VREC_DATAGEN_TOPIC_MODEL_H_

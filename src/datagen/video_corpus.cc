@@ -1,0 +1,182 @@
+#include "datagen/video_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "video/transforms.h"
+
+namespace vrec::datagen {
+namespace {
+
+// Renders one frame of a drifting sinusoidal texture scene.
+video::Frame RenderFrame(const CorpusOptions& options, double period,
+                         double intensity, double phase_x, double phase_y,
+                         double brightness_wobble) {
+  video::Frame frame(options.frame_width, options.frame_height);
+  const double two_pi = 2.0 * std::numbers::pi;
+  for (int y = 0; y < options.frame_height; ++y) {
+    for (int x = 0; x < options.frame_width; ++x) {
+      const double tx = two_pi * (static_cast<double>(x) + phase_x) / period;
+      const double ty =
+          two_pi * (static_cast<double>(y) + phase_y) / (period * 1.37);
+      double v = intensity + brightness_wobble +
+                 42.0 * std::sin(tx) * std::cos(ty) +
+                 18.0 * std::sin(0.5 * tx + 1.3 * ty);
+      frame.set(x, y, static_cast<uint8_t>(std::clamp(v, 0.0, 255.0)));
+    }
+  }
+  return frame;
+}
+
+video::Video ApplyRandomDerivativeChain(const video::Video& base, Rng* rng) {
+  using namespace video::transforms;
+  video::Video v = base;
+  // Always at least one photometric and one structural edit.
+  v = BrightnessShift(v, static_cast<int>(rng->UniformInt(-25, 25)));
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      v = SpatialShift(v, static_cast<int>(rng->UniformInt(-3, 3)),
+                       static_cast<int>(rng->UniformInt(-3, 3)));
+      break;
+    case 1:
+      v = CropZoom(v, rng->Uniform(0.05, 0.2));
+      break;
+    case 2:
+      v = DropFrames(v, static_cast<int>(rng->UniformInt(6, 10)));
+      break;
+    case 3:
+      v = InsertSlate(v, static_cast<size_t>(rng->UniformInt(
+                             0, static_cast<int64_t>(v.frame_count()))),
+                      3);
+      break;
+    case 4:
+      v = ShuffleChunks(v, 3, rng);
+      break;
+  }
+  if (rng->Bernoulli(0.5)) {
+    v = AddNoise(v, 6, rng);
+  }
+  if (rng->Bernoulli(0.3)) {
+    v = ContrastScale(v, rng->Uniform(0.85, 1.15));
+  }
+  return v;
+}
+
+std::vector<double> NoisyMixture(const std::vector<double>& mixture,
+                                 double noise, Rng* rng) {
+  std::vector<double> out(mixture.size());
+  for (size_t i = 0; i < mixture.size(); ++i) {
+    out[i] = std::max(0.0, mixture[i] + rng->Normal(0.0, noise));
+  }
+  return out;
+}
+
+}  // namespace
+
+double Corpus::TotalHours() const {
+  double seconds = 0.0;
+  for (const auto& v : videos) seconds += v.DurationSeconds();
+  return seconds / 3600.0;
+}
+
+video::Video RenderVideo(const Topic& topic, video::VideoId id,
+                         const CorpusOptions& options, Rng* rng) {
+  std::vector<video::Frame> frames;
+  frames.reserve(static_cast<size_t>(options.frames_per_video));
+  const int shots = std::max(1, options.shots_per_video);
+  const int frames_per_shot =
+      std::max(1, options.frames_per_video / shots);
+
+  for (int s = 0; s < shots; ++s) {
+    // Each shot perturbs the topic's scene parameters so shots differ
+    // enough for cut detection, while staying in the topic's regime.
+    const double period =
+        std::max(3.0, topic.spatial_period + rng->Uniform(-1.5, 1.5));
+    const double intensity = topic.base_intensity + rng->Uniform(-50.0, 50.0);
+    const double speed = topic.motion_speed * rng->Uniform(0.7, 1.3);
+    double phase_x = rng->Uniform(0.0, period);
+    double phase_y = rng->Uniform(0.0, period);
+    for (int f = 0;
+         f < frames_per_shot &&
+         frames.size() < static_cast<size_t>(options.frames_per_video);
+         ++f) {
+      const double wobble =
+          topic.dynamics *
+          std::sin(2.0 * std::numbers::pi * static_cast<double>(f) / 9.0);
+      frames.push_back(RenderFrame(options, period, intensity, phase_x,
+                                   phase_y, wobble));
+      phase_x += speed;
+      phase_y += 0.4 * speed;
+    }
+  }
+  while (frames.size() < static_cast<size_t>(options.frames_per_video)) {
+    frames.push_back(frames.back());
+  }
+
+  video::Video v(id, std::move(frames));
+  v.set_fps(options.fps);
+  return v;
+}
+
+Corpus GenerateCorpus(const std::vector<Topic>& topics, int base_per_topic,
+                      const CorpusOptions& options, Rng* rng) {
+  Corpus corpus;
+  const size_t num_topics = topics.size();
+
+  for (const Topic& topic : topics) {
+    for (int b = 0; b < base_per_topic; ++b) {
+      const auto id = static_cast<video::VideoId>(corpus.videos.size());
+      video::Video base = RenderVideo(topic, id, options, rng);
+      base.set_title(ChannelNames()[static_cast<size_t>(topic.channel)] +
+                     " #" + std::to_string(id));
+
+      VideoMeta meta;
+      meta.id = id;
+      meta.channel = topic.channel;
+      meta.topic = topic.id;
+      meta.topic_mixture.assign(num_topics, 0.0);
+      meta.topic_mixture[static_cast<size_t>(topic.id)] = 1.0;
+      // Mild spill-over into a sibling topic of the same channel.
+      const size_t sibling =
+          (static_cast<size_t>(topic.id) + kNumChannels) % num_topics;
+      meta.topic_mixture[sibling] += 0.25;
+      meta.text_features =
+          NoisyMixture(meta.topic_mixture, options.text_noise, rng);
+      meta.aural_features =
+          NoisyMixture(meta.topic_mixture, options.aural_noise, rng);
+
+      corpus.videos.push_back(std::move(base));
+      corpus.meta.push_back(meta);
+      const video::VideoId base_id = id;
+
+      for (int d = 0; d < options.derivatives_per_base; ++d) {
+        const auto did = static_cast<video::VideoId>(corpus.videos.size());
+        video::Video derived =
+            ApplyRandomDerivativeChain(corpus.videos[static_cast<size_t>(
+                                           base_id)],
+                                       rng);
+        derived.set_id(did);
+        derived.set_title(corpus.videos[static_cast<size_t>(base_id)].title() +
+                          " (reupload " + std::to_string(d) + ")");
+
+        VideoMeta dmeta = meta;
+        dmeta.id = did;
+        dmeta.source_id = base_id;
+        // Re-uploads carry degraded text/aural metadata.
+        dmeta.text_features = NoisyMixture(
+            meta.topic_mixture,
+            options.text_noise + options.derivative_extra_noise, rng);
+        dmeta.aural_features = NoisyMixture(
+            meta.topic_mixture,
+            options.aural_noise + options.derivative_extra_noise, rng);
+
+        corpus.videos.push_back(std::move(derived));
+        corpus.meta.push_back(std::move(dmeta));
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace vrec::datagen

@@ -1,0 +1,74 @@
+#ifndef VREC_DATAGEN_VIDEO_CORPUS_H_
+#define VREC_DATAGEN_VIDEO_CORPUS_H_
+
+#include <vector>
+
+#include "datagen/topic_model.h"
+#include "util/random.h"
+#include "video/video.h"
+
+namespace vrec::datagen {
+
+/// Per-video latent metadata (the ground truth the evaluation oracle sees;
+/// the recommender never reads it).
+struct VideoMeta {
+  video::VideoId id = -1;
+  int channel = 0;
+  /// Topic-mixture vector over all topics (dominant topic plus spill-over).
+  std::vector<double> topic_mixture;
+  /// Dominant topic id.
+  int topic = 0;
+  /// The base video this one was derived from (-1 for originals). Derived
+  /// videos are transformed near-duplicates — the "edited re-uploads" the
+  /// paper's content measure must be robust to.
+  video::VideoId source_id = -1;
+  /// Synthetic text and aural channel features for the AFFRF baseline
+  /// (topic mixture observed through noise; derivatives are noisier, the
+  /// paper's argument for why text/aural are "not fully reliable").
+  std::vector<double> text_features;
+  std::vector<double> aural_features;
+};
+
+/// Options for corpus generation.
+struct CorpusOptions {
+  int frame_width = 32;
+  int frame_height = 32;
+  /// Frames per video; with sampled fps below, controls "hours of video".
+  int frames_per_video = 48;
+  /// Sampled frames per second; 0.1 means one frame per 10 s of playback,
+  /// so a 48-frame video stands for an 8-minute clip (the paper keeps clips
+  /// under 10 minutes).
+  double fps = 0.1;
+  /// Shots per base video (each renders a distinct procedural scene).
+  int shots_per_video = 4;
+  /// Derivatives generated per base video.
+  int derivatives_per_base = 2;
+  double text_noise = 0.4;
+  double aural_noise = 0.6;
+  double derivative_extra_noise = 0.6;
+};
+
+/// A generated corpus: videos plus their latent metadata, index-aligned.
+struct Corpus {
+  std::vector<video::Video> videos;
+  std::vector<VideoMeta> meta;
+
+  /// Total playback duration in hours implied by frame counts and fps.
+  double TotalHours() const;
+};
+
+/// Renders one procedural video of `topic` (used by tests and by
+/// GenerateCorpus). Scenes are drifting sinusoidal textures with
+/// shot-boundary discontinuities, so the shot detector and cuboid pipeline
+/// see realistic structure.
+video::Video RenderVideo(const Topic& topic, video::VideoId id,
+                         const CorpusOptions& options, Rng* rng);
+
+/// Generates `base_per_topic` original videos per topic plus the configured
+/// derivatives (random transformation chains of their source).
+Corpus GenerateCorpus(const std::vector<Topic>& topics, int base_per_topic,
+                      const CorpusOptions& options, Rng* rng);
+
+}  // namespace vrec::datagen
+
+#endif  // VREC_DATAGEN_VIDEO_CORPUS_H_

@@ -1,0 +1,120 @@
+#include "detect/bounded_coordinate_system.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/dense_matrix.h"
+#include "graph/jacobi_eigen.h"
+
+namespace vrec::detect {
+namespace {
+
+double Norm2Diff(const std::vector<double>& a, const std::vector<double>& b,
+                 bool flip_b) {
+  double d = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    const double diff = a[i] - (flip_b ? -b[i] : b[i]);
+    d += diff * diff;
+  }
+  return std::sqrt(d);
+}
+
+}  // namespace
+
+StatusOr<BcsSignature> BuildBcs(const video::Video& v,
+                                const BcsOptions& options) {
+  if (v.frame_count() == 0) {
+    return Status::InvalidArgument("empty video");
+  }
+  const auto dim = static_cast<size_t>(options.histogram_bins);
+
+  // Frame features.
+  std::vector<std::vector<double>> features;
+  for (size_t f = 0; f < v.frame_count();
+       f += static_cast<size_t>(options.keyframe_stride)) {
+    features.push_back(
+        v.frames()[f].NormalizedHistogram(options.histogram_bins));
+  }
+  const double n = static_cast<double>(features.size());
+
+  BcsSignature bcs;
+  bcs.mean.assign(dim, 0.0);
+  for (const auto& feat : features) {
+    for (size_t i = 0; i < dim; ++i) bcs.mean[i] += feat[i];
+  }
+  for (double& m : bcs.mean) m /= n;
+
+  // Covariance of the centered features.
+  graph::DenseMatrix cov(dim, dim, 0.0);
+  for (const auto& feat : features) {
+    for (size_t i = 0; i < dim; ++i) {
+      const double di = feat[i] - bcs.mean[i];
+      for (size_t j = i; j < dim; ++j) {
+        cov.at(i, j) += di * (feat[j] - bcs.mean[j]);
+      }
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    for (size_t j = i; j < dim; ++j) {
+      cov.at(i, j) /= n;
+      cov.at(j, i) = cov.at(i, j);
+    }
+  }
+
+  StatusOr<graph::EigenResult> eigen = graph::JacobiEigenSymmetric(cov);
+  if (!eigen.ok()) return eigen.status();
+
+  // Take the top axes (largest eigenvalues = last columns) and bound each
+  // by the range of the frames' projections onto it.
+  const int axes = std::min<int>(options.num_axes, static_cast<int>(dim));
+  for (int a = 0; a < axes; ++a) {
+    const size_t col = dim - 1 - static_cast<size_t>(a);
+    std::vector<double> axis = eigen->vectors.Column(col);
+    // Canonical sign: first significant component positive.
+    for (double x : axis) {
+      if (std::abs(x) > 1e-12) {
+        if (x < 0) {
+          for (double& y : axis) y = -y;
+        }
+        break;
+      }
+    }
+    double lo = 0.0, hi = 0.0;
+    for (const auto& feat : features) {
+      double proj = 0.0;
+      for (size_t i = 0; i < dim; ++i) {
+        proj += (feat[i] - bcs.mean[i]) * axis[i];
+      }
+      lo = std::min(lo, proj);
+      hi = std::max(hi, proj);
+    }
+    const double bound = (hi - lo) / 2.0;
+    for (double& x : axis) x *= bound;
+    bcs.axes.push_back(std::move(axis));
+  }
+  return bcs;
+}
+
+double BcsDistance(const BcsSignature& a, const BcsSignature& b,
+                   double axis_weight) {
+  double d = Norm2Diff(a.mean, b.mean, /*flip_b=*/false);
+  const size_t axes = std::min(a.axes.size(), b.axes.size());
+  for (size_t i = 0; i < axes; ++i) {
+    // An axis and its negation describe the same spread.
+    d += axis_weight * std::min(Norm2Diff(a.axes[i], b.axes[i], false),
+                                Norm2Diff(a.axes[i], b.axes[i], true));
+  }
+  return d;
+}
+
+StatusOr<double> BcsSimilarity(const video::Video& a, const video::Video& b,
+                               const BcsOptions& options) {
+  StatusOr<BcsSignature> sa = BuildBcs(a, options);
+  if (!sa.ok()) return sa.status();
+  StatusOr<BcsSignature> sb = BuildBcs(b, options);
+  if (!sb.ok()) return sb.status();
+  return 1.0 / (1.0 + BcsDistance(*sa, *sb, options.axis_weight));
+}
+
+}  // namespace vrec::detect

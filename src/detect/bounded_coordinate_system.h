@@ -1,0 +1,48 @@
+#ifndef VREC_DETECT_BOUNDED_COORDINATE_SYSTEM_H_
+#define VREC_DETECT_BOUNDED_COORDINATE_SYSTEM_H_
+
+#include <vector>
+
+#include "util/status.h"
+#include "video/video.h"
+
+namespace vrec::detect {
+
+/// Bounded Coordinate System (Huang et al., ACM TOIS 2009) — the
+/// global-feature one-representation-per-video baseline of the paper's
+/// Section 2.2: a video is summarized by the mean of its frame feature
+/// vectors plus its principal axes, each scaled ("bounded") by the range of
+/// the frames' projections along it. Matching integrates the difference of
+/// the means with the difference of the bounded axes, capturing both the
+/// overall content and its "changing trends and ranges".
+struct BcsOptions {
+  int histogram_bins = 32;  // frame feature = normalized intensity histogram
+  int num_axes = 4;         // principal axes retained
+  int keyframe_stride = 2;
+  /// Weight of the axis-difference term relative to the mean difference.
+  double axis_weight = 0.5;
+};
+
+/// The BCS summary of one video.
+struct BcsSignature {
+  std::vector<double> mean;                    // dim = histogram_bins
+  std::vector<std::vector<double>> axes;       // num_axes bounded axes
+};
+
+/// Builds the BCS of a video (PCA over frame histograms via the Jacobi
+/// eigensolver). Fails on empty videos.
+StatusOr<BcsSignature> BuildBcs(const video::Video& v,
+                                const BcsOptions& options = {});
+
+/// BCS distance: ||mean_a - mean_b||_2 + w * sum_i ||axis_ai - axis_bi||_2
+/// with sign-aligned axes (an axis and its negation are the same axis).
+double BcsDistance(const BcsSignature& a, const BcsSignature& b,
+                   double axis_weight = 0.5);
+
+/// Similarity wrapper on (0, 1]: 1 / (1 + distance).
+StatusOr<double> BcsSimilarity(const video::Video& a, const video::Video& b,
+                               const BcsOptions& options = {});
+
+}  // namespace vrec::detect
+
+#endif  // VREC_DETECT_BOUNDED_COORDINATE_SYSTEM_H_

@@ -1,0 +1,75 @@
+#include "detect/detector.h"
+
+#include "detect/bounded_coordinate_system.h"
+#include "detect/ordinal_signature.h"
+#include "detect/shift_signatures.h"
+#include "signature/series_measures.h"
+#include "video/segmenter.h"
+
+namespace vrec::detect {
+namespace {
+
+class OrdinalDetector : public NearDupDetector {
+ public:
+  std::string name() const override { return "ordinal"; }
+  double Similarity(const video::Video& a,
+                    const video::Video& b) const override {
+    return OrdinalSimilarity(a, b);
+  }
+};
+
+class ColorShiftDetector : public NearDupDetector {
+ public:
+  std::string name() const override { return "color-shift"; }
+  double Similarity(const video::Video& a,
+                    const video::Video& b) const override {
+    return ColorShiftSimilarity(a, b);
+  }
+};
+
+class CentroidDetector : public NearDupDetector {
+ public:
+  std::string name() const override { return "centroid"; }
+  double Similarity(const video::Video& a,
+                    const video::Video& b) const override {
+    return CentroidSimilarity(a, b);
+  }
+};
+
+class BcsDetector : public NearDupDetector {
+ public:
+  std::string name() const override { return "bcs"; }
+  double Similarity(const video::Video& a,
+                    const video::Video& b) const override {
+    const auto sim = BcsSimilarity(a, b);
+    return sim.ok() ? *sim : 0.0;
+  }
+};
+
+class CuboidKappaJDetector : public NearDupDetector {
+ public:
+  std::string name() const override { return "cuboid-kJ"; }
+  double Similarity(const video::Video& a,
+                    const video::Video& b) const override {
+    const video::Segmenter segmenter;
+    const signature::SignatureBuilder builder;
+    const auto sa = builder.BuildSeries(segmenter.Segment(a));
+    const auto sb = builder.BuildSeries(segmenter.Segment(b));
+    if (!sa.ok() || !sb.ok()) return 0.0;
+    return signature::KappaJ(*sa, *sb);
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<NearDupDetector>> AllDetectors() {
+  std::vector<std::unique_ptr<NearDupDetector>> detectors;
+  detectors.push_back(std::make_unique<OrdinalDetector>());
+  detectors.push_back(std::make_unique<ColorShiftDetector>());
+  detectors.push_back(std::make_unique<CentroidDetector>());
+  detectors.push_back(std::make_unique<BcsDetector>());
+  detectors.push_back(std::make_unique<CuboidKappaJDetector>());
+  return detectors;
+}
+
+}  // namespace vrec::detect

@@ -1,0 +1,31 @@
+#ifndef VREC_DETECT_DETECTOR_H_
+#define VREC_DETECT_DETECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "video/video.h"
+
+namespace vrec::detect {
+
+/// Common interface over the near-duplicate similarity measures of the
+/// paper's Section 2.2 taxonomy, so the robustness ablation can sweep them
+/// uniformly. All similarities are on [0, 1]-ish scales with "higher =
+/// more similar"; absolute scales differ by detector, so comparisons should
+/// be *relative* (edited copy vs unrelated video), as in the bench.
+class NearDupDetector {
+ public:
+  virtual ~NearDupDetector() = default;
+  virtual std::string name() const = 0;
+  virtual double Similarity(const video::Video& a,
+                            const video::Video& b) const = 0;
+};
+
+/// The full roster: ordinal, color-shift, centroid, BCS, and the paper's
+/// cuboid+kJ measure.
+std::vector<std::unique_ptr<NearDupDetector>> AllDetectors();
+
+}  // namespace vrec::detect
+
+#endif  // VREC_DETECT_DETECTOR_H_

@@ -1,0 +1,62 @@
+#include "detect/ordinal_signature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "signature/block_grid.h"
+
+namespace vrec::detect {
+
+OrdinalSignature BuildOrdinalSignature(const video::Video& v,
+                                       const OrdinalOptions& options) {
+  OrdinalSignature signature;
+  const int blocks = options.grid_dim * options.grid_dim;
+  for (size_t f = 0; f < v.frame_count();
+       f += static_cast<size_t>(options.keyframe_stride)) {
+    const signature::BlockGrid grid(v.frames()[f], options.grid_dim);
+    // Rank blocks by mean intensity (stable: ties broken by block index).
+    std::vector<int> order(static_cast<size_t>(blocks));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&grid](int x, int y) {
+      return grid.means()[static_cast<size_t>(x)] <
+             grid.means()[static_cast<size_t>(y)];
+    });
+    std::vector<int> ranks(static_cast<size_t>(blocks));
+    for (int r = 0; r < blocks; ++r) {
+      ranks[static_cast<size_t>(order[static_cast<size_t>(r)])] = r;
+    }
+    signature.push_back(std::move(ranks));
+  }
+  return signature;
+}
+
+double OrdinalDistance(const OrdinalSignature& a, const OrdinalSignature& b,
+                       int grid_dim) {
+  const size_t frames = std::min(a.size(), b.size());
+  if (frames == 0) return 1.0;
+  const int blocks = grid_dim * grid_dim;
+  // Maximum L1 distance between two permutations of 0..B-1 is B^2/2
+  // (for even B), used to normalize into [0, 1].
+  const double max_per_frame =
+      std::floor(static_cast<double>(blocks) * blocks / 2.0);
+  double total = 0.0;
+  for (size_t f = 0; f < frames; ++f) {
+    double d = 0.0;
+    for (int i = 0; i < blocks; ++i) {
+      d += std::abs(a[f][static_cast<size_t>(i)] -
+                    b[f][static_cast<size_t>(i)]);
+    }
+    total += d / max_per_frame;
+  }
+  return total / static_cast<double>(frames);
+}
+
+double OrdinalSimilarity(const video::Video& a, const video::Video& b,
+                         const OrdinalOptions& options) {
+  const auto sa = BuildOrdinalSignature(a, options);
+  const auto sb = BuildOrdinalSignature(b, options);
+  return 1.0 - OrdinalDistance(sa, sb, options.grid_dim);
+}
+
+}  // namespace vrec::detect

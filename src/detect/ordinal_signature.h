@@ -1,0 +1,40 @@
+#ifndef VREC_DETECT_ORDINAL_SIGNATURE_H_
+#define VREC_DETECT_ORDINAL_SIGNATURE_H_
+
+#include <vector>
+
+#include "video/video.h"
+
+namespace vrec::detect {
+
+/// Ordinal signature (Kim & Vasudev, IEEE TCSVT 2005) — one of the
+/// conventional signatures the paper's Section 4.1 weighs against the video
+/// cuboid: each keyframe is split into a fixed grid of blocks and each
+/// block is replaced by the *rank* of its mean intensity among the frame's
+/// blocks. Ranking is invariant to global photometric changes but, as the
+/// paper notes, "not robust to the frame editing in videos".
+struct OrdinalOptions {
+  int grid_dim = 3;          // 3x3 blocks, as in the original paper
+  int keyframe_stride = 2;   // sample every n-th frame
+};
+
+/// The per-frame rank matrices of a video (row-major, values 0..B-1).
+using OrdinalSignature = std::vector<std::vector<int>>;
+
+/// Builds the ordinal signature of a video.
+OrdinalSignature BuildOrdinalSignature(const video::Video& v,
+                                       const OrdinalOptions& options = {});
+
+/// Normalized ordinal distance in [0, 1]: mean over temporally aligned
+/// frame pairs of the normalized rank L1 distance (Kim & Vasudev's D(i)),
+/// truncated to the shorter signature. Returns 1 for empty input.
+double OrdinalDistance(const OrdinalSignature& a, const OrdinalSignature& b,
+                       int grid_dim = 3);
+
+/// Similarity wrapper on [0, 1] (1 - distance).
+double OrdinalSimilarity(const video::Video& a, const video::Video& b,
+                         const OrdinalOptions& options = {});
+
+}  // namespace vrec::detect
+
+#endif  // VREC_DETECT_ORDINAL_SIGNATURE_H_

@@ -1,0 +1,124 @@
+#include "detect/shift_signatures.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrec::detect {
+namespace {
+
+// Centroid of the `fraction` lightest (or darkest) pixels of a frame.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+Point ExtremeCentroid(const video::Frame& f, double fraction, bool lightest) {
+  // Histogram-select the intensity cutoff, then average the positions of
+  // pixels past it.
+  const size_t total = f.pixels().size();
+  if (total == 0) return {};
+  size_t counts[256] = {0};
+  for (uint8_t p : f.pixels()) ++counts[p];
+  const auto want = static_cast<size_t>(
+      std::max(1.0, fraction * static_cast<double>(total)));
+  int cutoff;
+  size_t seen = 0;
+  if (lightest) {
+    cutoff = 255;
+    for (; cutoff > 0; --cutoff) {
+      seen += counts[cutoff];
+      if (seen >= want) break;
+    }
+  } else {
+    cutoff = 0;
+    for (; cutoff < 255; ++cutoff) {
+      seen += counts[cutoff];
+      if (seen >= want) break;
+    }
+  }
+  Point c;
+  size_t n = 0;
+  for (int y = 0; y < f.height(); ++y) {
+    for (int x = 0; x < f.width(); ++x) {
+      const uint8_t p = f.at(x, y);
+      const bool in = lightest ? (p >= cutoff) : (p <= cutoff);
+      if (in) {
+        c.x += x;
+        c.y += y;
+        ++n;
+      }
+    }
+  }
+  if (n > 0) {
+    c.x /= static_cast<double>(n);
+    c.y /= static_cast<double>(n);
+  }
+  return c;
+}
+
+double Travel(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace
+
+std::vector<double> BuildColorShiftSignature(const video::Video& v,
+                                             const ShiftOptions& options) {
+  std::vector<double> signature;
+  if (v.frame_count() < 2) return signature;
+  signature.reserve(v.frame_count() - 1);
+  for (size_t f = 0; f + 1 < v.frame_count(); ++f) {
+    signature.push_back(video::Frame::HistogramDistance(
+        v.frames()[f], v.frames()[f + 1], options.histogram_bins));
+  }
+  return signature;
+}
+
+std::vector<double> BuildCentroidSignature(const video::Video& v,
+                                           const ShiftOptions& options) {
+  std::vector<double> signature;
+  if (v.frame_count() < 2) return signature;
+  signature.reserve(v.frame_count() - 1);
+  Point light_prev =
+      ExtremeCentroid(v.frames()[0], options.extreme_fraction, true);
+  Point dark_prev =
+      ExtremeCentroid(v.frames()[0], options.extreme_fraction, false);
+  for (size_t f = 1; f < v.frame_count(); ++f) {
+    const Point light =
+        ExtremeCentroid(v.frames()[f], options.extreme_fraction, true);
+    const Point dark =
+        ExtremeCentroid(v.frames()[f], options.extreme_fraction, false);
+    signature.push_back(Travel(light_prev, light) + Travel(dark_prev, dark));
+    light_prev = light;
+    dark_prev = dark;
+  }
+  return signature;
+}
+
+double SequenceDistance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const size_t common = std::min(a.size(), b.size());
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 0.0;
+  double d = 0.0;
+  for (size_t i = 0; i < common; ++i) d += std::abs(a[i] - b[i]);
+  for (size_t i = common; i < a.size(); ++i) d += std::abs(a[i]);
+  for (size_t i = common; i < b.size(); ++i) d += std::abs(b[i]);
+  return d / static_cast<double>(longest);
+}
+
+double ColorShiftSimilarity(const video::Video& a, const video::Video& b,
+                            const ShiftOptions& options) {
+  return 1.0 / (1.0 + SequenceDistance(BuildColorShiftSignature(a, options),
+                                       BuildColorShiftSignature(b, options)));
+}
+
+double CentroidSimilarity(const video::Video& a, const video::Video& b,
+                          const ShiftOptions& options) {
+  return 1.0 / (1.0 + SequenceDistance(BuildCentroidSignature(a, options),
+                                       BuildCentroidSignature(b, options)));
+}
+
+}  // namespace vrec::detect

@@ -1,0 +1,50 @@
+#ifndef VREC_DETECT_SHIFT_SIGNATURES_H_
+#define VREC_DETECT_SHIFT_SIGNATURES_H_
+
+#include <vector>
+
+#include "video/video.h"
+
+namespace vrec::detect {
+
+/// The compact shift signatures of Zobel & Hoad (ACM TOIS 2006), which the
+/// paper's related work (Section 2.2) catalogues:
+///  - the *color-shift* signature: per frame-pair, the magnitude of the
+///    intensity-histogram change between neighbouring frames ("robust to
+///    different video transformation and frame editing operations, but not
+///    discriminative enough");
+///  - the *centroid* signature: per frame-pair, how far the centroids of
+///    the lightest and darkest areas move between neighbouring frames.
+/// Both reduce a video to a 1-D value sequence; sequences are compared with
+/// a length-normalized L1 over the temporally aligned prefix, the
+/// approximate-string-matching style of the original work.
+
+struct ShiftOptions {
+  int histogram_bins = 32;
+  /// Fraction of pixels counted as the "lightest"/"darkest" area.
+  double extreme_fraction = 0.1;
+};
+
+/// Per-step histogram-change magnitudes, length frame_count-1.
+std::vector<double> BuildColorShiftSignature(const video::Video& v,
+                                             const ShiftOptions& options = {});
+
+/// Per-step centroid travel (lightest + darkest areas), length
+/// frame_count-1, in pixels.
+std::vector<double> BuildCentroidSignature(const video::Video& v,
+                                           const ShiftOptions& options = {});
+
+/// Length-normalized L1 distance between two value sequences (aligned
+/// prefix; missing tail counts at full magnitude). 0 for identical.
+double SequenceDistance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Similarity wrappers on (0, 1]: 1 / (1 + distance).
+double ColorShiftSimilarity(const video::Video& a, const video::Video& b,
+                            const ShiftOptions& options = {});
+double CentroidSimilarity(const video::Video& a, const video::Video& b,
+                          const ShiftOptions& options = {});
+
+}  // namespace vrec::detect
+
+#endif  // VREC_DETECT_SHIFT_SIGNATURES_H_

@@ -1,0 +1,76 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+namespace vrec::eval {
+
+double AverageRating(const std::vector<double>& ratings) {
+  if (ratings.empty()) return 0.0;
+  double sum = 0.0;
+  for (double r : ratings) sum += r;
+  return sum / static_cast<double>(ratings.size());
+}
+
+double AverageAccuracy(const std::vector<double>& ratings) {
+  if (ratings.empty()) return 0.0;
+  size_t relevant = 0;
+  for (double r : ratings) {
+    if (r > kRelevanceThreshold) ++relevant;
+  }
+  return static_cast<double>(relevant) / static_cast<double>(ratings.size());
+}
+
+double AveragePrecision(const std::vector<double>& ratings) {
+  size_t relevant_seen = 0;
+  double sum_precision = 0.0;
+  for (size_t rank = 0; rank < ratings.size(); ++rank) {
+    if (ratings[rank] > kRelevanceThreshold) {
+      ++relevant_seen;
+      sum_precision += static_cast<double>(relevant_seen) /
+                       static_cast<double>(rank + 1);
+    }
+  }
+  if (relevant_seen == 0) return 0.0;
+  return sum_precision / static_cast<double>(relevant_seen);
+}
+
+double MeanAveragePrecision(const std::vector<std::vector<double>>& ratings) {
+  if (ratings.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& list : ratings) sum += AveragePrecision(list);
+  return sum / static_cast<double>(ratings.size());
+}
+
+double PrecisionAt(const std::vector<double>& ratings, size_t n) {
+  if (n == 0) return 0.0;
+  size_t relevant = 0;
+  const size_t limit = std::min(n, ratings.size());
+  for (size_t i = 0; i < limit; ++i) {
+    if (ratings[i] > kRelevanceThreshold) ++relevant;
+  }
+  return static_cast<double>(relevant) / static_cast<double>(n);
+}
+
+EffectivenessReport Evaluate(const std::vector<std::vector<double>>& ratings,
+                             size_t cutoff) {
+  EffectivenessReport report;
+  if (ratings.empty()) return report;
+  std::vector<std::vector<double>> truncated;
+  truncated.reserve(ratings.size());
+  for (const auto& list : ratings) {
+    truncated.emplace_back(list.begin(),
+                           list.begin() + static_cast<long>(std::min(
+                                              cutoff, list.size())));
+  }
+  double ar = 0.0, ac = 0.0;
+  for (const auto& list : truncated) {
+    ar += AverageRating(list);
+    ac += AverageAccuracy(list);
+  }
+  report.average_rating = ar / static_cast<double>(truncated.size());
+  report.average_accuracy = ac / static_cast<double>(truncated.size());
+  report.map = MeanAveragePrecision(truncated);
+  return report;
+}
+
+}  // namespace vrec::eval

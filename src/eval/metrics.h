@@ -1,0 +1,45 @@
+#ifndef VREC_EVAL_METRICS_H_
+#define VREC_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vrec::eval {
+
+/// Effectiveness metrics of Section 5.2 over rating scores in [1, 5].
+/// A recommendation is *relevant* when its rating exceeds 4 ("videos with
+/// the rating bigger than 4").
+inline constexpr double kRelevanceThreshold = 4.0;
+
+/// Average rating score (Equation 10a) of the returned list.
+double AverageRating(const std::vector<double>& ratings);
+
+/// Average accuracy (Equation 10b): fraction of returned videos rated > 4.
+double AverageAccuracy(const std::vector<double>& ratings);
+
+/// Non-interpolated average precision (Equation 11) over one ranked list:
+/// AP = sum_over_relevant_ranks(P@rank) / #relevant-retrieved; 0 when the
+/// list has no relevant video.
+double AveragePrecision(const std::vector<double>& ratings);
+
+/// Mean average precision (Equation 12) across queries' ranked lists.
+double MeanAveragePrecision(const std::vector<std::vector<double>>& ratings);
+
+/// Precision at cutoff n (diagnostic).
+double PrecisionAt(const std::vector<double>& ratings, size_t n);
+
+/// Aggregate of the three paper metrics at one cutoff.
+struct EffectivenessReport {
+  double average_rating = 0.0;
+  double average_accuracy = 0.0;
+  double map = 0.0;
+};
+
+/// Computes AR / AC averaged over queries plus MAP, truncating each ranked
+/// rating list to `cutoff`.
+EffectivenessReport Evaluate(const std::vector<std::vector<double>>& ratings,
+                             size_t cutoff);
+
+}  // namespace vrec::eval
+
+#endif  // VREC_EVAL_METRICS_H_

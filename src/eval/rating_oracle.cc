@@ -1,0 +1,70 @@
+#include "eval/rating_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/topic_model.h"
+
+namespace vrec::eval {
+
+RatingOracle::RatingOracle(const datagen::Dataset* dataset)
+    : RatingOracle(dataset, Options{}) {}
+
+RatingOracle::RatingOracle(const datagen::Dataset* dataset,
+                           const Options& options)
+    : dataset_(dataset), options_(options) {
+  Rng rng(options_.seed);
+  rater_bias_.resize(static_cast<size_t>(options_.num_raters));
+  for (double& b : rater_bias_) b = rng.Normal(0.0, 0.15);
+}
+
+double RatingOracle::ConsensusScore(video::VideoId query,
+                                    video::VideoId candidate) const {
+  if (query == candidate) return 5.0;
+  const auto& meta = dataset_->corpus.meta;
+  const auto& q = meta[static_cast<size_t>(query)];
+  const auto& c = meta[static_cast<size_t>(candidate)];
+
+  // Near-duplicate kinship: same original, or one derives from the other.
+  const video::VideoId q_root = q.source_id >= 0 ? q.source_id : q.id;
+  const video::VideoId c_root = c.source_id >= 0 ? c.source_id : c.id;
+  double relatedness;
+  if (q_root == c_root) {
+    relatedness = 0.97;
+  } else {
+    const double sim =
+        datagen::TopicSimilarity(q.topic_mixture, c.topic_mixture);
+    // A shared channel gives a weak floor (same query, loosely related).
+    const double floor = (q.channel == c.channel) ? 0.25 : 0.05;
+    relatedness = std::max(floor, 0.9 * sim);
+  }
+  return 1.0 + 4.0 * std::clamp(relatedness, 0.0, 1.0);
+}
+
+double RatingOracle::Rate(video::VideoId query,
+                          video::VideoId candidate) const {
+  const double consensus = ConsensusScore(query, candidate);
+  // Deterministic per-(pair, rater) noise: the same rater always gives the
+  // same score to the same pair, independent of evaluation order.
+  const uint64_t pair_seed =
+      options_.seed ^ (static_cast<uint64_t>(query) * 0x9E3779B97F4A7C15ULL) ^
+      (static_cast<uint64_t>(candidate) * 0xC2B2AE3D27D4EB4FULL);
+  Rng rng(pair_seed);
+  double sum = 0.0;
+  for (int r = 0; r < options_.num_raters; ++r) {
+    const double score = consensus + rater_bias_[static_cast<size_t>(r)] +
+                         rng.Normal(0.0, options_.rater_noise);
+    sum += std::clamp(score, 1.0, 5.0);
+  }
+  return sum / static_cast<double>(options_.num_raters);
+}
+
+std::vector<double> RatingOracle::RateList(
+    video::VideoId query, const std::vector<video::VideoId>& ranked) const {
+  std::vector<double> ratings;
+  ratings.reserve(ranked.size());
+  for (video::VideoId v : ranked) ratings.push_back(Rate(query, v));
+  return ratings;
+}
+
+}  // namespace vrec::eval

@@ -1,0 +1,51 @@
+#ifndef VREC_EVAL_RATING_ORACLE_H_
+#define VREC_EVAL_RATING_ORACLE_H_
+
+#include <vector>
+
+#include "datagen/dataset.h"
+#include "util/random.h"
+#include "video/video.h"
+
+namespace vrec::eval {
+
+/// Stands in for the paper's 10-person user study: given a source video and
+/// a recommended video, each simulated rater produces a 1-5 score from the
+/// latent topic overlap (plus near-duplicate kinship), perturbed by bounded
+/// observer noise; the oracle reports the panel mean.
+///
+/// The mapping is monotone in true relatedness, so metric *orderings* of
+/// methods are preserved — which is all the paper's Figures 7-11 claim.
+class RatingOracle {
+ public:
+  struct Options {
+    int num_raters = 10;
+    /// Std-dev of each rater's score perturbation (in rating points).
+    double rater_noise = 0.35;
+    uint64_t seed = 7;
+  };
+
+  explicit RatingOracle(const datagen::Dataset* dataset);
+  RatingOracle(const datagen::Dataset* dataset, const Options& options);
+
+  /// Panel-mean rating (1..5, continuous) of recommending `candidate` for
+  /// the source video `query`.
+  double Rate(video::VideoId query, video::VideoId candidate) const;
+
+  /// Ratings for a whole ranked list.
+  std::vector<double> RateList(video::VideoId query,
+                               const std::vector<video::VideoId>& ranked) const;
+
+  /// The deterministic pre-noise panel consensus (exposed for tests).
+  double ConsensusScore(video::VideoId query, video::VideoId candidate) const;
+
+ private:
+  const datagen::Dataset* dataset_;
+  Options options_;
+  /// Fixed per-rater bias, drawn once (raters are consistent individuals).
+  std::vector<double> rater_bias_;
+};
+
+}  // namespace vrec::eval
+
+#endif  // VREC_EVAL_RATING_ORACLE_H_

@@ -1,0 +1,61 @@
+#include "eval/significance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrec::eval {
+
+StatusOr<BootstrapResult> PairedBootstrap(const std::vector<double>& a,
+                                          const std::vector<double>& b,
+                                          int resamples, uint64_t seed) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired samples must have equal length");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("need at least 2 paired observations");
+  }
+  if (resamples < 100) {
+    return Status::InvalidArgument("need at least 100 resamples");
+  }
+  const size_t n = a.size();
+  std::vector<double> diff(n);
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    diff[i] = a[i] - b[i];
+    mean += diff[i];
+  }
+  mean /= static_cast<double>(n);
+
+  Rng rng(seed);
+  std::vector<double> means;
+  means.reserve(static_cast<size_t>(resamples));
+  int opposite_sign = 0;
+  for (int r = 0; r < resamples; ++r) {
+    double m = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      m += diff[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(n) - 1))];
+    }
+    m /= static_cast<double>(n);
+    means.push_back(m);
+    // Two-sided sign-flip count relative to the observed mean.
+    if ((mean >= 0.0 && m <= 0.0) || (mean <= 0.0 && m >= 0.0)) {
+      ++opposite_sign;
+    }
+  }
+  std::sort(means.begin(), means.end());
+
+  BootstrapResult result;
+  result.mean_difference = mean;
+  result.resamples = resamples;
+  result.p_value = std::min(
+      1.0, 2.0 * static_cast<double>(opposite_sign) /
+               static_cast<double>(resamples));
+  const auto lo_idx = static_cast<size_t>(0.025 * (resamples - 1));
+  const auto hi_idx = static_cast<size_t>(0.975 * (resamples - 1));
+  result.ci_low = means[lo_idx];
+  result.ci_high = means[hi_idx];
+  return result;
+}
+
+}  // namespace vrec::eval

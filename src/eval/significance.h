@@ -1,0 +1,36 @@
+#ifndef VREC_EVAL_SIGNIFICANCE_H_
+#define VREC_EVAL_SIGNIFICANCE_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vrec::eval {
+
+/// Result of a paired bootstrap comparison of two methods over the same
+/// query set.
+struct BootstrapResult {
+  /// Mean per-query difference (method A - method B).
+  double mean_difference = 0.0;
+  /// Two-sided bootstrap p-value of the null "no difference".
+  double p_value = 1.0;
+  /// 95% bootstrap confidence interval of the mean difference.
+  double ci_low = 0.0;
+  double ci_high = 0.0;
+  int resamples = 0;
+};
+
+/// Paired bootstrap test over per-query metric values (e.g. the AP of each
+/// of the 10 source-video queries under two recommenders). The paper
+/// compares methods by point estimates only; this utility lets downstream
+/// users say whether a gap survives query resampling. Requires >= 2 paired
+/// observations.
+StatusOr<BootstrapResult> PairedBootstrap(const std::vector<double>& a,
+                                          const std::vector<double>& b,
+                                          int resamples = 10000,
+                                          uint64_t seed = 17);
+
+}  // namespace vrec::eval
+
+#endif  // VREC_EVAL_SIGNIFICANCE_H_

@@ -1,0 +1,42 @@
+#include "graph/dense_matrix.h"
+
+namespace vrec::graph {
+
+DenseMatrix::DenseMatrix(size_t rows, size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::Identity(size_t n) {
+  DenseMatrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+DenseMatrix DenseMatrix::Transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+DenseMatrix DenseMatrix::Multiply(const DenseMatrix& other) const {
+  DenseMatrix out(rows_, other.cols_, 0.0);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += a * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> DenseMatrix::Column(size_t c) const {
+  std::vector<double> col(rows_);
+  for (size_t r = 0; r < rows_; ++r) col[r] = at(r, c);
+  return col;
+}
+
+}  // namespace vrec::graph

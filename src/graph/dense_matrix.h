@@ -1,0 +1,42 @@
+#ifndef VREC_GRAPH_DENSE_MATRIX_H_
+#define VREC_GRAPH_DENSE_MATRIX_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vrec::graph {
+
+/// Minimal dense row-major matrix of doubles — just enough linear algebra
+/// for the spectral-clustering baseline (Laplacians and eigenvectors of a
+/// few hundred nodes). Not a general-purpose BLAS.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  /// Identity matrix of size n.
+  static DenseMatrix Identity(size_t n);
+
+  DenseMatrix Transpose() const;
+  DenseMatrix Multiply(const DenseMatrix& other) const;
+
+  /// Extracts column c as a vector.
+  std::vector<double> Column(size_t c) const;
+
+  bool operator==(const DenseMatrix& other) const = default;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace vrec::graph
+
+#endif  // VREC_GRAPH_DENSE_MATRIX_H_

@@ -1,0 +1,88 @@
+#include "graph/jacobi_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace vrec::graph {
+
+StatusOr<EigenResult> JacobiEigenSymmetric(const DenseMatrix& m,
+                                           int max_sweeps, double tolerance) {
+  if (m.rows() != m.cols()) {
+    return Status::InvalidArgument("matrix must be square");
+  }
+  const size_t n = m.rows();
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = r + 1; c < n; ++c) {
+      if (std::abs(m.at(r, c) - m.at(c, r)) > 1e-8) {
+        return Status::InvalidArgument("matrix must be symmetric");
+      }
+    }
+  }
+
+  DenseMatrix a = m;
+  DenseMatrix v = DenseMatrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    // Off-diagonal Frobenius mass.
+    double off = 0.0;
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) off += a.at(p, q) * a.at(p, q);
+    }
+    if (off <= tolerance) break;
+
+    for (size_t p = 0; p < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation to rows/columns p and q of A.
+        for (size_t i = 0; i < n; ++i) {
+          const double aip = a.at(i, p);
+          const double aiq = a.at(i, q);
+          a.at(i, p) = c * aip - s * aiq;
+          a.at(i, q) = s * aip + c * aiq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double api = a.at(p, i);
+          const double aqi = a.at(q, i);
+          a.at(p, i) = c * api - s * aqi;
+          a.at(q, i) = s * api + c * aqi;
+        }
+        // Accumulate the eigenvector rotation.
+        for (size_t i = 0; i < n; ++i) {
+          const double vip = v.at(i, p);
+          const double viq = v.at(i, q);
+          v.at(i, p) = c * vip - s * viq;
+          v.at(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending by value.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](size_t x, size_t y) { return a.at(x, x) < a.at(y, y); });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = DenseMatrix(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    result.values[i] = a.at(order[i], order[i]);
+    for (size_t r = 0; r < n; ++r) {
+      result.vectors.at(r, i) = v.at(r, order[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace vrec::graph

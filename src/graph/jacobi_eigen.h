@@ -1,0 +1,31 @@
+#ifndef VREC_GRAPH_JACOBI_EIGEN_H_
+#define VREC_GRAPH_JACOBI_EIGEN_H_
+
+#include <vector>
+
+#include "graph/dense_matrix.h"
+#include "util/status.h"
+
+namespace vrec::graph {
+
+/// Full eigen-decomposition of a symmetric matrix.
+struct EigenResult {
+  /// Eigenvalues in ascending order.
+  std::vector<double> values;
+  /// Column i of `vectors` is the unit eigenvector for values[i].
+  DenseMatrix vectors;
+};
+
+/// Cyclic Jacobi rotation method for symmetric matrices. O(n^3) per sweep;
+/// intended for the spectral-clustering baseline where n is the sampled
+/// user count (hundreds), not the full community.
+/// `tolerance` bounds the squared Frobenius mass of the off-diagonal at
+/// convergence; Jacobi converges quadratically, so the tight default costs
+/// at most a sweep or two extra.
+StatusOr<EigenResult> JacobiEigenSymmetric(const DenseMatrix& m,
+                                           int max_sweeps = 64,
+                                           double tolerance = 1e-22);
+
+}  // namespace vrec::graph
+
+#endif  // VREC_GRAPH_JACOBI_EIGEN_H_

@@ -1,0 +1,107 @@
+#include "graph/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+namespace vrec::graph {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                              int k, Rng* rng, int max_iterations) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (points.empty()) return Status::InvalidArgument("no points");
+  if (static_cast<size_t>(k) > points.size()) {
+    return Status::InvalidArgument("k exceeds point count");
+  }
+  const size_t n = points.size();
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("inconsistent point dimensionality");
+    }
+  }
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(
+      points[static_cast<size_t>(rng->UniformInt(0, static_cast<int64_t>(n) - 1))]);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  while (centroids.size() < static_cast<size_t>(k)) {
+    for (size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i],
+                           SquaredDistance(points[i], centroids.back()));
+    }
+    double total = 0.0;
+    for (double d : min_d2) total += d;
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; pick uniformly.
+      centroids.push_back(points[static_cast<size_t>(
+          rng->UniformInt(0, static_cast<int64_t>(n) - 1))]);
+      continue;
+    }
+    centroids.push_back(points[static_cast<size_t>(rng->Weighted(min_d2))]);
+  }
+
+  KMeansResult result;
+  result.labels.assign(n, 0);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        const double d =
+            SquaredDistance(points[i], centroids[static_cast<size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.labels[i] != best) {
+        result.labels[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Update.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+    std::vector<size_t> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<size_t>(result.labels[i]);
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
+      if (counts[c] == 0) continue;  // keep the stale centroid
+      for (size_t d = 0; d < dim; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia += SquaredDistance(
+        points[i], centroids[static_cast<size_t>(result.labels[i])]);
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace vrec::graph

@@ -1,0 +1,29 @@
+#ifndef VREC_GRAPH_KMEANS_H_
+#define VREC_GRAPH_KMEANS_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vrec::graph {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster label (0..k-1) per point.
+  std::vector<int> labels;
+  /// Final centroids, k rows of dim values.
+  std::vector<std::vector<double>> centroids;
+  /// Sum of squared distances of points to their centroid.
+  double inertia = 0.0;
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding, used for the final step of the
+/// spectral-clustering baseline (cluster rows of the eigenvector embedding).
+StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                              int k, Rng* rng, int max_iterations = 100);
+
+}  // namespace vrec::graph
+
+#endif  // VREC_GRAPH_KMEANS_H_

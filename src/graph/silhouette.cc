@@ -1,0 +1,45 @@
+#include "graph/silhouette.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace vrec::graph {
+
+double SilhouetteCoefficient(const std::vector<int>& labels,
+                             const DistanceFn& distance) {
+  const size_t n = labels.size();
+  if (n < 2) return 0.0;
+  int num_clusters = 0;
+  for (int l : labels) num_clusters = std::max(num_clusters, l + 1);
+  if (num_clusters < 2) return 0.0;
+
+  std::vector<size_t> cluster_size(static_cast<size_t>(num_clusters), 0);
+  for (int l : labels) ++cluster_size[static_cast<size_t>(l)];
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto ci = static_cast<size_t>(labels[i]);
+    if (cluster_size[ci] <= 1) continue;  // s(i) = 0 for singletons
+
+    // Mean distance from i to each cluster.
+    std::vector<double> sum(static_cast<size_t>(num_clusters), 0.0);
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum[static_cast<size_t>(labels[j])] += distance(i, j);
+    }
+    const double a =
+        sum[ci] / static_cast<double>(cluster_size[ci] - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (size_t c = 0; c < static_cast<size_t>(num_clusters); ++c) {
+      if (c == ci || cluster_size[c] == 0) continue;
+      b = std::min(b, sum[c] / static_cast<double>(cluster_size[c]));
+    }
+    if (!std::isfinite(b)) continue;
+    const double denom = std::max(a, b);
+    total += denom > 0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+}  // namespace vrec::graph

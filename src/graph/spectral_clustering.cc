@@ -1,0 +1,67 @@
+#include "graph/spectral_clustering.h"
+
+#include <cmath>
+
+#include "graph/dense_matrix.h"
+#include "graph/jacobi_eigen.h"
+#include "graph/kmeans.h"
+
+namespace vrec::graph {
+
+StatusOr<std::vector<int>> SpectralClustering(const WeightedGraph& graph,
+                                              int k, Rng* rng) {
+  const size_t n = graph.node_count();
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  if (static_cast<size_t>(k) > n) {
+    return Status::InvalidArgument("k exceeds node count");
+  }
+
+  // Affinity and degree.
+  DenseMatrix w(n, n, 0.0);
+  std::vector<double> degree(n, 0.0);
+  for (const Edge& e : graph.edges()) {
+    w.at(e.u, e.v) += e.weight;
+    w.at(e.v, e.u) += e.weight;
+    degree[e.u] += e.weight;
+    degree[e.v] += e.weight;
+  }
+
+  // Symmetric-normalized Laplacian.
+  DenseMatrix laplacian(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      const double norm =
+          (degree[i] > 0 && degree[j] > 0)
+              ? w.at(i, j) / std::sqrt(degree[i] * degree[j])
+              : 0.0;
+      laplacian.at(i, j) = (i == j ? 1.0 : 0.0) - norm;
+    }
+  }
+
+  StatusOr<EigenResult> eigen = JacobiEigenSymmetric(laplacian);
+  if (!eigen.ok()) return eigen.status();
+
+  // Embed each node as the row of the k smallest eigenvectors, then
+  // row-normalize (NJW step).
+  std::vector<std::vector<double>> rows(n, std::vector<double>(
+                                               static_cast<size_t>(k), 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (int c = 0; c < k; ++c) {
+      const double v = eigen->vectors.at(i, static_cast<size_t>(c));
+      rows[i][static_cast<size_t>(c)] = v;
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    if (norm > 1e-12) {
+      for (double& v : rows[i]) v /= norm;
+    }
+  }
+
+  StatusOr<KMeansResult> km = KMeans(rows, k, rng);
+  if (!km.ok()) return km.status();
+  return std::move(km->labels);
+}
+
+}  // namespace vrec::graph

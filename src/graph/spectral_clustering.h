@@ -1,0 +1,24 @@
+#ifndef VREC_GRAPH_SPECTRAL_CLUSTERING_H_
+#define VREC_GRAPH_SPECTRAL_CLUSTERING_H_
+
+#include <vector>
+
+#include "graph/weighted_graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace vrec::graph {
+
+/// Normalized spectral clustering (Ng-Jordan-Weiss variant, per von Luxburg's
+/// tutorial that the paper cites as the "best practice" competitor for
+/// sub-community extraction):
+///   1. symmetric-normalized Laplacian L = I - D^-1/2 W D^-1/2
+///   2. rows of the k smallest eigenvectors, row-normalized
+///   3. k-means on the embedded rows.
+/// Returns one cluster label per node. Isolated nodes embed at the origin.
+StatusOr<std::vector<int>> SpectralClustering(const WeightedGraph& graph,
+                                              int k, Rng* rng);
+
+}  // namespace vrec::graph
+
+#endif  // VREC_GRAPH_SPECTRAL_CLUSTERING_H_

@@ -1,0 +1,44 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+
+namespace vrec::graph {
+
+UnionFind::UnionFind(size_t n) : parent_(n), size_(n, 1), num_sets_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+size_t UnionFind::Find(size_t x) {
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(size_t a, size_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return false;
+  if (size_[a] < size_[b]) std::swap(a, b);
+  parent_[b] = a;
+  size_[a] += size_[b];
+  --num_sets_;
+  return true;
+}
+
+size_t UnionFind::SetSize(size_t x) { return size_[Find(x)]; }
+
+std::vector<int> UnionFind::Labels() {
+  std::vector<int> labels(parent_.size(), -1);
+  std::vector<int> remap(parent_.size(), -1);
+  int next = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    const size_t root = Find(i);
+    if (remap[root] < 0) remap[root] = next++;
+    labels[i] = remap[root];
+  }
+  return labels;
+}
+
+}  // namespace vrec::graph

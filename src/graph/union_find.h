@@ -1,0 +1,38 @@
+#ifndef VREC_GRAPH_UNION_FIND_H_
+#define VREC_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vrec::graph {
+
+/// Disjoint-set forest with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative of x's set.
+  size_t Find(size_t x);
+
+  /// Merges the sets of a and b; returns true if they were distinct.
+  bool Union(size_t a, size_t b);
+
+  /// Number of disjoint sets.
+  size_t num_sets() const { return num_sets_; }
+
+  /// Size of the set containing x.
+  size_t SetSize(size_t x);
+
+  /// Dense component label (0..num_sets-1) per element, stable across calls
+  /// only if no unions happen in between.
+  std::vector<int> Labels();
+
+ private:
+  std::vector<size_t> parent_;
+  std::vector<size_t> size_;
+  size_t num_sets_;
+};
+
+}  // namespace vrec::graph
+
+#endif  // VREC_GRAPH_UNION_FIND_H_

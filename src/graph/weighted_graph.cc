@@ -1,0 +1,60 @@
+#include "graph/weighted_graph.h"
+
+#include "graph/union_find.h"
+
+namespace vrec::graph {
+
+WeightedGraph::WeightedGraph(size_t node_count)
+    : node_count_(node_count), adjacency_(node_count) {}
+
+void WeightedGraph::EnsureNodeCount(size_t n) {
+  if (n > node_count_) {
+    node_count_ = n;
+    adjacency_.resize(n);
+  }
+}
+
+void WeightedGraph::AddEdge(size_t u, size_t v, double weight) {
+  EnsureNodeCount(std::max(u, v) + 1);
+  // Accumulate into an existing edge if present.
+  for (size_t idx : adjacency_[u]) {
+    Edge& e = edges_[idx];
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) {
+      e.weight += weight;
+      return;
+    }
+  }
+  edges_.push_back({u, v, weight});
+  adjacency_[u].push_back(edges_.size() - 1);
+  adjacency_[v].push_back(edges_.size() - 1);
+}
+
+double WeightedGraph::EdgeWeight(size_t u, size_t v) const {
+  if (u >= node_count_) return 0.0;
+  for (size_t idx : adjacency_[u]) {
+    const Edge& e = edges_[idx];
+    if ((e.u == u && e.v == v) || (e.u == v && e.v == u)) return e.weight;
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<size_t, double>> WeightedGraph::Neighbors(
+    size_t u) const {
+  std::vector<std::pair<size_t, double>> out;
+  if (u >= node_count_) return out;
+  out.reserve(adjacency_[u].size());
+  for (size_t idx : adjacency_[u]) {
+    const Edge& e = edges_[idx];
+    out.emplace_back(e.u == u ? e.v : e.u, e.weight);
+  }
+  return out;
+}
+
+std::pair<std::vector<int>, int> WeightedGraph::ConnectedComponents() const {
+  UnionFind uf(node_count_);
+  for (const Edge& e : edges_) uf.Union(e.u, e.v);
+  std::vector<int> labels = uf.Labels();
+  return {std::move(labels), static_cast<int>(uf.num_sets())};
+}
+
+}  // namespace vrec::graph

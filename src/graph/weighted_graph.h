@@ -1,0 +1,57 @@
+#ifndef VREC_GRAPH_WEIGHTED_GRAPH_H_
+#define VREC_GRAPH_WEIGHTED_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vrec::graph {
+
+/// An undirected edge with a weight. Node ids are dense [0, node_count).
+struct Edge {
+  size_t u = 0;
+  size_t v = 0;
+  double weight = 0.0;
+
+  bool operator==(const Edge& other) const = default;
+};
+
+/// Undirected weighted multigraph-free graph stored as an edge list with an
+/// adjacency index. This is the substrate of the paper's User Interest
+/// Graph: nodes are social users, edge weight = number of co-commented
+/// videos.
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(size_t node_count = 0);
+
+  size_t node_count() const { return node_count_; }
+  size_t edge_count() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Adds an undirected edge; if (u, v) exists its weight is increased by
+  /// `weight` instead (the UIG accumulates co-interest counts).
+  void AddEdge(size_t u, size_t v, double weight);
+
+  /// Current weight of edge (u, v); 0 if absent.
+  double EdgeWeight(size_t u, size_t v) const;
+
+  /// Neighbors of u as (neighbor, weight) pairs.
+  std::vector<std::pair<size_t, double>> Neighbors(size_t u) const;
+
+  /// Connected-component label per node (dense, 0-based) and the component
+  /// count.
+  std::pair<std::vector<int>, int> ConnectedComponents() const;
+
+  /// Grows the node set to at least `n` nodes.
+  void EnsureNodeCount(size_t n);
+
+ private:
+  size_t node_count_;
+  std::vector<Edge> edges_;
+  // adjacency_[u] holds indices into edges_.
+  std::vector<std::vector<size_t>> adjacency_;
+};
+
+}  // namespace vrec::graph
+
+#endif  // VREC_GRAPH_WEIGHTED_GRAPH_H_

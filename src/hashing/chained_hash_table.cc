@@ -1,0 +1,97 @@
+#include "hashing/chained_hash_table.h"
+
+namespace vrec::hashing {
+
+ChainedHashTable::ChainedHashTable(size_t bucket_count,
+                                   ShiftAddXorParams params)
+    : params_(params), buckets_(bucket_count == 0 ? 1 : bucket_count, -1) {}
+
+void ChainedHashTable::InsertOrAssign(std::string_view key, int32_t cno) {
+  const size_t b = BucketOf(key);
+  for (int32_t i = buckets_[b]; i >= 0; i = triads_[static_cast<size_t>(i)].next) {
+    Triad& t = triads_[static_cast<size_t>(i)];
+    if (t.key == key) {
+      t.cno = cno;
+      return;
+    }
+  }
+  int32_t slot;
+  if (!free_list_.empty()) {
+    slot = free_list_.back();
+    free_list_.pop_back();
+    triads_[static_cast<size_t>(slot)] = {std::string(key), cno, buckets_[b]};
+  } else {
+    slot = static_cast<int32_t>(triads_.size());
+    triads_.push_back({std::string(key), cno, buckets_[b]});
+  }
+  buckets_[b] = slot;  // head insertion, as in the paper
+  ++size_;
+}
+
+std::optional<int32_t> ChainedHashTable::Find(std::string_view key) const {
+  const size_t b = BucketOf(key);
+  for (int32_t i = buckets_[b]; i >= 0;
+       i = triads_[static_cast<size_t>(i)].next) {
+    ++comparisons_;
+    const Triad& t = triads_[static_cast<size_t>(i)];
+    if (t.key == key) return t.cno;
+  }
+  return std::nullopt;
+}
+
+bool ChainedHashTable::Erase(std::string_view key) {
+  const size_t b = BucketOf(key);
+  int32_t prev = -1;
+  for (int32_t i = buckets_[b]; i >= 0;
+       prev = i, i = triads_[static_cast<size_t>(i)].next) {
+    Triad& t = triads_[static_cast<size_t>(i)];
+    if (t.key != key) continue;
+    if (prev < 0) {
+      buckets_[b] = t.next;
+    } else {
+      triads_[static_cast<size_t>(prev)].next = t.next;
+    }
+    t.key.clear();
+    t.next = -1;
+    free_list_.push_back(i);
+    --size_;
+    return true;
+  }
+  return false;
+}
+
+size_t ChainedHashTable::ReplaceCno(int32_t from, int32_t to) {
+  size_t changed = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (int32_t i = buckets_[b]; i >= 0;
+         i = triads_[static_cast<size_t>(i)].next) {
+      Triad& t = triads_[static_cast<size_t>(i)];
+      if (t.cno == from) {
+        t.cno = to;
+        ++changed;
+      }
+    }
+  }
+  return changed;
+}
+
+double ChainedHashTable::AverageChainLength() const {
+  size_t nonempty = 0;
+  size_t total = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    size_t len = 0;
+    for (int32_t i = buckets_[b]; i >= 0;
+         i = triads_[static_cast<size_t>(i)].next) {
+      ++len;
+    }
+    if (len > 0) {
+      ++nonempty;
+      total += len;
+    }
+  }
+  return nonempty == 0 ? 0.0
+                       : static_cast<double>(total) /
+                             static_cast<double>(nonempty);
+}
+
+}  // namespace vrec::hashing

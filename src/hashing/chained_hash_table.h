@@ -1,0 +1,74 @@
+#ifndef VREC_HASHING_CHAINED_HASH_TABLE_H_
+#define VREC_HASHING_CHAINED_HASH_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hashing/shift_add_xor.h"
+
+namespace vrec::hashing {
+
+/// The paper's chained hash table (Figure 4): buckets of `<key, cno,
+/// nextptr>` triads, keyed by the shift-add-xor hash of the social user
+/// name, with `cno` the user's sub-community id. New triads are inserted at
+/// the head of their bucket, exactly as described.
+///
+/// The value type is fixed to int32 (`cno`) because that is the single use
+/// the paper has for the structure; collision statistics are exposed so the
+/// vectorization cost model (n * eta * beta, Section 4.2.3) can be measured.
+class ChainedHashTable {
+ public:
+  struct Triad {
+    std::string key;  // social user name
+    int32_t cno;      // sub-community id
+    int32_t next;     // index of the next triad in this bucket, -1 for end
+  };
+
+  explicit ChainedHashTable(size_t bucket_count = 1024,
+                            ShiftAddXorParams params = {});
+
+  /// Inserts at the bucket head, or overwrites cno if the key exists.
+  void InsertOrAssign(std::string_view key, int32_t cno);
+
+  /// Sub-community id of `key`, or nullopt if absent. Updates lookup
+  /// statistics (string comparisons performed).
+  std::optional<int32_t> Find(std::string_view key) const;
+
+  /// Removes `key`; returns true if it was present.
+  bool Erase(std::string_view key);
+
+  /// Rewrites every triad whose cno is `from` to `to` (sub-community merge /
+  /// renumbering during social-update maintenance). Returns #changed.
+  size_t ReplaceCno(int32_t from, int32_t to);
+
+  size_t size() const { return size_; }
+  size_t bucket_count() const { return buckets_.size(); }
+
+  /// Average chain length over non-empty buckets — the eta of the paper's
+  /// vectorization cost model.
+  double AverageChainLength() const;
+
+  /// Total key comparisons performed by Find() since construction.
+  uint64_t comparisons() const { return comparisons_; }
+  void ResetStats() { comparisons_ = 0; }
+
+ private:
+  size_t BucketOf(std::string_view key) const {
+    return static_cast<size_t>(
+        ShiftAddXorBucket(key, buckets_.size(), params_));
+  }
+
+  ShiftAddXorParams params_;
+  std::vector<int32_t> buckets_;  // head triad index per bucket, -1 empty
+  std::vector<Triad> triads_;     // arena; erased slots are reused
+  std::vector<int32_t> free_list_;
+  size_t size_ = 0;
+  mutable uint64_t comparisons_ = 0;
+};
+
+}  // namespace vrec::hashing
+
+#endif  // VREC_HASHING_CHAINED_HASH_TABLE_H_

@@ -1,0 +1,19 @@
+#include "hashing/shift_add_xor.h"
+
+namespace vrec::hashing {
+
+uint64_t ShiftAddXorHash(std::string_view s, const ShiftAddXorParams& params) {
+  uint64_t h = params.seed;
+  for (unsigned char c : s) {
+    h ^= (h << params.left_shift) + (h >> params.right_shift) +
+         static_cast<uint64_t>(c);
+  }
+  return h;
+}
+
+uint64_t ShiftAddXorBucket(std::string_view s, uint64_t table_size,
+                           const ShiftAddXorParams& params) {
+  return ShiftAddXorHash(s, params) % table_size;
+}
+
+}  // namespace vrec::hashing

@@ -1,0 +1,35 @@
+#ifndef VREC_HASHING_SHIFT_ADD_XOR_H_
+#define VREC_HASHING_SHIFT_ADD_XOR_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace vrec::hashing {
+
+/// The shift-add-xor class of string hash functions (Ramakrishna & Zobel,
+/// DASFAA'97), as given in the paper's Equation 7:
+///
+///   init(v)        = v
+///   step(i, h, c)  = h XOR (L_l(h) + R_r(h) + c)
+///   final(h, T)    = h mod T
+///
+/// where L_l / R_r are left/right shifts. The paper selects this class for
+/// mapping social user names to hash buckets because it is uniform,
+/// universal, applicable and fast.
+struct ShiftAddXorParams {
+  uint64_t seed = 31;  // init value v
+  int left_shift = 5;  // l
+  int right_shift = 2; // r
+};
+
+/// Raw (un-modded) shift-add-xor hash of a string.
+uint64_t ShiftAddXorHash(std::string_view s,
+                         const ShiftAddXorParams& params = {});
+
+/// Bucketed hash: ShiftAddXorHash(s) mod table_size. table_size must be > 0.
+uint64_t ShiftAddXorBucket(std::string_view s, uint64_t table_size,
+                           const ShiftAddXorParams& params = {});
+
+}  // namespace vrec::hashing
+
+#endif  // VREC_HASHING_SHIFT_ADD_XOR_H_

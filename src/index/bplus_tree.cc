@@ -1,0 +1,174 @@
+#include "index/bplus_tree.h"
+
+#include <algorithm>
+
+namespace vrec::index {
+
+struct BPlusTree::Node {
+  bool is_leaf = true;
+  std::vector<uint64_t> keys;
+  // Internal nodes: children.size() == keys.size() + 1; subtree i holds
+  // keys in [keys[i-1], keys[i]).
+  std::vector<Node*> children;
+  // Leaves: payloads parallel to keys; leaves are doubly linked.
+  std::vector<Payload> payloads;
+  Node* next = nullptr;
+  Node* prev = nullptr;
+};
+
+BPlusTree::BPlusTree(int fanout) : fanout_(std::max(4, fanout)) {
+  root_ = NewNode(/*is_leaf=*/true);
+}
+
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+BPlusTree::Node* BPlusTree::NewNode(bool is_leaf) {
+  arena_.push_back(std::make_unique<Node>());
+  arena_.back()->is_leaf = is_leaf;
+  return arena_.back().get();
+}
+
+std::optional<std::pair<uint64_t, BPlusTree::Node*>> BPlusTree::InsertInto(
+    Node* node, uint64_t key, const Payload& payload) {
+  if (node->is_leaf) {
+    const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    const auto idx = static_cast<size_t>(it - node->keys.begin());
+    node->keys.insert(it, key);
+    node->payloads.insert(node->payloads.begin() + static_cast<long>(idx),
+                          payload);
+    if (node->keys.size() <= static_cast<size_t>(fanout_)) return std::nullopt;
+
+    // Split the leaf; the separator is the right half's first key.
+    Node* right = NewNode(/*is_leaf=*/true);
+    const size_t half = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + static_cast<long>(half),
+                       node->keys.end());
+    right->payloads.assign(node->payloads.begin() + static_cast<long>(half),
+                           node->payloads.end());
+    node->keys.resize(half);
+    node->payloads.resize(half);
+    right->next = node->next;
+    right->prev = node;
+    if (node->next != nullptr) node->next->prev = right;
+    node->next = right;
+    return std::make_pair(right->keys.front(), right);
+  }
+
+  // Internal: child index = number of separators <= key.
+  const auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+  const auto idx = static_cast<size_t>(it - node->keys.begin());
+  auto split = InsertInto(node->children[idx], key, payload);
+  if (!split.has_value()) return std::nullopt;
+
+  node->keys.insert(node->keys.begin() + static_cast<long>(idx),
+                    split->first);
+  node->children.insert(node->children.begin() + static_cast<long>(idx) + 1,
+                        split->second);
+  if (node->keys.size() <= static_cast<size_t>(fanout_)) return std::nullopt;
+
+  // Split the internal node; the middle separator moves up.
+  Node* right = NewNode(/*is_leaf=*/false);
+  const size_t mid = node->keys.size() / 2;
+  const uint64_t up = node->keys[mid];
+  right->keys.assign(node->keys.begin() + static_cast<long>(mid) + 1,
+                     node->keys.end());
+  right->children.assign(node->children.begin() + static_cast<long>(mid) + 1,
+                         node->children.end());
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  return std::make_pair(up, right);
+}
+
+void BPlusTree::Insert(uint64_t key, Payload payload) {
+  auto split = InsertInto(root_, key, payload);
+  if (split.has_value()) {
+    Node* new_root = NewNode(/*is_leaf=*/false);
+    new_root->keys.push_back(split->first);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split->second);
+    root_ = new_root;
+    ++height_;
+  }
+  ++size_;
+}
+
+const BPlusTree::Entry BPlusTree::Cursor::Get() const {
+  return {leaf_->keys[slot_], leaf_->payloads[slot_]};
+}
+
+void BPlusTree::Cursor::Next() {
+  if (leaf_ == nullptr) return;
+  ++slot_;
+  while (leaf_ != nullptr && slot_ >= leaf_->keys.size()) {
+    leaf_ = leaf_->next;
+    slot_ = 0;
+  }
+}
+
+void BPlusTree::Cursor::Prev() {
+  if (leaf_ == nullptr) return;
+  if (slot_ == 0) {
+    leaf_ = leaf_->prev;
+    while (leaf_ != nullptr && leaf_->keys.empty()) leaf_ = leaf_->prev;
+    slot_ = (leaf_ != nullptr) ? leaf_->keys.size() - 1 : 0;
+    return;
+  }
+  --slot_;
+}
+
+BPlusTree::Cursor BPlusTree::LowerBound(uint64_t key) const {
+  Node* node = root_;
+  while (!node->is_leaf) {
+    // Descend left of equal separators: duplicates of a separator key can
+    // sit at the tail of the left sibling, and the leaf chain covers the
+    // rest.
+    const auto it =
+        std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    node = node->children[static_cast<size_t>(it - node->keys.begin())];
+  }
+  Cursor cursor;
+  const auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  cursor.leaf_ = node;
+  cursor.slot_ = static_cast<size_t>(it - node->keys.begin());
+  if (cursor.slot_ >= node->keys.size()) {
+    // Walk to the next non-empty leaf (or end).
+    Node* next = node->next;
+    while (next != nullptr && next->keys.empty()) next = next->next;
+    cursor.leaf_ = next;
+    cursor.slot_ = 0;
+  }
+  return cursor;
+}
+
+BPlusTree::Cursor BPlusTree::First() const {
+  Node* node = root_;
+  while (!node->is_leaf) node = node->children.front();
+  Cursor cursor;
+  if (!node->keys.empty()) {
+    cursor.leaf_ = node;
+    cursor.slot_ = 0;
+  }
+  return cursor;
+}
+
+BPlusTree::Cursor BPlusTree::Last() const {
+  Node* node = root_;
+  while (!node->is_leaf) node = node->children.back();
+  Cursor cursor;
+  if (!node->keys.empty()) {
+    cursor.leaf_ = node;
+    cursor.slot_ = node->keys.size() - 1;
+  }
+  return cursor;
+}
+
+std::vector<BPlusTree::Entry> BPlusTree::Scan() const {
+  std::vector<Entry> out;
+  out.reserve(size_);
+  for (Cursor c = First(); c.valid(); c.Next()) out.push_back(c.Get());
+  return out;
+}
+
+}  // namespace vrec::index

@@ -1,0 +1,86 @@
+#ifndef VREC_INDEX_BPLUS_TREE_H_
+#define VREC_INDEX_BPLUS_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+namespace vrec::index {
+
+/// In-memory B+-tree over 64-bit keys (Z-order values), with doubly-linked
+/// leaves — the storage layer of the LSB index of Tao et al. (SIGMOD'09)
+/// that the paper adopts for content-candidate retrieval. Duplicate keys are
+/// allowed; each entry carries the (video id, signature index) payload so a
+/// leaf hit identifies which video's q-gram produced the Z-value.
+class BPlusTree {
+ private:
+  struct Node;
+
+ public:
+  struct Payload {
+    int64_t video_id = -1;
+    uint32_t sig_index = 0;
+  };
+
+  struct Entry {
+    uint64_t key = 0;
+    Payload payload;
+  };
+
+  /// `fanout` is the maximum number of keys per node (>= 4).
+  explicit BPlusTree(int fanout = 64);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  void Insert(uint64_t key, Payload payload);
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+  size_t node_count() const { return arena_.size(); }
+
+  /// Bidirectional cursor over entries in key order.
+  class Cursor {
+   public:
+    bool valid() const { return leaf_ != nullptr; }
+    const Entry Get() const;
+    /// Moves right / left in key order; invalidates at the ends.
+    void Next();
+    void Prev();
+
+   private:
+    friend class BPlusTree;
+    Node* leaf_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  /// Cursor at the first entry with key >= `key`, or invalid if none.
+  Cursor LowerBound(uint64_t key) const;
+  /// Cursor at the smallest / largest entry; invalid when empty.
+  Cursor First() const;
+  Cursor Last() const;
+
+  /// All entries in key order (test / diagnostic helper).
+  std::vector<Entry> Scan() const;
+
+ private:
+  Node* NewNode(bool is_leaf);
+  // Inserts into the subtree; on split returns (separator, new right node).
+  std::optional<std::pair<uint64_t, Node*>> InsertInto(Node* node,
+                                                       uint64_t key,
+                                                       const Payload& payload);
+
+  int fanout_;
+  size_t size_ = 0;
+  int height_ = 1;
+  Node* root_ = nullptr;
+  std::vector<std::unique_ptr<Node>> arena_;
+};
+
+}  // namespace vrec::index
+
+#endif  // VREC_INDEX_BPLUS_TREE_H_

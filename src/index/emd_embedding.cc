@@ -1,0 +1,35 @@
+#include "index/emd_embedding.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrec::index {
+
+std::vector<double> EmbedSignature(const signature::CuboidSignature& sig,
+                                   const EmbeddingOptions& options) {
+  const int d = options.dims;
+  std::vector<double> out(static_cast<size_t>(d), 0.0);
+  const double span = options.domain_max - options.domain_min;
+  const double bin_width = span / static_cast<double>(d);
+  // out[i] = total mass with value <= right edge of bin i, scaled by the
+  // bin width so that sum_i |out_a[i] - out_b[i]| integrates |CDF_a - CDF_b|.
+  for (const signature::Cuboid& c : sig) {
+    const double pos = (c.value - options.domain_min) / span;
+    const int first_bin =
+        std::clamp(static_cast<int>(std::floor(pos * d)), 0, d - 1);
+    for (int i = first_bin; i < d; ++i) {
+      out[static_cast<size_t>(i)] += c.weight * bin_width;
+    }
+  }
+  return out;
+}
+
+double EmbeddedL1(const std::vector<double>& a,
+                  const std::vector<double>& b) {
+  double d = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) d += std::abs(a[i] - b[i]);
+  return d;
+}
+
+}  // namespace vrec::index

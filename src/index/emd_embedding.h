@@ -1,0 +1,38 @@
+#ifndef VREC_INDEX_EMD_EMBEDDING_H_
+#define VREC_INDEX_EMD_EMBEDDING_H_
+
+#include <vector>
+
+#include "signature/cuboid_signature.h"
+
+namespace vrec::index {
+
+/// Embeds cuboid signatures into L1 space so that LSH / Z-order indexing can
+/// be applied ("we embed EMD-metric into L1-norm space like [35]").
+///
+/// For the paper's 1-dimensional cuboids the embedding is the classic CDF
+/// transform: sample the signature's weight CDF on a fixed grid over the
+/// value domain; then L1 distance between two embedded vectors multiplied by
+/// the bin width converges to the exact EMD as the grid refines (EMD in 1D
+/// *is* the area between the CDFs).
+struct EmbeddingOptions {
+  /// Value domain covered by the grid. Cuboid values are mean intensity
+  /// changes, bounded by [-255, 255] by construction.
+  double domain_min = -255.0;
+  double domain_max = 255.0;
+  /// Grid resolution (embedding dimensionality).
+  int dims = 32;
+};
+
+/// The embedded vector: dims entries, entry i = (mass with value <= grid_i)
+/// scaled by sqrt of nothing — plain CDF sample scaled by bin width so that
+/// L1(e(a), e(b)) approximates EMD(a, b).
+std::vector<double> EmbedSignature(const signature::CuboidSignature& sig,
+                                   const EmbeddingOptions& options = {});
+
+/// L1 distance between two embedded vectors (= approximate EMD).
+double EmbeddedL1(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace vrec::index
+
+#endif  // VREC_INDEX_EMD_EMBEDDING_H_

@@ -1,0 +1,61 @@
+#include "index/inverted_file.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace vrec::index {
+
+const std::vector<InvertedFile::Posting> InvertedFile::kEmpty = {};
+
+void InvertedFile::Add(int community, int64_t video_id, double weight) {
+  auto& list = lists_[community];
+  for (Posting& p : list) {
+    if (p.video_id == video_id) {
+      p.weight += weight;
+      return;
+    }
+  }
+  list.push_back({video_id, weight});
+}
+
+void InvertedFile::RemoveVideoFromCommunity(int community, int64_t video_id) {
+  const auto it = lists_.find(community);
+  if (it == lists_.end()) return;
+  auto& list = it->second;
+  list.erase(std::remove_if(list.begin(), list.end(),
+                            [video_id](const Posting& p) {
+                              return p.video_id == video_id;
+                            }),
+             list.end());
+  if (list.empty()) lists_.erase(it);
+}
+
+void InvertedFile::RemoveCommunity(int community) { lists_.erase(community); }
+
+const std::vector<InvertedFile::Posting>& InvertedFile::Postings(
+    int community) const {
+  const auto it = lists_.find(community);
+  return it == lists_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::pair<int64_t, double>> InvertedFile::Candidates(
+    const std::vector<double>& query_histogram) const {
+  std::unordered_map<int64_t, double> scores;
+  for (size_t c = 0; c < query_histogram.size(); ++c) {
+    const double mass = query_histogram[c];
+    if (mass <= 0.0) continue;
+    const auto it = lists_.find(static_cast<int>(c));
+    if (it == lists_.end()) continue;
+    for (const Posting& p : it->second) {
+      scores[p.video_id] += mass * p.weight;
+    }
+  }
+  std::vector<std::pair<int64_t, double>> out(scores.begin(), scores.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace vrec::index

@@ -1,0 +1,48 @@
+#ifndef VREC_INDEX_INVERTED_FILE_H_
+#define VREC_INDEX_INVERTED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vrec::index {
+
+/// The k inverted files of Section 4.4: one posting list per sub-community
+/// id, each listing the videos whose social descriptors contain users of
+/// that sub-community (with the per-video user count as posting weight).
+class InvertedFile {
+ public:
+  struct Posting {
+    int64_t video_id = -1;
+    double weight = 0.0;  // #descriptor users in this sub-community
+  };
+
+  /// Adds (or accumulates) a posting.
+  void Add(int community, int64_t video_id, double weight);
+
+  /// Drops every posting of `video_id` in `community` (descriptor refresh).
+  void RemoveVideoFromCommunity(int community, int64_t video_id);
+
+  /// Drops the whole posting list of a retired community id.
+  void RemoveCommunity(int community);
+
+  const std::vector<Posting>& Postings(int community) const;
+
+  /// Social candidate generation: accumulates, for every video sharing a
+  /// non-zero sub-community with the query histogram, the dot product of
+  /// query mass and posting weight. Returns (video id, score) sorted by
+  /// descending score.
+  std::vector<std::pair<int64_t, double>> Candidates(
+      const std::vector<double>& query_histogram) const;
+
+  size_t community_count() const { return lists_.size(); }
+
+ private:
+  std::map<int, std::vector<Posting>> lists_;
+  static const std::vector<Posting> kEmpty;
+};
+
+}  // namespace vrec::index
+
+#endif  // VREC_INDEX_INVERTED_FILE_H_

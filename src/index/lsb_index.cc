@@ -1,0 +1,81 @@
+#include "index/lsb_index.h"
+
+#include "index/zorder.h"
+
+namespace vrec::index {
+
+LsbIndex::LsbIndex() : LsbIndex(Options{}) {}
+
+LsbIndex::LsbIndex(const Options& options) : options_(options) {
+  hashes_.reserve(static_cast<size_t>(options_.num_trees));
+  trees_.reserve(static_cast<size_t>(options_.num_trees));
+  for (int t = 0; t < options_.num_trees; ++t) {
+    L1Lsh::Options lsh = options_.lsh;
+    lsh.input_dims = options_.embedding.dims;
+    lsh.seed = options_.lsh.seed + static_cast<uint64_t>(t) * 7919;
+    hashes_.emplace_back(lsh);
+    trees_.emplace_back(options_.tree_fanout);
+  }
+}
+
+uint64_t LsbIndex::ZValue(size_t tree,
+                          const std::vector<double>& embedded) const {
+  const std::vector<uint32_t> keys = hashes_[tree].Keys(embedded);
+  return ZOrderInterleave(keys, hashes_[tree].options().bits_per_key);
+}
+
+void LsbIndex::AddVideo(int64_t video_id,
+                        const signature::SignatureSeries& series) {
+  for (size_t s = 0; s < series.size(); ++s) {
+    const std::vector<double> embedded =
+        EmbedSignature(series[s], options_.embedding);
+    for (size_t t = 0; t < trees_.size(); ++t) {
+      trees_[t].Insert(ZValue(t, embedded),
+                       {video_id, static_cast<uint32_t>(s)});
+    }
+    ++indexed_;
+  }
+}
+
+std::unordered_map<int64_t, int> LsbIndex::Candidates(
+    const signature::CuboidSignature& query, int probes) const {
+  std::unordered_map<int64_t, int> hits;
+  const std::vector<double> embedded =
+      EmbedSignature(query, options_.embedding);
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    const uint64_t z = ZValue(t, embedded);
+    // Expand outwards from the query position: entries adjacent in Z-order
+    // share the longest common prefix with the query.
+    BPlusTree::Cursor right = trees_[t].LowerBound(z);
+    BPlusTree::Cursor left = right;
+    if (left.valid()) {
+      left.Prev();
+    } else {
+      left = trees_[t].Last();
+    }
+    for (int p = 0; p < probes; ++p) {
+      if (right.valid()) {
+        ++hits[right.Get().payload.video_id];
+        right.Next();
+      }
+      if (left.valid()) {
+        ++hits[left.Get().payload.video_id];
+        left.Prev();
+      }
+    }
+  }
+  return hits;
+}
+
+std::unordered_map<int64_t, int> LsbIndex::CandidatesForSeries(
+    const signature::SignatureSeries& series, int probes) const {
+  std::unordered_map<int64_t, int> hits;
+  for (const auto& sig : series) {
+    for (const auto& [vid, count] : Candidates(sig, probes)) {
+      hits[vid] += count;
+    }
+  }
+  return hits;
+}
+
+}  // namespace vrec::index

@@ -1,0 +1,64 @@
+#ifndef VREC_INDEX_LSB_INDEX_H_
+#define VREC_INDEX_LSB_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "index/bplus_tree.h"
+#include "index/emd_embedding.h"
+#include "index/lsh.h"
+#include "signature/cuboid_signature.h"
+
+namespace vrec::index {
+
+/// The LSB index the paper adopts for content-candidate retrieval: cuboid
+/// signatures are embedded into L1 space, hashed with m L1-stable LSH
+/// functions, the m keys are Z-order interleaved, and the Z-values are kept
+/// in B+-trees ("we embed EMD-metric into L1-norm space like [35], and use
+/// LSB-index to index Z-order values of points obtained by hash
+/// conversion"). A small forest of independently-seeded trees trades memory
+/// for recall exactly as in Tao et al.
+class LsbIndex {
+ public:
+  struct Options {
+    EmbeddingOptions embedding;
+    L1Lsh::Options lsh;
+    /// Number of LSB-trees (independent LSH seeds).
+    int num_trees = 4;
+    int tree_fanout = 64;
+  };
+
+  LsbIndex();
+  explicit LsbIndex(const Options& options);
+
+  /// Indexes every signature of a video's series.
+  void AddVideo(int64_t video_id, const signature::SignatureSeries& series);
+
+  /// Candidate videos for one query signature: each tree is probed around
+  /// the query's Z-value, expanding to the entries with the longest common
+  /// prefix first (`probes` entries per direction per tree). Returns video
+  /// ids with hit counts (higher count = more query signatures / trees
+  /// agreed).
+  std::unordered_map<int64_t, int> Candidates(
+      const signature::CuboidSignature& query, int probes = 8) const;
+
+  /// Candidates for a whole query series (union of per-signature probes).
+  std::unordered_map<int64_t, int> CandidatesForSeries(
+      const signature::SignatureSeries& series, int probes = 8) const;
+
+  size_t indexed_signatures() const { return indexed_; }
+  const Options& options() const { return options_; }
+
+ private:
+  uint64_t ZValue(size_t tree, const std::vector<double>& embedded) const;
+
+  Options options_;
+  std::vector<L1Lsh> hashes_;    // one per tree
+  std::vector<BPlusTree> trees_;
+  size_t indexed_ = 0;
+};
+
+}  // namespace vrec::index
+
+#endif  // VREC_INDEX_LSB_INDEX_H_

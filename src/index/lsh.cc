@@ -1,0 +1,43 @@
+#include "index/lsh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrec::index {
+
+L1Lsh::L1Lsh(const Options& options) : options_(options) {
+  Rng rng(options.seed);
+  projections_.resize(static_cast<size_t>(options.num_hashes));
+  offsets_.resize(static_cast<size_t>(options.num_hashes));
+  for (int i = 0; i < options.num_hashes; ++i) {
+    auto& proj = projections_[static_cast<size_t>(i)];
+    proj.resize(static_cast<size_t>(options.input_dims));
+    for (double& p : proj) p = rng.Cauchy();
+    offsets_[static_cast<size_t>(i)] = rng.Uniform(0.0, options.width);
+  }
+}
+
+std::vector<uint32_t> L1Lsh::Keys(const std::vector<double>& embedded) const {
+  const uint32_t max_key =
+      (options_.bits_per_key >= 32)
+          ? UINT32_MAX
+          : ((1u << options_.bits_per_key) - 1);
+  // Center the quantized projections in the key range so both signs of the
+  // projection land in-bounds.
+  const int64_t center = static_cast<int64_t>(max_key / 2);
+
+  std::vector<uint32_t> keys(projections_.size());
+  for (size_t i = 0; i < projections_.size(); ++i) {
+    double dot = offsets_[i];
+    const auto& proj = projections_[i];
+    const size_t n = std::min(proj.size(), embedded.size());
+    for (size_t d = 0; d < n; ++d) dot += proj[d] * embedded[d];
+    const int64_t q =
+        static_cast<int64_t>(std::floor(dot / options_.width)) + center;
+    keys[i] = static_cast<uint32_t>(
+        std::clamp<int64_t>(q, 0, static_cast<int64_t>(max_key)));
+  }
+  return keys;
+}
+
+}  // namespace vrec::index

@@ -1,0 +1,41 @@
+#ifndef VREC_INDEX_LSH_H_
+#define VREC_INDEX_LSH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace vrec::index {
+
+/// Locality-sensitive hashing for L1 (p-stable with Cauchy projections):
+///   h_i(x) = floor((<a_i, x> + b_i) / width)
+/// Each of the m functions yields a small non-negative integer key, clamped
+/// to `bits_per_key` bits so the keys can be Z-order interleaved into the
+/// LSB-tree key (Tao et al., SIGMOD'09).
+class L1Lsh {
+ public:
+  struct Options {
+    int num_hashes = 8;      // m
+    int bits_per_key = 8;    // per-key resolution for Z-ordering
+    double width = 4.0;      // quantization width W
+    int input_dims = 32;     // embedded vector dimensionality
+    uint64_t seed = 42;      // projection seed (shared across a tree)
+  };
+
+  explicit L1Lsh(const Options& options);
+
+  /// The m clamped keys of an embedded vector.
+  std::vector<uint32_t> Keys(const std::vector<double>& embedded) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  std::vector<std::vector<double>> projections_;  // m x input_dims, Cauchy
+  std::vector<double> offsets_;                   // m, uniform in [0, width)
+};
+
+}  // namespace vrec::index
+
+#endif  // VREC_INDEX_LSH_H_

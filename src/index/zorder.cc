@@ -1,0 +1,41 @@
+#include "index/zorder.h"
+
+#include <bit>
+#include <cstddef>
+
+namespace vrec::index {
+
+uint64_t ZOrderInterleave(const std::vector<uint32_t>& keys,
+                          int bits_per_key) {
+  const int m = static_cast<int>(keys.size());
+  uint64_t z = 0;
+  // Most-significant bit first so that Z-value order is a space-filling
+  // curve over the key grid.
+  for (int b = bits_per_key - 1; b >= 0; --b) {
+    for (int i = 0; i < m; ++i) {
+      z = (z << 1) | ((keys[static_cast<size_t>(i)] >> b) & 1u);
+    }
+  }
+  return z;
+}
+
+std::vector<uint32_t> ZOrderDeinterleave(uint64_t z, int num_keys,
+                                         int bits_per_key) {
+  std::vector<uint32_t> keys(static_cast<size_t>(num_keys), 0);
+  const int total = num_keys * bits_per_key;
+  for (int pos = 0; pos < total; ++pos) {
+    const int bit = (z >> (total - 1 - pos)) & 1u;
+    const int key_index = pos % num_keys;
+    keys[static_cast<size_t>(key_index)] =
+        (keys[static_cast<size_t>(key_index)] << 1) |
+        static_cast<uint32_t>(bit);
+  }
+  return keys;
+}
+
+int CommonPrefixLength(uint64_t a, uint64_t b) {
+  if (a == b) return 64;
+  return std::countl_zero(a ^ b);
+}
+
+}  // namespace vrec::index

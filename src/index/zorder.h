@@ -1,0 +1,27 @@
+#ifndef VREC_INDEX_ZORDER_H_
+#define VREC_INDEX_ZORDER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vrec::index {
+
+/// Z-order (Morton) interleaving of m keys of `bits_per_key` bits each into
+/// a single 64-bit value; the LSB-tree sorts points by this value so that a
+/// long common Z-value prefix implies closeness in every hashed dimension.
+/// Requires m * bits_per_key <= 64.
+uint64_t ZOrderInterleave(const std::vector<uint32_t>& keys,
+                          int bits_per_key);
+
+/// Inverse of ZOrderInterleave (used by tests and diagnostics).
+std::vector<uint32_t> ZOrderDeinterleave(uint64_t z, int num_keys,
+                                         int bits_per_key);
+
+/// Length (in interleaved bits) of the common prefix of two Z-values; 64
+/// when equal. The LSB KNN search expands candidates in decreasing order of
+/// this quantity.
+int CommonPrefixLength(uint64_t a, uint64_t b);
+
+}  // namespace vrec::index
+
+#endif  // VREC_INDEX_ZORDER_H_

@@ -1,0 +1,428 @@
+#include "io/archive.h"
+
+#include <fstream>
+
+namespace vrec::io {
+namespace {
+
+constexpr uint32_t kVersion = 1;
+
+// Magic tags per archive kind ("VRC" + letter).
+constexpr uint32_t kMagicVideo = 0x56524356;       // "VCRV"-ish tag
+constexpr uint32_t kMagicSeries = 0x56524353;      // ... 'S'
+constexpr uint32_t kMagicDescriptors = 0x56524344; // ... 'D'
+constexpr uint32_t kMagicDataset = 0x56524341;     // ... 'A'
+
+Status WriteHeader(BinaryWriter* w, uint32_t magic) {
+  w->WriteU32(magic);
+  w->WriteU32(kVersion);
+  return w->Finish();
+}
+
+Status CheckHeader(BinaryReader* r, uint32_t magic, const char* kind) {
+  const auto m = r->ReadU32();
+  if (!m.ok()) return m.status();
+  if (*m != magic) {
+    return Status::InvalidArgument(std::string("not a ") + kind +
+                                   " archive");
+  }
+  const auto v = r->ReadU32();
+  if (!v.ok()) return v.status();
+  if (*v != kVersion) {
+    return Status::InvalidArgument("unsupported archive version");
+  }
+  return Status::Ok();
+}
+
+void WriteFrame(BinaryWriter* w, const video::Frame& f) {
+  w->WriteI32(f.width());
+  w->WriteI32(f.height());
+  w->WriteBytes(f.pixels());
+}
+
+StatusOr<video::Frame> ReadFrame(BinaryReader* r) {
+  const auto width = r->ReadI32();
+  if (!width.ok()) return width.status();
+  const auto height = r->ReadI32();
+  if (!height.ok()) return height.status();
+  auto pixels = r->ReadBytes();
+  if (!pixels.ok()) return pixels.status();
+  if (*width < 0 || *height < 0 ||
+      pixels->size() != static_cast<size_t>(*width) *
+                            static_cast<size_t>(*height)) {
+    return Status::InvalidArgument("frame dimensions mismatch pixel data");
+  }
+  video::Frame frame(*width, *height);
+  frame.mutable_pixels() = std::move(*pixels);
+  return frame;
+}
+
+void WriteVideoBody(BinaryWriter* w, const video::Video& v) {
+  w->WriteI64(v.id());
+  w->WriteString(v.title());
+  w->WriteDouble(v.fps());
+  w->WriteU32(static_cast<uint32_t>(v.frame_count()));
+  for (const auto& f : v.frames()) WriteFrame(w, f);
+}
+
+StatusOr<video::Video> ReadVideoBody(BinaryReader* r) {
+  const auto id = r->ReadI64();
+  if (!id.ok()) return id.status();
+  auto title = r->ReadString();
+  if (!title.ok()) return title.status();
+  const auto fps = r->ReadDouble();
+  if (!fps.ok()) return fps.status();
+  const auto count = r->ReadU32();
+  if (!count.ok()) return count.status();
+  std::vector<video::Frame> frames;
+  frames.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto frame = ReadFrame(r);
+    if (!frame.ok()) return frame.status();
+    frames.push_back(std::move(*frame));
+  }
+  video::Video v(*id, std::move(frames));
+  v.set_title(std::move(*title));
+  v.set_fps(*fps);
+  return v;
+}
+
+void WriteMeta(BinaryWriter* w, const datagen::VideoMeta& m) {
+  w->WriteI64(m.id);
+  w->WriteI32(m.channel);
+  w->WriteI32(m.topic);
+  w->WriteI64(m.source_id);
+  w->WriteDoubleVector(m.topic_mixture);
+  w->WriteDoubleVector(m.text_features);
+  w->WriteDoubleVector(m.aural_features);
+}
+
+StatusOr<datagen::VideoMeta> ReadMeta(BinaryReader* r) {
+  datagen::VideoMeta m;
+  const auto id = r->ReadI64();
+  if (!id.ok()) return id.status();
+  m.id = *id;
+  const auto channel = r->ReadI32();
+  if (!channel.ok()) return channel.status();
+  m.channel = *channel;
+  const auto topic = r->ReadI32();
+  if (!topic.ok()) return topic.status();
+  m.topic = *topic;
+  const auto source = r->ReadI64();
+  if (!source.ok()) return source.status();
+  m.source_id = *source;
+  auto mixture = r->ReadDoubleVector();
+  if (!mixture.ok()) return mixture.status();
+  m.topic_mixture = std::move(*mixture);
+  auto text = r->ReadDoubleVector();
+  if (!text.ok()) return text.status();
+  m.text_features = std::move(*text);
+  auto aural = r->ReadDoubleVector();
+  if (!aural.ok()) return aural.status();
+  m.aural_features = std::move(*aural);
+  return m;
+}
+
+void WriteTopic(BinaryWriter* w, const datagen::Topic& t) {
+  w->WriteI32(t.id);
+  w->WriteI32(t.channel);
+  w->WriteDouble(t.base_intensity);
+  w->WriteDouble(t.spatial_period);
+  w->WriteDouble(t.motion_speed);
+  w->WriteDouble(t.dynamics);
+}
+
+StatusOr<datagen::Topic> ReadTopic(BinaryReader* r) {
+  datagen::Topic t;
+  const auto id = r->ReadI32();
+  if (!id.ok()) return id.status();
+  t.id = *id;
+  const auto channel = r->ReadI32();
+  if (!channel.ok()) return channel.status();
+  t.channel = *channel;
+  for (double* field : {&t.base_intensity, &t.spatial_period,
+                        &t.motion_speed, &t.dynamics}) {
+    const auto v = r->ReadDouble();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  return t;
+}
+
+void WriteOptions(BinaryWriter* w, const datagen::DatasetOptions& o) {
+  w->WriteI32(o.num_topics);
+  w->WriteI32(o.base_videos_per_topic);
+  w->WriteI32(o.source_months);
+  w->WriteU64(o.seed);
+  // CorpusOptions
+  w->WriteI32(o.corpus.frame_width);
+  w->WriteI32(o.corpus.frame_height);
+  w->WriteI32(o.corpus.frames_per_video);
+  w->WriteDouble(o.corpus.fps);
+  w->WriteI32(o.corpus.shots_per_video);
+  w->WriteI32(o.corpus.derivatives_per_base);
+  w->WriteDouble(o.corpus.text_noise);
+  w->WriteDouble(o.corpus.aural_noise);
+  w->WriteDouble(o.corpus.derivative_extra_noise);
+  // CommunityOptions
+  w->WriteI32(o.community.num_users);
+  w->WriteI32(o.community.num_user_groups);
+  w->WriteI32(o.community.months);
+  w->WriteDouble(o.community.comments_per_video_month);
+  w->WriteDouble(o.community.offtopic_rate);
+  w->WriteDouble(o.community.drift_rate);
+  w->WriteDouble(o.community.popularity_skew);
+  w->WriteDouble(o.community.secondary_interest);
+  w->WriteDouble(o.community.interest_floor);
+}
+
+StatusOr<datagen::DatasetOptions> ReadOptions(BinaryReader* r) {
+  datagen::DatasetOptions o;
+  for (int* field : {&o.num_topics, &o.base_videos_per_topic,
+                     &o.source_months}) {
+    const auto v = r->ReadI32();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  const auto seed = r->ReadU64();
+  if (!seed.ok()) return seed.status();
+  o.seed = *seed;
+  for (int* field : {&o.corpus.frame_width, &o.corpus.frame_height,
+                     &o.corpus.frames_per_video}) {
+    const auto v = r->ReadI32();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  {
+    const auto v = r->ReadDouble();
+    if (!v.ok()) return v.status();
+    o.corpus.fps = *v;
+  }
+  for (int* field : {&o.corpus.shots_per_video,
+                     &o.corpus.derivatives_per_base}) {
+    const auto v = r->ReadI32();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  for (double* field : {&o.corpus.text_noise, &o.corpus.aural_noise,
+                        &o.corpus.derivative_extra_noise}) {
+    const auto v = r->ReadDouble();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  for (int* field : {&o.community.num_users, &o.community.num_user_groups,
+                     &o.community.months}) {
+    const auto v = r->ReadI32();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  for (double* field :
+       {&o.community.comments_per_video_month, &o.community.offtopic_rate,
+        &o.community.drift_rate, &o.community.popularity_skew,
+        &o.community.secondary_interest, &o.community.interest_floor}) {
+    const auto v = r->ReadDouble();
+    if (!v.ok()) return v.status();
+    *field = *v;
+  }
+  return o;
+}
+
+}  // namespace
+
+Status WriteVideo(const video::Video& v, std::ostream* out) {
+  BinaryWriter w(out);
+  if (const Status s = WriteHeader(&w, kMagicVideo); !s.ok()) return s;
+  WriteVideoBody(&w, v);
+  return w.Finish();
+}
+
+StatusOr<video::Video> ReadVideo(std::istream* in) {
+  BinaryReader r(in);
+  if (const Status s = CheckHeader(&r, kMagicVideo, "video"); !s.ok()) {
+    return s;
+  }
+  return ReadVideoBody(&r);
+}
+
+Status WriteSignatureSeries(const signature::SignatureSeries& series,
+                            std::ostream* out) {
+  BinaryWriter w(out);
+  if (const Status s = WriteHeader(&w, kMagicSeries); !s.ok()) return s;
+  w.WriteU32(static_cast<uint32_t>(series.size()));
+  for (const auto& sig : series) {
+    w.WriteU32(static_cast<uint32_t>(sig.size()));
+    for (const auto& c : sig) {
+      w.WriteDouble(c.value);
+      w.WriteDouble(c.weight);
+    }
+  }
+  return w.Finish();
+}
+
+StatusOr<signature::SignatureSeries> ReadSignatureSeries(std::istream* in) {
+  BinaryReader r(in);
+  if (const Status s = CheckHeader(&r, kMagicSeries, "signature series");
+      !s.ok()) {
+    return s;
+  }
+  const auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  signature::SignatureSeries series;
+  series.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    const auto cuboids = r.ReadU32();
+    if (!cuboids.ok()) return cuboids.status();
+    signature::CuboidSignature sig;
+    sig.reserve(*cuboids);
+    for (uint32_t j = 0; j < *cuboids; ++j) {
+      const auto value = r.ReadDouble();
+      if (!value.ok()) return value.status();
+      const auto weight = r.ReadDouble();
+      if (!weight.ok()) return weight.status();
+      sig.push_back({*value, *weight});
+    }
+    series.push_back(std::move(sig));
+  }
+  return series;
+}
+
+Status WriteDescriptors(const std::vector<social::SocialDescriptor>& d,
+                        std::ostream* out) {
+  BinaryWriter w(out);
+  if (const Status s = WriteHeader(&w, kMagicDescriptors); !s.ok()) return s;
+  w.WriteU32(static_cast<uint32_t>(d.size()));
+  for (const auto& descriptor : d) w.WriteI64Vector(descriptor.users());
+  return w.Finish();
+}
+
+StatusOr<std::vector<social::SocialDescriptor>> ReadDescriptors(
+    std::istream* in) {
+  BinaryReader r(in);
+  if (const Status s = CheckHeader(&r, kMagicDescriptors, "descriptor");
+      !s.ok()) {
+    return s;
+  }
+  const auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  std::vector<social::SocialDescriptor> descriptors;
+  descriptors.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto users = r.ReadI64Vector();
+    if (!users.ok()) return users.status();
+    descriptors.emplace_back(std::move(*users));
+  }
+  return descriptors;
+}
+
+Status WriteDataset(const datagen::Dataset& dataset, std::ostream* out) {
+  BinaryWriter w(out);
+  if (const Status s = WriteHeader(&w, kMagicDataset); !s.ok()) return s;
+  WriteOptions(&w, dataset.options);
+
+  w.WriteU32(static_cast<uint32_t>(dataset.topics.size()));
+  for (const auto& t : dataset.topics) WriteTopic(&w, t);
+
+  w.WriteU32(static_cast<uint32_t>(dataset.corpus.videos.size()));
+  for (const auto& v : dataset.corpus.videos) WriteVideoBody(&w, v);
+  for (const auto& m : dataset.corpus.meta) WriteMeta(&w, m);
+
+  w.WriteU64(dataset.community.user_count);
+  w.WriteI32Vector(dataset.community.user_group);
+  w.WriteU32(static_cast<uint32_t>(dataset.community.group_interest.size()));
+  for (const auto& gi : dataset.community.group_interest) {
+    w.WriteDoubleVector(gi);
+  }
+  w.WriteI64Vector(dataset.community.video_owner);
+  w.WriteU32(static_cast<uint32_t>(dataset.community.comments.size()));
+  for (const auto& c : dataset.community.comments) {
+    w.WriteI64(c.user);
+    w.WriteI64(c.video);
+    w.WriteI32(c.month);
+  }
+  return w.Finish();
+}
+
+StatusOr<datagen::Dataset> ReadDataset(std::istream* in) {
+  BinaryReader r(in);
+  if (const Status s = CheckHeader(&r, kMagicDataset, "dataset"); !s.ok()) {
+    return s;
+  }
+  datagen::Dataset dataset;
+  auto options = ReadOptions(&r);
+  if (!options.ok()) return options.status();
+  dataset.options = std::move(*options);
+
+  const auto topic_count = r.ReadU32();
+  if (!topic_count.ok()) return topic_count.status();
+  for (uint32_t i = 0; i < *topic_count; ++i) {
+    auto t = ReadTopic(&r);
+    if (!t.ok()) return t.status();
+    dataset.topics.push_back(std::move(*t));
+  }
+
+  const auto video_count = r.ReadU32();
+  if (!video_count.ok()) return video_count.status();
+  for (uint32_t i = 0; i < *video_count; ++i) {
+    auto v = ReadVideoBody(&r);
+    if (!v.ok()) return v.status();
+    dataset.corpus.videos.push_back(std::move(*v));
+  }
+  for (uint32_t i = 0; i < *video_count; ++i) {
+    auto m = ReadMeta(&r);
+    if (!m.ok()) return m.status();
+    dataset.corpus.meta.push_back(std::move(*m));
+  }
+
+  const auto user_count = r.ReadU64();
+  if (!user_count.ok()) return user_count.status();
+  dataset.community.user_count = *user_count;
+  auto groups = r.ReadI32Vector();
+  if (!groups.ok()) return groups.status();
+  dataset.community.user_group.assign(groups->begin(), groups->end());
+  const auto gi_count = r.ReadU32();
+  if (!gi_count.ok()) return gi_count.status();
+  for (uint32_t i = 0; i < *gi_count; ++i) {
+    auto gi = r.ReadDoubleVector();
+    if (!gi.ok()) return gi.status();
+    dataset.community.group_interest.push_back(std::move(*gi));
+  }
+  auto owners = r.ReadI64Vector();
+  if (!owners.ok()) return owners.status();
+  dataset.community.video_owner.assign(owners->begin(), owners->end());
+  const auto comment_count = r.ReadU32();
+  if (!comment_count.ok()) return comment_count.status();
+  dataset.community.comments.reserve(*comment_count);
+  for (uint32_t i = 0; i < *comment_count; ++i) {
+    datagen::Comment c;
+    const auto user = r.ReadI64();
+    if (!user.ok()) return user.status();
+    c.user = *user;
+    const auto video = r.ReadI64();
+    if (!video.ok()) return video.status();
+    c.video = *video;
+    const auto month = r.ReadI32();
+    if (!month.ok()) return month.status();
+    c.month = *month;
+    dataset.community.comments.push_back(c);
+  }
+  return dataset;
+}
+
+Status SaveDatasetToFile(const datagen::Dataset& dataset,
+                         const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  return WriteDataset(dataset, &out);
+}
+
+StatusOr<datagen::Dataset> LoadDatasetFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  return ReadDataset(&in);
+}
+
+}  // namespace vrec::io

@@ -1,0 +1,55 @@
+#ifndef VREC_IO_ARCHIVE_H_
+#define VREC_IO_ARCHIVE_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "datagen/dataset.h"
+#include "io/binary_format.h"
+#include "signature/cuboid_signature.h"
+#include "social/descriptor.h"
+#include "util/status.h"
+#include "video/video.h"
+
+namespace vrec::io {
+
+/// Versioned archives for the library's data types. Every archive starts
+/// with a 4-byte magic ("VRC" + type tag) and a u32 version, so mixing up
+/// file kinds or loading a future version fails cleanly.
+///
+/// Datasets are the expensive artifact (minutes of procedural rendering at
+/// benchmark scale); persisting them makes experiment runs restartable and
+/// lets the CLI separate generation from querying.
+
+// --- Videos -----------------------------------------------------------------
+
+Status WriteVideo(const video::Video& v, std::ostream* out);
+StatusOr<video::Video> ReadVideo(std::istream* in);
+
+// --- Signature series -------------------------------------------------------
+
+Status WriteSignatureSeries(const signature::SignatureSeries& series,
+                            std::ostream* out);
+StatusOr<signature::SignatureSeries> ReadSignatureSeries(std::istream* in);
+
+// --- Social descriptors -----------------------------------------------------
+
+Status WriteDescriptors(const std::vector<social::SocialDescriptor>& d,
+                        std::ostream* out);
+StatusOr<std::vector<social::SocialDescriptor>> ReadDescriptors(
+    std::istream* in);
+
+// --- Whole datasets ---------------------------------------------------------
+
+Status WriteDataset(const datagen::Dataset& dataset, std::ostream* out);
+StatusOr<datagen::Dataset> ReadDataset(std::istream* in);
+
+/// File-path convenience wrappers.
+Status SaveDatasetToFile(const datagen::Dataset& dataset,
+                         const std::string& path);
+StatusOr<datagen::Dataset> LoadDatasetFromFile(const std::string& path);
+
+}  // namespace vrec::io
+
+#endif  // VREC_IO_ARCHIVE_H_

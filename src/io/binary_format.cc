@@ -1,0 +1,185 @@
+#include "io/binary_format.h"
+
+#include <bit>
+#include <cstring>
+
+namespace vrec::io {
+namespace {
+
+// Writes an unsigned value LSB-first.
+template <typename T>
+void PutLittleEndian(std::ostream* out, T v) {
+  char buf[sizeof(T)];
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out->write(buf, sizeof(T));
+}
+
+template <typename T>
+T GetLittleEndian(const char* buf) {
+  T v = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<T>(static_cast<unsigned char>(buf[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU8(uint8_t v) {
+  const char c = static_cast<char>(v);
+  out_->write(&c, 1);
+}
+
+void BinaryWriter::WriteU32(uint32_t v) { PutLittleEndian(out_, v); }
+void BinaryWriter::WriteU64(uint64_t v) { PutLittleEndian(out_, v); }
+
+void BinaryWriter::WriteDouble(double v) {
+  WriteU64(std::bit_cast<uint64_t>(v));
+}
+
+void BinaryWriter::WriteString(const std::string& s) {
+  WriteU32(static_cast<uint32_t>(s.size()));
+  out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
+  WriteU32(static_cast<uint32_t>(bytes.size()));
+  out_->write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (double d : v) WriteDouble(d);
+}
+
+void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (int64_t x : v) WriteI64(x);
+}
+
+void BinaryWriter::WriteI32Vector(const std::vector<int32_t>& v) {
+  WriteU32(static_cast<uint32_t>(v.size()));
+  for (int32_t x : v) WriteI32(x);
+}
+
+Status BinaryWriter::Finish() const {
+  if (!out_->good()) return Status::Internal("write failed");
+  return Status::Ok();
+}
+
+Status BinaryReader::ReadRaw(void* dst, size_t bytes) {
+  in_->read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+  if (static_cast<size_t>(in_->gcount()) != bytes) {
+    return Status::OutOfRange("unexpected end of archive");
+  }
+  return Status::Ok();
+}
+
+StatusOr<uint8_t> BinaryReader::ReadU8() {
+  char c;
+  const Status s = ReadRaw(&c, 1);
+  if (!s.ok()) return s;
+  return static_cast<uint8_t>(c);
+}
+
+StatusOr<uint32_t> BinaryReader::ReadU32() {
+  char buf[4];
+  const Status s = ReadRaw(buf, 4);
+  if (!s.ok()) return s;
+  return GetLittleEndian<uint32_t>(buf);
+}
+
+StatusOr<uint64_t> BinaryReader::ReadU64() {
+  char buf[8];
+  const Status s = ReadRaw(buf, 8);
+  if (!s.ok()) return s;
+  return GetLittleEndian<uint64_t>(buf);
+}
+
+StatusOr<int32_t> BinaryReader::ReadI32() {
+  const auto v = ReadU32();
+  if (!v.ok()) return v.status();
+  return static_cast<int32_t>(*v);
+}
+
+StatusOr<int64_t> BinaryReader::ReadI64() {
+  const auto v = ReadU64();
+  if (!v.ok()) return v.status();
+  return static_cast<int64_t>(*v);
+}
+
+StatusOr<double> BinaryReader::ReadDouble() {
+  const auto v = ReadU64();
+  if (!v.ok()) return v.status();
+  return std::bit_cast<double>(*v);
+}
+
+StatusOr<std::string> BinaryReader::ReadString() {
+  const auto len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (*len > kMaxLength) return Status::OutOfRange("string too large");
+  std::string s(*len, '\0');
+  const Status st = ReadRaw(s.data(), *len);
+  if (!st.ok()) return st;
+  return s;
+}
+
+StatusOr<std::vector<uint8_t>> BinaryReader::ReadBytes() {
+  const auto len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (*len > kMaxLength) return Status::OutOfRange("blob too large");
+  std::vector<uint8_t> bytes(*len);
+  const Status st = ReadRaw(bytes.data(), *len);
+  if (!st.ok()) return st;
+  return bytes;
+}
+
+StatusOr<std::vector<double>> BinaryReader::ReadDoubleVector() {
+  const auto len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (*len > kMaxLength / sizeof(double)) {
+    return Status::OutOfRange("vector too large");
+  }
+  std::vector<double> v(*len);
+  for (auto& d : v) {
+    const auto x = ReadDouble();
+    if (!x.ok()) return x.status();
+    d = *x;
+  }
+  return v;
+}
+
+StatusOr<std::vector<int64_t>> BinaryReader::ReadI64Vector() {
+  const auto len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (*len > kMaxLength / sizeof(int64_t)) {
+    return Status::OutOfRange("vector too large");
+  }
+  std::vector<int64_t> v(*len);
+  for (auto& x : v) {
+    const auto y = ReadI64();
+    if (!y.ok()) return y.status();
+    x = *y;
+  }
+  return v;
+}
+
+StatusOr<std::vector<int32_t>> BinaryReader::ReadI32Vector() {
+  const auto len = ReadU32();
+  if (!len.ok()) return len.status();
+  if (*len > kMaxLength / sizeof(int32_t)) {
+    return Status::OutOfRange("vector too large");
+  }
+  std::vector<int32_t> v(*len);
+  for (auto& x : v) {
+    const auto y = ReadI32();
+    if (!y.ok()) return y.status();
+    x = *y;
+  }
+  return v;
+}
+
+}  // namespace vrec::io

@@ -1,0 +1,76 @@
+#ifndef VREC_IO_BINARY_FORMAT_H_
+#define VREC_IO_BINARY_FORMAT_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace vrec::io {
+
+/// Little-endian binary writer over a std::ostream. All multi-byte values
+/// are written LSB-first regardless of host order, so archives are
+/// portable. Failures are sticky: once the stream errors, subsequent
+/// writes are no-ops and Finish() reports the failure.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream* out) : out_(out) {}
+
+  void WriteU8(uint8_t v);
+  void WriteU32(uint32_t v);
+  void WriteU64(uint64_t v);
+  void WriteI32(int32_t v) { WriteU32(static_cast<uint32_t>(v)); }
+  void WriteI64(int64_t v) { WriteU64(static_cast<uint64_t>(v)); }
+  void WriteDouble(double v);
+  /// Length-prefixed string (u32 length + raw bytes).
+  void WriteString(const std::string& s);
+  /// Length-prefixed byte blob.
+  void WriteBytes(const std::vector<uint8_t>& bytes);
+  /// Length-prefixed vector of doubles.
+  void WriteDoubleVector(const std::vector<double>& v);
+  /// Length-prefixed vector of 64-bit ints.
+  void WriteI64Vector(const std::vector<int64_t>& v);
+  /// Length-prefixed vector of 32-bit ints.
+  void WriteI32Vector(const std::vector<int32_t>& v);
+
+  /// Ok() unless any write failed.
+  Status Finish() const;
+
+ private:
+  std::ostream* out_;
+};
+
+/// Little-endian binary reader mirroring BinaryWriter. Each read returns a
+/// Status-carrying value; after the first failure every subsequent read
+/// fails fast.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream* in) : in_(in) {}
+
+  StatusOr<uint8_t> ReadU8();
+  StatusOr<uint32_t> ReadU32();
+  StatusOr<uint64_t> ReadU64();
+  StatusOr<int32_t> ReadI32();
+  StatusOr<int64_t> ReadI64();
+  StatusOr<double> ReadDouble();
+  StatusOr<std::string> ReadString();
+  StatusOr<std::vector<uint8_t>> ReadBytes();
+  StatusOr<std::vector<double>> ReadDoubleVector();
+  StatusOr<std::vector<int64_t>> ReadI64Vector();
+  StatusOr<std::vector<int32_t>> ReadI32Vector();
+
+ private:
+  /// Sanity cap on length prefixes so corrupt archives fail cleanly
+  /// instead of attempting multi-GB allocations.
+  static constexpr uint32_t kMaxLength = 1u << 30;
+
+  Status ReadRaw(void* dst, size_t bytes);
+  std::istream* in_;
+};
+
+}  // namespace vrec::io
+
+#endif  // VREC_IO_BINARY_FORMAT_H_

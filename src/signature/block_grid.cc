@@ -1,0 +1,94 @@
+#include "signature/block_grid.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace vrec::signature {
+namespace {
+
+// Minimal union-find over block ids; path-halving + union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    if (size_[static_cast<size_t>(a)] < size_[static_cast<size_t>(b)])
+      std::swap(a, b);
+    parent_[static_cast<size_t>(b)] = a;
+    size_[static_cast<size_t>(a)] += size_[static_cast<size_t>(b)];
+  }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+};
+
+}  // namespace
+
+BlockGrid::BlockGrid(const video::Frame& frame, int grid_dim)
+    : grid_dim_(grid_dim),
+      means_(static_cast<size_t>(grid_dim) * static_cast<size_t>(grid_dim)) {
+  const int w = frame.width();
+  const int h = frame.height();
+  for (int by = 0; by < grid_dim; ++by) {
+    for (int bx = 0; bx < grid_dim; ++bx) {
+      const int x0 = bx * w / grid_dim;
+      const int x1 = (bx + 1) * w / grid_dim;
+      const int y0 = by * h / grid_dim;
+      const int y1 = (by + 1) * h / grid_dim;
+      means_[static_cast<size_t>(by * grid_dim + bx)] =
+          frame.BlockMean(x0, y0, x1, y1);
+    }
+  }
+}
+
+std::vector<int> BlockGrid::MergeSimilarBlocks(double merge_threshold) const {
+  const int n = block_count();
+  UnionFind uf(n);
+  for (int by = 0; by < grid_dim_; ++by) {
+    for (int bx = 0; bx < grid_dim_; ++bx) {
+      const int id = by * grid_dim_ + bx;
+      if (bx + 1 < grid_dim_) {
+        const int right = id + 1;
+        if (std::abs(means_[static_cast<size_t>(id)] -
+                     means_[static_cast<size_t>(right)]) <= merge_threshold) {
+          uf.Union(id, right);
+        }
+      }
+      if (by + 1 < grid_dim_) {
+        const int down = id + grid_dim_;
+        if (std::abs(means_[static_cast<size_t>(id)] -
+                     means_[static_cast<size_t>(down)]) <= merge_threshold) {
+          uf.Union(id, down);
+        }
+      }
+    }
+  }
+  // Densify region ids.
+  std::vector<int> region(static_cast<size_t>(n), -1);
+  std::vector<int> remap(static_cast<size_t>(n), -1);
+  int next = 0;
+  for (int i = 0; i < n; ++i) {
+    const int root = uf.Find(i);
+    if (remap[static_cast<size_t>(root)] < 0)
+      remap[static_cast<size_t>(root)] = next++;
+    region[static_cast<size_t>(i)] = remap[static_cast<size_t>(root)];
+  }
+  return region;
+}
+
+}  // namespace vrec::signature

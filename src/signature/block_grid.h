@@ -1,0 +1,41 @@
+#ifndef VREC_SIGNATURE_BLOCK_GRID_H_
+#define VREC_SIGNATURE_BLOCK_GRID_H_
+
+#include <vector>
+
+#include "video/frame.h"
+
+namespace vrec::signature {
+
+/// A fixed GxG partition of a frame into equal-size blocks with their mean
+/// intensities, plus the merge of spatially-adjacent similar blocks that the
+/// cuboid construction performs on the *reference* keyframe.
+class BlockGrid {
+ public:
+  /// Computes the grid over `frame` with `grid_dim` blocks per side.
+  BlockGrid(const video::Frame& frame, int grid_dim);
+
+  int grid_dim() const { return grid_dim_; }
+  int block_count() const { return grid_dim_ * grid_dim_; }
+
+  /// Mean intensity of block (bx, by).
+  double BlockMean(int bx, int by) const {
+    return means_[static_cast<size_t>(by * grid_dim_ + bx)];
+  }
+  const std::vector<double>& means() const { return means_; }
+
+  /// Merges 4-adjacent blocks whose mean intensities differ by at most
+  /// `merge_threshold`, returning a region id per block (ids are dense,
+  /// 0..num_regions-1). This realizes the paper's "merging the spatially
+  /// adjacent similar blocks in a reference keyframe" step, producing the
+  /// variable-size blocks from which cuboids are grown.
+  std::vector<int> MergeSimilarBlocks(double merge_threshold) const;
+
+ private:
+  int grid_dim_;
+  std::vector<double> means_;
+};
+
+}  // namespace vrec::signature
+
+#endif  // VREC_SIGNATURE_BLOCK_GRID_H_

@@ -1,0 +1,79 @@
+#include "signature/cuboid_signature.h"
+
+#include <cmath>
+
+#include "signature/block_grid.h"
+
+namespace vrec::signature {
+
+StatusOr<CuboidSignature> SignatureBuilder::Build(
+    const video::QGram& gram) const {
+  if (gram.keyframes.empty()) {
+    return Status::InvalidArgument("q-gram has no keyframes");
+  }
+  const int g = options_.grid_dim;
+  // Per-keyframe block grids.
+  std::vector<BlockGrid> grids;
+  grids.reserve(gram.keyframes.size());
+  for (const auto& f : gram.keyframes) grids.emplace_back(f, g);
+
+  // Reference frame: first keyframe; merge similar adjacent blocks.
+  const std::vector<int> region = grids[0].MergeSimilarBlocks(
+      options_.merge_threshold);
+  int num_regions = 0;
+  for (int r : region) num_regions = std::max(num_regions, r + 1);
+
+  // Accumulate, per region, the mean temporal intensity change over the
+  // q-gram and the region area (in blocks).
+  std::vector<double> change(static_cast<size_t>(num_regions), 0.0);
+  std::vector<double> area(static_cast<size_t>(num_regions), 0.0);
+  const int blocks = g * g;
+  for (int b = 0; b < blocks; ++b) {
+    const int r = region[static_cast<size_t>(b)];
+    area[static_cast<size_t>(r)] += 1.0;
+    if (grids.size() >= 2) {
+      double delta = 0.0;
+      for (size_t t = 0; t + 1 < grids.size(); ++t) {
+        delta += grids[t + 1].means()[static_cast<size_t>(b)] -
+                 grids[t].means()[static_cast<size_t>(b)];
+      }
+      change[static_cast<size_t>(r)] +=
+          delta / static_cast<double>(grids.size() - 1);
+    }
+  }
+
+  CuboidSignature sig;
+  sig.reserve(static_cast<size_t>(num_regions));
+  const double total = static_cast<double>(blocks);
+  for (int r = 0; r < num_regions; ++r) {
+    Cuboid c;
+    c.weight = area[static_cast<size_t>(r)] / total;
+    c.value = change[static_cast<size_t>(r)] / area[static_cast<size_t>(r)];
+    sig.push_back(c);
+  }
+  return sig;
+}
+
+StatusOr<SignatureSeries> SignatureBuilder::BuildSeries(
+    const std::vector<video::QGram>& grams) const {
+  SignatureSeries series;
+  series.reserve(grams.size());
+  for (const auto& g : grams) {
+    StatusOr<CuboidSignature> sig = Build(g);
+    if (!sig.ok()) return sig.status();
+    series.push_back(std::move(sig).value());
+  }
+  return series;
+}
+
+bool IsValidSignature(const CuboidSignature& sig, double tolerance) {
+  if (sig.empty()) return false;
+  double total = 0.0;
+  for (const Cuboid& c : sig) {
+    if (c.weight <= 0.0) return false;
+    total += c.weight;
+  }
+  return std::abs(total - 1.0) <= tolerance;
+}
+
+}  // namespace vrec::signature

@@ -1,0 +1,65 @@
+#ifndef VREC_SIGNATURE_CUBOID_SIGNATURE_H_
+#define VREC_SIGNATURE_CUBOID_SIGNATURE_H_
+
+#include <vector>
+
+#include "util/status.h"
+#include "video/segmenter.h"
+
+namespace vrec::signature {
+
+/// One video cuboid: a group of spatially and temporally adjacent pixels,
+/// summarized as (v, mu) where v is the mean intensity *change* between
+/// temporally-adjacent blocks and mu is the cuboid's normalized mass
+/// (fraction of the frame area it covers). Matches the paper's Definition 1
+/// inputs: within one signature all mu > 0 and they sum to 1.
+struct Cuboid {
+  double value = 0.0;   // v: mean temporal intensity change
+  double weight = 0.0;  // mu: normalized mass, > 0
+};
+
+/// A video cuboid signature: the cuboid set of one q-gram.
+using CuboidSignature = std::vector<Cuboid>;
+
+/// A signature series: the ordered signatures of all q-grams of one video.
+using SignatureSeries = std::vector<CuboidSignature>;
+
+/// Options for signature construction.
+struct SignatureOptions {
+  /// Blocks per frame side; the paper partitions keyframes into a fixed
+  /// number of equal-size blocks.
+  int grid_dim = 8;
+  /// Max mean-intensity difference for merging adjacent reference blocks.
+  double merge_threshold = 12.0;
+};
+
+/// Builds cuboid signatures from q-grams.
+class SignatureBuilder {
+ public:
+  explicit SignatureBuilder(SignatureOptions options = {})
+      : options_(options) {}
+
+  /// Builds the signature of one q-gram: the first keyframe is the reference
+  /// frame; its merged variable-size blocks define the spatial extent of
+  /// each cuboid; the cuboid value is the mean frame-to-frame intensity
+  /// change of its blocks across the q-gram, and the weight is its share of
+  /// the frame area. The returned weights sum to 1.
+  StatusOr<CuboidSignature> Build(const video::QGram& gram) const;
+
+  /// Builds the full signature series of a video (one entry per q-gram).
+  StatusOr<SignatureSeries> BuildSeries(
+      const std::vector<video::QGram>& grams) const;
+
+  const SignatureOptions& options() const { return options_; }
+
+ private:
+  SignatureOptions options_;
+};
+
+/// Returns true when a signature satisfies Definition 1's preconditions:
+/// non-empty, every weight > 0, weights summing to 1 within tolerance.
+bool IsValidSignature(const CuboidSignature& sig, double tolerance = 1e-9);
+
+}  // namespace vrec::signature
+
+#endif  // VREC_SIGNATURE_CUBOID_SIGNATURE_H_

@@ -1,0 +1,176 @@
+#include "signature/emd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace vrec::signature {
+namespace {
+
+constexpr double kMassTolerance = 1e-6;
+
+// One signed CDF event: +weight for signature A, -weight for signature B.
+struct Event {
+  double value;
+  double signed_weight;
+};
+
+}  // namespace
+
+double EmdExact1D(const CuboidSignature& a, const CuboidSignature& b) {
+  std::vector<Event> events;
+  events.reserve(a.size() + b.size());
+  for (const Cuboid& c : a) events.push_back({c.value, c.weight});
+  for (const Cuboid& c : b) events.push_back({c.value, -c.weight});
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) { return x.value < y.value; });
+
+  // Sweep: between consecutive support points the CDF difference is
+  // constant; EMD = integral of |F_a - F_b|.
+  double emd = 0.0;
+  double cum = 0.0;
+  for (size_t i = 0; i + 1 < events.size(); ++i) {
+    cum += events[i].signed_weight;
+    emd += std::abs(cum) * (events[i + 1].value - events[i].value);
+  }
+  return emd;
+}
+
+StatusOr<double> EmdTransport(const CuboidSignature& a,
+                              const CuboidSignature& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("EMD requires non-empty signatures");
+  }
+  double mass_a = 0.0, mass_b = 0.0;
+  for (const Cuboid& c : a) {
+    if (c.weight <= 0.0)
+      return Status::InvalidArgument("signature A has a non-positive weight");
+    mass_a += c.weight;
+  }
+  for (const Cuboid& c : b) {
+    if (c.weight <= 0.0)
+      return Status::InvalidArgument("signature B has a non-positive weight");
+    mass_b += c.weight;
+  }
+  if (std::abs(mass_a - mass_b) > kMassTolerance) {
+    return Status::InvalidArgument("signature masses differ");
+  }
+
+  // Min-cost flow on the complete bipartite graph via successive shortest
+  // paths. Shortest paths are computed with Bellman-Ford over the residual
+  // graph (residual arcs have negative costs; signature sizes are tiny, so
+  // the O(V * E) relaxation is immaterial and robust).
+  const size_t n = a.size();
+  const size_t m = b.size();
+  const size_t num_nodes = n + m;  // sources 0..n-1, sinks n..n+m-1
+
+  std::vector<double> supply(n);
+  std::vector<double> demand(m);
+  for (size_t i = 0; i < n; ++i) supply[i] = a[i].weight;
+  for (size_t j = 0; j < m; ++j) demand[j] = b[j].weight;
+
+  // flow[i][j]: committed flow from source i to sink j.
+  std::vector<std::vector<double>> flow(n, std::vector<double>(m, 0.0));
+  const double inf = std::numeric_limits<double>::infinity();
+
+  double remaining = mass_a;
+  double total_cost = 0.0;
+  // Each augmentation saturates a source or a sink, so at most n+m rounds
+  // (plus slack for numerical dust).
+  size_t guard = 4 * (n + m) + 8;
+  while (remaining > kMassTolerance && guard-- > 0) {
+    // Bellman-Ford over the residual graph.
+    std::vector<double> dist(num_nodes, inf);
+    std::vector<int> prev(num_nodes, -1);
+    for (size_t i = 0; i < n; ++i) {
+      if (supply[i] > kMassTolerance) dist[i] = 0.0;
+    }
+    for (size_t round = 0; round < num_nodes; ++round) {
+      bool changed = false;
+      for (size_t i = 0; i < n; ++i) {
+        if (dist[i] == inf) continue;
+        for (size_t j = 0; j < m; ++j) {  // forward arcs i -> sink j
+          const double nd = dist[i] + std::abs(a[i].value - b[j].value);
+          if (nd < dist[n + j] - 1e-12) {
+            dist[n + j] = nd;
+            prev[n + j] = static_cast<int>(i);
+            changed = true;
+          }
+        }
+      }
+      for (size_t j = 0; j < m; ++j) {  // residual arcs sink j -> source i
+        if (dist[n + j] == inf) continue;
+        for (size_t i = 0; i < n; ++i) {
+          if (flow[i][j] <= kMassTolerance) continue;
+          const double nd = dist[n + j] - std::abs(a[i].value - b[j].value);
+          if (nd < dist[i] - 1e-12) {
+            dist[i] = nd;
+            prev[i] = static_cast<int>(n + j);
+            changed = true;
+          }
+        }
+      }
+      if (!changed) break;
+    }
+
+    // Pick the reachable sink with unmet demand and smallest distance.
+    int sink = -1;
+    double best = inf;
+    for (size_t j = 0; j < m; ++j) {
+      if (demand[j] > kMassTolerance && dist[n + j] < best) {
+        best = dist[n + j];
+        sink = static_cast<int>(n + j);
+      }
+    }
+    if (sink < 0) {
+      return Status::Internal("EMD transport: no augmenting path found");
+    }
+
+    // Bottleneck along the path.
+    double push = demand[static_cast<size_t>(sink) - n];
+    for (int v = sink; prev[v] >= 0; v = prev[v]) {
+      const int u = prev[v];
+      if (static_cast<size_t>(u) < n && static_cast<size_t>(v) >= n) {
+        // forward arc, unlimited capacity (bounded by supply/demand)
+      } else {
+        push = std::min(push,
+                        flow[static_cast<size_t>(v)]
+                            [static_cast<size_t>(u) - n]);
+      }
+    }
+    int path_source = sink;
+    while (prev[path_source] >= 0) path_source = prev[path_source];
+    push = std::min(push, supply[static_cast<size_t>(path_source)]);
+
+    // Apply the augmentation.
+    for (int v = sink; prev[v] >= 0; v = prev[v]) {
+      const int u = prev[v];
+      if (static_cast<size_t>(u) < n) {
+        flow[static_cast<size_t>(u)][static_cast<size_t>(v) - n] += push;
+        total_cost +=
+            push * std::abs(a[static_cast<size_t>(u)].value -
+                            b[static_cast<size_t>(v) - n].value);
+      } else {
+        flow[static_cast<size_t>(v)][static_cast<size_t>(u) - n] -= push;
+        total_cost -=
+            push * std::abs(a[static_cast<size_t>(v)].value -
+                            b[static_cast<size_t>(u) - n].value);
+      }
+    }
+    supply[static_cast<size_t>(path_source)] -= push;
+    demand[static_cast<size_t>(sink) - n] -= push;
+    remaining -= push;
+
+  }
+  if (remaining > 1e-4) {
+    return Status::Internal("EMD transport did not converge");
+  }
+  return total_cost;
+}
+
+double SimC(const CuboidSignature& a, const CuboidSignature& b) {
+  return 1.0 / (1.0 + Emd(a, b));
+}
+
+}  // namespace vrec::signature

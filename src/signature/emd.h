@@ -1,0 +1,42 @@
+#ifndef VREC_SIGNATURE_EMD_H_
+#define VREC_SIGNATURE_EMD_H_
+
+#include "signature/cuboid_signature.h"
+#include "util/status.h"
+
+namespace vrec::signature {
+
+/// Earth Mover's Distance between two cuboid signatures (Definition 1) with
+/// ground cost c_ij = |v_1i - v_2j|.
+///
+/// Two implementations are provided:
+///  - EmdExact1D: closed form for the 1-dimensional ground distance used by
+///    the paper's simplified cuboids ("each v is a single value"); EMD then
+///    equals the L1 distance between the two weight CDFs. O((n+m) log(n+m)).
+///  - EmdTransport: a general transportation solver (successive shortest
+///    path min-cost flow with potentials) that works for any non-negative
+///    ground cost and validates the closed form in tests. O((n+m)^2 nm)
+///    worst case but signatures are tiny (<= grid_dim^2 cuboids).
+///
+/// Both require valid signatures (all weights > 0, masses equal to 1);
+/// EmdTransport reports violations via Status.
+
+/// Closed-form 1D EMD. Preconditions are asserted only in debug builds; the
+/// caller is expected to pass valid signatures (see IsValidSignature).
+double EmdExact1D(const CuboidSignature& a, const CuboidSignature& b);
+
+/// General transportation-problem EMD.
+StatusOr<double> EmdTransport(const CuboidSignature& a,
+                              const CuboidSignature& b);
+
+/// Production entry point: the 1D closed form (exact for our signatures).
+inline double Emd(const CuboidSignature& a, const CuboidSignature& b) {
+  return EmdExact1D(a, b);
+}
+
+/// Similarity derived from EMD (Equation 3): SimC = 1 / (1 + EMD).
+double SimC(const CuboidSignature& a, const CuboidSignature& b);
+
+}  // namespace vrec::signature
+
+#endif  // VREC_SIGNATURE_EMD_H_

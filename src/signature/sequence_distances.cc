@@ -1,0 +1,73 @@
+#include "signature/sequence_distances.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "signature/emd.h"
+
+namespace vrec::signature {
+namespace {
+
+// Gap signature for ERP: a single zero-change cuboid of full mass.
+const CuboidSignature& GapSignature() {
+  static const CuboidSignature kGap = {{0.0, 1.0}};
+  return kGap;
+}
+
+}  // namespace
+
+double Dtw(const SignatureSeries& s1, const SignatureSeries& s2) {
+  const size_t n = s1.size();
+  const size_t m = s2.size();
+  if (n == 0 && m == 0) return 0.0;
+  if (n == 0 || m == 0) return std::numeric_limits<double>::infinity();
+
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> prev(m + 1, inf), cur(m + 1, inf);
+  prev[0] = 0.0;
+  for (size_t i = 1; i <= n; ++i) {
+    cur.assign(m + 1, inf);
+    for (size_t j = 1; j <= m; ++j) {
+      const double cost = Emd(s1[i - 1], s2[j - 1]);
+      cur[j] = cost + std::min({prev[j], cur[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double Erp(const SignatureSeries& s1, const SignatureSeries& s2) {
+  const size_t n = s1.size();
+  const size_t m = s2.size();
+  const CuboidSignature& gap = GapSignature();
+
+  std::vector<double> prev(m + 1, 0.0), cur(m + 1, 0.0);
+  // Deleting the whole prefix of s2.
+  for (size_t j = 1; j <= m; ++j) prev[j] = prev[j - 1] + Emd(s2[j - 1], gap);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = prev[0] + Emd(s1[i - 1], gap);
+    for (size_t j = 1; j <= m; ++j) {
+      const double match = prev[j - 1] + Emd(s1[i - 1], s2[j - 1]);
+      const double del1 = prev[j] + Emd(s1[i - 1], gap);
+      const double del2 = cur[j - 1] + Emd(s2[j - 1], gap);
+      cur[j] = std::min({match, del1, del2});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double DtwSimilarity(const SignatureSeries& s1, const SignatureSeries& s2) {
+  if (s1.empty() || s2.empty()) return 0.0;
+  const double len = static_cast<double>(std::max(s1.size(), s2.size()));
+  return 1.0 / (1.0 + Dtw(s1, s2) / len);
+}
+
+double ErpSimilarity(const SignatureSeries& s1, const SignatureSeries& s2) {
+  if (s1.empty() || s2.empty()) return 0.0;
+  const double len = static_cast<double>(std::max(s1.size(), s2.size()));
+  return 1.0 / (1.0 + Erp(s1, s2) / len);
+}
+
+}  // namespace vrec::signature

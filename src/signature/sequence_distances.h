@@ -1,0 +1,31 @@
+#ifndef VREC_SIGNATURE_SEQUENCE_DISTANCES_H_
+#define VREC_SIGNATURE_SEQUENCE_DISTANCES_H_
+
+#include "signature/cuboid_signature.h"
+
+namespace vrec::signature {
+
+/// Whole-sequence distances over signature series, used as the paper's
+/// content-measure baselines in Figure 7. Both respect the temporal order of
+/// the entire series — which is exactly why they degrade under segment
+/// re-editing while kJ does not.
+///
+/// The per-element ground distance is EMD between cuboid signatures.
+
+/// Dynamic Time Warping distance (Chiu et al., the paper's DTW baseline).
+double Dtw(const SignatureSeries& s1, const SignatureSeries& s2);
+
+/// Edit distance with Real Penalty (Chen & Ng, the paper's ERP baseline).
+/// The gap element is the zero-change unit signature; the penalty of
+/// deleting signature C is EMD(C, gap).
+double Erp(const SignatureSeries& s1, const SignatureSeries& s2);
+
+/// Similarity wrappers on [0, 1] so that all three content measures plug
+/// into the same recommendation scorer: sim = 1 / (1 + distance), with the
+/// distance length-normalized by the longer series.
+double DtwSimilarity(const SignatureSeries& s1, const SignatureSeries& s2);
+double ErpSimilarity(const SignatureSeries& s1, const SignatureSeries& s2);
+
+}  // namespace vrec::signature
+
+#endif  // VREC_SIGNATURE_SEQUENCE_DISTANCES_H_

@@ -1,0 +1,51 @@
+#include "signature/series_measures.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "signature/emd.h"
+
+namespace vrec::signature {
+
+double KappaJ(const SignatureSeries& s1, const SignatureSeries& s2,
+              const KappaJOptions& options) {
+  if (s1.empty() && s2.empty()) return 0.0;
+  if (s1.empty() || s2.empty()) return 0.0;
+
+  struct Candidate {
+    double sim;
+    size_t i;
+    size_t j;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(s1.size() * s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    for (size_t j = 0; j < s2.size(); ++j) {
+      const double sim = SimC(s1[i], s2[j]);
+      if (sim >= options.match_threshold) candidates.push_back({sim, i, j});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.sim != b.sim) return a.sim > b.sim;
+              if (a.i != b.i) return a.i < b.i;
+              return a.j < b.j;
+            });
+
+  std::vector<bool> used1(s1.size(), false), used2(s2.size(), false);
+  double total_sim = 0.0;
+  size_t matched = 0;
+  for (const Candidate& c : candidates) {
+    if (used1[c.i] || used2[c.j]) continue;
+    used1[c.i] = true;
+    used2[c.j] = true;
+    total_sim += c.sim;
+    ++matched;
+  }
+
+  const double union_size =
+      static_cast<double>(s1.size() + s2.size() - matched);
+  return total_sim / union_size;
+}
+
+}  // namespace vrec::signature

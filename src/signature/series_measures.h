@@ -1,0 +1,30 @@
+#ifndef VREC_SIGNATURE_SERIES_MEASURES_H_
+#define VREC_SIGNATURE_SERIES_MEASURES_H_
+
+#include "signature/cuboid_signature.h"
+
+namespace vrec::signature {
+
+/// Options for the extended-Jaccard series similarity.
+struct KappaJOptions {
+  /// Minimum SimC for a signature pair to count as matched. Pairs below the
+  /// threshold contribute nothing (they are "unmatched" segments).
+  double match_threshold = 0.25;
+};
+
+/// Extended Jaccard similarity between two signature series (Equation 4):
+///
+///   kJ(S1, S2) = sum_{matched (Ci, Cj)} SimC(Ci, Cj) / |S1 U S2|
+///
+/// Matching is one-to-one and greedy on descending SimC — each signature of
+/// S1 pairs with at most one signature of S2 and vice versa, and only pairs
+/// with SimC >= match_threshold count. |S1 U S2| is the set-union size
+/// |S1| + |S2| - #matched, so fully-matched identical series score 1.
+/// Segment order is deliberately ignored (the paper's robustness argument
+/// for kJ vs. DTW/ERP under sequence-level re-editing).
+double KappaJ(const SignatureSeries& s1, const SignatureSeries& s2,
+              const KappaJOptions& options = {});
+
+}  // namespace vrec::signature
+
+#endif  // VREC_SIGNATURE_SERIES_MEASURES_H_

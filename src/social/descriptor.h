@@ -1,0 +1,57 @@
+#ifndef VREC_SOCIAL_DESCRIPTOR_H_
+#define VREC_SOCIAL_DESCRIPTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vrec::social {
+
+/// Dense user identifier within a community dataset.
+using UserId = int64_t;
+
+/// The social descriptor of a video (Section 4.2.1): the set of user ids of
+/// its owner and every user who commented on it, kept sorted and deduped.
+class SocialDescriptor {
+ public:
+  SocialDescriptor() = default;
+  /// Builds from an arbitrary id list (sorted and deduped internally).
+  explicit SocialDescriptor(std::vector<UserId> users);
+
+  /// Adds a user; no-op if already present.
+  void Add(UserId user);
+
+  bool Contains(UserId user) const;
+  size_t size() const { return users_.size(); }
+  bool empty() const { return users_.empty(); }
+  const std::vector<UserId>& users() const { return users_; }
+
+  bool operator==(const SocialDescriptor& other) const = default;
+
+ private:
+  std::vector<UserId> users_;  // sorted, unique
+};
+
+/// Exact social relevance (Equation 5): Jaccard coefficient of the two user
+/// sets, |Dv n Dq| / |Dv u Dq|. Returns 0 when both are empty. This is the
+/// efficient sorted-set implementation.
+double ExactJaccard(const SocialDescriptor& a, const SocialDescriptor& b);
+
+/// The *paper's baseline* computation of Equation 5: social descriptors as
+/// raw user-name string sets, intersected by pairwise string comparison —
+/// "the computation complexity of the measure is quadratic to the number of
+/// elements in two compared social descriptors" (Section 4.2.1). This is
+/// the cost that SAR exists to remove; the unoptimized CSF timing curves of
+/// Figure 12(a) are measured against it. Inputs may be unsorted and must be
+/// duplicate-free.
+double ExactJaccardByNames(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+
+/// Canonical display name of a user id; the datasets name users this way and
+/// the chained hash table keys on these strings (the paper hashes "social
+/// user names").
+std::string UserName(UserId id);
+
+}  // namespace vrec::social
+
+#endif  // VREC_SOCIAL_DESCRIPTOR_H_

@@ -1,0 +1,164 @@
+#include "social/sar.h"
+
+#include <algorithm>
+
+namespace vrec::social {
+
+UserDictionary::UserDictionary(const std::vector<int>& labels, int k,
+                               DictionaryLookup lookup)
+    : k_(k),
+      lookup_(lookup),
+      user_count_(labels.size()),
+      label_of_user_(labels),
+      // Size the table for ~2 entries per bucket on average.
+      hash_table_(std::max<size_t>(16, labels.size() / 2)) {
+  RebuildLookupStructures();
+}
+
+void UserDictionary::RebuildLookupStructures() {
+  entries_.clear();
+  if (lookup_ == DictionaryLookup::kChainedHash) {
+    for (size_t u = 0; u < user_count_; ++u) {
+      hash_table_.InsertOrAssign(UserName(static_cast<UserId>(u)),
+                                 label_of_user_[u]);
+    }
+    return;
+  }
+  entries_.reserve(user_count_);
+  for (size_t u = 0; u < user_count_; ++u) {
+    entries_.emplace_back(UserName(static_cast<UserId>(u)),
+                          label_of_user_[u]);
+  }
+  if (lookup_ == DictionaryLookup::kSortedArray) {
+    std::sort(entries_.begin(), entries_.end());
+  }
+}
+
+std::optional<int> UserDictionary::CommunityOfName(
+    const std::string& name) const {
+  switch (lookup_) {
+    case DictionaryLookup::kChainedHash: {
+      const auto found = hash_table_.Find(name);
+      if (!found.has_value()) return std::nullopt;
+      return static_cast<int>(*found);
+    }
+    case DictionaryLookup::kSortedArray: {
+      const auto it = std::lower_bound(
+          entries_.begin(), entries_.end(), name,
+          [](const auto& entry, const std::string& n) {
+            return entry.first < n;
+          });
+      if (it == entries_.end() || it->first != name) return std::nullopt;
+      return it->second;
+    }
+    case DictionaryLookup::kLinearScan: {
+      for (const auto& [key, cno] : entries_) {
+        if (key == name) return cno;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> UserDictionary::CommunityOf(UserId user) const {
+  if (user < 0 || static_cast<size_t>(user) >= user_count_) {
+    return std::nullopt;
+  }
+  return label_of_user_[static_cast<size_t>(user)];
+}
+
+void UserDictionary::Assign(UserId user, int community) {
+  if (user < 0) return;
+  const auto u = static_cast<size_t>(user);
+  if (u == user_count_) {
+    label_of_user_.push_back(community);
+    ++user_count_;
+  } else if (u < user_count_) {
+    label_of_user_[u] = community;
+  } else {
+    return;  // non-contiguous ids are not supported
+  }
+  k_ = std::max(k_, community + 1);
+  const std::string name = UserName(user);
+  switch (lookup_) {
+    case DictionaryLookup::kChainedHash:
+      hash_table_.InsertOrAssign(name, community);
+      return;
+    case DictionaryLookup::kSortedArray: {
+      const auto it = std::lower_bound(
+          entries_.begin(), entries_.end(), name,
+          [](const auto& entry, const std::string& n) {
+            return entry.first < n;
+          });
+      if (it != entries_.end() && it->first == name) {
+        it->second = community;
+      } else {
+        entries_.insert(it, {name, community});
+      }
+      return;
+    }
+    case DictionaryLookup::kLinearScan: {
+      for (auto& [key, cno] : entries_) {
+        if (key == name) {
+          cno = community;
+          return;
+        }
+      }
+      entries_.emplace_back(name, community);
+      return;
+    }
+  }
+}
+
+void UserDictionary::ReplaceCommunity(int from, int to) {
+  for (int& l : label_of_user_) {
+    if (l == from) l = to;
+  }
+  if (lookup_ == DictionaryLookup::kChainedHash) {
+    hash_table_.ReplaceCno(from, to);
+  } else {
+    for (auto& [name, cno] : entries_) {
+      if (cno == from) cno = to;
+    }
+  }
+}
+
+std::vector<double> UserDictionary::Vectorize(
+    const SocialDescriptor& descriptor) const {
+  std::vector<double> hist(static_cast<size_t>(k_), 0.0);
+  for (UserId u : descriptor.users()) {
+    const auto c = CommunityOf(u);
+    if (c.has_value() && *c >= 0 && *c < k_) {
+      hist[static_cast<size_t>(*c)] += 1.0;
+    }
+  }
+  return hist;
+}
+
+std::vector<double> UserDictionary::VectorizeByName(
+    const std::vector<std::string>& names) const {
+  std::vector<double> hist(static_cast<size_t>(k_), 0.0);
+  for (const std::string& name : names) {
+    const auto c = CommunityOfName(name);
+    if (c.has_value() && *c >= 0 && *c < k_) {
+      hist[static_cast<size_t>(*c)] += 1.0;
+    }
+  }
+  return hist;
+}
+
+double ApproxJaccard(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  double num = 0.0, den = 0.0;
+  const size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    num += std::min(a[i], b[i]);
+    den += std::max(a[i], b[i]);
+  }
+  for (size_t i = n; i < a.size(); ++i) den += a[i];
+  for (size_t i = n; i < b.size(); ++i) den += b[i];
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace vrec::social

@@ -1,0 +1,89 @@
+#ifndef VREC_SOCIAL_SAR_H_
+#define VREC_SOCIAL_SAR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hashing/chained_hash_table.h"
+#include "social/descriptor.h"
+#include "util/status.h"
+
+namespace vrec::social {
+
+/// How the user dictionary resolves a user name to its sub-community id.
+enum class DictionaryLookup {
+  /// Linear scan over the (name, cno) entries — the plain SAR scheme as the
+  /// paper frames it: without the hash optimization, mapping a user name to
+  /// its sub-community costs a dictionary scan. Figure 12(a)'s CSF-SAR
+  /// curve is measured against this.
+  kLinearScan,
+  /// Binary search over the sorted (name, cno) array — an additional
+  /// engineering alternative, between the scan and the hash.
+  kSortedArray,
+  /// The paper's chained hash table with shift-add-xor hashing — SAR-H.
+  kChainedHash,
+};
+
+/// The SAR user dictionary (Section 4.2.2, "Social Descriptor
+/// Vectorization"): maps every social user to its sub-community number so a
+/// descriptor of n user ids can be folded into a k-bin histogram.
+class UserDictionary {
+ public:
+  /// Builds the dictionary from per-user sub-community labels (label index =
+  /// user id). `k` is the number of sub-communities (vector dimensionality).
+  UserDictionary(const std::vector<int>& labels, int k,
+                 DictionaryLookup lookup);
+
+  int k() const { return k_; }
+  DictionaryLookup lookup() const { return lookup_; }
+  size_t user_count() const { return user_count_; }
+
+  /// Sub-community of a user (by name, as the paper's hash table is keyed);
+  /// nullopt for unknown users.
+  std::optional<int> CommunityOfName(const std::string& name) const;
+
+  /// Sub-community of a user id; nullopt if out of range.
+  std::optional<int> CommunityOf(UserId user) const;
+
+  /// Re-assigns one user (new users may be added with id == user_count()).
+  void Assign(UserId user, int community);
+
+  /// Renames community `from` to `to` everywhere (merge support).
+  void ReplaceCommunity(int from, int to);
+
+  /// Converts a social descriptor into its k-dimensional user histogram by
+  /// dictionary lookup: bin i counts the descriptor's users that fall in
+  /// sub-community i. Unknown users are skipped.
+  std::vector<double> Vectorize(const SocialDescriptor& descriptor) const;
+
+  /// Like Vectorize but resolves through user *names*, exercising the exact
+  /// lookup path (binary search or chained hash) whose cost Figure 12(a)
+  /// measures.
+  std::vector<double> VectorizeByName(
+      const std::vector<std::string>& names) const;
+
+  /// Total string comparisons performed by hash lookups (SAR-H cost model).
+  uint64_t hash_comparisons() const { return hash_table_.comparisons(); }
+
+ private:
+  void RebuildLookupStructures();
+
+  int k_;
+  DictionaryLookup lookup_;
+  size_t user_count_;
+  std::vector<int> label_of_user_;  // user id -> community
+  /// (name, cno) entries; sorted only under kSortedArray.
+  std::vector<std::pair<std::string, int>> entries_;
+  hashing::ChainedHashTable hash_table_;  // for kChainedHash
+};
+
+/// Approximate social relevance over descriptor vectors (Equation 6):
+///   sJ~ = sum_i min(dQ_i, dV_i) / sum_i max(dQ_i, dV_i).
+/// Returns 0 when both vectors are all-zero. Vectors must share one size.
+double ApproxJaccard(const std::vector<double>& a,
+                     const std::vector<double>& b);
+
+}  // namespace vrec::social
+
+#endif  // VREC_SOCIAL_SAR_H_

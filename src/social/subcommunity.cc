@@ -1,0 +1,105 @@
+#include "social/subcommunity.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/union_find.h"
+
+namespace vrec::social {
+namespace {
+
+using graph::Edge;
+
+// Deterministic ascending order used by both implementations, so the fast
+// and literal variants agree even in the presence of tied weights.
+bool AscendingEdgeOrder(const Edge& a, const Edge& b) {
+  if (a.weight != b.weight) return a.weight < b.weight;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+SubCommunityResult ResultFromSurvivors(const graph::WeightedGraph& uig,
+                                       const std::vector<Edge>& survivors) {
+  graph::UnionFind uf(uig.node_count());
+  double lightest = std::numeric_limits<double>::infinity();
+  for (const Edge& e : survivors) {
+    uf.Union(e.u, e.v);
+    lightest = std::min(lightest, e.weight);
+  }
+  SubCommunityResult result;
+  result.num_communities = static_cast<int>(uf.num_sets());
+  result.labels = uf.Labels();
+  result.lightest_intra_weight = lightest;
+  return result;
+}
+
+}  // namespace
+
+StatusOr<SubCommunityResult> ExtractSubCommunities(
+    const graph::WeightedGraph& uig, int k) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (static_cast<size_t>(k) > uig.node_count()) {
+    return Status::InvalidArgument("k exceeds the number of users");
+  }
+
+  // Insert edges heaviest-first. While more than k components remain every
+  // edge survives; once exactly k remain, the first edge that would merge
+  // two components is the edge at which the literal lightest-edge-removal
+  // loop stops — it and everything lighter are the removed prefix.
+  std::vector<Edge> edges = uig.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const Edge& a, const Edge& b) {
+              return AscendingEdgeOrder(b, a);  // descending
+            });
+
+  graph::UnionFind uf(uig.node_count());
+  std::vector<Edge> survivors;
+  survivors.reserve(edges.size());
+  for (const Edge& e : edges) {
+    if (uf.num_sets() <= static_cast<size_t>(k) &&
+        uf.Find(e.u) != uf.Find(e.v)) {
+      break;  // this edge (and all lighter ones) are removed
+    }
+    uf.Union(e.u, e.v);
+    survivors.push_back(e);
+  }
+  return ResultFromSurvivors(uig, survivors);
+}
+
+StatusOr<SubCommunityResult> ExtractSubCommunitiesLiteral(
+    const graph::WeightedGraph& uig, int k) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (static_cast<size_t>(k) > uig.node_count()) {
+    return Status::InvalidArgument("k exceeds the number of users");
+  }
+
+  std::vector<Edge> remaining = uig.edges();
+  std::sort(remaining.begin(), remaining.end(), AscendingEdgeOrder);
+
+  // Current component count with all remaining edges present.
+  auto count_components = [&remaining, &uig]() {
+    graph::UnionFind uf(uig.node_count());
+    for (const Edge& e : remaining) uf.Union(e.u, e.v);
+    return uf.num_sets();
+  };
+
+  // Figure 3: repeatedly remove the lightest edge until >= k components.
+  // `remaining` is ascending, so the lightest edge is always at the front.
+  size_t p = count_components();
+  size_t removed_prefix = 0;
+  while (p < static_cast<size_t>(k) && removed_prefix < remaining.size()) {
+    ++removed_prefix;  // remove the lightest remaining edge
+    graph::UnionFind uf(uig.node_count());
+    for (size_t i = removed_prefix; i < remaining.size(); ++i) {
+      uf.Union(remaining[i].u, remaining[i].v);
+    }
+    p = uf.num_sets();
+  }
+
+  std::vector<Edge> survivors(remaining.begin() +
+                                  static_cast<long>(removed_prefix),
+                              remaining.end());
+  return ResultFromSurvivors(uig, survivors);
+}
+
+}  // namespace vrec::social

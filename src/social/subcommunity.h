@@ -1,0 +1,44 @@
+#ifndef VREC_SOCIAL_SUBCOMMUNITY_H_
+#define VREC_SOCIAL_SUBCOMMUNITY_H_
+
+#include <vector>
+
+#include "graph/weighted_graph.h"
+#include "util/status.h"
+
+namespace vrec::social {
+
+/// Result of sub-community extraction over a User Interest Graph.
+struct SubCommunityResult {
+  /// Sub-community label per user node, dense in [0, num_communities).
+  std::vector<int> labels;
+  int num_communities = 0;
+  /// The lightest edge weight that *survives* inside the sub-communities —
+  /// the threshold `w` that Figure 5's update-maintenance algorithm compares
+  /// new connections against. +infinity when no intra-community edge exists.
+  double lightest_intra_weight = 0.0;
+};
+
+/// The paper's SubgraphExtraction algorithm (Figure 3): start from the
+/// graph's natural connected components, then repeatedly delete the current
+/// lightest edge until at least `k` components exist; each component is a
+/// sub-community. If the graph already has >= k components, no edges are
+/// removed. Sub-communities may have very different sizes by design.
+///
+/// This entry point runs the fast equivalent formulation: build the maximum
+/// spanning forest (Kruskal, descending weight) and cut its k - p lightest
+/// forest edges, where p is the initial component count — identical output
+/// to the literal loop whenever edge weights are distinct (single-linkage
+/// equivalence; covered by a property test).
+StatusOr<SubCommunityResult> ExtractSubCommunities(
+    const graph::WeightedGraph& uig, int k);
+
+/// The literal Figure 3 loop (delete lightest edge, re-check connectivity).
+/// O(E * (V + E)); kept for validation and for the small per-community
+/// splits performed during social-update maintenance.
+StatusOr<SubCommunityResult> ExtractSubCommunitiesLiteral(
+    const graph::WeightedGraph& uig, int k);
+
+}  // namespace vrec::social
+
+#endif  // VREC_SOCIAL_SUBCOMMUNITY_H_

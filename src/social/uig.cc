@@ -1,0 +1,29 @@
+#include "social/uig.h"
+
+#include <map>
+
+namespace vrec::social {
+
+graph::WeightedGraph BuildUserInterestGraph(
+    const std::vector<SocialDescriptor>& descriptors, size_t user_count) {
+  // Accumulate co-occurrence counts first; inserting through
+  // WeightedGraph::AddEdge per pair would scan adjacency lists repeatedly.
+  std::map<std::pair<size_t, size_t>, double> weights;
+  for (const SocialDescriptor& d : descriptors) {
+    const auto& users = d.users();
+    for (size_t i = 0; i < users.size(); ++i) {
+      for (size_t j = i + 1; j < users.size(); ++j) {
+        const auto u = static_cast<size_t>(users[i]);
+        const auto v = static_cast<size_t>(users[j]);
+        weights[{u, v}] += 1.0;
+      }
+    }
+  }
+  graph::WeightedGraph g(user_count);
+  for (const auto& [edge, w] : weights) {
+    g.AddEdge(edge.first, edge.second, w);
+  }
+  return g;
+}
+
+}  // namespace vrec::social

@@ -1,0 +1,23 @@
+#ifndef VREC_SOCIAL_UIG_H_
+#define VREC_SOCIAL_UIG_H_
+
+#include <vector>
+
+#include "graph/weighted_graph.h"
+#include "social/descriptor.h"
+
+namespace vrec::social {
+
+/// Builds the User Interest Graph (Section 4.2.2, Figure 2): nodes are
+/// social users [0, user_count), and the weight of edge (u1, u2) is the
+/// number of videos both users are interested in (appear together in the
+/// video's social descriptor).
+///
+/// `descriptors` holds one descriptor per video. User ids must lie in
+/// [0, user_count).
+graph::WeightedGraph BuildUserInterestGraph(
+    const std::vector<SocialDescriptor>& descriptors, size_t user_count);
+
+}  // namespace vrec::social
+
+#endif  // VREC_SOCIAL_UIG_H_

@@ -1,0 +1,296 @@
+#include "social/update_maintainer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/union_find.h"
+
+namespace vrec::social {
+
+SubCommunityMaintainer::SubCommunityMaintainer(
+    const graph::WeightedGraph& uig, const SubCommunityResult& extraction,
+    int k, UserDictionary* dictionary)
+    : k_(k),
+      w_(extraction.lightest_intra_weight),
+      next_label_(extraction.num_communities),
+      dictionary_(dictionary),
+      label_of_user_(extraction.labels) {
+  for (size_t u = 0; u < label_of_user_.size(); ++u) {
+    members_[label_of_user_[u]].insert(static_cast<UserId>(u));
+  }
+  // Reconstruct the surviving (active) edge set: extraction removes the
+  // ascending-weight prefix, so every edge at least as heavy as the lightest
+  // intra-community weight survived; everything else stays dormant.
+  for (const graph::Edge& e : uig.edges()) {
+    const bool intra = label_of_user_[e.u] == label_of_user_[e.v];
+    if (intra && e.weight >= w_) {
+      active_edges_[MakeKey(e.u, e.v)] = e.weight;
+    } else {
+      dormant_edges_[MakeKey(e.u, e.v)] = e.weight;
+    }
+  }
+}
+
+int SubCommunityMaintainer::CommunityOf(UserId user) const {
+  if (user < 0 || static_cast<size_t>(user) >= label_of_user_.size()) {
+    return -1;
+  }
+  return label_of_user_[static_cast<size_t>(user)];
+}
+
+std::vector<UserId> SubCommunityMaintainer::MembersOf(int label) const {
+  const auto it = members_.find(label);
+  if (it == members_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void SubCommunityMaintainer::Relabel(int from, int to,
+                                     MaintenanceStats* stats) {
+  auto it = members_.find(from);
+  if (it == members_.end()) return;
+  for (UserId u : it->second) {
+    label_of_user_[static_cast<size_t>(u)] = to;
+    members_[to].insert(u);
+  }
+  stats->dictionary_updates += it->second.size();
+  members_.erase(it);
+  dictionary_->ReplaceCommunity(from, to);
+}
+
+void SubCommunityMaintainer::RecomputeLightestIntraWeight() {
+  double w = std::numeric_limits<double>::infinity();
+  for (const auto& [key, weight] : active_edges_) w = std::min(w, weight);
+  w_ = w;
+}
+
+bool SubCommunityMaintainer::SplitCommunity(int label,
+                                            MaintenanceStats* stats) {
+  const auto mit = members_.find(label);
+  if (mit == members_.end() || mit->second.size() < 2) return false;
+
+  // Local dense ids for the community members.
+  std::vector<UserId> users(mit->second.begin(), mit->second.end());
+  std::map<UserId, size_t> local;
+  for (size_t i = 0; i < users.size(); ++i) local[users[i]] = i;
+
+  // Internal active edges, ascending by weight.
+  struct Internal {
+    EdgeKey key;
+    double weight;
+    size_t lu, lv;
+  };
+  std::vector<Internal> internal;
+  for (const auto& [key, weight] : active_edges_) {
+    const auto a = local.find(static_cast<UserId>(key.first));
+    const auto b = local.find(static_cast<UserId>(key.second));
+    if (a != local.end() && b != local.end()) {
+      internal.push_back({key, weight, a->second, b->second});
+    }
+  }
+  std::sort(internal.begin(), internal.end(),
+            [](const Internal& x, const Internal& y) {
+              if (x.weight != y.weight) return x.weight < y.weight;
+              return x.key < y.key;
+            });
+
+  // Remove the lightest internal edges until the induced subgraph has at
+  // least two components (it may already be disconnected, e.g. after new
+  // users were attached without edges).
+  size_t removed_prefix = 0;
+  std::vector<int> comp_labels;
+  size_t comps = 0;
+  while (true) {
+    graph::UnionFind uf(users.size());
+    for (size_t i = removed_prefix; i < internal.size(); ++i) {
+      uf.Union(internal[i].lu, internal[i].lv);
+    }
+    comps = uf.num_sets();
+    comp_labels = uf.Labels();
+    if (comps >= 2 || removed_prefix >= internal.size()) break;
+    ++removed_prefix;
+  }
+  if (comps < 2) return false;
+
+  for (size_t i = 0; i < removed_prefix; ++i) {
+    dormant_edges_[internal[i].key] = internal[i].weight;
+    active_edges_.erase(internal[i].key);
+  }
+
+  // The largest component keeps the label; everything else becomes one new
+  // sub-community (a binary split, as in Figure 5).
+  std::vector<size_t> comp_size(comps, 0);
+  for (int c : comp_labels) ++comp_size[static_cast<size_t>(c)];
+  const size_t keep = static_cast<size_t>(
+      std::max_element(comp_size.begin(), comp_size.end()) -
+      comp_size.begin());
+
+  const int new_label = next_label_++;
+  for (size_t i = 0; i < users.size(); ++i) {
+    if (static_cast<size_t>(comp_labels[i]) == keep) continue;
+    const UserId u = users[i];
+    mit->second.erase(u);
+    members_[new_label].insert(u);
+    label_of_user_[static_cast<size_t>(u)] = new_label;
+    dictionary_->Assign(u, new_label);
+    ++stats->dictionary_updates;
+  }
+  ++stats->splits;
+  stats->changed_communities.push_back(label);
+  stats->changed_communities.push_back(new_label);
+  return true;
+}
+
+StatusOr<MaintenanceStats> SubCommunityMaintainer::ApplyUpdates(
+    const std::vector<SocialConnection>& connections) {
+  MaintenanceStats stats;
+  stats.connections_processed = connections.size();
+
+  // Batch the period's connections per user pair.
+  std::map<EdgeKey, double> batch;
+  for (const SocialConnection& c : connections) {
+    if (c.u == c.v) continue;
+    if (c.u < 0 || c.v < 0) {
+      return Status::InvalidArgument("negative user id in connection");
+    }
+    batch[MakeKey(static_cast<size_t>(c.u), static_cast<size_t>(c.v))] +=
+        c.weight;
+  }
+
+  // Admit new users. Ids must extend the user space contiguously; a new
+  // user joins the community of a known co-commenter when one exists in
+  // this batch, otherwise the currently smallest community.
+  auto admit = [&](UserId nu, int community) {
+    while (label_of_user_.size() < static_cast<size_t>(nu)) {
+      // Fill any gap so ids stay dense (should not happen with well-formed
+      // streams, but keeps the invariant safe).
+      const auto filler = static_cast<UserId>(label_of_user_.size());
+      label_of_user_.push_back(community);
+      members_[community].insert(filler);
+      dictionary_->Assign(filler, community);
+      ++stats.users_added;
+    }
+    label_of_user_.push_back(community);
+    members_[community].insert(nu);
+    dictionary_->Assign(nu, community);
+    ++stats.users_added;
+    ++stats.dictionary_updates;
+  };
+  auto smallest_community = [&]() {
+    int best = members_.begin()->first;
+    size_t best_size = members_.begin()->second.size();
+    for (const auto& [label, mem] : members_) {
+      if (mem.size() < best_size) {
+        best = label;
+        best_size = mem.size();
+      }
+    }
+    return best;
+  };
+  for (const auto& [key, weight] : batch) {
+    (void)weight;
+    const auto ids = {static_cast<UserId>(key.first),
+                      static_cast<UserId>(key.second)};
+    for (UserId id : ids) {
+      if (static_cast<size_t>(id) >= label_of_user_.size()) {
+        // Prefer the known endpoint's community.
+        const UserId other = (id == static_cast<UserId>(key.first))
+                                 ? static_cast<UserId>(key.second)
+                                 : static_cast<UserId>(key.first);
+        int community = CommunityOf(other);
+        if (community < 0) community = smallest_community();
+        admit(id, community);
+        stats.changed_communities.push_back(community);
+      }
+    }
+  }
+
+  // Merge phase + involvement tracking (Figure 5 lines 1-13).
+  std::map<int, double> max_internal_weight;  // per involved community
+  std::set<int> split_candidates;
+  for (const auto& [key, weight] : batch) {
+    const int cu = label_of_user_[key.first];
+    const int cv = label_of_user_[key.second];
+    if (cu == cv) {
+      auto [it, inserted] = active_edges_.try_emplace(key, 0.0);
+      if (inserted) {
+        const auto dit = dormant_edges_.find(key);
+        if (dit != dormant_edges_.end()) {
+          it->second = dit->second;
+          dormant_edges_.erase(dit);
+        }
+      }
+      it->second += weight;
+      auto& mx = max_internal_weight[cu];
+      mx = std::max(mx, weight);
+      continue;
+    }
+    // Cross-community: accumulate; merge when past the threshold w.
+    double& dormant = dormant_edges_[key];
+    dormant += weight;
+    if (dormant > w_) {
+      active_edges_[key] = dormant;
+      dormant_edges_.erase(key);
+      // Keep the larger community's id to minimize dictionary churn.
+      int keep = cu, retire = cv;
+      if (members_[retire].size() > members_[keep].size()) {
+        std::swap(keep, retire);
+      }
+      Relabel(retire, keep, &stats);
+      ++stats.merges;
+      stats.changed_communities.push_back(keep);
+      stats.changed_communities.push_back(retire);
+      split_candidates.insert(keep);
+      // The surviving id inherits involvement bookkeeping.
+      auto rit = max_internal_weight.find(retire);
+      if (rit != max_internal_weight.end()) {
+        max_internal_weight[keep] =
+            std::max(max_internal_weight[keep], rit->second);
+        max_internal_weight.erase(rit);
+      }
+      max_internal_weight[keep] =
+          std::max(max_internal_weight[keep], weight);
+    }
+  }
+
+  // Weakened communities: involved in the update but with no strong new
+  // internal connection.
+  for (const auto& [community, mx] : max_internal_weight) {
+    if (mx < w_) split_candidates.insert(community);
+  }
+
+  // Split phase (Figure 5 lines 14-20): restore the community count to k.
+  while (num_communities() < k_) {
+    bool split_done = false;
+    for (int candidate : split_candidates) {
+      if (members_.count(candidate) && SplitCommunity(candidate, &stats)) {
+        split_done = true;
+        break;
+      }
+    }
+    if (!split_done) {
+      // Fall back to the community owning the globally lightest active edge.
+      double lightest = std::numeric_limits<double>::infinity();
+      int target = -1;
+      for (const auto& [key, weight] : active_edges_) {
+        if (weight < lightest) {
+          lightest = weight;
+          target = label_of_user_[key.first];
+        }
+      }
+      if (target < 0 || !SplitCommunity(target, &stats)) break;
+    }
+  }
+
+  RecomputeLightestIntraWeight();
+
+  // Dedupe the changed-communities report.
+  std::sort(stats.changed_communities.begin(),
+            stats.changed_communities.end());
+  stats.changed_communities.erase(
+      std::unique(stats.changed_communities.begin(),
+                  stats.changed_communities.end()),
+      stats.changed_communities.end());
+  return stats;
+}
+
+}  // namespace vrec::social

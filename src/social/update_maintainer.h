@@ -1,0 +1,107 @@
+#ifndef VREC_SOCIAL_UPDATE_MAINTAINER_H_
+#define VREC_SOCIAL_UPDATE_MAINTAINER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "social/descriptor.h"
+#include "social/sar.h"
+#include "social/subcommunity.h"
+#include "util/status.h"
+
+namespace vrec::social {
+
+/// A new social connection observed in the recent time period: users u and v
+/// co-commented `weight` additional videos.
+struct SocialConnection {
+  UserId u = 0;
+  UserId v = 0;
+  double weight = 1.0;
+};
+
+/// Statistics of one maintenance round (inputs of the paper's cost model,
+/// Equation 8).
+struct MaintenanceStats {
+  size_t connections_processed = 0;
+  size_t merges = 0;
+  size_t splits = 0;
+  size_t users_added = 0;
+  size_t dictionary_updates = 0;
+  /// Sub-community ids whose membership changed; the caller must re-vectorize
+  /// the social descriptors of videos touching these communities.
+  std::vector<int> changed_communities;
+};
+
+/// Maintains sub-communities under social updates (Section 4.2.4, Figure 5).
+///
+/// The maintainer owns the *active* edge set: the UIG edges that survived
+/// extraction (edges removed by Figure 3 stay removed). Sub-communities are
+/// exactly the connected components of the active edges, plus singleton
+/// users. Each ApplyUpdates round:
+///   1. accumulates the period's new connections;
+///   2. merges two sub-communities when a cross-community connection grows
+///      heavier than the threshold `w` (the lightest intra-community weight
+///      at extraction time);
+///   3. marks update-involved communities whose strongest new internal
+///      connection stayed below `w` — plus freshly merged ones — as split
+///      candidates, and splits candidates (removing their lightest internal
+///      edges until they disconnect) until the community count is back to k;
+///   4. keeps the user dictionary (and through it the chained hash table)
+///      in sync, reporting every changed community so descriptor vectors can
+///      be refreshed incrementally.
+///
+/// Community ids are stable but not dense: a merge retires one id and a
+/// split mints a fresh one; retired dimensions simply stay zero in the
+/// descriptor histograms, which Equation 6 ignores.
+class SubCommunityMaintainer {
+ public:
+  /// `dictionary` must outlive the maintainer; it is updated in place.
+  SubCommunityMaintainer(const graph::WeightedGraph& uig,
+                         const SubCommunityResult& extraction, int k,
+                         UserDictionary* dictionary);
+
+  /// Applies one period of updates.
+  StatusOr<MaintenanceStats> ApplyUpdates(
+      const std::vector<SocialConnection>& connections);
+
+  int num_communities() const { return static_cast<int>(members_.size()); }
+  /// Total number of community ids ever minted (histogram dimensionality).
+  int label_space() const { return next_label_; }
+  int target_k() const { return k_; }
+  double lightest_intra_weight() const { return w_; }
+
+  /// Community of a user, or -1 for unknown users.
+  int CommunityOf(UserId user) const;
+
+  /// Members of community `label` (empty if retired/unknown).
+  std::vector<UserId> MembersOf(int label) const;
+
+ private:
+  using EdgeKey = std::pair<size_t, size_t>;
+  static EdgeKey MakeKey(size_t a, size_t b) {
+    return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
+  }
+
+  void Relabel(int from, int to, MaintenanceStats* stats);
+  void RecomputeLightestIntraWeight();
+  /// Splits community `label` in two; returns false if it cannot be split.
+  bool SplitCommunity(int label, MaintenanceStats* stats);
+
+  int k_;
+  double w_;
+  int next_label_;
+  UserDictionary* dictionary_;
+  std::vector<int> label_of_user_;
+  std::map<int, std::set<UserId>> members_;
+  std::map<EdgeKey, double> active_edges_;
+  /// Cross-community weight that has accumulated but not yet crossed the
+  /// merge threshold; the conceptual UIG keeps accumulating even for edges
+  /// the extraction removed.
+  std::map<EdgeKey, double> dormant_edges_;
+};
+
+}  // namespace vrec::social
+
+#endif  // VREC_SOCIAL_UPDATE_MAINTAINER_H_

@@ -1,0 +1,147 @@
+#include "stream/monitor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signature/series_measures.h"
+#include "video/segmenter.h"
+
+namespace vrec::stream {
+
+StreamMonitor::StreamMonitor(MonitorOptions options)
+    : options_(options), lsb_(options.lsb) {}
+
+Status StreamMonitor::IndexReferenceVideo(const video::Video& video) {
+  if (references_.count(video.id()) > 0) {
+    return Status::InvalidArgument("reference video id already indexed");
+  }
+  video::SegmenterOptions seg_options;
+  seg_options.keyframe_stride = options_.keyframe_stride;
+  seg_options.q = options_.q;
+  seg_options.shot_options.histogram_bins = options_.histogram_bins;
+  seg_options.shot_options.threshold_sigmas = options_.threshold_sigmas;
+  seg_options.shot_options.min_absolute_diff = options_.min_absolute_diff;
+  const video::Segmenter segmenter(seg_options);
+  const signature::SignatureBuilder builder(options_.signature);
+  StatusOr<signature::SignatureSeries> series =
+      builder.BuildSeries(segmenter.Segment(video));
+  if (!series.ok()) return series.status();
+  lsb_.AddVideo(video.id(), *series);
+  references_[video.id()] = std::move(*series);
+  return Status::Ok();
+}
+
+std::vector<DuplicateAlert> StreamMonitor::PushFrame(
+    const video::Frame& frame) {
+  std::vector<DuplicateAlert> alerts;
+  ++frames_seen_;
+
+  bool is_cut = false;
+  if (has_previous_) {
+    const double diff = video::Frame::HistogramDistance(
+        previous_frame_, frame, options_.histogram_bins);
+    // Welford running statistics of the difference signal.
+    ++diff_count_;
+    const double delta = diff - diff_mean_;
+    diff_mean_ += delta / static_cast<double>(diff_count_);
+    diff_m2_ += delta * (diff - diff_mean_);
+    const double stddev =
+        diff_count_ > 1
+            ? std::sqrt(diff_m2_ / static_cast<double>(diff_count_ - 1))
+            : 0.0;
+    const double threshold = std::max(
+        diff_mean_ + options_.threshold_sigmas * stddev,
+        options_.min_absolute_diff);
+    // Require some history before trusting the adaptive threshold.
+    is_cut = diff_count_ >= 4 && diff >= threshold;
+  }
+  previous_frame_ = frame;
+  has_previous_ = true;
+
+  if (is_cut || shot_buffer_.size() >= options_.max_shot_frames) {
+    alerts = CloseShot();
+  }
+  shot_buffer_.push_back(frame);
+  return alerts;
+}
+
+std::vector<DuplicateAlert> StreamMonitor::Flush() {
+  return CloseShot();
+}
+
+std::vector<DuplicateAlert> StreamMonitor::CloseShot() {
+  std::vector<DuplicateAlert> alerts;
+  if (shot_buffer_.empty()) return alerts;
+  ++shots_closed_;
+
+  // Sample keyframes of the closed shot and form q-grams, exactly as the
+  // batch segmenter does within one shot.
+  std::vector<size_t> keys;
+  for (size_t i = 0; i < shot_buffer_.size();
+       i += static_cast<size_t>(options_.keyframe_stride)) {
+    keys.push_back(i);
+  }
+  while (keys.size() < static_cast<size_t>(options_.q)) {
+    keys.push_back(keys.back());
+  }
+
+  const signature::SignatureBuilder builder(options_.signature);
+  signature::SignatureSeries shot_series;
+  for (size_t i = 0; i + static_cast<size_t>(options_.q) <= keys.size();
+       ++i) {
+    video::QGram gram;
+    for (int j = 0; j < options_.q; ++j) {
+      gram.frame_indices.push_back(keys[i + static_cast<size_t>(j)]);
+      gram.keyframes.push_back(
+          shot_buffer_[keys[i + static_cast<size_t>(j)]]);
+    }
+    StatusOr<signature::CuboidSignature> sig = builder.Build(gram);
+    if (sig.ok()) {
+      shot_series.push_back(std::move(*sig));
+      ++signatures_emitted_;
+    }
+  }
+  shot_buffer_.clear();
+  if (shot_series.empty()) return alerts;
+
+  // Probe the LSB index with every shot signature, then verify candidate
+  // videos with exact SimC against their stored reference series.
+  std::map<video::VideoId, std::pair<int, double>> votes;  // votes, best sim
+  for (const auto& sig : shot_series) {
+    const auto hits = lsb_.Candidates(sig, options_.probes);
+    for (const auto& [vid, count] : hits) {
+      (void)count;
+      const auto ref = references_.find(vid);
+      if (ref == references_.end()) continue;
+      double best = 0.0;
+      for (const auto& ref_sig : ref->second) {
+        best = std::max(best, signature::SimC(sig, ref_sig));
+      }
+      if (best >= options_.match_threshold) {
+        auto& [v, s] = votes[vid];
+        ++v;
+        s = std::max(s, best);
+      }
+    }
+  }
+  for (const auto& [vid, vote] : votes) {
+    if (vote.first >= options_.min_votes) {
+      DuplicateAlert alert;
+      alert.stream_position = frames_seen_;
+      alert.matched_video = vid;
+      alert.similarity = vote.second;
+      alert.votes = vote.first;
+      alerts.push_back(alert);
+    }
+  }
+  std::sort(alerts.begin(), alerts.end(),
+            [](const DuplicateAlert& a, const DuplicateAlert& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.matched_video < b.matched_video;
+            });
+  return alerts;
+}
+
+}  // namespace vrec::stream

@@ -1,0 +1,105 @@
+#ifndef VREC_STREAM_MONITOR_H_
+#define VREC_STREAM_MONITOR_H_
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "index/lsb_index.h"
+#include "signature/cuboid_signature.h"
+#include "signature/emd.h"
+#include "util/status.h"
+#include "video/frame.h"
+#include "video/video.h"
+
+namespace vrec::stream {
+
+/// Alert raised when a shot of the incoming stream near-duplicates an
+/// indexed reference video.
+struct DuplicateAlert {
+  /// Stream frame index at which the matching shot ended (exclusive).
+  size_t stream_position = 0;
+  video::VideoId matched_video = -1;
+  /// Best verified SimC between a shot signature and the reference.
+  double similarity = 0.0;
+  /// Number of the shot's signatures that matched the reference.
+  int votes = 0;
+};
+
+/// Options for the stream monitor.
+struct MonitorOptions {
+  /// Keyframe sampling stride within a shot.
+  int keyframe_stride = 2;
+  /// q-gram size (bigrams, as in the batch pipeline).
+  int q = 2;
+  /// Cut detection: histogram bins and the adaptive threshold's
+  /// sensitivity over the running difference statistics.
+  int histogram_bins = 64;
+  double threshold_sigmas = 3.0;
+  double min_absolute_diff = 0.25;
+  /// Force-close a shot after this many frames (bounds latency and memory
+  /// on cut-free streams).
+  size_t max_shot_frames = 256;
+  /// Minimum verified SimC for a signature to count as a match.
+  double match_threshold = 0.5;
+  /// Signatures of one shot that must agree before alerting on a video.
+  int min_votes = 1;
+  /// LSB probing depth per signature.
+  int probes = 8;
+  signature::SignatureOptions signature;
+  index::LsbIndex::Options lsb;
+};
+
+/// Online near-duplicate monitor over a video stream — the continuous
+/// counterpart of the batch content pipeline, reproducing the substrate of
+/// the paper's reference [35] ("Monitoring near duplicates over video
+/// streams") with the same cuboid/EMD machinery.
+///
+/// Usage: index the reference videos once, then PushFrame() for every
+/// incoming frame. When a shot boundary is detected (adaptive histogram
+/// differencing over a running window) the closed shot is signed and probed
+/// against the LSB index; verified matches are returned as alerts. Flush()
+/// closes the trailing shot at end of stream.
+class StreamMonitor {
+ public:
+  explicit StreamMonitor(MonitorOptions options = MonitorOptions());
+
+  /// Indexes a reference video (also keeps its signature series for exact
+  /// SimC verification of candidate hits).
+  Status IndexReferenceVideo(const video::Video& video);
+
+  /// Feeds one stream frame; returns the alerts of any shot this frame
+  /// closed (usually empty).
+  std::vector<DuplicateAlert> PushFrame(const video::Frame& frame);
+
+  /// Closes the trailing shot and returns its alerts.
+  std::vector<DuplicateAlert> Flush();
+
+  size_t frames_seen() const { return frames_seen_; }
+  size_t shots_closed() const { return shots_closed_; }
+  size_t signatures_emitted() const { return signatures_emitted_; }
+  size_t reference_count() const { return references_.size(); }
+
+ private:
+  std::vector<DuplicateAlert> CloseShot();
+
+  MonitorOptions options_;
+  index::LsbIndex lsb_;
+  std::map<video::VideoId, signature::SignatureSeries> references_;
+
+  std::vector<video::Frame> shot_buffer_;
+  video::Frame previous_frame_;
+  bool has_previous_ = false;
+  // Running mean/variance of the frame-difference signal (Welford).
+  double diff_mean_ = 0.0;
+  double diff_m2_ = 0.0;
+  size_t diff_count_ = 0;
+
+  size_t frames_seen_ = 0;
+  size_t shots_closed_ = 0;
+  size_t signatures_emitted_ = 0;
+};
+
+}  // namespace vrec::stream
+
+#endif  // VREC_STREAM_MONITOR_H_

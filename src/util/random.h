@@ -1,0 +1,69 @@
+#ifndef VREC_UTIL_RANDOM_H_
+#define VREC_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vrec {
+
+/// Deterministic, fast PRNG (xoshiro256** seeded via splitmix64).
+///
+/// Every stochastic component in the library (data generators, LSH
+/// projections, simulated raters) draws from an explicitly-seeded Rng so that
+/// experiments are exactly reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Standard Cauchy variate (used for L1-stable LSH projections).
+  double Cauchy();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent s (popularity skew).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Samples an index according to the (unnormalized) weights. Weights must
+  /// be non-negative with positive sum.
+  int64_t Weighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+  /// Draws k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace vrec
+
+#endif  // VREC_UTIL_RANDOM_H_

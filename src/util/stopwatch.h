@@ -1,0 +1,29 @@
+#ifndef VREC_UTIL_STOPWATCH_H_
+#define VREC_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace vrec {
+
+/// Wall-clock stopwatch used by the benchmark harnesses to report the
+/// per-phase timings that back the paper's efficiency figures (Fig. 12).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vrec
+
+#endif  // VREC_UTIL_STOPWATCH_H_

@@ -1,0 +1,46 @@
+#include "video/frame.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrec::video {
+
+Frame::Frame(int width, int height, uint8_t fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<size_t>(width) * static_cast<size_t>(height), fill) {}
+
+double Frame::BlockMean(int x0, int y0, int x1, int y1) const {
+  x0 = std::max(0, x0);
+  y0 = std::max(0, y0);
+  x1 = std::min(width_, x1);
+  y1 = std::min(height_, y1);
+  if (x0 >= x1 || y0 >= y1) return 0.0;
+  double sum = 0.0;
+  for (int y = y0; y < y1; ++y) {
+    for (int x = x0; x < x1; ++x) sum += at(x, y);
+  }
+  return sum / (static_cast<double>(x1 - x0) * static_cast<double>(y1 - y0));
+}
+
+std::vector<double> Frame::NormalizedHistogram(int bins) const {
+  std::vector<double> hist(static_cast<size_t>(bins), 0.0);
+  if (pixels_.empty()) return hist;
+  for (uint8_t p : pixels_) {
+    int bin = p * bins / 256;
+    hist[static_cast<size_t>(bin)] += 1.0;
+  }
+  const double n = static_cast<double>(pixels_.size());
+  for (double& h : hist) h /= n;
+  return hist;
+}
+
+double Frame::HistogramDistance(const Frame& a, const Frame& b, int bins) {
+  const std::vector<double> ha = a.NormalizedHistogram(bins);
+  const std::vector<double> hb = b.NormalizedHistogram(bins);
+  double d = 0.0;
+  for (size_t i = 0; i < ha.size(); ++i) d += std::abs(ha[i] - hb[i]);
+  return d;
+}
+
+}  // namespace vrec::video

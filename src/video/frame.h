@@ -1,0 +1,59 @@
+#ifndef VREC_VIDEO_FRAME_H_
+#define VREC_VIDEO_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vrec::video {
+
+/// A single greyscale frame stored row-major as 8-bit intensities.
+///
+/// The paper's content pipeline (cut detection, video cuboid signatures,
+/// block intensity statistics) operates on luminance only, so a greyscale
+/// plane is the exact substrate it needs.
+class Frame {
+ public:
+  Frame() = default;
+
+  /// Creates a width x height frame filled with `fill`.
+  Frame(int width, int height, uint8_t fill = 0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  uint8_t at(int x, int y) const { return pixels_[Index(x, y)]; }
+  void set(int x, int y, uint8_t v) { pixels_[Index(x, y)] = v; }
+
+  const std::vector<uint8_t>& pixels() const { return pixels_; }
+  std::vector<uint8_t>& mutable_pixels() { return pixels_; }
+
+  /// Mean intensity of the rectangle [x0, x1) x [y0, y1), clipped to the
+  /// frame bounds. Returns 0 for an empty intersection.
+  double BlockMean(int x0, int y0, int x1, int y1) const;
+
+  /// 256-bin intensity histogram normalized to sum to 1. Used by the cut
+  /// detector and by the AFFRF baseline's visual channel.
+  std::vector<double> NormalizedHistogram(int bins = 64) const;
+
+  /// L1 distance between the normalized histograms of two frames, in [0, 2].
+  static double HistogramDistance(const Frame& a, const Frame& b,
+                                  int bins = 64);
+
+  bool operator==(const Frame& other) const = default;
+
+ private:
+  size_t Index(int x, int y) const {
+    return static_cast<size_t>(y) * static_cast<size_t>(width_) +
+           static_cast<size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<uint8_t> pixels_;
+};
+
+}  // namespace vrec::video
+
+#endif  // VREC_VIDEO_FRAME_H_

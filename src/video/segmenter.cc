@@ -1,0 +1,35 @@
+#include "video/segmenter.h"
+
+namespace vrec::video {
+
+std::vector<QGram> Segmenter::Segment(const Video& video) const {
+  std::vector<QGram> grams;
+  if (video.frame_count() == 0) return grams;
+  const ShotDetector detector(options_.shot_options);
+  const auto shots = detector.DetectShots(video);
+  const size_t q = static_cast<size_t>(options_.q);
+  const size_t stride = static_cast<size_t>(options_.keyframe_stride);
+
+  for (const auto& [begin, end] : shots) {
+    // Sample keyframes at the stride, always including the first frame of
+    // the shot.
+    std::vector<size_t> keys;
+    for (size_t i = begin; i < end; i += stride) keys.push_back(i);
+    if (keys.empty()) continue;
+    // Pad very short shots by repeating the last keyframe so each shot
+    // yields at least one full q-gram.
+    while (keys.size() < q) keys.push_back(keys.back());
+
+    for (size_t i = 0; i + q <= keys.size(); ++i) {
+      QGram g;
+      for (size_t j = 0; j < q; ++j) {
+        g.frame_indices.push_back(keys[i + j]);
+        g.keyframes.push_back(video.frames()[keys[i + j]]);
+      }
+      grams.push_back(std::move(g));
+    }
+  }
+  return grams;
+}
+
+}  // namespace vrec::video

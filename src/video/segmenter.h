@@ -1,0 +1,47 @@
+#ifndef VREC_VIDEO_SEGMENTER_H_
+#define VREC_VIDEO_SEGMENTER_H_
+
+#include <vector>
+
+#include "video/frame.h"
+#include "video/shot_detector.h"
+#include "video/video.h"
+
+namespace vrec::video {
+
+/// A video q-gram: q temporally-consecutive keyframes drawn from one shot.
+/// The paper builds one cuboid signature per q-gram and uses bigrams (q=2).
+struct QGram {
+  /// Keyframe indices into the source video (informational).
+  std::vector<size_t> frame_indices;
+  /// The keyframes themselves.
+  std::vector<Frame> keyframes;
+};
+
+/// Options controlling keyframe sampling and q-gram formation.
+struct SegmenterOptions {
+  /// Frames between sampled keyframes inside a shot.
+  int keyframe_stride = 2;
+  /// Size of the q-gram; the paper simplifies to bigrams.
+  int q = 2;
+  ShotDetectorOptions shot_options;
+};
+
+/// Splits a video into shots, samples keyframes per shot, and emits sliding
+/// q-grams of keyframes. One cuboid signature is built per q-gram; the
+/// signature series of a video is the ordered list over all its q-grams.
+class Segmenter {
+ public:
+  explicit Segmenter(SegmenterOptions options = {}) : options_(options) {}
+
+  /// Q-grams for the whole video. Shots shorter than q keyframes contribute
+  /// a single (possibly padded-by-repetition) q-gram so no shot is dropped.
+  std::vector<QGram> Segment(const Video& video) const;
+
+ private:
+  SegmenterOptions options_;
+};
+
+}  // namespace vrec::video
+
+#endif  // VREC_VIDEO_SEGMENTER_H_

@@ -1,0 +1,68 @@
+#include "video/shot_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrec::video {
+
+std::vector<size_t> ShotDetector::DetectCuts(const Video& video) const {
+  const size_t n = video.frame_count();
+  std::vector<size_t> cuts;
+  if (n < 2) return cuts;
+
+  // Frame-to-frame histogram distance signal; diff[i] is the distance
+  // between frame i and frame i+1 (a cut before frame i+1).
+  std::vector<double> diff(n - 1);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    diff[i] = Frame::HistogramDistance(video.frames()[i], video.frames()[i + 1],
+                                       options_.histogram_bins);
+  }
+
+  double mean = 0.0;
+  for (double d : diff) mean += d;
+  mean /= static_cast<double>(diff.size());
+  double var = 0.0;
+  for (double d : diff) var += (d - mean) * (d - mean);
+  var /= static_cast<double>(diff.size());
+  const double stddev = std::sqrt(var);
+
+  const double threshold =
+      std::max(mean + options_.threshold_sigmas * stddev,
+               options_.min_absolute_diff);
+
+  size_t last_cut = 0;
+  for (size_t i = 0; i < diff.size(); ++i) {
+    const size_t cut_pos = i + 1;
+    if (diff[i] >= threshold) {
+      // A cut must also be a local maximum of the signal, so a gradual
+      // brightness ramp does not fire on every frame.
+      const bool local_max =
+          (i == 0 || diff[i] >= diff[i - 1]) &&
+          (i + 1 == diff.size() || diff[i] >= diff[i + 1]);
+      if (!local_max) continue;
+      if (!cuts.empty() &&
+          cut_pos - last_cut < static_cast<size_t>(options_.min_shot_length)) {
+        continue;
+      }
+      cuts.push_back(cut_pos);
+      last_cut = cut_pos;
+    }
+  }
+  return cuts;
+}
+
+std::vector<std::pair<size_t, size_t>> ShotDetector::DetectShots(
+    const Video& video) const {
+  std::vector<std::pair<size_t, size_t>> shots;
+  const size_t n = video.frame_count();
+  if (n == 0) return shots;
+  size_t begin = 0;
+  for (size_t cut : DetectCuts(video)) {
+    shots.emplace_back(begin, cut);
+    begin = cut;
+  }
+  shots.emplace_back(begin, n);
+  return shots;
+}
+
+}  // namespace vrec::video

@@ -1,0 +1,47 @@
+#ifndef VREC_VIDEO_SHOT_DETECTOR_H_
+#define VREC_VIDEO_SHOT_DETECTOR_H_
+
+#include <vector>
+
+#include "video/video.h"
+
+namespace vrec::video {
+
+/// Options for histogram-difference cut detection.
+struct ShotDetectorOptions {
+  /// Number of histogram bins used for the frame-difference signal.
+  int histogram_bins = 64;
+  /// A boundary is declared where the histogram L1 difference exceeds
+  /// mean + threshold_sigmas * stddev of the local difference signal
+  /// (adaptive thresholding), and also exceeds min_absolute_diff.
+  double threshold_sigmas = 3.0;
+  double min_absolute_diff = 0.25;
+  /// Two cuts closer than this many frames are merged (flash suppression).
+  int min_shot_length = 3;
+};
+
+/// Detects hard cuts via adaptive histogram differencing.
+///
+/// Stands in for the AT&T TRECVID-2007 shot-boundary system the paper cites
+/// ([18]); the paper only consumes the cut positions, to split a video into
+/// the segments over which cuboid signatures are built.
+class ShotDetector {
+ public:
+  explicit ShotDetector(ShotDetectorOptions options = {})
+      : options_(options) {}
+
+  /// Returns the cut positions: index i means a boundary *before* frame i.
+  /// Positions are strictly increasing and in (0, frame_count).
+  std::vector<size_t> DetectCuts(const Video& video) const;
+
+  /// Convenience: converts cuts into [begin, end) shot ranges covering the
+  /// whole video.
+  std::vector<std::pair<size_t, size_t>> DetectShots(const Video& video) const;
+
+ private:
+  ShotDetectorOptions options_;
+};
+
+}  // namespace vrec::video
+
+#endif  // VREC_VIDEO_SHOT_DETECTOR_H_

@@ -1,0 +1,143 @@
+#include "video/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vrec::video::transforms {
+namespace {
+
+uint8_t ClampPixel(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+}
+
+Video WithFrames(const Video& in, std::vector<Frame> frames) {
+  Video out(in.id(), std::move(frames));
+  out.set_fps(in.fps());
+  out.set_title(in.title());
+  return out;
+}
+
+}  // namespace
+
+Video BrightnessShift(const Video& in, int delta) {
+  std::vector<Frame> frames = in.frames();
+  for (Frame& f : frames) {
+    for (uint8_t& p : f.mutable_pixels()) {
+      p = ClampPixel(static_cast<double>(p) + delta);
+    }
+  }
+  return WithFrames(in, std::move(frames));
+}
+
+Video ContrastScale(const Video& in, double factor) {
+  std::vector<Frame> frames = in.frames();
+  for (Frame& f : frames) {
+    for (uint8_t& p : f.mutable_pixels()) {
+      p = ClampPixel(128.0 + (static_cast<double>(p) - 128.0) * factor);
+    }
+  }
+  return WithFrames(in, std::move(frames));
+}
+
+Video AddNoise(const Video& in, int amplitude, Rng* rng) {
+  std::vector<Frame> frames = in.frames();
+  for (Frame& f : frames) {
+    for (uint8_t& p : f.mutable_pixels()) {
+      const int64_t d = rng->UniformInt(-amplitude, amplitude);
+      p = ClampPixel(static_cast<double>(p) + static_cast<double>(d));
+    }
+  }
+  return WithFrames(in, std::move(frames));
+}
+
+Video SpatialShift(const Video& in, int dx, int dy) {
+  std::vector<Frame> frames;
+  frames.reserve(in.frame_count());
+  for (const Frame& f : in.frames()) {
+    Frame out(f.width(), f.height());
+    for (int y = 0; y < f.height(); ++y) {
+      for (int x = 0; x < f.width(); ++x) {
+        const int sx = std::clamp(x - dx, 0, f.width() - 1);
+        const int sy = std::clamp(y - dy, 0, f.height() - 1);
+        out.set(x, y, f.at(sx, sy));
+      }
+    }
+    frames.push_back(std::move(out));
+  }
+  return WithFrames(in, std::move(frames));
+}
+
+Video CropZoom(const Video& in, double margin_frac) {
+  std::vector<Frame> frames;
+  frames.reserve(in.frame_count());
+  for (const Frame& f : in.frames()) {
+    const int mx = static_cast<int>(f.width() * margin_frac / 2.0);
+    const int my = static_cast<int>(f.height() * margin_frac / 2.0);
+    const int cw = std::max(1, f.width() - 2 * mx);
+    const int ch = std::max(1, f.height() - 2 * my);
+    Frame out(f.width(), f.height());
+    for (int y = 0; y < f.height(); ++y) {
+      for (int x = 0; x < f.width(); ++x) {
+        const int sx = mx + x * cw / f.width();
+        const int sy = my + y * ch / f.height();
+        out.set(x, y, f.at(std::min(sx, f.width() - 1),
+                           std::min(sy, f.height() - 1)));
+      }
+    }
+    frames.push_back(std::move(out));
+  }
+  return WithFrames(in, std::move(frames));
+}
+
+Video DropFrames(const Video& in, int stride) {
+  std::vector<Frame> frames;
+  for (size_t i = 0; i < in.frame_count(); ++i) {
+    if (stride > 1 && (i % static_cast<size_t>(stride)) == stride - 1u)
+      continue;
+    frames.push_back(in.frames()[i]);
+  }
+  return WithFrames(in, std::move(frames));
+}
+
+Video InsertSlate(const Video& in, size_t position, int count,
+                  uint8_t intensity) {
+  std::vector<Frame> frames;
+  frames.reserve(in.frame_count() + static_cast<size_t>(count));
+  position = std::min(position, in.frame_count());
+  const int w = in.frame_count() > 0 ? in.frames()[0].width() : 16;
+  const int h = in.frame_count() > 0 ? in.frames()[0].height() : 16;
+  for (size_t i = 0; i < position; ++i) frames.push_back(in.frames()[i]);
+  for (int i = 0; i < count; ++i) frames.emplace_back(w, h, intensity);
+  for (size_t i = position; i < in.frame_count(); ++i)
+    frames.push_back(in.frames()[i]);
+  return WithFrames(in, std::move(frames));
+}
+
+Video ShuffleChunks(const Video& in, int chunks, Rng* rng) {
+  if (chunks <= 1 || in.frame_count() < static_cast<size_t>(chunks)) {
+    return in;
+  }
+  const size_t n = in.frame_count();
+  const size_t chunk_len = n / static_cast<size_t>(chunks);
+  std::vector<size_t> order(static_cast<size_t>(chunks));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  std::vector<Frame> frames;
+  frames.reserve(n);
+  for (size_t c : order) {
+    const size_t begin = c * chunk_len;
+    const size_t end = (c + 1 == order.size()) ? n : begin + chunk_len;
+    for (size_t i = begin; i < end; ++i) frames.push_back(in.frames()[i]);
+  }
+  return WithFrames(in, std::move(frames));
+}
+
+Video Excerpt(const Video& in, size_t begin, size_t len) {
+  begin = std::min(begin, in.frame_count());
+  const size_t end = std::min(begin + len, in.frame_count());
+  std::vector<Frame> frames(in.frames().begin() + static_cast<long>(begin),
+                            in.frames().begin() + static_cast<long>(end));
+  return WithFrames(in, std::move(frames));
+}
+
+}  // namespace vrec::video::transforms

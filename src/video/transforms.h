@@ -1,0 +1,58 @@
+#ifndef VREC_VIDEO_TRANSFORMS_H_
+#define VREC_VIDEO_TRANSFORMS_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "video/video.h"
+
+namespace vrec::video {
+
+/// Video editing / transformation operators.
+///
+/// The paper motivates the cuboid signature + EMD measure by its robustness
+/// to exactly these user-upload edits ("a large portion of [videos] have been
+/// edited or undergone different variations"). The corpus generator applies
+/// them to produce near-duplicate derivative videos, and the signature tests
+/// assert the claimed invariances directly.
+namespace transforms {
+
+/// Adds `delta` to every pixel, clamped to [0, 255]. Global photometric
+/// shift; cuboid values are temporal *differences*, so they are invariant.
+Video BrightnessShift(const Video& in, int delta);
+
+/// Scales intensities around 128 by `factor`, clamped. Mild contrast edit.
+Video ContrastScale(const Video& in, double factor);
+
+/// Adds iid uniform noise in [-amplitude, amplitude] per pixel.
+Video AddNoise(const Video& in, int amplitude, Rng* rng);
+
+/// Translates frame content by (dx, dy), filling vacated pixels with the
+/// frame's border values. Models letterboxing / re-framing edits.
+Video SpatialShift(const Video& in, int dx, int dy);
+
+/// Crops a centered window of (1 - margin_frac) of each side and scales it
+/// back up with nearest-neighbour sampling.
+Video CropZoom(const Video& in, double margin_frac);
+
+/// Drops every `stride`-th frame (temporal re-encoding at lower rate).
+Video DropFrames(const Video& in, int stride);
+
+/// Inserts `count` copies of a flat "slate" frame at `position`. Models ads
+/// or title cards spliced into a re-upload.
+Video InsertSlate(const Video& in, size_t position, int count,
+                  uint8_t intensity = 16);
+
+/// Splits the video into `chunks` equal pieces and permutes them with the
+/// given Rng. Models sequence-level re-editing (the robustness case where
+/// whole-sequence measures like DTW/ERP degrade but kJ does not).
+Video ShuffleChunks(const Video& in, int chunks, Rng* rng);
+
+/// Keeps only the subrange [begin, begin+len) of frames (a clip excerpt).
+Video Excerpt(const Video& in, size_t begin, size_t len);
+
+}  // namespace transforms
+
+}  // namespace vrec::video
+
+#endif  // VREC_VIDEO_TRANSFORMS_H_

@@ -1,0 +1,4 @@
+#include "video/video.h"
+
+// Video is currently header-only in behaviour; this TU anchors the library
+// target and keeps room for out-of-line growth (serialization, validation).

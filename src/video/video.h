@@ -1,0 +1,55 @@
+#ifndef VREC_VIDEO_VIDEO_H_
+#define VREC_VIDEO_VIDEO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "video/frame.h"
+
+namespace vrec::video {
+
+/// Identifier of a video within a corpus.
+using VideoId = int64_t;
+
+/// A video clip: an ordered frame sequence plus corpus metadata.
+///
+/// Frames are sampled (the paper works on keyframes, not full 25fps
+/// streams), so `fps` here is the *sampled* rate; a 10-minute clip at one
+/// frame per second is 600 frames.
+class Video {
+ public:
+  Video() = default;
+  Video(VideoId id, std::vector<Frame> frames)
+      : id_(id), frames_(std::move(frames)) {}
+
+  VideoId id() const { return id_; }
+  void set_id(VideoId id) { id_ = id; }
+
+  const std::string& title() const { return title_; }
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  const std::vector<Frame>& frames() const { return frames_; }
+  std::vector<Frame>& mutable_frames() { return frames_; }
+  size_t frame_count() const { return frames_.size(); }
+
+  /// Sampled frames per second of playback; used to convert frame counts to
+  /// "hours of video" when scaling the corpus (Fig. 12 x-axis).
+  double fps() const { return fps_; }
+  void set_fps(double fps) { fps_ = fps; }
+
+  /// Duration in seconds implied by frame_count() and fps().
+  double DurationSeconds() const {
+    return fps_ > 0 ? static_cast<double>(frames_.size()) / fps_ : 0.0;
+  }
+
+ private:
+  VideoId id_ = -1;
+  std::string title_;
+  std::vector<Frame> frames_;
+  double fps_ = 1.0;
+};
+
+}  // namespace vrec::video
+
+#endif  // VREC_VIDEO_VIDEO_H_

@@ -1,0 +1,95 @@
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "baseline/affrf.h"
+#include "eval/rating_oracle.h"
+
+namespace vrec::baseline {
+namespace {
+
+class AffrfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::DatasetOptions options;
+    options.num_topics = 6;
+    options.base_videos_per_topic = 2;
+    options.corpus.frames_per_video = 16;
+    options.corpus.derivatives_per_base = 1;
+    options.community.num_users = 60;
+    options.community.num_user_groups = 6;
+    options.community.months = 4;
+    dataset_ = datagen::GenerateDataset(options);
+  }
+  datagen::Dataset dataset_;
+};
+
+TEST_F(AffrfTest, ReturnsKResultsExcludingQuery) {
+  Affrf affrf(&dataset_);
+  const auto results = affrf.Recommend(0, 5);
+  EXPECT_EQ(results.size(), 5u);
+  for (video::VideoId v : results) {
+    EXPECT_NE(v, 0);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, static_cast<video::VideoId>(dataset_.video_count()));
+  }
+}
+
+TEST_F(AffrfTest, ResultsAreDistinct) {
+  Affrf affrf(&dataset_);
+  const auto results = affrf.Recommend(3, 10);
+  std::set<video::VideoId> distinct(results.begin(), results.end());
+  EXPECT_EQ(distinct.size(), results.size());
+}
+
+TEST_F(AffrfTest, KLargerThanCorpusClamps) {
+  Affrf affrf(&dataset_);
+  const auto results = affrf.Recommend(0, 10000);
+  EXPECT_EQ(results.size(), dataset_.video_count() - 1);
+}
+
+TEST_F(AffrfTest, DeterministicForSameQuery) {
+  Affrf affrf(&dataset_);
+  EXPECT_EQ(affrf.Recommend(2, 8), affrf.Recommend(2, 8));
+}
+
+TEST_F(AffrfTest, FindsRelatedContentAboveChance) {
+  // AFFRF should rank same-channel videos above chance levels: its text
+  // and aural features are noisy observations of the topic mixture.
+  Affrf affrf(&dataset_);
+  const eval::RatingOracle oracle(&dataset_);
+  const auto queries = dataset_.QueryVideoIds();
+  double top_rating = 0.0;
+  double corpus_rating = 0.0;
+  size_t count = 0;
+  for (video::VideoId q : queries) {
+    const auto top = affrf.Recommend(q, 5);
+    for (video::VideoId v : top) top_rating += oracle.Rate(q, v);
+    for (size_t v = 0; v < dataset_.video_count(); ++v) {
+      if (static_cast<video::VideoId>(v) == q) continue;
+      corpus_rating += oracle.Rate(q, static_cast<video::VideoId>(v));
+      ++count;
+    }
+  }
+  top_rating /= static_cast<double>(queries.size() * 5);
+  corpus_rating /= static_cast<double>(count);
+  EXPECT_GT(top_rating, corpus_rating);
+}
+
+TEST_F(AffrfTest, FeedbackRoundsChangeRanking) {
+  Affrf::Options no_feedback;
+  no_feedback.feedback_rounds = 0;
+  Affrf::Options with_feedback;
+  with_feedback.feedback_rounds = 2;
+  Affrf a(&dataset_, no_feedback);
+  Affrf b(&dataset_, with_feedback);
+  // Rankings typically differ once feedback reshapes the query.
+  int differing = 0;
+  for (video::VideoId q : dataset_.QueryVideoIds()) {
+    if (a.Recommend(q, 10) != b.Recommend(q, 10)) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+}  // namespace
+}  // namespace vrec::baseline

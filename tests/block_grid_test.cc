@@ -1,0 +1,106 @@
+#include <set>
+
+#include "gtest/gtest.h"
+#include "signature/block_grid.h"
+
+namespace vrec::signature {
+namespace {
+
+using video::Frame;
+
+TEST(BlockGridTest, UniformFrameHasUniformMeans) {
+  Frame f(16, 16, 77);
+  BlockGrid grid(f, 4);
+  EXPECT_EQ(grid.block_count(), 16);
+  for (int by = 0; by < 4; ++by) {
+    for (int bx = 0; bx < 4; ++bx) {
+      EXPECT_DOUBLE_EQ(grid.BlockMean(bx, by), 77.0);
+    }
+  }
+}
+
+TEST(BlockGridTest, BlockMeansMatchRegions) {
+  // Left half 0, right half 200.
+  Frame f(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) f.set(x, y, 200);
+  }
+  BlockGrid grid(f, 4);
+  EXPECT_DOUBLE_EQ(grid.BlockMean(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(grid.BlockMean(3, 3), 200.0);
+}
+
+TEST(BlockGridTest, MergeUniformFrameIntoOneRegion) {
+  Frame f(16, 16, 50);
+  BlockGrid grid(f, 4);
+  const auto region = grid.MergeSimilarBlocks(5.0);
+  for (int r : region) EXPECT_EQ(r, 0);
+}
+
+TEST(BlockGridTest, MergeSeparatesDistinctHalves) {
+  Frame f(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) f.set(x, y, 200);
+  }
+  BlockGrid grid(f, 4);
+  const auto region = grid.MergeSimilarBlocks(10.0);
+  std::set<int> regions(region.begin(), region.end());
+  EXPECT_EQ(regions.size(), 2u);
+  // All left-half blocks share a region; all right-half blocks share the
+  // other.
+  EXPECT_EQ(region[0], region[4]);   // (0,0) and (0,1)
+  EXPECT_EQ(region[3], region[7]);   // (3,0) and (3,1)
+  EXPECT_NE(region[0], region[3]);
+}
+
+TEST(BlockGridTest, ZeroThresholdMergesOnlyIdentical) {
+  Frame f(4, 4);
+  // Each 1x1 block distinct intensity.
+  int v = 0;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) f.set(x, y, static_cast<uint8_t>(v += 10));
+  }
+  BlockGrid grid(f, 4);
+  const auto region = grid.MergeSimilarBlocks(0.0);
+  std::set<int> regions(region.begin(), region.end());
+  EXPECT_EQ(regions.size(), 16u);
+}
+
+TEST(BlockGridTest, HugeThresholdMergesEverything) {
+  Frame f(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) {
+      f.set(x, y, static_cast<uint8_t>(x * 30));
+    }
+  }
+  BlockGrid grid(f, 4);
+  const auto region = grid.MergeSimilarBlocks(255.0);
+  for (int r : region) EXPECT_EQ(r, 0);
+}
+
+TEST(BlockGridTest, RegionIdsAreDense) {
+  Frame f(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) f.set(x, y, 200);
+  }
+  BlockGrid grid(f, 4);
+  const auto region = grid.MergeSimilarBlocks(10.0);
+  std::set<int> regions(region.begin(), region.end());
+  int expect = 0;
+  for (int r : regions) EXPECT_EQ(r, expect++);
+}
+
+TEST(BlockGridTest, NonDivisibleFrameDimensions) {
+  // 10x10 frame with a 3x3 grid: blocks have uneven pixel extents but all
+  // pixels are covered.
+  Frame f(10, 10, 90);
+  BlockGrid grid(f, 3);
+  for (int by = 0; by < 3; ++by) {
+    for (int bx = 0; bx < 3; ++bx) {
+      EXPECT_DOUBLE_EQ(grid.BlockMean(bx, by), 90.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vrec::signature

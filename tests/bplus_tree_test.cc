@@ -1,0 +1,173 @@
+#include <algorithm>
+#include <map>
+
+#include "gtest/gtest.h"
+#include "index/bplus_tree.h"
+#include "util/random.h"
+
+namespace vrec::index {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_FALSE(tree.First().valid());
+  EXPECT_FALSE(tree.Last().valid());
+  EXPECT_FALSE(tree.LowerBound(0).valid());
+  EXPECT_TRUE(tree.Scan().empty());
+}
+
+TEST(BPlusTreeTest, SingleInsert) {
+  BPlusTree tree;
+  tree.Insert(42, {7, 1});
+  EXPECT_EQ(tree.size(), 1u);
+  auto c = tree.First();
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.Get().key, 42u);
+  EXPECT_EQ(c.Get().payload.video_id, 7);
+  EXPECT_EQ(c.Get().payload.sig_index, 1u);
+}
+
+TEST(BPlusTreeTest, ScanIsSorted) {
+  BPlusTree tree(4);  // small fanout to force splits
+  Rng rng(601);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(rng.NextU64() % 1000, {i, 0});
+  }
+  const auto entries = tree.Scan();
+  EXPECT_EQ(entries.size(), 500u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LE(entries[i - 1].key, entries[i].key);
+  }
+  EXPECT_GT(tree.height(), 1);
+}
+
+TEST(BPlusTreeTest, DuplicateKeysAllRetained) {
+  BPlusTree tree(4);
+  for (int i = 0; i < 50; ++i) tree.Insert(7, {i, 0});
+  EXPECT_EQ(tree.size(), 50u);
+  int count = 0;
+  for (auto c = tree.LowerBound(7); c.valid() && c.Get().key == 7; c.Next()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 50);
+}
+
+TEST(BPlusTreeTest, LowerBoundSemantics) {
+  BPlusTree tree(4);
+  for (uint64_t k : {10u, 20u, 30u, 40u}) tree.Insert(k, {0, 0});
+  EXPECT_EQ(tree.LowerBound(0).Get().key, 10u);
+  EXPECT_EQ(tree.LowerBound(10).Get().key, 10u);
+  EXPECT_EQ(tree.LowerBound(11).Get().key, 20u);
+  EXPECT_EQ(tree.LowerBound(40).Get().key, 40u);
+  EXPECT_FALSE(tree.LowerBound(41).valid());
+}
+
+TEST(BPlusTreeTest, CursorBidirectional) {
+  BPlusTree tree(4);
+  for (uint64_t k = 0; k < 20; ++k) tree.Insert(k, {0, 0});
+  auto c = tree.LowerBound(10);
+  ASSERT_TRUE(c.valid());
+  c.Prev();
+  ASSERT_TRUE(c.valid());
+  EXPECT_EQ(c.Get().key, 9u);
+  c.Next();
+  c.Next();
+  EXPECT_EQ(c.Get().key, 11u);
+}
+
+TEST(BPlusTreeTest, CursorInvalidatesAtEnds) {
+  BPlusTree tree;
+  tree.Insert(5, {0, 0});
+  auto c = tree.First();
+  c.Prev();
+  EXPECT_FALSE(c.valid());
+  auto d = tree.Last();
+  d.Next();
+  EXPECT_FALSE(d.valid());
+}
+
+TEST(BPlusTreeTest, LastReturnsMaxKey) {
+  BPlusTree tree(4);
+  Rng rng(607);
+  uint64_t mx = 0;
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t k = rng.NextU64() % 10000;
+    mx = std::max(mx, k);
+    tree.Insert(k, {i, 0});
+  }
+  EXPECT_EQ(tree.Last().Get().key, mx);
+}
+
+TEST(BPlusTreeTest, MatchesMultimapProperty) {
+  // Property test: Scan and LowerBound must agree with std::multimap over
+  // a large random workload, across several fanouts.
+  for (int fanout : {4, 8, 64}) {
+    BPlusTree tree(fanout);
+    std::multimap<uint64_t, int64_t> reference;
+    Rng rng(611);
+    for (int i = 0; i < 2000; ++i) {
+      const uint64_t key = rng.NextU64() % 500;
+      tree.Insert(key, {i, 0});
+      reference.emplace(key, i);
+    }
+    const auto entries = tree.Scan();
+    ASSERT_EQ(entries.size(), reference.size());
+    size_t idx = 0;
+    for (const auto& [key, value] : reference) {
+      EXPECT_EQ(entries[idx].key, key) << "fanout " << fanout;
+      ++idx;
+    }
+    for (uint64_t probe = 0; probe < 500; probe += 13) {
+      const auto it = reference.lower_bound(probe);
+      const auto cursor = tree.LowerBound(probe);
+      if (it == reference.end()) {
+        EXPECT_FALSE(cursor.valid());
+      } else {
+        ASSERT_TRUE(cursor.valid());
+        EXPECT_EQ(cursor.Get().key, it->first);
+      }
+    }
+  }
+}
+
+TEST(BPlusTreeTest, FullBackwardTraversal) {
+  BPlusTree tree(4);
+  for (uint64_t k = 0; k < 100; ++k) tree.Insert(k, {0, 0});
+  auto c = tree.Last();
+  uint64_t expected = 99;
+  size_t visited = 0;
+  while (c.valid()) {
+    EXPECT_EQ(c.Get().key, expected);
+    --expected;
+    ++visited;
+    c.Prev();
+  }
+  EXPECT_EQ(visited, 100u);
+}
+
+TEST(BPlusTreeTest, HeightGrowsLogarithmically) {
+  BPlusTree tree(8);
+  for (uint64_t k = 0; k < 4096; ++k) tree.Insert(k, {0, 0});
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 7);
+  EXPECT_GT(tree.node_count(), 100u);
+}
+
+TEST(BPlusTreeTest, SequentialAndReverseInsertions) {
+  for (bool reverse : {false, true}) {
+    BPlusTree tree(4);
+    for (int i = 0; i < 300; ++i) {
+      tree.Insert(reverse ? static_cast<uint64_t>(299 - i)
+                          : static_cast<uint64_t>(i),
+                  {i, 0});
+    }
+    const auto entries = tree.Scan();
+    ASSERT_EQ(entries.size(), 300u);
+    for (size_t i = 0; i < 300; ++i) EXPECT_EQ(entries[i].key, i);
+  }
+}
+
+}  // namespace
+}  // namespace vrec::index

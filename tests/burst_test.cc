@@ -1,0 +1,92 @@
+// Tests of the viral-burst community events and their effect on the
+// maintenance machinery.
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "core/recommender.h"
+#include "datagen/dataset.h"
+
+namespace vrec::datagen {
+namespace {
+
+DatasetOptions BurstOptions(double burst_probability) {
+  DatasetOptions options;
+  options.num_topics = 8;
+  options.base_videos_per_topic = 2;
+  options.corpus.frames_per_video = 16;
+  options.corpus.derivatives_per_base = 0;
+  options.community.num_users = 150;
+  options.community.num_user_groups = 15;
+  options.community.months = 8;
+  options.community.comments_per_video_month = 6.0;
+  options.community.burst_probability = burst_probability;
+  options.community.burst_multiplier = 12.0;
+  options.source_months = 6;
+  return options;
+}
+
+TEST(BurstTest, BurstsInflateCommentVolume) {
+  const auto calm = GenerateDataset(BurstOptions(0.0));
+  const auto bursty = GenerateDataset(BurstOptions(0.1));
+  EXPECT_GT(bursty.community.comments.size(),
+            calm.community.comments.size() * 3 / 2);
+}
+
+TEST(BurstTest, ZeroProbabilityMatchesLegacyBehaviour) {
+  auto options = BurstOptions(0.0);
+  const auto a = GenerateDataset(options);
+  const auto b = GenerateDataset(options);
+  EXPECT_EQ(a.community.comments.size(), b.community.comments.size());
+}
+
+TEST(BurstTest, MaintainerSurvivesViralMonths) {
+  const auto dataset = GenerateDataset(BurstOptions(0.15));
+  core::RecommenderOptions options;
+  options.social_mode = core::SocialMode::kSarHash;
+  options.k_subcommunities = 15;
+  core::Recommender rec(options);
+  const auto descriptors = dataset.SourceDescriptors();
+  for (size_t v = 0; v < dataset.video_count(); ++v) {
+    ASSERT_TRUE(
+        rec.AddVideo(dataset.corpus.videos[v], descriptors[v]).ok());
+  }
+  ASSERT_TRUE(rec.Finalize(dataset.community.user_count).ok());
+
+  // Apply the (burst-heavy) update months; invariants must hold.
+  for (int month = dataset.options.source_months;
+       month < dataset.options.community.months; ++month) {
+    std::vector<std::pair<video::VideoId, social::UserId>> comments;
+    for (const auto& c : dataset.community.CommentsInMonth(month)) {
+      comments.emplace_back(c.video, c.user);
+    }
+    const auto stats =
+        rec.ApplySocialUpdate(dataset.ConnectionsForMonth(month), comments);
+    ASSERT_TRUE(stats.ok()) << "month " << month;
+    EXPECT_GE(rec.num_communities(), 1);
+  }
+  // Queries still work after the pile-ons.
+  const auto results = rec.RecommendById(0, 5);
+  ASSERT_TRUE(results.ok());
+  EXPECT_FALSE(results->empty());
+}
+
+TEST(BurstTest, BurstCommentsComeFromWholeCommunity) {
+  // With heavy bursts, the set of distinct commenters per video should be
+  // much wider than the planted in-group audience.
+  const auto dataset = GenerateDataset(BurstOptions(0.3));
+  size_t max_distinct = 0;
+  std::vector<std::set<social::UserId>> commenters(dataset.video_count());
+  for (const auto& c : dataset.community.comments) {
+    commenters[static_cast<size_t>(c.video)].insert(c.user);
+  }
+  for (const auto& s : commenters) {
+    max_distinct = std::max(max_distinct, s.size());
+  }
+  // At least one video drew over a third of the whole community.
+  EXPECT_GT(max_distinct, dataset.community.user_count / 3);
+}
+
+}  // namespace
+}  // namespace vrec::datagen

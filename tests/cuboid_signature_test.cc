@@ -1,0 +1,148 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "signature/cuboid_signature.h"
+
+namespace vrec::signature {
+namespace {
+
+using video::Frame;
+using video::QGram;
+
+QGram MakeGram(std::vector<Frame> frames) {
+  QGram g;
+  for (size_t i = 0; i < frames.size(); ++i) g.frame_indices.push_back(i);
+  g.keyframes = std::move(frames);
+  return g;
+}
+
+TEST(CuboidSignatureTest, WeightsSumToOne) {
+  SignatureBuilder builder;
+  const auto sig = builder.Build(MakeGram({Frame(16, 16, 10),
+                                           Frame(16, 16, 50)}));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_TRUE(IsValidSignature(*sig));
+}
+
+TEST(CuboidSignatureTest, UniformGramYieldsSingleCuboid) {
+  SignatureBuilder builder;
+  const auto sig = builder.Build(MakeGram({Frame(16, 16, 10),
+                                           Frame(16, 16, 50)}));
+  ASSERT_TRUE(sig.ok());
+  ASSERT_EQ(sig->size(), 1u);
+  EXPECT_DOUBLE_EQ((*sig)[0].weight, 1.0);
+  EXPECT_DOUBLE_EQ((*sig)[0].value, 40.0);  // 50 - 10
+}
+
+TEST(CuboidSignatureTest, NoChangeGivesZeroValue) {
+  SignatureBuilder builder;
+  const auto sig = builder.Build(MakeGram({Frame(16, 16, 99),
+                                           Frame(16, 16, 99)}));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_DOUBLE_EQ((*sig)[0].value, 0.0);
+}
+
+TEST(CuboidSignatureTest, EmptyGramIsError) {
+  SignatureBuilder builder;
+  const auto sig = builder.Build(QGram{});
+  EXPECT_FALSE(sig.ok());
+  EXPECT_EQ(sig.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(CuboidSignatureTest, TwoRegionsTwoCuboids) {
+  // Reference frame: left half dark, right half bright -> two merged
+  // regions. Second frame brightens only the left half.
+  Frame ref(16, 16, 0);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 8; x < 16; ++x) ref.set(x, y, 200);
+  }
+  Frame next = ref;
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 8; ++x) next.set(x, y, 60);
+  }
+  SignatureBuilder builder;
+  const auto sig = builder.Build(MakeGram({ref, next}));
+  ASSERT_TRUE(sig.ok());
+  ASSERT_EQ(sig->size(), 2u);
+  EXPECT_TRUE(IsValidSignature(*sig));
+  // One cuboid changed by +60, the other by 0; each covers half the frame.
+  double values[2] = {(*sig)[0].value, (*sig)[1].value};
+  std::sort(values, values + 2);
+  EXPECT_DOUBLE_EQ(values[0], 0.0);
+  EXPECT_DOUBLE_EQ(values[1], 60.0);
+  EXPECT_DOUBLE_EQ((*sig)[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ((*sig)[1].weight, 0.5);
+}
+
+TEST(CuboidSignatureTest, ValueInvariantToGlobalBrightnessShift) {
+  // Cuboid values are temporal differences: shifting both frames by the
+  // same delta leaves the signature unchanged (the paper's robustness
+  // argument for the content measure).
+  Frame a(16, 16, 40), b(16, 16, 90);
+  SignatureBuilder builder;
+  const auto sig1 = builder.Build(MakeGram({a, b}));
+  Frame a2(16, 16, 70), b2(16, 16, 120);
+  const auto sig2 = builder.Build(MakeGram({a2, b2}));
+  ASSERT_TRUE(sig1.ok());
+  ASSERT_TRUE(sig2.ok());
+  ASSERT_EQ(sig1->size(), sig2->size());
+  EXPECT_DOUBLE_EQ((*sig1)[0].value, (*sig2)[0].value);
+}
+
+TEST(CuboidSignatureTest, TrigramAveragesChanges) {
+  SignatureBuilder builder;
+  // 10 -> 40 -> 100: mean change per step = 45.
+  const auto sig = builder.Build(
+      MakeGram({Frame(8, 8, 10), Frame(8, 8, 40), Frame(8, 8, 100)}));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_DOUBLE_EQ((*sig)[0].value, 45.0);
+}
+
+TEST(CuboidSignatureTest, SingleKeyframeGramHasZeroChange) {
+  SignatureBuilder builder;
+  const auto sig = builder.Build(MakeGram({Frame(8, 8, 10)}));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_DOUBLE_EQ((*sig)[0].value, 0.0);
+  EXPECT_TRUE(IsValidSignature(*sig));
+}
+
+TEST(CuboidSignatureTest, BuildSeriesMatchesPerGramBuild) {
+  SignatureBuilder builder;
+  std::vector<QGram> grams = {
+      MakeGram({Frame(8, 8, 10), Frame(8, 8, 20)}),
+      MakeGram({Frame(8, 8, 30), Frame(8, 8, 10)}),
+  };
+  const auto series = builder.BuildSeries(grams);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 2u);
+  EXPECT_DOUBLE_EQ((*series)[0][0].value, 10.0);
+  EXPECT_DOUBLE_EQ((*series)[1][0].value, -20.0);
+}
+
+TEST(CuboidSignatureTest, IsValidSignatureRejections) {
+  EXPECT_FALSE(IsValidSignature({}));                   // empty
+  EXPECT_FALSE(IsValidSignature({{1.0, 0.0}}));         // zero weight
+  EXPECT_FALSE(IsValidSignature({{1.0, 0.5}}));         // mass != 1
+  EXPECT_FALSE(IsValidSignature({{1.0, -0.2}, {0.0, 1.2}}));  // negative
+  EXPECT_TRUE(IsValidSignature({{1.0, 0.25}, {2.0, 0.75}}));
+}
+
+TEST(CuboidSignatureTest, GridDimControlsMaxCuboids) {
+  SignatureOptions options;
+  options.grid_dim = 2;
+  options.merge_threshold = 0.0;
+  SignatureBuilder builder(options);
+  // Four distinct quadrants, no merging -> 4 cuboids.
+  Frame ref(16, 16);
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) {
+      ref.set(x, y, static_cast<uint8_t>((x / 8) * 100 + (y / 8) * 50 + 10));
+    }
+  }
+  const auto sig = builder.Build(MakeGram({ref, Frame(16, 16, 0)}));
+  ASSERT_TRUE(sig.ok());
+  EXPECT_EQ(sig->size(), 4u);
+}
+
+}  // namespace
+}  // namespace vrec::signature

@@ -1,0 +1,201 @@
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "datagen/dataset.h"
+#include "video/shot_detector.h"
+
+namespace vrec::datagen {
+namespace {
+
+DatasetOptions SmallOptions() {
+  DatasetOptions options;
+  options.num_topics = 6;
+  options.base_videos_per_topic = 2;
+  options.corpus.frames_per_video = 24;
+  options.corpus.derivatives_per_base = 1;
+  options.community.num_users = 120;
+  options.community.num_user_groups = 12;
+  options.community.months = 6;
+  options.source_months = 4;
+  return options;
+}
+
+TEST(TopicModelTest, ChannelsCoverAllFive) {
+  Rng rng(1);
+  const auto topics = MakeTopics(10, &rng);
+  EXPECT_EQ(topics.size(), 10u);
+  std::set<int> channels;
+  for (const auto& t : topics) channels.insert(t.channel);
+  EXPECT_EQ(channels.size(), 5u);
+  EXPECT_EQ(ChannelNames().size(), 5u);
+}
+
+TEST(TopicModelTest, TopicSimilarityBasics) {
+  EXPECT_DOUBLE_EQ(TopicSimilarity({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(TopicSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(TopicSimilarity({0, 0}, {1, 0}), 0.0);
+  EXPECT_NEAR(TopicSimilarity({1, 1}, {1, 0}), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(VideoCorpusTest, RenderedVideoHasShots) {
+  Rng rng(2);
+  const auto topics = MakeTopics(4, &rng);
+  CorpusOptions options;
+  options.frames_per_video = 32;
+  options.shots_per_video = 4;
+  const auto v = RenderVideo(topics[0], 0, options, &rng);
+  EXPECT_EQ(v.frame_count(), 32u);
+  video::ShotDetector detector;
+  // Procedural shot changes should produce at least one detectable cut.
+  EXPECT_GE(detector.DetectCuts(v).size(), 1u);
+}
+
+TEST(VideoCorpusTest, CorpusSizeAndMetadata) {
+  Rng rng(3);
+  const auto topics = MakeTopics(4, &rng);
+  CorpusOptions options;
+  options.derivatives_per_base = 2;
+  options.frames_per_video = 16;
+  const auto corpus = GenerateCorpus(topics, 3, options, &rng);
+  // 4 topics * 3 base * (1 + 2 derivatives).
+  EXPECT_EQ(corpus.videos.size(), 36u);
+  EXPECT_EQ(corpus.meta.size(), 36u);
+  for (size_t v = 0; v < corpus.videos.size(); ++v) {
+    EXPECT_EQ(corpus.videos[v].id(), static_cast<video::VideoId>(v));
+    EXPECT_EQ(corpus.meta[v].id, static_cast<video::VideoId>(v));
+    EXPECT_FALSE(corpus.meta[v].text_features.empty());
+  }
+}
+
+TEST(VideoCorpusTest, DerivativesReferenceTheirSource) {
+  Rng rng(4);
+  const auto topics = MakeTopics(2, &rng);
+  CorpusOptions options;
+  options.derivatives_per_base = 2;
+  options.frames_per_video = 16;
+  const auto corpus = GenerateCorpus(topics, 1, options, &rng);
+  size_t derived = 0;
+  for (const auto& m : corpus.meta) {
+    if (m.source_id >= 0) {
+      ++derived;
+      EXPECT_LT(m.source_id, static_cast<video::VideoId>(corpus.meta.size()));
+      EXPECT_EQ(corpus.meta[static_cast<size_t>(m.source_id)].topic, m.topic);
+      EXPECT_LT(m.source_id, m.id);
+    }
+  }
+  EXPECT_EQ(derived, 4u);  // 2 topics * 1 base * 2 derivatives
+}
+
+TEST(VideoCorpusTest, TotalHoursMatchesFps) {
+  Rng rng(5);
+  const auto topics = MakeTopics(1, &rng);
+  CorpusOptions options;
+  options.frames_per_video = 36;
+  options.fps = 0.1;  // 6 minutes per video
+  options.derivatives_per_base = 0;
+  const auto corpus = GenerateCorpus(topics, 10, options, &rng);
+  EXPECT_NEAR(corpus.TotalHours(), 1.0, 1e-9);
+}
+
+TEST(CommunityGenTest, CommentsRespectMonthsAndIds) {
+  const auto dataset = GenerateDataset(SmallOptions());
+  EXPECT_FALSE(dataset.community.comments.empty());
+  for (const auto& c : dataset.community.comments) {
+    EXPECT_GE(c.month, 0);
+    EXPECT_LT(c.month, 6);
+    EXPECT_GE(c.user, 0);
+    EXPECT_LT(c.user, 120);
+    EXPECT_GE(c.video, 0);
+    EXPECT_LT(c.video, static_cast<video::VideoId>(dataset.video_count()));
+  }
+}
+
+TEST(CommunityGenTest, DescriptorsIncludeOwner) {
+  const auto dataset = GenerateDataset(SmallOptions());
+  const auto descriptors = dataset.community.DescriptorsUpToMonth(0);
+  for (size_t v = 0; v < descriptors.size(); ++v) {
+    EXPECT_TRUE(descriptors[v].Contains(dataset.community.video_owner[v]));
+  }
+}
+
+TEST(CommunityGenTest, DescriptorsGrowWithMonths) {
+  const auto dataset = GenerateDataset(SmallOptions());
+  const auto early = dataset.community.DescriptorsUpToMonth(1);
+  const auto late = dataset.community.DescriptorsUpToMonth(6);
+  size_t early_total = 0, late_total = 0;
+  for (const auto& d : early) early_total += d.size();
+  for (const auto& d : late) late_total += d.size();
+  EXPECT_GT(late_total, early_total);
+}
+
+TEST(CommunityGenTest, CommentsInMonthFilter) {
+  const auto dataset = GenerateDataset(SmallOptions());
+  size_t total = 0;
+  for (int m = 0; m < 6; ++m) {
+    for (const auto& c : dataset.community.CommentsInMonth(m)) {
+      EXPECT_EQ(c.month, m);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, dataset.community.comments.size());
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  const auto a = GenerateDataset(SmallOptions());
+  const auto b = GenerateDataset(SmallOptions());
+  ASSERT_EQ(a.video_count(), b.video_count());
+  ASSERT_EQ(a.community.comments.size(), b.community.comments.size());
+  for (size_t i = 0; i < a.community.comments.size(); ++i) {
+    EXPECT_EQ(a.community.comments[i].user, b.community.comments[i].user);
+    EXPECT_EQ(a.community.comments[i].video, b.community.comments[i].video);
+  }
+  EXPECT_EQ(a.corpus.videos[0].frames()[0], b.corpus.videos[0].frames()[0]);
+}
+
+TEST(DatasetTest, SeedChangesData) {
+  auto options = SmallOptions();
+  const auto a = GenerateDataset(options);
+  options.seed += 1;
+  const auto b = GenerateDataset(options);
+  EXPECT_NE(a.corpus.videos[0].frames()[0], b.corpus.videos[0].frames()[0]);
+}
+
+TEST(DatasetTest, QueriesAreTopTwoPerChannel) {
+  const auto dataset = GenerateDataset(SmallOptions());
+  const auto queries = dataset.QueryVideoIds();
+  EXPECT_EQ(queries.size(), 10u);  // 5 channels x 2
+  std::set<int> channels;
+  for (video::VideoId q : queries) {
+    const auto& meta = dataset.corpus.meta[static_cast<size_t>(q)];
+    EXPECT_LT(meta.source_id, 0);  // originals only
+    channels.insert(meta.channel);
+  }
+  EXPECT_EQ(channels.size(), 5u);
+}
+
+TEST(DatasetTest, ConnectionsForMonthAreNewPairs) {
+  const auto dataset = GenerateDataset(SmallOptions());
+  const auto connections = dataset.ConnectionsForMonth(4);
+  for (const auto& c : connections) {
+    EXPECT_NE(c.u, c.v);
+    EXPECT_LT(c.u, c.v);
+    EXPECT_GT(c.weight, 0.0);
+  }
+}
+
+TEST(DatasetTest, ScaledToHoursApproximatesTarget) {
+  DatasetOptions options = SmallOptions();
+  options.corpus.frames_per_video = 36;
+  options.corpus.fps = 0.1;
+  options.corpus.derivatives_per_base = 1;
+  const auto scaled = ScaledToHours(options, 10.0);
+  const double hours_per_video = 36.0 / 0.1 / 3600.0;
+  const double expected_videos = 10.0 / hours_per_video;
+  const double actual_videos =
+      static_cast<double>(scaled.base_videos_per_topic) * 6 * 2;
+  EXPECT_NEAR(actual_videos, expected_videos, expected_videos * 0.35);
+}
+
+}  // namespace
+}  // namespace vrec::datagen

@@ -1,0 +1,110 @@
+#include "gtest/gtest.h"
+#include "social/descriptor.h"
+#include "social/uig.h"
+
+namespace vrec::social {
+namespace {
+
+TEST(SocialDescriptorTest, ConstructionSortsAndDedupes) {
+  SocialDescriptor d({5, 1, 3, 1, 5});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.users(), (std::vector<UserId>{1, 3, 5}));
+}
+
+TEST(SocialDescriptorTest, AddKeepsSortedUnique) {
+  SocialDescriptor d;
+  d.Add(10);
+  d.Add(2);
+  d.Add(10);
+  d.Add(7);
+  EXPECT_EQ(d.users(), (std::vector<UserId>{2, 7, 10}));
+}
+
+TEST(SocialDescriptorTest, Contains) {
+  SocialDescriptor d({1, 2, 3});
+  EXPECT_TRUE(d.Contains(2));
+  EXPECT_FALSE(d.Contains(4));
+}
+
+TEST(ExactJaccardTest, PaperEquationFive) {
+  // |intersection| / |union|.
+  SocialDescriptor a({1, 2, 3, 4});
+  SocialDescriptor b({3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(ExactJaccard(a, b), 2.0 / 6.0);
+}
+
+TEST(ExactJaccardTest, IdenticalSetsScoreOne) {
+  SocialDescriptor d({10, 20, 30});
+  EXPECT_DOUBLE_EQ(ExactJaccard(d, d), 1.0);
+}
+
+TEST(ExactJaccardTest, DisjointSetsScoreZero) {
+  SocialDescriptor a({1, 2});
+  SocialDescriptor b({3, 4});
+  EXPECT_DOUBLE_EQ(ExactJaccard(a, b), 0.0);
+}
+
+TEST(ExactJaccardTest, EmptyCases) {
+  SocialDescriptor empty;
+  SocialDescriptor d({1});
+  EXPECT_DOUBLE_EQ(ExactJaccard(empty, empty), 0.0);
+  EXPECT_DOUBLE_EQ(ExactJaccard(d, empty), 0.0);
+}
+
+TEST(ExactJaccardTest, Symmetric) {
+  SocialDescriptor a({1, 2, 3});
+  SocialDescriptor b({2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(ExactJaccard(a, b), ExactJaccard(b, a));
+}
+
+TEST(ExactJaccardTest, SubsetScore) {
+  SocialDescriptor a({1, 2});
+  SocialDescriptor b({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(ExactJaccard(a, b), 0.5);
+}
+
+TEST(UserNameTest, Format) {
+  EXPECT_EQ(UserName(0), "user_0");
+  EXPECT_EQ(UserName(12345), "user_12345");
+}
+
+TEST(UigTest, PaperFigure2Weights) {
+  // u1:<V1,V3,V8> u2:<V3,V8> u3:<V2,V4,V5> u4:<V1,V4,V5> u5:<V4,V5,V6,V7>
+  // as video descriptors (V1..V8 -> indices 0..7).
+  std::vector<SocialDescriptor> descriptors(8);
+  descriptors[0] = SocialDescriptor({0, 3});        // V1: u1, u4
+  descriptors[1] = SocialDescriptor({2});           // V2: u3
+  descriptors[2] = SocialDescriptor({0, 1});        // V3: u1, u2
+  descriptors[3] = SocialDescriptor({2, 3, 4});     // V4: u3, u4, u5
+  descriptors[4] = SocialDescriptor({2, 3, 4});     // V5
+  descriptors[5] = SocialDescriptor({4});           // V6
+  descriptors[6] = SocialDescriptor({4});           // V7
+  descriptors[7] = SocialDescriptor({0, 1});        // V8: u1, u2
+
+  const auto g = BuildUserInterestGraph(descriptors, 5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);  // u1-u2: V3, V8
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 3), 1.0);  // u1-u4: V1
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(2, 3), 2.0);  // u3-u4: V4, V5
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(2, 4), 2.0);  // u3-u5
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(3, 4), 2.0);  // u4-u5
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.0);  // u1-u3: none
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_EQ(g.node_count(), 5u);
+}
+
+TEST(UigTest, EmptyDescriptorsYieldNoEdges) {
+  std::vector<SocialDescriptor> descriptors(3);
+  const auto g = BuildUserInterestGraph(descriptors, 4);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.node_count(), 4u);
+}
+
+TEST(UigTest, SingleUserVideosCreateNoEdges) {
+  std::vector<SocialDescriptor> descriptors = {SocialDescriptor({0}),
+                                               SocialDescriptor({1})};
+  const auto g = BuildUserInterestGraph(descriptors, 2);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vrec::social

@@ -1,0 +1,199 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "datagen/topic_model.h"
+#include "datagen/video_corpus.h"
+#include "detect/bounded_coordinate_system.h"
+#include "detect/detector.h"
+#include "detect/ordinal_signature.h"
+#include "detect/shift_signatures.h"
+#include "video/transforms.h"
+
+namespace vrec::detect {
+namespace {
+
+video::Video MakeGradientVideo(int frames, int size = 16, int slope = 12) {
+  std::vector<video::Frame> fs;
+  for (int t = 0; t < frames; ++t) {
+    video::Frame f(size, size);
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        f.set(x, y,
+              static_cast<uint8_t>((x * slope + y * 3 + t * 7) % 256));
+      }
+    }
+    fs.push_back(std::move(f));
+  }
+  return video::Video(1, std::move(fs));
+}
+
+TEST(OrdinalSignatureTest, SelfDistanceZero) {
+  const auto v = MakeGradientVideo(12);
+  const auto sig = BuildOrdinalSignature(v);
+  EXPECT_DOUBLE_EQ(OrdinalDistance(sig, sig), 0.0);
+  EXPECT_DOUBLE_EQ(OrdinalSimilarity(v, v), 1.0);
+}
+
+TEST(OrdinalSignatureTest, RanksArePermutations) {
+  const auto sig = BuildOrdinalSignature(MakeGradientVideo(8));
+  for (const auto& frame_ranks : sig) {
+    std::vector<bool> seen(frame_ranks.size(), false);
+    for (int r : frame_ranks) {
+      ASSERT_GE(r, 0);
+      ASSERT_LT(r, static_cast<int>(frame_ranks.size()));
+      EXPECT_FALSE(seen[static_cast<size_t>(r)]);
+      seen[static_cast<size_t>(r)] = true;
+    }
+  }
+}
+
+TEST(OrdinalSignatureTest, InvariantToGlobalBrightness) {
+  // The paper: "the global transformation of videos is well handled by it".
+  const auto v = MakeGradientVideo(12);
+  const auto shifted = video::transforms::BrightnessShift(v, 30);
+  EXPECT_GT(OrdinalSimilarity(v, shifted), 0.95);
+}
+
+TEST(OrdinalSignatureTest, SensitiveToTemporalEditing) {
+  // The paper: "not robust to the frame editing in videos": inserting a
+  // slate misaligns every subsequent frame.
+  const auto v = MakeGradientVideo(16);
+  const auto slated = video::transforms::InsertSlate(v, 0, 4, 16);
+  EXPECT_LT(OrdinalSimilarity(v, slated), OrdinalSimilarity(v, v));
+}
+
+TEST(OrdinalSignatureTest, EmptyVideosMaxDistance) {
+  EXPECT_DOUBLE_EQ(OrdinalDistance({}, {}), 1.0);
+}
+
+TEST(ShiftSignaturesTest, ColorShiftSelfSimilarityOne) {
+  const auto v = MakeGradientVideo(10);
+  EXPECT_DOUBLE_EQ(ColorShiftSimilarity(v, v), 1.0);
+}
+
+TEST(ShiftSignaturesTest, ColorShiftLengths) {
+  const auto v = MakeGradientVideo(10);
+  EXPECT_EQ(BuildColorShiftSignature(v).size(), 9u);
+  EXPECT_TRUE(BuildColorShiftSignature(video::Video()).empty());
+}
+
+TEST(ShiftSignaturesTest, ColorShiftRobustToBrightness) {
+  const auto v = MakeGradientVideo(12);
+  const auto shifted = video::transforms::BrightnessShift(v, 10);
+  EXPECT_GT(ColorShiftSimilarity(v, shifted), 0.9);
+}
+
+TEST(ShiftSignaturesTest, CentroidSelfSimilarityOne) {
+  const auto v = MakeGradientVideo(10);
+  EXPECT_DOUBLE_EQ(CentroidSimilarity(v, v), 1.0);
+}
+
+TEST(ShiftSignaturesTest, CentroidTracksMotion) {
+  // A moving bright blob produces nonzero centroid travel.
+  std::vector<video::Frame> frames;
+  for (int t = 0; t < 8; ++t) {
+    video::Frame f(16, 16, 10);
+    f.set(2 + t, 8, 250);
+    frames.push_back(std::move(f));
+  }
+  const video::Video v(1, std::move(frames));
+  const auto sig = BuildCentroidSignature(v);
+  ASSERT_EQ(sig.size(), 7u);
+  for (double travel : sig) EXPECT_GT(travel, 0.0);
+}
+
+TEST(ShiftSignaturesTest, SequenceDistanceBasics) {
+  EXPECT_DOUBLE_EQ(SequenceDistance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(SequenceDistance({1.0, 2.0}, {1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(SequenceDistance({1.0}, {2.0}), 1.0);
+  // Tail counts at full magnitude, normalized by the longer length.
+  EXPECT_DOUBLE_EQ(SequenceDistance({1.0}, {1.0, 3.0}), 1.5);
+}
+
+TEST(BcsTest, SelfSimilarityIsOne) {
+  const auto v = MakeGradientVideo(12);
+  const auto sim = BcsSimilarity(v, v);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 1.0, 1e-9);
+}
+
+TEST(BcsTest, EmptyVideoRejected) {
+  EXPECT_FALSE(BuildBcs(video::Video()).ok());
+}
+
+TEST(BcsTest, SignatureShape) {
+  BcsOptions options;
+  options.histogram_bins = 16;
+  options.num_axes = 3;
+  const auto bcs = BuildBcs(MakeGradientVideo(12), options);
+  ASSERT_TRUE(bcs.ok());
+  EXPECT_EQ(bcs->mean.size(), 16u);
+  EXPECT_EQ(bcs->axes.size(), 3u);
+  double mass = 0.0;
+  for (double m : bcs->mean) mass += m;
+  EXPECT_NEAR(mass, 1.0, 1e-9);  // mean of normalized histograms
+}
+
+TEST(BcsTest, AxisSignInvariance) {
+  const auto a = BuildBcs(MakeGradientVideo(12));
+  ASSERT_TRUE(a.ok());
+  BcsSignature flipped = *a;
+  for (auto& axis : flipped.axes) {
+    for (double& x : axis) x = -x;
+  }
+  EXPECT_NEAR(BcsDistance(*a, flipped), 0.0, 1e-9);
+}
+
+TEST(BcsTest, DistinguishesDifferentContent) {
+  const auto a = MakeGradientVideo(12, 16, 12);
+  const auto b = MakeGradientVideo(12, 16, 40);
+  const auto self = BcsSimilarity(a, a);
+  const auto cross = BcsSimilarity(a, b);
+  ASSERT_TRUE(self.ok());
+  ASSERT_TRUE(cross.ok());
+  EXPECT_GT(*self, *cross);
+}
+
+TEST(DetectorRosterTest, AllDetectorsWellFormed) {
+  Rng rng(5);
+  const auto topics = datagen::MakeTopics(4, &rng);
+  datagen::CorpusOptions options;
+  options.frames_per_video = 16;
+  const auto a = datagen::RenderVideo(topics[0], 0, options, &rng);
+  const auto b = datagen::RenderVideo(topics[2], 1, options, &rng);
+
+  const auto detectors = AllDetectors();
+  EXPECT_EQ(detectors.size(), 5u);
+  for (const auto& d : detectors) {
+    EXPECT_FALSE(d->name().empty());
+    const double self = d->Similarity(a, a);
+    const double cross = d->Similarity(a, b);
+    EXPECT_GE(self, cross) << d->name();
+    EXPECT_GE(self, 0.0) << d->name();
+    EXPECT_LE(self, 1.0 + 1e-9) << d->name();
+  }
+}
+
+TEST(DetectorRosterTest, CuboidBeatsOrdinalUnderTemporalEditing) {
+  // The Section 4.1 argument in executable form.
+  Rng rng(9);
+  const auto topics = datagen::MakeTopics(4, &rng);
+  datagen::CorpusOptions options;
+  options.frames_per_video = 24;
+  const auto original = datagen::RenderVideo(topics[0], 0, options, &rng);
+  const auto unrelated = datagen::RenderVideo(topics[2], 1, options, &rng);
+  const auto edited = video::transforms::ShuffleChunks(original, 3, &rng);
+
+  const auto detectors = AllDetectors();
+  double ordinal_margin = 0.0, cuboid_margin = 0.0;
+  for (const auto& d : detectors) {
+    const double margin =
+        d->Similarity(original, edited) - d->Similarity(original, unrelated);
+    if (d->name() == "ordinal") ordinal_margin = margin;
+    if (d->name() == "cuboid-kJ") cuboid_margin = margin;
+  }
+  EXPECT_GT(cuboid_margin, ordinal_margin);
+}
+
+}  // namespace
+}  // namespace vrec::detect

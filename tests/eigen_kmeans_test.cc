@@ -1,0 +1,179 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "graph/dense_matrix.h"
+#include "graph/jacobi_eigen.h"
+#include "graph/kmeans.h"
+#include "util/random.h"
+
+namespace vrec::graph {
+namespace {
+
+TEST(DenseMatrixTest, IdentityAndAccess) {
+  const DenseMatrix id = DenseMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(id.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id.at(0, 1), 0.0);
+  EXPECT_EQ(id.rows(), 3u);
+  EXPECT_EQ(id.cols(), 3u);
+}
+
+TEST(DenseMatrixTest, TransposeRoundTrip) {
+  DenseMatrix m(2, 3);
+  m.at(0, 1) = 5.0;
+  m.at(1, 2) = -2.0;
+  const DenseMatrix t = m.Transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t.at(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(t.at(2, 1), -2.0);
+  EXPECT_EQ(t.Transpose(), m);
+}
+
+TEST(DenseMatrixTest, MultiplyByIdentity) {
+  DenseMatrix m(3, 3);
+  m.at(0, 1) = 2.0;
+  m.at(2, 2) = 7.0;
+  EXPECT_EQ(m.Multiply(DenseMatrix::Identity(3)), m);
+  EXPECT_EQ(DenseMatrix::Identity(3).Multiply(m), m);
+}
+
+TEST(DenseMatrixTest, MultiplyKnownProduct) {
+  DenseMatrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 3;
+  a.at(1, 1) = 4;
+  b.at(0, 0) = 5;
+  b.at(0, 1) = 6;
+  b.at(1, 0) = 7;
+  b.at(1, 1) = 8;
+  const DenseMatrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50.0);
+}
+
+TEST(JacobiEigenTest, DiagonalMatrix) {
+  DenseMatrix m(3, 3);
+  m.at(0, 0) = 3.0;
+  m.at(1, 1) = 1.0;
+  m.at(2, 2) = 2.0;
+  const auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->values[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->values[1], 2.0, 1e-9);
+  EXPECT_NEAR(result->values[2], 3.0, 1e-9);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 2;
+  m.at(0, 1) = 1;
+  m.at(1, 0) = 1;
+  m.at(1, 1) = 2;
+  const auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->values[0], 1.0, 1e-9);
+  EXPECT_NEAR(result->values[1], 3.0, 1e-9);
+}
+
+TEST(JacobiEigenTest, ReconstructsMatrix) {
+  Rng rng(55);
+  const size_t n = 6;
+  DenseMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m.at(i, j) = m.at(j, i) = rng.Uniform(-2.0, 2.0);
+    }
+  }
+  const auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  // Rebuild A = V diag(w) V^T.
+  DenseMatrix d(n, n);
+  for (size_t i = 0; i < n; ++i) d.at(i, i) = result->values[i];
+  const DenseMatrix rebuilt =
+      result->vectors.Multiply(d).Multiply(result->vectors.Transpose());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(rebuilt.at(i, j), m.at(i, j), 1e-7);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, EigenvectorsOrthonormal) {
+  Rng rng(57);
+  const size_t n = 5;
+  DenseMatrix m(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      m.at(i, j) = m.at(j, i) = rng.Uniform(-1.0, 1.0);
+    }
+  }
+  const auto result = JacobiEigenSymmetric(m);
+  ASSERT_TRUE(result.ok());
+  const DenseMatrix vtv =
+      result->vectors.Transpose().Multiply(result->vectors);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(vtv.at(i, j), i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(JacobiEigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(JacobiEigenSymmetric(DenseMatrix(2, 3)).ok());
+}
+
+TEST(JacobiEigenTest, RejectsAsymmetric) {
+  DenseMatrix m(2, 2);
+  m.at(0, 1) = 1.0;
+  m.at(1, 0) = 2.0;
+  EXPECT_FALSE(JacobiEigenSymmetric(m).ok());
+}
+
+TEST(KMeansTest, SeparatesObviousClusters) {
+  Rng rng(61);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({rng.Normal(0.0, 0.1), rng.Normal(0.0, 0.1)});
+  }
+  for (int i = 0; i < 20; ++i) {
+    points.push_back({rng.Normal(10.0, 0.1), rng.Normal(10.0, 0.1)});
+  }
+  const auto result = KMeans(points, 2, &rng);
+  ASSERT_TRUE(result.ok());
+  for (int i = 1; i < 20; ++i) EXPECT_EQ(result->labels[i], result->labels[0]);
+  for (int i = 21; i < 40; ++i)
+    EXPECT_EQ(result->labels[static_cast<size_t>(i)], result->labels[20]);
+  EXPECT_NE(result->labels[0], result->labels[20]);
+}
+
+TEST(KMeansTest, InertiaNonNegativeAndSmallForTightClusters) {
+  Rng rng(63);
+  std::vector<std::vector<double>> points(10, {1.0, 1.0});
+  const auto result = KMeans(points, 1, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, RejectsBadArguments) {
+  Rng rng(65);
+  EXPECT_FALSE(KMeans({}, 1, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 0, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 2, &rng).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, 1, &rng).ok());  // ragged dims
+}
+
+TEST(KMeansTest, KEqualsNPossible) {
+  Rng rng(67);
+  std::vector<std::vector<double>> points = {{0.0}, {5.0}, {10.0}};
+  const auto result = KMeans(points, 3, &rng);
+  ASSERT_TRUE(result.ok());
+  std::set<int> labels(result->labels.begin(), result->labels.end());
+  EXPECT_EQ(labels.size(), 3u);
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace vrec::graph

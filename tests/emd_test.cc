@@ -1,0 +1,134 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "signature/emd.h"
+#include "util/random.h"
+
+namespace vrec::signature {
+namespace {
+
+CuboidSignature RandomSignature(Rng* rng, int max_cuboids = 6) {
+  const int n = static_cast<int>(rng->UniformInt(1, max_cuboids));
+  CuboidSignature sig;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Cuboid c;
+    c.value = rng->Uniform(-100.0, 100.0);
+    c.weight = rng->Uniform(0.05, 1.0);
+    total += c.weight;
+    sig.push_back(c);
+  }
+  for (Cuboid& c : sig) c.weight /= total;
+  return sig;
+}
+
+TEST(EmdTest, IdenticalSignaturesHaveZeroDistance) {
+  const CuboidSignature sig = {{10.0, 0.5}, {-5.0, 0.5}};
+  EXPECT_NEAR(EmdExact1D(sig, sig), 0.0, 1e-12);
+}
+
+TEST(EmdTest, SinglePointSignatures) {
+  const CuboidSignature a = {{0.0, 1.0}};
+  const CuboidSignature b = {{42.0, 1.0}};
+  EXPECT_DOUBLE_EQ(EmdExact1D(a, b), 42.0);
+  EXPECT_DOUBLE_EQ(EmdExact1D(b, a), 42.0);
+}
+
+TEST(EmdTest, SplitMassExactValue) {
+  // Move 0.5 mass from 0 to 10 and 0.5 from 0 to -10: EMD = 10.
+  const CuboidSignature a = {{0.0, 1.0}};
+  const CuboidSignature b = {{10.0, 0.5}, {-10.0, 0.5}};
+  EXPECT_DOUBLE_EQ(EmdExact1D(a, b), 10.0);
+}
+
+TEST(EmdTest, AsymmetricSplit) {
+  // 0.25 to 4, 0.75 stays: EMD = 0.25 * 4 = 1.
+  const CuboidSignature a = {{0.0, 1.0}};
+  const CuboidSignature b = {{0.0, 0.75}, {4.0, 0.25}};
+  EXPECT_DOUBLE_EQ(EmdExact1D(a, b), 1.0);
+}
+
+TEST(EmdTest, SymmetryProperty) {
+  Rng rng(101);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = RandomSignature(&rng);
+    const auto b = RandomSignature(&rng);
+    EXPECT_NEAR(EmdExact1D(a, b), EmdExact1D(b, a), 1e-9);
+  }
+}
+
+TEST(EmdTest, TriangleInequalityProperty) {
+  Rng rng(103);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = RandomSignature(&rng);
+    const auto b = RandomSignature(&rng);
+    const auto c = RandomSignature(&rng);
+    EXPECT_LE(EmdExact1D(a, c),
+              EmdExact1D(a, b) + EmdExact1D(b, c) + 1e-9);
+  }
+}
+
+TEST(EmdTest, TranslationShiftsLinearly) {
+  Rng rng(105);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto a = RandomSignature(&rng);
+    auto b = a;
+    for (Cuboid& c : b) c.value += 17.0;
+    EXPECT_NEAR(EmdExact1D(a, b), 17.0, 1e-9);
+  }
+}
+
+TEST(EmdTest, TransportMatchesClosedForm) {
+  // The general transportation solver and the 1D closed form must agree —
+  // the closed form is what production uses, the solver is ground truth.
+  Rng rng(107);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto a = RandomSignature(&rng);
+    const auto b = RandomSignature(&rng);
+    const auto transport = EmdTransport(a, b);
+    ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+    EXPECT_NEAR(*transport, EmdExact1D(a, b), 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(EmdTest, TransportRejectsEmptySignature) {
+  const CuboidSignature a = {{0.0, 1.0}};
+  EXPECT_FALSE(EmdTransport(a, {}).ok());
+  EXPECT_FALSE(EmdTransport({}, a).ok());
+}
+
+TEST(EmdTest, TransportRejectsNonPositiveWeight) {
+  const CuboidSignature a = {{0.0, 1.0}};
+  const CuboidSignature bad = {{0.0, 1.5}, {1.0, -0.5}};
+  EXPECT_FALSE(EmdTransport(a, bad).ok());
+}
+
+TEST(EmdTest, TransportRejectsMassMismatch) {
+  const CuboidSignature a = {{0.0, 1.0}};
+  const CuboidSignature b = {{0.0, 0.5}};
+  const auto result = EmdTransport(a, b);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(EmdTest, SimCIsOneForIdentical) {
+  const CuboidSignature sig = {{3.0, 1.0}};
+  EXPECT_DOUBLE_EQ(SimC(sig, sig), 1.0);
+}
+
+TEST(EmdTest, SimCEquationThree) {
+  const CuboidSignature a = {{0.0, 1.0}};
+  const CuboidSignature b = {{4.0, 1.0}};
+  EXPECT_DOUBLE_EQ(SimC(a, b), 1.0 / 5.0);  // 1 / (1 + 4)
+}
+
+TEST(EmdTest, SimCDecreasesWithDistance) {
+  const CuboidSignature a = {{0.0, 1.0}};
+  const CuboidSignature near = {{1.0, 1.0}};
+  const CuboidSignature far = {{50.0, 1.0}};
+  EXPECT_GT(SimC(a, near), SimC(a, far));
+}
+
+}  // namespace
+}  // namespace vrec::signature

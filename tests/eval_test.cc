@@ -1,0 +1,160 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "eval/metrics.h"
+#include "eval/rating_oracle.h"
+
+namespace vrec::eval {
+namespace {
+
+TEST(MetricsTest, AverageRatingEquation10a) {
+  EXPECT_DOUBLE_EQ(AverageRating({5.0, 3.0, 4.0}), 4.0);
+  EXPECT_DOUBLE_EQ(AverageRating({}), 0.0);
+}
+
+TEST(MetricsTest, AverageAccuracyEquation10b) {
+  // Relevant = rating > 4.
+  EXPECT_DOUBLE_EQ(AverageAccuracy({5.0, 4.5, 4.0, 1.0}), 0.5);
+  EXPECT_DOUBLE_EQ(AverageAccuracy({4.0, 4.0}), 0.0);  // 4.0 is not > 4
+  EXPECT_DOUBLE_EQ(AverageAccuracy({}), 0.0);
+}
+
+TEST(MetricsTest, AveragePrecisionPerfectRanking) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({5.0, 5.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(MetricsTest, AveragePrecisionWorstRanking) {
+  // Relevant items at the bottom: AP = (1/3 + 2/4) / 2.
+  EXPECT_DOUBLE_EQ(AveragePrecision({1.0, 1.0, 5.0, 5.0}),
+                   (1.0 / 3.0 + 2.0 / 4.0) / 2.0);
+}
+
+TEST(MetricsTest, AveragePrecisionNoRelevant) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({1.0, 2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(AveragePrecision({}), 0.0);
+}
+
+TEST(MetricsTest, MapAveragesQueries) {
+  const std::vector<std::vector<double>> lists = {
+      {5.0, 1.0},  // AP = 1
+      {1.0, 5.0},  // AP = 1/2
+  };
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision(lists), 0.75);
+  EXPECT_DOUBLE_EQ(MeanAveragePrecision({}), 0.0);
+}
+
+TEST(MetricsTest, PrecisionAtCutoff) {
+  EXPECT_DOUBLE_EQ(PrecisionAt({5.0, 1.0, 5.0, 5.0}, 2), 0.5);
+  EXPECT_DOUBLE_EQ(PrecisionAt({5.0}, 4), 0.25);  // short list, fixed n
+  EXPECT_DOUBLE_EQ(PrecisionAt({5.0}, 0), 0.0);
+}
+
+TEST(MetricsTest, EvaluateTruncatesAtCutoff) {
+  const std::vector<std::vector<double>> lists = {{5.0, 5.0, 1.0, 1.0}};
+  const auto at2 = Evaluate(lists, 2);
+  EXPECT_DOUBLE_EQ(at2.average_rating, 5.0);
+  EXPECT_DOUBLE_EQ(at2.average_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(at2.map, 1.0);
+  const auto at4 = Evaluate(lists, 4);
+  EXPECT_DOUBLE_EQ(at4.average_rating, 3.0);
+  EXPECT_DOUBLE_EQ(at4.average_accuracy, 0.5);
+}
+
+TEST(MetricsTest, EvaluateEmptyInput) {
+  const auto report = Evaluate({}, 5);
+  EXPECT_DOUBLE_EQ(report.average_rating, 0.0);
+  EXPECT_DOUBLE_EQ(report.map, 0.0);
+}
+
+class RatingOracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    datagen::DatasetOptions options;
+    options.num_topics = 6;
+    options.base_videos_per_topic = 2;
+    options.corpus.frames_per_video = 16;
+    options.corpus.derivatives_per_base = 1;
+    options.community.num_users = 60;
+    options.community.num_user_groups = 6;
+    options.community.months = 4;
+    options.source_months = 3;
+    dataset_ = datagen::GenerateDataset(options);
+  }
+  datagen::Dataset dataset_;
+};
+
+TEST_F(RatingOracleTest, RatingsInRange) {
+  RatingOracle oracle(&dataset_);
+  for (size_t q = 0; q < 4; ++q) {
+    for (size_t c = 0; c < dataset_.video_count(); ++c) {
+      const double r = oracle.Rate(static_cast<video::VideoId>(q),
+                                   static_cast<video::VideoId>(c));
+      EXPECT_GE(r, 1.0);
+      EXPECT_LE(r, 5.0);
+    }
+  }
+}
+
+TEST_F(RatingOracleTest, DeterministicAcrossCallsAndOrder) {
+  RatingOracle oracle(&dataset_);
+  const double r1 = oracle.Rate(0, 5);
+  oracle.Rate(3, 7);  // interleaved call must not perturb
+  const double r2 = oracle.Rate(0, 5);
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST_F(RatingOracleTest, NearDuplicateRatedHighest) {
+  RatingOracle oracle(&dataset_);
+  // Find a derivative and its source.
+  for (const auto& meta : dataset_.corpus.meta) {
+    if (meta.source_id < 0) continue;
+    const double kin = oracle.ConsensusScore(meta.source_id, meta.id);
+    EXPECT_GT(kin, 4.5);
+    // Any cross-channel video must score lower.
+    for (const auto& other : dataset_.corpus.meta) {
+      if (other.channel != meta.channel) {
+        EXPECT_LT(oracle.ConsensusScore(meta.source_id, other.id), kin);
+      }
+    }
+    break;
+  }
+}
+
+TEST_F(RatingOracleTest, SameTopicBeatsCrossChannel) {
+  RatingOracle oracle(&dataset_);
+  const auto& meta = dataset_.corpus.meta;
+  // Two distinct originals of the same topic.
+  video::VideoId a = -1, b = -1, cross = -1;
+  for (size_t i = 0; i < meta.size() && (b < 0 || cross < 0); ++i) {
+    if (meta[i].source_id >= 0) continue;
+    if (a < 0) {
+      a = meta[i].id;
+    } else if (meta[i].topic == meta[static_cast<size_t>(a)].topic) {
+      b = meta[i].id;
+    } else if (meta[i].channel != meta[static_cast<size_t>(a)].channel) {
+      cross = meta[i].id;
+    }
+  }
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  ASSERT_GE(cross, 0);
+  EXPECT_GT(oracle.ConsensusScore(a, b), oracle.ConsensusScore(a, cross));
+}
+
+TEST_F(RatingOracleTest, RateListMatchesIndividualCalls) {
+  RatingOracle oracle(&dataset_);
+  const std::vector<video::VideoId> list = {1, 2, 3};
+  const auto ratings = oracle.RateList(0, list);
+  ASSERT_EQ(ratings.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(ratings[i], oracle.Rate(0, list[i]));
+  }
+}
+
+TEST_F(RatingOracleTest, SelfRatingIsFive) {
+  RatingOracle oracle(&dataset_);
+  EXPECT_DOUBLE_EQ(oracle.ConsensusScore(3, 3), 5.0);
+}
+
+}  // namespace
+}  // namespace vrec::eval

@@ -1,0 +1,117 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "video/frame.h"
+#include "video/video.h"
+
+namespace vrec::video {
+namespace {
+
+TEST(FrameTest, ConstructionAndFill) {
+  Frame f(4, 3, 7);
+  EXPECT_EQ(f.width(), 4);
+  EXPECT_EQ(f.height(), 3);
+  EXPECT_FALSE(f.empty());
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) EXPECT_EQ(f.at(x, y), 7);
+  }
+}
+
+TEST(FrameTest, DefaultIsEmpty) {
+  Frame f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.width(), 0);
+}
+
+TEST(FrameTest, SetGetRoundTrip) {
+  Frame f(8, 8);
+  f.set(3, 5, 200);
+  EXPECT_EQ(f.at(3, 5), 200);
+  EXPECT_EQ(f.at(5, 3), 0);
+}
+
+TEST(FrameTest, BlockMeanUniform) {
+  Frame f(16, 16, 100);
+  EXPECT_DOUBLE_EQ(f.BlockMean(0, 0, 16, 16), 100.0);
+  EXPECT_DOUBLE_EQ(f.BlockMean(4, 4, 8, 8), 100.0);
+}
+
+TEST(FrameTest, BlockMeanMixed) {
+  Frame f(2, 2);
+  f.set(0, 0, 0);
+  f.set(1, 0, 100);
+  f.set(0, 1, 100);
+  f.set(1, 1, 200);
+  EXPECT_DOUBLE_EQ(f.BlockMean(0, 0, 2, 2), 100.0);
+  EXPECT_DOUBLE_EQ(f.BlockMean(1, 1, 2, 2), 200.0);
+}
+
+TEST(FrameTest, BlockMeanClipsToBounds) {
+  Frame f(4, 4, 50);
+  EXPECT_DOUBLE_EQ(f.BlockMean(-10, -10, 100, 100), 50.0);
+}
+
+TEST(FrameTest, BlockMeanEmptyIntersection) {
+  Frame f(4, 4, 50);
+  EXPECT_DOUBLE_EQ(f.BlockMean(10, 10, 12, 12), 0.0);
+  EXPECT_DOUBLE_EQ(f.BlockMean(2, 2, 2, 2), 0.0);
+}
+
+TEST(FrameTest, HistogramSumsToOne) {
+  Frame f(10, 10, 128);
+  const auto h = f.NormalizedHistogram(64);
+  double total = 0.0;
+  for (double v : h) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(FrameTest, HistogramPutsMassInRightBin) {
+  Frame f(4, 4, 255);
+  const auto h = f.NormalizedHistogram(64);
+  EXPECT_DOUBLE_EQ(h.back(), 1.0);
+  Frame g(4, 4, 0);
+  const auto h2 = g.NormalizedHistogram(64);
+  EXPECT_DOUBLE_EQ(h2.front(), 1.0);
+}
+
+TEST(FrameTest, HistogramDistanceIdentical) {
+  Frame a(8, 8, 30), b(8, 8, 30);
+  EXPECT_DOUBLE_EQ(Frame::HistogramDistance(a, b), 0.0);
+}
+
+TEST(FrameTest, HistogramDistanceDisjointIsTwo) {
+  Frame a(8, 8, 0), b(8, 8, 255);
+  EXPECT_DOUBLE_EQ(Frame::HistogramDistance(a, b), 2.0);
+}
+
+TEST(FrameTest, EqualityOperator) {
+  Frame a(4, 4, 9), b(4, 4, 9);
+  EXPECT_EQ(a, b);
+  b.set(0, 0, 10);
+  EXPECT_NE(a, b);
+}
+
+TEST(VideoTest, DurationFromFps) {
+  std::vector<Frame> frames(30, Frame(4, 4));
+  Video v(1, std::move(frames));
+  v.set_fps(0.1);
+  EXPECT_DOUBLE_EQ(v.DurationSeconds(), 300.0);
+  EXPECT_EQ(v.frame_count(), 30u);
+}
+
+TEST(VideoTest, ZeroFpsHasZeroDuration) {
+  Video v(1, {Frame(2, 2)});
+  v.set_fps(0.0);
+  EXPECT_DOUBLE_EQ(v.DurationSeconds(), 0.0);
+}
+
+TEST(VideoTest, MetadataRoundTrip) {
+  Video v;
+  v.set_id(99);
+  v.set_title("wwe #1");
+  EXPECT_EQ(v.id(), 99);
+  EXPECT_EQ(v.title(), "wwe #1");
+}
+
+}  // namespace
+}  // namespace vrec::video

@@ -1,0 +1,131 @@
+#include <set>
+
+#include "gtest/gtest.h"
+#include "graph/union_find.h"
+#include "graph/weighted_graph.h"
+
+namespace vrec::graph {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(uf.Find(i), i);
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_FALSE(uf.Union(1, 0));  // already merged
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+}
+
+TEST(UnionFindTest, TransitiveMerge) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_NE(uf.Find(0), uf.Find(3));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, SetSizes) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.SetSize(2), 3u);
+  EXPECT_EQ(uf.SetSize(5), 1u);
+}
+
+TEST(UnionFindTest, LabelsAreDense) {
+  UnionFind uf(6);
+  uf.Union(0, 3);
+  uf.Union(1, 4);
+  const auto labels = uf.Labels();
+  std::set<int> distinct(labels.begin(), labels.end());
+  EXPECT_EQ(distinct.size(), uf.num_sets());
+  EXPECT_EQ(*distinct.begin(), 0);
+  EXPECT_EQ(*distinct.rbegin(), static_cast<int>(uf.num_sets()) - 1);
+  EXPECT_EQ(labels[0], labels[3]);
+  EXPECT_EQ(labels[1], labels[4]);
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+TEST(WeightedGraphTest, AddEdgeGrowsNodes) {
+  WeightedGraph g;
+  g.AddEdge(2, 5, 1.0);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(WeightedGraphTest, EdgeWeightAccumulates) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 0, 2.5);  // same undirected edge
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 3.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 3.5);
+}
+
+TEST(WeightedGraphTest, MissingEdgeHasZeroWeight) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(7, 8), 0.0);  // out of range
+}
+
+TEST(WeightedGraphTest, NeighborsListsBothEndpoints) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(0, 2, 2.0);
+  const auto n0 = g.Neighbors(0);
+  EXPECT_EQ(n0.size(), 2u);
+  const auto n1 = g.Neighbors(1);
+  ASSERT_EQ(n1.size(), 1u);
+  EXPECT_EQ(n1[0].first, 0u);
+  EXPECT_DOUBLE_EQ(n1[0].second, 1.0);
+  EXPECT_TRUE(g.Neighbors(3).empty());
+}
+
+TEST(WeightedGraphTest, ConnectedComponents) {
+  WeightedGraph g(6);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(3, 4, 1.0);
+  const auto [labels, count] = g.ConnectedComponents();
+  EXPECT_EQ(count, 3);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+  EXPECT_NE(labels[5], labels[0]);
+  EXPECT_NE(labels[5], labels[3]);
+}
+
+TEST(WeightedGraphTest, PaperFigure2Example) {
+  // The UIG of the paper's running example: 5 users, 8 videos.
+  // u1:<V1,V3,V8> u2:<V3,V8> u3:<V2,V4,V5> u4:<V1,V4,V5> u5:<V4,V5,V6,V7>
+  WeightedGraph g(5);
+  g.AddEdge(0, 1, 2.0);  // u1-u2 share V3, V8
+  g.AddEdge(0, 3, 1.0);  // u1-u4 share V1
+  g.AddEdge(2, 3, 2.0);  // u3-u4 share V4, V5
+  g.AddEdge(2, 4, 2.0);  // u3-u5 share V4, V5
+  g.AddEdge(3, 4, 2.0);  // u4-u5 share V4, V5
+  EXPECT_EQ(g.edge_count(), 5u);
+  const auto [labels, count] = g.ConnectedComponents();
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 3), 1.0);
+}
+
+TEST(WeightedGraphTest, EmptyGraphComponents) {
+  WeightedGraph g(0);
+  const auto [labels, count] = g.ConnectedComponents();
+  EXPECT_EQ(count, 0);
+  EXPECT_TRUE(labels.empty());
+}
+
+}  // namespace
+}  // namespace vrec::graph

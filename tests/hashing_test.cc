@@ -1,0 +1,175 @@
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "gtest/gtest.h"
+#include "hashing/chained_hash_table.h"
+#include "hashing/shift_add_xor.h"
+#include "util/random.h"
+
+namespace vrec::hashing {
+namespace {
+
+TEST(ShiftAddXorTest, DeterministicForSameInput) {
+  EXPECT_EQ(ShiftAddXorHash("user_42"), ShiftAddXorHash("user_42"));
+}
+
+TEST(ShiftAddXorTest, DifferentStringsUsuallyDiffer) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 1000; ++i) {
+    hashes.insert(ShiftAddXorHash("user_" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(ShiftAddXorTest, SeedChangesHash) {
+  ShiftAddXorParams a;
+  a.seed = 1;
+  ShiftAddXorParams b;
+  b.seed = 2;
+  EXPECT_NE(ShiftAddXorHash("hello", a), ShiftAddXorHash("hello", b));
+}
+
+TEST(ShiftAddXorTest, EmptyStringIsSeed) {
+  ShiftAddXorParams p;
+  p.seed = 12345;
+  EXPECT_EQ(ShiftAddXorHash("", p), 12345u);
+}
+
+TEST(ShiftAddXorTest, BucketWithinRange) {
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(ShiftAddXorBucket("user_" + std::to_string(i), 17), 17u);
+  }
+}
+
+TEST(ShiftAddXorTest, BucketsRoughlyUniform) {
+  // The paper selects shift-add-xor for its uniformity; verify the spread
+  // over a realistic user-name keyspace.
+  const uint64_t buckets = 64;
+  std::vector<int> counts(buckets, 0);
+  const int n = 6400;
+  for (int i = 0; i < n; ++i) {
+    ++counts[ShiftAddXorBucket("user_" + std::to_string(i), buckets)];
+  }
+  // Chi-square-ish sanity: no bucket wildly over/under-loaded.
+  for (int c : counts) {
+    EXPECT_GT(c, 40);   // expected 100
+    EXPECT_LT(c, 200);
+  }
+}
+
+TEST(ChainedHashTableTest, InsertAndFind) {
+  ChainedHashTable table(16);
+  table.InsertOrAssign("alice", 3);
+  table.InsertOrAssign("bob", 7);
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Find("alice").value(), 3);
+  EXPECT_EQ(table.Find("bob").value(), 7);
+  EXPECT_FALSE(table.Find("carol").has_value());
+}
+
+TEST(ChainedHashTableTest, InsertOverwritesCno) {
+  ChainedHashTable table(16);
+  table.InsertOrAssign("alice", 3);
+  table.InsertOrAssign("alice", 9);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find("alice").value(), 9);
+}
+
+TEST(ChainedHashTableTest, EraseRemovesOnlyTarget) {
+  ChainedHashTable table(1);  // single bucket: everything chains
+  table.InsertOrAssign("a", 1);
+  table.InsertOrAssign("b", 2);
+  table.InsertOrAssign("c", 3);
+  EXPECT_TRUE(table.Erase("b"));
+  EXPECT_FALSE(table.Erase("b"));
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Find("a").value(), 1);
+  EXPECT_FALSE(table.Find("b").has_value());
+  EXPECT_EQ(table.Find("c").value(), 3);
+}
+
+TEST(ChainedHashTableTest, EraseHeadAndTailOfChain) {
+  ChainedHashTable table(1);
+  table.InsertOrAssign("a", 1);
+  table.InsertOrAssign("b", 2);
+  table.InsertOrAssign("c", 3);  // head of chain (head insertion)
+  EXPECT_TRUE(table.Erase("c"));
+  EXPECT_TRUE(table.Erase("a"));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find("b").value(), 2);
+}
+
+TEST(ChainedHashTableTest, SlotReuseAfterErase) {
+  ChainedHashTable table(4);
+  table.InsertOrAssign("x", 1);
+  table.Erase("x");
+  table.InsertOrAssign("y", 2);
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.Find("y").value(), 2);
+}
+
+TEST(ChainedHashTableTest, ReplaceCnoRewritesAll) {
+  ChainedHashTable table(8);
+  table.InsertOrAssign("a", 5);
+  table.InsertOrAssign("b", 5);
+  table.InsertOrAssign("c", 6);
+  EXPECT_EQ(table.ReplaceCno(5, 9), 2u);
+  EXPECT_EQ(table.Find("a").value(), 9);
+  EXPECT_EQ(table.Find("b").value(), 9);
+  EXPECT_EQ(table.Find("c").value(), 6);
+}
+
+TEST(ChainedHashTableTest, MatchesUnorderedMapUnderChurn) {
+  // Property test: the chained table must agree with std::unordered_map
+  // across a random insert/overwrite/erase workload.
+  Rng rng(91);
+  ChainedHashTable table(32);
+  std::unordered_map<std::string, int32_t> reference;
+  for (int op = 0; op < 3000; ++op) {
+    const std::string key =
+        "user_" + std::to_string(rng.UniformInt(0, 199));
+    const auto action = rng.UniformInt(0, 2);
+    if (action <= 1) {
+      const auto cno = static_cast<int32_t>(rng.UniformInt(0, 59));
+      table.InsertOrAssign(key, cno);
+      reference[key] = cno;
+    } else {
+      EXPECT_EQ(table.Erase(key), reference.erase(key) > 0) << key;
+    }
+  }
+  EXPECT_EQ(table.size(), reference.size());
+  for (const auto& [key, cno] : reference) {
+    ASSERT_TRUE(table.Find(key).has_value()) << key;
+    EXPECT_EQ(table.Find(key).value(), cno);
+  }
+}
+
+TEST(ChainedHashTableTest, AverageChainLengthReasonable) {
+  ChainedHashTable table(128);
+  for (int i = 0; i < 256; ++i) {
+    table.InsertOrAssign("user_" + std::to_string(i), i);
+  }
+  const double eta = table.AverageChainLength();
+  EXPECT_GE(eta, 1.0);
+  EXPECT_LT(eta, 6.0);  // ~2 expected at load factor 2
+}
+
+TEST(ChainedHashTableTest, ComparisonStatsAccumulate) {
+  ChainedHashTable table(4);
+  table.InsertOrAssign("a", 1);
+  table.ResetStats();
+  table.Find("a");
+  EXPECT_GE(table.comparisons(), 1u);
+  table.ResetStats();
+  EXPECT_EQ(table.comparisons(), 0u);
+}
+
+TEST(ChainedHashTableTest, ZeroBucketRequestStillWorks) {
+  ChainedHashTable table(0);  // clamps to 1 bucket internally
+  table.InsertOrAssign("a", 1);
+  EXPECT_EQ(table.Find("a").value(), 1);
+}
+
+}  // namespace
+}  // namespace vrec::hashing

@@ -1,0 +1,206 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "index/emd_embedding.h"
+#include "index/inverted_file.h"
+#include "index/lsh.h"
+#include "index/zorder.h"
+#include "signature/emd.h"
+#include "util/random.h"
+
+namespace vrec::index {
+namespace {
+
+signature::CuboidSignature RandomSignature(Rng* rng) {
+  const int n = static_cast<int>(rng->UniformInt(1, 5));
+  signature::CuboidSignature sig;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    signature::Cuboid c;
+    c.value = rng->Uniform(-80.0, 80.0);
+    c.weight = rng->Uniform(0.1, 1.0);
+    total += c.weight;
+    sig.push_back(c);
+  }
+  for (auto& c : sig) c.weight /= total;
+  return sig;
+}
+
+TEST(EmbeddingTest, IdenticalSignaturesZeroL1) {
+  const signature::CuboidSignature sig = {{10.0, 0.4}, {-3.0, 0.6}};
+  const auto e = EmbedSignature(sig);
+  EXPECT_DOUBLE_EQ(EmbeddedL1(e, e), 0.0);
+}
+
+TEST(EmbeddingTest, DimensionalityMatchesOptions) {
+  EmbeddingOptions options;
+  options.dims = 48;
+  const auto e = EmbedSignature({{0.0, 1.0}}, options);
+  EXPECT_EQ(e.size(), 48u);
+}
+
+TEST(EmbeddingTest, L1ApproximatesEmd) {
+  // The CDF embedding converges to exact EMD; with a 128-bin grid over
+  // [-255, 255] the quantization error per signature is <= bin width (4).
+  EmbeddingOptions options;
+  options.dims = 128;
+  Rng rng(501);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto a = RandomSignature(&rng);
+    const auto b = RandomSignature(&rng);
+    const double emd = signature::Emd(a, b);
+    const double l1 = EmbeddedL1(EmbedSignature(a, options),
+                                 EmbedSignature(b, options));
+    EXPECT_NEAR(l1, emd, 2.0 * 510.0 / 128.0) << "trial " << trial;
+  }
+}
+
+TEST(EmbeddingTest, MonotoneInDistance) {
+  const signature::CuboidSignature base = {{0.0, 1.0}};
+  const signature::CuboidSignature near = {{8.0, 1.0}};
+  const signature::CuboidSignature far = {{120.0, 1.0}};
+  const auto eb = EmbedSignature(base);
+  EXPECT_LT(EmbeddedL1(eb, EmbedSignature(near)),
+            EmbeddedL1(eb, EmbedSignature(far)));
+}
+
+TEST(LshTest, DeterministicForSeed) {
+  L1Lsh::Options options;
+  L1Lsh a(options), b(options);
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_EQ(a.Keys(v), b.Keys(v));
+}
+
+TEST(LshTest, KeyCountAndRange) {
+  L1Lsh::Options options;
+  options.num_hashes = 6;
+  options.bits_per_key = 4;
+  L1Lsh lsh(options);
+  Rng rng(503);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<double> v(32);
+    for (double& x : v) x = rng.Uniform(-5.0, 5.0);
+    const auto keys = lsh.Keys(v);
+    EXPECT_EQ(keys.size(), 6u);
+    for (uint32_t k : keys) EXPECT_LT(k, 16u);
+  }
+}
+
+TEST(LshTest, CloseVectorsShareMoreKeys) {
+  L1Lsh::Options options;
+  options.width = 8.0;
+  L1Lsh lsh(options);
+  Rng rng(505);
+  int near_matches = 0, far_matches = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> base(32), near(32), far(32);
+    for (size_t i = 0; i < 32; ++i) {
+      base[i] = rng.Uniform(-10.0, 10.0);
+      near[i] = base[i] + rng.Uniform(-0.05, 0.05);
+      far[i] = base[i] + rng.Uniform(-15.0, 15.0);
+    }
+    const auto kb = lsh.Keys(base);
+    const auto kn = lsh.Keys(near);
+    const auto kf = lsh.Keys(far);
+    for (size_t i = 0; i < kb.size(); ++i) {
+      if (kb[i] == kn[i]) ++near_matches;
+      if (kb[i] == kf[i]) ++far_matches;
+    }
+  }
+  EXPECT_GT(near_matches, far_matches);
+}
+
+TEST(ZOrderTest, InterleaveDeinterleaveRoundTrip) {
+  Rng rng(507);
+  for (int t = 0; t < 100; ++t) {
+    const int m = static_cast<int>(rng.UniformInt(1, 8));
+    const int bits = static_cast<int>(rng.UniformInt(1, 64 / m));
+    std::vector<uint32_t> keys(static_cast<size_t>(m));
+    for (auto& k : keys) {
+      k = static_cast<uint32_t>(
+          rng.UniformInt(0, (1ll << bits) - 1));
+    }
+    const uint64_t z = ZOrderInterleave(keys, bits);
+    EXPECT_EQ(ZOrderDeinterleave(z, m, bits), keys);
+  }
+}
+
+TEST(ZOrderTest, KnownInterleaving) {
+  // keys = {0b10, 0b01}, 2 bits: MSB-first interleave -> 1,0 then 0,1 ->
+  // 0b1001 = 9.
+  EXPECT_EQ(ZOrderInterleave({2, 1}, 2), 9u);
+}
+
+TEST(ZOrderTest, OrderPreservedInHighBits) {
+  // Two points equal in the high bit of every key share a longer common
+  // prefix than two points differing there.
+  const uint64_t a = ZOrderInterleave({8, 8}, 4);
+  const uint64_t b = ZOrderInterleave({9, 8}, 4);   // differs in low bit
+  const uint64_t c = ZOrderInterleave({0, 8}, 4);   // differs in high bit
+  EXPECT_GT(CommonPrefixLength(a, b), CommonPrefixLength(a, c));
+}
+
+TEST(ZOrderTest, CommonPrefixLengthBasics) {
+  EXPECT_EQ(CommonPrefixLength(5, 5), 64);
+  EXPECT_EQ(CommonPrefixLength(0, 1ULL << 63), 0);
+  EXPECT_EQ(CommonPrefixLength(0, 1), 63);
+}
+
+TEST(InvertedFileTest, AddAndQuery) {
+  InvertedFile file;
+  file.Add(0, 100, 2.0);
+  file.Add(0, 101, 1.0);
+  file.Add(1, 100, 3.0);
+  const auto candidates = file.Candidates({1.0, 1.0});
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].first, 100);
+  EXPECT_DOUBLE_EQ(candidates[0].second, 5.0);  // 2*1 + 3*1
+  EXPECT_EQ(candidates[1].first, 101);
+}
+
+TEST(InvertedFileTest, AddAccumulatesWeight) {
+  InvertedFile file;
+  file.Add(0, 5, 1.0);
+  file.Add(0, 5, 2.0);
+  ASSERT_EQ(file.Postings(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(file.Postings(0)[0].weight, 3.0);
+}
+
+TEST(InvertedFileTest, ZeroMassDimensionsSkipped) {
+  InvertedFile file;
+  file.Add(0, 1, 1.0);
+  file.Add(1, 2, 1.0);
+  const auto candidates = file.Candidates({0.0, 1.0});
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].first, 2);
+}
+
+TEST(InvertedFileTest, RemoveVideoFromCommunity) {
+  InvertedFile file;
+  file.Add(0, 1, 1.0);
+  file.Add(0, 2, 1.0);
+  file.RemoveVideoFromCommunity(0, 1);
+  ASSERT_EQ(file.Postings(0).size(), 1u);
+  EXPECT_EQ(file.Postings(0)[0].video_id, 2);
+  file.RemoveVideoFromCommunity(0, 2);
+  EXPECT_TRUE(file.Postings(0).empty());
+  file.RemoveVideoFromCommunity(5, 1);  // absent community: no-op
+}
+
+TEST(InvertedFileTest, RemoveCommunity) {
+  InvertedFile file;
+  file.Add(3, 1, 1.0);
+  file.RemoveCommunity(3);
+  EXPECT_TRUE(file.Postings(3).empty());
+}
+
+TEST(InvertedFileTest, QueryLongerThanCommunities) {
+  InvertedFile file;
+  file.Add(0, 1, 1.0);
+  const auto candidates = file.Candidates({1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(candidates.size(), 1u);
+}
+
+}  // namespace
+}  // namespace vrec::index

@@ -1,0 +1,216 @@
+// End-to-end tests: synthetic dataset -> full recommender pipeline ->
+// effectiveness metrics. These assert the *shape* of the paper's results
+// (who beats whom) on a miniature corpus.
+
+#include <memory>
+
+#include "gtest/gtest.h"
+#include "baseline/affrf.h"
+#include "core/recommender.h"
+#include "datagen/dataset.h"
+#include "eval/metrics.h"
+#include "eval/rating_oracle.h"
+
+namespace vrec {
+namespace {
+
+datagen::DatasetOptions MiniOptions() {
+  datagen::DatasetOptions options;
+  options.num_topics = 10;
+  options.base_videos_per_topic = 2;
+  options.corpus.frames_per_video = 24;
+  options.corpus.derivatives_per_base = 1;
+  options.community.num_users = 200;
+  options.community.num_user_groups = 20;
+  options.community.months = 8;
+  options.community.comments_per_video_month = 10.0;
+  options.community.popularity_skew = 0.1;
+  options.community.offtopic_rate = 0.01;
+  options.community.secondary_interest = 0.1;
+  options.community.interest_floor = 0.002;
+  options.source_months = 6;
+  return options;
+}
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new datagen::Dataset(datagen::GenerateDataset(MiniOptions()));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static std::unique_ptr<core::Recommender> BuildRecommender(
+      core::RecommenderOptions options) {
+    options.k_subcommunities = 60;
+    auto rec = std::make_unique<core::Recommender>(options);
+    const auto descriptors = dataset_->SourceDescriptors();
+    for (size_t v = 0; v < dataset_->video_count(); ++v) {
+      EXPECT_TRUE(rec->AddVideo(dataset_->corpus.videos[v], descriptors[v])
+                      .ok());
+    }
+    EXPECT_TRUE(rec->Finalize(dataset_->community.user_count).ok());
+    return rec;
+  }
+
+  // Mean rating of top-5 recommendations over the 10 paper-style queries.
+  static double Effectiveness(core::Recommender* rec) {
+    const eval::RatingOracle oracle(dataset_);
+    std::vector<std::vector<double>> ratings;
+    for (video::VideoId q : dataset_->QueryVideoIds()) {
+      const auto results = rec->RecommendById(q, 5);
+      EXPECT_TRUE(results.ok());
+      std::vector<video::VideoId> ids;
+      for (const auto& r : *results) ids.push_back(r.id);
+      ratings.push_back(oracle.RateList(q, ids));
+    }
+    return eval::Evaluate(ratings, 5).average_rating;
+  }
+
+  static datagen::Dataset* dataset_;
+};
+
+datagen::Dataset* IntegrationTest::dataset_ = nullptr;
+
+TEST_F(IntegrationTest, PipelineProducesFullResultLists) {
+  core::RecommenderOptions options;
+  options.social_mode = core::SocialMode::kSarHash;
+  auto rec = BuildRecommender(options);
+  for (video::VideoId q : dataset_->QueryVideoIds()) {
+    const auto results = rec->RecommendById(q, 10);
+    ASSERT_TRUE(results.ok());
+    EXPECT_EQ(results->size(), 10u);
+    // Scores are sorted descending.
+    for (size_t i = 1; i < results->size(); ++i) {
+      EXPECT_LE((*results)[i].score, (*results)[i - 1].score);
+    }
+  }
+}
+
+TEST_F(IntegrationTest, CsfBeatsContentOnlyAndSocialOnly) {
+  // The paper's Figure 10 headline: fusion beats either signal alone.
+  core::RecommenderOptions csf;
+  csf.social_mode = core::SocialMode::kSarHash;
+  core::RecommenderOptions cr;
+  cr.social_mode = core::SocialMode::kNone;
+  core::RecommenderOptions sr;
+  sr.social_mode = core::SocialMode::kSarHash;
+  sr.use_content = false;
+
+  auto rec_csf = BuildRecommender(csf);
+  auto rec_cr = BuildRecommender(cr);
+  auto rec_sr = BuildRecommender(sr);
+  const double e_csf = Effectiveness(rec_csf.get());
+  const double e_cr = Effectiveness(rec_cr.get());
+  const double e_sr = Effectiveness(rec_sr.get());
+  EXPECT_GT(e_csf, e_cr);
+  EXPECT_GE(e_csf, e_sr);
+}
+
+TEST_F(IntegrationTest, CsfBeatsAffrfBaseline) {
+  core::RecommenderOptions csf;
+  csf.social_mode = core::SocialMode::kSarHash;
+  auto rec = BuildRecommender(csf);
+  baseline::Affrf affrf(dataset_);
+  const eval::RatingOracle oracle(dataset_);
+
+  double csf_rating = 0.0, affrf_rating = 0.0;
+  const auto queries = dataset_->QueryVideoIds();
+  for (video::VideoId q : queries) {
+    const auto results = rec->RecommendById(q, 5);
+    ASSERT_TRUE(results.ok());
+    for (const auto& r : *results) csf_rating += oracle.Rate(q, r.id);
+    for (video::VideoId v : affrf.Recommend(q, 5)) {
+      affrf_rating += oracle.Rate(q, v);
+    }
+  }
+  EXPECT_GT(csf_rating, affrf_rating);
+}
+
+TEST_F(IntegrationTest, NearDuplicatesSurfaceUnderContentRelevance) {
+  core::RecommenderOptions cr;
+  cr.social_mode = core::SocialMode::kNone;
+  auto rec = BuildRecommender(cr);
+  // For each query original, its derivative (edited re-upload) should rank
+  // in the top-5 of content-only recommendation most of the time.
+  size_t found = 0, total = 0;
+  for (video::VideoId q : dataset_->QueryVideoIds()) {
+    std::vector<video::VideoId> kin;
+    for (const auto& meta : dataset_->corpus.meta) {
+      if (meta.source_id == q) kin.push_back(meta.id);
+    }
+    if (kin.empty()) continue;
+    ++total;
+    const auto results = rec->RecommendById(q, 5);
+    ASSERT_TRUE(results.ok());
+    for (const auto& r : *results) {
+      if (std::find(kin.begin(), kin.end(), r.id) != kin.end()) {
+        ++found;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GE(static_cast<double>(found) / static_cast<double>(total), 0.7);
+}
+
+TEST_F(IntegrationTest, SarApproximationCloseToExactCsf) {
+  core::RecommenderOptions exact;
+  exact.social_mode = core::SocialMode::kExact;
+  core::RecommenderOptions sar;
+  sar.social_mode = core::SocialMode::kSar;
+  auto rec_exact = BuildRecommender(exact);
+  auto rec_sar = BuildRecommender(sar);
+  const double e_exact = Effectiveness(rec_exact.get());
+  const double e_sar = Effectiveness(rec_sar.get());
+  // SAR trades a bounded amount of effectiveness for speed.
+  EXPECT_GT(e_sar, e_exact - 0.5);
+}
+
+TEST_F(IntegrationTest, MonthlyUpdatesKeepEffectivenessSteady) {
+  // Figure 11: effectiveness stays steady as update months accumulate.
+  core::RecommenderOptions options;
+  options.social_mode = core::SocialMode::kSarHash;
+  auto rec = BuildRecommender(options);
+  const double before = Effectiveness(rec.get());
+  for (int month = dataset_->options.source_months;
+       month < dataset_->options.community.months; ++month) {
+    std::vector<std::pair<video::VideoId, social::UserId>> comments;
+    for (const auto& c : dataset_->community.CommentsInMonth(month)) {
+      comments.emplace_back(c.video, c.user);
+    }
+    const auto stats =
+        rec->ApplySocialUpdate(dataset_->ConnectionsForMonth(month), comments);
+    ASSERT_TRUE(stats.ok());
+  }
+  const double after = Effectiveness(rec.get());
+  EXPECT_GT(after, before - 0.6);  // no collapse under drift
+  EXPECT_GE(rec->num_communities(), 1);
+}
+
+TEST_F(IntegrationTest, HashAndSortedDictionariesAgreeOnResults) {
+  core::RecommenderOptions sar;
+  sar.social_mode = core::SocialMode::kSar;
+  core::RecommenderOptions sarh;
+  sarh.social_mode = core::SocialMode::kSarHash;
+  auto rec_sar = BuildRecommender(sar);
+  auto rec_sarh = BuildRecommender(sarh);
+  // The hash table changes lookup mechanics, not semantics: identical
+  // recommendation lists.
+  for (video::VideoId q : dataset_->QueryVideoIds()) {
+    const auto a = rec_sar->RecommendById(q, 10);
+    const auto b = rec_sarh->RecommendById(q, 10);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id);
+      EXPECT_DOUBLE_EQ((*a)[i].score, (*b)[i].score);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vrec

@@ -1,0 +1,227 @@
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "gtest/gtest.h"
+#include "io/archive.h"
+#include "io/binary_format.h"
+#include "util/random.h"
+
+namespace vrec::io {
+namespace {
+
+TEST(BinaryFormatTest, ScalarRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU8(0xAB);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI32(-42);
+  w.WriteI64(-1234567890123LL);
+  w.WriteDouble(3.14159);
+  ASSERT_TRUE(w.Finish().ok());
+
+  BinaryReader r(&ss);
+  EXPECT_EQ(r.ReadU8().value(), 0xAB);
+  EXPECT_EQ(r.ReadU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.ReadI32().value(), -42);
+  EXPECT_EQ(r.ReadI64().value(), -1234567890123LL);
+  EXPECT_DOUBLE_EQ(r.ReadDouble().value(), 3.14159);
+}
+
+TEST(BinaryFormatTest, StringAndVectorRoundTrip) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteString("hello vrec");
+  w.WriteString("");
+  w.WriteBytes({1, 2, 255});
+  w.WriteDoubleVector({1.5, -2.5});
+  w.WriteI64Vector({-1, 0, 1});
+  w.WriteI32Vector({7});
+  ASSERT_TRUE(w.Finish().ok());
+
+  BinaryReader r(&ss);
+  EXPECT_EQ(r.ReadString().value(), "hello vrec");
+  EXPECT_EQ(r.ReadString().value(), "");
+  EXPECT_EQ(r.ReadBytes().value(), (std::vector<uint8_t>{1, 2, 255}));
+  EXPECT_EQ(r.ReadDoubleVector().value(), (std::vector<double>{1.5, -2.5}));
+  EXPECT_EQ(r.ReadI64Vector().value(), (std::vector<int64_t>{-1, 0, 1}));
+  EXPECT_EQ(r.ReadI32Vector().value(), (std::vector<int32_t>{7}));
+}
+
+TEST(BinaryFormatTest, TruncatedInputFails) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteU64(42);
+  std::string data = ss.str();
+  data.resize(4);  // cut mid-value
+  std::stringstream truncated(data);
+  BinaryReader r(&truncated);
+  EXPECT_FALSE(r.ReadU64().ok());
+}
+
+TEST(BinaryFormatTest, SpecialDoublesPreserved) {
+  std::stringstream ss;
+  BinaryWriter w(&ss);
+  w.WriteDouble(std::numeric_limits<double>::infinity());
+  w.WriteDouble(-0.0);
+  w.WriteDouble(std::numeric_limits<double>::denorm_min());
+  BinaryReader r(&ss);
+  EXPECT_TRUE(std::isinf(r.ReadDouble().value()));
+  EXPECT_EQ(r.ReadDouble().value(), 0.0);
+  EXPECT_EQ(r.ReadDouble().value(),
+            std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ArchiveTest, VideoRoundTrip) {
+  video::Frame f(4, 3);
+  f.set(1, 2, 200);
+  video::Video v(77, {f, video::Frame(4, 3, 9)});
+  v.set_title("wwe #77");
+  v.set_fps(0.25);
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteVideo(v, &ss).ok());
+  const auto loaded = ReadVideo(&ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->id(), 77);
+  EXPECT_EQ(loaded->title(), "wwe #77");
+  EXPECT_DOUBLE_EQ(loaded->fps(), 0.25);
+  ASSERT_EQ(loaded->frame_count(), 2u);
+  EXPECT_EQ(loaded->frames()[0], v.frames()[0]);
+  EXPECT_EQ(loaded->frames()[1], v.frames()[1]);
+}
+
+TEST(ArchiveTest, SignatureSeriesRoundTrip) {
+  signature::SignatureSeries series = {
+      {{1.5, 0.5}, {-3.0, 0.5}},
+      {{0.0, 1.0}},
+  };
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSignatureSeries(series, &ss).ok());
+  const auto loaded = ReadSignatureSeries(&ss);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 2u);
+  EXPECT_DOUBLE_EQ((*loaded)[0][1].value, -3.0);
+  EXPECT_DOUBLE_EQ((*loaded)[1][0].weight, 1.0);
+}
+
+TEST(ArchiveTest, DescriptorsRoundTrip) {
+  std::vector<social::SocialDescriptor> descriptors = {
+      social::SocialDescriptor({3, 1, 2}),
+      social::SocialDescriptor(),
+      social::SocialDescriptor({99}),
+  };
+  std::stringstream ss;
+  ASSERT_TRUE(WriteDescriptors(descriptors, &ss).ok());
+  const auto loaded = ReadDescriptors(&ss);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].users(), (std::vector<social::UserId>{1, 2, 3}));
+  EXPECT_TRUE((*loaded)[1].empty());
+  EXPECT_TRUE((*loaded)[2].Contains(99));
+}
+
+TEST(ArchiveTest, WrongMagicRejected) {
+  signature::SignatureSeries series = {{{1.0, 1.0}}};
+  std::stringstream ss;
+  ASSERT_TRUE(WriteSignatureSeries(series, &ss).ok());
+  // Try to read the series archive as a video archive.
+  const auto video = ReadVideo(&ss);
+  EXPECT_FALSE(video.ok());
+  EXPECT_EQ(video.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ArchiveTest, EmptyStreamRejected) {
+  std::stringstream ss;
+  EXPECT_FALSE(ReadVideo(&ss).ok());
+  EXPECT_FALSE(ReadDataset(&ss).ok());
+}
+
+TEST(ArchiveTest, DatasetRoundTripPreservesEverything) {
+  datagen::DatasetOptions options;
+  options.num_topics = 4;
+  options.base_videos_per_topic = 1;
+  options.corpus.frames_per_video = 8;
+  options.corpus.derivatives_per_base = 1;
+  options.community.num_users = 30;
+  options.community.num_user_groups = 4;
+  options.community.months = 3;
+  options.source_months = 2;
+  const auto dataset = datagen::GenerateDataset(options);
+
+  std::stringstream ss;
+  ASSERT_TRUE(WriteDataset(dataset, &ss).ok());
+  const auto loaded = ReadDataset(&ss);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  ASSERT_EQ(loaded->video_count(), dataset.video_count());
+  for (size_t v = 0; v < dataset.video_count(); ++v) {
+    EXPECT_EQ(loaded->corpus.videos[v].frames(),
+              dataset.corpus.videos[v].frames());
+    EXPECT_EQ(loaded->corpus.meta[v].topic, dataset.corpus.meta[v].topic);
+    EXPECT_EQ(loaded->corpus.meta[v].source_id,
+              dataset.corpus.meta[v].source_id);
+    EXPECT_EQ(loaded->corpus.meta[v].text_features,
+              dataset.corpus.meta[v].text_features);
+  }
+  EXPECT_EQ(loaded->community.user_count, dataset.community.user_count);
+  EXPECT_EQ(loaded->community.user_group, dataset.community.user_group);
+  EXPECT_EQ(loaded->community.video_owner, dataset.community.video_owner);
+  ASSERT_EQ(loaded->community.comments.size(),
+            dataset.community.comments.size());
+  for (size_t i = 0; i < dataset.community.comments.size(); ++i) {
+    EXPECT_EQ(loaded->community.comments[i].user,
+              dataset.community.comments[i].user);
+    EXPECT_EQ(loaded->community.comments[i].video,
+              dataset.community.comments[i].video);
+    EXPECT_EQ(loaded->community.comments[i].month,
+              dataset.community.comments[i].month);
+  }
+  // Derived helpers behave identically on the loaded copy.
+  EXPECT_EQ(loaded->QueryVideoIds(), dataset.QueryVideoIds());
+  EXPECT_EQ(loaded->SourceDescriptors().size(),
+            dataset.SourceDescriptors().size());
+  EXPECT_DOUBLE_EQ(loaded->TotalHours(), dataset.TotalHours());
+}
+
+TEST(ArchiveTest, FileRoundTrip) {
+  datagen::DatasetOptions options;
+  options.num_topics = 2;
+  options.base_videos_per_topic = 1;
+  options.corpus.frames_per_video = 6;
+  options.corpus.derivatives_per_base = 0;
+  options.community.num_users = 10;
+  options.community.num_user_groups = 2;
+  options.community.months = 1;
+  options.source_months = 1;
+  const auto dataset = datagen::GenerateDataset(options);
+
+  const std::string path = ::testing::TempDir() + "/vrec_dataset.bin";
+  ASSERT_TRUE(SaveDatasetToFile(dataset, path).ok());
+  const auto loaded = LoadDatasetFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->video_count(), dataset.video_count());
+  EXPECT_FALSE(LoadDatasetFromFile(path + ".missing").ok());
+}
+
+TEST(ArchiveTest, CorruptDatasetFailsCleanly) {
+  datagen::DatasetOptions options;
+  options.num_topics = 2;
+  options.base_videos_per_topic = 1;
+  options.corpus.frames_per_video = 6;
+  options.community.num_users = 10;
+  options.community.months = 1;
+  const auto dataset = datagen::GenerateDataset(options);
+  std::stringstream ss;
+  ASSERT_TRUE(WriteDataset(dataset, &ss).ok());
+  std::string data = ss.str();
+  data.resize(data.size() / 2);  // truncate mid-archive
+  std::stringstream truncated(data);
+  const auto loaded = ReadDataset(&truncated);
+  EXPECT_FALSE(loaded.ok());
+}
+
+}  // namespace
+}  // namespace vrec::io

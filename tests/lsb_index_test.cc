@@ -1,0 +1,100 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "index/lsb_index.h"
+#include "util/random.h"
+
+namespace vrec::index {
+namespace {
+
+signature::CuboidSignature SignatureAt(double value) {
+  return {{value, 1.0}};
+}
+
+TEST(LsbIndexTest, EmptyIndexReturnsNothing) {
+  LsbIndex index;
+  EXPECT_TRUE(index.Candidates(SignatureAt(0.0)).empty());
+  EXPECT_EQ(index.indexed_signatures(), 0u);
+}
+
+TEST(LsbIndexTest, ExactDuplicateAlwaysFound) {
+  LsbIndex index;
+  for (int v = 0; v < 20; ++v) {
+    index.AddVideo(v, {SignatureAt(v * 12.0 - 100.0)});
+  }
+  EXPECT_EQ(index.indexed_signatures(), 20u);
+  for (int v = 0; v < 20; ++v) {
+    const auto hits = index.Candidates(SignatureAt(v * 12.0 - 100.0), 4);
+    EXPECT_TRUE(hits.count(v)) << "video " << v;
+  }
+}
+
+TEST(LsbIndexTest, NearNeighborsRankAboveFar) {
+  LsbIndex index;
+  // Dense cluster near 0, plus far outliers.
+  index.AddVideo(1, {SignatureAt(0.0)});
+  index.AddVideo(2, {SignatureAt(2.0)});
+  index.AddVideo(3, {SignatureAt(200.0)});
+  index.AddVideo(4, {SignatureAt(-220.0)});
+  const auto hits = index.Candidates(SignatureAt(1.0), 2);
+  // The near pair must be hit at least as often as the far ones.
+  const auto count = [&hits](int64_t v) {
+    const auto it = hits.find(v);
+    return it == hits.end() ? 0 : it->second;
+  };
+  EXPECT_GE(count(1), count(3));
+  EXPECT_GE(count(2), count(4));
+  EXPECT_GT(count(1) + count(2), 0);
+}
+
+TEST(LsbIndexTest, SeriesCandidatesMergeHits) {
+  LsbIndex index;
+  index.AddVideo(1, {SignatureAt(-50.0), SignatureAt(50.0)});
+  index.AddVideo(2, {SignatureAt(-50.0)});
+  const signature::SignatureSeries query = {SignatureAt(-50.0),
+                                            SignatureAt(50.0)};
+  const auto hits = index.CandidatesForSeries(query, 4);
+  ASSERT_TRUE(hits.count(1));
+  ASSERT_TRUE(hits.count(2));
+  EXPECT_GT(hits.at(1), hits.at(2));  // matches both query signatures
+}
+
+TEST(LsbIndexTest, RecallOnPerturbedSignatures) {
+  // Index 100 well-separated videos, query with slightly perturbed
+  // signatures: the true video should be among the candidates nearly
+  // always (multi-tree LSH recall).
+  LsbIndex::Options options;
+  options.num_trees = 6;
+  LsbIndex index(options);
+  Rng rng(701);
+  std::vector<double> values;
+  for (int v = 0; v < 100; ++v) {
+    const double val = -200.0 + 4.0 * v;
+    values.push_back(val);
+    index.AddVideo(v, {SignatureAt(val)});
+  }
+  int found = 0;
+  for (int v = 0; v < 100; ++v) {
+    const double perturbed = values[static_cast<size_t>(v)] +
+                             rng.Uniform(-0.5, 0.5);
+    const auto hits = index.Candidates(SignatureAt(perturbed), 8);
+    if (hits.count(v)) ++found;
+  }
+  EXPECT_GE(found, 90);
+}
+
+TEST(LsbIndexTest, ProbeCountBoundsWork) {
+  LsbIndex index;
+  for (int v = 0; v < 50; ++v) index.AddVideo(v, {SignatureAt(v * 1.0)});
+  const auto small = index.Candidates(SignatureAt(25.0), 1);
+  const auto big = index.Candidates(SignatureAt(25.0), 16);
+  EXPECT_LE(small.size(), big.size());
+  // probes=p per direction per tree bounds the raw hits.
+  size_t total_small = 0;
+  for (const auto& [v, c] : small) total_small += static_cast<size_t>(c);
+  EXPECT_LE(total_small,
+            static_cast<size_t>(2 * index.options().num_trees));
+}
+
+}  // namespace
+}  // namespace vrec::index

@@ -1,0 +1,73 @@
+#include "gtest/gtest.h"
+#include "core/recommender.h"
+
+namespace vrec::core {
+namespace {
+
+TEST(ValidateOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(ValidateOptions(RecommenderOptions{}).ok());
+}
+
+TEST(ValidateOptionsTest, OmegaRange) {
+  RecommenderOptions o;
+  o.omega = -0.1;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+  o.omega = 1.1;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+  o.omega = 0.0;
+  EXPECT_TRUE(ValidateOptions(o).ok());
+  o.omega = 1.0;
+  EXPECT_TRUE(ValidateOptions(o).ok());
+}
+
+TEST(ValidateOptionsTest, PositiveCounts) {
+  RecommenderOptions o;
+  o.k_subcommunities = 0;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+  o = RecommenderOptions{};
+  o.lsb_probes = 0;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+  o = RecommenderOptions{};
+  o.max_candidates = 0;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+}
+
+TEST(ValidateOptionsTest, NeitherChannelEnabled) {
+  RecommenderOptions o;
+  o.use_content = false;
+  o.social_mode = SocialMode::kNone;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+}
+
+TEST(ValidateOptionsTest, SegmenterAndSignature) {
+  RecommenderOptions o;
+  o.signature.grid_dim = 0;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+  o = RecommenderOptions{};
+  o.segmenter.q = 0;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+  o = RecommenderOptions{};
+  o.segmenter.keyframe_stride = 0;
+  EXPECT_FALSE(ValidateOptions(o).ok());
+}
+
+TEST(ValidateOptionsTest, ZOrderBitBudget) {
+  RecommenderOptions o;
+  o.lsb.lsh.num_hashes = 16;
+  o.lsb.lsh.bits_per_key = 8;  // 128 bits > 64
+  EXPECT_FALSE(ValidateOptions(o).ok());
+  o.lsb.lsh.num_hashes = 8;
+  EXPECT_TRUE(ValidateOptions(o).ok());
+}
+
+TEST(ValidateOptionsTest, FinalizeRejectsInvalidConfig) {
+  RecommenderOptions o;
+  o.omega = 3.0;
+  Recommender rec(o);
+  const Status s = rec.Finalize(10);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace vrec::core

@@ -1,0 +1,159 @@
+// Tests for the dynamic / query-processing extensions of the core engine:
+// video removal and the adaptive (Figure 6 style) widening search.
+
+#include <set>
+
+#include "gtest/gtest.h"
+#include "core/recommender.h"
+
+namespace vrec::core {
+namespace {
+
+using signature::SignatureSeries;
+using social::SocialDescriptor;
+
+SignatureSeries SeriesAt(std::initializer_list<double> values) {
+  SignatureSeries s;
+  for (double v : values) s.push_back({{v, 1.0}});
+  return s;
+}
+
+class DynamicsFixture : public ::testing::Test {
+ protected:
+  std::unique_ptr<Recommender> Build(SocialMode mode) {
+    RecommenderOptions options;
+    options.social_mode = mode;
+    options.k_subcommunities = 2;
+    auto rec = std::make_unique<Recommender>(options);
+    EXPECT_TRUE(rec->AddVideoRecord(0, SeriesAt({0.0, 10.0}),
+                                    SocialDescriptor({0, 1, 2}))
+                    .ok());
+    EXPECT_TRUE(rec->AddVideoRecord(1, SeriesAt({0.0, 10.0}),
+                                    SocialDescriptor({6, 7}))
+                    .ok());
+    EXPECT_TRUE(rec->AddVideoRecord(2, SeriesAt({100.0, -60.0}),
+                                    SocialDescriptor({0, 1, 2, 3}))
+                    .ok());
+    EXPECT_TRUE(rec->AddVideoRecord(3, SeriesAt({-200.0}),
+                                    SocialDescriptor({8, 9}))
+                    .ok());
+    EXPECT_TRUE(rec->Finalize(10).ok());
+    return rec;
+  }
+};
+
+TEST_F(DynamicsFixture, RemoveVideoExcludesFromResults) {
+  for (const auto mode :
+       {SocialMode::kNone, SocialMode::kExact, SocialMode::kSarHash}) {
+    auto rec = Build(mode);
+    ASSERT_TRUE(rec->RemoveVideo(1).ok());
+    const auto results = rec->RecommendById(0, 10);
+    ASSERT_TRUE(results.ok());
+    for (const auto& r : *results) EXPECT_NE(r.id, 1);
+  }
+}
+
+TEST_F(DynamicsFixture, RemoveVideoUpdatesCountsAndLookups) {
+  auto rec = Build(SocialMode::kSarHash);
+  EXPECT_EQ(rec->video_count(), 4u);
+  ASSERT_TRUE(rec->RemoveVideo(2).ok());
+  EXPECT_EQ(rec->video_count(), 3u);
+  EXPECT_EQ(rec->SeriesOf(2), nullptr);
+  EXPECT_EQ(rec->DescriptorOf(2), nullptr);
+  EXPECT_FALSE(rec->RecommendById(2, 3).ok());  // removed id not queryable
+}
+
+TEST_F(DynamicsFixture, RemoveVideoTwiceFails) {
+  auto rec = Build(SocialMode::kNone);
+  ASSERT_TRUE(rec->RemoveVideo(0).ok());
+  EXPECT_FALSE(rec->RemoveVideo(0).ok());
+  EXPECT_FALSE(rec->RemoveVideo(77).ok());
+}
+
+TEST_F(DynamicsFixture, RemoveAllButOneStillServes) {
+  auto rec = Build(SocialMode::kSarHash);
+  ASSERT_TRUE(rec->RemoveVideo(1).ok());
+  ASSERT_TRUE(rec->RemoveVideo(2).ok());
+  ASSERT_TRUE(rec->RemoveVideo(3).ok());
+  const auto results = rec->RecommendById(0, 5);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());  // only the query itself remains
+}
+
+TEST_F(DynamicsFixture, RemovedVideoSurvivesSocialUpdates) {
+  auto rec = Build(SocialMode::kSarHash);
+  ASSERT_TRUE(rec->RemoveVideo(1).ok());
+  // Updates touching the removed video's audience must not resurrect it.
+  const auto stats = rec->ApplySocialUpdate({{6, 0, 5.0}}, {{1, 0}});
+  ASSERT_TRUE(stats.ok());
+  const auto results = rec->RecommendById(0, 10);
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) EXPECT_NE(r.id, 1);
+}
+
+TEST_F(DynamicsFixture, AdaptiveSearchAgreesWithExhaustiveTop1) {
+  RecommenderOptions exhaustive_options;
+  exhaustive_options.social_mode = SocialMode::kNone;
+  exhaustive_options.use_lsb_index = false;
+  exhaustive_options.k_subcommunities = 2;
+  Recommender exhaustive(exhaustive_options);
+  auto rec = Build(SocialMode::kNone);
+  ASSERT_TRUE(exhaustive
+                  .AddVideoRecord(0, SeriesAt({0.0, 10.0}),
+                                  SocialDescriptor({0, 1, 2}))
+                  .ok());
+  ASSERT_TRUE(exhaustive
+                  .AddVideoRecord(1, SeriesAt({0.0, 10.0}),
+                                  SocialDescriptor({6, 7}))
+                  .ok());
+  ASSERT_TRUE(exhaustive
+                  .AddVideoRecord(2, SeriesAt({100.0, -60.0}),
+                                  SocialDescriptor({0, 1, 2, 3}))
+                  .ok());
+  ASSERT_TRUE(exhaustive
+                  .AddVideoRecord(3, SeriesAt({-200.0}),
+                                  SocialDescriptor({8, 9}))
+                  .ok());
+  ASSERT_TRUE(exhaustive.Finalize(10).ok());
+
+  const auto query = SeriesAt({0.0, 10.0});
+  const auto adaptive =
+      rec->RecommendAdaptive(query, SocialDescriptor(), 1);
+  const auto reference =
+      exhaustive.Recommend(query, SocialDescriptor(), 1);
+  ASSERT_TRUE(adaptive.ok());
+  ASSERT_TRUE(reference.ok());
+  ASSERT_FALSE(adaptive->empty());
+  EXPECT_EQ((*adaptive)[0].id, (*reference)[0].id);
+}
+
+TEST_F(DynamicsFixture, AdaptiveSearchRespectsExcludeAndErrors) {
+  auto rec = Build(SocialMode::kExact);
+  const auto results = rec->RecommendAdaptive(SeriesAt({0.0, 10.0}),
+                                              SocialDescriptor({0, 1}), 3,
+                                              /*exclude=*/1);
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) EXPECT_NE(r.id, 1);
+  EXPECT_FALSE(
+      rec->RecommendAdaptive(SeriesAt({0.0}), SocialDescriptor(), 0).ok());
+}
+
+TEST_F(DynamicsFixture, AdaptiveSearchStableOnAllModes) {
+  for (const auto mode :
+       {SocialMode::kNone, SocialMode::kExact, SocialMode::kSarHash}) {
+    auto rec = Build(mode);
+    const auto a = rec->RecommendAdaptive(SeriesAt({0.0, 10.0}),
+                                          SocialDescriptor({0, 1, 2}), 3);
+    const auto b = rec->RecommendAdaptive(SeriesAt({0.0, 10.0}),
+                                          SocialDescriptor({0, 1, 2}), 3);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vrec::core

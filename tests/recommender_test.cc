@@ -1,0 +1,258 @@
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "core/recommender.h"
+
+namespace vrec::core {
+namespace {
+
+using signature::SignatureSeries;
+using social::SocialDescriptor;
+
+SignatureSeries SeriesAt(std::initializer_list<double> values) {
+  SignatureSeries s;
+  for (double v : values) s.push_back({{v, 1.0}});
+  return s;
+}
+
+// A small hand-built database: videos 0/1 share content, videos 0/2 share
+// audience, video 3 is unrelated.
+class RecommenderFixture : public ::testing::Test {
+ protected:
+  RecommenderOptions BaseOptions(SocialMode mode) {
+    RecommenderOptions options;
+    options.social_mode = mode;
+    options.k_subcommunities = 2;
+    options.max_candidates = 100;
+    return options;
+  }
+
+  void Ingest(Recommender* rec) {
+    ASSERT_TRUE(
+        rec->AddVideoRecord(0, SeriesAt({0.0, 10.0}),
+                            SocialDescriptor({0, 1, 2}))
+            .ok());
+    ASSERT_TRUE(
+        rec->AddVideoRecord(1, SeriesAt({0.0, 10.0}),
+                            SocialDescriptor({6, 7}))
+            .ok());
+    ASSERT_TRUE(
+        rec->AddVideoRecord(2, SeriesAt({100.0, -60.0}),
+                            SocialDescriptor({0, 1, 2, 3}))
+            .ok());
+    ASSERT_TRUE(
+        rec->AddVideoRecord(3, SeriesAt({-200.0}),
+                            SocialDescriptor({8, 9}))
+            .ok());
+    ASSERT_TRUE(rec->Finalize(10).ok());
+  }
+};
+
+TEST_F(RecommenderFixture, CrRanksContentMatchFirst) {
+  Recommender rec(BaseOptions(SocialMode::kNone));
+  Ingest(&rec);
+  const auto results = rec.RecommendById(0, 3);
+  ASSERT_TRUE(results.ok());
+  ASSERT_FALSE(results->empty());
+  EXPECT_EQ((*results)[0].id, 1);  // identical content
+  EXPECT_DOUBLE_EQ((*results)[0].content, 1.0);
+  EXPECT_DOUBLE_EQ((*results)[0].social, 0.0);
+}
+
+TEST_F(RecommenderFixture, SrRanksSocialMatchFirst) {
+  RecommenderOptions options = BaseOptions(SocialMode::kExact);
+  options.use_content = false;
+  Recommender rec(options);
+  Ingest(&rec);
+  const auto results = rec.RecommendById(0, 3);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ((*results)[0].id, 2);  // 3 shared users
+  EXPECT_DOUBLE_EQ((*results)[0].social, 0.75);
+}
+
+TEST_F(RecommenderFixture, CsfFusesBothSignals) {
+  Recommender rec(BaseOptions(SocialMode::kExact));
+  Ingest(&rec);
+  const auto results = rec.RecommendById(0, 3);
+  ASSERT_TRUE(results.ok());
+  ASSERT_GE(results->size(), 2u);
+  // With omega = 0.7: video 2 scores 0.7*0.75, video 1 scores 0.3*1.0;
+  // the social match must rank first, but both beat the unrelated video 3.
+  EXPECT_EQ((*results)[0].id, 2);
+  EXPECT_EQ((*results)[1].id, 1);
+  EXPECT_NEAR((*results)[0].score, 0.7 * 0.75, 1e-9);
+  EXPECT_NEAR((*results)[1].score, 0.3 * 1.0, 1e-9);
+}
+
+TEST_F(RecommenderFixture, OmegaZeroEqualsContentOnlyRanking) {
+  RecommenderOptions options = BaseOptions(SocialMode::kExact);
+  options.omega = 0.0;
+  Recommender rec(options);
+  Ingest(&rec);
+  const auto results = rec.RecommendById(0, 3);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ((*results)[0].id, 1);
+}
+
+TEST_F(RecommenderFixture, SarModesApproximateExact) {
+  for (const auto mode : {SocialMode::kSar, SocialMode::kSarHash}) {
+    Recommender rec(BaseOptions(mode));
+    Ingest(&rec);
+    const auto results = rec.RecommendById(0, 3);
+    ASSERT_TRUE(results.ok());
+    ASSERT_FALSE(results->empty());
+    // The strong social match should still surface at the top under the
+    // sub-community approximation.
+    EXPECT_EQ((*results)[0].id, 2);
+    EXPECT_GT((*results)[0].social, 0.5);
+  }
+}
+
+TEST_F(RecommenderFixture, QueryVideoExcludedFromResults) {
+  Recommender rec(BaseOptions(SocialMode::kExact));
+  Ingest(&rec);
+  const auto results = rec.RecommendById(0, 10);
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) EXPECT_NE(r.id, 0);
+}
+
+TEST_F(RecommenderFixture, ErrorsSurfaceProperly) {
+  Recommender rec(BaseOptions(SocialMode::kExact));
+  // Recommend before Finalize.
+  EXPECT_FALSE(rec.Recommend(SeriesAt({0.0}), SocialDescriptor({0}), 3).ok());
+  Ingest(&rec);
+  EXPECT_FALSE(rec.RecommendById(77, 3).ok());  // unknown id
+  EXPECT_FALSE(rec.RecommendById(0, 0).ok());   // k must be positive
+  // Add after finalize.
+  EXPECT_FALSE(
+      rec.AddVideoRecord(9, SeriesAt({0.0}), SocialDescriptor({0})).ok());
+  // Double finalize.
+  EXPECT_FALSE(rec.Finalize(10).ok());
+}
+
+TEST_F(RecommenderFixture, DuplicateVideoIdRejected) {
+  Recommender rec(BaseOptions(SocialMode::kNone));
+  ASSERT_TRUE(
+      rec.AddVideoRecord(0, SeriesAt({0.0}), SocialDescriptor({0})).ok());
+  EXPECT_FALSE(
+      rec.AddVideoRecord(0, SeriesAt({1.0}), SocialDescriptor({1})).ok());
+}
+
+TEST_F(RecommenderFixture, NeitherContentNorSocialRejectedAtFinalize) {
+  RecommenderOptions options = BaseOptions(SocialMode::kNone);
+  options.use_content = false;
+  Recommender rec(options);
+  ASSERT_TRUE(
+      rec.AddVideoRecord(0, SeriesAt({0.0}), SocialDescriptor({0})).ok());
+  const Status s = rec.Finalize(2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST_F(RecommenderFixture, ExternalQuerySupported) {
+  Recommender rec(BaseOptions(SocialMode::kExact));
+  Ingest(&rec);
+  // An anonymous user's clicked clip: matches video 3's content.
+  const auto results =
+      rec.Recommend(SeriesAt({-200.0}), SocialDescriptor(), 2);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ((*results)[0].id, 3);
+}
+
+TEST_F(RecommenderFixture, AccessorsWork) {
+  Recommender rec(BaseOptions(SocialMode::kSarHash));
+  Ingest(&rec);
+  EXPECT_EQ(rec.video_count(), 4u);
+  EXPECT_EQ(rec.user_count(), 10u);
+  EXPECT_TRUE(rec.finalized());
+  EXPECT_GE(rec.num_communities(), 2);
+  ASSERT_NE(rec.SeriesOf(0), nullptr);
+  EXPECT_EQ(rec.SeriesOf(0)->size(), 2u);
+  EXPECT_EQ(rec.SeriesOf(99), nullptr);
+  ASSERT_NE(rec.DescriptorOf(2), nullptr);
+  EXPECT_EQ(rec.DescriptorOf(2)->size(), 4u);
+}
+
+TEST_F(RecommenderFixture, TimingPopulatedAfterQuery) {
+  Recommender rec(BaseOptions(SocialMode::kSarHash));
+  Ingest(&rec);
+  ASSERT_TRUE(rec.RecommendById(0, 3).ok());
+  EXPECT_GT(rec.last_timing().total_ms, 0.0);
+}
+
+TEST_F(RecommenderFixture, DtwAndErpMeasuresUsable) {
+  for (const auto measure : {ContentMeasure::kDtw, ContentMeasure::kErp}) {
+    RecommenderOptions options = BaseOptions(SocialMode::kNone);
+    options.content_measure = measure;
+    Recommender rec(options);
+    Ingest(&rec);
+    const auto results = rec.RecommendById(0, 3);
+    ASSERT_TRUE(results.ok());
+    EXPECT_EQ((*results)[0].id, 1);  // identical content still wins
+    EXPECT_DOUBLE_EQ((*results)[0].content, 1.0);
+  }
+}
+
+TEST_F(RecommenderFixture, SocialUpdateExtendsDescriptors) {
+  Recommender rec(BaseOptions(SocialMode::kExact));
+  Ingest(&rec);
+  // User 0 comments on video 1: social relevance 0<->1 appears.
+  const auto before = rec.RecommendById(0, 3);
+  ASSERT_TRUE(before.ok());
+  const auto stats = rec.ApplySocialUpdate({}, {{1, 0}, {1, 1}, {1, 2}});
+  ASSERT_TRUE(stats.ok());
+  const auto after = rec.RecommendById(0, 3);
+  ASSERT_TRUE(after.ok());
+  // Video 1 now shares 3 users with video 0 -> its social score rose.
+  double social_before = 0.0, social_after = 0.0;
+  for (const auto& r : *before) {
+    if (r.id == 1) social_before = r.social;
+  }
+  for (const auto& r : *after) {
+    if (r.id == 1) social_after = r.social;
+  }
+  EXPECT_GT(social_after, social_before);
+}
+
+TEST_F(RecommenderFixture, SocialUpdateWithSarRefreshesVectors) {
+  Recommender rec(BaseOptions(SocialMode::kSarHash));
+  Ingest(&rec);
+  const auto stats = rec.ApplySocialUpdate(
+      {{0, 6, 5.0}, {1, 7, 5.0}}, {{1, 0}, {1, 1}});
+  ASSERT_TRUE(stats.ok());
+  // After the update the query still works and video 1 gained social mass
+  // shared with video 0's audience.
+  const auto results = rec.RecommendById(0, 3);
+  ASSERT_TRUE(results.ok());
+  double social_1 = 0.0;
+  for (const auto& r : *results) {
+    if (r.id == 1) social_1 = r.social;
+  }
+  EXPECT_GT(social_1, 0.0);
+}
+
+TEST_F(RecommenderFixture, KLargerThanCorpusReturnsAll) {
+  Recommender rec(BaseOptions(SocialMode::kExact));
+  Ingest(&rec);
+  const auto results = rec.RecommendById(0, 100);
+  ASSERT_TRUE(results.ok());
+  EXPECT_EQ(results->size(), 3u);  // everything except the query
+}
+
+TEST_F(RecommenderFixture, ExhaustiveAndIndexedAgreeOnTopResult) {
+  RecommenderOptions indexed = BaseOptions(SocialMode::kNone);
+  RecommenderOptions exhaustive = BaseOptions(SocialMode::kNone);
+  exhaustive.use_lsb_index = false;
+  Recommender a(indexed), b(exhaustive);
+  Ingest(&a);
+  Ingest(&b);
+  const auto ra = a.RecommendById(0, 1);
+  const auto rb = b.RecommendById(0, 1);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ((*ra)[0].id, (*rb)[0].id);
+}
+
+}  // namespace
+}  // namespace vrec::core

@@ -1,0 +1,178 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "social/sar.h"
+#include "util/random.h"
+
+namespace vrec::social {
+namespace {
+
+TEST(UserDictionaryTest, CommunityLookupBothStrategies) {
+  const std::vector<int> labels = {0, 1, 1, 2};
+  for (const auto lookup : {DictionaryLookup::kLinearScan,
+                            DictionaryLookup::kSortedArray,
+                            DictionaryLookup::kChainedHash}) {
+    UserDictionary dict(labels, 3, lookup);
+    EXPECT_EQ(dict.CommunityOf(0).value(), 0);
+    EXPECT_EQ(dict.CommunityOf(2).value(), 1);
+    EXPECT_EQ(dict.CommunityOfName("user_3").value(), 2);
+    EXPECT_FALSE(dict.CommunityOf(9).has_value());
+    EXPECT_FALSE(dict.CommunityOfName("user_99").has_value());
+    EXPECT_FALSE(dict.CommunityOf(-1).has_value());
+  }
+}
+
+TEST(UserDictionaryTest, VectorizeCountsPerCommunity) {
+  const std::vector<int> labels = {0, 0, 1, 2, 2, 2};
+  UserDictionary dict(labels, 3, DictionaryLookup::kChainedHash);
+  const SocialDescriptor d({0, 1, 3, 4, 5});
+  const auto v = dict.Vectorize(d);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(UserDictionaryTest, VectorizeSkipsUnknownUsers) {
+  UserDictionary dict({0, 1}, 2, DictionaryLookup::kSortedArray);
+  const SocialDescriptor d({0, 1, 50});
+  const auto v = dict.Vectorize(d);
+  EXPECT_DOUBLE_EQ(v[0] + v[1], 2.0);
+}
+
+TEST(UserDictionaryTest, VectorizeByNameMatchesById) {
+  const std::vector<int> labels = {0, 1, 2, 1, 0};
+  for (const auto lookup : {DictionaryLookup::kLinearScan,
+                            DictionaryLookup::kSortedArray,
+                            DictionaryLookup::kChainedHash}) {
+    UserDictionary dict(labels, 3, lookup);
+    const SocialDescriptor d({0, 2, 3});
+    std::vector<std::string> names;
+    for (UserId u : d.users()) names.push_back(UserName(u));
+    EXPECT_EQ(dict.Vectorize(d), dict.VectorizeByName(names));
+  }
+}
+
+TEST(UserDictionaryTest, AssignNewUserExtends) {
+  for (const auto lookup : {DictionaryLookup::kLinearScan,
+                            DictionaryLookup::kSortedArray,
+                            DictionaryLookup::kChainedHash}) {
+    UserDictionary dict({0, 1}, 2, lookup);
+    dict.Assign(2, 1);  // contiguous extension
+    EXPECT_EQ(dict.user_count(), 3u);
+    EXPECT_EQ(dict.CommunityOf(2).value(), 1);
+    EXPECT_EQ(dict.CommunityOfName("user_2").value(), 1);
+  }
+}
+
+TEST(UserDictionaryTest, AssignExistingUserReassigns) {
+  UserDictionary dict({0, 1}, 2, DictionaryLookup::kChainedHash);
+  dict.Assign(0, 1);
+  EXPECT_EQ(dict.CommunityOf(0).value(), 1);
+  EXPECT_EQ(dict.CommunityOfName("user_0").value(), 1);
+}
+
+TEST(UserDictionaryTest, AssignGrowsK) {
+  UserDictionary dict({0}, 1, DictionaryLookup::kSortedArray);
+  dict.Assign(0, 5);
+  EXPECT_GE(dict.k(), 6);
+}
+
+TEST(UserDictionaryTest, ReplaceCommunityRelabels) {
+  for (const auto lookup : {DictionaryLookup::kLinearScan,
+                            DictionaryLookup::kSortedArray,
+                            DictionaryLookup::kChainedHash}) {
+    UserDictionary dict({0, 0, 1}, 2, lookup);
+    dict.ReplaceCommunity(0, 1);
+    EXPECT_EQ(dict.CommunityOf(0).value(), 1);
+    EXPECT_EQ(dict.CommunityOf(1).value(), 1);
+    EXPECT_EQ(dict.CommunityOfName("user_0").value(), 1);
+  }
+}
+
+TEST(ApproxJaccardTest, EquationSix) {
+  // min-sum / max-sum of the histograms.
+  const std::vector<double> a = {2.0, 0.0, 3.0};
+  const std::vector<double> b = {1.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(ApproxJaccard(a, b), (1.0 + 0.0 + 3.0) / (2.0 + 1.0 + 3.0));
+}
+
+TEST(ApproxJaccardTest, IdenticalVectorsScoreOne) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ApproxJaccard(a, a), 1.0);
+}
+
+TEST(ApproxJaccardTest, ZeroVectorsScoreZero) {
+  EXPECT_DOUBLE_EQ(ApproxJaccard({0.0, 0.0}, {0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(ApproxJaccard({}, {}), 0.0);
+}
+
+TEST(ApproxJaccardTest, MismatchedLengthsTreatTailAsZero) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(ApproxJaccard(a, b), 1.0 / 5.0);
+  EXPECT_DOUBLE_EQ(ApproxJaccard(b, a), 1.0 / 5.0);
+}
+
+TEST(ApproxJaccardTest, EqualsExactJaccardWhenCommunitiesAreSingletons) {
+  // With one community per user, the histogram is the indicator vector and
+  // Equation 6 degenerates to Equation 5 exactly.
+  const std::vector<int> labels = {0, 1, 2, 3, 4, 5};
+  UserDictionary dict(labels, 6, DictionaryLookup::kSortedArray);
+  const SocialDescriptor a({0, 1, 2, 3});
+  const SocialDescriptor b({2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(ApproxJaccard(dict.Vectorize(a), dict.Vectorize(b)),
+                   ExactJaccard(a, b));
+}
+
+TEST(ApproxJaccardTest, UpperBoundsExactJaccardOnCoarsening) {
+  // Property: merging users into sub-communities can only make descriptors
+  // look more alike (mass in the same bin matches regardless of identity),
+  // so sJ~ >= sJ on random instances.
+  Rng rng(401);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int users = 30;
+    const int k = static_cast<int>(rng.UniformInt(2, 8));
+    std::vector<int> labels(users);
+    for (int& l : labels) l = static_cast<int>(rng.UniformInt(0, k - 1));
+    UserDictionary dict(labels, k, DictionaryLookup::kSortedArray);
+
+    std::vector<UserId> ua, ub;
+    for (int u = 0; u < users; ++u) {
+      if (rng.Bernoulli(0.4)) ua.push_back(u);
+      if (rng.Bernoulli(0.4)) ub.push_back(u);
+    }
+    if (ua.empty() || ub.empty()) continue;
+    const SocialDescriptor da(ua), db(ub);
+    EXPECT_GE(ApproxJaccard(dict.Vectorize(da), dict.Vectorize(db)) + 1e-12,
+              ExactJaccard(da, db))
+        << "trial " << trial;
+  }
+}
+
+TEST(ApproxJaccardTest, ApproximationTightensWithMoreCommunities) {
+  // The paper's Figure 9 rationale: larger k -> finer histograms -> less
+  // information loss. With k == #users the approximation is exact.
+  Rng rng(409);
+  const int users = 40;
+  std::vector<UserId> ua, ub;
+  for (int u = 0; u < users; ++u) {
+    if (rng.Bernoulli(0.5)) ua.push_back(u);
+    if (rng.Bernoulli(0.5)) ub.push_back(u);
+  }
+  const SocialDescriptor da(ua), db(ub);
+  const double exact = ExactJaccard(da, db);
+
+  auto error_for_k = [&](int k) {
+    std::vector<int> labels(users);
+    for (int u = 0; u < users; ++u) labels[static_cast<size_t>(u)] = u % k;
+    UserDictionary dict(labels, k, DictionaryLookup::kSortedArray);
+    return std::abs(ApproxJaccard(dict.Vectorize(da), dict.Vectorize(db)) -
+                    exact);
+  };
+  EXPECT_LE(error_for_k(40), 1e-12);          // k == users: exact
+  EXPECT_LE(error_for_k(20), error_for_k(2) + 1e-12);
+}
+
+}  // namespace
+}  // namespace vrec::social

@@ -1,0 +1,83 @@
+#include "gtest/gtest.h"
+#include "video/segmenter.h"
+
+namespace vrec::video {
+namespace {
+
+Video MakeShotVideo(int shots, int len) {
+  std::vector<Frame> frames;
+  for (int s = 0; s < shots; ++s) {
+    const auto intensity = static_cast<uint8_t>(30 + (s * 70) % 220);
+    for (int f = 0; f < len; ++f) frames.emplace_back(8, 8, intensity);
+  }
+  return Video(1, std::move(frames));
+}
+
+TEST(SegmenterTest, ProducesBigramsByDefault) {
+  Segmenter segmenter;
+  const auto grams = segmenter.Segment(MakeShotVideo(2, 16));
+  ASSERT_FALSE(grams.empty());
+  for (const auto& g : grams) {
+    EXPECT_EQ(g.keyframes.size(), 2u);
+    EXPECT_EQ(g.frame_indices.size(), 2u);
+  }
+}
+
+TEST(SegmenterTest, EmptyVideoYieldsNoGrams) {
+  Segmenter segmenter;
+  EXPECT_TRUE(segmenter.Segment(Video()).empty());
+}
+
+TEST(SegmenterTest, ShortShotPaddedToOneGram) {
+  SegmenterOptions options;
+  options.keyframe_stride = 10;
+  Segmenter segmenter(options);
+  // Single 5-frame shot: only one keyframe sampled, padded by repetition.
+  const auto grams = segmenter.Segment(MakeShotVideo(1, 5));
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0].frame_indices[0], grams[0].frame_indices[1]);
+}
+
+TEST(SegmenterTest, KeyframesRespectStride) {
+  SegmenterOptions options;
+  options.keyframe_stride = 4;
+  Segmenter segmenter(options);
+  const auto grams = segmenter.Segment(MakeShotVideo(1, 16));
+  // Keyframes at 0,4,8,12 -> 3 bigrams.
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0].frame_indices[0], 0u);
+  EXPECT_EQ(grams[0].frame_indices[1], 4u);
+  EXPECT_EQ(grams[2].frame_indices[1], 12u);
+}
+
+TEST(SegmenterTest, GramsDoNotCrossShotBoundaries) {
+  SegmenterOptions options;
+  options.keyframe_stride = 4;
+  Segmenter segmenter(options);
+  const Video v = MakeShotVideo(2, 16);
+  const auto grams = segmenter.Segment(v);
+  for (const auto& g : grams) {
+    // Both keyframes of a bigram belong to the same 16-frame shot.
+    EXPECT_EQ(g.frame_indices[0] / 16, g.frame_indices[1] / 16);
+  }
+}
+
+TEST(SegmenterTest, TrigramsSupported) {
+  SegmenterOptions options;
+  options.q = 3;
+  options.keyframe_stride = 4;
+  Segmenter segmenter(options);
+  const auto grams = segmenter.Segment(MakeShotVideo(1, 16));
+  ASSERT_FALSE(grams.empty());
+  for (const auto& g : grams) EXPECT_EQ(g.keyframes.size(), 3u);
+}
+
+TEST(SegmenterTest, MoreShotsMoreGrams) {
+  Segmenter segmenter;
+  const auto g2 = segmenter.Segment(MakeShotVideo(2, 16));
+  const auto g4 = segmenter.Segment(MakeShotVideo(4, 16));
+  EXPECT_GT(g4.size(), g2.size());
+}
+
+}  // namespace
+}  // namespace vrec::video

@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "signature/sequence_distances.h"
+#include "signature/series_measures.h"
+
+namespace vrec::signature {
+namespace {
+
+SignatureSeries MakeSeries(std::initializer_list<double> values) {
+  SignatureSeries s;
+  for (double v : values) s.push_back({{v, 1.0}});
+  return s;
+}
+
+TEST(DtwTest, IdenticalSeriesZeroDistance) {
+  const auto s = MakeSeries({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(Dtw(s, s), 0.0);
+}
+
+TEST(DtwTest, EmptyCases) {
+  const auto s = MakeSeries({1.0});
+  EXPECT_DOUBLE_EQ(Dtw({}, {}), 0.0);
+  EXPECT_TRUE(std::isinf(Dtw(s, {})));
+}
+
+TEST(DtwTest, SingleElementDistance) {
+  const auto a = MakeSeries({0.0});
+  const auto b = MakeSeries({7.0});
+  EXPECT_DOUBLE_EQ(Dtw(a, b), 7.0);
+}
+
+TEST(DtwTest, WarpingAbsorbsRepetition) {
+  // DTW warps 1-1 alignment: {5} vs {5,5,5} costs 0.
+  const auto a = MakeSeries({5.0});
+  const auto b = MakeSeries({5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(Dtw(a, b), 0.0);
+}
+
+TEST(DtwTest, OrderMattersUnlikeKappaJ) {
+  // The same multiset in reversed order: DTW pays, kJ does not.
+  const auto a = MakeSeries({0.0, 50.0});
+  const auto b = MakeSeries({50.0, 0.0});
+  EXPECT_GT(Dtw(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(KappaJ(a, b), 1.0);
+}
+
+TEST(ErpTest, IdenticalSeriesZeroDistance) {
+  const auto s = MakeSeries({1.0, -2.0, 3.0});
+  EXPECT_DOUBLE_EQ(Erp(s, s), 0.0);
+}
+
+TEST(ErpTest, EmptyAgainstSeriesPaysGapPenalty) {
+  // Deleting {7} against the zero-gap element costs EMD({7},{0}) = 7.
+  const auto s = MakeSeries({7.0});
+  EXPECT_DOUBLE_EQ(Erp(s, {}), 7.0);
+  EXPECT_DOUBLE_EQ(Erp({}, s), 7.0);
+  EXPECT_DOUBLE_EQ(Erp({}, {}), 0.0);
+}
+
+TEST(ErpTest, InsertionCheaperThanMismatch) {
+  // {0, 10} vs {10}: ERP deletes the 0 (cost 0 against gap) and matches 10.
+  const auto a = MakeSeries({0.0, 10.0});
+  const auto b = MakeSeries({10.0});
+  EXPECT_DOUBLE_EQ(Erp(a, b), 0.0);
+}
+
+TEST(ErpTest, SymmetryOnRandomInputs) {
+  const auto a = MakeSeries({1.0, 5.0, -3.0});
+  const auto b = MakeSeries({2.0, -1.0});
+  EXPECT_DOUBLE_EQ(Erp(a, b), Erp(b, a));
+  EXPECT_DOUBLE_EQ(Dtw(a, b), Dtw(b, a));
+}
+
+TEST(SimilarityWrappersTest, IdenticalSeriesScoreOne) {
+  const auto s = MakeSeries({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(DtwSimilarity(s, s), 1.0);
+  EXPECT_DOUBLE_EQ(ErpSimilarity(s, s), 1.0);
+}
+
+TEST(SimilarityWrappersTest, EmptyScoresZero) {
+  const auto s = MakeSeries({1.0});
+  EXPECT_DOUBLE_EQ(DtwSimilarity(s, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ErpSimilarity({}, s), 0.0);
+}
+
+TEST(SimilarityWrappersTest, MonotoneInDistance) {
+  const auto a = MakeSeries({0.0, 0.0});
+  const auto near = MakeSeries({1.0, 1.0});
+  const auto far = MakeSeries({30.0, 30.0});
+  EXPECT_GT(DtwSimilarity(a, near), DtwSimilarity(a, far));
+  EXPECT_GT(ErpSimilarity(a, near), ErpSimilarity(a, far));
+}
+
+TEST(SimilarityWrappersTest, BoundedZeroOne) {
+  const auto a = MakeSeries({0.0, 5.0, 9.0});
+  const auto b = MakeSeries({-4.0, 2.0});
+  for (double v : {DtwSimilarity(a, b), ErpSimilarity(a, b)}) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(SequenceEditingRobustness, KappaJBeatsWholeSequenceMeasures) {
+  // Re-order the segments of a long series: kJ stays 1 while DTW/ERP
+  // similarities drop — the effect behind Figure 7's ordering.
+  const auto original = MakeSeries({0.0, 20.0, 40.0, 60.0, 80.0, 100.0});
+  const auto reedited = MakeSeries({80.0, 100.0, 0.0, 20.0, 40.0, 60.0});
+  EXPECT_DOUBLE_EQ(KappaJ(original, reedited), 1.0);
+  EXPECT_LT(DtwSimilarity(original, reedited), 0.5);
+  EXPECT_LT(ErpSimilarity(original, reedited), 0.5);
+}
+
+}  // namespace
+}  // namespace vrec::signature

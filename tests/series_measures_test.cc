@@ -1,0 +1,112 @@
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "signature/series_measures.h"
+#include "util/random.h"
+
+namespace vrec::signature {
+namespace {
+
+SignatureSeries MakeSeries(std::initializer_list<double> values) {
+  SignatureSeries s;
+  for (double v : values) s.push_back({{v, 1.0}});
+  return s;
+}
+
+TEST(KappaJTest, IdenticalSeriesScoreOne) {
+  const auto s = MakeSeries({0.0, 10.0, -5.0});
+  EXPECT_DOUBLE_EQ(KappaJ(s, s), 1.0);
+}
+
+TEST(KappaJTest, EmptySeriesScoreZero) {
+  const auto s = MakeSeries({1.0});
+  EXPECT_DOUBLE_EQ(KappaJ({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KappaJ(s, {}), 0.0);
+  EXPECT_DOUBLE_EQ(KappaJ({}, s), 0.0);
+}
+
+TEST(KappaJTest, DisjointSeriesScoreZero) {
+  const auto a = MakeSeries({0.0});
+  const auto b = MakeSeries({100.0});
+  // SimC = 1/101 < default threshold, so no match.
+  EXPECT_DOUBLE_EQ(KappaJ(a, b), 0.0);
+}
+
+TEST(KappaJTest, SymmetricProperty) {
+  Rng rng(211);
+  for (int trial = 0; trial < 30; ++trial) {
+    SignatureSeries a, b;
+    const int na = static_cast<int>(rng.UniformInt(1, 5));
+    const int nb = static_cast<int>(rng.UniformInt(1, 5));
+    for (int i = 0; i < na; ++i) a.push_back({{rng.Uniform(-5, 5), 1.0}});
+    for (int i = 0; i < nb; ++i) b.push_back({{rng.Uniform(-5, 5), 1.0}});
+    EXPECT_NEAR(KappaJ(a, b), KappaJ(b, a), 1e-12);
+  }
+}
+
+TEST(KappaJTest, BoundedByZeroOne) {
+  Rng rng(213);
+  for (int trial = 0; trial < 30; ++trial) {
+    SignatureSeries a, b;
+    const int na = static_cast<int>(rng.UniformInt(1, 6));
+    const int nb = static_cast<int>(rng.UniformInt(1, 6));
+    for (int i = 0; i < na; ++i) a.push_back({{rng.Uniform(-3, 3), 1.0}});
+    for (int i = 0; i < nb; ++i) b.push_back({{rng.Uniform(-3, 3), 1.0}});
+    const double kj = KappaJ(a, b);
+    EXPECT_GE(kj, 0.0);
+    EXPECT_LE(kj, 1.0 + 1e-12);
+  }
+}
+
+TEST(KappaJTest, OrderInvariance) {
+  // kJ ignores segment order — the paper's robustness claim vs. DTW/ERP.
+  const auto a = MakeSeries({0.0, 10.0, 20.0, 30.0});
+  const auto b = MakeSeries({30.0, 0.0, 20.0, 10.0});
+  EXPECT_DOUBLE_EQ(KappaJ(a, b), 1.0);
+}
+
+TEST(KappaJTest, PartialOverlapPenalizedByUnion) {
+  // Two segments match exactly; each side has one unmatched segment.
+  const auto a = MakeSeries({0.0, 10.0, 100.0});
+  const auto b = MakeSeries({0.0, 10.0, -100.0});
+  // matched = 2 (SimC=1 each), union = 3 + 3 - 2 = 4 -> kJ = 0.5.
+  EXPECT_DOUBLE_EQ(KappaJ(a, b), 0.5);
+}
+
+TEST(KappaJTest, SubsequenceContainment) {
+  const auto a = MakeSeries({0.0, 10.0});
+  const auto b = MakeSeries({0.0, 10.0, 200.0, 300.0});
+  // matched = 2, union = 2 + 4 - 2 = 4 -> 0.5.
+  EXPECT_DOUBLE_EQ(KappaJ(a, b), 0.5);
+}
+
+TEST(KappaJTest, MatchingIsOneToOne) {
+  // One query segment cannot match two database segments.
+  const auto a = MakeSeries({0.0});
+  const auto b = MakeSeries({0.0, 0.0});
+  // matched = 1, union = 1 + 2 - 1 = 2 -> 0.5.
+  EXPECT_DOUBLE_EQ(KappaJ(a, b), 0.5);
+}
+
+TEST(KappaJTest, ThresholdControlsMatching) {
+  const auto a = MakeSeries({0.0});
+  const auto b = MakeSeries({3.0});
+  // SimC = 0.25.
+  KappaJOptions strict;
+  strict.match_threshold = 0.5;
+  EXPECT_DOUBLE_EQ(KappaJ(a, b, strict), 0.0);
+  KappaJOptions lenient;
+  lenient.match_threshold = 0.2;
+  EXPECT_DOUBLE_EQ(KappaJ(a, b, lenient), 0.25);
+}
+
+TEST(KappaJTest, GreedyPicksBestPairs) {
+  // a0 matches b0 perfectly and b1 weakly; greedy must take the perfect
+  // pair and then match a1-b1.
+  const auto a = MakeSeries({0.0, 1.0});
+  const auto b = MakeSeries({0.0, 1.0});
+  EXPECT_DOUBLE_EQ(KappaJ(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace vrec::signature

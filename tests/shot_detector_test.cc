@@ -1,0 +1,85 @@
+#include "gtest/gtest.h"
+#include "video/shot_detector.h"
+
+namespace vrec::video {
+namespace {
+
+// Builds a video of `shots` shots, each `len` frames of a flat intensity
+// far from its neighbours.
+Video MakeShotVideo(int shots, int len) {
+  std::vector<Frame> frames;
+  for (int s = 0; s < shots; ++s) {
+    const auto intensity = static_cast<uint8_t>(30 + (s * 70) % 220);
+    for (int f = 0; f < len; ++f) frames.emplace_back(8, 8, intensity);
+  }
+  return Video(1, std::move(frames));
+}
+
+TEST(ShotDetectorTest, DetectsHardCuts) {
+  ShotDetector detector;
+  const Video v = MakeShotVideo(3, 10);
+  const auto cuts = detector.DetectCuts(v);
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], 10u);
+  EXPECT_EQ(cuts[1], 20u);
+}
+
+TEST(ShotDetectorTest, NoCutsInUniformVideo) {
+  ShotDetector detector;
+  const Video v = MakeShotVideo(1, 20);
+  EXPECT_TRUE(detector.DetectCuts(v).empty());
+}
+
+TEST(ShotDetectorTest, EmptyAndTinyVideos) {
+  ShotDetector detector;
+  EXPECT_TRUE(detector.DetectCuts(Video()).empty());
+  EXPECT_TRUE(detector.DetectCuts(Video(1, {Frame(4, 4)})).empty());
+}
+
+TEST(ShotDetectorTest, ShotsCoverWholeVideo) {
+  ShotDetector detector;
+  const Video v = MakeShotVideo(4, 8);
+  const auto shots = detector.DetectShots(v);
+  ASSERT_FALSE(shots.empty());
+  EXPECT_EQ(shots.front().first, 0u);
+  EXPECT_EQ(shots.back().second, v.frame_count());
+  for (size_t i = 0; i + 1 < shots.size(); ++i) {
+    EXPECT_EQ(shots[i].second, shots[i + 1].first);
+    EXPECT_LT(shots[i].first, shots[i].second);
+  }
+}
+
+TEST(ShotDetectorTest, GradualRampDoesNotFire) {
+  // Brightness ramps smoothly; no frame-to-frame jump is a cut.
+  std::vector<Frame> frames;
+  for (int t = 0; t < 40; ++t) {
+    frames.emplace_back(8, 8, static_cast<uint8_t>(50 + t * 2));
+  }
+  ShotDetector detector;
+  const auto cuts = detector.DetectCuts(Video(1, std::move(frames)));
+  EXPECT_TRUE(cuts.empty());
+}
+
+TEST(ShotDetectorTest, MinShotLengthSuppression) {
+  // Alternating "flash" frames would create cuts closer than
+  // min_shot_length; they must be suppressed.
+  std::vector<Frame> frames;
+  for (int t = 0; t < 12; ++t) {
+    frames.emplace_back(8, 8, t % 2 == 0 ? 20 : 230);
+  }
+  ShotDetectorOptions options;
+  options.min_shot_length = 3;
+  ShotDetector detector(options);
+  const auto cuts = detector.DetectCuts(Video(1, std::move(frames)));
+  for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+    EXPECT_GE(cuts[i + 1] - cuts[i], 3u);
+  }
+}
+
+TEST(ShotDetectorTest, ShotsForEmptyVideo) {
+  ShotDetector detector;
+  EXPECT_TRUE(detector.DetectShots(Video()).empty());
+}
+
+}  // namespace
+}  // namespace vrec::video

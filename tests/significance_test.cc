@@ -1,0 +1,80 @@
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "eval/significance.h"
+#include "util/random.h"
+
+namespace vrec::eval {
+namespace {
+
+TEST(PairedBootstrapTest, RejectsBadInputs) {
+  EXPECT_FALSE(PairedBootstrap({1.0, 2.0}, {1.0}).ok());
+  EXPECT_FALSE(PairedBootstrap({1.0}, {1.0}).ok());
+  EXPECT_FALSE(PairedBootstrap({1.0, 2.0}, {1.0, 2.0}, 10).ok());
+}
+
+TEST(PairedBootstrapTest, ClearDifferenceIsSignificant) {
+  // Method A consistently beats B by ~1.
+  Rng rng(3);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    const double base = rng.Uniform(0.0, 1.0);
+    b.push_back(base);
+    a.push_back(base + 1.0 + rng.Uniform(-0.05, 0.05));
+  }
+  const auto result = PairedBootstrap(a, b, 2000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->mean_difference, 1.0, 0.1);
+  EXPECT_LT(result->p_value, 0.01);
+  EXPECT_GT(result->ci_low, 0.5);
+  EXPECT_LT(result->ci_high, 1.5);
+}
+
+TEST(PairedBootstrapTest, NoiseIsNotSignificant) {
+  Rng rng(5);
+  std::vector<double> a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.push_back(rng.Uniform(0.0, 1.0));
+    b.push_back(rng.Uniform(0.0, 1.0));
+  }
+  const auto result = PairedBootstrap(a, b, 2000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value, 0.05);
+  // CI spans zero.
+  EXPECT_LT(result->ci_low, 0.0);
+  EXPECT_GT(result->ci_high, 0.0);
+}
+
+TEST(PairedBootstrapTest, SymmetricInArguments) {
+  std::vector<double> a = {0.9, 0.8, 0.95, 0.7, 0.85};
+  std::vector<double> b = {0.4, 0.5, 0.45, 0.3, 0.5};
+  const auto ab = PairedBootstrap(a, b, 2000);
+  const auto ba = PairedBootstrap(b, a, 2000);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_NEAR(ab->mean_difference, -ba->mean_difference, 1e-12);
+  EXPECT_NEAR(ab->p_value, ba->p_value, 0.05);
+}
+
+TEST(PairedBootstrapTest, DeterministicForSeed) {
+  std::vector<double> a = {0.9, 0.8, 0.95, 0.7};
+  std::vector<double> b = {0.4, 0.5, 0.45, 0.3};
+  const auto r1 = PairedBootstrap(a, b, 1000, 9);
+  const auto r2 = PairedBootstrap(a, b, 1000, 9);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->p_value, r2->p_value);
+  EXPECT_DOUBLE_EQ(r1->ci_low, r2->ci_low);
+}
+
+TEST(PairedBootstrapTest, IdenticalSamplesGiveZeroDifference) {
+  std::vector<double> a = {0.5, 0.6, 0.7, 0.8};
+  const auto result = PairedBootstrap(a, a, 1000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->mean_difference, 0.0);
+  EXPECT_DOUBLE_EQ(result->ci_low, 0.0);
+  EXPECT_DOUBLE_EQ(result->ci_high, 0.0);
+}
+
+}  // namespace
+}  // namespace vrec::eval

@@ -1,0 +1,106 @@
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "graph/silhouette.h"
+#include "graph/spectral_clustering.h"
+#include "graph/weighted_graph.h"
+#include "util/random.h"
+
+namespace vrec::graph {
+namespace {
+
+// Two dense cliques joined by one weak edge.
+WeightedGraph TwoCliqueGraph(size_t clique_size) {
+  WeightedGraph g(2 * clique_size);
+  for (size_t i = 0; i < clique_size; ++i) {
+    for (size_t j = i + 1; j < clique_size; ++j) {
+      g.AddEdge(i, j, 5.0);
+      g.AddEdge(clique_size + i, clique_size + j, 5.0);
+    }
+  }
+  g.AddEdge(0, clique_size, 0.1);  // weak bridge
+  return g;
+}
+
+TEST(SpectralClusteringTest, RecoversTwoCliques) {
+  Rng rng(71);
+  const WeightedGraph g = TwoCliqueGraph(6);
+  const auto labels = SpectralClustering(g, 2, &rng);
+  ASSERT_TRUE(labels.ok());
+  // All members of each clique get the same label.
+  for (size_t i = 1; i < 6; ++i) EXPECT_EQ((*labels)[i], (*labels)[0]);
+  for (size_t i = 7; i < 12; ++i) EXPECT_EQ((*labels)[i], (*labels)[6]);
+  EXPECT_NE((*labels)[0], (*labels)[6]);
+}
+
+TEST(SpectralClusteringTest, RejectsBadArguments) {
+  Rng rng(73);
+  WeightedGraph g(4);
+  EXPECT_FALSE(SpectralClustering(g, 0, &rng).ok());
+  EXPECT_FALSE(SpectralClustering(g, 5, &rng).ok());
+  EXPECT_FALSE(SpectralClustering(WeightedGraph(0), 1, &rng).ok());
+}
+
+TEST(SpectralClusteringTest, LabelCountMatchesK) {
+  Rng rng(79);
+  const WeightedGraph g = TwoCliqueGraph(5);
+  const auto labels = SpectralClustering(g, 2, &rng);
+  ASSERT_TRUE(labels.ok());
+  std::set<int> distinct(labels->begin(), labels->end());
+  EXPECT_LE(distinct.size(), 2u);
+  for (int l : *labels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, 2);
+  }
+}
+
+TEST(SilhouetteTest, PerfectSeparationScoresHigh) {
+  // Points 0,1 close together; points 2,3 close together; clusters far.
+  std::vector<double> pos = {0.0, 0.1, 10.0, 10.1};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const double s = SilhouetteCoefficient(
+      labels, [&pos](size_t i, size_t j) { return std::abs(pos[i] - pos[j]); });
+  EXPECT_GT(s, 0.9);
+}
+
+TEST(SilhouetteTest, BadClusteringScoresLow) {
+  std::vector<double> pos = {0.0, 0.1, 10.0, 10.1};
+  const std::vector<int> labels = {0, 1, 0, 1};  // mixes the pairs
+  const double s = SilhouetteCoefficient(
+      labels, [&pos](size_t i, size_t j) { return std::abs(pos[i] - pos[j]); });
+  EXPECT_LT(s, 0.1);
+}
+
+TEST(SilhouetteTest, DegenerateInputs) {
+  const auto zero_dist = [](size_t, size_t) { return 1.0; };
+  EXPECT_DOUBLE_EQ(SilhouetteCoefficient({}, zero_dist), 0.0);
+  EXPECT_DOUBLE_EQ(SilhouetteCoefficient({0}, zero_dist), 0.0);
+  EXPECT_DOUBLE_EQ(SilhouetteCoefficient({0, 0, 0}, zero_dist), 0.0);
+}
+
+TEST(SilhouetteTest, SingletonClustersContributeZero) {
+  std::vector<double> pos = {0.0, 0.1, 50.0};
+  const std::vector<int> labels = {0, 0, 1};  // cluster 1 is a singleton
+  const double s = SilhouetteCoefficient(
+      labels, [&pos](size_t i, size_t j) { return std::abs(pos[i] - pos[j]); });
+  // Two well-placed points contribute ~1 each, singleton contributes 0.
+  EXPECT_NEAR(s, 2.0 / 3.0, 0.05);
+}
+
+TEST(SilhouetteTest, BoundedByMinusOneOne) {
+  Rng rng(83);
+  std::vector<double> pos(20);
+  std::vector<int> labels(20);
+  for (size_t i = 0; i < 20; ++i) {
+    pos[i] = rng.Uniform(0.0, 10.0);
+    labels[i] = static_cast<int>(rng.UniformInt(0, 3));
+  }
+  const double s = SilhouetteCoefficient(
+      labels, [&pos](size_t i, size_t j) { return std::abs(pos[i] - pos[j]); });
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+}
+
+}  // namespace
+}  // namespace vrec::graph

@@ -1,0 +1,134 @@
+#include <set>
+
+#include "gtest/gtest.h"
+#include "datagen/topic_model.h"
+#include "datagen/video_corpus.h"
+#include "stream/monitor.h"
+#include "video/transforms.h"
+
+namespace vrec::stream {
+namespace {
+
+// A stream fixture: reference videos rendered from distinct topics; streams
+// are built by splicing reference footage into unrelated filler.
+class StreamMonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(77);
+    topics_ = datagen::MakeTopics(10, &rng);
+    datagen::CorpusOptions options;
+    options.frames_per_video = 32;
+    for (int i = 0; i < 3; ++i) {
+      references_.push_back(datagen::RenderVideo(
+          topics_[static_cast<size_t>(i)], i, options, &rng));
+    }
+    filler_ = datagen::RenderVideo(topics_[7], 100, options, &rng);
+  }
+
+  static std::vector<DuplicateAlert> Run(StreamMonitor* monitor,
+                                         const std::vector<video::Frame>& s) {
+    std::vector<DuplicateAlert> alerts;
+    for (const auto& f : s) {
+      for (const auto& a : monitor->PushFrame(f)) alerts.push_back(a);
+    }
+    for (const auto& a : monitor->Flush()) alerts.push_back(a);
+    return alerts;
+  }
+
+  std::vector<datagen::Topic> topics_;
+  std::vector<video::Video> references_;
+  video::Video filler_;
+};
+
+TEST_F(StreamMonitorTest, IndexingAccounting) {
+  StreamMonitor monitor;
+  EXPECT_EQ(monitor.reference_count(), 0u);
+  ASSERT_TRUE(monitor.IndexReferenceVideo(references_[0]).ok());
+  EXPECT_EQ(monitor.reference_count(), 1u);
+  // Duplicate ids are rejected.
+  EXPECT_FALSE(monitor.IndexReferenceVideo(references_[0]).ok());
+}
+
+TEST_F(StreamMonitorTest, DetectsVerbatimSplice) {
+  StreamMonitor monitor;
+  for (const auto& ref : references_) {
+    ASSERT_TRUE(monitor.IndexReferenceVideo(ref).ok());
+  }
+  // Stream: filler, then reference 1 in full, then filler again.
+  std::vector<video::Frame> stream;
+  for (const auto& f : filler_.frames()) stream.push_back(f);
+  for (const auto& f : references_[1].frames()) stream.push_back(f);
+  for (const auto& f : filler_.frames()) stream.push_back(f);
+
+  const auto alerts = Run(&monitor, stream);
+  std::set<video::VideoId> flagged;
+  for (const auto& a : alerts) {
+    flagged.insert(a.matched_video);
+    EXPECT_GE(a.similarity, 0.5);
+    EXPECT_GE(a.votes, 1);
+    EXPECT_LE(a.stream_position, stream.size());
+  }
+  EXPECT_TRUE(flagged.count(1)) << "spliced reference not detected";
+}
+
+TEST_F(StreamMonitorTest, CleanStreamRaisesNoAlerts) {
+  StreamMonitor monitor;
+  for (const auto& ref : references_) {
+    ASSERT_TRUE(monitor.IndexReferenceVideo(ref).ok());
+  }
+  const auto alerts = Run(&monitor, filler_.frames());
+  EXPECT_TRUE(alerts.empty());
+}
+
+TEST_F(StreamMonitorTest, DetectsBrightnessShiftedSplice) {
+  StreamMonitor monitor;
+  ASSERT_TRUE(monitor.IndexReferenceVideo(references_[0]).ok());
+  const auto edited =
+      video::transforms::BrightnessShift(references_[0], 18);
+  std::vector<video::Frame> stream;
+  for (const auto& f : filler_.frames()) stream.push_back(f);
+  for (const auto& f : edited.frames()) stream.push_back(f);
+
+  const auto alerts = Run(&monitor, stream);
+  bool found = false;
+  for (const auto& a : alerts) found |= (a.matched_video == 0);
+  EXPECT_TRUE(found);
+}
+
+TEST_F(StreamMonitorTest, StatsAdvance) {
+  StreamMonitor monitor;
+  ASSERT_TRUE(monitor.IndexReferenceVideo(references_[0]).ok());
+  Run(&monitor, references_[0].frames());
+  EXPECT_EQ(monitor.frames_seen(), references_[0].frame_count());
+  EXPECT_GE(monitor.shots_closed(), 1u);
+  EXPECT_GE(monitor.signatures_emitted(), 1u);
+}
+
+TEST_F(StreamMonitorTest, MaxShotFramesForcesClosure) {
+  MonitorOptions options;
+  options.max_shot_frames = 8;
+  StreamMonitor monitor(options);
+  ASSERT_TRUE(monitor.IndexReferenceVideo(references_[0]).ok());
+  // A cut-free flat stream must still close shots at the cap.
+  std::vector<video::Frame> flat(40, video::Frame(32, 32, 90));
+  Run(&monitor, flat);
+  EXPECT_GE(monitor.shots_closed(), 4u);
+}
+
+TEST_F(StreamMonitorTest, FlushOnEmptyStreamIsNoOp) {
+  StreamMonitor monitor;
+  EXPECT_TRUE(monitor.Flush().empty());
+  EXPECT_EQ(monitor.shots_closed(), 0u);
+}
+
+TEST_F(StreamMonitorTest, MinVotesFiltersWeakMatches) {
+  MonitorOptions strict;
+  strict.min_votes = 1000;  // unreachable
+  StreamMonitor monitor(strict);
+  ASSERT_TRUE(monitor.IndexReferenceVideo(references_[0]).ok());
+  const auto alerts = Run(&monitor, references_[0].frames());
+  EXPECT_TRUE(alerts.empty());
+}
+
+}  // namespace
+}  // namespace vrec::stream

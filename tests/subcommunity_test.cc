@@ -1,0 +1,195 @@
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "social/subcommunity.h"
+#include "util/random.h"
+
+namespace vrec::social {
+namespace {
+
+using graph::WeightedGraph;
+
+// Checks two labelings describe the same partition (up to label renaming).
+bool SamePartition(const std::vector<int>& a, const std::vector<int>& b) {
+  if (a.size() != b.size()) return false;
+  std::map<int, int> fwd, bwd;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (fwd.count(a[i]) && fwd[a[i]] != b[i]) return false;
+    if (bwd.count(b[i]) && bwd[b[i]] != a[i]) return false;
+    fwd[a[i]] = b[i];
+    bwd[b[i]] = a[i];
+  }
+  return true;
+}
+
+TEST(SubCommunityTest, AlreadyDisconnectedComponentsReturned) {
+  WeightedGraph g(5);
+  g.AddEdge(0, 1, 3.0);
+  g.AddEdge(2, 3, 2.0);
+  // Node 4 isolated; components: {0,1}, {2,3}, {4}.
+  const auto result = ExtractSubCommunities(g, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_communities, 3);
+  EXPECT_EQ(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[2], result->labels[3]);
+  EXPECT_NE(result->labels[0], result->labels[2]);
+  // No edges removed: w = lightest edge overall.
+  EXPECT_DOUBLE_EQ(result->lightest_intra_weight, 2.0);
+}
+
+TEST(SubCommunityTest, RemovesLightestEdgeFirst) {
+  // Chain 0 -1- 1 -5- 2: k=2 must cut the weight-1 edge.
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 5.0);
+  const auto result = ExtractSubCommunities(g, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_communities, 2);
+  EXPECT_NE(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[1], result->labels[2]);
+  EXPECT_DOUBLE_EQ(result->lightest_intra_weight, 5.0);
+}
+
+TEST(SubCommunityTest, NonBridgeLightEdgesAreRemovedWithoutSplitting) {
+  // Triangle with one light edge; removing it does not disconnect, so the
+  // loop continues to the next lightest.
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1.0);  // light edge in a cycle
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(0, 2, 3.0);
+  g.AddEdge(2, 3, 1.5);  // bridge to node 3
+  const auto result = ExtractSubCommunities(g, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_communities, 2);
+  // Cutting 1.0 leaves the triangle connected; cutting 1.5 separates {3}.
+  EXPECT_NE(result->labels[3], result->labels[0]);
+  EXPECT_EQ(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[1], result->labels[2]);
+}
+
+TEST(SubCommunityTest, KOneKeepsEverything) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  g.AddEdge(2, 3, 3.0);
+  const auto result = ExtractSubCommunities(g, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_communities, 1);
+  EXPECT_DOUBLE_EQ(result->lightest_intra_weight, 1.0);
+}
+
+TEST(SubCommunityTest, KEqualsNodesAllSingletons) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 2.0);
+  const auto result = ExtractSubCommunities(g, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_communities, 3);
+  EXPECT_TRUE(std::isinf(result->lightest_intra_weight));
+}
+
+TEST(SubCommunityTest, InvalidArguments) {
+  WeightedGraph g(3);
+  EXPECT_FALSE(ExtractSubCommunities(g, 0).ok());
+  EXPECT_FALSE(ExtractSubCommunities(g, 4).ok());
+  EXPECT_FALSE(ExtractSubCommunitiesLiteral(g, 0).ok());
+  EXPECT_FALSE(ExtractSubCommunitiesLiteral(g, 4).ok());
+}
+
+TEST(SubCommunityTest, DifferentSizedCommunitiesAllowed) {
+  // Star of 5 heavy edges plus a pendant light edge: sizes 5 and 1.
+  WeightedGraph g(7);
+  for (size_t i = 1; i <= 5; ++i) g.AddEdge(0, i, 10.0);
+  g.AddEdge(5, 6, 0.5);
+  const auto result = ExtractSubCommunities(g, 2);
+  ASSERT_TRUE(result.ok());
+  std::map<int, int> sizes;
+  for (int l : result->labels) ++sizes[l];
+  std::set<int> size_set;
+  for (const auto& [l, s] : sizes) size_set.insert(s);
+  EXPECT_TRUE(size_set.count(6));
+  EXPECT_TRUE(size_set.count(1));
+}
+
+TEST(SubCommunityTest, FastMatchesLiteralOnRandomGraphs) {
+  // Core equivalence property: the maximum-spanning-forest shortcut must
+  // produce the identical partition, community count and threshold w as
+  // the literal Figure 3 loop (weights made distinct to avoid tie
+  // ambiguity; the shared deterministic tiebreak covers the rest).
+  Rng rng(301);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(4, 14));
+    WeightedGraph g(n);
+    double next_weight = 1.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        if (rng.Bernoulli(0.35)) {
+          g.AddEdge(i, j, next_weight += rng.Uniform(0.01, 1.0));
+        }
+      }
+    }
+    const int k = static_cast<int>(rng.UniformInt(1, static_cast<int64_t>(n)));
+    const auto fast = ExtractSubCommunities(g, k);
+    const auto literal = ExtractSubCommunitiesLiteral(g, k);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(literal.ok());
+    EXPECT_EQ(fast->num_communities, literal->num_communities)
+        << "trial " << trial << " k=" << k;
+    EXPECT_TRUE(SamePartition(fast->labels, literal->labels))
+        << "trial " << trial << " k=" << k;
+    if (std::isinf(fast->lightest_intra_weight)) {
+      EXPECT_TRUE(std::isinf(literal->lightest_intra_weight));
+    } else {
+      EXPECT_DOUBLE_EQ(fast->lightest_intra_weight,
+                       literal->lightest_intra_weight);
+    }
+  }
+}
+
+TEST(SubCommunityTest, AtLeastKCommunitiesProduced) {
+  Rng rng(307);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = static_cast<size_t>(rng.UniformInt(5, 12));
+    WeightedGraph g(n);
+    for (size_t i = 0; i + 1 < n; ++i) {
+      g.AddEdge(i, i + 1, rng.Uniform(0.1, 5.0));
+    }
+    const int k = static_cast<int>(rng.UniformInt(1, static_cast<int64_t>(n)));
+    const auto result = ExtractSubCommunities(g, k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->num_communities, k);
+    std::set<int> distinct(result->labels.begin(), result->labels.end());
+    EXPECT_EQ(static_cast<int>(distinct.size()), result->num_communities);
+  }
+}
+
+TEST(SubCommunityTest, PlantedPartitionRecovered) {
+  // Three 4-cliques with heavy internal edges, light cross edges: k=3 must
+  // recover the cliques exactly.
+  WeightedGraph g(12);
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < 4; ++i) {
+      for (size_t j = i + 1; j < 4; ++j) {
+        g.AddEdge(static_cast<size_t>(c) * 4 + i,
+                  static_cast<size_t>(c) * 4 + j, 10.0 + c + i * 0.1);
+      }
+    }
+  }
+  g.AddEdge(0, 4, 1.0);
+  g.AddEdge(4, 8, 1.2);
+  const auto result = ExtractSubCommunities(g, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_communities, 3);
+  for (size_t c = 0; c < 3; ++c) {
+    for (size_t i = 1; i < 4; ++i) {
+      EXPECT_EQ(result->labels[c * 4 + i], result->labels[c * 4]);
+    }
+  }
+  EXPECT_NE(result->labels[0], result->labels[4]);
+  EXPECT_NE(result->labels[4], result->labels[8]);
+}
+
+}  // namespace
+}  // namespace vrec::social

@@ -1,0 +1,158 @@
+#include "gtest/gtest.h"
+#include "util/random.h"
+#include "video/transforms.h"
+
+namespace vrec::video {
+namespace {
+
+Video MakeGradientVideo(int frames, int size = 8) {
+  std::vector<Frame> fs;
+  for (int t = 0; t < frames; ++t) {
+    Frame f(size, size);
+    for (int y = 0; y < size; ++y) {
+      for (int x = 0; x < size; ++x) {
+        f.set(x, y, static_cast<uint8_t>((x * 20 + y * 10 + t * 5) % 256));
+      }
+    }
+    fs.push_back(std::move(f));
+  }
+  Video v(7, std::move(fs));
+  v.set_fps(1.0);
+  v.set_title("gradient");
+  return v;
+}
+
+TEST(TransformsTest, BrightnessShiftAddsDelta) {
+  Video v = MakeGradientVideo(2);
+  Video out = transforms::BrightnessShift(v, 10);
+  EXPECT_EQ(out.frames()[0].at(1, 1),
+            static_cast<uint8_t>(v.frames()[0].at(1, 1) + 10));
+}
+
+TEST(TransformsTest, BrightnessShiftClamps) {
+  Video v(1, {Frame(2, 2, 250)});
+  Video up = transforms::BrightnessShift(v, 20);
+  EXPECT_EQ(up.frames()[0].at(0, 0), 255);
+  Video down = transforms::BrightnessShift(v, -255);
+  EXPECT_EQ(down.frames()[0].at(0, 0), 0);
+}
+
+TEST(TransformsTest, BrightnessShiftPreservesMetadata) {
+  Video v = MakeGradientVideo(3);
+  Video out = transforms::BrightnessShift(v, 5);
+  EXPECT_EQ(out.id(), v.id());
+  EXPECT_EQ(out.title(), v.title());
+  EXPECT_EQ(out.frame_count(), v.frame_count());
+}
+
+TEST(TransformsTest, ContrastIdentityFactor) {
+  Video v = MakeGradientVideo(2);
+  Video out = transforms::ContrastScale(v, 1.0);
+  EXPECT_EQ(out.frames()[0], v.frames()[0]);
+}
+
+TEST(TransformsTest, ContrastExpandsAround128) {
+  Video v(1, {Frame(2, 2, 228)});
+  Video out = transforms::ContrastScale(v, 2.0);
+  EXPECT_EQ(out.frames()[0].at(0, 0), 255);  // 128 + 100*2 clamps
+  Video low(1, {Frame(2, 2, 28)});
+  Video out2 = transforms::ContrastScale(low, 0.5);
+  EXPECT_EQ(out2.frames()[0].at(0, 0), 78);  // 128 - 100*0.5
+}
+
+TEST(TransformsTest, NoiseStaysWithinAmplitude) {
+  Rng rng(3);
+  Video v(1, {Frame(16, 16, 100)});
+  Video out = transforms::AddNoise(v, 5, &rng);
+  for (uint8_t p : out.frames()[0].pixels()) {
+    EXPECT_GE(p, 95);
+    EXPECT_LE(p, 105);
+  }
+}
+
+TEST(TransformsTest, SpatialShiftMovesContent) {
+  Video v = MakeGradientVideo(1);
+  Video out = transforms::SpatialShift(v, 2, 0);
+  // Pixel (3,0) should now show what was at (1,0).
+  EXPECT_EQ(out.frames()[0].at(3, 0), v.frames()[0].at(1, 0));
+}
+
+TEST(TransformsTest, SpatialShiftZeroIsIdentity) {
+  Video v = MakeGradientVideo(2);
+  Video out = transforms::SpatialShift(v, 0, 0);
+  EXPECT_EQ(out.frames()[0], v.frames()[0]);
+}
+
+TEST(TransformsTest, CropZoomKeepsDimensions) {
+  Video v = MakeGradientVideo(2);
+  Video out = transforms::CropZoom(v, 0.25);
+  EXPECT_EQ(out.frames()[0].width(), v.frames()[0].width());
+  EXPECT_EQ(out.frames()[0].height(), v.frames()[0].height());
+}
+
+TEST(TransformsTest, DropFramesReducesCount) {
+  Video v = MakeGradientVideo(10);
+  Video out = transforms::DropFrames(v, 5);  // drops every 5th
+  EXPECT_EQ(out.frame_count(), 8u);
+}
+
+TEST(TransformsTest, DropFramesStrideOneKeepsAll) {
+  Video v = MakeGradientVideo(6);
+  Video out = transforms::DropFrames(v, 1);
+  EXPECT_EQ(out.frame_count(), 6u);
+}
+
+TEST(TransformsTest, InsertSlateAddsFrames) {
+  Video v = MakeGradientVideo(4);
+  Video out = transforms::InsertSlate(v, 2, 3, 16);
+  EXPECT_EQ(out.frame_count(), 7u);
+  EXPECT_EQ(out.frames()[2].at(0, 0), 16);
+  EXPECT_EQ(out.frames()[4].at(0, 0), 16);
+  EXPECT_EQ(out.frames()[5], v.frames()[2]);
+}
+
+TEST(TransformsTest, InsertSlatePositionClamped) {
+  Video v = MakeGradientVideo(3);
+  Video out = transforms::InsertSlate(v, 100, 1);
+  EXPECT_EQ(out.frame_count(), 4u);
+  EXPECT_EQ(out.frames()[3].at(0, 0), 16);
+}
+
+TEST(TransformsTest, ShuffleChunksPreservesFrames) {
+  Rng rng(9);
+  Video v = MakeGradientVideo(12);
+  Video out = transforms::ShuffleChunks(v, 4, &rng);
+  EXPECT_EQ(out.frame_count(), v.frame_count());
+  // Multiset of frames must match (frames are distinct by construction).
+  size_t found = 0;
+  for (const Frame& f : v.frames()) {
+    for (const Frame& g : out.frames()) {
+      if (f == g) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(found, v.frame_count());
+}
+
+TEST(TransformsTest, ShuffleSingleChunkIsIdentity) {
+  Rng rng(9);
+  Video v = MakeGradientVideo(5);
+  Video out = transforms::ShuffleChunks(v, 1, &rng);
+  for (size_t i = 0; i < v.frame_count(); ++i) {
+    EXPECT_EQ(out.frames()[i], v.frames()[i]);
+  }
+}
+
+TEST(TransformsTest, ExcerptBounds) {
+  Video v = MakeGradientVideo(10);
+  Video out = transforms::Excerpt(v, 3, 4);
+  EXPECT_EQ(out.frame_count(), 4u);
+  EXPECT_EQ(out.frames()[0], v.frames()[3]);
+  Video clipped = transforms::Excerpt(v, 8, 10);
+  EXPECT_EQ(clipped.frame_count(), 2u);
+}
+
+}  // namespace
+}  // namespace vrec::video

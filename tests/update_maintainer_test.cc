@@ -1,0 +1,181 @@
+#include <cmath>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "social/subcommunity.h"
+#include "social/update_maintainer.h"
+#include "social/uig.h"
+
+namespace vrec::social {
+namespace {
+
+using graph::WeightedGraph;
+
+// Two triangles (heavy) joined by a light bridge; extraction with k=2 cuts
+// the bridge. w (lightest intra) = 4.
+struct Fixture {
+  WeightedGraph uig{6};
+  SubCommunityResult extraction;
+  std::unique_ptr<UserDictionary> dictionary;
+  std::unique_ptr<SubCommunityMaintainer> maintainer;
+
+  explicit Fixture(int k = 2) {
+    uig.AddEdge(0, 1, 5.0);
+    uig.AddEdge(1, 2, 4.0);
+    uig.AddEdge(0, 2, 6.0);
+    uig.AddEdge(3, 4, 5.0);
+    uig.AddEdge(4, 5, 4.0);
+    uig.AddEdge(3, 5, 6.0);
+    uig.AddEdge(2, 3, 1.0);  // bridge
+    auto result = ExtractSubCommunities(uig, k);
+    EXPECT_TRUE(result.ok());
+    extraction = *result;
+    dictionary = std::make_unique<UserDictionary>(
+        extraction.labels, extraction.num_communities,
+        DictionaryLookup::kChainedHash);
+    maintainer = std::make_unique<SubCommunityMaintainer>(
+        uig, extraction, k, dictionary.get());
+  }
+};
+
+TEST(MaintainerTest, InitialStateMatchesExtraction) {
+  Fixture f;
+  EXPECT_EQ(f.maintainer->num_communities(), 2);
+  EXPECT_DOUBLE_EQ(f.maintainer->lightest_intra_weight(), 4.0);
+  EXPECT_EQ(f.maintainer->CommunityOf(0), f.maintainer->CommunityOf(2));
+  EXPECT_NE(f.maintainer->CommunityOf(0), f.maintainer->CommunityOf(3));
+  EXPECT_EQ(f.maintainer->CommunityOf(99), -1);
+}
+
+TEST(MaintainerTest, WeakCrossConnectionDoesNotMerge) {
+  Fixture f;
+  const auto stats = f.maintainer->ApplyUpdates({{2, 3, 2.0}});  // < w=4
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->merges, 0u);
+  EXPECT_EQ(f.maintainer->num_communities(), 2);
+}
+
+TEST(MaintainerTest, StrongCrossConnectionMergesThenSplitsBackToK) {
+  Fixture f;
+  // Strong new connection across the two communities (> w): merge, then
+  // the split phase restores k=2 by cutting the lightest internal edge.
+  const auto stats = f.maintainer->ApplyUpdates({{2, 3, 10.0}});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->merges, 1u);
+  EXPECT_GE(stats->splits, 1u);
+  EXPECT_EQ(f.maintainer->num_communities(), 2);
+  EXPECT_FALSE(stats->changed_communities.empty());
+}
+
+TEST(MaintainerTest, MergeKeepsDictionaryInSync) {
+  Fixture f(2);
+  ASSERT_TRUE(f.maintainer->ApplyUpdates({{2, 3, 10.0}}).ok());
+  // Every user's dictionary community matches the maintainer's view.
+  for (UserId u = 0; u < 6; ++u) {
+    EXPECT_EQ(f.dictionary->CommunityOf(u).value(),
+              f.maintainer->CommunityOf(u))
+        << "user " << u;
+    EXPECT_EQ(f.dictionary->CommunityOfName(UserName(u)).value(),
+              f.maintainer->CommunityOf(u))
+        << "user " << u;
+  }
+}
+
+TEST(MaintainerTest, AccumulatedDormantWeightEventuallyMerges) {
+  Fixture f;
+  // Two weak updates of 2.5 accumulate past w=4 on the second round.
+  ASSERT_TRUE(f.maintainer->ApplyUpdates({{2, 3, 2.5}}).ok());
+  EXPECT_EQ(f.maintainer->num_communities(), 2);
+  const auto stats = f.maintainer->ApplyUpdates({{2, 3, 2.5}});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->merges, 1u);
+}
+
+TEST(MaintainerTest, InternalConnectionStrengthens) {
+  Fixture f;
+  const auto stats = f.maintainer->ApplyUpdates({{0, 1, 3.0}});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->merges, 0u);
+  EXPECT_EQ(f.maintainer->num_communities(), 2);
+}
+
+TEST(MaintainerTest, NewUserJoinsNeighborCommunity) {
+  Fixture f;
+  const auto stats = f.maintainer->ApplyUpdates({{6, 0, 2.0}});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->users_added, 1u);
+  EXPECT_EQ(f.maintainer->CommunityOf(6), f.maintainer->CommunityOf(0));
+  EXPECT_EQ(f.dictionary->CommunityOf(6).value(),
+            f.maintainer->CommunityOf(6));
+}
+
+TEST(MaintainerTest, SelfLoopsAndNegativeIdsHandled) {
+  Fixture f;
+  EXPECT_TRUE(f.maintainer->ApplyUpdates({{1, 1, 5.0}}).ok());  // ignored
+  EXPECT_FALSE(f.maintainer->ApplyUpdates({{-1, 2, 5.0}}).ok());
+}
+
+TEST(MaintainerTest, EmptyUpdateIsNoOp) {
+  Fixture f;
+  const auto stats = f.maintainer->ApplyUpdates({});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->merges, 0u);
+  EXPECT_EQ(stats->splits, 0u);
+  EXPECT_TRUE(stats->changed_communities.empty());
+  EXPECT_EQ(f.maintainer->num_communities(), 2);
+}
+
+TEST(MaintainerTest, MembersOfTracksMoves) {
+  Fixture f;
+  const auto before = f.maintainer->MembersOf(f.maintainer->CommunityOf(0));
+  EXPECT_EQ(before.size(), 3u);
+  ASSERT_TRUE(f.maintainer->ApplyUpdates({{2, 3, 10.0}}).ok());
+  // After merge+split, all 6 users are still covered by the communities.
+  std::set<UserId> all;
+  for (UserId u = 0; u < 6; ++u) {
+    const int c = f.maintainer->CommunityOf(u);
+    for (UserId m : f.maintainer->MembersOf(c)) all.insert(m);
+  }
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(MaintainerTest, LabelSpaceGrowsOnSplit) {
+  Fixture f;
+  const int before = f.maintainer->label_space();
+  ASSERT_TRUE(f.maintainer->ApplyUpdates({{2, 3, 10.0}}).ok());
+  EXPECT_GT(f.maintainer->label_space(), before);
+}
+
+TEST(MaintainerTest, ChangedCommunitiesDeduped) {
+  Fixture f;
+  const auto stats = f.maintainer->ApplyUpdates({{2, 3, 10.0}, {0, 1, 9.0}});
+  ASSERT_TRUE(stats.ok());
+  std::set<int> unique(stats->changed_communities.begin(),
+                       stats->changed_communities.end());
+  EXPECT_EQ(unique.size(), stats->changed_communities.size());
+}
+
+TEST(MaintainerTest, RepeatedRoundsStayConsistent) {
+  // Stress: several rounds of mixed updates keep the invariants — k
+  // communities, dictionary consistent with maintainer, labels non-negative.
+  Fixture f;
+  const std::vector<std::vector<SocialConnection>> rounds = {
+      {{0, 3, 5.0}},
+      {{1, 4, 6.0}, {2, 5, 1.0}},
+      {{6, 2, 3.0}, {7, 6, 8.0}},
+      {{0, 1, 2.0}, {3, 4, 2.0}},
+  };
+  for (const auto& round : rounds) {
+    ASSERT_TRUE(f.maintainer->ApplyUpdates(round).ok());
+    EXPECT_GE(f.maintainer->num_communities(), 1);
+    for (UserId u = 0; u < 6; ++u) {
+      EXPECT_GE(f.maintainer->CommunityOf(u), 0);
+      EXPECT_EQ(f.dictionary->CommunityOf(u).value(),
+                f.maintainer->CommunityOf(u));
+    }
+  }
+  EXPECT_EQ(f.maintainer->num_communities(), 2);
+}
+
+}  // namespace
+}  // namespace vrec::social

@@ -1,0 +1,282 @@
+// vrec command-line driver.
+//
+//   vrec_cli gen      --out FILE [--hours H] [--seed S] [--users N]
+//                     [--topics T] [--months M] [--source-months M]
+//   vrec_cli info     --data FILE
+//   vrec_cli query    --data FILE --video ID [--k K] [--mode MODE]
+//                     [--omega W] [--communities K]
+//   vrec_cli evaluate --data FILE [--mode MODE] [--omega W]
+//                     [--communities K] [--cutoff N]
+//
+// MODE is one of: cr, sr, csf, csf-sar, csf-sar-h (default csf-sar-h).
+//
+// Typical session:
+//   vrec_cli gen --out /tmp/community.bin --hours 20
+//   vrec_cli info --data /tmp/community.bin
+//   vrec_cli query --data /tmp/community.bin --video 0 --k 5
+//   vrec_cli evaluate --data /tmp/community.bin --mode cr
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+#include "core/recommender.h"
+#include "datagen/dataset.h"
+#include "eval/metrics.h"
+#include "eval/rating_oracle.h"
+#include "io/archive.h"
+
+namespace {
+
+using namespace vrec;
+
+// Minimal --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      values_[argv[i]] = argv[i + 1];
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  int64_t GetInt(const std::string& key, int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  vrec_cli gen      --out FILE [--hours H] [--seed S] [--users N]\n"
+      "                    [--topics T] [--months M] [--source-months M]\n"
+      "  vrec_cli info     --data FILE\n"
+      "  vrec_cli query    --data FILE --video ID [--k K] [--mode MODE]\n"
+      "                    [--omega W] [--communities K]\n"
+      "  vrec_cli evaluate --data FILE [--mode MODE] [--omega W]\n"
+      "                    [--communities K] [--cutoff N]\n"
+      "modes: cr, sr, csf, csf-sar, csf-sar-h\n");
+  return 2;
+}
+
+bool ParseMode(const std::string& mode, core::RecommenderOptions* options) {
+  if (mode == "cr") {
+    options->social_mode = core::SocialMode::kNone;
+  } else if (mode == "sr") {
+    options->social_mode = core::SocialMode::kSarHash;
+    options->use_content = false;
+  } else if (mode == "csf") {
+    options->social_mode = core::SocialMode::kExact;
+  } else if (mode == "csf-sar") {
+    options->social_mode = core::SocialMode::kSar;
+  } else if (mode == "csf-sar-h") {
+    options->social_mode = core::SocialMode::kSarHash;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+StatusOr<datagen::Dataset> LoadData(const Flags& flags) {
+  const std::string path = flags.GetString("--data");
+  if (path.empty()) {
+    return Status::InvalidArgument("--data FILE is required");
+  }
+  return io::LoadDatasetFromFile(path);
+}
+
+std::unique_ptr<core::Recommender> BuildRecommender(
+    const datagen::Dataset& dataset, const Flags& flags) {
+  core::RecommenderOptions options;
+  const std::string mode = flags.GetString("--mode", "csf-sar-h");
+  if (!ParseMode(mode, &options)) {
+    std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
+    return nullptr;
+  }
+  options.omega = flags.GetDouble("--omega", 0.7);
+  options.k_subcommunities =
+      static_cast<int>(flags.GetInt("--communities", 60));
+
+  auto rec = std::make_unique<core::Recommender>(options);
+  const auto descriptors = dataset.SourceDescriptors();
+  for (size_t v = 0; v < dataset.video_count(); ++v) {
+    const Status s =
+        rec->AddVideo(dataset.corpus.videos[v], descriptors[v]);
+    if (!s.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
+      return nullptr;
+    }
+  }
+  if (const Status s = rec->Finalize(dataset.community.user_count);
+      !s.ok()) {
+    std::fprintf(stderr, "finalize failed: %s\n", s.ToString().c_str());
+    return nullptr;
+  }
+  return rec;
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string out = flags.GetString("--out");
+  if (out.empty()) return Usage();
+
+  datagen::DatasetOptions options;
+  options.num_topics = static_cast<int>(flags.GetInt("--topics", 20));
+  options.community.num_users =
+      static_cast<int>(flags.GetInt("--users", 600));
+  options.community.num_user_groups = options.community.num_users / 10;
+  options.community.months =
+      static_cast<int>(flags.GetInt("--months", 16));
+  options.source_months =
+      static_cast<int>(flags.GetInt("--source-months", 12));
+  options.community.comments_per_video_month = 9.0;
+  options.community.offtopic_rate = 0.002;
+  options.community.popularity_skew = 0.0;
+  options.community.secondary_interest = 0.02;
+  options.community.interest_floor = 0.0005;
+  options.seed = static_cast<uint64_t>(flags.GetInt("--seed", 20150531));
+  if (flags.Has("--hours")) {
+    options = datagen::ScaledToHours(options, flags.GetDouble("--hours", 10));
+  } else {
+    options.base_videos_per_topic = 3;
+  }
+
+  std::printf("generating dataset (seed %llu)...\n",
+              static_cast<unsigned long long>(options.seed));
+  const auto dataset = datagen::GenerateDataset(options);
+  std::printf("  %zu videos, %.1f hours, %zu users, %zu comments\n",
+              dataset.video_count(), dataset.TotalHours(),
+              dataset.community.user_count,
+              dataset.community.comments.size());
+  if (const Status s = io::SaveDatasetToFile(dataset, out); !s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdInfo(const Flags& flags) {
+  const auto dataset = LoadData(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("videos:    %zu (%.1f hours)\n", dataset->video_count(),
+              dataset->TotalHours());
+  std::printf("users:     %zu\n", dataset->community.user_count);
+  std::printf("comments:  %zu over %d months (source period: %d months)\n",
+              dataset->community.comments.size(),
+              dataset->options.community.months,
+              dataset->options.source_months);
+  std::printf("channels:\n");
+  std::vector<size_t> per_channel(datagen::kNumChannels, 0);
+  for (const auto& m : dataset->corpus.meta) {
+    ++per_channel[static_cast<size_t>(m.channel)];
+  }
+  for (int c = 0; c < datagen::kNumChannels; ++c) {
+    std::printf("  %-16s %zu videos\n",
+                datagen::ChannelNames()[static_cast<size_t>(c)].c_str(),
+                per_channel[static_cast<size_t>(c)]);
+  }
+  std::printf("query videos:");
+  for (video::VideoId q : dataset->QueryVideoIds()) {
+    std::printf(" %lld", static_cast<long long>(q));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int CmdQuery(const Flags& flags) {
+  const auto dataset = LoadData(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  if (!flags.Has("--video")) return Usage();
+  const auto query = static_cast<video::VideoId>(flags.GetInt("--video", 0));
+  const int k = static_cast<int>(flags.GetInt("--k", 10));
+
+  auto rec = BuildRecommender(*dataset, flags);
+  if (rec == nullptr) return 1;
+  const auto results = rec->RecommendById(query, k);
+  if (!results.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 results.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query: \"%s\"\n",
+              dataset->corpus.videos[static_cast<size_t>(query)]
+                  .title()
+                  .c_str());
+  for (const auto& r : *results) {
+    std::printf("  v%-5lld FJ=%.3f content=%.3f social=%.3f  \"%s\"\n",
+                static_cast<long long>(r.id), r.score, r.content, r.social,
+                dataset->corpus.videos[static_cast<size_t>(r.id)]
+                    .title()
+                    .c_str());
+  }
+  std::printf("timing: %.2f ms (social %.2f, content %.2f, refine %.2f)\n",
+              rec->last_timing().total_ms, rec->last_timing().social_ms,
+              rec->last_timing().content_ms, rec->last_timing().refine_ms);
+  return 0;
+}
+
+int CmdEvaluate(const Flags& flags) {
+  const auto dataset = LoadData(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto rec = BuildRecommender(*dataset, flags);
+  if (rec == nullptr) return 1;
+  const auto cutoff = static_cast<size_t>(flags.GetInt("--cutoff", 10));
+
+  const eval::RatingOracle oracle(&*dataset);
+  std::vector<std::vector<double>> ratings;
+  for (video::VideoId q : dataset->QueryVideoIds()) {
+    const auto results = rec->RecommendById(q, static_cast<int>(cutoff));
+    if (!results.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   results.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<video::VideoId> ids;
+    for (const auto& r : *results) ids.push_back(r.id);
+    ratings.push_back(oracle.RateList(q, ids));
+  }
+  const auto report = eval::Evaluate(ratings, cutoff);
+  std::printf("mode=%s cutoff=%zu\n",
+              flags.GetString("--mode", "csf-sar-h").c_str(), cutoff);
+  std::printf("AR=%.3f AC=%.3f MAP=%.3f over %zu queries\n",
+              report.average_rating, report.average_accuracy, report.map,
+              ratings.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "gen") return CmdGen(flags);
+  if (command == "info") return CmdInfo(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  return Usage();
+}
