@@ -1,0 +1,95 @@
+// Batch query throughput: queries/sec of RecommendBatch at 1, 2, 4, N
+// worker threads over the standard synthetic corpus. The query set cycles
+// over every video so the social, content, and refinement stages are all
+// exercised. Also reports the parallel-Finalize ingest speedup.
+//
+// Usage: bench_batch_throughput [repeat] [k]
+//   repeat: how many times the corpus's query list is replayed per
+//           measurement (default 8 -> a few thousand queries)
+//   k:      results per query (default 10)
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace vrec::bench {
+namespace {
+
+int Run(int repeat, int k) {
+  datagen::DatasetOptions data_options = EffectivenessDatasetOptions();
+  std::printf("generating corpus...\n");
+  const datagen::Dataset dataset = datagen::GenerateDataset(data_options);
+  std::printf("  %zu videos, %zu users\n", dataset.video_count(),
+              dataset.community.user_count);
+
+  core::RecommenderOptions options;
+  options.social_mode = core::SocialMode::kSarHash;
+
+  // Ingest speedup: Finalize with one thread vs. all threads.
+  Stopwatch ingest;
+  options.num_threads = 1;
+  auto rec = BuildRecommender(dataset, options);
+  const double serial_finalize_s = ingest.ElapsedSeconds();
+  ingest.Restart();
+  options.num_threads = 0;  // hardware concurrency
+  rec = BuildRecommender(dataset, options);
+  const double parallel_finalize_s = ingest.ElapsedSeconds();
+  std::printf("finalize: serial %.2fs, parallel %.2fs (%.2fx)\n",
+              serial_finalize_s, parallel_finalize_s,
+              serial_finalize_s / parallel_finalize_s);
+
+  std::vector<video::VideoId> queries;
+  for (int r = 0; r < repeat; ++r) {
+    for (size_t v = 0; v < dataset.video_count(); ++v) {
+      queries.push_back(static_cast<video::VideoId>(v));
+    }
+  }
+
+  const size_t hw = util::ThreadPool::DefaultThreadCount();
+  std::vector<size_t> thread_counts = {1, 2, 4};
+  if (hw > 4) thread_counts.push_back(hw);
+
+  std::printf("%8s %12s %12s %10s\n", "threads", "queries/s", "ms/query",
+              "speedup");
+  double base_qps = 0.0;
+  for (const size_t threads : thread_counts) {
+    util::ThreadPool pool(threads);
+    // Warm-up round, then the measured replay.
+    const std::vector<video::VideoId> warmup(
+        queries.begin(),
+        queries.begin() + static_cast<long>(dataset.video_count()));
+    rec->RecommendBatchByIds(warmup, k, &pool);
+    Stopwatch timer;
+    const auto results = rec->RecommendBatchByIds(queries, k, &pool);
+    const double elapsed = timer.ElapsedSeconds();
+    size_t failed = 0;
+    for (const auto& r : results) failed += r.status.ok() ? 0 : 1;
+    if (failed > 0) {
+      std::fprintf(stderr, "%zu queries failed\n", failed);
+      return 1;
+    }
+    const double qps = static_cast<double>(queries.size()) / elapsed;
+    if (threads == 1) base_qps = qps;
+    std::printf("%8zu %12.0f %12.3f %9.2fx\n", threads, qps,
+                1000.0 * elapsed / static_cast<double>(queries.size()),
+                qps / base_qps);
+  }
+  if (hw < 2) {
+    std::printf("note: hardware concurrency is %zu; speedups need real "
+                "cores\n", hw);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vrec::bench
+
+int main(int argc, char** argv) {
+  const int repeat = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int k = argc > 2 ? std::atoi(argv[2]) : 10;
+  return vrec::bench::Run(repeat, k);
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + tests, then the concurrency tests under
+# ThreadSanitizer (-DVREC_SANITIZE=thread). Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== tier-1: build + full test suite ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "=== tsan: concurrency tests under ThreadSanitizer ==="
+cmake -B build-tsan -S . -DVREC_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target vrec_tests
+(cd build-tsan && ctest --output-on-failure -j "$JOBS" \
+  -R 'Concurrency|ThreadPool')
+
+echo "verify: OK"

@@ -24,6 +24,9 @@ Status ValidateOptions(const RecommenderOptions& options) {
   if (options.max_candidates == 0) {
     return Status::InvalidArgument("max_candidates must be positive");
   }
+  if (options.num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
   if (!options.use_content && options.social_mode == SocialMode::kNone) {
     return Status::InvalidArgument(
         "at least one of content and social must be enabled");
@@ -45,7 +48,12 @@ Status ValidateOptions(const RecommenderOptions& options) {
 }
 
 Recommender::Recommender(RecommenderOptions options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  const size_t threads =
+      options_.num_threads > 0 ? static_cast<size_t>(options_.num_threads)
+                               : util::ThreadPool::DefaultThreadCount();
+  if (threads > 1) pool_ = std::make_unique<util::ThreadPool>(threads);
+}
 
 Status Recommender::AddVideo(const video::Video& video,
                              const social::SocialDescriptor& descriptor) {
@@ -91,10 +99,13 @@ void Recommender::RefreshVideoVector(size_t index) {
     }
   }
   record.social_vector = dictionary_->Vectorize(record.descriptor);
+  // The removal above guarantees this video has no posting left in any
+  // community, so the duplicate-scanning Add would only re-verify what we
+  // already know — append directly (keeps the rebuild linear).
   for (size_t c = 0; c < record.social_vector.size(); ++c) {
     if (record.social_vector[c] > 0.0) {
-      inverted_file_.Add(static_cast<int>(c), record.id,
-                         record.social_vector[c]);
+      inverted_file_.Append(static_cast<int>(c), record.id,
+                            record.social_vector[c]);
     }
   }
 }
@@ -139,14 +150,33 @@ Status Recommender::Finalize(size_t user_count) {
     maintainer_ = std::make_unique<social::SubCommunityMaintainer>(
         uig, *extraction, options_.k_subcommunities, dictionary_.get());
 
-    for (size_t i = 0; i < records_.size(); ++i) RefreshVideoVector(i);
+    // Vectorization is independent per record (each task writes only its
+    // own record's histogram), so it fans across the pool; the inverted-file
+    // postings are appended serially afterwards (shared map, cheap appends).
+    util::ParallelFor(pool_.get(), records_.size(), [&](size_t i) {
+      if (!records_[i].active) return;
+      records_[i].social_vector =
+          dictionary_->Vectorize(records_[i].descriptor);
+    });
+    for (const Record& r : records_) {
+      if (!r.active) continue;
+      for (size_t c = 0; c < r.social_vector.size(); ++c) {
+        if (r.social_vector[c] > 0.0) {
+          inverted_file_.Append(static_cast<int>(c), r.id,
+                                r.social_vector[c]);
+        }
+      }
+    }
   }
 
   if (options_.use_content && options_.use_lsb_index &&
       options_.content_measure == ContentMeasure::kKappaJ) {
     index::LsbIndex::Options lsb = options_.lsb;
     lsb_ = std::make_unique<index::LsbIndex>(lsb);
-    for (const Record& r : records_) lsb_->AddVideo(r.id, r.series);
+    std::vector<std::pair<int64_t, const signature::SignatureSeries*>> series;
+    series.reserve(records_.size());
+    for (const Record& r : records_) series.emplace_back(r.id, &r.series);
+    lsb_->AddVideosBulk(series, pool_.get());
   }
 
   finalized_ = true;
@@ -221,8 +251,15 @@ StatusOr<std::vector<ScoredVideo>> Recommender::Recommend(
     const signature::SignatureSeries& series,
     const social::SocialDescriptor& descriptor, int k,
     video::VideoId exclude) const {
-  return RecommendInternal(series, descriptor, k, exclude,
-                           options_.lsb_probes);
+  QueryTiming timing;
+  StatusOr<std::vector<ScoredVideo>> result =
+      RecommendInternal(series, descriptor, k, exclude, options_.lsb_probes,
+                        &timing);
+  if (result.ok()) {
+    std::lock_guard<std::mutex> lock(timing_mutex_);
+    last_timing_ = timing;
+  }
+  return result;
 }
 
 StatusOr<std::vector<ScoredVideo>> Recommender::RecommendAdaptive(
@@ -232,22 +269,73 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendAdaptive(
   std::vector<video::VideoId> previous_ids;
   StatusOr<std::vector<ScoredVideo>> best =
       Status::Internal("adaptive search did not run");
-  for (int probes = std::max(1, options_.lsb_probes); probes <= max_probes;
-       probes *= 2) {
-    best = RecommendInternal(series, descriptor, k, exclude, probes);
+  QueryTiming timing;
+  // Clamp the starting width into [1, max_probes] so at least one round
+  // always runs, even when the caller's probe budget sits below the
+  // configured lsb_probes.
+  int probes = std::max(1, std::min(options_.lsb_probes, max_probes));
+  for (;;) {
+    best = RecommendInternal(series, descriptor, k, exclude, probes, &timing);
     if (!best.ok()) return best;
     std::vector<video::VideoId> ids;
     for (const auto& r : *best) ids.push_back(r.id);
     if (ids == previous_ids) break;  // widening found nothing new: stable
     previous_ids = std::move(ids);
+    if (probes >= max_probes) break;  // budget exhausted
+    probes = std::min(probes * 2, max_probes);
+  }
+  {
+    std::lock_guard<std::mutex> lock(timing_mutex_);
+    last_timing_ = timing;
   }
   return best;
+}
+
+std::vector<BatchResult> Recommender::RecommendBatch(
+    const std::vector<BatchQuery>& queries, int k,
+    util::ThreadPool* pool) const {
+  std::vector<BatchResult> out(queries.size());
+  util::ParallelFor(pool != nullptr ? pool : pool_.get(), queries.size(),
+                    [&](size_t i) {
+                      BatchResult& r = out[i];
+                      StatusOr<std::vector<ScoredVideo>> result =
+                          RecommendInternal(queries[i].series,
+                                            queries[i].descriptor, k,
+                                            queries[i].exclude,
+                                            options_.lsb_probes, &r.timing);
+                      r.status = result.status();
+                      if (result.ok()) r.results = std::move(result).value();
+                    });
+  return out;
+}
+
+std::vector<BatchResult> Recommender::RecommendBatchByIds(
+    const std::vector<video::VideoId>& ids, int k,
+    util::ThreadPool* pool) const {
+  std::vector<BatchResult> out(ids.size());
+  util::ParallelFor(
+      pool != nullptr ? pool : pool_.get(), ids.size(), [&](size_t i) {
+        BatchResult& r = out[i];
+        const auto it = index_of_.find(ids[i]);
+        if (it == index_of_.end()) {
+          r.status = Status::NotFound("unknown video id");
+          return;
+        }
+        const Record& record = records_[it->second];
+        StatusOr<std::vector<ScoredVideo>> result =
+            RecommendInternal(record.series, record.descriptor, k, ids[i],
+                              options_.lsb_probes, &r.timing);
+        r.status = result.status();
+        if (result.ok()) r.results = std::move(result).value();
+      });
+  return out;
 }
 
 Status Recommender::RemoveVideo(video::VideoId id) {
   const auto it = index_of_.find(id);
   if (it == index_of_.end()) return Status::NotFound("unknown video id");
-  Record& record = records_[it->second];
+  const size_t slot = it->second;
+  Record& record = records_[slot];
   record.active = false;
   for (size_t c = 0; c < record.social_vector.size(); ++c) {
     if (record.social_vector[c] > 0.0) {
@@ -255,6 +343,16 @@ Status Recommender::RemoveVideo(video::VideoId id) {
     }
   }
   record.social_vector.clear();
+  // Purge the tombstoned slot from its users' video lists — otherwise every
+  // later ApplySocialUpdate re-touches the dead record and the map grows
+  // without bound under add/remove churn.
+  for (social::UserId u : record.descriptor.users()) {
+    const auto vit = videos_of_user_.find(u);
+    if (vit == videos_of_user_.end()) continue;
+    auto& slots = vit->second;
+    slots.erase(std::remove(slots.begin(), slots.end(), slot), slots.end());
+    if (slots.empty()) videos_of_user_.erase(vit);
+  }
   index_of_.erase(it);
   return Status::Ok();
 }
@@ -262,7 +360,7 @@ Status Recommender::RemoveVideo(video::VideoId id) {
 StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
     const signature::SignatureSeries& series,
     const social::SocialDescriptor& descriptor, int k,
-    video::VideoId exclude, int probes) const {
+    video::VideoId exclude, int probes, QueryTiming* timing_out) const {
   if (!finalized_) return Status::FailedPrecondition("Finalize() not called");
   if (k <= 0) return Status::InvalidArgument("k must be positive");
 
@@ -286,7 +384,15 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
                                                    records_[i].user_names);
       if (s > 0.0) scored.emplace_back(s, i);
     }
-    std::sort(scored.rbegin(), scored.rend());
+    // Score descending, ties by ascending video id — the same deterministic
+    // order the final refinement uses, so candidate admission at the pool
+    // boundary is consistent with the ranking it feeds.
+    std::sort(scored.begin(), scored.end(),
+              [this](const std::pair<double, size_t>& a,
+                     const std::pair<double, size_t>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return records_[a.second].id < records_[b.second].id;
+              });
     for (const auto& [s, i] : scored) {
       if (pool.size() >= options_.max_candidates) break;
       pool.insert(i);
@@ -313,10 +419,18 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
       std::vector<std::pair<int, video::VideoId>> ranked;
       ranked.reserve(hits.size());
       for (const auto& [vid, count] : hits) ranked.emplace_back(count, vid);
-      std::sort(ranked.rbegin(), ranked.rend());
-      size_t budget = options_.max_candidates;
+      // Hit count descending, ties by ascending video id (deterministic and
+      // consistent with refinement's tie-break).
+      std::sort(ranked.begin(), ranked.end(),
+                [](const std::pair<int, video::VideoId>& a,
+                   const std::pair<int, video::VideoId>& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+      // The content stage shares one pool budget with the social stage:
+      // max_candidates caps the pool, not each stage's own contribution.
       for (const auto& [count, vid] : ranked) {
-        if (budget-- == 0) break;
+        if (pool.size() >= options_.max_candidates) break;
         const auto idx = index_of_.find(vid);
         if (idx != index_of_.end()) pool.insert(idx->second);
       }
@@ -339,6 +453,7 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
     if (records_[i].active) pool.insert(i);
   }
   timing.content_ms = phase.ElapsedMillis();
+  timing.candidates = pool.size();
 
   // --- Refinement (Figure 6 lines 7-10): full FJ on the pool. ---
   phase.Restart();
@@ -381,7 +496,7 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
   }
   timing.refine_ms = phase.ElapsedMillis();
   timing.total_ms = total.ElapsedMillis();
-  last_timing_ = timing;
+  if (timing_out != nullptr) *timing_out = timing;
   return scored;
 }
 

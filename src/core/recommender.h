@@ -2,6 +2,7 @@
 #define VREC_CORE_RECOMMENDER_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "social/sar.h"
 #include "social/update_maintainer.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 #include "video/segmenter.h"
 #include "video/video.h"
 
@@ -57,6 +59,9 @@ struct RecommenderOptions {
   int lsb_probes = 8;
   /// Refinement pool size (top social + content candidates kept).
   size_t max_candidates = 400;
+  /// Worker threads for Finalize() and RecommendBatch(): 0 picks the
+  /// hardware concurrency, 1 runs everything on the calling thread.
+  int num_threads = 0;
   video::SegmenterOptions segmenter;
   signature::SignatureOptions signature;
   signature::KappaJOptions kappa;
@@ -74,12 +79,33 @@ struct ScoredVideo {
   double social = 0.0;   // sJ or its SAR approximation
 };
 
-/// Wall-clock breakdown of the last query (Figure 12 instrumentation).
+/// Wall-clock breakdown of one query (Figure 12 instrumentation).
 struct QueryTiming {
   double social_ms = 0.0;   // descriptor vectorization + inverted file
   double content_ms = 0.0;  // LSB probing
   double refine_ms = 0.0;   // FJ computation over the candidate pool
   double total_ms = 0.0;
+  /// Refinement pool size after candidate admission + padding. With the
+  /// LSB index this never exceeds max(max_candidates, k + 1); exhaustive
+  /// content modes (DTW/ERP or use_lsb_index=false) scan the live corpus.
+  size_t candidates = 0;
+};
+
+/// One query of a RecommendBatch call.
+struct BatchQuery {
+  signature::SignatureSeries series;
+  social::SocialDescriptor descriptor;
+  /// Dropped from the results when >= 0 (e.g. the query video itself).
+  video::VideoId exclude = -1;
+};
+
+/// Per-query outcome of a RecommendBatch call; `results` is meaningful only
+/// when `status.ok()`. Timing is returned by value so concurrent queries
+/// never share instrumentation state.
+struct BatchResult {
+  Status status;
+  std::vector<ScoredVideo> results;
+  QueryTiming timing;
 };
 
 /// The content-social video recommender (Sections 3-4).
@@ -128,6 +154,22 @@ class Recommender {
       const social::SocialDescriptor& descriptor, int k,
       video::VideoId exclude = -1, int max_probes = 64) const;
 
+  /// Answers a batch of queries concurrently, fanning them across the
+  /// worker pool (`pool` overrides the recommender's own; null with
+  /// num_threads == 1 runs serially). Results are positionally aligned with
+  /// `queries` and each carries its own QueryTiming; per-query failures are
+  /// reported in BatchResult::status without aborting the batch. Queries
+  /// are independent and the index is immutable during the call, so results
+  /// are bit-identical to serial Recommend() calls.
+  std::vector<BatchResult> RecommendBatch(
+      const std::vector<BatchQuery>& queries, int k,
+      util::ThreadPool* pool = nullptr) const;
+
+  /// Batch form of RecommendById (each id excluded from its own results).
+  std::vector<BatchResult> RecommendBatchByIds(
+      const std::vector<video::VideoId>& ids, int k,
+      util::ThreadPool* pool = nullptr) const;
+
   /// Removes a video from the database, its inverted-file postings and all
   /// future results. Stale LSB entries are filtered at query time.
   Status RemoveVideo(video::VideoId id);
@@ -150,7 +192,22 @@ class Recommender {
   size_t user_count() const { return user_count_; }
   bool finalized() const { return finalized_; }
   const RecommenderOptions& options() const { return options_; }
-  const QueryTiming& last_timing() const { return last_timing_; }
+  /// Timing of the last *single-query* Recommend*() call on this instance.
+  /// Deprecated convenience: under concurrent use prefer the per-query
+  /// QueryTiming that RecommendBatch returns by value — this accessor is
+  /// only mutex-guarded, so interleaved callers see some recent query's
+  /// timing, not necessarily their own. RecommendBatch does not update it.
+  QueryTiming last_timing() const {
+    std::lock_guard<std::mutex> lock(timing_mutex_);
+    return last_timing_;
+  }
+  /// Total slot references held by the user -> videos index; shrinks when
+  /// videos are removed (memory-growth monitoring under churn).
+  size_t user_video_entries() const {
+    size_t n = 0;
+    for (const auto& [user, slots] : videos_of_user_) n += slots.size();
+    return n;
+  }
   /// Sub-community count currently live (SAR modes; 0 otherwise).
   int num_communities() const;
   /// The signature series of an ingested video (for query construction).
@@ -170,10 +227,14 @@ class Recommender {
     bool active = true;
   };
 
+  /// The query kernel. Fully re-entrant: all per-query state (including
+  /// timing instrumentation, written through `timing` when non-null) lives
+  /// on the caller's stack, and every structure it reads is immutable
+  /// between Finalize()/ApplySocialUpdate() calls.
   StatusOr<std::vector<ScoredVideo>> RecommendInternal(
       const signature::SignatureSeries& series,
       const social::SocialDescriptor& descriptor, int k,
-      video::VideoId exclude, int probes) const;
+      video::VideoId exclude, int probes, QueryTiming* timing) const;
 
   bool UsesSar() const {
     return options_.social_mode == SocialMode::kSar ||
@@ -203,6 +264,13 @@ class Recommender {
   // Content index.
   std::unique_ptr<index::LsbIndex> lsb_;
 
+  // Worker pool shared by Finalize() and RecommendBatch(); null when
+  // options_.num_threads resolves to a single thread.
+  std::unique_ptr<util::ThreadPool> pool_;
+
+  // Single-query timing convenience (see last_timing()). Guarded because
+  // concurrent Recommend() calls are part of the API contract.
+  mutable std::mutex timing_mutex_;
   mutable QueryTiming last_timing_;
 };
 

@@ -32,7 +32,7 @@ std::optional<int32_t> ChainedHashTable::Find(std::string_view key) const {
   const size_t b = BucketOf(key);
   for (int32_t i = buckets_[b]; i >= 0;
        i = triads_[static_cast<size_t>(i)].next) {
-    ++comparisons_;
+    comparisons_.fetch_add(1, std::memory_order_relaxed);
     const Triad& t = triads_[static_cast<size_t>(i)];
     if (t.key == key) return t.cno;
   }

@@ -1,6 +1,7 @@
 #ifndef VREC_HASHING_CHAINED_HASH_TABLE_H_
 #define VREC_HASHING_CHAINED_HASH_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -51,9 +52,13 @@ class ChainedHashTable {
   /// vectorization cost model.
   double AverageChainLength() const;
 
-  /// Total key comparisons performed by Find() since construction.
-  uint64_t comparisons() const { return comparisons_; }
-  void ResetStats() { comparisons_ = 0; }
+  /// Total key comparisons performed by Find() since construction. The
+  /// counter is atomic (relaxed) so concurrent const lookups — the hot
+  /// vectorization path under batch serving — stay race-free.
+  uint64_t comparisons() const {
+    return comparisons_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() { comparisons_.store(0, std::memory_order_relaxed); }
 
  private:
   size_t BucketOf(std::string_view key) const {
@@ -66,7 +71,7 @@ class ChainedHashTable {
   std::vector<Triad> triads_;     // arena; erased slots are reused
   std::vector<int32_t> free_list_;
   size_t size_ = 0;
-  mutable uint64_t comparisons_ = 0;
+  mutable std::atomic<uint64_t> comparisons_{0};
 };
 
 }  // namespace vrec::hashing

@@ -18,6 +18,10 @@ void InvertedFile::Add(int community, int64_t video_id, double weight) {
   list.push_back({video_id, weight});
 }
 
+void InvertedFile::Append(int community, int64_t video_id, double weight) {
+  lists_[community].push_back({video_id, weight});
+}
+
 void InvertedFile::RemoveVideoFromCommunity(int community, int64_t video_id) {
   const auto it = lists_.find(community);
   if (it == lists_.end()) return;

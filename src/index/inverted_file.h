@@ -18,8 +18,16 @@ class InvertedFile {
     double weight = 0.0;  // #descriptor users in this sub-community
   };
 
-  /// Adds (or accumulates) a posting.
+  /// Adds (or accumulates) a posting. Scans the list for an existing
+  /// posting of `video_id`, so a full rebuild through this path is
+  /// quadratic in posting-list length — use Append when the caller can
+  /// guarantee the video is not yet posted in `community`.
   void Add(int community, int64_t video_id, double weight);
+
+  /// Append-only fast path: the caller guarantees `video_id` has no
+  /// existing posting in `community` (true after RemoveVideoFromCommunity,
+  /// and for any build-from-scratch), so no duplicate scan is needed.
+  void Append(int community, int64_t video_id, double weight);
 
   /// Drops every posting of `video_id` in `community` (descriptor refresh).
   void RemoveVideoFromCommunity(int community, int64_t video_id);

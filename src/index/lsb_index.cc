@@ -37,6 +37,40 @@ void LsbIndex::AddVideo(int64_t video_id,
   }
 }
 
+void LsbIndex::AddVideosBulk(
+    const std::vector<std::pair<int64_t, const signature::SignatureSeries*>>&
+        videos,
+    util::ThreadPool* pool) {
+  // Flatten to one (video, signature) entry per indexed point so the
+  // embedding work parallelises evenly regardless of series length.
+  struct Flat {
+    int64_t video_id;
+    uint32_t sig_index;
+    const signature::CuboidSignature* signature;
+  };
+  std::vector<Flat> flat;
+  for (const auto& [vid, series] : videos) {
+    for (size_t s = 0; s < series->size(); ++s) {
+      flat.push_back({vid, static_cast<uint32_t>(s), &(*series)[s]});
+    }
+  }
+
+  std::vector<std::vector<double>> embedded(flat.size());
+  util::ParallelFor(pool, flat.size(), [&](size_t i) {
+    embedded[i] = EmbedSignature(*flat[i].signature, options_.embedding);
+  });
+
+  // One task per tree: Z-values differ per tree (independent LSH seeds),
+  // and each tree is written by exactly one thread.
+  util::ParallelFor(pool, trees_.size(), [&](size_t t) {
+    for (size_t i = 0; i < flat.size(); ++i) {
+      trees_[t].Insert(ZValue(t, embedded[i]),
+                       {flat[i].video_id, flat[i].sig_index});
+    }
+  });
+  indexed_ += flat.size();
+}
+
 std::unordered_map<int64_t, int> LsbIndex::Candidates(
     const signature::CuboidSignature& query, int probes) const {
   std::unordered_map<int64_t, int> hits;

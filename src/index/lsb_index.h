@@ -9,6 +9,7 @@
 #include "index/emd_embedding.h"
 #include "index/lsh.h"
 #include "signature/cuboid_signature.h"
+#include "util/thread_pool.h"
 
 namespace vrec::index {
 
@@ -34,6 +35,16 @@ class LsbIndex {
 
   /// Indexes every signature of a video's series.
   void AddVideo(int64_t video_id, const signature::SignatureSeries& series);
+
+  /// Bulk build: indexes all series at once, parallelising the expensive
+  /// EMD embedding across `pool` and then filling each B+-tree from its own
+  /// worker (trees are independent, so no tree is ever touched by two
+  /// threads). Equivalent to calling AddVideo for each entry in order.
+  /// Runs serially when `pool` is null.
+  void AddVideosBulk(
+      const std::vector<std::pair<int64_t, const signature::SignatureSeries*>>&
+          videos,
+      util::ThreadPool* pool);
 
   /// Candidate videos for one query signature: each tree is probed around
   /// the query's Z-value, expanding to the entries with the longest common

@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace vrec::util {
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = num_threads == 0 ? DefaultThreadCount() : num_threads;
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  const size_t workers = pool == nullptr ? 0 : pool->size();
+  if (workers == 0 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // One shared counter hands out items; the caller drains alongside the
+  // workers, so progress is guaranteed even when the pool is saturated by
+  // other batches. A per-call latch (not ThreadPool::Wait) lets concurrent
+  // ParallelFor calls share one pool without waiting on each other's tasks.
+  struct Latch {
+    std::atomic<size_t> next{0};
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t pending = 0;
+  };
+  auto latch = std::make_shared<Latch>();
+  const size_t tasks = std::min(workers, n - 1);  // caller covers the rest
+  latch->pending = tasks;
+
+  const auto drain = [latch, n, &fn] {
+    for (size_t i = latch->next.fetch_add(1, std::memory_order_relaxed);
+         i < n; i = latch->next.fetch_add(1, std::memory_order_relaxed)) {
+      fn(i);
+    }
+  };
+  for (size_t t = 0; t < tasks; ++t) {
+    pool->Submit([latch, drain] {
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(latch->mutex);
+        --latch->pending;
+      }
+      latch->done.notify_one();
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(latch->mutex);
+  latch->done.wait(lock, [&latch] { return latch->pending == 0; });
+}
+
+}  // namespace vrec::util

@@ -1,0 +1,68 @@
+#ifndef VREC_UTIL_THREAD_POOL_H_
+#define VREC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vrec::util {
+
+/// Fixed-size worker pool with one shared FIFO queue (no work stealing —
+/// query batches are coarse-grained enough that a single locked queue is
+/// nowhere near contended). Built once and reused across batches; the
+/// serving path shares one pool so thread count, not query count, bounds
+/// CPU use.
+///
+/// Tasks must not throw: the library's public API is Status-based and the
+/// pool runs tasks as-is.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 picks the hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues a task. Safe from any thread, including pool workers.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished. Do not call
+  /// from inside a pool task.
+  void Wait();
+
+  /// What ThreadPool(0) resolves to (>= 1).
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;  // queued + currently executing
+  bool shutting_down_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Runs `fn(i)` for every i in [0, n), spread across the pool's workers with
+/// the calling thread participating; returns when all n calls finished.
+/// Scheduling is dynamic (one shared index counter), so uneven per-item cost
+/// balances automatically. Runs inline when `pool` is null or single-item.
+/// Distinct ParallelFor calls may run concurrently on one pool, but `fn`
+/// itself must not call back into ParallelFor on the same pool.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace vrec::util
+
+#endif  // VREC_UTIL_THREAD_POOL_H_

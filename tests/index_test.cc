@@ -167,6 +167,44 @@ TEST(InvertedFileTest, AddAccumulatesWeight) {
   EXPECT_DOUBLE_EQ(file.Postings(0)[0].weight, 3.0);
 }
 
+TEST(InvertedFileTest, AppendMatchesAddForDuplicateFreeInput) {
+  // The append-only fast path must produce exactly the postings Add builds
+  // when the input has no duplicates (the rebuild-from-scratch case).
+  InvertedFile slow, fast;
+  for (int c = 0; c < 4; ++c) {
+    for (int64_t v = 0; v < 32; ++v) {
+      slow.Add(c, v, 1.0 + static_cast<double>(v));
+      fast.Append(c, v, 1.0 + static_cast<double>(v));
+    }
+  }
+  for (int c = 0; c < 4; ++c) {
+    const auto& a = slow.Postings(c);
+    const auto& b = fast.Postings(c);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].video_id, b[i].video_id);
+      EXPECT_DOUBLE_EQ(a[i].weight, b[i].weight);
+    }
+  }
+  const auto ca = slow.Candidates({1.0, 1.0, 1.0, 1.0});
+  const auto cb = fast.Candidates({1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(ca, cb);
+}
+
+TEST(InvertedFileTest, AppendAfterRemoveRebuildsCleanly) {
+  // RefreshVideoVector's pattern: remove every posting of a video, then
+  // re-append its new weights — no duplicate postings may result.
+  InvertedFile file;
+  file.Add(0, 7, 2.0);
+  file.Add(1, 7, 1.0);
+  file.RemoveVideoFromCommunity(0, 7);
+  file.RemoveVideoFromCommunity(1, 7);
+  file.Append(0, 7, 5.0);
+  ASSERT_EQ(file.Postings(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(file.Postings(0)[0].weight, 5.0);
+  EXPECT_TRUE(file.Postings(1).empty());
+}
+
 TEST(InvertedFileTest, ZeroMassDimensionsSkipped) {
   InvertedFile file;
   file.Add(0, 1, 1.0);

@@ -1,0 +1,242 @@
+// Concurrency contract of the query path: RecommendBatch and concurrent
+// single Recommend() calls must return results bit-identical to a serial
+// baseline. Run under ThreadSanitizer via -DVREC_SANITIZE=thread (see
+// scripts/verify.sh).
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/recommender.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace vrec::core {
+namespace {
+
+using signature::SignatureSeries;
+using social::SocialDescriptor;
+
+// A corpus with both content clusters and social structure so every query
+// stage (inverted files, LSB probing, refinement) is exercised.
+constexpr int kVideos = 48;
+constexpr int kUsers = 40;
+
+SignatureSeries MakeSeries(int cluster, Rng* rng) {
+  SignatureSeries s;
+  for (int i = 0; i < 4; ++i) {
+    const double base = 40.0 * cluster - 60.0;
+    s.push_back({{base + rng->Uniform(-3.0, 3.0), 1.0}});
+  }
+  return s;
+}
+
+SocialDescriptor MakeDescriptor(int group, Rng* rng) {
+  std::vector<social::UserId> users;
+  const int base = group * (kUsers / 4);
+  for (int i = 0; i < 6; ++i) {
+    users.push_back((base + rng->UniformInt(0, kUsers / 2)) % kUsers);
+  }
+  return SocialDescriptor(users);
+}
+
+std::unique_ptr<Recommender> BuildCorpus(int num_threads) {
+  RecommenderOptions options;
+  options.social_mode = SocialMode::kSarHash;
+  options.k_subcommunities = 4;
+  options.max_candidates = 24;
+  options.num_threads = num_threads;
+  auto rec = std::make_unique<Recommender>(options);
+  Rng rng(20150531);
+  for (int v = 0; v < kVideos; ++v) {
+    const int cluster = v % 4;
+    EXPECT_TRUE(rec->AddVideoRecord(v, MakeSeries(cluster, &rng),
+                                    MakeDescriptor(cluster, &rng))
+                    .ok());
+  }
+  EXPECT_TRUE(rec->Finalize(kUsers).ok());
+  return rec;
+}
+
+bool SameResults(const std::vector<ScoredVideo>& a,
+                 const std::vector<ScoredVideo>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-for-bit: same candidates, same arithmetic, same order.
+    if (a[i].id != b[i].id || a[i].score != b[i].score ||
+        a[i].content != b[i].content || a[i].social != b[i].social) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<ScoredVideo>> SerialBaseline(const Recommender& rec,
+                                                     int k) {
+  std::vector<std::vector<ScoredVideo>> baseline;
+  for (int v = 0; v < kVideos; ++v) {
+    const auto r = rec.RecommendById(v, k);
+    EXPECT_TRUE(r.ok());
+    baseline.push_back(*r);
+  }
+  return baseline;
+}
+
+TEST(RecommenderConcurrencyTest, ParallelFinalizeMatchesSerialFinalize) {
+  const auto serial = BuildCorpus(/*num_threads=*/1);
+  const auto parallel = BuildCorpus(/*num_threads=*/4);
+  const auto expected = SerialBaseline(*serial, 10);
+  const auto actual = SerialBaseline(*parallel, 10);
+  for (int v = 0; v < kVideos; ++v) {
+    EXPECT_TRUE(SameResults(expected[v], actual[v])) << "query " << v;
+  }
+}
+
+TEST(RecommenderConcurrencyTest, BatchMatchesSerialBitForBit) {
+  const auto rec = BuildCorpus(/*num_threads=*/4);
+  const auto baseline = SerialBaseline(*rec, 10);
+
+  std::vector<video::VideoId> ids;
+  for (int v = 0; v < kVideos; ++v) ids.push_back(v);
+  const auto batch = rec->RecommendBatchByIds(ids, 10);
+  ASSERT_EQ(batch.size(), static_cast<size_t>(kVideos));
+  for (int v = 0; v < kVideos; ++v) {
+    ASSERT_TRUE(batch[v].status.ok()) << batch[v].status.ToString();
+    EXPECT_TRUE(SameResults(baseline[v], batch[v].results)) << "query " << v;
+    EXPECT_GT(batch[v].timing.candidates, 0u);
+  }
+
+  // The explicit-query form agrees as well.
+  std::vector<BatchQuery> queries(kVideos);
+  for (int v = 0; v < kVideos; ++v) {
+    queries[v].series = *rec->SeriesOf(v);
+    queries[v].descriptor = *rec->DescriptorOf(v);
+    queries[v].exclude = v;
+  }
+  const auto batch2 = rec->RecommendBatch(queries, 10);
+  for (int v = 0; v < kVideos; ++v) {
+    ASSERT_TRUE(batch2[v].status.ok());
+    EXPECT_TRUE(SameResults(baseline[v], batch2[v].results)) << "query " << v;
+  }
+}
+
+TEST(RecommenderConcurrencyTest, BatchHonorsExternalPool) {
+  const auto rec = BuildCorpus(/*num_threads=*/1);  // no internal pool
+  const auto baseline = SerialBaseline(*rec, 5);
+  util::ThreadPool pool(3);
+  std::vector<video::VideoId> ids;
+  for (int v = 0; v < kVideos; ++v) ids.push_back(v);
+  const auto batch = rec->RecommendBatchByIds(ids, 5, &pool);
+  for (int v = 0; v < kVideos; ++v) {
+    ASSERT_TRUE(batch[v].status.ok());
+    EXPECT_TRUE(SameResults(baseline[v], batch[v].results)) << "query " << v;
+  }
+}
+
+TEST(RecommenderConcurrencyTest, BatchReportsPerQueryFailures) {
+  const auto rec = BuildCorpus(/*num_threads=*/4);
+  const auto batch = rec->RecommendBatchByIds({0, 9999, 1}, 5);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_TRUE(batch[0].status.ok());
+  EXPECT_EQ(batch[1].status.code(), Status::Code::kNotFound);
+  EXPECT_TRUE(batch[1].results.empty());
+  EXPECT_TRUE(batch[2].status.ok());
+}
+
+TEST(RecommenderConcurrencyTest, ConcurrentSingleQueriesMatchSerial) {
+  const auto rec = BuildCorpus(/*num_threads=*/1);
+  const auto baseline = SerialBaseline(*rec, 10);
+
+  constexpr int kThreads = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int v = t; v < kVideos; v += 1) {
+        const auto r = rec->RecommendById(v, 10);
+        if (!r.ok() || !SameResults(baseline[static_cast<size_t>(v)], *r)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(RecommenderConcurrencyTest, MixedBatchAndSingleQueries) {
+  const auto rec = BuildCorpus(/*num_threads=*/2);
+  const auto baseline = SerialBaseline(*rec, 10);
+  std::vector<video::VideoId> ids;
+  for (int v = 0; v < kVideos; ++v) ids.push_back(v);
+
+  std::atomic<int> mismatches{0};
+  std::thread single([&] {
+    for (int round = 0; round < 3; ++round) {
+      for (int v = 0; v < kVideos; v += 5) {
+        const auto r = rec->RecommendById(v, 10);
+        if (!r.ok() || !SameResults(baseline[static_cast<size_t>(v)], *r)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    }
+  });
+  for (int round = 0; round < 3; ++round) {
+    const auto batch = rec->RecommendBatchByIds(ids, 10);
+    for (int v = 0; v < kVideos; ++v) {
+      if (!batch[v].status.ok() ||
+          !SameResults(baseline[static_cast<size_t>(v)], batch[v].results)) {
+        mismatches.fetch_add(1);
+      }
+    }
+  }
+  single.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  util::ThreadPool pool(4);
+  for (const size_t n : {0u, 1u, 3u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    for (auto& h : hits) h.store(0);
+    util::ParallelFor(&pool, n, [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForRunsInlineWithoutPool) {
+  std::vector<int> hits(16, 0);
+  util::ParallelFor(nullptr, hits.size(), [&](size_t i) { hits[i] += 1; });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitDrainsAllTasks) {
+  util::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+  // The pool is reusable after Wait().
+  pool.Submit([&done] { done.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(done.load(), 101);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsShareOnePool) {
+  util::ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([&] {
+      util::ParallelFor(&pool, 200, [&](size_t) { total.fetch_add(1); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 600);
+}
+
+}  // namespace
+}  // namespace vrec::core

@@ -1,0 +1,170 @@
+// Regression tests for the query-path bugs fixed alongside the batch
+// engine. Each test documents the seed behavior it pins against.
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "core/recommender.h"
+
+namespace vrec::core {
+namespace {
+
+using signature::SignatureSeries;
+using social::SocialDescriptor;
+
+SignatureSeries SeriesAt(std::initializer_list<double> values) {
+  SignatureSeries s;
+  for (double v : values) s.push_back({{v, 1.0}});
+  return s;
+}
+
+// Bug: RecommendAdaptive's widening loop started at options_.lsb_probes and
+// never executed when the caller's probe budget was smaller, surfacing
+// Status::Internal("adaptive search did not run") instead of answering.
+TEST(RecommenderRegressionTest, AdaptiveRunsWithProbeBudgetBelowDefault) {
+  RecommenderOptions options;
+  options.social_mode = SocialMode::kNone;
+  options.lsb_probes = 8;  // > max_probes below
+  Recommender rec(options);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(rec.AddVideoRecord(i, SeriesAt({10.0 * i, -5.0 * i}),
+                                   SocialDescriptor({i}))
+                    .ok());
+  }
+  ASSERT_TRUE(rec.Finalize(6).ok());
+
+  const auto results =
+      rec.RecommendAdaptive(SeriesAt({0.0, 0.0}), SocialDescriptor(), 3,
+                            /*exclude=*/-1, /*max_probes=*/4);
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_FALSE(results->empty());
+
+  // Degenerate budgets still answer (clamped to one round of one probe).
+  const auto one = rec.RecommendAdaptive(SeriesAt({0.0, 0.0}),
+                                         SocialDescriptor(), 3, -1, 1);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  EXPECT_FALSE(one->empty());
+}
+
+// Bug: the content candidate stage admitted up to max_candidates LSB hits
+// *on top of* the social stage's admissions, growing the refinement pool to
+// 2x max_candidates. Both stages must share a single pool budget.
+TEST(RecommenderRegressionTest, CandidateStagesShareOnePoolBudget) {
+  RecommenderOptions options;
+  options.social_mode = SocialMode::kSarHash;
+  options.k_subcommunities = 2;
+  options.max_candidates = 4;
+  Recommender rec(options);
+  // Every video shares user 0, so the social stage has candidates for all of
+  // them; identical content makes every video an LSB hit too.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(rec.AddVideoRecord(i, SeriesAt({5.0, -5.0}),
+                                   SocialDescriptor({0, i + 1}))
+                    .ok());
+  }
+  ASSERT_TRUE(rec.Finalize(13).ok());
+
+  BatchQuery query;
+  query.series = SeriesAt({5.0, -5.0});
+  query.descriptor = SocialDescriptor({0, 1});
+  const auto batch = rec.RecommendBatch({query}, /*k=*/3);
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_TRUE(batch[0].status.ok()) << batch[0].status.ToString();
+  // Seed code reached up to 8 here (4 social + 4 content).
+  EXPECT_LE(batch[0].timing.candidates, options.max_candidates);
+  EXPECT_GT(batch[0].timing.candidates, 0u);
+}
+
+// Bug: RemoveVideo left the tombstoned slot index in videos_of_user_, so
+// the user -> videos map grew without bound under churn and every later
+// ApplySocialUpdate re-touched dead records.
+TEST(RecommenderRegressionTest, RemoveVideoPurgesUserVideoIndex) {
+  RecommenderOptions options;
+  options.social_mode = SocialMode::kSarHash;
+  options.k_subcommunities = 2;
+  Recommender rec(options);
+  ASSERT_TRUE(rec.AddVideoRecord(0, SeriesAt({0.0}),
+                                 SocialDescriptor({0, 1, 2}))
+                  .ok());
+  ASSERT_TRUE(
+      rec.AddVideoRecord(1, SeriesAt({50.0}), SocialDescriptor({0, 3})).ok());
+  ASSERT_TRUE(
+      rec.AddVideoRecord(2, SeriesAt({-50.0}), SocialDescriptor({1, 3})).ok());
+  ASSERT_TRUE(rec.Finalize(4).ok());
+  EXPECT_EQ(rec.user_video_entries(), 7u);  // 3 + 2 + 2
+
+  ASSERT_TRUE(rec.RemoveVideo(0).ok());
+  EXPECT_EQ(rec.user_video_entries(), 4u);  // video 0's three slots purged
+
+  // Churn after removal stays consistent: updates touching the removed
+  // video's users no longer revisit the dead slot, and queries still work.
+  const auto stats = rec.ApplySocialUpdate({{0, 3, 2.0}}, {{1, 2}});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(rec.user_video_entries(), 5u);  // user 2 gained video 1's slot
+  const auto results = rec.RecommendById(1, 2);
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) EXPECT_NE(r.id, 0);
+}
+
+// Bug: exact-mode candidate admission sorted (score, slot) pairs with
+// std::sort(rbegin, rend), breaking score ties by *higher slot index* while
+// the final refinement breaks them by *lower video id*. When the pool cap
+// truncated a tied group, the kept candidates disagreed with the ranking's
+// own order. One deterministic tie-break (lower id wins) applies everywhere.
+TEST(RecommenderRegressionTest, ExactModeTieBreakIsLowerIdEverywhere) {
+  RecommenderOptions options;
+  options.social_mode = SocialMode::kExact;
+  options.use_content = false;
+  options.max_candidates = 2;  // forces truncation inside the tied group
+  Recommender rec(options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rec.AddVideoRecord(i, SeriesAt({10.0 * i}),
+                                   SocialDescriptor({0, 1}))
+                    .ok());
+  }
+  ASSERT_TRUE(rec.Finalize(2).ok());
+
+  // All five videos tie at social score 1.0; the admitted pair must be the
+  // lowest ids, matching refinement's tie-break. Seed admitted slots 4, 3.
+  const auto results =
+      rec.Recommend(SeriesAt({0.0}), SocialDescriptor({0, 1}), 2);
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 2u);
+  EXPECT_EQ((*results)[0].id, 0);
+  EXPECT_EQ((*results)[1].id, 1);
+  EXPECT_DOUBLE_EQ((*results)[0].social, 1.0);
+  EXPECT_DOUBLE_EQ((*results)[1].social, 1.0);
+}
+
+// The InvertedFile append fast path has its unit tests in index_test.cc;
+// this pins the recommender-level invariant it must preserve: a descriptor
+// refresh (remove + re-append) never duplicates postings, so social scores
+// stay in [0, 1] after updates.
+TEST(RecommenderRegressionTest, SocialUpdateRefreshDoesNotInflateScores) {
+  RecommenderOptions options;
+  options.social_mode = SocialMode::kSarHash;
+  options.k_subcommunities = 2;
+  Recommender rec(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rec.AddVideoRecord(i, SeriesAt({10.0 * i}),
+                                   SocialDescriptor({0, 1, i + 2}))
+                    .ok());
+  }
+  ASSERT_TRUE(rec.Finalize(6).ok());
+  // Two refresh rounds over the same videos (comments by existing users'
+  // communities) exercise remove + re-append repeatedly.
+  for (int round = 0; round < 3; ++round) {
+    const auto stats =
+        rec.ApplySocialUpdate({{0, 1, 1.0}}, {{0, 5}, {1, 4}});
+    ASSERT_TRUE(stats.ok());
+  }
+  const auto results = rec.RecommendById(0, 3);
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) {
+    EXPECT_GE(r.social, 0.0);
+    EXPECT_LE(r.social, 1.0 + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace vrec::core

@@ -7,6 +7,8 @@
 //                     [--omega W] [--communities K]
 //   vrec_cli evaluate --data FILE [--mode MODE] [--omega W]
 //                     [--communities K] [--cutoff N]
+//   vrec_cli batch    --data FILE [--k K] [--threads T] [--repeat R]
+//                     [--mode MODE] [--omega W] [--communities K]
 //
 // MODE is one of: cr, sr, csf, csf-sar, csf-sar-h (default csf-sar-h).
 //
@@ -15,6 +17,7 @@
 //   vrec_cli info --data /tmp/community.bin
 //   vrec_cli query --data /tmp/community.bin --video 0 --k 5
 //   vrec_cli evaluate --data /tmp/community.bin --mode cr
+//   vrec_cli batch --data /tmp/community.bin --threads 4
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +29,7 @@
 #include "eval/metrics.h"
 #include "eval/rating_oracle.h"
 #include "io/archive.h"
+#include "util/stopwatch.h"
 
 namespace {
 
@@ -70,6 +74,8 @@ int Usage() {
       "                    [--omega W] [--communities K]\n"
       "  vrec_cli evaluate --data FILE [--mode MODE] [--omega W]\n"
       "                    [--communities K] [--cutoff N]\n"
+      "  vrec_cli batch    --data FILE [--k K] [--threads T] [--repeat R]\n"
+      "                    [--mode MODE] [--omega W] [--communities K]\n"
       "modes: cr, sr, csf, csf-sar, csf-sar-h\n");
   return 2;
 }
@@ -111,6 +117,8 @@ std::unique_ptr<core::Recommender> BuildRecommender(
   options.omega = flags.GetDouble("--omega", 0.7);
   options.k_subcommunities =
       static_cast<int>(flags.GetInt("--communities", 60));
+  // 0 = hardware concurrency (parallel Finalize + RecommendBatch).
+  options.num_threads = static_cast<int>(flags.GetInt("--threads", 0));
 
   auto rec = std::make_unique<core::Recommender>(options);
   const auto descriptors = dataset.SourceDescriptors();
@@ -268,6 +276,58 @@ int CmdEvaluate(const Flags& flags) {
   return 0;
 }
 
+int CmdBatch(const Flags& flags) {
+  const auto dataset = LoadData(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto rec = BuildRecommender(*dataset, flags);
+  if (rec == nullptr) return 1;
+  const int k = static_cast<int>(flags.GetInt("--k", 10));
+  const int repeat = static_cast<int>(flags.GetInt("--repeat", 1));
+
+  std::vector<video::VideoId> queries;
+  for (int r = 0; r < repeat; ++r) {
+    for (size_t v = 0; v < dataset->video_count(); ++v) {
+      queries.push_back(static_cast<video::VideoId>(v));
+    }
+  }
+
+  vrec::Stopwatch timer;
+  const auto results = rec->RecommendBatchByIds(queries, k);
+  const double elapsed = timer.ElapsedSeconds();
+
+  size_t failed = 0;
+  core::QueryTiming sum;
+  for (const auto& r : results) {
+    if (!r.status.ok()) {
+      ++failed;
+      continue;
+    }
+    sum.social_ms += r.timing.social_ms;
+    sum.content_ms += r.timing.content_ms;
+    sum.refine_ms += r.timing.refine_ms;
+    sum.total_ms += r.timing.total_ms;
+    sum.candidates += r.timing.candidates;
+  }
+  const auto answered = static_cast<double>(results.size() - failed);
+  if (answered == 0) {
+    std::fprintf(stderr, "all %zu queries failed\n", results.size());
+    return 1;
+  }
+  std::printf("%zu queries, k=%d, %zu failed\n", queries.size(), k, failed);
+  std::printf("wall: %.2fs  ->  %.0f queries/s\n", elapsed,
+              static_cast<double>(queries.size()) / elapsed);
+  std::printf(
+      "per query: %.2f ms (social %.2f, content %.2f, refine %.2f), "
+      "%.0f candidates\n",
+      sum.total_ms / answered, sum.social_ms / answered,
+      sum.content_ms / answered, sum.refine_ms / answered,
+      static_cast<double>(sum.candidates) / answered);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -278,5 +338,6 @@ int main(int argc, char** argv) {
   if (command == "info") return CmdInfo(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "batch") return CmdBatch(flags);
   return Usage();
 }
