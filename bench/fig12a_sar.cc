@@ -26,10 +26,11 @@ QueryCost AverageQueryMs(const vrec::datagen::Dataset& dataset,
   int count = 0;
   for (int r = 0; r < repeats; ++r) {
     for (vrec::video::VideoId q : queries) {
-      const auto results = rec->RecommendById(q, 20);
+      vrec::core::QueryTiming timing;
+      const auto results = rec->RecommendById(q, 20, &timing);
       if (!results.ok()) std::abort();
-      cost.total_ms += rec->last_timing().total_ms;
-      cost.social_ms += rec->last_timing().social_ms;
+      cost.total_ms += timing.total_ms;
+      cost.social_ms += timing.social_ms;
       ++count;
     }
   }

@@ -23,12 +23,13 @@ Timing AverageQuery(const vrec::datagen::Dataset& dataset,
   int count = 0;
   for (int r = 0; r < repeats; ++r) {
     for (vrec::video::VideoId q : dataset.QueryVideoIds()) {
-      const auto results = rec->RecommendById(q, 20);
+      vrec::core::QueryTiming timing;
+      const auto results = rec->RecommendById(q, 20, &timing);
       if (!results.ok()) std::abort();
-      t.total_ms += rec->last_timing().total_ms;
-      t.social_ms += rec->last_timing().social_ms;
-      t.content_ms += rec->last_timing().content_ms;
-      t.refine_ms += rec->last_timing().refine_ms;
+      t.total_ms += timing.total_ms;
+      t.social_ms += timing.social_ms;
+      t.content_ms += timing.content_ms;
+      t.refine_ms += timing.refine_ms;
       ++count;
     }
   }

@@ -65,7 +65,8 @@ int main() {
               dataset.corpus.videos[static_cast<size_t>(clicked)]
                   .title()
                   .c_str());
-  const auto results = recommender.RecommendById(clicked, 5);
+  core::QueryTiming timing;
+  const auto results = recommender.RecommendById(clicked, 5, &timing);
   if (!results.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  results.status().ToString().c_str());
@@ -81,9 +82,7 @@ int main() {
   }
   std::printf("\nquery took %.2f ms (social %.2f / content %.2f / refine "
               "%.2f)\n",
-              recommender.last_timing().total_ms,
-              recommender.last_timing().social_ms,
-              recommender.last_timing().content_ms,
-              recommender.last_timing().refine_ms);
+              timing.total_ms, timing.social_ms, timing.content_ms,
+              timing.refine_ms);
   return 0;
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Static analysis: project lint rules (tools/vrec_lint.py) plus clang-tidy
+# over the library, tools, benchmarks, and tests. Run from the repo root.
+#
+# clang-tidy needs build/compile_commands.json (exported by the top-level
+# CMakeLists); when clang-tidy is not installed the stage is skipped with a
+# note so the project rules still gate the tree.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== vrec_lint: project rules ==="
+python3 tools/vrec_lint.py --self-test
+# git ls-files keeps generated/build trees out of scope.
+mapfile -t FILES < <(git ls-files \
+  'src/**/*.h' 'src/**/*.cc' \
+  'tools/**/*.cc' 'bench/**/*.cc' 'tests/**/*.cc' \
+  'examples/**/*.cpp')
+python3 tools/vrec_lint.py "${FILES[@]}"
+echo "vrec_lint: OK (${#FILES[@]} files)"
+
+echo "=== clang-tidy ==="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not installed; skipping (config: .clang-tidy)"
+  exit 0
+fi
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake -B build -S . >/dev/null
+fi
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p build -quiet -j "$JOBS" \
+    '^.*/(src|tools|bench|tests)/.*\.(cc|cpp)$'
+else
+  mapfile -t TIDY_FILES < <(git ls-files \
+    'src/**/*.cc' 'tools/**/*.cc' 'bench/**/*.cc' 'tests/**/*.cc')
+  clang-tidy -p build -quiet "${TIDY_FILES[@]}"
+fi
+echo "clang-tidy: OK"

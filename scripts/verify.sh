@@ -1,15 +1,29 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build + tests, then the concurrency tests under
+# Full verification: static analysis, tier-1 build + tests, the invariant
+# stress tests under ASan/UBSan (-DVREC_SANITIZE=address, which also turns
+# the VREC_DCHECK invariant layer on), and the concurrency tests under
 # ThreadSanitizer (-DVREC_SANITIZE=thread). Run from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
+echo "=== lint: vrec_lint + clang-tidy ==="
+./scripts/lint.sh
+
 echo "=== tier-1: build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "=== asan: invariant stress under Address+UBSanitizer ==="
+# The DCHECK layer is live here: every engine mutation re-audits itself via
+# VREC_DCHECK_OK(CheckInvariants()) while ASan/UBSan watch the internals,
+# and the StatusOr misuse death tests become active.
+cmake -B build-asan -S . -DVREC_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" --target vrec_tests
+(cd build-asan && ctest --output-on-failure -j "$JOBS" \
+  -R 'InvariantStress|Status|DynamicsFixture')
 
 echo "=== tsan: concurrency tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DVREC_SANITIZE=thread >/dev/null

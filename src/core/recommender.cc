@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "signature/emd.h"
 #include "signature/sequence_distances.h"
 #include "social/uig.h"
+#include "util/check.h"
 #include "util/stopwatch.h"
 #include "video/segmenter.h"
 
@@ -180,6 +182,145 @@ Status Recommender::Finalize(size_t user_count) {
   }
 
   finalized_ = true;
+  VREC_DCHECK_OK(CheckInvariants());
+  return Status::Ok();
+}
+
+Status Recommender::CheckInvariants() const {
+  if (!finalized_) {
+    return Status::FailedPrecondition("Finalize() not called");
+  }
+  // Id index vs. records: every active record is indexed at its own slot,
+  // tombstones are unindexed and carry no social vector.
+  size_t active = 0;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    const Record& r = records_[i];
+    const auto it = index_of_.find(r.id);
+    if (!r.active) {
+      if (it != index_of_.end() && it->second == i) {
+        return Status::Internal("tombstoned video " + std::to_string(r.id) +
+                                " still indexed");
+      }
+      if (!r.social_vector.empty()) {
+        return Status::Internal("tombstoned video " + std::to_string(r.id) +
+                                " retains a social vector");
+      }
+      continue;
+    }
+    ++active;
+    if (it == index_of_.end() || it->second != i) {
+      return Status::Internal("video " + std::to_string(r.id) +
+                              " not indexed at its slot");
+    }
+    if (options_.social_mode == SocialMode::kExact &&
+        r.user_names.size() != r.descriptor.size()) {
+      return Status::Internal("cached user names out of sync for video " +
+                              std::to_string(r.id));
+    }
+  }
+  if (index_of_.size() != active) {
+    return Status::Internal("id index holds " +
+                            std::to_string(index_of_.size()) +
+                            " entries for " + std::to_string(active) +
+                            " active videos");
+  }
+  // user -> videos map: slots valid, active, justified by the descriptor,
+  // and listed exactly once.
+  for (const auto& [user, slots] : videos_of_user_) {
+    if (slots.empty()) {
+      return Status::Internal("user " + std::to_string(user) +
+                              " retains an empty slot list");
+    }
+    std::set<size_t> unique_slots;
+    for (size_t s : slots) {
+      if (s >= records_.size()) {
+        return Status::Internal("user slot out of range");
+      }
+      if (!records_[s].active) {
+        return Status::Internal("user " + std::to_string(user) +
+                                " lists tombstoned slot " +
+                                std::to_string(s));
+      }
+      if (!records_[s].descriptor.Contains(user)) {
+        return Status::Internal("user " + std::to_string(user) +
+                                " lists video " +
+                                std::to_string(records_[s].id) +
+                                " whose descriptor omits them");
+      }
+      if (!unique_slots.insert(s).second) {
+        return Status::Internal("user " + std::to_string(user) +
+                                " lists slot " + std::to_string(s) +
+                                " twice");
+      }
+    }
+  }
+  for (size_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i].active) continue;
+    for (social::UserId u : records_[i].descriptor.users()) {
+      const auto it = videos_of_user_.find(u);
+      if (it == videos_of_user_.end() ||
+          std::find(it->second.begin(), it->second.end(), i) ==
+              it->second.end()) {
+        return Status::Internal("video " + std::to_string(records_[i].id) +
+                                " missing from user " + std::to_string(u) +
+                                "'s slot list");
+      }
+    }
+  }
+  // Social structures.
+  if (UsesSar()) {
+    if (dictionary_ == nullptr || maintainer_ == nullptr) {
+      return Status::Internal("SAR mode without dictionary/maintainer");
+    }
+    if (const Status s = maintainer_->CheckInvariants(); !s.ok()) return s;
+    if (const Status s = inverted_file_.CheckInvariants(); !s.ok()) return s;
+    // Postings mirror the live social vectors exactly: every non-zero
+    // histogram entry has its posting, and no posting lacks a vector entry.
+    size_t nonzero_entries = 0;
+    size_t postings = 0;
+    for (const Record& r : records_) {
+      if (!r.active) continue;
+      for (size_t c = 0; c < r.social_vector.size(); ++c) {
+        if (r.social_vector[c] <= 0.0) continue;
+        ++nonzero_entries;
+        const auto& list = inverted_file_.Postings(static_cast<int>(c));
+        const auto it = std::lower_bound(
+            list.begin(), list.end(), r.id,
+            [](const index::InvertedFile::Posting& p, video::VideoId id) {
+              return p.video_id < id;
+            });
+        if (it == list.end() || it->video_id != r.id ||
+            it->weight != r.social_vector[c]) {
+          return Status::Internal("posting mismatch for video " +
+                                  std::to_string(r.id) + " in community " +
+                                  std::to_string(c));
+        }
+      }
+    }
+    for (int c = 0; c < maintainer_->label_space(); ++c) {
+      postings += inverted_file_.Postings(c).size();
+    }
+    if (postings != nonzero_entries) {
+      return Status::Internal("inverted file holds " +
+                              std::to_string(postings) + " postings for " +
+                              std::to_string(nonzero_entries) +
+                              " non-zero vector entries");
+    }
+  } else if (inverted_file_.community_count() != 0) {
+    return Status::Internal("inverted file populated outside SAR modes");
+  }
+  // Content index: one entry per signature ever ingested (tombstoned videos
+  // stay indexed by design and are filtered at query time).
+  if (lsb_ != nullptr) {
+    if (const Status s = lsb_->CheckInvariants(); !s.ok()) return s;
+    size_t signatures = 0;
+    for (const Record& r : records_) signatures += r.series.size();
+    if (lsb_->indexed_signatures() != signatures) {
+      return Status::Internal(
+          "LSB index holds " + std::to_string(lsb_->indexed_signatures()) +
+          " signatures, expected " + std::to_string(signatures));
+    }
+  }
   return Status::Ok();
 }
 
@@ -240,22 +381,23 @@ double Recommender::SocialScore(const std::vector<std::string>& query_names,
 }
 
 StatusOr<std::vector<ScoredVideo>> Recommender::RecommendById(
-    video::VideoId query, int k) const {
+    video::VideoId query, int k, QueryTiming* timing) const {
   const auto it = index_of_.find(query);
   if (it == index_of_.end()) return Status::NotFound("unknown video id");
   const Record& record = records_[it->second];
-  return Recommend(record.series, record.descriptor, k, query);
+  return Recommend(record.series, record.descriptor, k, query, timing);
 }
 
 StatusOr<std::vector<ScoredVideo>> Recommender::Recommend(
     const signature::SignatureSeries& series,
-    const social::SocialDescriptor& descriptor, int k,
-    video::VideoId exclude) const {
+    const social::SocialDescriptor& descriptor, int k, video::VideoId exclude,
+    QueryTiming* timing_out) const {
   QueryTiming timing;
   StatusOr<std::vector<ScoredVideo>> result =
       RecommendInternal(series, descriptor, k, exclude, options_.lsb_probes,
                         &timing);
   if (result.ok()) {
+    if (timing_out != nullptr) *timing_out = timing;
     std::lock_guard<std::mutex> lock(timing_mutex_);
     last_timing_ = timing;
   }
@@ -265,7 +407,7 @@ StatusOr<std::vector<ScoredVideo>> Recommender::Recommend(
 StatusOr<std::vector<ScoredVideo>> Recommender::RecommendAdaptive(
     const signature::SignatureSeries& series,
     const social::SocialDescriptor& descriptor, int k, video::VideoId exclude,
-    int max_probes) const {
+    int max_probes, QueryTiming* timing_out) const {
   std::vector<video::VideoId> previous_ids;
   StatusOr<std::vector<ScoredVideo>> best =
       Status::Internal("adaptive search did not run");
@@ -284,6 +426,7 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendAdaptive(
     if (probes >= max_probes) break;  // budget exhausted
     probes = std::min(probes * 2, max_probes);
   }
+  if (timing_out != nullptr) *timing_out = timing;
   {
     std::lock_guard<std::mutex> lock(timing_mutex_);
     last_timing_ = timing;
@@ -354,6 +497,7 @@ Status Recommender::RemoveVideo(video::VideoId id) {
     if (slots.empty()) videos_of_user_.erase(vit);
   }
   index_of_.erase(it);
+  VREC_DCHECK_OK(CheckInvariants());
   return Status::Ok();
 }
 
@@ -543,6 +687,7 @@ StatusOr<social::MaintenanceStats> Recommender::ApplySocialUpdate(
     for (size_t v : touched_videos) RefreshVideoVector(v);
   }
   stats.connections_processed = connections.size();
+  VREC_DCHECK_OK(CheckInvariants());
   return stats;
 }
 

@@ -69,6 +69,7 @@ struct RecommenderOptions {
 };
 
 /// Validates a configuration; returned errors name the offending field.
+[[nodiscard]]
 Status ValidateOptions(const RecommenderOptions& options);
 
 /// One recommendation with its score decomposition.
@@ -121,38 +122,48 @@ class Recommender {
 
   /// Ingests a video: segments it, builds its cuboid signature series, and
   /// stores it with its social descriptor.
+  [[nodiscard]]
   Status AddVideo(const video::Video& video,
                   const social::SocialDescriptor& descriptor);
 
   /// Ingests a pre-computed record (bulk loading path).
+  [[nodiscard]]
   Status AddVideoRecord(video::VideoId id,
                         signature::SignatureSeries series,
                         social::SocialDescriptor descriptor);
 
   /// Builds all derived structures. `user_count` is the size of the user id
   /// space. Must be called exactly once, after ingestion.
+  [[nodiscard]]
   Status Finalize(size_t user_count);
 
   /// Top-K recommendations for an already-ingested video (self excluded).
-  StatusOr<std::vector<ScoredVideo>> RecommendById(video::VideoId query,
-                                                   int k) const;
+  /// `timing` (optional) receives this query's wall-clock breakdown — the
+  /// race-free replacement for the deprecated last_timing() accessor.
+  [[nodiscard]]
+  StatusOr<std::vector<ScoredVideo>> RecommendById(
+      video::VideoId query, int k, QueryTiming* timing = nullptr) const;
 
   /// Top-K recommendations for an arbitrary query clip + social context.
-  /// `exclude` (if >= 0) is dropped from results.
+  /// `exclude` (if >= 0) is dropped from results; `timing` (optional)
+  /// receives this query's wall-clock breakdown.
+  [[nodiscard]]
   StatusOr<std::vector<ScoredVideo>> Recommend(
       const signature::SignatureSeries& series,
       const social::SocialDescriptor& descriptor, int k,
-      video::VideoId exclude = -1) const;
+      video::VideoId exclude = -1, QueryTiming* timing = nullptr) const;
 
   /// Figure 6's iterative form of the search: repeatedly widen the LSB
   /// probe depth ("pick the leaf entry having the *next* longest common
   /// prefix") and refine, until the top-K list is stable across a widening
   /// round (or the probe budget is exhausted). Costs more than Recommend()
   /// on easy queries but tracks the paper's any-time search procedure.
+  [[nodiscard]]
   StatusOr<std::vector<ScoredVideo>> RecommendAdaptive(
       const signature::SignatureSeries& series,
       const social::SocialDescriptor& descriptor, int k,
-      video::VideoId exclude = -1, int max_probes = 64) const;
+      video::VideoId exclude = -1, int max_probes = 64,
+      QueryTiming* timing = nullptr) const;
 
   /// Answers a batch of queries concurrently, fanning them across the
   /// worker pool (`pool` overrides the recommender's own; null with
@@ -172,12 +183,14 @@ class Recommender {
 
   /// Removes a video from the database, its inverted-file postings and all
   /// future results. Stale LSB entries are filtered at query time.
+  [[nodiscard]]
   Status RemoveVideo(video::VideoId id);
 
   /// Applies one period of social updates: new comments extend the video
   /// descriptors, new user-user connections drive Figure 5's sub-community
   /// maintenance, and the descriptor vectors / inverted files of affected
   /// videos are refreshed incrementally.
+  [[nodiscard]]
   StatusOr<social::MaintenanceStats> ApplySocialUpdate(
       const std::vector<social::SocialConnection>& connections,
       const std::vector<std::pair<video::VideoId, social::UserId>>&
@@ -210,6 +223,15 @@ class Recommender {
   }
   /// Sub-community count currently live (SAR modes; 0 otherwise).
   int num_communities() const;
+  /// Cross-structure audit, valid once Finalize() has run: the id index,
+  /// tombstones and the user -> videos map agree; inverted-file postings
+  /// mirror the live social vectors posting for posting; and the social
+  /// maintainer, dictionary, chained hash table, and LSB forest each pass
+  /// their own CheckInvariants(). Runs automatically (via VREC_DCHECK_OK)
+  /// after Finalize, ApplySocialUpdate, and RemoveVideo in Debug and
+  /// sanitizer builds.
+  [[nodiscard]]
+  Status CheckInvariants() const;
   /// The signature series of an ingested video (for query construction).
   const signature::SignatureSeries* SeriesOf(video::VideoId id) const;
   const social::SocialDescriptor* DescriptorOf(video::VideoId id) const;
@@ -231,6 +253,7 @@ class Recommender {
   /// timing instrumentation, written through `timing` when non-null) lives
   /// on the caller's stack, and every structure it reads is immutable
   /// between Finalize()/ApplySocialUpdate() calls.
+  [[nodiscard]]
   StatusOr<std::vector<ScoredVideo>> RecommendInternal(
       const signature::SignatureSeries& series,
       const social::SocialDescriptor& descriptor, int k,

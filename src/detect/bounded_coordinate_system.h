@@ -31,6 +31,7 @@ struct BcsSignature {
 
 /// Builds the BCS of a video (PCA over frame histograms via the Jacobi
 /// eigensolver). Fails on empty videos.
+[[nodiscard]]
 StatusOr<BcsSignature> BuildBcs(const video::Video& v,
                                 const BcsOptions& options = {});
 
@@ -40,6 +41,7 @@ double BcsDistance(const BcsSignature& a, const BcsSignature& b,
                    double axis_weight = 0.5);
 
 /// Similarity wrapper on (0, 1]: 1 / (1 + distance).
+[[nodiscard]]
 StatusOr<double> BcsSimilarity(const video::Video& a, const video::Video& b,
                                const BcsOptions& options = {});
 

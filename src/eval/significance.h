@@ -26,6 +26,7 @@ struct BootstrapResult {
 /// compares methods by point estimates only; this utility lets downstream
 /// users say whether a gap survives query resampling. Requires >= 2 paired
 /// observations.
+[[nodiscard]]
 StatusOr<BootstrapResult> PairedBootstrap(const std::vector<double>& a,
                                           const std::vector<double>& b,
                                           int resamples = 10000,

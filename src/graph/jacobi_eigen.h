@@ -22,6 +22,7 @@ struct EigenResult {
 /// `tolerance` bounds the squared Frobenius mass of the off-diagonal at
 /// convergence; Jacobi converges quadratically, so the tight default costs
 /// at most a sweep or two extra.
+[[nodiscard]]
 StatusOr<EigenResult> JacobiEigenSymmetric(const DenseMatrix& m,
                                            int max_sweeps = 64,
                                            double tolerance = 1e-22);

@@ -21,6 +21,7 @@ struct KMeansResult {
 
 /// Lloyd's algorithm with k-means++ seeding, used for the final step of the
 /// spectral-clustering baseline (cluster rows of the eigenvector embedding).
+[[nodiscard]]
 StatusOr<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
                               int k, Rng* rng, int max_iterations = 100);
 

@@ -16,6 +16,7 @@ namespace vrec::graph {
 ///   2. rows of the k smallest eigenvectors, row-normalized
 ///   3. k-means on the embedded rows.
 /// Returns one cluster label per node. Isolated nodes embed at the origin.
+[[nodiscard]]
 StatusOr<std::vector<int>> SpectralClustering(const WeightedGraph& graph,
                                               int k, Rng* rng);
 

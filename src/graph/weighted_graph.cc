@@ -1,5 +1,10 @@
 #include "graph/weighted_graph.h"
 
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+
 #include "graph/union_find.h"
 
 namespace vrec::graph {
@@ -48,6 +53,54 @@ std::vector<std::pair<size_t, double>> WeightedGraph::Neighbors(
     out.emplace_back(e.u == u ? e.v : e.u, e.weight);
   }
   return out;
+}
+
+Status WeightedGraph::CheckInvariants() const {
+  if (adjacency_.size() != node_count_) {
+    return Status::Internal("adjacency index size != node count");
+  }
+  std::set<std::pair<size_t, size_t>> seen;
+  for (size_t idx = 0; idx < edges_.size(); ++idx) {
+    const Edge& e = edges_[idx];
+    if (e.u >= node_count_ || e.v >= node_count_) {
+      return Status::Internal("edge endpoint out of node range");
+    }
+    if (!seen.insert(std::minmax(e.u, e.v)).second) {
+      return Status::Internal("duplicate undirected edge (" +
+                              std::to_string(e.u) + ", " +
+                              std::to_string(e.v) + ")");
+    }
+    // Symmetry of the adjacency index: both endpoints list this edge (a
+    // self loop is listed twice at its single endpoint, matching AddEdge).
+    for (size_t endpoint : {e.u, e.v}) {
+      const auto& adj = adjacency_[endpoint];
+      const long expected = e.u == e.v ? 2 : 1;
+      if (std::count(adj.begin(), adj.end(), idx) != expected) {
+        return Status::Internal("edge " + std::to_string(idx) +
+                                " not indexed symmetrically at node " +
+                                std::to_string(endpoint));
+      }
+      if (e.u == e.v) break;
+    }
+  }
+  size_t adjacency_refs = 0;
+  for (size_t u = 0; u < adjacency_.size(); ++u) {
+    for (size_t idx : adjacency_[u]) {
+      if (idx >= edges_.size()) {
+        return Status::Internal("adjacency entry points past the edge list");
+      }
+      const Edge& e = edges_[idx];
+      if (e.u != u && e.v != u) {
+        return Status::Internal("node " + std::to_string(u) +
+                                " lists an edge it does not touch");
+      }
+      ++adjacency_refs;
+    }
+  }
+  if (adjacency_refs != 2 * edges_.size()) {
+    return Status::Internal("adjacency reference count inconsistent");
+  }
+  return Status::Ok();
 }
 
 std::pair<std::vector<int>, int> WeightedGraph::ConnectedComponents() const {

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/status.h"
+
 namespace vrec::graph {
 
 /// An undirected edge with a weight. Node ids are dense [0, node_count).
@@ -44,6 +46,12 @@ class WeightedGraph {
 
   /// Grows the node set to at least `n` nodes.
   void EnsureNodeCount(size_t n);
+
+  /// Structural audit: edge endpoints in range, no duplicate undirected
+  /// (u, v) pairs, and the adjacency index symmetric — every edge appears in
+  /// both endpoints' adjacency lists and nowhere else. O(V + E).
+  [[nodiscard]]
+  Status CheckInvariants() const;
 
  private:
   size_t node_count_;

@@ -1,5 +1,8 @@
 #include "hashing/chained_hash_table.h"
 
+#include <string>
+#include <unordered_set>
+
 namespace vrec::hashing {
 
 ChainedHashTable::ChainedHashTable(size_t bucket_count,
@@ -33,6 +36,17 @@ std::optional<int32_t> ChainedHashTable::Find(std::string_view key) const {
   for (int32_t i = buckets_[b]; i >= 0;
        i = triads_[static_cast<size_t>(i)].next) {
     comparisons_.fetch_add(1, std::memory_order_relaxed);
+    const Triad& t = triads_[static_cast<size_t>(i)];
+    if (t.key == key) return t.cno;
+  }
+  return std::nullopt;
+}
+
+std::optional<int32_t> ChainedHashTable::FindWithoutStats(
+    std::string_view key) const {
+  const size_t b = BucketOf(key);
+  for (int32_t i = buckets_[b]; i >= 0;
+       i = triads_[static_cast<size_t>(i)].next) {
     const Triad& t = triads_[static_cast<size_t>(i)];
     if (t.key == key) return t.cno;
   }
@@ -73,6 +87,60 @@ size_t ChainedHashTable::ReplaceCno(int32_t from, int32_t to) {
     }
   }
   return changed;
+}
+
+Status ChainedHashTable::CheckInvariants() const {
+  if (buckets_.empty()) {
+    return Status::Internal("hash table has no buckets");
+  }
+  std::vector<uint8_t> reached(triads_.size(), 0);
+  std::unordered_set<std::string_view> keys;
+  size_t reachable = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    for (int32_t i = buckets_[b]; i >= 0;
+         i = triads_[static_cast<size_t>(i)].next) {
+      if (static_cast<size_t>(i) >= triads_.size()) {
+        return Status::Internal("triad index " + std::to_string(i) +
+                                " out of arena range");
+      }
+      if (reached[static_cast<size_t>(i)] != 0) {
+        return Status::Internal("triad " + std::to_string(i) +
+                                " reachable twice (cycle or shared tail)");
+      }
+      reached[static_cast<size_t>(i)] = 1;
+      ++reachable;
+      const Triad& t = triads_[static_cast<size_t>(i)];
+      if (BucketOf(t.key) != b) {
+        return Status::Internal("key '" + t.key +
+                                "' chained under the wrong bucket");
+      }
+      if (!keys.insert(t.key).second) {
+        return Status::Internal("duplicate key '" + t.key + "'");
+      }
+    }
+  }
+  if (reachable != size_) {
+    return Status::Internal("reachable triads (" + std::to_string(reachable) +
+                            ") != size (" + std::to_string(size_) + ")");
+  }
+  for (int32_t f : free_list_) {
+    if (f < 0 || static_cast<size_t>(f) >= triads_.size()) {
+      return Status::Internal("free-list slot " + std::to_string(f) +
+                              " out of arena range");
+    }
+    if (reached[static_cast<size_t>(f)] != 0) {
+      return Status::Internal("free-list slot " + std::to_string(f) +
+                              " still reachable (or freed twice)");
+    }
+    reached[static_cast<size_t>(f)] = 1;
+  }
+  if (reachable + free_list_.size() != triads_.size()) {
+    return Status::Internal(
+        "leaked arena slots: " + std::to_string(reachable) + " reachable + " +
+        std::to_string(free_list_.size()) + " free != " +
+        std::to_string(triads_.size()) + " allocated");
+  }
+  return Status::Ok();
 }
 
 double ChainedHashTable::AverageChainLength() const {

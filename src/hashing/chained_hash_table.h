@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "hashing/shift_add_xor.h"
+#include "util/status.h"
 
 namespace vrec::hashing {
 
@@ -38,6 +39,10 @@ class ChainedHashTable {
   /// statistics (string comparisons performed).
   std::optional<int32_t> Find(std::string_view key) const;
 
+  /// Find without touching the comparison counter — for invariant checks
+  /// and diagnostics that must not distort the measured SAR-H cost model.
+  std::optional<int32_t> FindWithoutStats(std::string_view key) const;
+
   /// Removes `key`; returns true if it was present.
   bool Erase(std::string_view key);
 
@@ -59,6 +64,14 @@ class ChainedHashTable {
     return comparisons_.load(std::memory_order_relaxed);
   }
   void ResetStats() { comparisons_.store(0, std::memory_order_relaxed); }
+
+  /// Full structural audit: every triad is reachable from exactly one bucket
+  /// chain (no cycles, no shared tails), chains hold only keys hashing to
+  /// their bucket, keys are globally unique, reachable-triad count matches
+  /// size(), and reachable + free-listed slots account for the whole arena.
+  /// O(n); meant for VREC_DCHECK_OK and the invariant stress tests.
+  [[nodiscard]]
+  Status CheckInvariants() const;
 
  private:
   size_t BucketOf(std::string_view key) const {

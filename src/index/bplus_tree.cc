@@ -1,6 +1,7 @@
 #include "index/bplus_tree.h"
 
 #include <algorithm>
+#include <string>
 
 namespace vrec::index {
 
@@ -162,6 +163,85 @@ BPlusTree::Cursor BPlusTree::Last() const {
     cursor.slot_ = node->keys.size() - 1;
   }
   return cursor;
+}
+
+Status BPlusTree::CheckInvariants() const {
+  if (root_ == nullptr) return Status::Internal("B+-tree has no root");
+
+  // Recursive structural walk. Returns the subtree's leaf-entry count, or an
+  // error; `lo`/`hi` bracket the keys the subtree may contain.
+  size_t walked_nodes = 0;
+  std::vector<const Node*> leaves_in_order;
+  const auto walk = [&](const auto& self, const Node* node, int depth,
+                        uint64_t lo, uint64_t hi,
+                        size_t* entries) -> Status {
+    ++walked_nodes;
+    if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
+      return Status::Internal("node keys out of order");
+    }
+    for (uint64_t k : node->keys) {
+      if (k < lo || k > hi) return Status::Internal("key escapes separator bracket");
+    }
+    if (node->keys.size() > static_cast<size_t>(fanout_)) {
+      return Status::Internal("node exceeds fanout");
+    }
+    if (node->is_leaf) {
+      if (depth != height_) {
+        return Status::Internal("leaf at depth " + std::to_string(depth) +
+                                " but height is " + std::to_string(height_));
+      }
+      if (node->payloads.size() != node->keys.size()) {
+        return Status::Internal("leaf payloads not parallel to keys");
+      }
+      leaves_in_order.push_back(node);
+      *entries += node->keys.size();
+      return Status::Ok();
+    }
+    if (node->children.size() != node->keys.size() + 1) {
+      return Status::Internal("internal node child count != key count + 1");
+    }
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      // Subtree i holds keys in [keys[i-1], keys[i]); the bracket is closed
+      // on the right because duplicate separator keys may stay left.
+      const uint64_t child_lo = i == 0 ? lo : node->keys[i - 1];
+      const uint64_t child_hi = i == node->keys.size() ? hi : node->keys[i];
+      if (const Status s = self(self, node->children[i], depth + 1, child_lo,
+                                child_hi, entries);
+          !s.ok()) {
+        return s;
+      }
+    }
+    return Status::Ok();
+  };
+
+  size_t entries = 0;
+  if (const Status s =
+          walk(walk, root_, 1, 0, UINT64_MAX, &entries);
+      !s.ok()) {
+    return s;
+  }
+  if (entries != size_) {
+    return Status::Internal("leaf entries (" + std::to_string(entries) +
+                            ") != size (" + std::to_string(size_) + ")");
+  }
+  if (walked_nodes != arena_.size()) {
+    return Status::Internal("unreachable nodes leaked in the arena");
+  }
+  // The leaf chain must visit exactly the leaves of the in-order walk.
+  const Node* leaf = root_;
+  while (!leaf->is_leaf) leaf = leaf->children.front();
+  if (leaf->prev != nullptr) {
+    return Status::Internal("first leaf has a predecessor");
+  }
+  for (const Node* expected : leaves_in_order) {
+    if (leaf != expected) return Status::Internal("leaf chain out of order");
+    if (leaf->next != nullptr && leaf->next->prev != leaf) {
+      return Status::Internal("leaf chain not doubly linked");
+    }
+    leaf = leaf->next;
+  }
+  if (leaf != nullptr) return Status::Internal("leaf chain has extra tail");
+  return Status::Ok();
 }
 
 std::vector<BPlusTree::Entry> BPlusTree::Scan() const {

@@ -6,6 +6,8 @@
 #include <optional>
 #include <vector>
 
+#include "util/status.h"
+
 namespace vrec::index {
 
 /// In-memory B+-tree over 64-bit keys (Z-order values), with doubly-linked
@@ -66,6 +68,12 @@ class BPlusTree {
 
   /// All entries in key order (test / diagnostic helper).
   std::vector<Entry> Scan() const;
+
+  /// Structural audit: uniform leaf depth equal to height(), fanout bounds
+  /// respected, separator keys bracket their subtrees, the leaf chain is
+  /// doubly linked in key order, and the leaf entry total matches size().
+  [[nodiscard]]
+  Status CheckInvariants() const;
 
  private:
   Node* NewNode(bool is_leaf);

@@ -6,11 +6,17 @@
 #include <map>
 #include <vector>
 
+#include "util/status.h"
+
 namespace vrec::index {
 
 /// The k inverted files of Section 4.4: one posting list per sub-community
 /// id, each listing the videos whose social descriptors contain users of
 /// that sub-community (with the per-video user count as posting weight).
+///
+/// Class invariant (see CheckInvariants): every posting list is non-empty
+/// and strictly sorted by ascending video id — so lists are duplicate-free
+/// by construction and membership is binary-searchable.
 class InvertedFile {
  public:
   struct Posting {
@@ -18,15 +24,16 @@ class InvertedFile {
     double weight = 0.0;  // #descriptor users in this sub-community
   };
 
-  /// Adds (or accumulates) a posting. Scans the list for an existing
-  /// posting of `video_id`, so a full rebuild through this path is
-  /// quadratic in posting-list length — use Append when the caller can
-  /// guarantee the video is not yet posted in `community`.
+  /// Adds (or accumulates) a posting: binary-searches the sorted list and
+  /// either bumps the existing posting's weight or inserts at the right
+  /// position (O(log n) search + O(n) shift).
   void Add(int community, int64_t video_id, double weight);
 
-  /// Append-only fast path: the caller guarantees `video_id` has no
-  /// existing posting in `community` (true after RemoveVideoFromCommunity,
-  /// and for any build-from-scratch), so no duplicate scan is needed.
+  /// Append fast path: the caller guarantees `video_id` has no existing
+  /// posting in `community` (true after RemoveVideoFromCommunity, and for
+  /// any build-from-scratch). Appending in ascending video-id order — the
+  /// rebuild order — is O(1); out-of-order ids fall back to a sorted
+  /// insert.
   void Append(int community, int64_t video_id, double weight);
 
   /// Drops every posting of `video_id` in `community` (descriptor refresh).
@@ -45,6 +52,11 @@ class InvertedFile {
       const std::vector<double>& query_histogram) const;
 
   size_t community_count() const { return lists_.size(); }
+
+  /// Verifies the class invariant: every list is non-empty and strictly
+  /// sorted by video id (hence deduped), with finite positive weights.
+  [[nodiscard]]
+  Status CheckInvariants() const;
 
  private:
   std::map<int, std::vector<Posting>> lists_;

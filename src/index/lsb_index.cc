@@ -1,5 +1,7 @@
 #include "index/lsb_index.h"
 
+#include <string>
+
 #include "index/zorder.h"
 
 namespace vrec::index {
@@ -110,6 +112,29 @@ std::unordered_map<int64_t, int> LsbIndex::CandidatesForSeries(
     }
   }
   return hits;
+}
+
+Status LsbIndex::CheckInvariants() const {
+  const auto expected = static_cast<size_t>(options_.num_trees);
+  if (trees_.size() != expected || hashes_.size() != expected) {
+    return Status::Internal(
+        "LSB forest size mismatch: " + std::to_string(trees_.size()) +
+        " trees / " + std::to_string(hashes_.size()) + " hash families for " +
+        std::to_string(options_.num_trees) + " configured");
+  }
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    if (trees_[t].size() != indexed_) {
+      return Status::Internal(
+          "tree " + std::to_string(t) + " holds " +
+          std::to_string(trees_[t].size()) + " entries, expected " +
+          std::to_string(indexed_) + " (one per indexed signature)");
+    }
+    if (const Status s = trees_[t].CheckInvariants(); !s.ok()) {
+      return Status::Internal("tree " + std::to_string(t) + ": " +
+                              s.message());
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace vrec::index

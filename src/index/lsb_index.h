@@ -61,6 +61,12 @@ class LsbIndex {
   size_t indexed_signatures() const { return indexed_; }
   const Options& options() const { return options_; }
 
+  /// Forest-level audit: one LSH function and one structurally-valid B+-tree
+  /// per configured tree, and every tree holds exactly indexed_signatures()
+  /// entries (each signature is hashed into every tree).
+  [[nodiscard]]
+  Status CheckInvariants() const;
+
  private:
   uint64_t ZValue(size_t tree, const std::vector<double>& embedded) const;
 

@@ -24,30 +24,40 @@ namespace vrec::io {
 
 // --- Videos -----------------------------------------------------------------
 
+[[nodiscard]]
 Status WriteVideo(const video::Video& v, std::ostream* out);
+[[nodiscard]]
 StatusOr<video::Video> ReadVideo(std::istream* in);
 
 // --- Signature series -------------------------------------------------------
 
+[[nodiscard]]
 Status WriteSignatureSeries(const signature::SignatureSeries& series,
                             std::ostream* out);
+[[nodiscard]]
 StatusOr<signature::SignatureSeries> ReadSignatureSeries(std::istream* in);
 
 // --- Social descriptors -----------------------------------------------------
 
+[[nodiscard]]
 Status WriteDescriptors(const std::vector<social::SocialDescriptor>& d,
                         std::ostream* out);
+[[nodiscard]]
 StatusOr<std::vector<social::SocialDescriptor>> ReadDescriptors(
     std::istream* in);
 
 // --- Whole datasets ---------------------------------------------------------
 
+[[nodiscard]]
 Status WriteDataset(const datagen::Dataset& dataset, std::ostream* out);
+[[nodiscard]]
 StatusOr<datagen::Dataset> ReadDataset(std::istream* in);
 
 /// File-path convenience wrappers.
+[[nodiscard]]
 Status SaveDatasetToFile(const datagen::Dataset& dataset,
                          const std::string& path);
+[[nodiscard]]
 StatusOr<datagen::Dataset> LoadDatasetFromFile(const std::string& path);
 
 }  // namespace vrec::io

@@ -37,6 +37,7 @@ class BinaryWriter {
   void WriteI32Vector(const std::vector<int32_t>& v);
 
   /// Ok() unless any write failed.
+  [[nodiscard]]
   Status Finish() const;
 
  private:
@@ -50,16 +51,27 @@ class BinaryReader {
  public:
   explicit BinaryReader(std::istream* in) : in_(in) {}
 
+  [[nodiscard]]
   StatusOr<uint8_t> ReadU8();
+  [[nodiscard]]
   StatusOr<uint32_t> ReadU32();
+  [[nodiscard]]
   StatusOr<uint64_t> ReadU64();
+  [[nodiscard]]
   StatusOr<int32_t> ReadI32();
+  [[nodiscard]]
   StatusOr<int64_t> ReadI64();
+  [[nodiscard]]
   StatusOr<double> ReadDouble();
+  [[nodiscard]]
   StatusOr<std::string> ReadString();
+  [[nodiscard]]
   StatusOr<std::vector<uint8_t>> ReadBytes();
+  [[nodiscard]]
   StatusOr<std::vector<double>> ReadDoubleVector();
+  [[nodiscard]]
   StatusOr<std::vector<int64_t>> ReadI64Vector();
+  [[nodiscard]]
   StatusOr<std::vector<int32_t>> ReadI32Vector();
 
  private:
@@ -67,6 +79,7 @@ class BinaryReader {
   /// instead of attempting multi-GB allocations.
   static constexpr uint32_t kMaxLength = 1u << 30;
 
+  [[nodiscard]]
   Status ReadRaw(void* dst, size_t bytes);
   std::istream* in_;
 };

@@ -44,9 +44,11 @@ class SignatureBuilder {
   /// each cuboid; the cuboid value is the mean frame-to-frame intensity
   /// change of its blocks across the q-gram, and the weight is its share of
   /// the frame area. The returned weights sum to 1.
+  [[nodiscard]]
   StatusOr<CuboidSignature> Build(const video::QGram& gram) const;
 
   /// Builds the full signature series of a video (one entry per q-gram).
+  [[nodiscard]]
   StatusOr<SignatureSeries> BuildSeries(
       const std::vector<video::QGram>& grams) const;
 

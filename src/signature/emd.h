@@ -26,6 +26,7 @@ namespace vrec::signature {
 double EmdExact1D(const CuboidSignature& a, const CuboidSignature& b);
 
 /// General transportation-problem EMD.
+[[nodiscard]]
 StatusOr<double> EmdTransport(const CuboidSignature& a,
                               const CuboidSignature& b);
 

@@ -1,6 +1,7 @@
 #include "social/sar.h"
 
 #include <algorithm>
+#include <string>
 
 namespace vrec::social {
 
@@ -122,6 +123,55 @@ void UserDictionary::ReplaceCommunity(int from, int to) {
       if (cno == from) cno = to;
     }
   }
+}
+
+Status UserDictionary::CheckInvariants() const {
+  if (label_of_user_.size() != user_count_) {
+    return Status::Internal("label array size != user count");
+  }
+  for (size_t u = 0; u < user_count_; ++u) {
+    if (label_of_user_[u] < 0 || label_of_user_[u] >= k_) {
+      return Status::Internal("user " + std::to_string(u) + " labeled " +
+                              std::to_string(label_of_user_[u]) +
+                              ", outside [0, k)");
+    }
+  }
+  if (lookup_ == DictionaryLookup::kChainedHash) {
+    if (!entries_.empty()) {
+      return Status::Internal("hash mode must not keep the entry array");
+    }
+    if (const Status s = hash_table_.CheckInvariants(); !s.ok()) return s;
+    if (hash_table_.size() != user_count_) {
+      return Status::Internal("hash table holds " +
+                              std::to_string(hash_table_.size()) +
+                              " entries for " + std::to_string(user_count_) +
+                              " users");
+    }
+    for (size_t u = 0; u < user_count_; ++u) {
+      const auto found =
+          hash_table_.FindWithoutStats(UserName(static_cast<UserId>(u)));
+      if (!found.has_value() || *found != label_of_user_[u]) {
+        return Status::Internal("hash table out of sync for user " +
+                                std::to_string(u));
+      }
+    }
+    return Status::Ok();
+  }
+  if (entries_.size() != user_count_) {
+    return Status::Internal("entry array size != user count");
+  }
+  if (lookup_ == DictionaryLookup::kSortedArray &&
+      !std::is_sorted(entries_.begin(), entries_.end())) {
+    return Status::Internal("sorted-array entries out of order");
+  }
+  for (size_t u = 0; u < user_count_; ++u) {
+    const auto found = CommunityOfName(UserName(static_cast<UserId>(u)));
+    if (!found.has_value() || *found != label_of_user_[u]) {
+      return Status::Internal("entry array out of sync for user " +
+                              std::to_string(u));
+    }
+  }
+  return Status::Ok();
 }
 
 std::vector<double> UserDictionary::Vectorize(

@@ -66,6 +66,14 @@ class UserDictionary {
   /// Total string comparisons performed by hash lookups (SAR-H cost model).
   uint64_t hash_comparisons() const { return hash_table_.comparisons(); }
 
+  /// Audits the dictionary: the lookup structure of the configured mode
+  /// (linear/sorted entries or chained hash table, including its own
+  /// structural invariants) holds exactly one entry per user whose
+  /// sub-community agrees with the label array, and every label lies in
+  /// [0, k).
+  [[nodiscard]]
+  Status CheckInvariants() const;
+
  private:
   void RebuildLookupStructures();
 

@@ -1,9 +1,12 @@
 #include "social/subcommunity.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <string>
 
 #include "graph/union_find.h"
+#include "util/check.h"
 
 namespace vrec::social {
 namespace {
@@ -63,7 +66,9 @@ StatusOr<SubCommunityResult> ExtractSubCommunities(
     uf.Union(e.u, e.v);
     survivors.push_back(e);
   }
-  return ResultFromSurvivors(uig, survivors);
+  SubCommunityResult result = ResultFromSurvivors(uig, survivors);
+  VREC_DCHECK_OK(CheckSubCommunityResult(result, uig, k));
+  return result;
 }
 
 StatusOr<SubCommunityResult> ExtractSubCommunitiesLiteral(
@@ -99,7 +104,78 @@ StatusOr<SubCommunityResult> ExtractSubCommunitiesLiteral(
   std::vector<Edge> survivors(remaining.begin() +
                                   static_cast<long>(removed_prefix),
                               remaining.end());
-  return ResultFromSurvivors(uig, survivors);
+  SubCommunityResult result = ResultFromSurvivors(uig, survivors);
+  VREC_DCHECK_OK(CheckSubCommunityResult(result, uig, k));
+  return result;
+}
+
+Status CheckSubCommunityResult(const SubCommunityResult& result,
+                               const graph::WeightedGraph& uig, int k) {
+  if (result.labels.size() != uig.node_count()) {
+    return Status::Internal("one label per user expected");
+  }
+  if (result.num_communities < std::min<int>(
+          k, static_cast<int>(uig.node_count()))) {
+    return Status::Internal("extraction stopped at " +
+                            std::to_string(result.num_communities) +
+                            " communities, below the target " +
+                            std::to_string(k));
+  }
+  std::vector<char> label_used(
+      static_cast<size_t>(std::max(result.num_communities, 0)), 0);
+  for (int label : result.labels) {
+    if (label < 0 || label >= result.num_communities) {
+      return Status::Internal("label " + std::to_string(label) +
+                              " outside [0, num_communities)");
+    }
+    label_used[static_cast<size_t>(label)] = 1;
+  }
+  for (size_t label = 0; label < label_used.size(); ++label) {
+    if (label_used[label] == 0) {
+      return Status::Internal("community " + std::to_string(label) +
+                              " has no members (labels not dense)");
+    }
+  }
+  // Sub-communities refine the graph's connected components: two users only
+  // share a label if the original UIG connects them.
+  const auto [components, component_count] = uig.ConnectedComponents();
+  std::vector<int> component_of_label(
+      static_cast<size_t>(result.num_communities), -1);
+  for (size_t u = 0; u < result.labels.size(); ++u) {
+    int& c = component_of_label[static_cast<size_t>(result.labels[u])];
+    if (c < 0) {
+      c = components[u];
+    } else if (c != components[u]) {
+      return Status::Internal("community " +
+                              std::to_string(result.labels[u]) +
+                              " spans two disconnected components");
+    }
+  }
+  // lightest_intra_weight is +infinity iff no intra-community edge exists;
+  // when finite it must be the weight of some surviving intra edge, and no
+  // intra edge can sit strictly between it and the removal threshold below
+  // it is impossible to verify without the survivor set — so check the
+  // weaker bound: some intra-community edge carries exactly that weight.
+  double max_intra = -std::numeric_limits<double>::infinity();
+  bool weight_seen = false;
+  bool any_intra = false;
+  for (const Edge& e : uig.edges()) {
+    if (result.labels[e.u] != result.labels[e.v]) continue;
+    any_intra = true;
+    max_intra = std::max(max_intra, e.weight);
+    weight_seen = weight_seen || e.weight == result.lightest_intra_weight;
+  }
+  if (std::isinf(result.lightest_intra_weight)) {
+    if (any_intra && result.num_communities < static_cast<int>(
+                         uig.node_count())) {
+      return Status::Internal(
+          "lightest_intra_weight infinite despite intra-community edges");
+    }
+  } else if (!weight_seen || result.lightest_intra_weight > max_intra) {
+    return Status::Internal(
+        "lightest_intra_weight does not match any intra-community edge");
+  }
+  return Status::Ok();
 }
 
 }  // namespace vrec::social

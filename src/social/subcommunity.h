@@ -30,14 +30,26 @@ struct SubCommunityResult {
 /// forest edges, where p is the initial component count — identical output
 /// to the literal loop whenever edge weights are distinct (single-linkage
 /// equivalence; covered by a property test).
+[[nodiscard]]
 StatusOr<SubCommunityResult> ExtractSubCommunities(
     const graph::WeightedGraph& uig, int k);
 
 /// The literal Figure 3 loop (delete lightest edge, re-check connectivity).
 /// O(E * (V + E)); kept for validation and for the small per-community
 /// splits performed during social-update maintenance.
+[[nodiscard]]
 StatusOr<SubCommunityResult> ExtractSubCommunitiesLiteral(
     const graph::WeightedGraph& uig, int k);
+
+/// Audits an extraction result against its input graph: one dense label per
+/// node covering [0, num_communities), at least k components reached (k is
+/// always reachable — extraction rejects k > node count), communities that
+/// refine the graph's connected components, and a lightest_intra_weight
+/// that is +infinity exactly when every community is edge-free (otherwise
+/// the weight of an actual intra-community edge).
+[[nodiscard]]
+Status CheckSubCommunityResult(const SubCommunityResult& result,
+                               const graph::WeightedGraph& uig, int k);
 
 }  // namespace vrec::social
 

@@ -1,6 +1,10 @@
 #include "social/uig.h"
 
+#include <cmath>
 #include <map>
+#include <string>
+
+#include "util/check.h"
 
 namespace vrec::social {
 
@@ -23,7 +27,27 @@ graph::WeightedGraph BuildUserInterestGraph(
   for (const auto& [edge, w] : weights) {
     g.AddEdge(edge.first, edge.second, w);
   }
+  VREC_DCHECK_OK(CheckUigInvariants(g));
   return g;
+}
+
+Status CheckUigInvariants(const graph::WeightedGraph& uig) {
+  if (const Status s = uig.CheckInvariants(); !s.ok()) return s;
+  for (const graph::Edge& e : uig.edges()) {
+    if (e.u == e.v) {
+      return Status::Internal("UIG self loop at user " + std::to_string(e.u));
+    }
+    if (e.weight <= 0.0 || std::floor(e.weight) != e.weight) {
+      return Status::Internal("UIG edge (" + std::to_string(e.u) + ", " +
+                              std::to_string(e.v) +
+                              ") weight is not a positive co-comment count");
+    }
+    if (uig.EdgeWeight(e.u, e.v) != uig.EdgeWeight(e.v, e.u)) {
+      return Status::Internal("UIG edge (" + std::to_string(e.u) + ", " +
+                              std::to_string(e.v) + ") is not symmetric");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace vrec::social

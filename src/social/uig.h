@@ -5,6 +5,7 @@
 
 #include "graph/weighted_graph.h"
 #include "social/descriptor.h"
+#include "util/status.h"
 
 namespace vrec::social {
 
@@ -17,6 +18,13 @@ namespace vrec::social {
 /// [0, user_count).
 graph::WeightedGraph BuildUserInterestGraph(
     const std::vector<SocialDescriptor>& descriptors, size_t user_count);
+
+/// UIG-specific invariants on top of WeightedGraph::CheckInvariants(): the
+/// undirected edge set is symmetric and self-loop free (a user does not
+/// co-comment with themselves) and every weight is a positive whole
+/// co-occurrence count.
+[[nodiscard]]
+Status CheckUigInvariants(const graph::WeightedGraph& uig);
 
 }  // namespace vrec::social
 

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <ranges>
+#include <string>
 
 #include "graph/union_find.h"
+#include "util/check.h"
 
 namespace vrec::social {
 
@@ -42,6 +45,79 @@ std::vector<UserId> SubCommunityMaintainer::MembersOf(int label) const {
   const auto it = members_.find(label);
   if (it == members_.end()) return {};
   return {it->second.begin(), it->second.end()};
+}
+
+Status SubCommunityMaintainer::CheckInvariants() const {
+  size_t member_total = 0;
+  for (const auto& [label, mem] : members_) {
+    if (mem.empty()) {
+      return Status::Internal("community " + std::to_string(label) +
+                              " retained with no members");
+    }
+    if (label < 0 || label >= next_label_) {
+      return Status::Internal("community label " + std::to_string(label) +
+                              " outside the minted range");
+    }
+    member_total += mem.size();
+    for (UserId u : mem) {
+      if (u < 0 || static_cast<size_t>(u) >= label_of_user_.size()) {
+        return Status::Internal("member user " + std::to_string(u) +
+                                " outside the user space");
+      }
+      if (label_of_user_[static_cast<size_t>(u)] != label) {
+        return Status::Internal("user " + std::to_string(u) +
+                                " labeled differently from its member set");
+      }
+    }
+  }
+  if (member_total != label_of_user_.size()) {
+    return Status::Internal(
+        "member sets do not partition the user space: " +
+        std::to_string(member_total) + " members for " +
+        std::to_string(label_of_user_.size()) + " users");
+  }
+  double lightest_active = std::numeric_limits<double>::infinity();
+  for (const auto& [key, weight] : active_edges_) {
+    if (key.first >= label_of_user_.size() ||
+        key.second >= label_of_user_.size()) {
+      return Status::Internal("active edge endpoint outside the user space");
+    }
+    if (label_of_user_[key.first] != label_of_user_[key.second]) {
+      return Status::Internal("active edge (" + std::to_string(key.first) +
+                              ", " + std::to_string(key.second) +
+                              ") crosses communities");
+    }
+    if (dormant_edges_.count(key) != 0) {
+      return Status::Internal("edge (" + std::to_string(key.first) + ", " +
+                              std::to_string(key.second) +
+                              ") both active and dormant");
+    }
+    lightest_active = std::min(lightest_active, weight);
+  }
+  if (lightest_active != w_) {
+    return Status::Internal("threshold w out of date");
+  }
+  for (const auto& [key, weight] : dormant_edges_) {
+    if (key.first >= label_of_user_.size() ||
+        key.second >= label_of_user_.size()) {
+      return Status::Internal("dormant edge endpoint outside the user space");
+    }
+  }
+  if (dictionary_ != nullptr) {
+    if (const Status s = dictionary_->CheckInvariants(); !s.ok()) return s;
+    if (dictionary_->user_count() != label_of_user_.size()) {
+      return Status::Internal("dictionary user count out of sync");
+    }
+    for (size_t u = 0; u < label_of_user_.size(); ++u) {
+      const auto community =
+          dictionary_->CommunityOf(static_cast<UserId>(u));
+      if (!community.has_value() || *community != label_of_user_[u]) {
+        return Status::Internal("dictionary label out of sync for user " +
+                                std::to_string(u));
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 void SubCommunityMaintainer::Relabel(int from, int to,
@@ -186,8 +262,7 @@ StatusOr<MaintenanceStats> SubCommunityMaintainer::ApplyUpdates(
     }
     return best;
   };
-  for (const auto& [key, weight] : batch) {
-    (void)weight;
+  for (const EdgeKey& key : std::views::keys(batch)) {
     const auto ids = {static_cast<UserId>(key.first),
                       static_cast<UserId>(key.second)};
     for (UserId id : ids) {
@@ -290,6 +365,7 @@ StatusOr<MaintenanceStats> SubCommunityMaintainer::ApplyUpdates(
       std::unique(stats.changed_communities.begin(),
                   stats.changed_communities.end()),
       stats.changed_communities.end());
+  VREC_DCHECK_OK(CheckInvariants());
   return stats;
 }
 

@@ -63,6 +63,7 @@ class SubCommunityMaintainer {
                          UserDictionary* dictionary);
 
   /// Applies one period of updates.
+  [[nodiscard]]
   StatusOr<MaintenanceStats> ApplyUpdates(
       const std::vector<SocialConnection>& connections);
 
@@ -77,6 +78,15 @@ class SubCommunityMaintainer {
 
   /// Members of community `label` (empty if retired/unknown).
   std::vector<UserId> MembersOf(int label) const;
+
+  /// Audits the maintainer: per-user labels and member sets agree and
+  /// partition the user space, live labels stay below the mint counter,
+  /// every active edge is intra-community, the active and dormant edge sets
+  /// are disjoint with in-range endpoints, the threshold w equals the
+  /// lightest active weight, and the user dictionary (including its chained
+  /// hash table) is in sync. O(users + edges).
+  [[nodiscard]]
+  Status CheckInvariants() const;
 
  private:
   using EdgeKey = std::pair<size_t, size_t>;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ranges>
 
 #include "signature/series_measures.h"
 #include "video/segmenter.h"
@@ -109,8 +110,7 @@ std::vector<DuplicateAlert> StreamMonitor::CloseShot() {
   std::map<video::VideoId, std::pair<int, double>> votes;  // votes, best sim
   for (const auto& sig : shot_series) {
     const auto hits = lsb_.Candidates(sig, options_.probes);
-    for (const auto& [vid, count] : hits) {
-      (void)count;
+    for (const video::VideoId vid : std::views::keys(hits)) {
       const auto ref = references_.find(vid);
       if (ref == references_.end()) continue;
       double best = 0.0;

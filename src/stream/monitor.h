@@ -66,6 +66,7 @@ class StreamMonitor {
 
   /// Indexes a reference video (also keeps its signature series for exact
   /// SimC verification of candidate hits).
+  [[nodiscard]]
   Status IndexReferenceVideo(const video::Video& video);
 
   /// Feeds one stream frame; returns the alerts of any shot this frame

@@ -1,0 +1,20 @@
+#include "util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vrec::util {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "VREC_CHECK failed at %s:%d: %s\n", file, line, expr);
+  } else {
+    std::fprintf(stderr, "VREC_CHECK failed at %s:%d: %s (%s)\n", file, line,
+                 expr, detail.c_str());
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace vrec::util

@@ -1,0 +1,79 @@
+#ifndef VREC_UTIL_CHECK_H_
+#define VREC_UTIL_CHECK_H_
+
+#include <string>
+
+namespace vrec::util {
+
+/// Reports a failed check to stderr and aborts. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& detail = {});
+
+namespace check_internal {
+
+/// Renders the failure of a Status-like object (anything with ok()) without
+/// this header depending on util/status.h — status.h includes check.h for
+/// the DCHECKs in StatusOr's accessors, so the dependency must point one way.
+template <typename T>
+std::string DescribeFailure(const T& result) {
+  if constexpr (requires { result.ToString(); }) {
+    return result.ToString();
+  } else {
+    return result.status().ToString();
+  }
+}
+
+}  // namespace check_internal
+}  // namespace vrec::util
+
+/// VREC_CHECK / VREC_CHECK_OK are always on: they guard conditions whose
+/// violation makes continuing meaningless in any build (index corruption,
+/// broken container invariants). VREC_DCHECK / VREC_DCHECK_OK compile to
+/// nothing in plain release builds; they are active in Debug builds and in
+/// every sanitizer build (-DVREC_SANITIZE=...), so the ASan/UBSan/TSan
+/// stages of scripts/verify.sh execute the full invariant layer.
+#define VREC_CHECK(cond)                                           \
+  do {                                                             \
+    if (!(cond)) {                                                 \
+      ::vrec::util::CheckFailed(__FILE__, __LINE__, #cond);        \
+    }                                                              \
+  } while (false)
+
+#define VREC_CHECK_OK(expr)                                        \
+  do {                                                             \
+    const auto& vrec_check_result_ = (expr);                       \
+    if (!vrec_check_result_.ok()) {                                \
+      ::vrec::util::CheckFailed(                                   \
+          __FILE__, __LINE__, #expr,                               \
+          ::vrec::util::check_internal::DescribeFailure(           \
+              vrec_check_result_));                                \
+    }                                                              \
+  } while (false)
+
+#if !defined(NDEBUG) || defined(VREC_DCHECK_ENABLED) ||            \
+    defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define VREC_DCHECK_IS_ON() 1
+#else
+#define VREC_DCHECK_IS_ON() 0
+#endif
+
+#if VREC_DCHECK_IS_ON()
+#define VREC_DCHECK(cond) VREC_CHECK(cond)
+#define VREC_DCHECK_OK(expr) VREC_CHECK_OK(expr)
+#else
+// Off: the argument is parsed (so it cannot bit-rot) but never evaluated.
+#define VREC_DCHECK(cond)            \
+  do {                               \
+    if (false) {                     \
+      static_cast<void>(cond);      \
+    }                                \
+  } while (false)
+#define VREC_DCHECK_OK(expr)         \
+  do {                               \
+    if (false) {                     \
+      static_cast<void>(expr);      \
+    }                                \
+  } while (false)
+#endif
+
+#endif  // VREC_UTIL_CHECK_H_

@@ -4,12 +4,16 @@
 #include <string>
 #include <utility>
 
+#include "util/check.h"
+
 namespace vrec {
 
 /// Result status of a fallible operation. The library does not throw across
 /// its public API; operations that can fail return a Status (or a StatusOr
-/// carrying a value).
-class Status {
+/// carrying a value). The class is [[nodiscard]]: a call site that ignores a
+/// returned Status does not compile cleanly — either handle it or fail loudly
+/// with VREC_CHECK_OK.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -54,9 +58,12 @@ class Status {
   std::string message_;
 };
 
-/// A Status plus a value; the value is only meaningful when ok().
+/// A Status plus a value; the value is only meaningful when ok(). Accessing
+/// the value of a non-ok StatusOr is a programming error: in Debug and
+/// sanitizer builds it aborts via VREC_DCHECK instead of silently handing
+/// back a default-constructed T.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicitly constructible from a value (success) or a Status (failure);
   /// mirrors absl::StatusOr ergonomics.
@@ -66,14 +73,35 @@ class StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return value_; }
-  T& value() & { return value_; }
-  T&& value() && { return std::move(value_); }
+  const T& value() const& {
+    VREC_DCHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    VREC_DCHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    VREC_DCHECK(ok());
+    return std::move(value_);
+  }
 
-  const T& operator*() const& { return value_; }
-  T& operator*() & { return value_; }
-  const T* operator->() const { return &value_; }
-  T* operator->() { return &value_; }
+  const T& operator*() const& {
+    VREC_DCHECK(ok());
+    return value_;
+  }
+  T& operator*() & {
+    VREC_DCHECK(ok());
+    return value_;
+  }
+  const T* operator->() const {
+    VREC_DCHECK(ok());
+    return &value_;
+  }
+  T* operator->() {
+    VREC_DCHECK(ok());
+    return &value_;
+  }
 
  private:
   Status status_;

@@ -86,8 +86,8 @@ TEST(EdgeCaseTest, TimingDecompositionIsConsistent) {
                     .ok());
   }
   ASSERT_TRUE(rec.Finalize(8).ok());
-  ASSERT_TRUE(rec.RecommendById(0, 3).ok());
-  const auto& t = rec.last_timing();
+  core::QueryTiming t;
+  ASSERT_TRUE(rec.RecommendById(0, 3, &t).ok());
   EXPECT_GE(t.total_ms, 0.0);
   // Stage timings must not exceed the total (allowing measurement jitter).
   EXPECT_LE(t.social_ms + t.content_ms + t.refine_ms, t.total_ms + 1.0);

@@ -177,8 +177,11 @@ TEST_F(RecommenderFixture, AccessorsWork) {
 TEST_F(RecommenderFixture, TimingPopulatedAfterQuery) {
   Recommender rec(BaseOptions(SocialMode::kSarHash));
   Ingest(&rec);
-  ASSERT_TRUE(rec.RecommendById(0, 3).ok());
-  EXPECT_GT(rec.last_timing().total_ms, 0.0);
+  QueryTiming timing;
+  ASSERT_TRUE(rec.RecommendById(0, 3, &timing).ok());
+  EXPECT_GT(timing.total_ms, 0.0);
+  // The deprecated accessor must stay in sync until it is removed.
+  EXPECT_EQ(rec.last_timing().total_ms, timing.total_ms);  // NOLINT(vrec-last-timing)
 }
 
 TEST_F(RecommenderFixture, DtwAndErpMeasuresUsable) {

@@ -1,0 +1,101 @@
+#include "util/status.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vrec {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOk);
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ToStringCoversEveryCode) {
+  EXPECT_EQ(Status::Ok().ToString(), "Ok");
+  EXPECT_EQ(Status::InvalidArgument("k must be positive").ToString(),
+            "InvalidArgument: k must be positive");
+  EXPECT_EQ(Status::NotFound("unknown video id").ToString(),
+            "NotFound: unknown video id");
+  EXPECT_EQ(Status::FailedPrecondition("Finalize() not called").ToString(),
+            "FailedPrecondition: Finalize() not called");
+  EXPECT_EQ(Status::OutOfRange("probe count").ToString(),
+            "OutOfRange: probe count");
+  EXPECT_EQ(Status::Internal("invariant broken").ToString(),
+            "Internal: invariant broken");
+}
+
+TEST(StatusTest, ToStringWithoutMessageIsBareCodeName) {
+  const Status s(Status::Code::kNotFound, "");
+  EXPECT_EQ(s.ToString(), "NotFound");
+}
+
+TEST(StatusTest, FactoriesSetCodeAndMessage) {
+  const Status s = Status::OutOfRange("probes");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kOutOfRange);
+  EXPECT_EQ(s.message(), "probes");
+}
+
+TEST(StatusOrTest, HoldsValueWhenOk) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.status().ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, PropagatesErrorStatus) {
+  const StatusOr<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), Status::Code::kNotFound);
+  EXPECT_EQ(result.status().message(), "missing");
+}
+
+TEST(StatusOrTest, MutableAccessorsWriteThrough) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2});
+  ASSERT_TRUE(result.ok());
+  result.value().push_back(3);
+  (*result).push_back(4);
+  result->push_back(5);
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(StatusOrTest, RvalueValueMovesOutTheValue) {
+  StatusOr<std::string> result(std::string(64, 'x'));
+  ASSERT_TRUE(result.ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, std::string(64, 'x'));
+}
+
+TEST(StatusOrTest, ConstAccessorsRead) {
+  const StatusOr<std::string> result(std::string("abc"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), "abc");
+  EXPECT_EQ(*result, "abc");
+  EXPECT_EQ(result->size(), 3u);
+}
+
+#if VREC_DCHECK_IS_ON() && defined(GTEST_HAS_DEATH_TEST)
+// Accessing the value of an error StatusOr is a hard programming error in
+// Debug/sanitizer builds (satellite: hardened accessors). Plain release
+// builds compile the DCHECK away, so the regression only runs where the
+// invariant layer is live — e.g. the ASan stage of scripts/verify.sh.
+TEST(StatusOrDeathTest, ValueOnErrorAborts) {
+  const StatusOr<int> result(Status::Internal("boom"));
+  EXPECT_DEATH(static_cast<void>(result.value()), "VREC_CHECK failed");
+}
+
+TEST(StatusOrDeathTest, DereferenceOnErrorAborts) {
+  StatusOr<std::string> result(Status::NotFound("gone"));
+  EXPECT_DEATH(static_cast<void>(result->size()), "VREC_CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace vrec

@@ -221,7 +221,8 @@ int CmdQuery(const Flags& flags) {
 
   auto rec = BuildRecommender(*dataset, flags);
   if (rec == nullptr) return 1;
-  const auto results = rec->RecommendById(query, k);
+  core::QueryTiming timing;
+  const auto results = rec->RecommendById(query, k, &timing);
   if (!results.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  results.status().ToString().c_str());
@@ -239,8 +240,8 @@ int CmdQuery(const Flags& flags) {
                     .c_str());
   }
   std::printf("timing: %.2f ms (social %.2f, content %.2f, refine %.2f)\n",
-              rec->last_timing().total_ms, rec->last_timing().social_ms,
-              rec->last_timing().content_ms, rec->last_timing().refine_ms);
+              timing.total_ms, timing.social_ms, timing.content_ms,
+              timing.refine_ms);
   return 0;
 }
 

@@ -1,0 +1,277 @@
+#!/usr/bin/env python3
+"""Project-specific lint rules that clang-tidy cannot express.
+
+Rules (all scoped to library code under src/ unless noted):
+
+  nodiscard        Every function declaration in a src/ header returning
+                   Status or StatusOr<...> carries [[nodiscard]], either on
+                   the same line or on the line immediately above.
+                   (src/util/status.h is exempt: both classes are declared
+                   class-level [[nodiscard]], which covers every factory.)
+  void-cast        No C-style `(void)expr` discards. They silently swallow
+                   [[nodiscard]] values; use the value or redesign the API.
+  header-guard     Headers use the canonical guard VREC_<DIR>_<FILE>_H_.
+  iostream         No std::cout/std::cerr in library code — the library
+                   reports through Status; binaries under tools/ own I/O.
+  libc-random-time No rand()/srand()/time() in library code — randomized
+                   components take seeded std::mt19937, timing goes
+                   through util::Stopwatch.
+  last-timing      Recommender::last_timing() is deprecated (racy under
+                   concurrent queries); new call sites must use the
+                   QueryTiming out-parameter. Only its own declaration and
+                   explicitly NOLINT-ed regression tests may mention it.
+
+Any rule can be silenced per line with `// NOLINT(vrec-<rule>)`.
+
+Usage:
+  tools/vrec_lint.py FILE...     lint the given files
+  tools/vrec_lint.py --self-test run the embedded regression snippets
+Exit status is 0 when clean, 1 when violations were found.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Declaration of a Status/StatusOr-returning function. Anchored to the line
+# start so expressions (`return Status::Ok();`) and initialized locals
+# (`Status s = ...;`) do not match; the `(` with no `=` before it keeps
+# member variables out.
+_STATUS_DECL = re.compile(
+    r"^\s*(?:static\s+|virtual\s+|explicit\s+|friend\s+)*"
+    r"(?:vrec::)?(?:util::)?(?:Status|StatusOr<[^;=]*)\s+\w+\s*\("
+)
+_NODISCARD = "[[nodiscard]]"
+_VOID_CAST = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_]")
+_IOSTREAM = re.compile(r"std::c(out|err)\b")
+_LIBC_RANDOM_TIME = re.compile(r"(?<![\w:])(?:std::)?(?:s?rand|time)\s*\(")
+_LAST_TIMING = re.compile(r"\blast_timing\s*\(")
+_NOLINT = re.compile(r"//\s*NOLINT\(([^)]*)\)")
+
+# Files that may mention last_timing(): its own declaration and the
+# internals that keep the deprecated accessor in sync.
+_LAST_TIMING_ALLOWED = {
+    "src/core/recommender.h",
+    "src/core/recommender.cc",
+}
+
+
+def _strip_comments_and_strings(line):
+    """Blanks out string/char literals and trailing // comments.
+
+    Crude (no multi-line awareness) but sufficient: the rules target
+    identifiers, and the tree's style keeps literals on one line.
+    """
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                out.append(" ")
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            if i < n:
+                out.append(quote)
+                i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def _suppressed(line, rule):
+    m = _NOLINT.search(line)
+    return m is not None and ("vrec-" + rule) in m.group(1)
+
+
+def _expected_guard(rel_path):
+    parts = rel_path.parts[1:] if rel_path.parts[0] == "src" else rel_path.parts
+    stem = "_".join(parts)
+    return "VREC_" + re.sub(r"[^A-Za-z0-9]", "_", stem).upper() + "_"
+
+
+def lint_file(rel_path, lines):
+    """Lints one file; returns a list of (path, line_no, rule, message)."""
+    rel = rel_path.as_posix()
+    in_src = rel.startswith("src/")
+    is_header = rel.endswith(".h")
+    findings = []
+
+    def report(line_no, rule, message):
+        findings.append((rel, line_no, rule, message))
+
+    if in_src and is_header:
+        guard = _expected_guard(rel_path)
+        text = "\n".join(lines)
+        if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+            report(1, "header-guard", f"expected header guard {guard}")
+
+    prev_code = ""
+    for line_no, raw in enumerate(lines, start=1):
+        code = _strip_comments_and_strings(raw)
+
+        if in_src and is_header and rel != "src/util/status.h":
+            if _STATUS_DECL.match(code) and not _suppressed(raw, "nodiscard"):
+                if (_NODISCARD not in code
+                        and prev_code.strip() != _NODISCARD):
+                    report(line_no, "nodiscard",
+                           "Status/StatusOr-returning declaration lacks "
+                           "[[nodiscard]]")
+
+        if in_src:
+            if _VOID_CAST.search(code) and not _suppressed(raw, "void-cast"):
+                report(line_no, "void-cast",
+                       "C-style (void) discard; use the value or drop it "
+                       "from the API")
+            if _IOSTREAM.search(code) and not _suppressed(raw, "iostream"):
+                report(line_no, "iostream",
+                       "std::cout/std::cerr in library code; report through "
+                       "Status")
+            if (_LIBC_RANDOM_TIME.search(code)
+                    and not _suppressed(raw, "libc-random-time")):
+                report(line_no, "libc-random-time",
+                       "libc rand()/time() in library code; use seeded "
+                       "std::mt19937 / util::Stopwatch")
+
+        if (rel not in _LAST_TIMING_ALLOWED and _LAST_TIMING.search(code)
+                and not _suppressed(raw, "last-timing")):
+            report(line_no, "last-timing",
+                   "last_timing() is deprecated; pass a QueryTiming "
+                   "out-parameter to Recommend*()")
+
+        if code.strip():
+            prev_code = code
+    return findings
+
+
+def _relativize(path):
+    p = Path(path).resolve()
+    try:
+        return p.relative_to(REPO_ROOT)
+    except ValueError:
+        return Path(path)
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    findings = []
+    for arg in argv[1:]:
+        path = Path(arg)
+        if not path.is_file():
+            print(f"vrec_lint: no such file: {arg}", file=sys.stderr)
+            return 2
+        lines = path.read_text(encoding="utf-8").splitlines()
+        findings.extend(lint_file(_relativize(path), lines))
+    for rel, line_no, rule, message in findings:
+        print(f"{rel}:{line_no}: [vrec-{rule}] {message}")
+    if findings:
+        print(f"vrec_lint: {len(findings)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+# --- Self test -------------------------------------------------------------
+
+_SELF_TEST_CASES = [
+    # (virtual path, source, expected rules in line order)
+    (
+        "src/fake/widget.h",
+        """\
+#ifndef VREC_FAKE_WIDGET_H_
+#define VREC_FAKE_WIDGET_H_
+namespace vrec::fake {
+class Widget {
+ public:
+  [[nodiscard]]
+  Status Check() const;
+  [[nodiscard]] StatusOr<int> Count() const;
+  Status Install();
+  static StatusOr<Widget> Make();
+  Status Legacy();  // NOLINT(vrec-nodiscard)
+ private:
+  Status last_;
+};
+}  // namespace vrec::fake
+#endif  // VREC_FAKE_WIDGET_H_
+""",
+        ["nodiscard", "nodiscard"],
+    ),
+    (
+        "src/fake/bad_guard.h",
+        """\
+#ifndef WIDGET_H
+#define WIDGET_H
+#endif  // WIDGET_H
+""",
+        ["header-guard"],
+    ),
+    (
+        "src/fake/impl.cc",
+        """\
+void F(int weight) {
+  (void)weight;
+  std::cout << "hi";
+  int seed = rand();
+  (void)seed;  // NOLINT(vrec-void-cast)
+  double t = time(nullptr);
+  // a comment mentioning rand() and std::cout is fine
+  const char* s = "rand() inside a string is fine";
+  Timing(t);
+  my_runtime(t);
+}
+""",
+        ["void-cast", "iostream", "libc-random-time", "libc-random-time"],
+    ),
+    (
+        "tests/fake_test.cc",
+        """\
+TEST(T, Old) {
+  EXPECT_GT(rec.last_timing().total_ms, 0.0);
+  EXPECT_GT(rec.last_timing().total_ms, 0.0);  // NOLINT(vrec-last-timing)
+}
+""",
+        ["last-timing"],
+    ),
+    (
+        "src/core/recommender.h",
+        """\
+#ifndef VREC_CORE_RECOMMENDER_H_
+#define VREC_CORE_RECOMMENDER_H_
+QueryTiming last_timing() const;
+#endif  // VREC_CORE_RECOMMENDER_H_
+""",
+        [],
+    ),
+]
+
+
+def self_test():
+    failures = 0
+    for path, source, expected in _SELF_TEST_CASES:
+        got = [rule for _, _, rule, _ in
+               lint_file(Path(path), source.splitlines())]
+        if got != expected:
+            failures += 1
+            print(f"self-test FAILED for {path}: expected {expected}, "
+                  f"got {got}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"vrec_lint self-test: {len(_SELF_TEST_CASES)} cases OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
