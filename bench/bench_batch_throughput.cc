@@ -77,6 +77,20 @@ int Run(int repeat, int k) {
     std::printf("%8zu %12.0f %12.3f %9.2fx\n", threads, qps,
                 1000.0 * elapsed / static_cast<double>(queries.size()),
                 qps / base_qps);
+    if (threads == thread_counts.back()) {
+      core::QueryTiming sum;
+      for (const auto& r : results) {
+        sum.emd_calls += r.timing.emd_calls;
+        sum.pairs_pruned += r.timing.pairs_pruned;
+        sum.candidates_pruned += r.timing.candidates_pruned;
+      }
+      const double n = static_cast<double>(queries.size());
+      std::printf("fast path per query: %.0f EMD calls, %.0f pairs pruned, "
+                  "%.0f candidates pruned\n",
+                  static_cast<double>(sum.emd_calls) / n,
+                  static_cast<double>(sum.pairs_pruned) / n,
+                  static_cast<double>(sum.candidates_pruned) / n);
+    }
   }
   if (hw < 2) {
     std::printf("note: hardware concurrency is %zu; speedups need real "

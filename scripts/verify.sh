@@ -16,6 +16,11 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "=== content fast path: release smoke (equivalence + prune counters) ==="
+# The bench exits non-zero unless the pruned fast path reproduces the naive
+# top-K bit for bit AND both prune counters are nonzero (bounds fired).
+./build/bench/bench_content_scoring 1 10 build/BENCH_content.json
+
 echo "=== asan: invariant stress under Address+UBSanitizer ==="
 # The DCHECK layer is live here: every engine mutation re-audits itself via
 # VREC_DCHECK_OK(CheckInvariants()) while ASan/UBSan watch the internals,

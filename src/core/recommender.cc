@@ -1,6 +1,8 @@
 #include "core/recommender.h"
 
 #include <algorithm>
+#include <limits>
+#include <queue>
 #include <set>
 #include <string>
 
@@ -171,14 +173,24 @@ Status Recommender::Finalize(size_t user_count) {
     }
   }
 
-  if (options_.use_content && options_.use_lsb_index &&
-      options_.content_measure == ContentMeasure::kKappaJ) {
+  if (UsesKappaFastPath()) {
+    // Prepare every series once (value-sorted supports, prefix-summed
+    // weights, cached centroids); all query-time EMD work runs off this
+    // cache. Independent per record, so it fans across the pool. Built even
+    // in exhaustive mode (use_lsb_index = false) — the refinement stage is
+    // where the fast path pays off most there.
+    util::ParallelFor(pool_.get(), records_.size(), [&](size_t i) {
+      records_[i].prepared = signature::PrepareSeries(records_[i].series);
+    });
+  }
+
+  if (UsesKappaFastPath() && options_.use_lsb_index) {
     index::LsbIndex::Options lsb = options_.lsb;
     lsb_ = std::make_unique<index::LsbIndex>(lsb);
-    std::vector<std::pair<int64_t, const signature::SignatureSeries*>> series;
+    std::vector<std::pair<int64_t, const signature::PreparedSeries*>> series;
     series.reserve(records_.size());
-    for (const Record& r : records_) series.emplace_back(r.id, &r.series);
-    lsb_->AddVideosBulk(series, pool_.get());
+    for (const Record& r : records_) series.emplace_back(r.id, &r.prepared);
+    lsb_->AddVideosBulkPrepared(series, pool_.get());
   }
 
   finalized_ = true;
@@ -205,6 +217,10 @@ Status Recommender::CheckInvariants() const {
         return Status::Internal("tombstoned video " + std::to_string(r.id) +
                                 " retains a social vector");
       }
+      if (!r.prepared.empty()) {
+        return Status::Internal("tombstoned video " + std::to_string(r.id) +
+                                " retains prepared signatures");
+      }
       continue;
     }
     ++active;
@@ -216,6 +232,26 @@ Status Recommender::CheckInvariants() const {
         r.user_names.size() != r.descriptor.size()) {
       return Status::Internal("cached user names out of sync for video " +
                               std::to_string(r.id));
+    }
+    // Prepared cache mirrors the raw series signature for signature, with
+    // value-sorted supports (what the two-pointer EMD kernel assumes).
+    if (UsesKappaFastPath()) {
+      if (r.prepared.size() != r.series.size()) {
+        return Status::Internal("prepared series out of sync for video " +
+                                std::to_string(r.id));
+      }
+      for (size_t s = 0; s < r.prepared.size(); ++s) {
+        const signature::PreparedSignature& p = r.prepared[s];
+        if (p.size() != r.series[s].size() ||
+            !std::is_sorted(p.values.begin(), p.values.end())) {
+          return Status::Internal("prepared signature " + std::to_string(s) +
+                                  " corrupt for video " +
+                                  std::to_string(r.id));
+        }
+      }
+    } else if (!r.prepared.empty()) {
+      return Status::Internal("prepared series present outside the kKappaJ "
+                              "fast path for video " + std::to_string(r.id));
     }
   }
   if (index_of_.size() != active) {
@@ -344,11 +380,27 @@ double Recommender::ContentScore(const signature::SignatureSeries& query,
                                  const Record& record) const {
   switch (options_.content_measure) {
     case ContentMeasure::kKappaJ:
+      // Naive reference; query-time kKappaJ scoring goes through the
+      // prepared cache in RecommendInternal instead (bit-identical kernel).
       return signature::KappaJ(query, record.series, options_.kappa);
     case ContentMeasure::kDtw:
       return signature::DtwSimilarity(query, record.series);
     case ContentMeasure::kErp:
       return signature::ErpSimilarity(query, record.series);
+  }
+  return 0.0;
+}
+
+double Recommender::FuseScore(double content, double social) const {
+  if (!options_.use_content) return social;                       // SR
+  if (options_.social_mode == SocialMode::kNone) return content;  // CR
+  switch (options_.fusion_rule) {
+    case FusionRule::kWeighted:  // Equation 9
+      return (1.0 - options_.omega) * content + options_.omega * social;
+    case FusionRule::kAverage:
+      return 0.5 * (content + social);
+    case FusionRule::kMax:
+      return std::max(content, social);
   }
   return 0.0;
 }
@@ -486,6 +538,11 @@ Status Recommender::RemoveVideo(video::VideoId id) {
     }
   }
   record.social_vector.clear();
+  // Tombstones never score again; drop the prepared cache (the raw series
+  // stays for the LSB invariant audit, whose stale entries are query-time
+  // filtered).
+  record.prepared.clear();
+  record.prepared.shrink_to_fit();
   // Purge the tombstoned slot from its users' video lists — otherwise every
   // later ApplySocialUpdate re-touches the dead record and the map grows
   // without bound under add/remove churn.
@@ -557,9 +614,12 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
 
   // --- Content candidate stage (Figure 6 lines 5-6). ---
   phase.Restart();
+  const bool kappa_fast = UsesKappaFastPath();
+  signature::PreparedSeries query_prepared;
+  if (kappa_fast) query_prepared = signature::PrepareSeries(series);
   if (options_.use_content) {
     if (lsb_ != nullptr) {
-      auto hits = lsb_->CandidatesForSeries(series, probes);
+      auto hits = lsb_->CandidatesForPreparedSeries(query_prepared, probes);
       std::vector<std::pair<int, video::VideoId>> ranked;
       ranked.reserve(hits.size());
       for (const auto& [vid, count] : hits) ranked.emplace_back(count, vid);
@@ -599,45 +659,120 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
   timing.content_ms = phase.ElapsedMillis();
   timing.candidates = pool.size();
 
-  // --- Refinement (Figure 6 lines 7-10): full FJ on the pool. ---
+  // --- Refinement (Figure 6 lines 7-10): FJ over the pool. ---
   phase.Restart();
+  signature::KappaJScratch scratch;  // shared by every candidate this query
+  signature::KappaJStats kstats;
   std::vector<ScoredVideo> scored;
-  scored.reserve(pool.size());
-  for (size_t i : pool) {
-    const Record& record = records_[i];
-    if (record.id == exclude || !record.active) continue;
-    ScoredVideo sv;
-    sv.id = record.id;
-    if (options_.use_content) sv.content = ContentScore(series, record);
-    sv.social = SocialScore(query_names, query_vector, record);
-    if (!options_.use_content) {
-      sv.score = sv.social;  // SR
-    } else if (options_.social_mode == SocialMode::kNone) {
-      sv.score = sv.content;  // CR
-    } else {
-      switch (options_.fusion_rule) {
-        case FusionRule::kWeighted:  // Equation 9
-          sv.score = (1.0 - options_.omega) * sv.content +
-                     options_.omega * sv.social;
-          break;
-        case FusionRule::kAverage:
-          sv.score = 0.5 * (sv.content + sv.social);
-          break;
-        case FusionRule::kMax:
-          sv.score = std::max(sv.content, sv.social);
-          break;
+  // The result order everywhere: score descending, ties by ascending id.
+  auto better = [](const ScoredVideo& a, const ScoredVideo& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+
+  if (kappa_fast && options_.prune_candidates) {
+    // Threshold-based top-K refinement. Social scores are cheap (a dot
+    // product or a name-set Jaccard) — compute them all first, visit
+    // candidates in descending social order (best FJ prospects fill the
+    // top-K early, tightening the bar), and skip any candidate whose fused
+    // upper bound cannot displace the running k-th best. Both skips are
+    // exact: a skipped candidate's true FJ is strictly below the naive
+    // k-th best score, so it cannot appear in the naive top-K either —
+    // scores, order and tie-breaks are bit-for-bit identical to the full
+    // scan (see docs/algorithms.md for the argument, including why the
+    // kBoundSlack guard makes the float comparison safe).
+    struct Pending {
+      size_t slot;
+      double social;
+    };
+    std::vector<Pending> pending;
+    pending.reserve(pool.size());
+    for (size_t i : pool) {
+      const Record& record = records_[i];
+      if (record.id == exclude || !record.active) continue;
+      pending.push_back({i, SocialScore(query_names, query_vector, record)});
+    }
+    std::sort(pending.begin(), pending.end(),
+              [this](const Pending& a, const Pending& b) {
+                if (a.social != b.social) return a.social > b.social;
+                return records_[a.slot].id < records_[b.slot].id;
+              });
+    // Min-heap of the running top-K: top() is the current k-th best.
+    std::priority_queue<ScoredVideo, std::vector<ScoredVideo>,
+                        decltype(better)>
+        topk(better);
+    const size_t want = static_cast<size_t>(k);
+    for (const Pending& p : pending) {
+      const Record& record = records_[p.slot];
+      if (topk.size() == want) {
+        const double bar = topk.top().score - signature::kBoundSlack;
+        // Cascade stage 1: kJ <= 1, so FuseScore(1, social) bounds FJ for
+        // free. In SAR modes social decays along the visit order, so once
+        // this fails every later candidate fails it too — but stage-1 cost
+        // is two flops, so no early break is taken (kExact ties differ).
+        if (FuseScore(1.0, p.social) < bar) {
+          ++timing.candidates_pruned;
+          continue;
+        }
+        // Cascade stage 2: the centroid-bound matrix (O(|S1|*|S2|)
+        // subtractions, no EMD).
+        const double content_ub = signature::KappaJUpperBound(
+            query_prepared, record.prepared, options_.kappa, &scratch);
+        if (FuseScore(content_ub, p.social) < bar) {
+          ++timing.candidates_pruned;
+          continue;
+        }
+      }
+      ScoredVideo sv;
+      sv.id = record.id;
+      sv.social = p.social;
+      sv.content = signature::KappaJPrepared(
+          query_prepared, record.prepared, options_.kappa,
+          options_.prune_pairs, &scratch, &kstats);
+      sv.score = FuseScore(sv.content, sv.social);
+      if (topk.size() < want) {
+        topk.push(sv);
+      } else if (better(sv, topk.top())) {
+        topk.pop();
+        topk.push(sv);
       }
     }
-    scored.push_back(sv);
+    // Drain worst-first, then reverse into the final ranking.
+    scored.reserve(topk.size());
+    while (!topk.empty()) {
+      scored.push_back(topk.top());
+      topk.pop();
+    }
+    std::reverse(scored.begin(), scored.end());
+  } else {
+    // Full scan (DTW/ERP, or candidate pruning disabled). kKappaJ still
+    // scores through the prepared cache so both refinement paths share one
+    // kernel.
+    scored.reserve(pool.size());
+    for (size_t i : pool) {
+      const Record& record = records_[i];
+      if (record.id == exclude || !record.active) continue;
+      ScoredVideo sv;
+      sv.id = record.id;
+      if (options_.use_content) {
+        sv.content = kappa_fast
+                         ? signature::KappaJPrepared(
+                               query_prepared, record.prepared,
+                               options_.kappa, options_.prune_pairs,
+                               &scratch, &kstats)
+                         : ContentScore(series, record);
+      }
+      sv.social = SocialScore(query_names, query_vector, record);
+      sv.score = FuseScore(sv.content, sv.social);
+      scored.push_back(sv);
+    }
+    std::sort(scored.begin(), scored.end(), better);
+    if (scored.size() > static_cast<size_t>(k)) {
+      scored.resize(static_cast<size_t>(k));
+    }
   }
-  std::sort(scored.begin(), scored.end(),
-            [](const ScoredVideo& a, const ScoredVideo& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.id < b.id;
-            });
-  if (scored.size() > static_cast<size_t>(k)) {
-    scored.resize(static_cast<size_t>(k));
-  }
+  timing.emd_calls = kstats.emd_calls;
+  timing.pairs_pruned = kstats.pairs_pruned;
   timing.refine_ms = phase.ElapsedMillis();
   timing.total_ms = total.ElapsedMillis();
   if (timing_out != nullptr) *timing_out = timing;

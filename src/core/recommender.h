@@ -10,6 +10,7 @@
 #include "index/inverted_file.h"
 #include "index/lsb_index.h"
 #include "signature/cuboid_signature.h"
+#include "signature/prepared_signature.h"
 #include "signature/series_measures.h"
 #include "social/descriptor.h"
 #include "social/sar.h"
@@ -57,6 +58,17 @@ struct RecommenderOptions {
   /// refine stage scans all videos.
   bool use_lsb_index = true;
   int lsb_probes = 8;
+  /// Content fast-path toggles (kKappaJ only; ignored for DTW/ERP). Both
+  /// prunes are *exact* — results are bit-for-bit identical with them on or
+  /// off — so the flags exist for ablation and the equivalence tests, not as
+  /// accuracy knobs.
+  /// Skip signature pairs whose centroid EMD lower bound proves SimC cannot
+  /// reach kappa.match_threshold (see EmdLowerBound).
+  bool prune_pairs = true;
+  /// Threshold-based top-K refinement: score cheap social first, then skip
+  /// candidates whose fused upper bound cannot displace the running k-th
+  /// best result.
+  bool prune_candidates = true;
   /// Refinement pool size (top social + content candidates kept).
   size_t max_candidates = 400;
   /// Worker threads for Finalize() and RecommendBatch(): 0 picks the
@@ -90,6 +102,10 @@ struct QueryTiming {
   /// LSB index this never exceeds max(max_candidates, k + 1); exhaustive
   /// content modes (DTW/ERP or use_lsb_index=false) scan the live corpus.
   size_t candidates = 0;
+  /// Fast-path work counters (kKappaJ content only; all 0 for DTW/ERP).
+  size_t emd_calls = 0;          // exact EMD kernel evaluations
+  size_t pairs_pruned = 0;       // signature pairs skipped by the EMD bound
+  size_t candidates_pruned = 0;  // pool entries skipped by the FJ bound
 };
 
 /// One query of a RecommendBatch call.
@@ -240,6 +256,10 @@ class Recommender {
   struct Record {
     video::VideoId id = -1;
     signature::SignatureSeries series;
+    /// Value-sorted, prefix-summed form of `series`, built once at
+    /// Finalize() when the kKappaJ fast path is active (empty otherwise and
+    /// after RemoveVideo). Every query-time EMD runs off this cache.
+    signature::PreparedSeries prepared;
     social::SocialDescriptor descriptor;
     std::vector<double> social_vector;  // SAR histogram (SAR modes)
     /// Cached user-name strings (kExact mode only): the paper's baseline
@@ -263,8 +283,19 @@ class Recommender {
     return options_.social_mode == SocialMode::kSar ||
            options_.social_mode == SocialMode::kSarHash;
   }
+  /// True when queries score content through the prepared-signature kernels
+  /// (kKappaJ); DTW/ERP keep the naive per-call path.
+  bool UsesKappaFastPath() const {
+    return options_.use_content &&
+           options_.content_measure == ContentMeasure::kKappaJ;
+  }
   double ContentScore(const signature::SignatureSeries& query,
                       const Record& record) const;
+  /// The fusion switch (Equation 9 and the ablation rules), shared by the
+  /// refinement loop and its upper-bound cascade so both run the identical
+  /// arithmetic. Monotone non-decreasing in `content` for every rule, which
+  /// is what makes FuseScore(upper_bound, social) a valid FJ upper bound.
+  double FuseScore(double content, double social) const;
   double SocialScore(const std::vector<std::string>& query_names,
                      const std::vector<double>& query_vector,
                      const Record& record) const;

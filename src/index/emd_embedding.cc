@@ -24,6 +24,28 @@ std::vector<double> EmbedSignature(const signature::CuboidSignature& sig,
   return out;
 }
 
+std::vector<double> EmbedPrepared(const signature::PreparedSignature& sig,
+                                  const EmbeddingOptions& options) {
+  const int d = options.dims;
+  std::vector<double> out(static_cast<size_t>(d), 0.0);
+  const double span = options.domain_max - options.domain_min;
+  const double bin_width = span / static_cast<double>(d);
+  // Values are sorted, so one pointer sweeps the support while the bin index
+  // advances; the prefix-summed cdf supplies the accumulated mass in O(1).
+  size_t ptr = 0;
+  for (int i = 0; i < d; ++i) {
+    while (ptr < sig.size()) {
+      const double pos = (sig.values[ptr] - options.domain_min) / span;
+      const int first_bin =
+          std::clamp(static_cast<int>(std::floor(pos * d)), 0, d - 1);
+      if (first_bin > i) break;
+      ++ptr;
+    }
+    out[static_cast<size_t>(i)] = ptr > 0 ? sig.cdf[ptr - 1] * bin_width : 0.0;
+  }
+  return out;
+}
+
 double EmbeddedL1(const std::vector<double>& a,
                   const std::vector<double>& b) {
   double d = 0.0;

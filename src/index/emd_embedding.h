@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "signature/cuboid_signature.h"
+#include "signature/prepared_signature.h"
 
 namespace vrec::index {
 
@@ -29,6 +30,12 @@ struct EmbeddingOptions {
 /// L1(e(a), e(b)) approximates EMD(a, b).
 std::vector<double> EmbedSignature(const signature::CuboidSignature& sig,
                                    const EmbeddingOptions& options = {});
+
+/// Same embedding from a prepared signature. The value-sorted support and
+/// prefix-summed weights reduce the cost from O(n * dims) bin fills to a
+/// single O(n + dims) sweep: each grid point reads the CDF directly.
+std::vector<double> EmbedPrepared(const signature::PreparedSignature& sig,
+                                  const EmbeddingOptions& options = {});
 
 /// L1 distance between two embedded vectors (= approximate EMD).
 double EmbeddedL1(const std::vector<double>& a, const std::vector<double>& b);

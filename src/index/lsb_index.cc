@@ -73,11 +73,38 @@ void LsbIndex::AddVideosBulk(
   indexed_ += flat.size();
 }
 
-std::unordered_map<int64_t, int> LsbIndex::Candidates(
-    const signature::CuboidSignature& query, int probes) const {
-  std::unordered_map<int64_t, int> hits;
-  const std::vector<double> embedded =
-      EmbedSignature(query, options_.embedding);
+void LsbIndex::AddVideosBulkPrepared(
+    const std::vector<std::pair<int64_t, const signature::PreparedSeries*>>&
+        videos,
+    util::ThreadPool* pool) {
+  struct Flat {
+    int64_t video_id;
+    uint32_t sig_index;
+    const signature::PreparedSignature* signature;
+  };
+  std::vector<Flat> flat;
+  for (const auto& [vid, series] : videos) {
+    for (size_t s = 0; s < series->size(); ++s) {
+      flat.push_back({vid, static_cast<uint32_t>(s), &(*series)[s]});
+    }
+  }
+
+  std::vector<std::vector<double>> embedded(flat.size());
+  util::ParallelFor(pool, flat.size(), [&](size_t i) {
+    embedded[i] = EmbedPrepared(*flat[i].signature, options_.embedding);
+  });
+
+  util::ParallelFor(pool, trees_.size(), [&](size_t t) {
+    for (size_t i = 0; i < flat.size(); ++i) {
+      trees_[t].Insert(ZValue(t, embedded[i]),
+                       {flat[i].video_id, flat[i].sig_index});
+    }
+  });
+  indexed_ += flat.size();
+}
+
+void LsbIndex::ProbeEmbedded(const std::vector<double>& embedded, int probes,
+                             std::unordered_map<int64_t, int>& hits) const {
   for (size_t t = 0; t < trees_.size(); ++t) {
     const uint64_t z = ZValue(t, embedded);
     // Expand outwards from the query position: entries adjacent in Z-order
@@ -100,6 +127,19 @@ std::unordered_map<int64_t, int> LsbIndex::Candidates(
       }
     }
   }
+}
+
+std::unordered_map<int64_t, int> LsbIndex::Candidates(
+    const signature::CuboidSignature& query, int probes) const {
+  std::unordered_map<int64_t, int> hits;
+  ProbeEmbedded(EmbedSignature(query, options_.embedding), probes, hits);
+  return hits;
+}
+
+std::unordered_map<int64_t, int> LsbIndex::CandidatesPrepared(
+    const signature::PreparedSignature& query, int probes) const {
+  std::unordered_map<int64_t, int> hits;
+  ProbeEmbedded(EmbedPrepared(query, options_.embedding), probes, hits);
   return hits;
 }
 
@@ -107,9 +147,16 @@ std::unordered_map<int64_t, int> LsbIndex::CandidatesForSeries(
     const signature::SignatureSeries& series, int probes) const {
   std::unordered_map<int64_t, int> hits;
   for (const auto& sig : series) {
-    for (const auto& [vid, count] : Candidates(sig, probes)) {
-      hits[vid] += count;
-    }
+    ProbeEmbedded(EmbedSignature(sig, options_.embedding), probes, hits);
+  }
+  return hits;
+}
+
+std::unordered_map<int64_t, int> LsbIndex::CandidatesForPreparedSeries(
+    const signature::PreparedSeries& series, int probes) const {
+  std::unordered_map<int64_t, int> hits;
+  for (const auto& sig : series) {
+    ProbeEmbedded(EmbedPrepared(sig, options_.embedding), probes, hits);
   }
   return hits;
 }

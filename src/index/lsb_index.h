@@ -46,6 +46,13 @@ class LsbIndex {
           videos,
       util::ThreadPool* pool);
 
+  /// Bulk build from prepared series (the recommender's fast path): same
+  /// forest, same Z-values modulo the cheaper O(n + dims) CDF embedding.
+  void AddVideosBulkPrepared(
+      const std::vector<std::pair<int64_t, const signature::PreparedSeries*>>&
+          videos,
+      util::ThreadPool* pool);
+
   /// Candidate videos for one query signature: each tree is probed around
   /// the query's Z-value, expanding to the entries with the longest common
   /// prefix first (`probes` entries per direction per tree). Returns video
@@ -58,6 +65,12 @@ class LsbIndex {
   std::unordered_map<int64_t, int> CandidatesForSeries(
       const signature::SignatureSeries& series, int probes = 8) const;
 
+  /// Prepared-form probes; identical semantics to the raw overloads.
+  std::unordered_map<int64_t, int> CandidatesPrepared(
+      const signature::PreparedSignature& query, int probes = 8) const;
+  std::unordered_map<int64_t, int> CandidatesForPreparedSeries(
+      const signature::PreparedSeries& series, int probes = 8) const;
+
   size_t indexed_signatures() const { return indexed_; }
   const Options& options() const { return options_; }
 
@@ -69,6 +82,9 @@ class LsbIndex {
 
  private:
   uint64_t ZValue(size_t tree, const std::vector<double>& embedded) const;
+  /// Probes every tree around `embedded`'s Z-value, merging hit counts.
+  void ProbeEmbedded(const std::vector<double>& embedded, int probes,
+                     std::unordered_map<int64_t, int>& hits) const;
 
   Options options_;
   std::vector<L1Lsh> hashes_;    // one per tree

@@ -5,36 +5,22 @@
 #include <limits>
 #include <vector>
 
+#include "util/check.h"
+
 namespace vrec::signature {
 namespace {
 
 constexpr double kMassTolerance = 1e-6;
 
-// One signed CDF event: +weight for signature A, -weight for signature B.
-struct Event {
-  double value;
-  double signed_weight;
-};
-
 }  // namespace
 
 double EmdExact1D(const CuboidSignature& a, const CuboidSignature& b) {
-  std::vector<Event> events;
-  events.reserve(a.size() + b.size());
-  for (const Cuboid& c : a) events.push_back({c.value, c.weight});
-  for (const Cuboid& c : b) events.push_back({c.value, -c.weight});
-  std::sort(events.begin(), events.end(),
-            [](const Event& x, const Event& y) { return x.value < y.value; });
-
-  // Sweep: between consecutive support points the CDF difference is
-  // constant; EMD = integral of |F_a - F_b|.
-  double emd = 0.0;
-  double cum = 0.0;
-  for (size_t i = 0; i + 1 < events.size(); ++i) {
-    cum += events[i].signed_weight;
-    emd += std::abs(cum) * (events[i + 1].value - events[i].value);
-  }
-  return emd;
+  VREC_DCHECK(!a.empty() && !b.empty());
+  // Shim over the prepared-signature kernel so every path — this reference
+  // entry point and the fast path over cached prepared forms — runs the
+  // identical arithmetic (the fast-path equivalence tests rely on that).
+  // EmdPrepared handles the empty-signature case defensively (+infinity).
+  return EmdPrepared(PrepareSignature(a), PrepareSignature(b));
 }
 
 StatusOr<double> EmdTransport(const CuboidSignature& a,

@@ -2,6 +2,7 @@
 #define VREC_SIGNATURE_EMD_H_
 
 #include "signature/cuboid_signature.h"
+#include "signature/prepared_signature.h"
 #include "util/status.h"
 
 namespace vrec::signature {
@@ -18,11 +19,18 @@ namespace vrec::signature {
 ///    ground cost and validates the closed form in tests. O((n+m)^2 nm)
 ///    worst case but signatures are tiny (<= grid_dim^2 cuboids).
 ///
-/// Both require valid signatures (all weights > 0, masses equal to 1);
-/// EmdTransport reports violations via Status.
+/// Both require valid signatures (non-empty, all weights > 0, masses equal
+/// to 1); EmdTransport reports violations via Status.
 
-/// Closed-form 1D EMD. Preconditions are asserted only in debug builds; the
-/// caller is expected to pass valid signatures (see IsValidSignature).
+/// Closed-form 1D EMD. Since the prepared-signature fast path landed this is
+/// a thin shim over EmdPrepared (prepare both sides, run the allocation-free
+/// kernel), kept as the reference entry point for tests and baselines; hot
+/// paths prepare once and call EmdPrepared directly.
+///
+/// Precondition: both signatures non-empty (VREC_DCHECK-ed; see
+/// IsValidSignature). Passing an empty signature is a caller bug — there is
+/// no mass to transport — and in release builds it defensively returns
+/// +infinity (similarity 0), never 0 (which would mean perfect similarity).
 double EmdExact1D(const CuboidSignature& a, const CuboidSignature& b);
 
 /// General transportation-problem EMD.

@@ -1,0 +1,110 @@
+#include "signature/prepared_signature.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace vrec::signature {
+
+PreparedSignature PrepareSignature(const CuboidSignature& sig) {
+  PreparedSignature out;
+  const size_t n = sig.size();
+  if (n == 0) return out;
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&sig](size_t x, size_t y) {
+    return sig[x].value < sig[y].value;
+  });
+
+  out.values.resize(n);
+  out.weights.resize(n);
+  out.cdf.resize(n);
+  double mass = 0.0;
+  double mean = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Cuboid& c = sig[order[i]];
+    out.values[i] = c.value;
+    out.weights[i] = c.weight;
+    mass += c.weight;
+    out.cdf[i] = mass;
+    mean += c.value * c.weight;
+  }
+  out.mean = mean;
+  out.min_value = out.values.front();
+  out.max_value = out.values.back();
+  return out;
+}
+
+PreparedSeries PrepareSeries(const SignatureSeries& series) {
+  PreparedSeries out;
+  out.reserve(series.size());
+  for (const CuboidSignature& sig : series) {
+    out.push_back(PrepareSignature(sig));
+  }
+  return out;
+}
+
+double EmdPrepared(const PreparedSignature& a, const PreparedSignature& b) {
+  VREC_DCHECK(!a.empty() && !b.empty());
+  if (a.empty() || b.empty()) {
+    // No mass to transport: reject as maximally distant, mirroring
+    // EmdTransport's InvalidArgument (0 would mean perfect similarity).
+    return std::numeric_limits<double>::infinity();
+  }
+  // Sweep the signed CDF difference F_a - F_b over the merged supports:
+  // EMD = integral of |F_a - F_b|. Equal values are consumed pairwise (one
+  // event from each side) so that identical signatures keep the running sum
+  // at exactly 0.0 and EmdPrepared(s, s) == 0 bit-for-bit.
+  const size_t n = a.size();
+  const size_t m = b.size();
+  size_t i = 0;
+  size_t j = 0;
+  double emd = 0.0;
+  double cum = 0.0;
+  double prev = 0.0;
+  bool first = true;
+  while (i < n || j < m) {
+    double v;
+    int take;  // 0: from a, 1: from b, 2: one from each (tie)
+    if (j >= m || (i < n && a.values[i] < b.values[j])) {
+      v = a.values[i];
+      take = 0;
+    } else if (i >= n || b.values[j] < a.values[i]) {
+      v = b.values[j];
+      take = 1;
+    } else {
+      v = a.values[i];
+      take = 2;
+    }
+    if (!first) emd += std::abs(cum) * (v - prev);
+    prev = v;
+    first = false;
+    if (take == 0) {
+      cum += a.weights[i++];
+    } else if (take == 1) {
+      cum -= b.weights[j++];
+    } else {
+      cum += a.weights[i++];
+      cum -= b.weights[j++];
+    }
+  }
+  return emd;
+}
+
+double SimCPrepared(const PreparedSignature& a, const PreparedSignature& b) {
+  return 1.0 / (1.0 + EmdPrepared(a, b));
+}
+
+double EmdLowerBound(const PreparedSignature& a, const PreparedSignature& b) {
+  return std::abs(a.mean - b.mean);
+}
+
+double SimCUpperBound(const PreparedSignature& a, const PreparedSignature& b) {
+  return 1.0 / (1.0 + EmdLowerBound(a, b));
+}
+
+}  // namespace vrec::signature

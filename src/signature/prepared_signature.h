@@ -1,0 +1,74 @@
+#ifndef VREC_SIGNATURE_PREPARED_SIGNATURE_H_
+#define VREC_SIGNATURE_PREPARED_SIGNATURE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "signature/cuboid_signature.h"
+
+namespace vrec::signature {
+
+/// A CuboidSignature flattened for the content-scoring fast path: supports
+/// sorted ascending by value, weights aligned with them, the weight prefix
+/// sums (the signature's CDF), and the moments the pruning bounds need
+/// (mean, min, max) cached once at build time. Preparing costs one sort per
+/// signature; afterwards
+///   - EMD against any other prepared signature is an allocation-free
+///     two-pointer merge over the presorted supports (EmdPrepared), and
+///   - the centroid lower bound |mean_a - mean_b| <= EMD is one subtraction
+///     (EmdLowerBound / SimCUpperBound).
+struct PreparedSignature {
+  std::vector<double> values;   // ascending
+  std::vector<double> weights;  // weights[i] belongs to values[i]
+  std::vector<double> cdf;      // cdf[i] = weights[0] + ... + weights[i]
+  double mean = 0.0;            // sum_i values[i] * weights[i]
+  double min_value = 0.0;       // values.front() (0 when empty)
+  double max_value = 0.0;       // values.back()  (0 when empty)
+
+  bool empty() const { return values.empty(); }
+  size_t size() const { return values.size(); }
+};
+
+/// The prepared form of a whole signature series.
+using PreparedSeries = std::vector<PreparedSignature>;
+
+/// Comparison slack used wherever a pruning bound is compared against a
+/// threshold or a running k-th best score. The bounds are mathematically
+/// exact; the slack absorbs the (<= ~1e-11 for in-domain signatures:
+/// |value| <= 255, <= grid_dim^2 cuboids) floating-point divergence between
+/// a bound and the quantity it bounds, so pruning never changes results.
+inline constexpr double kBoundSlack = 1e-9;
+
+/// Flattens one signature. Stable-sorts by value, so the prepared form is a
+/// deterministic function of the input (duplicate values keep their order).
+PreparedSignature PrepareSignature(const CuboidSignature& sig);
+
+/// Prepares every signature of a series.
+PreparedSeries PrepareSeries(const SignatureSeries& series);
+
+/// Closed-form 1D EMD over prepared signatures: one two-pointer sweep of
+/// the signed CDF difference, no allocation, no sorting.
+///
+/// Precondition: both signatures non-empty (VREC_DCHECK-ed). An empty
+/// signature has no mass to transport, so in release builds the defensive
+/// answer is +infinity (similarity 0) — never 0 (perfect similarity).
+double EmdPrepared(const PreparedSignature& a, const PreparedSignature& b);
+
+/// SimC = 1 / (1 + EMD) (Equation 3) over prepared signatures.
+double SimCPrepared(const PreparedSignature& a, const PreparedSignature& b);
+
+/// Exact EMD lower bound for equal-mass 1D signatures: the centroid bound
+/// |mean_a - mean_b| <= EMD. (Any transport plan moves the mean by exactly
+/// mean_b - mean_a, and each unit of mass moved |v_i - u_j| costs at least
+/// its signed displacement, so total cost >= |sum of displacements|.)
+double EmdLowerBound(const PreparedSignature& a, const PreparedSignature& b);
+
+/// The matching SimC upper bound: SimC <= 1 / (1 + EmdLowerBound), since
+/// x -> 1/(1+x) is decreasing. A pair whose upper bound sits below the
+/// match threshold can be skipped without computing EMD — it could never
+/// have been a matched pair in Equation 4.
+double SimCUpperBound(const PreparedSignature& a, const PreparedSignature& b);
+
+}  // namespace vrec::signature
+
+#endif  // VREC_SIGNATURE_PREPARED_SIGNATURE_H_

@@ -1,44 +1,61 @@
 #include "signature/series_measures.h"
 
 #include <algorithm>
-#include <vector>
-
-#include "signature/emd.h"
 
 namespace vrec::signature {
 
 double KappaJ(const SignatureSeries& s1, const SignatureSeries& s2,
               const KappaJOptions& options) {
-  if (s1.empty() && s2.empty()) return 0.0;
+  // Reference path: prepare on the fly, evaluate every pair. Shares the
+  // EmdPrepared kernel with the fast path so results match bit for bit.
+  return KappaJPrepared(PrepareSeries(s1), PrepareSeries(s2), options,
+                        /*prune_pairs=*/false);
+}
+
+double KappaJPrepared(const PreparedSeries& s1, const PreparedSeries& s2,
+                      const KappaJOptions& options, bool prune_pairs,
+                      KappaJScratch* scratch, KappaJStats* stats) {
   if (s1.empty() || s2.empty()) return 0.0;
 
-  struct Candidate {
-    double sim;
-    size_t i;
-    size_t j;
-  };
-  std::vector<Candidate> candidates;
-  candidates.reserve(s1.size() * s2.size());
+  KappaJScratch local;
+  KappaJScratch& s = scratch != nullptr ? *scratch : local;
+  s.pairs.clear();
+  // Matched pairs cannot exceed min(|S1|, |S2|); near-duplicate series add
+  // little more than noise above the threshold, so |S1| + |S2| is a roomy
+  // first-call heuristic. The scratch keeps whatever capacity a query's
+  // worst candidate needed, so later growth is rare and amortized.
+  s.pairs.reserve(std::min(s1.size() * s2.size(), s1.size() + s2.size()));
+
+  const double prune_below = options.match_threshold - kBoundSlack;
   for (size_t i = 0; i < s1.size(); ++i) {
     for (size_t j = 0; j < s2.size(); ++j) {
-      const double sim = SimC(s1[i], s2[j]);
-      if (sim >= options.match_threshold) candidates.push_back({sim, i, j});
+      if (prune_pairs && SimCUpperBound(s1[i], s2[j]) < prune_below) {
+        if (stats != nullptr) ++stats->pairs_pruned;
+        continue;
+      }
+      if (stats != nullptr) ++stats->emd_calls;
+      const double sim = SimCPrepared(s1[i], s2[j]);
+      if (sim >= options.match_threshold) {
+        s.pairs.push_back({sim, static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(j)});
+      }
     }
   }
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) {
+  std::sort(s.pairs.begin(), s.pairs.end(),
+            [](const KappaJScratch::Pair& a, const KappaJScratch::Pair& b) {
               if (a.sim != b.sim) return a.sim > b.sim;
               if (a.i != b.i) return a.i < b.i;
               return a.j < b.j;
             });
 
-  std::vector<bool> used1(s1.size(), false), used2(s2.size(), false);
+  s.used1.assign(s1.size(), 0);
+  s.used2.assign(s2.size(), 0);
   double total_sim = 0.0;
   size_t matched = 0;
-  for (const Candidate& c : candidates) {
-    if (used1[c.i] || used2[c.j]) continue;
-    used1[c.i] = true;
-    used2[c.j] = true;
+  for (const KappaJScratch::Pair& c : s.pairs) {
+    if (s.used1[c.i] || s.used2[c.j]) continue;
+    s.used1[c.i] = 1;
+    s.used2[c.j] = 1;
     total_sim += c.sim;
     ++matched;
   }
@@ -46,6 +63,53 @@ double KappaJ(const SignatureSeries& s1, const SignatureSeries& s2,
   const double union_size =
       static_cast<double>(s1.size() + s2.size() - matched);
   return total_sim / union_size;
+}
+
+double KappaJUpperBound(const PreparedSeries& s1, const PreparedSeries& s2,
+                        const KappaJOptions& options,
+                        KappaJScratch* scratch) {
+  if (s1.empty() || s2.empty()) return 0.0;
+
+  KappaJScratch local;
+  KappaJScratch& s = scratch != nullptr ? *scratch : local;
+  s.col_max.assign(s2.size(), 0.0);
+
+  // A row (column) whose best centroid bound cannot reach the threshold can
+  // never host a matched pair; kBoundSlack keeps the cut conservative.
+  const double reachable = options.match_threshold - kBoundSlack;
+  double row_sum = 0.0;
+  size_t row_cnt = 0;
+  for (size_t i = 0; i < s1.size(); ++i) {
+    double best = 0.0;
+    for (size_t j = 0; j < s2.size(); ++j) {
+      const double ub = SimCUpperBound(s1[i], s2[j]);
+      if (ub > best) best = ub;
+      if (ub > s.col_max[j]) s.col_max[j] = ub;
+    }
+    if (best >= reachable) {
+      row_sum += best;
+      ++row_cnt;
+    }
+  }
+  double col_sum = 0.0;
+  size_t col_cnt = 0;
+  for (size_t j = 0; j < s2.size(); ++j) {
+    if (s.col_max[j] >= reachable) {
+      col_sum += s.col_max[j];
+      ++col_cnt;
+    }
+  }
+
+  // Matched-pair sum <= sum of per-row maxima over matchable rows (each
+  // matched pair sits in a distinct row), and symmetrically for columns;
+  // matched count <= matchable rows (resp. columns). Take the tighter side
+  // of each: kJ <= min(row_sum, col_sum) / (|S1| + |S2| - min counts).
+  const double numerator = std::min(row_sum, col_sum);
+  if (numerator <= 0.0) return 0.0;
+  const size_t matched_ub = std::min(row_cnt, col_cnt);
+  const double union_lb =
+      static_cast<double>(s1.size() + s2.size() - matched_ub);
+  return numerator / union_lb;
 }
 
 }  // namespace vrec::signature

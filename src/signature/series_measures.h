@@ -1,7 +1,12 @@
 #ifndef VREC_SIGNATURE_SERIES_MEASURES_H_
 #define VREC_SIGNATURE_SERIES_MEASURES_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "signature/cuboid_signature.h"
+#include "signature/prepared_signature.h"
 
 namespace vrec::signature {
 
@@ -10,6 +15,27 @@ struct KappaJOptions {
   /// Minimum SimC for a signature pair to count as matched. Pairs below the
   /// threshold contribute nothing (they are "unmatched" segments).
   double match_threshold = 0.25;
+};
+
+/// Prune/observability counters of one or more KappaJPrepared evaluations.
+struct KappaJStats {
+  size_t emd_calls = 0;     // exact EMD kernel evaluations performed
+  size_t pairs_pruned = 0;  // pairs skipped by the centroid SimC bound
+};
+
+/// Reusable buffers for KappaJPrepared / KappaJUpperBound. One scratch per
+/// query amortizes every allocation across all candidates: the first few
+/// candidates grow the buffers, the rest run allocation-free.
+struct KappaJScratch {
+  struct Pair {
+    double sim;
+    uint32_t i;
+    uint32_t j;
+  };
+  std::vector<Pair> pairs;     // above-threshold pairs, then sorted
+  std::vector<char> used1;     // greedy-matching flags for s1 / s2
+  std::vector<char> used2;
+  std::vector<double> col_max;  // per-column SimC bound (KappaJUpperBound)
 };
 
 /// Extended Jaccard similarity between two signature series (Equation 4):
@@ -22,8 +48,40 @@ struct KappaJOptions {
 /// |S1| + |S2| - #matched, so fully-matched identical series score 1.
 /// Segment order is deliberately ignored (the paper's robustness argument
 /// for kJ vs. DTW/ERP under sequence-level re-editing).
+///
+/// This entry point is the naive reference: it prepares both series and
+/// evaluates every pair (no pruning). Hot paths prepare once and call
+/// KappaJPrepared, which is bit-for-bit identical.
 double KappaJ(const SignatureSeries& s1, const SignatureSeries& s2,
               const KappaJOptions& options = {});
+
+/// The fast-path form of Equation 4 over prepared series.
+///
+/// With prune_pairs on, any pair whose centroid SimC upper bound
+/// (SimCUpperBound) sits below match_threshold - kBoundSlack is skipped
+/// without evaluating EMD. Exact: such a pair's true SimC is below the
+/// threshold, so the naive path would have discarded it anyway — the
+/// surviving pair set, and therefore the result, is bit-for-bit identical
+/// with pruning on or off.
+///
+/// `scratch` (optional) supplies reusable buffers; `stats` (optional)
+/// accumulates EMD-call and prune counters across calls.
+double KappaJPrepared(const PreparedSeries& s1, const PreparedSeries& s2,
+                      const KappaJOptions& options = {},
+                      bool prune_pairs = true,
+                      KappaJScratch* scratch = nullptr,
+                      KappaJStats* stats = nullptr);
+
+/// Cheap upper bound on KappaJPrepared(s1, s2, options), from per-pair
+/// centroid SimC bounds only (no EMD evaluation): the matched-pair sum is
+/// bounded by the per-row (and per-column) maxima of the bound matrix
+/// restricted to rows/columns that could reach the threshold, and the union
+/// size from below by |S1| + |S2| - #rows (resp. columns) that could match.
+/// Costs O(|S1| * |S2|) subtractions. Used by the recommender's top-K
+/// refinement to skip whole candidates.
+double KappaJUpperBound(const PreparedSeries& s1, const PreparedSeries& s2,
+                        const KappaJOptions& options = {},
+                        KappaJScratch* scratch = nullptr);
 
 }  // namespace vrec::signature
 

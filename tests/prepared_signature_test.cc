@@ -1,0 +1,156 @@
+// Unit tests for the prepared-signature fast path: the flattened form
+// itself, the allocation-free EMD kernel, and the centroid lower bound the
+// pair/candidate pruning relies on.
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "signature/emd.h"
+#include "signature/prepared_signature.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace vrec::signature {
+namespace {
+
+CuboidSignature RandomSignature(Rng* rng, int max_cuboids = 6) {
+  const int n = static_cast<int>(rng->UniformInt(1, max_cuboids));
+  CuboidSignature sig;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Cuboid c;
+    c.value = rng->Uniform(-100.0, 100.0);
+    c.weight = rng->Uniform(0.05, 1.0);
+    total += c.weight;
+    sig.push_back(c);
+  }
+  for (Cuboid& c : sig) c.weight /= total;
+  return sig;
+}
+
+TEST(PrepareSignatureTest, SortsValuesAndPrefixSumsWeights) {
+  const CuboidSignature sig = {{5.0, 0.2}, {-3.0, 0.5}, {1.0, 0.3}};
+  const PreparedSignature p = PrepareSignature(sig);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.values[0], -3.0);
+  EXPECT_DOUBLE_EQ(p.values[1], 1.0);
+  EXPECT_DOUBLE_EQ(p.values[2], 5.0);
+  EXPECT_DOUBLE_EQ(p.weights[0], 0.5);
+  EXPECT_DOUBLE_EQ(p.weights[1], 0.3);
+  EXPECT_DOUBLE_EQ(p.weights[2], 0.2);
+  EXPECT_DOUBLE_EQ(p.cdf[0], 0.5);
+  EXPECT_DOUBLE_EQ(p.cdf[1], 0.8);
+  EXPECT_NEAR(p.cdf[2], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(p.min_value, -3.0);
+  EXPECT_DOUBLE_EQ(p.max_value, 5.0);
+  // mean = 0.2*5 - 0.5*3 + 0.3*1
+  EXPECT_NEAR(p.mean, 1.0 - 1.5 + 0.3, 1e-12);
+}
+
+TEST(PrepareSignatureTest, EmptySignatureYieldsEmptyForm) {
+  const PreparedSignature p = PrepareSignature({});
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(PrepareSeriesTest, PreparesEachSignature) {
+  SignatureSeries series;
+  series.push_back({{0.0, 1.0}});
+  series.push_back({{4.0, 0.5}, {-4.0, 0.5}});
+  const PreparedSeries prepared = PrepareSeries(series);
+  ASSERT_EQ(prepared.size(), 2u);
+  EXPECT_EQ(prepared[0].size(), 1u);
+  EXPECT_EQ(prepared[1].size(), 2u);
+  EXPECT_DOUBLE_EQ(prepared[1].values[0], -4.0);
+}
+
+TEST(EmdPreparedTest, MatchesShimExactly) {
+  // EmdExact1D is a shim over this kernel, so equality must be bitwise.
+  Rng rng(301);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto a = RandomSignature(&rng);
+    const auto b = RandomSignature(&rng);
+    EXPECT_EQ(EmdPrepared(PrepareSignature(a), PrepareSignature(b)),
+              EmdExact1D(a, b));
+  }
+}
+
+TEST(EmdPreparedTest, IdenticalSignaturesAreExactlyZero) {
+  // The tie rule (consume equal values pairwise) guarantees exact 0.0, not
+  // merely near-zero — KappaJ(s, s) == 1.0 depends on it.
+  Rng rng(303);
+  for (int trial = 0; trial < 40; ++trial) {
+    const PreparedSignature p = PrepareSignature(RandomSignature(&rng));
+    EXPECT_EQ(EmdPrepared(p, p), 0.0);
+    EXPECT_EQ(SimCPrepared(p, p), 1.0);
+  }
+}
+
+TEST(EmdPreparedTest, MatchesTransportGroundTruth) {
+  Rng rng(305);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto a = RandomSignature(&rng);
+    const auto b = RandomSignature(&rng);
+    const auto transport = EmdTransport(a, b);
+    ASSERT_TRUE(transport.ok()) << transport.status().ToString();
+    EXPECT_NEAR(EmdPrepared(PrepareSignature(a), PrepareSignature(b)),
+                *transport, 1e-6)
+        << "trial " << trial;
+  }
+}
+
+TEST(EmdLowerBoundTest, NeverExceedsExactEmd) {
+  // |mean_a - mean_b| <= EMD for equal-mass signatures (Jensen on the
+  // transport plan) — the property both prune layers rest on. Checked
+  // against the transportation solver, not just the closed form.
+  Rng rng(307);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto a = RandomSignature(&rng);
+    const auto b = RandomSignature(&rng);
+    const PreparedSignature pa = PrepareSignature(a);
+    const PreparedSignature pb = PrepareSignature(b);
+    const double lb = EmdLowerBound(pa, pb);
+    EXPECT_LE(lb, EmdPrepared(pa, pb) + 1e-9) << "trial " << trial;
+    const auto transport = EmdTransport(a, b);
+    ASSERT_TRUE(transport.ok());
+    EXPECT_LE(lb, *transport + 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(EmdLowerBoundTest, TightForSinglePointSignatures) {
+  const PreparedSignature a = PrepareSignature({{3.0, 1.0}});
+  const PreparedSignature b = PrepareSignature({{-7.0, 1.0}});
+  EXPECT_DOUBLE_EQ(EmdLowerBound(a, b), 10.0);
+  EXPECT_DOUBLE_EQ(EmdPrepared(a, b), 10.0);
+}
+
+TEST(SimCUpperBoundTest, NeverBelowTrueSimC) {
+  Rng rng(309);
+  for (int trial = 0; trial < 120; ++trial) {
+    const PreparedSignature a = PrepareSignature(RandomSignature(&rng));
+    const PreparedSignature b = PrepareSignature(RandomSignature(&rng));
+    EXPECT_GE(SimCUpperBound(a, b) + 1e-12, SimCPrepared(a, b))
+        << "trial " << trial;
+  }
+}
+
+#if VREC_DCHECK_IS_ON()
+TEST(EmdPreparedDeathTest, EmptySignatureIsACallerBug) {
+  const PreparedSignature p = PrepareSignature({{0.0, 1.0}});
+  EXPECT_DEATH(EmdPrepared(PreparedSignature{}, p), "empty");
+  EXPECT_DEATH(EmdExact1D({}, {{0.0, 1.0}}), "empty");
+}
+#else
+TEST(EmdPreparedTest, EmptySignatureDefensivelyMaximallyDistant) {
+  // Release builds skip the DCHECK; the defensive answer must be "infinitely
+  // far" (similarity 0), never 0 (which would read as a perfect match).
+  const PreparedSignature p = PrepareSignature({{0.0, 1.0}});
+  EXPECT_TRUE(std::isinf(EmdPrepared(PreparedSignature{}, p)));
+  EXPECT_TRUE(std::isinf(EmdExact1D({}, {{0.0, 1.0}})));
+  EXPECT_EQ(SimCPrepared(PreparedSignature{}, p), 0.0);
+}
+#endif
+
+}  // namespace
+}  // namespace vrec::signature

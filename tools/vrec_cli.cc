@@ -242,6 +242,10 @@ int CmdQuery(const Flags& flags) {
   std::printf("timing: %.2f ms (social %.2f, content %.2f, refine %.2f)\n",
               timing.total_ms, timing.social_ms, timing.content_ms,
               timing.refine_ms);
+  std::printf("fast path: %zu EMD calls, %zu pairs pruned, "
+              "%zu candidates pruned\n",
+              timing.emd_calls, timing.pairs_pruned,
+              timing.candidates_pruned);
   return 0;
 }
 
@@ -311,6 +315,9 @@ int CmdBatch(const Flags& flags) {
     sum.refine_ms += r.timing.refine_ms;
     sum.total_ms += r.timing.total_ms;
     sum.candidates += r.timing.candidates;
+    sum.emd_calls += r.timing.emd_calls;
+    sum.pairs_pruned += r.timing.pairs_pruned;
+    sum.candidates_pruned += r.timing.candidates_pruned;
   }
   const auto answered = static_cast<double>(results.size() - failed);
   if (answered == 0) {
@@ -326,6 +333,12 @@ int CmdBatch(const Flags& flags) {
       sum.total_ms / answered, sum.social_ms / answered,
       sum.content_ms / answered, sum.refine_ms / answered,
       static_cast<double>(sum.candidates) / answered);
+  std::printf(
+      "fast path: %.0f EMD calls, %.0f pairs pruned, "
+      "%.0f candidates pruned (per query)\n",
+      static_cast<double>(sum.emd_calls) / answered,
+      static_cast<double>(sum.pairs_pruned) / answered,
+      static_cast<double>(sum.candidates_pruned) / answered);
   return 0;
 }
 
