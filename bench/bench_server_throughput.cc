@@ -1,0 +1,322 @@
+// Serving throughput of the TCP recommendation server: concurrent clients
+// drive an in-process RecommendServer over loopback, closed-loop to
+// saturation and open-loop across a QPS sweep (p50/p95/p99 latency from
+// the *scheduled* arrival time, so queueing delay is charged to the
+// server, not hidden by a slow client).
+//
+// The closed-loop phase runs twice — micro-batching on (max_batch=8) and
+// the max_batch=1 ablation — on the same workload, so the printed speedup
+// isolates what batch coalescing buys. Results go to BENCH_server.json.
+//
+// Gates (exit non-zero on violation): the mean flushed batch size must
+// exceed 1 (batching actually happened). In full mode the batched
+// configuration must also out-serve the ablation; the throughput gate is
+// skipped under --smoke, where single-core CI containers make the
+// comparison noise.
+//
+// Usage: bench_server_throughput [--smoke] [out.json]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "client/client.h"
+#include "server/server.h"
+#include "util/stopwatch.h"
+
+namespace vrec::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double> values_ms, double p) {
+  if (values_ms.empty()) return 0.0;
+  std::sort(values_ms.begin(), values_ms.end());
+  const size_t idx =
+      std::min(values_ms.size() - 1,
+               static_cast<size_t>(p * static_cast<double>(values_ms.size())));
+  return values_ms[idx];
+}
+
+struct ClosedLoopResult {
+  double qps = 0.0;
+  double mean_batch = 0.0;
+  uint64_t batches_full = 0;
+  uint64_t batches_timer = 0;
+  size_t failed = 0;
+};
+
+/// `threads` clients each replay `per_thread` QueryById requests as fast
+/// as the server answers them (closed loop: the next request leaves when
+/// the previous response lands).
+ClosedLoopResult RunClosedLoop(const core::Recommender* rec,
+                               server::BatcherOptions batcher,
+                               size_t num_videos, size_t threads,
+                               size_t per_thread, int k) {
+  server::ServerOptions options;
+  options.batcher = batcher;
+  server::RecommendServer srv(rec, options);
+  if (const Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+
+  std::atomic<size_t> failed{0};
+  Stopwatch timer;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      client::Client cli;
+      if (!cli.Connect("localhost", srv.port()).ok()) {
+        failed.fetch_add(per_thread);
+        return;
+      }
+      for (size_t i = 0; i < per_thread; ++i) {
+        server::QueryByIdRequest request;
+        request.video =
+            static_cast<video::VideoId>((t * per_thread + i) % num_videos);
+        request.k = k;
+        const auto response = cli.QueryById(request);
+        if (!response.ok() || !response->status.ok()) failed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = timer.ElapsedSeconds();
+
+  ClosedLoopResult result;
+  const auto stats = srv.stats();
+  result.qps = static_cast<double>(threads * per_thread) / elapsed;
+  result.batches_full = stats.batches_full;
+  result.batches_timer = stats.batches_timer;
+  result.failed = failed.load();
+  uint64_t flushed = 0;
+  uint64_t weighted = 0;
+  for (size_t i = 0; i < stats.batch_size_histogram.size(); ++i) {
+    flushed += stats.batch_size_histogram[i];
+    weighted += stats.batch_size_histogram[i] * (i + 1);
+  }
+  result.mean_batch =
+      flushed == 0 ? 0.0
+                   : static_cast<double>(weighted) /
+                         static_cast<double>(flushed);
+  srv.Shutdown();
+  return result;
+}
+
+struct SweepPoint {
+  double target_qps = 0.0;
+  double achieved_qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  size_t failed = 0;
+};
+
+/// Open-loop: request i has a *scheduled* departure of start + i/qps; a
+/// worker that falls behind does not slow the arrival process down, and
+/// each latency sample is measured from the scheduled time, so backlog
+/// shows up as tail latency (the coordinated-omission-free convention).
+/// Concurrency is bounded by `threads` clients pulling the next index.
+SweepPoint RunOpenLoop(const core::Recommender* rec,
+                       server::BatcherOptions batcher, size_t num_videos,
+                       size_t threads, double qps, size_t total, int k) {
+  server::ServerOptions options;
+  options.batcher = batcher;
+  server::RecommendServer srv(rec, options);
+  if (const Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> failed{0};
+  std::vector<double> latencies_ms(total, 0.0);
+  const auto interval =
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(1.0 / qps));
+  const auto start = Clock::now() + std::chrono::milliseconds(5);
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      client::Client cli;
+      if (!cli.Connect("localhost", srv.port()).ok()) return;
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= total) return;
+        const auto scheduled = start + interval * static_cast<int64_t>(i);
+        std::this_thread::sleep_until(scheduled);
+        server::QueryByIdRequest request;
+        request.video = static_cast<video::VideoId>(i % num_videos);
+        request.k = k;
+        const auto response = cli.QueryById(request);
+        if (!response.ok() || !response->status.ok()) {
+          failed.fetch_add(1);
+          continue;
+        }
+        latencies_ms[i] =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      scheduled)
+                .count();
+      }
+    });
+  }
+  Stopwatch timer;
+  for (auto& w : workers) w.join();
+  const double elapsed = timer.ElapsedSeconds();
+
+  SweepPoint point;
+  point.target_qps = qps;
+  point.achieved_qps = static_cast<double>(total) / elapsed;
+  point.p50_ms = Percentile(latencies_ms, 0.50);
+  point.p95_ms = Percentile(latencies_ms, 0.95);
+  point.p99_ms = Percentile(latencies_ms, 0.99);
+  point.failed = failed.load();
+  srv.Shutdown();
+  return point;
+}
+
+int Run(bool smoke, const std::string& out_path) {
+  datagen::DatasetOptions data_options = EffectivenessDatasetOptions();
+  if (smoke) {
+    data_options.num_topics = 8;
+    data_options.community.num_users = 200;
+    data_options.community.num_user_groups = 20;
+  }
+  std::printf("generating corpus...\n");
+  const datagen::Dataset dataset = datagen::GenerateDataset(data_options);
+  std::printf("  %zu videos, %zu users\n", dataset.video_count(),
+              dataset.community.user_count);
+
+  core::RecommenderOptions rec_options;
+  rec_options.social_mode = core::SocialMode::kSarHash;
+  const auto rec = BuildRecommender(dataset, rec_options);
+
+  const int k = 10;
+  const size_t threads = 8;
+  const size_t per_thread = smoke ? 25 : 150;
+  const size_t num_videos = dataset.video_count();
+
+  server::BatcherOptions batched;
+  batched.max_batch = 8;
+  batched.max_delay_us = 2000;
+  server::BatcherOptions unbatched = batched;
+  unbatched.max_batch = 1;  // the ablation: every request its own flush
+
+  std::printf("closed loop: %zu clients x %zu requests, k=%d\n", threads,
+              per_thread, k);
+  const ClosedLoopResult on = RunClosedLoop(rec.get(), batched, num_videos,
+                                            threads, per_thread, k);
+  const ClosedLoopResult off = RunClosedLoop(rec.get(), unbatched,
+                                             num_videos, threads, per_thread,
+                                             k);
+  const double speedup = on.qps / off.qps;
+  std::printf("  batched:  %8.0f qps  mean batch %.2f "
+              "(full=%llu timer=%llu)\n",
+              on.qps, on.mean_batch,
+              static_cast<unsigned long long>(on.batches_full),
+              static_cast<unsigned long long>(on.batches_timer));
+  std::printf("  ablation: %8.0f qps  (max_batch=1)  ->  %.2fx\n", off.qps,
+              speedup);
+  if (on.failed + off.failed > 0) {
+    std::fprintf(stderr, "%zu requests failed\n", on.failed + off.failed);
+    return 1;
+  }
+
+  const std::vector<double> levels =
+      smoke ? std::vector<double>{50.0} : std::vector<double>{50, 100, 200};
+  const double sweep_seconds = smoke ? 0.5 : 2.0;
+  std::printf("open loop sweep (%.1fs per level):\n", sweep_seconds);
+  std::printf("  %10s %12s %9s %9s %9s\n", "target", "achieved", "p50",
+              "p95", "p99");
+  std::vector<SweepPoint> sweep;
+  for (const double qps : levels) {
+    const auto total = static_cast<size_t>(qps * sweep_seconds);
+    sweep.push_back(RunOpenLoop(rec.get(), batched, num_videos, threads, qps,
+                                total, k));
+    const SweepPoint& p = sweep.back();
+    std::printf("  %8.0f/s %10.0f/s %7.2fms %7.2fms %7.2fms\n", p.target_qps,
+                p.achieved_qps, p.p50_ms, p.p95_ms, p.p99_ms);
+    if (p.failed > 0) {
+      std::fprintf(stderr, "%zu sweep requests failed\n", p.failed);
+      return 1;
+    }
+  }
+
+  const bool batching_observed = on.mean_batch > 1.0;
+  const bool batching_won = speedup > 1.0;
+  std::printf("gates: mean batch > 1: %s; batched > ablation: %s%s\n",
+              batching_observed ? "PASS" : "FAIL",
+              batching_won ? "PASS" : "FAIL",
+              smoke ? " (advisory under --smoke)" : "");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"smoke\": %s,\n"
+               "  \"client_threads\": %zu,\n"
+               "  \"requests_per_thread\": %zu,\n"
+               "  \"k\": %d,\n"
+               "  \"batched_qps\": %.2f,\n"
+               "  \"ablation_qps\": %.2f,\n"
+               "  \"batch_speedup\": %.4f,\n"
+               "  \"mean_batch_size\": %.4f,\n"
+               "  \"batches_full\": %llu,\n"
+               "  \"batches_timer\": %llu,\n"
+               "  \"sweep\": [",
+               smoke ? "true" : "false", threads, per_thread, k, on.qps,
+               off.qps, speedup, on.mean_batch,
+               static_cast<unsigned long long>(on.batches_full),
+               static_cast<unsigned long long>(on.batches_timer));
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::fprintf(out,
+                 "%s\n    {\"target_qps\": %.1f, \"achieved_qps\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}",
+                 i == 0 ? "" : ",", sweep[i].target_qps,
+                 sweep[i].achieved_qps, sweep[i].p50_ms, sweep[i].p95_ms,
+                 sweep[i].p99_ms);
+  }
+  std::fprintf(out,
+               "\n  ],\n"
+               "  \"batching_observed\": %s,\n"
+               "  \"batching_won\": %s\n"
+               "}\n",
+               batching_observed ? "true" : "false",
+               batching_won ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!batching_observed) return 1;
+  if (!smoke && !batching_won) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace vrec::bench
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_server.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      out = arg;
+    }
+  }
+  return vrec::bench::Run(smoke, out);
+}

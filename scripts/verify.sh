@@ -21,19 +21,26 @@ echo "=== content fast path: release smoke (equivalence + prune counters) ==="
 # top-K bit for bit AND both prune counters are nonzero (bounds fired).
 ./build/bench/bench_content_scoring 1 10 build/BENCH_content.json
 
-echo "=== asan: invariant stress under Address+UBSanitizer ==="
+echo "=== serving: micro-batching smoke against a live loopback server ==="
+# Exits non-zero unless concurrent queries actually coalesce (mean batch
+# size > 1) and every request is answered.
+./build/bench/bench_server_throughput --smoke build/BENCH_server.json
+
+echo "=== asan: invariant stress + wire decoders under Address+UBSanitizer ==="
 # The DCHECK layer is live here: every engine mutation re-audits itself via
 # VREC_DCHECK_OK(CheckInvariants()) while ASan/UBSan watch the internals,
-# and the StatusOr misuse death tests become active.
+# and the StatusOr misuse death tests become active. Wire runs here because
+# its adversarial decoder tests (bit flips, forged counts, truncation) are
+# exactly what ASan/UBSan catch.
 cmake -B build-asan -S . -DVREC_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" --target vrec_tests
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
-  -R 'InvariantStress|Status|DynamicsFixture')
+  -R 'InvariantStress|Status|DynamicsFixture|Wire')
 
-echo "=== tsan: concurrency tests under ThreadSanitizer ==="
+echo "=== tsan: concurrency + serving tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DVREC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target vrec_tests
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|ThreadPool')
+  -R 'Concurrency|ThreadPool|ServerLoopback|MicroBatcher')
 
 echo "verify: OK"

@@ -1,0 +1,98 @@
+#include "client/client.h"
+
+#include <utility>
+
+namespace vrec::client {
+
+using server::DecodeHeader;
+using server::EncodeFrame;
+using server::kHeaderBytes;
+using server::MessageType;
+using server::VerifyPayload;
+
+Status Client::Connect(const std::string& host, uint16_t port) {
+  if (fd_.valid()) {
+    return Status::FailedPrecondition("already connected (Close() first)");
+  }
+  auto fd = util::ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  fd_ = std::move(*fd);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> Client::RoundTrip(
+    MessageType request_type, const std::vector<uint8_t>& payload,
+    MessageType expected_type) {
+  if (!fd_.valid()) {
+    return Status::FailedPrecondition("not connected");
+  }
+  const auto frame = EncodeFrame(request_type, payload);
+  if (const Status s = util::WriteFull(fd_.get(), frame.data(), frame.size());
+      !s.ok()) {
+    Close();
+    return s;
+  }
+
+  uint8_t header_buf[kHeaderBytes];
+  const auto got =
+      util::ReadFullOrEof(fd_.get(), header_buf, sizeof(header_buf));
+  if (!got.ok()) {
+    Close();
+    return got.status();
+  }
+  if (!*got) {
+    Close();
+    return Status::FailedPrecondition("server closed the connection");
+  }
+  const auto header =
+      DecodeHeader(header_buf, server::kDefaultMaxPayloadBytes);
+  if (!header.ok()) {
+    Close();
+    return header.status();
+  }
+  std::vector<uint8_t> response(header->payload_len);
+  if (header->payload_len > 0) {
+    if (const Status s =
+            util::ReadFull(fd_.get(), response.data(), response.size());
+        !s.ok()) {
+      Close();
+      return s;
+    }
+  }
+  if (const Status s = VerifyPayload(*header, response); !s.ok()) {
+    Close();
+    return s;
+  }
+  if (header->type != expected_type) {
+    Close();
+    return Status::Internal("unexpected response message type");
+  }
+  return response;
+}
+
+StatusOr<server::QueryResponse> Client::Query(
+    const server::QueryRequest& request) {
+  auto payload =
+      RoundTrip(MessageType::kQueryRequest, server::EncodeQueryRequest(request),
+                MessageType::kQueryResponse);
+  if (!payload.ok()) return payload.status();
+  return server::DecodeQueryResponse(*payload);
+}
+
+StatusOr<server::QueryResponse> Client::QueryById(
+    const server::QueryByIdRequest& request) {
+  auto payload = RoundTrip(MessageType::kQueryByIdRequest,
+                           server::EncodeQueryByIdRequest(request),
+                           MessageType::kQueryResponse);
+  if (!payload.ok()) return payload.status();
+  return server::DecodeQueryResponse(*payload);
+}
+
+StatusOr<server::ServerStats> Client::Stats() {
+  auto payload = RoundTrip(MessageType::kStatsRequest, {},
+                           MessageType::kStatsResponse);
+  if (!payload.ok()) return payload.status();
+  return server::DecodeServerStats(*payload);
+}
+
+}  // namespace vrec::client

@@ -1,0 +1,58 @@
+#ifndef VREC_CLIENT_CLIENT_H_
+#define VREC_CLIENT_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/net.h"
+#include "util/status.h"
+
+namespace vrec::client {
+
+/// Blocking client for the RecommendServer wire protocol: one TCP
+/// connection, one request in flight at a time (open several clients for
+/// concurrency — that is exactly what makes the server's micro-batches
+/// fill up). Not thread-safe; each thread owns its own Client.
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects to `host`:`port` (numeric IPv4 or "localhost").
+  [[nodiscard]]
+  Status Connect(const std::string& host, uint16_t port);
+
+  bool connected() const { return fd_.valid(); }
+  void Close() { fd_.Reset(); }
+
+  /// Full round trip for an anonymous-user query. A returned ok Status
+  /// means transport succeeded; the *application* outcome (including
+  /// kResourceExhausted / kDeadlineExceeded) is in QueryResponse::status.
+  [[nodiscard]]
+  StatusOr<server::QueryResponse> Query(const server::QueryRequest& request);
+
+  /// Round trip for a query-by-ingested-video-id.
+  [[nodiscard]]
+  StatusOr<server::QueryResponse> QueryById(
+      const server::QueryByIdRequest& request);
+
+  /// Fetches the server's counter snapshot (the STATS verb).
+  [[nodiscard]]
+  StatusOr<server::ServerStats> Stats();
+
+ private:
+  /// Writes one frame, reads one frame back, verifies it and checks the
+  /// response type. On any transport/framing error the connection is
+  /// closed (the stream can no longer be trusted).
+  [[nodiscard]]
+  StatusOr<std::vector<uint8_t>> RoundTrip(server::MessageType request_type,
+                                           const std::vector<uint8_t>& payload,
+                                           server::MessageType expected_type);
+
+  util::UniqueFd fd_;
+};
+
+}  // namespace vrec::client
+
+#endif  // VREC_CLIENT_CLIENT_H_

@@ -448,11 +448,7 @@ StatusOr<std::vector<ScoredVideo>> Recommender::Recommend(
   StatusOr<std::vector<ScoredVideo>> result =
       RecommendInternal(series, descriptor, k, exclude, options_.lsb_probes,
                         &timing);
-  if (result.ok()) {
-    if (timing_out != nullptr) *timing_out = timing;
-    std::lock_guard<std::mutex> lock(timing_mutex_);
-    last_timing_ = timing;
-  }
+  if (result.ok() && timing_out != nullptr) *timing_out = timing;
   return result;
 }
 
@@ -479,10 +475,6 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendAdaptive(
     probes = std::min(probes * 2, max_probes);
   }
   if (timing_out != nullptr) *timing_out = timing;
-  {
-    std::lock_guard<std::mutex> lock(timing_mutex_);
-    last_timing_ = timing;
-  }
   return best;
 }
 
@@ -493,9 +485,11 @@ std::vector<BatchResult> Recommender::RecommendBatch(
   util::ParallelFor(pool != nullptr ? pool : pool_.get(), queries.size(),
                     [&](size_t i) {
                       BatchResult& r = out[i];
+                      const int effective_k =
+                          queries[i].k > 0 ? queries[i].k : k;
                       StatusOr<std::vector<ScoredVideo>> result =
                           RecommendInternal(queries[i].series,
-                                            queries[i].descriptor, k,
+                                            queries[i].descriptor, effective_k,
                                             queries[i].exclude,
                                             options_.lsb_probes, &r.timing);
                       r.status = result.status();

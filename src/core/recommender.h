@@ -114,6 +114,9 @@ struct BatchQuery {
   social::SocialDescriptor descriptor;
   /// Dropped from the results when >= 0 (e.g. the query video itself).
   video::VideoId exclude = -1;
+  /// Per-query result count; <= 0 falls back to the call-level `k`. Lets a
+  /// serving batch mix requests that asked for different top-K sizes.
+  int k = -1;
 };
 
 /// Per-query outcome of a RecommendBatch call; `results` is meaningful only
@@ -187,7 +190,8 @@ class Recommender {
   /// `queries` and each carries its own QueryTiming; per-query failures are
   /// reported in BatchResult::status without aborting the batch. Queries
   /// are independent and the index is immutable during the call, so results
-  /// are bit-identical to serial Recommend() calls.
+  /// are bit-identical to serial Recommend() calls. `k` is the fallback
+  /// result count for queries that leave BatchQuery::k unset.
   std::vector<BatchResult> RecommendBatch(
       const std::vector<BatchQuery>& queries, int k,
       util::ThreadPool* pool = nullptr) const;
@@ -221,15 +225,6 @@ class Recommender {
   size_t user_count() const { return user_count_; }
   bool finalized() const { return finalized_; }
   const RecommenderOptions& options() const { return options_; }
-  /// Timing of the last *single-query* Recommend*() call on this instance.
-  /// Deprecated convenience: under concurrent use prefer the per-query
-  /// QueryTiming that RecommendBatch returns by value — this accessor is
-  /// only mutex-guarded, so interleaved callers see some recent query's
-  /// timing, not necessarily their own. RecommendBatch does not update it.
-  QueryTiming last_timing() const {
-    std::lock_guard<std::mutex> lock(timing_mutex_);
-    return last_timing_;
-  }
   /// Total slot references held by the user -> videos index; shrinks when
   /// videos are removed (memory-growth monitoring under churn).
   size_t user_video_entries() const {
@@ -321,11 +316,6 @@ class Recommender {
   // Worker pool shared by Finalize() and RecommendBatch(); null when
   // options_.num_threads resolves to a single thread.
   std::unique_ptr<util::ThreadPool> pool_;
-
-  // Single-query timing convenience (see last_timing()). Guarded because
-  // concurrent Recommend() calls are part of the API contract.
-  mutable std::mutex timing_mutex_;
-  mutable QueryTiming last_timing_;
 };
 
 }  // namespace vrec::core

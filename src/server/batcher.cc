@@ -1,0 +1,130 @@
+#include "server/batcher.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace vrec::server {
+
+Status ValidateBatcherOptions(const BatcherOptions& options) {
+  if (options.max_batch < 1) {
+    return Status::InvalidArgument("batcher.max_batch must be >= 1");
+  }
+  if (options.max_delay_us < 0) {
+    return Status::InvalidArgument("batcher.max_delay_us must be >= 0");
+  }
+  if (options.queue_capacity < options.max_batch) {
+    return Status::InvalidArgument(
+        "batcher.queue_capacity must be >= max_batch (a full batch must "
+        "fit in the admission queue)");
+  }
+  return Status::Ok();
+}
+
+void PendingResponse::Complete(core::BatchResult result) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    VREC_CHECK(!done_);
+    result_ = std::move(result);
+    done_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+core::BatchResult PendingResponse::Take() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return done_; });
+  return std::move(result_);
+}
+
+MicroBatcher::MicroBatcher(const BatcherOptions& options, FlushFn flush)
+    : options_(options),
+      flush_(std::move(flush)),
+      histogram_(options.max_batch, 0) {
+  VREC_CHECK_OK(ValidateBatcherOptions(options_));
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Drain(); }
+
+Status MicroBatcher::Submit(BatchJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+      return Status::FailedPrecondition("server is draining");
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      return Status::ResourceExhausted("admission queue full");
+    }
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+  return Status::Ok();
+}
+
+void MicroBatcher::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+  }
+  work_cv_.notify_all();
+  // Idempotent: a second caller finds the thread already joined.
+  if (worker_.joinable()) worker_.join();
+}
+
+uint64_t MicroBatcher::batches_full() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_full_count_;
+}
+
+uint64_t MicroBatcher::batches_timer() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return batches_timer_count_;
+}
+
+std::vector<uint64_t> MicroBatcher::batch_size_histogram() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histogram_;
+}
+
+void MicroBatcher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+    if (queue_.empty()) return;  // draining and nothing left
+
+    // A batch starts forming when its oldest request is queued; it flushes
+    // at max_batch, at the delay deadline, or immediately once draining.
+    const auto flush_at = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(options_.max_delay_us);
+    while (queue_.size() < options_.max_batch && !draining_) {
+      if (work_cv_.wait_until(lock, flush_at) == std::cv_status::timeout) {
+        break;
+      }
+    }
+
+    const size_t take = std::min(queue_.size(), options_.max_batch);
+    FlushReason reason = FlushReason::kTimer;
+    if (take == options_.max_batch) {
+      reason = FlushReason::kFull;
+      ++batches_full_count_;
+    } else if (draining_) {
+      reason = FlushReason::kDrain;
+    } else {
+      ++batches_timer_count_;
+    }
+    ++histogram_[take - 1];
+    std::vector<BatchJob> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+
+    lock.unlock();
+    flush_(std::move(batch), reason);
+    lock.lock();
+  }
+}
+
+}  // namespace vrec::server

@@ -1,0 +1,120 @@
+#ifndef VREC_SERVER_BATCHER_H_
+#define VREC_SERVER_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/recommender.h"
+#include "util/status.h"
+
+namespace vrec::server {
+
+/// Knobs of the dynamic micro-batcher. A forming batch is flushed as soon
+/// as `max_batch` requests are queued *or* `max_delay_us` has elapsed
+/// since the oldest queued request arrived, whichever comes first — the
+/// classic latency/throughput trade of inference serving. The admission
+/// queue is bounded: a request arriving while `queue_capacity` requests
+/// are already waiting is rejected with kResourceExhausted instead of
+/// growing memory without limit.
+struct BatcherOptions {
+  size_t max_batch = 16;
+  int64_t max_delay_us = 1000;
+  size_t queue_capacity = 256;
+};
+
+/// Validates batcher knobs (Status-returning, same pattern as
+/// core::ValidateOptions); errors name the offending field.
+[[nodiscard]]
+Status ValidateBatcherOptions(const BatcherOptions& options);
+
+/// Completion slot shared between the connection thread that owns the
+/// request and the batcher thread that answers it.
+class PendingResponse {
+ public:
+  void Complete(core::BatchResult result);
+  /// Blocks until Complete() was called; returns the result.
+  core::BatchResult Take();
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+  core::BatchResult result_;
+};
+
+/// One admitted request: the query, its per-request deadline (admission
+/// time + deadline_ms; time_point::max() when none) and its completion
+/// slot.
+struct BatchJob {
+  core::BatchQuery query;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::shared_ptr<PendingResponse> response;
+};
+
+/// Why a batch was flushed (surfaced in the server stats).
+enum class FlushReason { kFull, kTimer, kDrain };
+
+/// The dynamic micro-batcher: a bounded MPSC queue drained by one worker
+/// thread that coalesces concurrently arriving requests into batches for
+/// the flush callback (the server points it at RecommendBatch). Decoupled
+/// from sockets so the coalescing logic is unit-testable
+/// (tests/batcher_test.cc).
+class MicroBatcher {
+ public:
+  using FlushFn =
+      std::function<void(std::vector<BatchJob>&&, FlushReason)>;
+
+  /// `options` must already be validated. The worker thread starts
+  /// immediately.
+  MicroBatcher(const BatcherOptions& options, FlushFn flush);
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Admits one request. Returns kResourceExhausted when the queue is at
+  /// capacity (the caller answers the client immediately — backpressure,
+  /// not buffering) and kFailedPrecondition after Drain() began.
+  [[nodiscard]]
+  Status Submit(BatchJob job);
+
+  /// Stops admitting, flushes everything still queued (in max_batch
+  /// chunks, no timer waits) and joins the worker. Idempotent.
+  void Drain();
+
+  size_t max_batch() const { return options_.max_batch; }
+
+  // Counters (monotonic, safe to read concurrently with serving).
+  uint64_t batches_full() const;
+  uint64_t batches_timer() const;
+  /// histogram[i] = flushed batches of size i+1 (length max_batch).
+  std::vector<uint64_t> batch_size_histogram() const;
+
+ private:
+  void WorkerLoop();
+
+  const BatcherOptions options_;
+  const FlushFn flush_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::deque<BatchJob> queue_;
+  bool draining_ = false;
+  uint64_t batches_full_count_ = 0;
+  uint64_t batches_timer_count_ = 0;
+  std::vector<uint64_t> histogram_;
+
+  std::thread worker_;
+};
+
+}  // namespace vrec::server
+
+#endif  // VREC_SERVER_BATCHER_H_

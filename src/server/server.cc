@@ -1,0 +1,458 @@
+#include "server/server.h"
+
+#include <csignal>
+#include <utility>
+
+#include "util/check.h"
+
+namespace vrec::server {
+namespace {
+
+// EnableSignalDrain plumbing. A signal handler may only touch
+// async-signal-safe state, so the handler writes one byte to a process-wide
+// wake pipe and the watcher thread does the actual (lock-taking) Shutdown.
+// One server per process may own the handlers at a time.
+std::atomic<int> g_signal_wake_fd{-1};
+struct sigaction g_old_sigint;   // NOLINT(cert-err58-cpp)
+struct sigaction g_old_sigterm;  // NOLINT(cert-err58-cpp)
+
+void DrainSignalHandler(int /*signum*/) {
+  const int fd = g_signal_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) util::SignalWake(fd);
+}
+
+}  // namespace
+
+Status ValidateServerOptions(const ServerOptions& options) {
+  if (options.port < 0 || options.port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  if (options.backlog < 1) {
+    return Status::InvalidArgument("backlog must be >= 1");
+  }
+  if (options.max_payload_bytes < 64) {
+    return Status::InvalidArgument(
+        "max_payload_bytes must be >= 64 (smaller than any real request)");
+  }
+  if (options.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be >= 1");
+  }
+  return ValidateBatcherOptions(options.batcher);
+}
+
+RecommendServer::RecommendServer(const core::Recommender* recommender,
+                                 ServerOptions options)
+    : recommender_(recommender), options_(options) {}
+
+RecommendServer::~RecommendServer() {
+  Shutdown();
+  if (signal_watcher_.joinable()) signal_watcher_.join();
+}
+
+Status RecommendServer::Start() {
+  if (started_.exchange(true)) {
+    return Status::FailedPrecondition("Start() already called");
+  }
+  if (recommender_ == nullptr || !recommender_->finalized()) {
+    return Status::FailedPrecondition(
+        "the server needs a finalized Recommender");
+  }
+  if (const Status s = ValidateServerOptions(options_); !s.ok()) return s;
+
+  auto listen = util::ListenTcp(static_cast<uint16_t>(options_.port),
+                                options_.backlog);
+  if (!listen.ok()) return listen.status();
+  listen_fd_ = std::move(*listen);
+  const auto port = util::BoundPort(listen_fd_.get());
+  if (!port.ok()) return port.status();
+  port_ = *port;
+
+  auto wake = util::MakeWakePipe();
+  if (!wake.ok()) return wake.status();
+  accept_wake_rd_ = std::move(wake->first);
+  accept_wake_wr_ = std::move(wake->second);
+
+  batcher_ = std::make_unique<MicroBatcher>(
+      options_.batcher,
+      [this](std::vector<BatchJob>&& jobs, FlushReason reason) {
+        FlushBatch(std::move(jobs), reason);
+      });
+
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+Status RecommendServer::EnableSignalDrain() {
+  if (signal_drain_enabled_) {
+    return Status::FailedPrecondition("signal drain already enabled");
+  }
+  int expected = -1;
+  auto wake = util::MakeWakePipe();
+  if (!wake.ok()) return wake.status();
+  if (!g_signal_wake_fd.compare_exchange_strong(
+          expected, wake->second.get())) {
+    return Status::FailedPrecondition(
+        "another server already owns the signal handlers");
+  }
+  signal_wake_rd_ = std::move(wake->first);
+  signal_wake_wr_ = std::move(wake->second);
+
+  struct sigaction action {};
+  action.sa_handler = DrainSignalHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, &g_old_sigint);
+  sigaction(SIGTERM, &action, &g_old_sigterm);
+  signal_drain_enabled_ = true;
+
+  signal_watcher_ = std::thread([this] {
+    uint8_t byte = 0;
+    const StatusOr<bool> woke =
+        util::ReadFullOrEof(signal_wake_rd_.get(), &byte, 1);
+    if (!woke.ok()) return;  // pipe torn down without a wake
+    bool already_stopped = false;
+    {
+      std::lock_guard<std::mutex> lock(stopped_mutex_);
+      already_stopped = stopped_;
+    }
+    if (!already_stopped) Shutdown();
+  });
+  return Status::Ok();
+}
+
+void RecommendServer::Shutdown() {
+  std::call_once(shutdown_once_, [this] { DoShutdown(); });
+}
+
+void RecommendServer::DoShutdown() {
+  running_.store(false, std::memory_order_release);
+  if (started_.load()) {
+    // 1. Stop accepting: wake the accept loop and join it, so no new
+    //    connection threads can appear below.
+    if (accept_wake_wr_.valid()) util::SignalWake(accept_wake_wr_.get());
+    if (accept_thread_.joinable()) accept_thread_.join();
+    listen_fd_.Reset();
+
+    // 2. Stop reading new frames on live connections (half-close; queued
+    //    responses still go out the write side).
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      for (const auto& conn : connections_) {
+        if (conn->fd.valid()) util::ShutdownRead(conn->fd.get());
+      }
+    }
+
+    // 3. Flush: every admitted request is answered (in-flight batches
+    //    complete, queued jobs are flushed in max_batch chunks).
+    if (batcher_ != nullptr) batcher_->Drain();
+
+    // 4. Connection threads observe EOF after writing their last
+    //    response; join them all.
+    ReapConnections(/*all=*/true);
+  }
+
+  if (signal_drain_enabled_) {
+    sigaction(SIGINT, &g_old_sigint, nullptr);
+    sigaction(SIGTERM, &g_old_sigterm, nullptr);
+    g_signal_wake_fd.store(-1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stopped_mutex_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+  // Wake the watcher (if any) so it can observe stopped_ and exit; it is
+  // joined by the destructor, never here (the watcher itself may be the
+  // thread running this drain).
+  if (signal_drain_enabled_ && signal_wake_wr_.valid()) {
+    util::SignalWake(signal_wake_wr_.get());
+  }
+}
+
+void RecommendServer::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(stopped_mutex_);
+  stopped_cv_.wait(lock, [this] { return stopped_; });
+}
+
+size_t RecommendServer::ReapConnections(bool all) {
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  size_t live = 0;
+  auto it = connections_.begin();
+  while (it != connections_.end()) {
+    Connection* conn = it->get();
+    if (all || conn->done.load(std::memory_order_acquire)) {
+      if (conn->thread.joinable()) conn->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++live;
+      ++it;
+    }
+  }
+  return live;
+}
+
+void RecommendServer::CountMalformed() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++rejected_malformed_;
+}
+
+void RecommendServer::AcceptLoop() {
+  for (;;) {
+    auto conn_fd =
+        util::AcceptWithWake(listen_fd_.get(), accept_wake_rd_.get());
+    if (!conn_fd.ok()) return;     // listener broke; drain still works
+    if (!conn_fd->valid()) return; // woken: shutdown requested
+
+    const size_t live = ReapConnections(/*all=*/false);
+    if (live >= options_.max_connections) {
+      // Explicit backpressure at the connection level: answer, then close.
+      QueryResponse response;
+      response.status =
+          Status::ResourceExhausted("connection limit reached");
+      const auto frame = EncodeFrame(MessageType::kQueryResponse,
+                                     EncodeQueryResponse(response));
+      const Status written =
+          util::WriteFull(conn_fd->get(), frame.data(), frame.size());
+      static_cast<void>(written.ok());  // best effort on an overload path
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++rejected_overload_;
+      continue;
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = std::move(*conn_fd);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
+  }
+}
+
+void RecommendServer::ServeConnection(Connection* conn) {
+  const int fd = conn->fd.get();
+  const auto respond = [fd](MessageType type,
+                            const std::vector<uint8_t>& payload) {
+    const auto frame = EncodeFrame(type, payload);
+    return util::WriteFull(fd, frame.data(), frame.size());
+  };
+  const auto respond_error = [&respond](const Status& status) {
+    QueryResponse response;
+    response.status = status;
+    const Status written = respond(MessageType::kQueryResponse,
+                                   EncodeQueryResponse(response));
+    static_cast<void>(written.ok());  // the connection closes either way
+  };
+
+  for (;;) {
+    uint8_t header_buf[kHeaderBytes];
+    const auto got =
+        util::ReadFullOrEof(fd, header_buf, sizeof(header_buf));
+    if (!got.ok() || !*got) break;  // peer closed (or drain half-close)
+
+    const auto header =
+        DecodeHeader(header_buf, options_.max_payload_bytes);
+    if (!header.ok()) {
+      // Framing is broken (bad magic/version/oversized length): after
+      // this point the byte stream cannot be trusted, so answer once and
+      // close rather than resynchronize heuristically.
+      CountMalformed();
+      respond_error(header.status());
+      break;
+    }
+    std::vector<uint8_t> payload(header->payload_len);
+    if (header->payload_len > 0) {
+      if (const Status s = util::ReadFull(fd, payload.data(),
+                                          payload.size());
+          !s.ok()) {
+        CountMalformed();  // truncated mid-frame; no response possible
+        break;
+      }
+    }
+    if (const Status s = VerifyPayload(*header, payload); !s.ok()) {
+      CountMalformed();
+      respond_error(s);
+      break;
+    }
+
+    Status written = Status::Ok();
+    switch (header->type) {
+      case MessageType::kQueryRequest:
+        written =
+            respond(MessageType::kQueryResponse, HandleQuery(payload));
+        break;
+      case MessageType::kQueryByIdRequest:
+        written = respond(MessageType::kQueryResponse,
+                          HandleQueryById(payload));
+        break;
+      case MessageType::kStatsRequest:
+        written =
+            respond(MessageType::kStatsResponse, EncodeServerStats(stats()));
+        break;
+      default:
+        // A response type sent by a client is a protocol violation.
+        CountMalformed();
+        respond_error(
+            Status::InvalidArgument("unexpected message type from client"));
+        written = Status::FailedPrecondition("closing");
+        break;
+    }
+    if (!written.ok()) break;
+  }
+  // The peer must see EOF now, not when the accept loop gets around to
+  // reaping this connection (which may be never, if no further client
+  // connects).
+  util::ShutdownBoth(fd);
+  conn->done.store(true, std::memory_order_release);
+}
+
+std::vector<uint8_t> RecommendServer::HandleQuery(
+    const std::vector<uint8_t>& payload) {
+  auto request = DecodeQueryRequest(payload);
+  if (!request.ok()) {
+    // The frame was intact (checksum passed) but the body is not a valid
+    // query: an application-level error, the connection stays usable.
+    CountMalformed();
+    QueryResponse response;
+    response.status = request.status();
+    return EncodeQueryResponse(response);
+  }
+  core::BatchQuery query;
+  query.series = std::move(request->series);
+  query.descriptor = std::move(request->descriptor);
+  query.exclude = request->exclude;
+  return EncodeQueryResponse(
+      AdmitAndWait(std::move(query), request->k, request->deadline_ms));
+}
+
+std::vector<uint8_t> RecommendServer::HandleQueryById(
+    const std::vector<uint8_t>& payload) {
+  const auto request = DecodeQueryByIdRequest(payload);
+  if (!request.ok()) {
+    CountMalformed();
+    QueryResponse response;
+    response.status = request.status();
+    return EncodeQueryResponse(response);
+  }
+  const auto* series = recommender_->SeriesOf(request->video);
+  const auto* descriptor = recommender_->DescriptorOf(request->video);
+  if (series == nullptr || descriptor == nullptr) {
+    QueryResponse response;
+    response.status = Status::NotFound("unknown video id");
+    return EncodeQueryResponse(response);
+  }
+  core::BatchQuery query;
+  query.series = *series;
+  query.descriptor = *descriptor;
+  query.exclude = request->video;
+  return EncodeQueryResponse(
+      AdmitAndWait(std::move(query), request->k, request->deadline_ms));
+}
+
+QueryResponse RecommendServer::AdmitAndWait(core::BatchQuery query,
+                                            int32_t k,
+                                            uint32_t deadline_ms) {
+  QueryResponse response;
+  if (k < 1) {
+    response.status = Status::InvalidArgument("k must be >= 1");
+    return response;
+  }
+  BatchJob job;
+  job.query = std::move(query);
+  job.query.k = k;  // per-query k: batches may mix request sizes
+  if (deadline_ms > 0) {
+    job.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::milliseconds(deadline_ms);
+  }
+  job.response = std::make_shared<PendingResponse>();
+  const auto pending = job.response;
+
+  const Status admitted = batcher_->Submit(std::move(job));
+  if (!admitted.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (admitted.code() == Status::Code::kResourceExhausted) {
+      ++rejected_overload_;
+    }
+    response.status = admitted;
+    return response;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++accepted_;
+  }
+  core::BatchResult result = pending->Take();
+  response.status = std::move(result.status);
+  response.results = std::move(result.results);
+  response.timing = result.timing;
+  return response;
+}
+
+void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
+                                 FlushReason /*reason*/) {
+  // Deadlines are enforced here, at dequeue: a request that spent its
+  // budget in the admission queue is answered with kDeadlineExceeded
+  // instead of consuming RecommendBatch time (or being dropped silently).
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<core::BatchQuery> queries;
+  std::vector<BatchJob*> live;
+  queries.reserve(jobs.size());
+  live.reserve(jobs.size());
+  for (auto& job : jobs) {
+    if (job.deadline < now) {
+      core::BatchResult result;
+      result.status =
+          Status::DeadlineExceeded("deadline expired in the admission queue");
+      job.response->Complete(std::move(result));
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++expired_deadline_;
+      continue;
+    }
+    queries.push_back(std::move(job.query));
+    live.push_back(&job);
+  }
+  if (live.empty()) return;
+
+  // Every admitted query carries its own k (>= 1, validated at admission),
+  // so the call-level fallback is never used.
+  auto results = recommender_->RecommendBatch(queries, /*k=*/1);
+  VREC_CHECK(results.size() == live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++completed_;
+      timing_totals_.social_ms += results[i].timing.social_ms;
+      timing_totals_.content_ms += results[i].timing.content_ms;
+      timing_totals_.refine_ms += results[i].timing.refine_ms;
+      timing_totals_.total_ms += results[i].timing.total_ms;
+      timing_totals_.candidates += results[i].timing.candidates;
+      timing_totals_.emd_calls += results[i].timing.emd_calls;
+      timing_totals_.pairs_pruned += results[i].timing.pairs_pruned;
+      timing_totals_.candidates_pruned +=
+          results[i].timing.candidates_pruned;
+    }
+    live[i]->response->Complete(std::move(results[i]));
+  }
+}
+
+ServerStats RecommendServer::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out.accepted = accepted_;
+    out.rejected_overload = rejected_overload_;
+    out.rejected_malformed = rejected_malformed_;
+    out.expired_deadline = expired_deadline_;
+    out.completed = completed_;
+    out.timing_totals = timing_totals_;
+  }
+  if (batcher_ != nullptr) {
+    out.batches_full = batcher_->batches_full();
+    out.batches_timer = batcher_->batches_timer();
+    out.batch_size_histogram = batcher_->batch_size_histogram();
+  }
+  return out;
+}
+
+}  // namespace vrec::server

@@ -1,0 +1,151 @@
+#ifndef VREC_SERVER_SERVER_H_
+#define VREC_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/recommender.h"
+#include "server/batcher.h"
+#include "server/wire.h"
+#include "util/net.h"
+#include "util/status.h"
+
+namespace vrec::server {
+
+/// Configuration of a RecommendServer.
+struct ServerOptions {
+  /// TCP port to listen on; 0 binds an ephemeral port (read it back with
+  /// port() after Start()) — the form every in-process test uses.
+  int port = 0;
+  int backlog = 64;
+  /// Frames whose length field exceeds this are rejected at header decode,
+  /// before any allocation.
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Connection slots (one blocking handler thread each). A connection
+  /// accepted beyond this is answered with kResourceExhausted and closed —
+  /// the same explicit-backpressure contract as the admission queue.
+  size_t max_connections = 64;
+  BatcherOptions batcher;
+};
+
+/// Validates server + nested batcher knobs (Status-returning, same pattern
+/// as core::ValidateOptions); errors name the offending field.
+[[nodiscard]]
+Status ValidateServerOptions(const ServerOptions& options);
+
+/// The online serving front end: a POSIX-socket TCP server speaking the
+/// wire.h protocol, fronted by a dynamic micro-batcher that coalesces
+/// concurrently arriving queries into Recommender::RecommendBatch calls.
+///
+/// Lifecycle: construct over a *finalized* Recommender, Start(), serve,
+/// then Shutdown() — which drains gracefully: stop accepting, answer every
+/// admitted request (flushing in-flight batches), then join. SIGINT/
+/// SIGTERM can be wired to the same drain with EnableSignalDrain().
+///
+/// The recommender must outlive the server and must not be mutated
+/// (ApplySocialUpdate/RemoveVideo) while the server runs — the same
+/// exclusivity contract as any concurrent Recommend*() caller.
+class RecommendServer {
+ public:
+  RecommendServer(const core::Recommender* recommender,
+                  ServerOptions options);
+  /// Shuts down (gracefully) if still running.
+  ~RecommendServer();
+
+  RecommendServer(const RecommendServer&) = delete;
+  RecommendServer& operator=(const RecommendServer&) = delete;
+
+  /// Validates options, binds the listen socket and spawns the accept and
+  /// batcher threads. Call once.
+  [[nodiscard]]
+  Status Start();
+
+  /// The bound port (valid after a successful Start()).
+  uint16_t port() const { return port_; }
+
+  /// Graceful drain: stop accepting connections and frames, answer every
+  /// admitted request, join every thread. Safe to call from any thread
+  /// (including the signal watcher); concurrent callers block until the
+  /// drain completes. Idempotent.
+  void Shutdown();
+
+  /// Installs SIGINT/SIGTERM handlers that trigger Shutdown() through an
+  /// async-signal-safe self-pipe. At most one server per process may
+  /// enable this at a time; handlers are restored on Shutdown().
+  [[nodiscard]]
+  Status EnableSignalDrain();
+
+  /// Blocks until Shutdown() (user- or signal-initiated) has completed.
+  void WaitUntilStopped();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Snapshot of the serving counters (also served remotely via the
+  /// kStatsRequest verb).
+  ServerStats stats() const;
+
+ private:
+  struct Connection {
+    util::UniqueFd fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  /// Decodes + admits one query request; blocks until it is answered.
+  /// Returns the response frame to write.
+  std::vector<uint8_t> HandleQuery(const std::vector<uint8_t>& payload);
+  std::vector<uint8_t> HandleQueryById(const std::vector<uint8_t>& payload);
+  /// Admits a fully-built query; blocks until answered.
+  QueryResponse AdmitAndWait(core::BatchQuery query, int32_t k,
+                             uint32_t deadline_ms);
+  void FlushBatch(std::vector<BatchJob>&& jobs, FlushReason reason);
+  void DoShutdown();
+  /// Joins/reaps finished connection threads; with `all` also joins the
+  /// live ones (drain path). Returns the number still live.
+  size_t ReapConnections(bool all);
+  void CountMalformed();
+
+  const core::Recommender* const recommender_;
+  const ServerOptions options_;
+
+  util::UniqueFd listen_fd_;
+  util::UniqueFd accept_wake_rd_, accept_wake_wr_;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> started_{false};
+
+  std::unique_ptr<MicroBatcher> batcher_;
+  std::thread accept_thread_;
+
+  std::mutex connections_mutex_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex stats_mutex_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_overload_ = 0;
+  uint64_t rejected_malformed_ = 0;
+  uint64_t expired_deadline_ = 0;
+  uint64_t completed_ = 0;
+  core::QueryTiming timing_totals_;
+
+  std::once_flag shutdown_once_;
+  std::mutex stopped_mutex_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+
+  // Signal-drain plumbing (EnableSignalDrain).
+  util::UniqueFd signal_wake_rd_, signal_wake_wr_;
+  std::thread signal_watcher_;
+  bool signal_drain_enabled_ = false;
+};
+
+}  // namespace vrec::server
+
+#endif  // VREC_SERVER_SERVER_H_

@@ -1,0 +1,373 @@
+#include "server/wire.h"
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "io/binary_format.h"
+
+namespace vrec::server {
+namespace {
+
+// Little-endian scalar helpers for the fixed-size header. The payload goes
+// through io::BinaryWriter/BinaryReader (already little-endian and
+// length-capped); the header is decoded by hand because it must be
+// validated before any payload allocation happens.
+void PutU32(uint8_t* dst, uint32_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+  dst[2] = static_cast<uint8_t>(v >> 16);
+  dst[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32(const uint8_t* src) {
+  return static_cast<uint32_t>(src[0]) |
+         (static_cast<uint32_t>(src[1]) << 8) |
+         (static_cast<uint32_t>(src[2]) << 16) |
+         (static_cast<uint32_t>(src[3]) << 24);
+}
+
+std::vector<uint8_t> ToBytes(const std::ostringstream& out) {
+  const std::string s = out.str();
+  return {s.begin(), s.end()};
+}
+
+std::string ToString(const std::vector<uint8_t>& bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+constexpr uint8_t kMaxStatusCode =
+    static_cast<uint8_t>(Status::Code::kDeadlineExceeded);
+
+void WriteStatus(io::BinaryWriter* w, const Status& status) {
+  w->WriteU8(static_cast<uint8_t>(status.code()));
+  w->WriteString(status.message());
+}
+
+// Out-param rather than StatusOr<Status>: the payload status being decoded
+// and the decode outcome are different things (and the StatusOr
+// constructors would be ambiguous for T = Status).
+Status ReadStatus(io::BinaryReader* r, Status* out) {
+  const auto code = r->ReadU8();
+  if (!code.ok()) return code.status();
+  if (*code > kMaxStatusCode) {
+    return Status::InvalidArgument("unknown status code on the wire");
+  }
+  auto message = r->ReadString();
+  if (!message.ok()) return message.status();
+  *out = Status(static_cast<Status::Code>(*code), std::move(*message));
+  return Status::Ok();
+}
+
+void WriteTiming(io::BinaryWriter* w, const core::QueryTiming& t) {
+  w->WriteDouble(t.social_ms);
+  w->WriteDouble(t.content_ms);
+  w->WriteDouble(t.refine_ms);
+  w->WriteDouble(t.total_ms);
+  w->WriteU64(t.candidates);
+  w->WriteU64(t.emd_calls);
+  w->WriteU64(t.pairs_pruned);
+  w->WriteU64(t.candidates_pruned);
+}
+
+StatusOr<core::QueryTiming> ReadTiming(io::BinaryReader* r) {
+  core::QueryTiming t;
+  const auto social = r->ReadDouble();
+  if (!social.ok()) return social.status();
+  t.social_ms = *social;
+  const auto content = r->ReadDouble();
+  if (!content.ok()) return content.status();
+  t.content_ms = *content;
+  const auto refine = r->ReadDouble();
+  if (!refine.ok()) return refine.status();
+  t.refine_ms = *refine;
+  const auto total = r->ReadDouble();
+  if (!total.ok()) return total.status();
+  t.total_ms = *total;
+  const auto candidates = r->ReadU64();
+  if (!candidates.ok()) return candidates.status();
+  t.candidates = static_cast<size_t>(*candidates);
+  const auto emd = r->ReadU64();
+  if (!emd.ok()) return emd.status();
+  t.emd_calls = static_cast<size_t>(*emd);
+  const auto pairs = r->ReadU64();
+  if (!pairs.ok()) return pairs.status();
+  t.pairs_pruned = static_cast<size_t>(*pairs);
+  const auto cands = r->ReadU64();
+  if (!cands.ok()) return cands.status();
+  t.candidates_pruned = static_cast<size_t>(*cands);
+  return t;
+}
+
+void WriteSeries(io::BinaryWriter* w,
+                 const signature::SignatureSeries& series) {
+  w->WriteU32(static_cast<uint32_t>(series.size()));
+  for (const auto& sig : series) {
+    w->WriteU32(static_cast<uint32_t>(sig.size()));
+    for (const auto& c : sig) {
+      w->WriteDouble(c.value);
+      w->WriteDouble(c.weight);
+    }
+  }
+}
+
+// `budget` is the payload size: every count is validated against the bytes
+// that could possibly back it, so a forged count fails cleanly instead of
+// driving a multi-GB reserve.
+StatusOr<signature::SignatureSeries> ReadSeries(io::BinaryReader* r,
+                                                size_t budget) {
+  const auto num_sigs = r->ReadU32();
+  if (!num_sigs.ok()) return num_sigs.status();
+  if (*num_sigs > budget / sizeof(uint32_t)) {
+    return Status::InvalidArgument("series count exceeds payload size");
+  }
+  signature::SignatureSeries series;
+  series.reserve(*num_sigs);
+  for (uint32_t s = 0; s < *num_sigs; ++s) {
+    const auto num_cuboids = r->ReadU32();
+    if (!num_cuboids.ok()) return num_cuboids.status();
+    if (*num_cuboids > budget / (2 * sizeof(double))) {
+      return Status::InvalidArgument("cuboid count exceeds payload size");
+    }
+    signature::CuboidSignature sig;
+    sig.reserve(*num_cuboids);
+    for (uint32_t c = 0; c < *num_cuboids; ++c) {
+      const auto value = r->ReadDouble();
+      if (!value.ok()) return value.status();
+      const auto weight = r->ReadDouble();
+      if (!weight.ok()) return weight.status();
+      sig.push_back({*value, *weight});
+    }
+    series.push_back(std::move(sig));
+  }
+  return series;
+}
+
+}  // namespace
+
+uint32_t Fnv1a32(const uint8_t* data, size_t len) {
+  uint32_t hash = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= data[i];
+    hash *= 16777619u;
+  }
+  return hash;
+}
+
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> frame(kHeaderBytes + payload.size());
+  PutU32(frame.data(), kWireMagic);
+  frame[4] = kWireVersion;
+  frame[5] = static_cast<uint8_t>(type);
+  frame[6] = 0;
+  frame[7] = 0;
+  PutU32(frame.data() + 8, static_cast<uint32_t>(payload.size()));
+  PutU32(frame.data() + 12, Fnv1a32(payload.data(), payload.size()));
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  }
+  return frame;
+}
+
+StatusOr<FrameHeader> DecodeHeader(const uint8_t* data,
+                                   uint32_t max_payload_bytes) {
+  if (GetU32(data) != kWireMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  if (data[4] != kWireVersion) {
+    return Status::InvalidArgument("unsupported protocol version");
+  }
+  const uint8_t type = data[5];
+  if (type < static_cast<uint8_t>(MessageType::kQueryRequest) ||
+      type > static_cast<uint8_t>(MessageType::kStatsResponse)) {
+    return Status::InvalidArgument("unknown message type");
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    return Status::InvalidArgument("nonzero reserved header bytes");
+  }
+  FrameHeader header;
+  header.type = static_cast<MessageType>(type);
+  header.payload_len = GetU32(data + 8);
+  header.checksum = GetU32(data + 12);
+  if (header.payload_len > max_payload_bytes) {
+    // A protocol violation, not server overload: kResourceExhausted is
+    // reserved for admission-queue backpressure.
+    return Status::InvalidArgument("frame payload exceeds the size cap");
+  }
+  return header;
+}
+
+Status VerifyPayload(const FrameHeader& header,
+                     const std::vector<uint8_t>& payload) {
+  if (payload.size() != header.payload_len) {
+    return Status::InvalidArgument("payload length mismatch");
+  }
+  if (Fnv1a32(payload.data(), payload.size()) != header.checksum) {
+    return Status::InvalidArgument("payload checksum mismatch");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request) {
+  std::ostringstream out;
+  io::BinaryWriter w(&out);
+  w.WriteI32(request.k);
+  w.WriteI64(request.exclude);
+  w.WriteU32(request.deadline_ms);
+  w.WriteI64Vector(request.descriptor.users());
+  WriteSeries(&w, request.series);
+  return ToBytes(out);
+}
+
+StatusOr<QueryRequest> DecodeQueryRequest(
+    const std::vector<uint8_t>& payload) {
+  std::istringstream in(ToString(payload));
+  io::BinaryReader r(&in);
+  QueryRequest request;
+  const auto k = r.ReadI32();
+  if (!k.ok()) return k.status();
+  request.k = *k;
+  const auto exclude = r.ReadI64();
+  if (!exclude.ok()) return exclude.status();
+  request.exclude = *exclude;
+  const auto deadline = r.ReadU32();
+  if (!deadline.ok()) return deadline.status();
+  request.deadline_ms = *deadline;
+  auto users = r.ReadI64Vector();
+  if (!users.ok()) return users.status();
+  request.descriptor = social::SocialDescriptor(std::move(*users));
+  auto series = ReadSeries(&r, payload.size());
+  if (!series.ok()) return series.status();
+  request.series = std::move(*series);
+  return request;
+}
+
+std::vector<uint8_t> EncodeQueryByIdRequest(const QueryByIdRequest& request) {
+  std::ostringstream out;
+  io::BinaryWriter w(&out);
+  w.WriteI64(request.video);
+  w.WriteI32(request.k);
+  w.WriteU32(request.deadline_ms);
+  return ToBytes(out);
+}
+
+StatusOr<QueryByIdRequest> DecodeQueryByIdRequest(
+    const std::vector<uint8_t>& payload) {
+  std::istringstream in(ToString(payload));
+  io::BinaryReader r(&in);
+  QueryByIdRequest request;
+  const auto video = r.ReadI64();
+  if (!video.ok()) return video.status();
+  request.video = *video;
+  const auto k = r.ReadI32();
+  if (!k.ok()) return k.status();
+  request.k = *k;
+  const auto deadline = r.ReadU32();
+  if (!deadline.ok()) return deadline.status();
+  request.deadline_ms = *deadline;
+  return request;
+}
+
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response) {
+  std::ostringstream out;
+  io::BinaryWriter w(&out);
+  WriteStatus(&w, response.status);
+  w.WriteU32(static_cast<uint32_t>(response.results.size()));
+  for (const auto& r : response.results) {
+    w.WriteI64(r.id);
+    w.WriteDouble(r.score);
+    w.WriteDouble(r.content);
+    w.WriteDouble(r.social);
+  }
+  WriteTiming(&w, response.timing);
+  return ToBytes(out);
+}
+
+StatusOr<QueryResponse> DecodeQueryResponse(
+    const std::vector<uint8_t>& payload) {
+  std::istringstream in(ToString(payload));
+  io::BinaryReader r(&in);
+  QueryResponse response;
+  if (const Status s = ReadStatus(&r, &response.status); !s.ok()) return s;
+  const auto count = r.ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > payload.size() / (sizeof(int64_t) + 3 * sizeof(double))) {
+    return Status::InvalidArgument("result count exceeds payload size");
+  }
+  response.results.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    core::ScoredVideo v;
+    const auto id = r.ReadI64();
+    if (!id.ok()) return id.status();
+    v.id = *id;
+    const auto score = r.ReadDouble();
+    if (!score.ok()) return score.status();
+    v.score = *score;
+    const auto content = r.ReadDouble();
+    if (!content.ok()) return content.status();
+    v.content = *content;
+    const auto social = r.ReadDouble();
+    if (!social.ok()) return social.status();
+    v.social = *social;
+    response.results.push_back(v);
+  }
+  auto timing = ReadTiming(&r);
+  if (!timing.ok()) return timing.status();
+  response.timing = *timing;
+  return response;
+}
+
+std::vector<uint8_t> EncodeServerStats(const ServerStats& stats) {
+  std::ostringstream out;
+  io::BinaryWriter w(&out);
+  w.WriteU64(stats.accepted);
+  w.WriteU64(stats.rejected_overload);
+  w.WriteU64(stats.rejected_malformed);
+  w.WriteU64(stats.expired_deadline);
+  w.WriteU64(stats.completed);
+  w.WriteU64(stats.batches_full);
+  w.WriteU64(stats.batches_timer);
+  w.WriteU32(static_cast<uint32_t>(stats.batch_size_histogram.size()));
+  for (const uint64_t n : stats.batch_size_histogram) w.WriteU64(n);
+  WriteTiming(&w, stats.timing_totals);
+  return ToBytes(out);
+}
+
+StatusOr<ServerStats> DecodeServerStats(
+    const std::vector<uint8_t>& payload) {
+  std::istringstream in(ToString(payload));
+  io::BinaryReader r(&in);
+  ServerStats stats;
+  const auto read_u64 = [&r](uint64_t* dst) -> Status {
+    const auto v = r.ReadU64();
+    if (!v.ok()) return v.status();
+    *dst = *v;
+    return Status::Ok();
+  };
+  if (const Status s = read_u64(&stats.accepted); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.rejected_overload); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.rejected_malformed); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.expired_deadline); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.completed); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.batches_full); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.batches_timer); !s.ok()) return s;
+  const auto hist_size = r.ReadU32();
+  if (!hist_size.ok()) return hist_size.status();
+  if (*hist_size > payload.size() / sizeof(uint64_t)) {
+    return Status::InvalidArgument("histogram size exceeds payload size");
+  }
+  stats.batch_size_histogram.resize(*hist_size);
+  for (uint32_t i = 0; i < *hist_size; ++i) {
+    if (const Status s = read_u64(&stats.batch_size_histogram[i]); !s.ok()) {
+      return s;
+    }
+  }
+  auto timing = ReadTiming(&r);
+  if (!timing.ok()) return timing.status();
+  stats.timing_totals = *timing;
+  return stats;
+}
+
+}  // namespace vrec::server

@@ -1,0 +1,139 @@
+#ifndef VREC_SERVER_WIRE_H_
+#define VREC_SERVER_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/recommender.h"
+#include "signature/cuboid_signature.h"
+#include "social/descriptor.h"
+#include "util/status.h"
+#include "video/video.h"
+
+namespace vrec::server {
+
+/// The serving layer's length-prefixed binary protocol. One frame per
+/// message, both directions:
+///
+///   offset  size  field
+///        0     4  magic        0x31535256 ("VRS1" on the wire, LE)
+///        4     1  version      kWireVersion
+///        5     1  type         MessageType
+///        6     2  reserved     must be 0
+///        8     4  payload_len  <= the server's max_payload_bytes cap
+///       12     4  checksum     FNV-1a-32 over the payload bytes
+///       16     N  payload      message-specific (see Encode*/Decode*)
+///
+/// All integers little-endian; doubles as their raw 8-byte IEEE-754 image
+/// (so scores round-trip bit for bit — the loopback equivalence tests
+/// depend on it). Everything here is pure buffer transformation: no
+/// sockets, no I/O, unit-testable in isolation (tests/wire_test.cc), and
+/// every malformed input path returns a Status instead of crashing.
+
+inline constexpr uint32_t kWireMagic = 0x31535256;  // bytes 'V','R','S','1'
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kHeaderBytes = 16;
+/// Default payload cap; oversized length fields are rejected at header
+/// decode, before any allocation.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 16u << 20;
+
+enum class MessageType : uint8_t {
+  kQueryRequest = 1,     // full series + descriptor (anonymous-user query)
+  kQueryByIdRequest = 2, // query an already-ingested video by id
+  kStatsRequest = 3,     // server counters (the STATS verb)
+  kQueryResponse = 4,
+  kStatsResponse = 5,
+};
+
+struct FrameHeader {
+  MessageType type = MessageType::kQueryRequest;
+  uint32_t payload_len = 0;
+  uint32_t checksum = 0;
+};
+
+/// FNV-1a 32-bit; cheap, dependency-free, and plenty to catch truncation
+/// and bit rot on a frame-sized payload (this is integrity, not security).
+uint32_t Fnv1a32(const uint8_t* data, size_t len);
+
+/// One frame: header (with computed checksum) followed by the payload.
+std::vector<uint8_t> EncodeFrame(MessageType type,
+                                 const std::vector<uint8_t>& payload);
+
+/// Validates magic, version, reserved bytes and the payload cap. `data`
+/// must hold kHeaderBytes bytes.
+[[nodiscard]]
+StatusOr<FrameHeader> DecodeHeader(const uint8_t* data,
+                                   uint32_t max_payload_bytes);
+
+/// Checks the payload against the header's length and checksum.
+[[nodiscard]]
+Status VerifyPayload(const FrameHeader& header,
+                     const std::vector<uint8_t>& payload);
+
+// --- Messages ---------------------------------------------------------------
+
+/// An anonymous-user query: the clicked clip's signature series plus the
+/// social context (possibly empty). `deadline_ms` 0 means no deadline;
+/// otherwise the server answers kDeadlineExceeded if the request is still
+/// queued when the deadline (measured from admission) expires.
+struct QueryRequest {
+  signature::SignatureSeries series;
+  social::SocialDescriptor descriptor;
+  video::VideoId exclude = -1;
+  int32_t k = 10;
+  uint32_t deadline_ms = 0;
+};
+
+struct QueryByIdRequest {
+  video::VideoId video = 0;
+  int32_t k = 10;
+  uint32_t deadline_ms = 0;
+};
+
+/// Per-query outcome. `status` carries application errors end to end
+/// (kResourceExhausted on overload, kDeadlineExceeded on expiry, kNotFound
+/// for unknown ids, ...); `results`/`timing` are meaningful only when ok.
+struct QueryResponse {
+  Status status;
+  std::vector<core::ScoredVideo> results;
+  core::QueryTiming timing;
+};
+
+/// Snapshot of the server-side counters (the STATS verb).
+struct ServerStats {
+  uint64_t accepted = 0;           // requests admitted to the batch queue
+  uint64_t rejected_overload = 0;  // kResourceExhausted answers
+  uint64_t rejected_malformed = 0; // bad frames (connection then closed)
+  uint64_t expired_deadline = 0;   // kDeadlineExceeded answers
+  uint64_t completed = 0;          // answered through RecommendBatch
+  uint64_t batches_full = 0;       // flushes triggered by max_batch
+  uint64_t batches_timer = 0;      // flushes triggered by max_delay_us
+  /// histogram[i] = number of flushed batches of size i+1.
+  std::vector<uint64_t> batch_size_histogram;
+  /// Element-wise sums of the per-query QueryTiming of completed requests.
+  core::QueryTiming timing_totals;
+};
+
+std::vector<uint8_t> EncodeQueryRequest(const QueryRequest& request);
+[[nodiscard]]
+StatusOr<QueryRequest> DecodeQueryRequest(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeQueryByIdRequest(const QueryByIdRequest& request);
+[[nodiscard]]
+StatusOr<QueryByIdRequest> DecodeQueryByIdRequest(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeQueryResponse(const QueryResponse& response);
+[[nodiscard]]
+StatusOr<QueryResponse> DecodeQueryResponse(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeServerStats(const ServerStats& stats);
+[[nodiscard]]
+StatusOr<ServerStats> DecodeServerStats(const std::vector<uint8_t>& payload);
+
+}  // namespace vrec::server
+
+#endif  // VREC_SERVER_WIRE_H_

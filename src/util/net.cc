@@ -1,0 +1,183 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace vrec::util {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+StatusOr<UniqueFd> ListenTcp(uint16_t port, int backlog) {
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    return Errno("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return Errno("listen");
+  return fd;
+}
+
+StatusOr<uint16_t> BoundPort(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<uint16_t>(ntohs(addr.sin_port));
+}
+
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  for (;;) {
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect");
+  }
+  // Request/response frames are small; Nagle only adds latency here.
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+StatusOr<UniqueFd> AcceptWithWake(int listen_fd, int wake_fd) {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_fd;
+    fds[1].events = POLLIN;
+    const int n = ::poll(fds, 2, /*timeout=*/-1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      return UniqueFd();  // woken: drain requested, no connection
+    }
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+          errno == EWOULDBLOCK) {
+        continue;  // the pending connection vanished; keep listening
+      }
+      return Errno("accept");
+    }
+    UniqueFd fd(conn);
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+}
+
+StatusOr<bool> ReadFullOrEof(int fd, void* buf, size_t len) {
+  auto* dst = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, dst + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      if (done == 0) return false;  // clean EOF at a frame boundary
+      return Status::FailedPrecondition("truncated stream: peer closed "
+                                        "mid-frame");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Status ReadFull(int fd, void* buf, size_t len) {
+  const StatusOr<bool> got = ReadFullOrEof(fd, buf, len);
+  if (!got.ok()) return got.status();
+  if (!*got) {
+    return Status::FailedPrecondition("unexpected EOF: peer closed");
+  }
+  return Status::Ok();
+}
+
+Status WriteFull(int fd, const void* buf, size_t len) {
+  const auto* src = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, src + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+
+void ShutdownBoth(int fd) { ::shutdown(fd, SHUT_RDWR); }
+
+StatusOr<std::pair<UniqueFd, UniqueFd>> MakeWakePipe() {
+  int fds[2];
+  if (::pipe(fds) < 0) return Errno("pipe");
+  UniqueFd rd(fds[0]);
+  UniqueFd wr(fds[1]);
+  // The write end may be poked from a signal handler; never let it block.
+  const int flags = ::fcntl(wr.get(), F_GETFL);
+  if (flags >= 0) ::fcntl(wr.get(), F_SETFL, flags | O_NONBLOCK);
+  return std::make_pair(std::move(rd), std::move(wr));
+}
+
+void SignalWake(int wake_wr_fd) {
+  const uint8_t byte = 1;
+  // Best effort by design: EAGAIN means the pipe already holds a wake-up.
+  [[maybe_unused]] const ssize_t n = ::write(wake_wr_fd, &byte, 1);
+}
+
+void DrainWake(int wake_rd_fd) {
+  uint8_t buf[64];
+  for (;;) {
+    pollfd p{wake_rd_fd, POLLIN, 0};
+    if (::poll(&p, 1, 0) <= 0 || (p.revents & POLLIN) == 0) return;
+    if (::read(wake_rd_fd, buf, sizeof(buf)) <= 0) return;
+  }
+}
+
+}  // namespace vrec::util

@@ -1,0 +1,114 @@
+#ifndef VREC_UTIL_NET_H_
+#define VREC_UTIL_NET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "util/status.h"
+
+namespace vrec::util {
+
+/// EINTR-safe POSIX socket helpers. Everything in the tree that touches a
+/// file descriptor goes through this header: the raw send/recv/read/write
+/// syscalls silently return short counts or fail with EINTR under signal
+/// load (exactly the condition a draining server is in), so vrec_lint
+/// forbids them outside this translation unit.
+
+/// Owning file descriptor: closes on destruction (retrying close() is
+/// deliberately not done — POSIX leaves the fd state after EINTR undefined
+/// and Linux always releases it). Movable, not copyable.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { Reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.Release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      fd_ = other.Release();
+    }
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Relinquishes ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+  /// Closes the held descriptor (if any) and takes ownership of `fd`.
+  void Reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listening socket bound to INADDR_ANY:`port` with
+/// SO_REUSEADDR set. `port` 0 binds an ephemeral port (read it back with
+/// BoundPort).
+[[nodiscard]]
+StatusOr<UniqueFd> ListenTcp(uint16_t port, int backlog);
+
+/// The local port a bound socket listens on.
+[[nodiscard]]
+StatusOr<uint16_t> BoundPort(int fd);
+
+/// Blocking connect to a numeric IPv4 address (or "localhost"). DNS is out
+/// of scope for the serving layer; clients pass dotted quads.
+[[nodiscard]]
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Blocks until a connection is accepted or `wake_fd` becomes readable
+/// (the server's shutdown pipe). Returns an *invalid* UniqueFd — not an
+/// error — when woken by `wake_fd`, so the accept loop can distinguish
+/// "drain requested" from a real failure. EINTR is retried.
+[[nodiscard]]
+StatusOr<UniqueFd> AcceptWithWake(int listen_fd, int wake_fd);
+
+/// Reads exactly `len` bytes, retrying on EINTR and short reads. EOF before
+/// `len` bytes is an error (kFailedPrecondition: truncated stream).
+[[nodiscard]]
+Status ReadFull(int fd, void* buf, size_t len);
+
+/// Like ReadFull, but a clean EOF *before the first byte* returns false
+/// (the peer closed between frames — the normal end of a connection).
+/// EOF mid-buffer is still an error.
+[[nodiscard]]
+StatusOr<bool> ReadFullOrEof(int fd, void* buf, size_t len);
+
+/// Writes exactly `len` bytes, retrying on EINTR and short writes.
+[[nodiscard]]
+Status WriteFull(int fd, const void* buf, size_t len);
+
+/// Half-closes the read side so a peer (or our own connection thread)
+/// blocked in ReadFull wakes with EOF; in-flight writes still complete.
+/// Used by graceful drain to stop accepting new frames on live
+/// connections while their queued responses are flushed.
+void ShutdownRead(int fd);
+
+/// Full shutdown (both directions): the peer sees EOF immediately, even
+/// though the descriptor itself is released later. Connection threads call
+/// this on exit — the fd is only close()d when the accept loop reaps the
+/// finished connection, which may be long after the protocol decided to
+/// hang up.
+void ShutdownBoth(int fd);
+
+/// A pipe whose write end can be written from a signal handler (one byte,
+/// async-signal-safe) to wake a poll()-er on the read end.
+[[nodiscard]]
+StatusOr<std::pair<UniqueFd, UniqueFd>> MakeWakePipe();  // {read, write}
+
+/// Writes one byte to a wake pipe; async-signal-safe, errors ignored
+/// (a full pipe already guarantees the reader will wake).
+void SignalWake(int wake_wr_fd);
+
+/// Drains any pending bytes from a wake pipe without blocking.
+void DrainWake(int wake_rd_fd);
+
+}  // namespace vrec::util
+
+#endif  // VREC_UTIL_NET_H_

@@ -17,6 +17,10 @@ const char* CodeName(Status::Code code) {
       return "OutOfRange";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -22,6 +22,8 @@ class [[nodiscard]] Status {
     kFailedPrecondition,
     kOutOfRange,
     kInternal,
+    kResourceExhausted,
+    kDeadlineExceeded,
   };
 
   /// Constructs an OK status.
@@ -44,6 +46,15 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
+  }
+  /// A bounded resource (admission queue, connection slots) is full; the
+  /// request was rejected rather than queued without limit. Retryable.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  /// The request's deadline expired before it could be served.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == Code::kOk; }

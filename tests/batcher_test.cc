@@ -1,0 +1,202 @@
+// MicroBatcher unit tests: flush triggers (max_batch vs max_delay_us),
+// bounded-queue backpressure, and drain semantics — all driven through a
+// test FlushFn, no sockets or recommender involved.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/batcher.h"
+
+namespace vrec::server {
+namespace {
+
+BatchJob MakeJob() {
+  BatchJob job;
+  job.response = std::make_shared<PendingResponse>();
+  return job;
+}
+
+/// Collects every flush (sizes + reasons) under a lock and lets tests wait
+/// for a given number of flushed jobs.
+class FlushRecorder {
+ public:
+  MicroBatcher::FlushFn Fn() {
+    return [this](std::vector<BatchJob>&& jobs, FlushReason reason) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      sizes_.push_back(jobs.size());
+      reasons_.push_back(reason);
+      total_ += jobs.size();
+      cv_.notify_all();
+    };
+  }
+
+  void WaitForTotal(size_t n) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return total_ >= n; });
+  }
+
+  std::vector<size_t> sizes() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sizes_;
+  }
+  std::vector<FlushReason> reasons() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reasons_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<size_t> sizes_;
+  std::vector<FlushReason> reasons_;
+  size_t total_ = 0;
+};
+
+TEST(MicroBatcherTest, FlushesImmediatelyWhenFull) {
+  BatcherOptions options;
+  options.max_batch = 4;
+  options.max_delay_us = 10'000'000;  // 10s: the timer must not be the trigger
+  options.queue_capacity = 8;
+  FlushRecorder recorder;
+  MicroBatcher batcher(options, recorder.Fn());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  }
+  recorder.WaitForTotal(4);
+  ASSERT_EQ(recorder.sizes().size(), 1u);
+  EXPECT_EQ(recorder.sizes()[0], 4u);
+  EXPECT_EQ(recorder.reasons()[0], FlushReason::kFull);
+}
+
+TEST(MicroBatcherTest, FlushesPartialBatchOnTimer) {
+  BatcherOptions options;
+  options.max_batch = 100;
+  options.max_delay_us = 2000;  // 2ms
+  options.queue_capacity = 200;
+  FlushRecorder recorder;
+  MicroBatcher batcher(options, recorder.Fn());
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  recorder.WaitForTotal(3);
+  ASSERT_GE(recorder.sizes().size(), 1u);
+  // The delay elapsed with the batch far from full: a timer flush. (More
+  // than one flush is possible if the submissions straddle a timer edge.)
+  EXPECT_EQ(recorder.reasons()[0], FlushReason::kTimer);
+  EXPECT_LT(recorder.sizes()[0], options.max_batch);
+}
+
+TEST(MicroBatcherTest, BoundedQueueRejectsWithResourceExhausted) {
+  // Deterministic overload: the flush callback blocks on a gate, so the
+  // worker is stuck mid-flush while submissions pile into the queue.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> flushed{0};
+
+  BatcherOptions options;
+  options.max_batch = 1;
+  options.max_delay_us = 0;
+  options.queue_capacity = 2;
+  MicroBatcher batcher(options, [&](std::vector<BatchJob>&& jobs,
+                                    FlushReason /*reason*/) {
+    flushed.fetch_add(static_cast<int>(jobs.size()));
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+
+  // First job is dequeued and stuck in the blocked flush.
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  while (flushed.load() < 1) std::this_thread::yield();
+
+  // The queue (capacity 2) now fills; the third concurrent request must be
+  // rejected with the retryable backpressure code, not queued or dropped.
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  const Status overflow = batcher.Submit(MakeJob());
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.code(), Status::Code::kResourceExhausted);
+
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  batcher.Drain();
+  // Everything admitted was flushed; the rejected job never entered.
+  EXPECT_EQ(flushed.load(), 3);
+}
+
+TEST(MicroBatcherTest, DrainFlushesQueuedJobsWithoutTimerWait) {
+  BatcherOptions options;
+  options.max_batch = 16;
+  options.max_delay_us = 10'000'000;  // 10s: drain must not wait this out
+  options.queue_capacity = 32;
+  FlushRecorder recorder;
+  MicroBatcher batcher(options, recorder.Fn());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  }
+  batcher.Drain();  // returns only after the worker flushed and exited
+  ASSERT_EQ(recorder.sizes().size(), 1u);
+  EXPECT_EQ(recorder.sizes()[0], 3u);
+  EXPECT_EQ(recorder.reasons()[0], FlushReason::kDrain);
+}
+
+TEST(MicroBatcherTest, SubmitAfterDrainFailsCleanly) {
+  BatcherOptions options;
+  FlushRecorder recorder;
+  MicroBatcher batcher(options, recorder.Fn());
+  batcher.Drain();
+  const Status late = batcher.Submit(MakeJob());
+  ASSERT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), Status::Code::kFailedPrecondition);
+  batcher.Drain();  // idempotent
+}
+
+TEST(MicroBatcherTest, CountersAndHistogramTrackFlushes) {
+  BatcherOptions options;
+  options.max_batch = 2;
+  options.max_delay_us = 2000;
+  options.queue_capacity = 8;
+  FlushRecorder recorder;
+  MicroBatcher batcher(options, recorder.Fn());
+  // Two quick submissions form a full batch; a lone third rides the timer.
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  recorder.WaitForTotal(2);
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  recorder.WaitForTotal(3);
+
+  EXPECT_GE(batcher.batches_full() + batcher.batches_timer(), 2u);
+  const auto histogram = batcher.batch_size_histogram();
+  ASSERT_EQ(histogram.size(), options.max_batch);
+  uint64_t flushed = 0;
+  uint64_t jobs = 0;
+  for (size_t i = 0; i < histogram.size(); ++i) {
+    flushed += histogram[i];
+    jobs += histogram[i] * (i + 1);
+  }
+  EXPECT_EQ(jobs, 3u);
+  EXPECT_EQ(flushed, batcher.batches_full() + batcher.batches_timer());
+}
+
+TEST(PendingResponseTest, TakeBlocksUntilComplete) {
+  PendingResponse response;
+  std::thread completer([&] {
+    core::BatchResult result;
+    result.status = Status::NotFound("x");
+    response.Complete(std::move(result));
+  });
+  const core::BatchResult result = response.Take();
+  completer.join();
+  EXPECT_EQ(result.status.code(), Status::Code::kNotFound);
+}
+
+}  // namespace
+}  // namespace vrec::server

@@ -1,5 +1,6 @@
 #include "gtest/gtest.h"
 #include "core/recommender.h"
+#include "server/server.h"
 
 namespace vrec::core {
 namespace {
@@ -66,6 +67,67 @@ TEST(ValidateOptionsTest, FinalizeRejectsInvalidConfig) {
   Recommender rec(o);
   const Status s = rec.Finalize(10);
   EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ValidateBatcherOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(server::ValidateBatcherOptions(server::BatcherOptions{}).ok());
+}
+
+TEST(ValidateBatcherOptionsTest, RejectsDegenerateKnobs) {
+  server::BatcherOptions o;
+  o.max_batch = 0;
+  EXPECT_FALSE(server::ValidateBatcherOptions(o).ok());
+  o = server::BatcherOptions{};
+  o.max_delay_us = -1;
+  EXPECT_FALSE(server::ValidateBatcherOptions(o).ok());
+  o = server::BatcherOptions{};
+  o.queue_capacity = 0;
+  EXPECT_FALSE(server::ValidateBatcherOptions(o).ok());
+}
+
+TEST(ValidateBatcherOptionsTest, QueueMustHoldAFullBatch) {
+  server::BatcherOptions o;
+  o.max_batch = 16;
+  o.queue_capacity = 15;
+  const Status s = server::ValidateBatcherOptions(o);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+  o.queue_capacity = 16;
+  EXPECT_TRUE(server::ValidateBatcherOptions(o).ok());
+  // max_delay_us == 0 is legal: flush every batch as soon as it forms.
+  o.max_delay_us = 0;
+  EXPECT_TRUE(server::ValidateBatcherOptions(o).ok());
+}
+
+TEST(ValidateServerOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(server::ValidateServerOptions(server::ServerOptions{}).ok());
+}
+
+TEST(ValidateServerOptionsTest, RejectsBadListenerKnobs) {
+  server::ServerOptions o;
+  o.port = -1;
+  EXPECT_FALSE(server::ValidateServerOptions(o).ok());
+  o = server::ServerOptions{};
+  o.port = 65536;
+  EXPECT_FALSE(server::ValidateServerOptions(o).ok());
+  o = server::ServerOptions{};
+  o.backlog = 0;
+  EXPECT_FALSE(server::ValidateServerOptions(o).ok());
+  o = server::ServerOptions{};
+  o.max_connections = 0;
+  EXPECT_FALSE(server::ValidateServerOptions(o).ok());
+  o = server::ServerOptions{};
+  o.max_payload_bytes = 8;  // below the floor — can't even hold a header's
+                            // worth of payload structure
+  EXPECT_FALSE(server::ValidateServerOptions(o).ok());
+}
+
+TEST(ValidateServerOptionsTest, NestedBatcherOptionsAreChecked) {
+  server::ServerOptions o;
+  o.batcher.max_batch = 0;
+  const Status s = server::ValidateServerOptions(o);
+  ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
 }
 

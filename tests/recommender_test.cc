@@ -180,8 +180,11 @@ TEST_F(RecommenderFixture, TimingPopulatedAfterQuery) {
   QueryTiming timing;
   ASSERT_TRUE(rec.RecommendById(0, 3, &timing).ok());
   EXPECT_GT(timing.total_ms, 0.0);
-  // The deprecated accessor must stay in sync until it is removed.
-  EXPECT_EQ(rec.last_timing().total_ms, timing.total_ms);  // NOLINT(vrec-last-timing)
+  EXPECT_GT(timing.candidates, 0u);
+  // The out-param is per-call state: a second query overwrites it.
+  QueryTiming second;
+  ASSERT_TRUE(rec.RecommendById(1, 3, &second).ok());
+  EXPECT_GT(second.total_ms, 0.0);
 }
 
 TEST_F(RecommenderFixture, DtwAndErpMeasuresUsable) {

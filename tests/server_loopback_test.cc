@@ -1,0 +1,449 @@
+// End-to-end serving tests over a real loopback socket: an in-process
+// RecommendServer, N concurrent vrec::client::Clients, and bit-for-bit
+// comparison against direct Recommender calls. Also covers the robustness
+// contract: graceful drain on SIGTERM mid-load, admission backpressure,
+// per-request deadlines, and malformed-frame rejection. Runs in the
+// ThreadSanitizer CI job (ctest -R ServerLoopback).
+
+#include <csignal>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "client/client.h"
+#include "core/recommender.h"
+#include "server/server.h"
+#include "util/net.h"
+#include "util/random.h"
+
+namespace vrec::server {
+namespace {
+
+using signature::SignatureSeries;
+using social::SocialDescriptor;
+
+// Same corpus shape as recommender_concurrency_test.cc: content clusters +
+// social groups so every stage of the query path runs.
+constexpr int kVideos = 48;
+constexpr int kUsers = 40;
+
+SignatureSeries MakeSeries(int cluster, Rng* rng) {
+  SignatureSeries s;
+  for (int i = 0; i < 4; ++i) {
+    const double base = 40.0 * cluster - 60.0;
+    s.push_back({{base + rng->Uniform(-3.0, 3.0), 1.0}});
+  }
+  return s;
+}
+
+SocialDescriptor MakeDescriptor(int group, Rng* rng) {
+  std::vector<social::UserId> users;
+  const int base = group * (kUsers / 4);
+  for (int i = 0; i < 6; ++i) {
+    users.push_back((base + rng->UniformInt(0, kUsers / 2)) % kUsers);
+  }
+  return SocialDescriptor(users);
+}
+
+std::unique_ptr<core::Recommender> BuildCorpus(core::SocialMode mode) {
+  core::RecommenderOptions options;
+  options.social_mode = mode;
+  options.k_subcommunities = 4;
+  options.max_candidates = 24;
+  options.num_threads = 2;
+  auto rec = std::make_unique<core::Recommender>(options);
+  Rng rng(20150531);
+  for (int v = 0; v < kVideos; ++v) {
+    const int cluster = v % 4;
+    EXPECT_TRUE(rec->AddVideoRecord(v, MakeSeries(cluster, &rng),
+                                    MakeDescriptor(cluster, &rng))
+                    .ok());
+  }
+  EXPECT_TRUE(rec->Finalize(kUsers).ok());
+  return rec;
+}
+
+bool SameResults(const std::vector<core::ScoredVideo>& a,
+                 const std::vector<core::ScoredVideo>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-for-bit: the wire moves raw IEEE-754 doubles, so the server path
+    // must reproduce direct calls exactly.
+    if (a[i].id != b[i].id || a[i].score != b[i].score ||
+        a[i].content != b[i].content || a[i].social != b[i].social) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ServerLoopbackTest, ConcurrentClientsMatchDirectCallsBitForBit) {
+  for (const auto mode : {core::SocialMode::kNone, core::SocialMode::kExact,
+                          core::SocialMode::kSarHash}) {
+    const auto rec = BuildCorpus(mode);
+    std::vector<std::vector<core::ScoredVideo>> baseline;
+    for (int v = 0; v < kVideos; ++v) {
+      const auto r = rec->RecommendById(v, 10);
+      ASSERT_TRUE(r.ok());
+      baseline.push_back(*r);
+    }
+
+    ServerOptions options;
+    options.batcher.max_batch = 8;
+    options.batcher.max_delay_us = 1000;
+    RecommendServer srv(rec.get(), options);
+    ASSERT_TRUE(srv.Start().ok());
+
+    constexpr int kThreads = 4;
+    std::atomic<int> mismatches{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        client::Client cli;
+        if (!cli.Connect("localhost", srv.port()).ok()) {
+          failures.fetch_add(kVideos);
+          return;
+        }
+        for (int v = 0; v < kVideos; ++v) {
+          QueryByIdRequest request;
+          request.video = (v + t) % kVideos;
+          request.k = 10;
+          const auto response = cli.QueryById(request);
+          if (!response.ok() || !response->status.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          if (!SameResults(baseline[static_cast<size_t>(request.video)],
+                           response->results)) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(mismatches.load(), 0);
+
+    const auto stats = srv.stats();
+    EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kThreads * kVideos));
+    EXPECT_EQ(stats.completed, stats.accepted);
+    srv.Shutdown();
+  }
+}
+
+TEST(ServerLoopbackTest, AnonymousQueryPathMatchesDirectRecommend) {
+  const auto rec = BuildCorpus(core::SocialMode::kSarHash);
+  ServerOptions options;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  for (int v = 0; v < 8; ++v) {
+    QueryRequest request;
+    request.series = *rec->SeriesOf(v);
+    request.descriptor = *rec->DescriptorOf(v);
+    request.exclude = v;
+    request.k = 5;
+    const auto response = cli.Query(request);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+    const auto direct =
+        rec->Recommend(request.series, request.descriptor, 5, v);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(SameResults(*direct, response->results)) << "query " << v;
+    EXPECT_GT(response->timing.total_ms, 0.0);
+  }
+  srv.Shutdown();
+}
+
+TEST(ServerLoopbackTest, ApplicationErrorsTravelTheWire) {
+  const auto rec = BuildCorpus(core::SocialMode::kSarHash);
+  RecommendServer srv(rec.get(), ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+
+  QueryByIdRequest unknown;
+  unknown.video = 9999;
+  const auto not_found = cli.QueryById(unknown);
+  ASSERT_TRUE(not_found.ok());
+  EXPECT_EQ(not_found->status.code(), Status::Code::kNotFound);
+
+  QueryByIdRequest bad_k;
+  bad_k.video = 0;
+  bad_k.k = 0;
+  const auto invalid = cli.QueryById(bad_k);
+  ASSERT_TRUE(invalid.ok());
+  EXPECT_EQ(invalid->status.code(), Status::Code::kInvalidArgument);
+
+  // The connection stays usable after application-level errors.
+  QueryByIdRequest good;
+  good.video = 0;
+  good.k = 3;
+  const auto ok = cli.QueryById(good);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->status.ok());
+  srv.Shutdown();
+}
+
+TEST(ServerLoopbackTest, MalformedFramesRejectedAndConnectionClosed) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  RecommendServer srv(rec.get(), ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+
+  // Raw socket, garbage header: the server must answer with an error frame
+  // and close, never crash or hang.
+  auto fd = util::ConnectTcp("localhost", srv.port());
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> garbage(kHeaderBytes, 0xAB);
+  ASSERT_TRUE(util::WriteFull(fd->get(), garbage.data(), garbage.size()).ok());
+  uint8_t header_buf[kHeaderBytes];
+  const auto got =
+      util::ReadFullOrEof(fd->get(), header_buf, sizeof(header_buf));
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(*got);
+  const auto header = DecodeHeader(header_buf, kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, MessageType::kQueryResponse);
+  std::vector<uint8_t> payload(header->payload_len);
+  ASSERT_TRUE(util::ReadFull(fd->get(), payload.data(), payload.size()).ok());
+  const auto response = DecodeQueryResponse(payload);
+  ASSERT_TRUE(response.ok());
+  EXPECT_FALSE(response->status.ok());
+  // After the error frame the server closes its side.
+  const auto eof = util::ReadFullOrEof(fd->get(), header_buf, 1);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(*eof);
+
+  // A checksum mismatch on an otherwise valid frame is also rejected.
+  auto fd2 = util::ConnectTcp("localhost", srv.port());
+  ASSERT_TRUE(fd2.ok());
+  QueryByIdRequest request;
+  request.video = 0;
+  auto frame = EncodeFrame(MessageType::kQueryByIdRequest,
+                           EncodeQueryByIdRequest(request));
+  frame[kHeaderBytes] ^= 0x01;  // corrupt the payload, keep the header
+  ASSERT_TRUE(util::WriteFull(fd2->get(), frame.data(), frame.size()).ok());
+  const auto got2 =
+      util::ReadFullOrEof(fd2->get(), header_buf, sizeof(header_buf));
+  ASSERT_TRUE(got2.ok());
+  ASSERT_TRUE(*got2);
+
+  const auto stats = srv.stats();
+  EXPECT_GE(stats.rejected_malformed, 2u);
+  // The server survives malformed clients and keeps serving good ones.
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  QueryByIdRequest good;
+  good.video = 1;
+  const auto ok = cli.QueryById(good);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->status.ok());
+  srv.Shutdown();
+}
+
+TEST(ServerLoopbackTest, ExpiredDeadlineAnsweredWithDeadlineExceeded) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  ServerOptions options;
+  // A lone request waits out the full 100ms coalescing delay, far past its
+  // own 1ms deadline, so expiry-at-dequeue is deterministic.
+  options.batcher.max_batch = 64;
+  options.batcher.max_delay_us = 100'000;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  QueryByIdRequest request;
+  request.video = 0;
+  request.deadline_ms = 1;
+  const auto response = cli.QueryById(request);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_TRUE(response->results.empty());
+
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.expired_deadline, 1u);
+  EXPECT_EQ(stats.accepted, 1u);
+  srv.Shutdown();
+}
+
+TEST(ServerLoopbackTest, TinyQueueYieldsResourceExhaustedUnderBurst) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  ServerOptions options;
+  options.batcher.max_batch = 1;
+  options.batcher.queue_capacity = 1;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // Bursts of concurrent requests against a single-slot queue: overflowing
+  // requests must be answered kResourceExhausted (explicit backpressure),
+  // everything else normally, and the server must stay healthy throughout.
+  std::atomic<int> ok_count{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> other{0};
+  for (int round = 0; round < 20 && rejected.load() == 0; ++round) {
+    constexpr int kBurst = 8;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kBurst; ++t) {
+      threads.emplace_back([&] {
+        client::Client cli;
+        if (!cli.Connect("localhost", srv.port()).ok()) {
+          other.fetch_add(1);
+          return;
+        }
+        for (int i = 0; i < 5; ++i) {
+          QueryByIdRequest request;
+          request.video = i % kVideos;
+          request.k = 3;
+          const auto response = cli.QueryById(request);
+          if (!response.ok()) {
+            other.fetch_add(1);
+          } else if (response->status.ok()) {
+            ok_count.fetch_add(1);
+          } else if (response->status.code() ==
+                     Status::Code::kResourceExhausted) {
+            rejected.fetch_add(1);
+          } else {
+            other.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  EXPECT_GT(ok_count.load(), 0);
+  EXPECT_GT(rejected.load(), 0) << "no backpressure observed in 20 bursts";
+  EXPECT_EQ(other.load(), 0);
+
+  // Rejected requests were answered, not queued: accounting must agree,
+  // and the server still serves after the storm.
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.rejected_overload, static_cast<uint64_t>(rejected.load()));
+  EXPECT_EQ(stats.completed, static_cast<uint64_t>(ok_count.load()));
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  QueryByIdRequest request;
+  request.video = 0;
+  const auto response = cli.QueryById(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->status.ok());
+  srv.Shutdown();
+}
+
+TEST(ServerLoopbackTest, SigtermDrainsGracefullyMidLoad) {
+  const auto rec = BuildCorpus(core::SocialMode::kSarHash);
+  ServerOptions options;
+  options.batcher.max_batch = 4;
+  options.batcher.max_delay_us = 2000;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+  ASSERT_TRUE(srv.EnableSignalDrain().ok());
+
+  // Clients hammer the server; every request must end in exactly one of:
+  // a normal answer, a drain rejection, or a clean connection close. A
+  // hang, crash, or silent drop fails the test.
+  constexpr int kThreads = 4;
+  std::atomic<int> answered{0};
+  std::atomic<int> turned_away{0};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      client::Client cli;
+      if (!cli.Connect("localhost", srv.port()).ok()) return;
+      for (int i = 0; !stop.load() && i < 10000; ++i) {
+        QueryByIdRequest request;
+        request.video = i % kVideos;
+        request.k = 5;
+        const auto response = cli.QueryById(request);
+        if (!response.ok()) return;  // drain closed the connection: clean end
+        if (response->status.ok()) {
+          answered.fetch_add(1);
+        } else {
+          turned_away.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Let load build up, then deliver a real SIGTERM to the process.
+  while (answered.load() < 20) std::this_thread::yield();
+  raise(SIGTERM);
+  srv.WaitUntilStopped();
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(srv.running());
+
+  // The drain contract: every admitted request was answered — through the
+  // batch path or as an explicit expiry — none abandoned.
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.accepted, stats.completed + stats.expired_deadline);
+  EXPECT_GT(answered.load(), 0);
+  EXPECT_EQ(static_cast<uint64_t>(answered.load()), stats.completed);
+  srv.Shutdown();  // idempotent after the signal-initiated drain
+}
+
+TEST(ServerLoopbackTest, ShutdownWithIdleConnectionsAndNoLoad) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  RecommendServer srv(rec.get(), ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+  // Idle connections (no in-flight request) must not block the drain.
+  client::Client idle1;
+  client::Client idle2;
+  ASSERT_TRUE(idle1.Connect("localhost", srv.port()).ok());
+  ASSERT_TRUE(idle2.Connect("localhost", srv.port()).ok());
+  srv.Shutdown();
+  EXPECT_FALSE(srv.running());
+}
+
+TEST(ServerLoopbackTest, StatsVerbReportsBatchingCounters) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  ServerOptions options;
+  options.batcher.max_batch = 4;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  for (int i = 0; i < 6; ++i) {
+    QueryByIdRequest request;
+    request.video = i;
+    ASSERT_TRUE(cli.QueryById(request).ok());
+  }
+  const auto stats = cli.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->accepted, 6u);
+  EXPECT_EQ(stats->completed, 6u);
+  ASSERT_EQ(stats->batch_size_histogram.size(), 4u);
+  uint64_t jobs = 0;
+  for (size_t i = 0; i < stats->batch_size_histogram.size(); ++i) {
+    jobs += stats->batch_size_histogram[i] * (i + 1);
+  }
+  EXPECT_EQ(jobs, 6u);
+  EXPECT_GT(stats->timing_totals.total_ms, 0.0);
+  srv.Shutdown();
+}
+
+TEST(ServerLoopbackTest, StartValidatesOptionsAndPreconditions) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  ServerOptions bad;
+  bad.batcher.queue_capacity = 1;
+  bad.batcher.max_batch = 16;  // a full batch would not fit
+  RecommendServer srv(rec.get(), bad);
+  const Status s = srv.Start();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+
+  core::Recommender unfinalized{core::RecommenderOptions{}};
+  RecommendServer srv2(&unfinalized, ServerOptions{});
+  EXPECT_EQ(srv2.Start().code(), Status::Code::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace vrec::server

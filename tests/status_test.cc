@@ -28,6 +28,10 @@ TEST(StatusTest, ToStringCoversEveryCode) {
             "OutOfRange: probe count");
   EXPECT_EQ(Status::Internal("invariant broken").ToString(),
             "Internal: invariant broken");
+  EXPECT_EQ(Status::ResourceExhausted("admission queue full").ToString(),
+            "ResourceExhausted: admission queue full");
+  EXPECT_EQ(Status::DeadlineExceeded("expired in queue").ToString(),
+            "DeadlineExceeded: expired in queue");
 }
 
 TEST(StatusTest, ToStringWithoutMessageIsBareCodeName) {

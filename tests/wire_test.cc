@@ -1,0 +1,284 @@
+// Wire protocol round-trip and adversarial-input tests. Pure buffer
+// transformations — no sockets — so every malformed-frame path can be
+// driven deterministically. scripts/verify.sh runs these under ASan/UBSan:
+// a decoder fed garbage must return a Status, never crash or over-read.
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "server/wire.h"
+#include "util/random.h"
+
+namespace vrec::server {
+namespace {
+
+QueryRequest MakeRequest(Rng* rng, int num_sigs) {
+  QueryRequest request;
+  for (int s = 0; s < num_sigs; ++s) {
+    signature::CuboidSignature sig;
+    const int cuboids = static_cast<int>(rng->UniformInt(1, 6));
+    for (int c = 0; c < cuboids; ++c) {
+      sig.push_back({rng->Uniform(-200.0, 200.0), rng->Uniform(0.01, 1.0)});
+    }
+    request.series.push_back(std::move(sig));
+  }
+  std::vector<social::UserId> users;
+  const int n = static_cast<int>(rng->UniformInt(0, 8));
+  for (int i = 0; i < n; ++i) users.push_back(rng->UniformInt(0, 1000));
+  request.descriptor = social::SocialDescriptor(users);
+  request.exclude = rng->UniformInt(-1, 100);
+  request.k = static_cast<int32_t>(rng->UniformInt(1, 50));
+  request.deadline_ms = static_cast<uint32_t>(rng->UniformInt(0, 5000));
+  return request;
+}
+
+TEST(WireTest, Fnv1a32MatchesReferenceVectors) {
+  // Standard FNV-1a 32-bit test vectors.
+  EXPECT_EQ(Fnv1a32(nullptr, 0), 0x811c9dc5u);
+  const uint8_t a[] = {'a'};
+  EXPECT_EQ(Fnv1a32(a, 1), 0xe40c292cu);
+  const uint8_t foobar[] = {'f', 'o', 'o', 'b', 'a', 'r'};
+  EXPECT_EQ(Fnv1a32(foobar, 6), 0xbf9cf968u);
+}
+
+TEST(WireTest, FrameHeaderRoundTrip) {
+  const std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  const auto frame = EncodeFrame(MessageType::kQueryRequest, payload);
+  ASSERT_EQ(frame.size(), kHeaderBytes + payload.size());
+
+  const auto header = DecodeHeader(frame.data(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(header.ok()) << header.status().ToString();
+  EXPECT_EQ(header->type, MessageType::kQueryRequest);
+  EXPECT_EQ(header->payload_len, payload.size());
+  EXPECT_TRUE(VerifyPayload(*header, payload).ok());
+}
+
+TEST(WireTest, EmptyPayloadFrame) {
+  const auto frame = EncodeFrame(MessageType::kStatsRequest, {});
+  ASSERT_EQ(frame.size(), kHeaderBytes);
+  const auto header = DecodeHeader(frame.data(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->payload_len, 0u);
+  EXPECT_TRUE(VerifyPayload(*header, {}).ok());
+}
+
+TEST(WireTest, HeaderRejectsBadMagic) {
+  auto frame = EncodeFrame(MessageType::kQueryRequest, {1});
+  frame[0] ^= 0xff;
+  const auto header = DecodeHeader(frame.data(), kDefaultMaxPayloadBytes);
+  ASSERT_FALSE(header.ok());
+  EXPECT_EQ(header.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(WireTest, HeaderRejectsBadVersion) {
+  auto frame = EncodeFrame(MessageType::kQueryRequest, {1});
+  frame[4] = kWireVersion + 1;
+  EXPECT_FALSE(DecodeHeader(frame.data(), kDefaultMaxPayloadBytes).ok());
+}
+
+TEST(WireTest, HeaderRejectsUnknownType) {
+  auto frame = EncodeFrame(MessageType::kQueryRequest, {1});
+  frame[5] = 0;
+  EXPECT_FALSE(DecodeHeader(frame.data(), kDefaultMaxPayloadBytes).ok());
+  frame[5] = 99;
+  EXPECT_FALSE(DecodeHeader(frame.data(), kDefaultMaxPayloadBytes).ok());
+}
+
+TEST(WireTest, HeaderRejectsNonzeroReservedBytes) {
+  auto frame = EncodeFrame(MessageType::kQueryRequest, {1});
+  frame[6] = 1;
+  EXPECT_FALSE(DecodeHeader(frame.data(), kDefaultMaxPayloadBytes).ok());
+  frame[6] = 0;
+  frame[7] = 0x80;
+  EXPECT_FALSE(DecodeHeader(frame.data(), kDefaultMaxPayloadBytes).ok());
+}
+
+TEST(WireTest, HeaderRejectsOversizedPayloadBeforeAllocation) {
+  auto frame = EncodeFrame(MessageType::kQueryRequest, {1});
+  // Forge a 512 MiB length field against a 1 MiB cap.
+  frame[8] = 0;
+  frame[9] = 0;
+  frame[10] = 0;
+  frame[11] = 0x20;
+  const auto header = DecodeHeader(frame.data(), 1u << 20);
+  ASSERT_FALSE(header.ok());
+  // InvalidArgument, not ResourceExhausted: the latter is reserved for
+  // admission backpressure, and clients retry it.
+  EXPECT_EQ(header.status().code(), Status::Code::kInvalidArgument);
+}
+
+TEST(WireTest, VerifyPayloadCatchesCorruptionAndTruncation) {
+  const std::vector<uint8_t> payload = {10, 20, 30, 40};
+  const auto frame = EncodeFrame(MessageType::kQueryRequest, payload);
+  const auto header = DecodeHeader(frame.data(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(header.ok());
+
+  std::vector<uint8_t> flipped = payload;
+  flipped[2] ^= 0x01;
+  EXPECT_FALSE(VerifyPayload(*header, flipped).ok());
+
+  std::vector<uint8_t> truncated(payload.begin(), payload.end() - 1);
+  EXPECT_FALSE(VerifyPayload(*header, truncated).ok());
+}
+
+TEST(WireTest, QueryRequestRoundTripsBitForBit) {
+  Rng rng(20150531);
+  for (int round = 0; round < 50; ++round) {
+    const QueryRequest request =
+        MakeRequest(&rng, static_cast<int>(rng.UniformInt(0, 5)));
+    const auto decoded = DecodeQueryRequest(EncodeQueryRequest(request));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded->exclude, request.exclude);
+    EXPECT_EQ(decoded->k, request.k);
+    EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
+    EXPECT_EQ(decoded->descriptor.users(), request.descriptor.users());
+    ASSERT_EQ(decoded->series.size(), request.series.size());
+    for (size_t s = 0; s < request.series.size(); ++s) {
+      ASSERT_EQ(decoded->series[s].size(), request.series[s].size());
+      for (size_t c = 0; c < request.series[s].size(); ++c) {
+        // Doubles travel as their raw IEEE-754 image: exact equality.
+        EXPECT_EQ(decoded->series[s][c].value, request.series[s][c].value);
+        EXPECT_EQ(decoded->series[s][c].weight, request.series[s][c].weight);
+      }
+    }
+  }
+}
+
+TEST(WireTest, QueryByIdRequestRoundTrip) {
+  QueryByIdRequest request;
+  request.video = 1234567890123LL;
+  request.k = 7;
+  request.deadline_ms = 250;
+  const auto decoded = DecodeQueryByIdRequest(EncodeQueryByIdRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->video, request.video);
+  EXPECT_EQ(decoded->k, request.k);
+  EXPECT_EQ(decoded->deadline_ms, request.deadline_ms);
+}
+
+TEST(WireTest, QueryResponseRoundTripIncludingErrorStatus) {
+  QueryResponse response;
+  response.status = Status::DeadlineExceeded("expired in queue");
+  response.timing.total_ms = 1.25;
+  response.timing.candidates = 42;
+  {
+    const auto decoded = DecodeQueryResponse(EncodeQueryResponse(response));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(decoded->status.code(), Status::Code::kDeadlineExceeded);
+    EXPECT_EQ(decoded->status.message(), "expired in queue");
+    EXPECT_EQ(decoded->timing.total_ms, 1.25);
+    EXPECT_EQ(decoded->timing.candidates, 42u);
+  }
+
+  response.status = Status::Ok();
+  response.results.push_back({3, 0.75, 0.5, 0.25});
+  response.results.push_back({9, 0.5, 0.125, 1.0});
+  const auto decoded = DecodeQueryResponse(EncodeQueryResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->results.size(), 2u);
+  EXPECT_EQ(decoded->results[0].id, 3);
+  EXPECT_EQ(decoded->results[0].score, 0.75);
+  EXPECT_EQ(decoded->results[1].social, 1.0);
+}
+
+TEST(WireTest, ServerStatsRoundTrip) {
+  ServerStats stats;
+  stats.accepted = 100;
+  stats.rejected_overload = 3;
+  stats.rejected_malformed = 2;
+  stats.expired_deadline = 1;
+  stats.completed = 96;
+  stats.batches_full = 10;
+  stats.batches_timer = 4;
+  stats.batch_size_histogram = {1, 0, 5, 8};
+  stats.timing_totals.content_ms = 123.5;
+  const auto decoded = DecodeServerStats(EncodeServerStats(stats));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->accepted, 100u);
+  EXPECT_EQ(decoded->rejected_overload, 3u);
+  EXPECT_EQ(decoded->completed, 96u);
+  EXPECT_EQ(decoded->batch_size_histogram, stats.batch_size_histogram);
+  EXPECT_EQ(decoded->timing_totals.content_ms, 123.5);
+}
+
+TEST(WireTest, DecodersRejectTruncatedPayloads) {
+  Rng rng(7);
+  const auto request = EncodeQueryRequest(MakeRequest(&rng, 3));
+  QueryResponse ok_response;
+  ok_response.results.push_back({1, 0.5, 0.5, 0.5});
+  const auto response = EncodeQueryResponse(ok_response);
+  ServerStats some_stats;
+  some_stats.batch_size_histogram = {2, 2};
+  const auto stats = EncodeServerStats(some_stats);
+
+  // Every prefix of a valid payload must decode to an error, not a crash.
+  for (size_t len = 0; len < request.size(); ++len) {
+    const std::vector<uint8_t> cut(request.begin(),
+                                   request.begin() + static_cast<long>(len));
+    EXPECT_FALSE(DecodeQueryRequest(cut).ok()) << "len " << len;
+  }
+  for (size_t len = 0; len < response.size(); ++len) {
+    const std::vector<uint8_t> cut(response.begin(),
+                                   response.begin() + static_cast<long>(len));
+    EXPECT_FALSE(DecodeQueryResponse(cut).ok()) << "len " << len;
+  }
+  for (size_t len = 0; len < stats.size(); ++len) {
+    const std::vector<uint8_t> cut(stats.begin(),
+                                   stats.begin() + static_cast<long>(len));
+    EXPECT_FALSE(DecodeServerStats(cut).ok()) << "len " << len;
+  }
+}
+
+TEST(WireTest, DecodersRejectForgedCountsWithoutAllocating) {
+  // A tiny payload whose leading count fields claim millions of elements:
+  // the budget check must fail it before any reserve happens.
+  Rng rng(11);
+  auto request = EncodeQueryRequest(MakeRequest(&rng, 1));
+  // Layout: i32 k, i64 exclude, u32 deadline, then the user-vector length.
+  const size_t users_len_at = 4 + 8 + 4;
+  ASSERT_LT(users_len_at + 4, request.size());
+  std::memset(request.data() + users_len_at, 0xff, 4);
+  EXPECT_FALSE(DecodeQueryRequest(request).ok());
+
+  QueryResponse ok_response;
+  auto response = EncodeQueryResponse(ok_response);
+  // Layout: u8 status code, u32 message length (0), then the result count.
+  const size_t count_at = 1 + 4;
+  ASSERT_LT(count_at + 4, response.size());
+  std::memset(response.data() + count_at, 0xff, 4);
+  EXPECT_FALSE(DecodeQueryResponse(response).ok());
+
+  ServerStats empty;
+  auto stats = EncodeServerStats(empty);
+  const size_t hist_at = 7 * 8;
+  ASSERT_LT(hist_at + 4, stats.size());
+  std::memset(stats.data() + hist_at, 0xff, 4);
+  EXPECT_FALSE(DecodeServerStats(stats).ok());
+}
+
+TEST(WireTest, QueryResponseRejectsUnknownStatusCode) {
+  QueryResponse response;
+  auto payload = EncodeQueryResponse(response);
+  payload[0] = 0xee;  // not a Status::Code
+  EXPECT_FALSE(DecodeQueryResponse(payload).ok());
+}
+
+TEST(WireTest, RandomBitFlipsNeverCrashTheDecoders) {
+  // Not a correctness property (a flip inside a double still decodes) —
+  // an absence-of-UB property, meaningful under the ASan/UBSan job.
+  Rng rng(20150531);
+  const auto payload = EncodeQueryRequest(MakeRequest(&rng, 4));
+  for (int round = 0; round < 200; ++round) {
+    auto mutated = payload;
+    const auto bit = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(mutated.size() * 8 - 1)));
+    mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    const auto decoded = DecodeQueryRequest(mutated);
+    if (decoded.ok()) continue;  // flip hit a value field, not structure
+    EXPECT_FALSE(decoded.status().ToString().empty());
+  }
+}
+
+}  // namespace
+}  // namespace vrec::server

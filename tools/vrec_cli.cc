@@ -9,6 +9,11 @@
 //                     [--communities K] [--cutoff N]
 //   vrec_cli batch    --data FILE [--k K] [--threads T] [--repeat R]
 //                     [--mode MODE] [--omega W] [--communities K]
+//   vrec_cli serve    --data FILE [--port P] [--mode MODE] [--threads T]
+//                     [--max-batch N] [--max-delay-us US]
+//                     [--queue-capacity N] [--max-connections N]
+//   vrec_cli client   --port P [--host H] (--video ID [--k K]
+//                     [--deadline-ms MS] | --stats 1)
 //
 // MODE is one of: cr, sr, csf, csf-sar, csf-sar-h (default csf-sar-h).
 //
@@ -18,17 +23,22 @@
 //   vrec_cli query --data /tmp/community.bin --video 0 --k 5
 //   vrec_cli evaluate --data /tmp/community.bin --mode cr
 //   vrec_cli batch --data /tmp/community.bin --threads 4
+//   vrec_cli serve --data /tmp/community.bin --port 4450 &
+//   vrec_cli client --port 4450 --video 0 --k 5
+//   vrec_cli client --port 4450 --stats 1
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 
+#include "client/client.h"
 #include "core/recommender.h"
 #include "datagen/dataset.h"
 #include "eval/metrics.h"
 #include "eval/rating_oracle.h"
 #include "io/archive.h"
+#include "server/server.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -76,6 +86,11 @@ int Usage() {
       "                    [--communities K] [--cutoff N]\n"
       "  vrec_cli batch    --data FILE [--k K] [--threads T] [--repeat R]\n"
       "                    [--mode MODE] [--omega W] [--communities K]\n"
+      "  vrec_cli serve    --data FILE [--port P] [--mode MODE] [--threads T]\n"
+      "                    [--max-batch N] [--max-delay-us US]\n"
+      "                    [--queue-capacity N] [--max-connections N]\n"
+      "  vrec_cli client   --port P [--host H] (--video ID [--k K]\n"
+      "                    [--deadline-ms MS] | --stats 1)\n"
       "modes: cr, sr, csf, csf-sar, csf-sar-h\n");
   return 2;
 }
@@ -342,6 +357,123 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
+int CmdServe(const Flags& flags) {
+  const auto dataset = LoadData(flags);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  auto rec = BuildRecommender(*dataset, flags);
+  if (rec == nullptr) return 1;
+
+  server::ServerOptions options;
+  options.port = static_cast<int>(flags.GetInt("--port", 0));
+  options.batcher.max_batch =
+      static_cast<size_t>(flags.GetInt("--max-batch", 16));
+  options.batcher.max_delay_us = flags.GetInt("--max-delay-us", 1000);
+  options.batcher.queue_capacity =
+      static_cast<size_t>(flags.GetInt("--queue-capacity", 256));
+  options.max_connections =
+      static_cast<size_t>(flags.GetInt("--max-connections", 64));
+
+  server::RecommendServer srv(rec.get(), options);
+  if (const Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  if (const Status s = srv.EnableSignalDrain(); !s.ok()) {
+    std::fprintf(stderr, "signal setup failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu videos on port %u "
+              "(max_batch=%zu, max_delay_us=%lld); SIGINT/SIGTERM drains\n",
+              rec->video_count(), srv.port(), options.batcher.max_batch,
+              static_cast<long long>(options.batcher.max_delay_us));
+  std::fflush(stdout);
+  srv.WaitUntilStopped();
+
+  const auto stats = srv.stats();
+  std::printf("drained: accepted=%llu completed=%llu overload=%llu "
+              "malformed=%llu expired=%llu batches(full=%llu timer=%llu)\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.rejected_overload),
+              static_cast<unsigned long long>(stats.rejected_malformed),
+              static_cast<unsigned long long>(stats.expired_deadline),
+              static_cast<unsigned long long>(stats.batches_full),
+              static_cast<unsigned long long>(stats.batches_timer));
+  return 0;
+}
+
+int CmdClient(const Flags& flags) {
+  if (!flags.Has("--port")) return Usage();
+  const auto port = static_cast<uint16_t>(flags.GetInt("--port", 0));
+  const std::string host = flags.GetString("--host", "localhost");
+
+  client::Client cli;
+  if (const Status s = cli.Connect(host, port); !s.ok()) {
+    std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  if (flags.Has("--stats")) {
+    const auto stats = cli.Stats();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("accepted=%llu completed=%llu overload=%llu malformed=%llu "
+                "expired=%llu batches(full=%llu timer=%llu)\n",
+                static_cast<unsigned long long>(stats->accepted),
+                static_cast<unsigned long long>(stats->completed),
+                static_cast<unsigned long long>(stats->rejected_overload),
+                static_cast<unsigned long long>(stats->rejected_malformed),
+                static_cast<unsigned long long>(stats->expired_deadline),
+                static_cast<unsigned long long>(stats->batches_full),
+                static_cast<unsigned long long>(stats->batches_timer));
+    uint64_t flushed = 0, weighted = 0;
+    for (size_t i = 0; i < stats->batch_size_histogram.size(); ++i) {
+      flushed += stats->batch_size_histogram[i];
+      weighted += stats->batch_size_histogram[i] * (i + 1);
+    }
+    if (flushed > 0) {
+      std::printf("mean batch size: %.2f over %llu batches\n",
+                  static_cast<double>(weighted) /
+                      static_cast<double>(flushed),
+                  static_cast<unsigned long long>(flushed));
+    }
+    return 0;
+  }
+
+  if (!flags.Has("--video")) return Usage();
+  server::QueryByIdRequest request;
+  request.video = static_cast<video::VideoId>(flags.GetInt("--video", 0));
+  request.k = static_cast<int32_t>(flags.GetInt("--k", 10));
+  request.deadline_ms =
+      static_cast<uint32_t>(flags.GetInt("--deadline-ms", 0));
+  const auto response = cli.QueryById(request);
+  if (!response.ok()) {
+    std::fprintf(stderr, "transport failed: %s\n",
+                 response.status().ToString().c_str());
+    return 1;
+  }
+  if (!response->status.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 response->status.ToString().c_str());
+    return 1;
+  }
+  for (const auto& r : response->results) {
+    std::printf("  v%-5lld FJ=%.3f content=%.3f social=%.3f\n",
+                static_cast<long long>(r.id), r.score, r.content, r.social);
+  }
+  std::printf("server time: %.2f ms (social %.2f, content %.2f, "
+              "refine %.2f)\n",
+              response->timing.total_ms, response->timing.social_ms,
+              response->timing.content_ms, response->timing.refine_ms);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -353,5 +485,7 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "client") return CmdClient(flags);
   return Usage();
 }

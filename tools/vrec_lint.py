@@ -16,10 +16,14 @@ Rules (all scoped to library code under src/ unless noted):
   libc-random-time No rand()/srand()/time() in library code — randomized
                    components take seeded std::mt19937, timing goes
                    through util::Stopwatch.
-  last-timing      Recommender::last_timing() is deprecated (racy under
-                   concurrent queries); new call sites must use the
-                   QueryTiming out-parameter. Only its own declaration and
-                   explicitly NOLINT-ed regression tests may mention it.
+  last-timing      Recommender::last_timing() was removed (it was racy
+                   under concurrent queries); the name must not come back.
+                   Use the QueryTiming out-parameter of Recommend*() or the
+                   per-query timing RecommendBatch returns.
+  raw-io           No raw POSIX socket/file calls (send/recv/read/write)
+                   in library code — all byte I/O goes through the
+                   EINTR-safe helpers in src/util/net.h, which that file
+                   alone may implement.
 
 Any rule can be silenced per line with `// NOLINT(vrec-<rule>)`.
 
@@ -48,13 +52,17 @@ _VOID_CAST = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_]")
 _IOSTREAM = re.compile(r"std::c(out|err)\b")
 _LIBC_RANDOM_TIME = re.compile(r"(?<![\w:])(?:std::)?(?:s?rand|time)\s*\(")
 _LAST_TIMING = re.compile(r"\blast_timing\s*\(")
+# Bare POSIX I/O identifiers. The lookbehind keeps out method calls
+# (.read / ->write), qualified names (std::, util::) and longer identifiers
+# (fwrite, pread, ReadFull).
+_RAW_IO = re.compile(r"(?<![\w:.>])(?:send|recv|read|write)\s*\(")
 _NOLINT = re.compile(r"//\s*NOLINT\(([^)]*)\)")
 
-# Files that may mention last_timing(): its own declaration and the
-# internals that keep the deprecated accessor in sync.
-_LAST_TIMING_ALLOWED = {
-    "src/core/recommender.h",
-    "src/core/recommender.cc",
+# The one place allowed to touch raw file descriptors: the EINTR-safe
+# helper layer itself.
+_RAW_IO_ALLOWED = {
+    "src/util/net.h",
+    "src/util/net.cc",
 }
 
 
@@ -141,11 +149,15 @@ def lint_file(rel_path, lines):
                 report(line_no, "libc-random-time",
                        "libc rand()/time() in library code; use seeded "
                        "std::mt19937 / util::Stopwatch")
+            if (rel not in _RAW_IO_ALLOWED and _RAW_IO.search(code)
+                    and not _suppressed(raw, "raw-io")):
+                report(line_no, "raw-io",
+                       "raw send/recv/read/write in library code; use the "
+                       "EINTR-safe helpers in src/util/net.h")
 
-        if (rel not in _LAST_TIMING_ALLOWED and _LAST_TIMING.search(code)
-                and not _suppressed(raw, "last-timing")):
+        if _LAST_TIMING.search(code) and not _suppressed(raw, "last-timing"):
             report(line_no, "last-timing",
-                   "last_timing() is deprecated; pass a QueryTiming "
+                   "last_timing() was removed; pass a QueryTiming "
                    "out-parameter to Recommend*()")
 
         if code.strip():
@@ -246,12 +258,35 @@ TEST(T, Old) {
         ["last-timing"],
     ),
     (
+        # The accessor was removed; even its old home may not redeclare it.
         "src/core/recommender.h",
         """\
 #ifndef VREC_CORE_RECOMMENDER_H_
 #define VREC_CORE_RECOMMENDER_H_
 QueryTiming last_timing() const;
 #endif  // VREC_CORE_RECOMMENDER_H_
+""",
+        ["last-timing"],
+    ),
+    (
+        "src/fake/io_user.cc",
+        """\
+void G(int fd, uint8_t* buf, size_t n) {
+  read(fd, buf, n);
+  send(fd, buf, n, 0);  // NOLINT(vrec-raw-io)
+  reader.read(buf, n);
+  stream->write(buf, n);
+  util::ReadFull(fd, buf, n);
+  pread(fd, buf, n, 0);
+  // a comment about read() is fine
+}
+""",
+        ["raw-io"],
+    ),
+    (
+        "src/util/net.cc",
+        """\
+ssize_t n = read(fd, buf, len);
 """,
         [],
     ),
