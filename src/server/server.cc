@@ -369,18 +369,24 @@ QueryResponse RecommendServer::AdmitAndWait(core::BatchQuery query,
   job.response = std::make_shared<PendingResponse>();
   const auto pending = job.response;
 
+  // Admission is counted before Submit: the batcher worker can flush the
+  // job before Submit even returns, and a concurrent stats() must never
+  // observe completed > accepted (the accepted == completed + expired
+  // invariant). An extra accepted_ during a failed Submit just looks like
+  // an in-flight request, which is the benign direction.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++accepted_;
+  }
   const Status admitted = batcher_->Submit(std::move(job));
   if (!admitted.ok()) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
+    --accepted_;
     if (admitted.code() == Status::Code::kResourceExhausted) {
       ++rejected_overload_;
     }
     response.status = admitted;
     return response;
-  }
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    ++accepted_;
   }
   core::BatchResult result = pending->Take();
   response.status = std::move(result.status);
@@ -404,9 +410,13 @@ void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
       core::BatchResult result;
       result.status =
           Status::DeadlineExceeded("deadline expired in the admission queue");
+      {
+        // Counted before Complete(), like completed_: once a client holds
+        // its answer, a stats() read must already reflect it.
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++expired_deadline_;
+      }
       job.response->Complete(std::move(result));
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++expired_deadline_;
       continue;
     }
     queries.push_back(std::move(job.query));

@@ -112,6 +112,27 @@ void WriteSeries(io::BinaryWriter* w,
   }
 }
 
+// io::BinaryReader::ReadI64Vector's only cap is kMaxLength (128M
+// elements), which still lets a ~40-byte forged frame drive a ~1 GB
+// up-front allocation per connection. Wire decoding budgets the count
+// against the payload bytes that could possibly back it instead.
+StatusOr<std::vector<int64_t>> ReadI64VectorBudgeted(io::BinaryReader* r,
+                                                     size_t budget) {
+  const auto count = r->ReadU32();
+  if (!count.ok()) return count.status();
+  if (*count > budget / sizeof(int64_t)) {
+    return Status::InvalidArgument("user count exceeds payload size");
+  }
+  std::vector<int64_t> v;
+  v.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    const auto x = r->ReadI64();
+    if (!x.ok()) return x.status();
+    v.push_back(*x);
+  }
+  return v;
+}
+
 // `budget` is the payload size: every count is validated against the bytes
 // that could possibly back it, so a forged count fails cleanly instead of
 // driving a multi-GB reserve.
@@ -235,7 +256,7 @@ StatusOr<QueryRequest> DecodeQueryRequest(
   const auto deadline = r.ReadU32();
   if (!deadline.ok()) return deadline.status();
   request.deadline_ms = *deadline;
-  auto users = r.ReadI64Vector();
+  auto users = ReadI64VectorBudgeted(&r, payload.size());
   if (!users.ok()) return users.status();
   request.descriptor = social::SocialDescriptor(std::move(*users));
   auto series = ReadSeries(&r, payload.size());

@@ -63,13 +63,28 @@ StatusOr<UniqueFd> ConnectTcp(const std::string& host, uint16_t port) {
   }
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) return Errno("socket");
-  for (;;) {
-    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0) {
-      break;
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    if (errno != EINTR) return Errno("connect");
+    // EINTR does not abort a connect: the handshake keeps going in the
+    // background, and re-calling connect() reports EALREADY (or EISCONN
+    // once established). POSIX's prescription is to wait for writability
+    // and read the outcome from SO_ERROR.
+    for (;;) {
+      pollfd p{fd.get(), POLLOUT, 0};
+      const int n = ::poll(&p, 1, /*timeout=*/-1);
+      if (n > 0) break;
+      if (n < 0 && errno != EINTR) return Errno("poll(connect)");
     }
-    if (errno == EINTR) continue;
-    return Errno("connect");
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &err, &err_len) < 0) {
+      return Errno("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      errno = err;
+      return Errno("connect");
+    }
   }
   // Request/response frames are small; Nagle only adds latency here.
   const int one = 1;
@@ -140,7 +155,14 @@ Status WriteFull(int fd, const void* buf, size_t len) {
   const auto* src = static_cast<const uint8_t*>(buf);
   size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::write(fd, src + done, len - done);
+    // MSG_NOSIGNAL: a peer that closed or reset before reading (routine
+    // under load and on the overload/deadline give-up paths) must surface
+    // as an EPIPE Status, not a process-killing SIGPIPE. Non-socket fds
+    // answer ENOTSOCK; fall back to write() for them.
+    ssize_t n = ::send(fd, src + done, len - done, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, src + done, len - done);
+    }
     if (n < 0) {
       if (errno == EINTR) continue;
       return Errno("write");

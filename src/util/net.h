@@ -80,7 +80,9 @@ Status ReadFull(int fd, void* buf, size_t len);
 [[nodiscard]]
 StatusOr<bool> ReadFullOrEof(int fd, void* buf, size_t len);
 
-/// Writes exactly `len` bytes, retrying on EINTR and short writes.
+/// Writes exactly `len` bytes, retrying on EINTR and short writes. On
+/// sockets the write is SIGPIPE-free (MSG_NOSIGNAL): a peer that hung up
+/// before reading yields an error Status instead of killing the process.
 [[nodiscard]]
 Status WriteFull(int fd, const void* buf, size_t len);
 

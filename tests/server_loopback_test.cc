@@ -6,6 +6,8 @@
 // ThreadSanitizer CI job (ctest -R ServerLoopback).
 
 #include <csignal>
+#include <sys/socket.h>
+
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -243,6 +245,55 @@ TEST(ServerLoopbackTest, MalformedFramesRejectedAndConnectionClosed) {
   good.video = 1;
   const auto ok = cli.QueryById(good);
   ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->status.ok());
+  srv.Shutdown();
+}
+
+TEST(ServerLoopbackTest, WriteFullToClosedPeerReturnsErrorNotSigpipe) {
+  // The deterministic core of the dead-peer scenario: writing to a socket
+  // whose peer is gone. Without MSG_NOSIGNAL the default SIGPIPE
+  // disposition would kill the whole test process here, not just fail
+  // the write.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  util::UniqueFd ours(fds[0]);
+  { util::UniqueFd peer(fds[1]); }  // peer closes before we write
+  const uint8_t byte = 0;
+  EXPECT_FALSE(util::WriteFull(ours.get(), &byte, 1).ok());
+}
+
+TEST(ServerLoopbackTest, ClientDisconnectBeforeReadingResponseIsSurvived) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  RecommendServer srv(rec.get(), ServerOptions{});
+  ASSERT_TRUE(srv.Start().ok());
+
+  // Fire valid requests and hang up with an RST (zero-linger close)
+  // without ever reading the response, so the server's answer lands on a
+  // dead connection — the routine give-up-under-load client behavior the
+  // serving layer must absorb without dying.
+  for (int round = 0; round < 16; ++round) {
+    auto fd = util::ConnectTcp("localhost", srv.port());
+    ASSERT_TRUE(fd.ok());
+    QueryByIdRequest request;
+    request.video = round % kVideos;
+    request.k = 5;
+    const auto frame = EncodeFrame(MessageType::kQueryByIdRequest,
+                                   EncodeQueryByIdRequest(request));
+    ASSERT_TRUE(util::WriteFull(fd->get(), frame.data(), frame.size()).ok());
+    const linger abort_close{1, 0};
+    ::setsockopt(fd->get(), SOL_SOCKET, SO_LINGER, &abort_close,
+                 sizeof(abort_close));
+    fd->Reset();  // RST: the response now has nowhere to go
+  }
+
+  // The server — and the process — survived every dead-peer write and
+  // still serves a well-behaved client.
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  QueryByIdRequest good;
+  good.video = 0;
+  const auto ok = cli.QueryById(good);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   EXPECT_TRUE(ok->status.ok());
   srv.Shutdown();
 }

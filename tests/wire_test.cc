@@ -257,6 +257,24 @@ TEST(WireTest, DecodersRejectForgedCountsWithoutAllocating) {
   EXPECT_FALSE(DecodeServerStats(stats).ok());
 }
 
+TEST(WireTest, ForgedUserCountBelowReaderCapIsRejectedBeforeAllocation) {
+  // 100M elements sits below io::BinaryReader's 128M-element vector cap,
+  // so only the wire-level payload budget stands between this ~40-byte
+  // frame and an ~800 MB up-front allocation.
+  Rng rng(13);
+  auto request = EncodeQueryRequest(MakeRequest(&rng, 1));
+  const size_t users_len_at = 4 + 8 + 4;
+  ASSERT_LT(users_len_at + 4, request.size());
+  const uint32_t forged = 100'000'000;
+  request[users_len_at + 0] = static_cast<uint8_t>(forged);
+  request[users_len_at + 1] = static_cast<uint8_t>(forged >> 8);
+  request[users_len_at + 2] = static_cast<uint8_t>(forged >> 16);
+  request[users_len_at + 3] = static_cast<uint8_t>(forged >> 24);
+  const auto decoded = DecodeQueryRequest(request);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), Status::Code::kInvalidArgument);
+}
+
 TEST(WireTest, QueryResponseRejectsUnknownStatusCode) {
   QueryResponse response;
   auto payload = EncodeQueryResponse(response);
