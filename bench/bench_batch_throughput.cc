@@ -83,6 +83,9 @@ int Run(int repeat, int k) {
         sum.emd_calls += r.timing.emd_calls;
         sum.pairs_pruned += r.timing.pairs_pruned;
         sum.candidates_pruned += r.timing.candidates_pruned;
+        sum.jaccard_calls += r.timing.jaccard_calls;
+        sum.social_candidates_skipped += r.timing.social_candidates_skipped;
+        sum.exact_social_pruned += r.timing.exact_social_pruned;
       }
       const double n = static_cast<double>(queries.size());
       std::printf("fast path per query: %.0f EMD calls, %.0f pairs pruned, "
@@ -90,6 +93,11 @@ int Run(int repeat, int k) {
                   static_cast<double>(sum.emd_calls) / n,
                   static_cast<double>(sum.pairs_pruned) / n,
                   static_cast<double>(sum.candidates_pruned) / n);
+      std::printf("social per query: %.0f Jaccard calls, %.0f candidates "
+                  "skipped, %.0f exact merges pruned\n",
+                  static_cast<double>(sum.jaccard_calls) / n,
+                  static_cast<double>(sum.social_candidates_skipped) / n,
+                  static_cast<double>(sum.exact_social_pruned) / n);
     }
   }
   if (hw < 2) {

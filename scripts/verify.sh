@@ -21,6 +21,13 @@ echo "=== content fast path: release smoke (equivalence + prune counters) ==="
 # top-K bit for bit AND both prune counters are nonzero (bounds fired).
 ./build/bench/bench_content_scoring 1 10 build/BENCH_content.json
 
+echo "=== social fast path: release smoke (equivalence + skip counters) ==="
+# Exits non-zero unless every social mode's fast path reproduces the naive
+# top-K bit for bit AND the skip counters fired (cardinality bound pruned
+# merges, posting walk skipped disjoint-audience records). The >= 2x SAR
+# scoring-stage gate is advisory under --smoke.
+./build/bench/bench_social_scoring --smoke build/BENCH_social.json
+
 echo "=== serving: micro-batching smoke against a live loopback server ==="
 # Exits non-zero unless concurrent queries actually coalesce (mean batch
 # size > 1) and every request is answered.

@@ -82,7 +82,10 @@ Status Recommender::AddVideoRecord(video::VideoId id,
   record.id = id;
   record.series = std::move(series);
   record.descriptor = std::move(descriptor);
-  if (options_.social_mode == SocialMode::kExact) {
+  if (options_.social_mode == SocialMode::kExact &&
+      !options_.exact_social_by_id) {
+    // Only the naive name-set path needs the strings; the id fast path
+    // scores straight off the descriptor's sorted id array.
     record.user_names = NamesOf(record.descriptor);
   }
   index_of_[id] = records_.size();
@@ -97,20 +100,21 @@ void Recommender::RefreshVideoVector(size_t index) {
   Record& record = records_[index];
   if (!record.active) return;
   // Remove the old postings, then re-vectorize and re-post.
-  for (size_t c = 0; c < record.social_vector.size(); ++c) {
-    if (record.social_vector[c] > 0.0) {
-      inverted_file_.RemoveVideoFromCommunity(static_cast<int>(c), record.id);
-    }
+  for (const auto& bin : record.social_vector.bins) {
+    inverted_file_.RemoveVideoFromCommunity(bin.first, record.id);
   }
-  record.social_vector = dictionary_->Vectorize(record.descriptor);
+  std::vector<int> scratch;
+  dictionary_->VectorizeSparse(record.descriptor, &record.social_vector,
+                               &scratch);
+  if (!options_.sparse_social) {
+    record.social_dense = social::ToDense(record.social_vector,
+                                          dictionary_->k());
+  }
   // The removal above guarantees this video has no posting left in any
   // community, so the duplicate-scanning Add would only re-verify what we
   // already know — append directly (keeps the rebuild linear).
-  for (size_t c = 0; c < record.social_vector.size(); ++c) {
-    if (record.social_vector[c] > 0.0) {
-      inverted_file_.Append(static_cast<int>(c), record.id,
-                            record.social_vector[c]);
-    }
+  for (const auto& [c, w] : record.social_vector.bins) {
+    inverted_file_.Append(c, record.id, w);
   }
 }
 
@@ -120,11 +124,13 @@ Status Recommender::Finalize(size_t user_count) {
   user_count_ = user_count;
 
   if (UsesSar()) {
-    std::vector<social::SocialDescriptor> descriptors;
+    // Views into the records' own descriptors — BuildUserInterestGraph
+    // never copies a user list — accumulated in per-worker shards.
+    std::vector<const social::SocialDescriptor*> descriptors;
     descriptors.reserve(records_.size());
-    for (const Record& r : records_) descriptors.push_back(r.descriptor);
+    for (const Record& r : records_) descriptors.push_back(&r.descriptor);
     const graph::WeightedGraph uig =
-        social::BuildUserInterestGraph(descriptors, user_count);
+        social::BuildUserInterestGraph(descriptors, user_count, pool_.get());
     // Users who never co-commented form singleton components; they would
     // satisfy Figure 3's component count without ever partitioning the
     // connected fan groups, so k is interpreted as the target number of
@@ -155,20 +161,24 @@ Status Recommender::Finalize(size_t user_count) {
         uig, *extraction, options_.k_subcommunities, dictionary_.get());
 
     // Vectorization is independent per record (each task writes only its
-    // own record's histogram), so it fans across the pool; the inverted-file
-    // postings are appended serially afterwards (shared map, cheap appends).
+    // own record's histogram), so it fans across the pool with one
+    // thread-local scratch buffer per worker — the batch loop performs no
+    // steady-state allocation. The inverted-file postings are appended
+    // serially afterwards (shared map, cheap appends).
     util::ParallelFor(pool_.get(), records_.size(), [&](size_t i) {
       if (!records_[i].active) return;
-      records_[i].social_vector =
-          dictionary_->Vectorize(records_[i].descriptor);
+      thread_local std::vector<int> scratch;
+      dictionary_->VectorizeSparse(records_[i].descriptor,
+                                   &records_[i].social_vector, &scratch);
+      if (!options_.sparse_social) {
+        records_[i].social_dense =
+            social::ToDense(records_[i].social_vector, dictionary_->k());
+      }
     });
     for (const Record& r : records_) {
       if (!r.active) continue;
-      for (size_t c = 0; c < r.social_vector.size(); ++c) {
-        if (r.social_vector[c] > 0.0) {
-          inverted_file_.Append(static_cast<int>(c), r.id,
-                                r.social_vector[c]);
-        }
+      for (const auto& [c, w] : r.social_vector.bins) {
+        inverted_file_.Append(c, r.id, w);
       }
     }
   }
@@ -213,7 +223,8 @@ Status Recommender::CheckInvariants() const {
         return Status::Internal("tombstoned video " + std::to_string(r.id) +
                                 " still indexed");
       }
-      if (!r.social_vector.empty()) {
+      if (!r.social_vector.empty() || r.social_vector.sum != 0.0 ||
+          !r.social_dense.empty()) {
         return Status::Internal("tombstoned video " + std::to_string(r.id) +
                                 " retains a social vector");
       }
@@ -229,9 +240,17 @@ Status Recommender::CheckInvariants() const {
                               " not indexed at its slot");
     }
     if (options_.social_mode == SocialMode::kExact &&
+        !options_.exact_social_by_id &&
         r.user_names.size() != r.descriptor.size()) {
       return Status::Internal("cached user names out of sync for video " +
                               std::to_string(r.id));
+    }
+    if ((options_.social_mode != SocialMode::kExact ||
+         options_.exact_social_by_id) &&
+        !r.user_names.empty()) {
+      return Status::Internal("video " + std::to_string(r.id) +
+                              " caches user names outside the naive name-set "
+                              "path");
     }
     // Prepared cache mirrors the raw series signature for signature, with
     // value-sorted supports (what the two-pointer EMD kernel assumes).
@@ -310,23 +329,52 @@ Status Recommender::CheckInvariants() const {
     }
     if (const Status s = maintainer_->CheckInvariants(); !s.ok()) return s;
     if (const Status s = inverted_file_.CheckInvariants(); !s.ok()) return s;
-    // Postings mirror the live social vectors exactly: every non-zero
-    // histogram entry has its posting, and no posting lacks a vector entry.
+    // Postings mirror the live social vectors exactly: every sparse bin has
+    // its posting, and no posting lacks a vector entry. Each sparse
+    // histogram also passes its own structural audit (sorted bins, positive
+    // weights, consistent cached sum), and the naive ablation's dense
+    // mirror — when materialized — agrees with it bin for bin.
     size_t nonzero_entries = 0;
     size_t postings = 0;
     for (const Record& r : records_) {
       if (!r.active) continue;
-      for (size_t c = 0; c < r.social_vector.size(); ++c) {
-        if (r.social_vector[c] <= 0.0) continue;
+      if (const Status s = social::CheckSparseHistogram(
+              r.social_vector, maintainer_->label_space());
+          !s.ok()) {
+        return s;
+      }
+      if (!options_.sparse_social) {
+        // The mirror keeps the k it was vectorized with — untouched records
+        // are not re-materialized when maintenance grows the label space
+        // (ApproxJaccard zero-extends), so validate at the record's own
+        // length and require it to cover every stored bin.
+        if (!r.social_vector.empty() &&
+            r.social_vector.bins.back().first >=
+                static_cast<int>(r.social_dense.size())) {
+          return Status::Internal("dense social mirror of video " +
+                                  std::to_string(r.id) +
+                                  " truncates sparse bins");
+        }
+        const std::vector<double> dense = social::ToDense(
+            r.social_vector, static_cast<int>(r.social_dense.size()));
+        if (r.social_dense != dense) {
+          return Status::Internal("dense social mirror out of sync for "
+                                  "video " + std::to_string(r.id));
+        }
+      } else if (!r.social_dense.empty()) {
+        return Status::Internal("video " + std::to_string(r.id) +
+                                " materializes a dense histogram on the "
+                                "sparse path");
+      }
+      for (const auto& [c, w] : r.social_vector.bins) {
         ++nonzero_entries;
-        const auto& list = inverted_file_.Postings(static_cast<int>(c));
+        const auto& list = inverted_file_.Postings(c);
         const auto it = std::lower_bound(
             list.begin(), list.end(), r.id,
             [](const index::InvertedFile::Posting& p, video::VideoId id) {
               return p.video_id < id;
             });
-        if (it == list.end() || it->video_id != r.id ||
-            it->weight != r.social_vector[c]) {
+        if (it == list.end() || it->video_id != r.id || it->weight != w) {
           return Status::Internal("posting mismatch for video " +
                                   std::to_string(r.id) + " in community " +
                                   std::to_string(c));
@@ -415,19 +463,43 @@ std::vector<std::string> Recommender::NamesOf(
   return names;
 }
 
-double Recommender::SocialScore(const std::vector<std::string>& query_names,
-                                const std::vector<double>& query_vector,
-                                const Record& record) const {
+double Recommender::SocialScore(const SocialQuery& query,
+                                const Record& record,
+                                QueryTiming* timing) const {
   switch (options_.social_mode) {
     case SocialMode::kNone:
       return 0.0;
     case SocialMode::kExact:
+      ++timing->jaccard_calls;
+      if (options_.exact_social_by_id) {
+        // Merge-intersection over the two sorted id arrays — same
+        // intersection/union cardinalities (names biject ids), same
+        // division, bit-identical score.
+        return social::ExactJaccard(*query.descriptor, record.descriptor);
+      }
       // The paper's unoptimized Equation 5: quadratic string-set
       // comparison over the raw user names.
-      return social::ExactJaccardByNames(query_names, record.user_names);
+      return social::ExactJaccardByNames(query.names, record.user_names);
     case SocialMode::kSar:
-    case SocialMode::kSarHash:
-      return social::ApproxJaccard(query_vector, record.social_vector);
+    case SocialMode::kSarHash: {
+      if (query.posting_scored) {
+        // Σmin was accumulated term-at-a-time during the inverted-file
+        // walk; a missing entry means no shared sub-community, which the
+        // pairwise merge would score 0 as well.
+        const auto it = query.min_overlap.find(record.id);
+        if (it == query.min_overlap.end() || it->second <= 0.0) return 0.0;
+        const double num = it->second;
+        const double den =
+            query.sparse.sum + record.social_vector.sum - num;
+        return den > 0.0 ? num / den : 0.0;
+      }
+      ++timing->jaccard_calls;
+      if (options_.sparse_social) {
+        return social::ApproxJaccardSparse(query.sparse,
+                                           record.social_vector);
+      }
+      return social::ApproxJaccard(query.dense, record.social_dense);
+    }
   }
   return 0.0;
 }
@@ -526,12 +598,11 @@ Status Recommender::RemoveVideo(video::VideoId id) {
   const size_t slot = it->second;
   Record& record = records_[slot];
   record.active = false;
-  for (size_t c = 0; c < record.social_vector.size(); ++c) {
-    if (record.social_vector[c] > 0.0) {
-      inverted_file_.RemoveVideoFromCommunity(static_cast<int>(c), id);
-    }
+  for (const auto& bin : record.social_vector.bins) {
+    inverted_file_.RemoveVideoFromCommunity(bin.first, id);
   }
   record.social_vector.clear();
+  record.social_dense.clear();
   // Tombstones never score again; drop the prepared cache (the raw series
   // stays for the LSB invariant audit, whose stale entries are query-time
   // filtered).
@@ -565,39 +636,114 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
 
   // --- Social candidate stage (Figure 6 lines 1-3). ---
   Stopwatch phase;
-  std::vector<double> query_vector;
-  std::vector<std::string> query_names;
+  SocialQuery social_query;
+  social_query.descriptor = &descriptor;
   if (options_.social_mode == SocialMode::kExact) {
-    query_names = NamesOf(descriptor);
-    // Plain CSF: the unoptimized quadratic string-set Jaccard against every
-    // video — exactly the cost Figure 12(a) shows SAR removing.
-    std::vector<std::pair<double, size_t>> scored;
-    scored.reserve(records_.size());
-    for (size_t i = 0; i < records_.size(); ++i) {
-      if (!records_[i].active) continue;
-      const double s = social::ExactJaccardByNames(query_names,
-                                                   records_[i].user_names);
-      if (s > 0.0) scored.emplace_back(s, i);
-    }
-    // Score descending, ties by ascending video id — the same deterministic
-    // order the final refinement uses, so candidate admission at the pool
-    // boundary is consistent with the ranking it feeds.
-    std::sort(scored.begin(), scored.end(),
-              [this](const std::pair<double, size_t>& a,
-                     const std::pair<double, size_t>& b) {
-                if (a.first != b.first) return a.first > b.first;
-                return records_[a.second].id < records_[b.second].id;
-              });
-    for (const auto& [s, i] : scored) {
-      if (pool.size() >= options_.max_candidates) break;
-      pool.insert(i);
+    if (options_.exact_social_by_id) {
+      // Id-keyed CSF: merge-intersections over the sorted user-id arrays,
+      // visited against a running top-M heap (M = max_candidates) keyed by
+      // the same (score desc, id asc) order the naive sort uses. The
+      // cardinality upper bound min(|D_Q|,|D_V|)/max(|D_Q|,|D_V|) skips a
+      // candidate's merge entirely when even that best case could not
+      // displace the worst retained candidate — exact, because IEEE
+      // division is monotone, so the computed bound dominates the computed
+      // Jaccard (see docs/algorithms.md).
+      struct SocialCand {
+        double score;
+        video::VideoId id;
+        size_t slot;
+      };
+      auto cand_better = [](const SocialCand& a, const SocialCand& b) {
+        if (a.score != b.score) return a.score > b.score;
+        return a.id < b.id;
+      };
+      // Min-heap: top() is the worst retained candidate.
+      std::priority_queue<SocialCand, std::vector<SocialCand>,
+                          decltype(cand_better)>
+          heap(cand_better);
+      const size_t cap = options_.max_candidates;
+      const size_t nq = descriptor.size();
+      for (size_t i = 0; i < records_.size(); ++i) {
+        const Record& r = records_[i];
+        if (!r.active) continue;
+        const double bound =
+            social::JaccardCardinalityBound(nq, r.descriptor.size());
+        if (bound <= 0.0) continue;  // exact score is 0; naive admits s > 0
+        if (heap.size() == cap &&
+            !cand_better({bound, r.id, i}, heap.top())) {
+          ++timing.exact_social_pruned;
+          continue;
+        }
+        ++timing.jaccard_calls;
+        const double s = social::ExactJaccard(descriptor, r.descriptor);
+        if (s <= 0.0) continue;
+        if (heap.size() < cap) {
+          heap.push({s, r.id, i});
+        } else if (cand_better({s, r.id, i}, heap.top())) {
+          heap.pop();
+          heap.push({s, r.id, i});
+        }
+      }
+      // The heap holds exactly the naive sort's first max_candidates
+      // entries (top-M by score desc, id asc, among positive scores).
+      while (!heap.empty()) {
+        pool.insert(heap.top().slot);
+        heap.pop();
+      }
+    } else {
+      social_query.names = NamesOf(descriptor);
+      // Plain CSF: the unoptimized quadratic string-set Jaccard against
+      // every video — exactly the cost Figure 12(a) shows SAR removing.
+      std::vector<std::pair<double, size_t>> scored;
+      scored.reserve(records_.size());
+      for (size_t i = 0; i < records_.size(); ++i) {
+        if (!records_[i].active) continue;
+        ++timing.jaccard_calls;
+        const double s = social::ExactJaccardByNames(
+            social_query.names, records_[i].user_names);
+        if (s > 0.0) scored.emplace_back(s, i);
+      }
+      // Score descending, ties by ascending video id — the same
+      // deterministic order the final refinement uses, so candidate
+      // admission at the pool boundary is consistent with the ranking it
+      // feeds.
+      std::sort(scored.begin(), scored.end(),
+                [this](const std::pair<double, size_t>& a,
+                       const std::pair<double, size_t>& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return records_[a.second].id < records_[b.second].id;
+                });
+      for (const auto& [s, i] : scored) {
+        if (pool.size() >= options_.max_candidates) break;
+        pool.insert(i);
+      }
     }
   } else if (UsesSar()) {
     // Vectorize the query descriptor through the dictionary (by user name:
     // this is exactly the lookup path SAR vs SAR-H optimizes), then walk
-    // the inverted files.
-    query_vector = dictionary_->VectorizeByName(NamesOf(descriptor));
-    const auto candidates = inverted_file_.Candidates(query_vector);
+    // the inverted files — only the query's non-zero bins' posting lists.
+    social_query.sparse =
+        dictionary_->VectorizeByNameSparse(NamesOf(descriptor));
+    if (!options_.sparse_social) {
+      social_query.dense =
+          social::ToDense(social_query.sparse, dictionary_->k());
+    }
+    std::vector<std::pair<int64_t, double>> candidates;
+    if (options_.posting_social) {
+      // One pass fills both the dot-product candidate ranking and the Σmin
+      // accumulator the refinement scores from; records absent from the
+      // accumulator share no sub-community with the query and are never
+      // touched again.
+      candidates = inverted_file_.CandidatesSparse(
+          social_query.sparse.bins, &social_query.min_overlap);
+      social_query.posting_scored = true;
+      timing.social_candidates_skipped =
+          index_of_.size() - social_query.min_overlap.size();
+    } else if (options_.sparse_social) {
+      candidates = inverted_file_.CandidatesSparse(social_query.sparse.bins);
+    } else {
+      candidates = inverted_file_.Candidates(social_query.dense);
+    }
     for (const auto& [vid, score] : candidates) {
       if (pool.size() >= options_.max_candidates) break;
       const auto idx = index_of_.find(vid);
@@ -675,16 +821,31 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
     // scores, order and tie-breaks are bit-for-bit identical to the full
     // scan (see docs/algorithms.md for the argument, including why the
     // kBoundSlack guard makes the float comparison safe).
+    // In kExact-by-id mode the per-candidate "social" seeded below is the
+    // cardinality upper bound, not the score itself: the merge-intersection
+    // is the expensive part, so stage 0 skips it outright for candidates
+    // whose bound already fails the bar (exact for the same monotone-bound
+    // reason as the candidate stage). Other modes resolve social up front
+    // as before — a sparse merge, posting-table lookup, or name-set
+    // Jaccard.
+    const bool exact_bound_order =
+        options_.social_mode == SocialMode::kExact &&
+        options_.exact_social_by_id;
     struct Pending {
       size_t slot;
-      double social;
+      double social;  // exact social, or its upper bound (kExact-by-id)
     };
     std::vector<Pending> pending;
     pending.reserve(pool.size());
     for (size_t i : pool) {
       const Record& record = records_[i];
       if (record.id == exclude || !record.active) continue;
-      pending.push_back({i, SocialScore(query_names, query_vector, record)});
+      const double s =
+          exact_bound_order
+              ? social::JaccardCardinalityBound(descriptor.size(),
+                                                record.descriptor.size())
+              : SocialScore(social_query, record, &timing);
+      pending.push_back({i, s});
     }
     std::sort(pending.begin(), pending.end(),
               [this](const Pending& a, const Pending& b) {
@@ -698,13 +859,28 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
     const size_t want = static_cast<size_t>(k);
     for (const Pending& p : pending) {
       const Record& record = records_[p.slot];
-      if (topk.size() == want) {
-        const double bar = topk.top().score - signature::kBoundSlack;
+      const bool full = topk.size() == want;
+      const double bar =
+          full ? topk.top().score - signature::kBoundSlack : 0.0;
+      if (full) {
         // Cascade stage 1: kJ <= 1, so FuseScore(1, social) bounds FJ for
-        // free. In SAR modes social decays along the visit order, so once
-        // this fails every later candidate fails it too — but stage-1 cost
-        // is two flops, so no early break is taken (kExact ties differ).
+        // free (with p.social itself a bound in kExact-by-id mode, where a
+        // skip here also saves the id merge). In SAR modes social decays
+        // along the visit order, so once this fails every later candidate
+        // fails it too — but stage-1 cost is two flops, so no early break
+        // is taken (kExact ties differ).
         if (FuseScore(1.0, p.social) < bar) {
+          ++timing.candidates_pruned;
+          if (exact_bound_order) ++timing.exact_social_pruned;
+          continue;
+        }
+      }
+      const double social =
+          exact_bound_order ? SocialScore(social_query, record, &timing)
+                            : p.social;
+      if (full) {
+        if (exact_bound_order && FuseScore(1.0, social) < bar) {
+          // The resolved exact score can fail the bar its bound passed.
           ++timing.candidates_pruned;
           continue;
         }
@@ -712,14 +888,14 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
         // subtractions, no EMD).
         const double content_ub = signature::KappaJUpperBound(
             query_prepared, record.prepared, options_.kappa, &scratch);
-        if (FuseScore(content_ub, p.social) < bar) {
+        if (FuseScore(content_ub, social) < bar) {
           ++timing.candidates_pruned;
           continue;
         }
       }
       ScoredVideo sv;
       sv.id = record.id;
-      sv.social = p.social;
+      sv.social = social;
       sv.content = signature::KappaJPrepared(
           query_prepared, record.prepared, options_.kappa,
           options_.prune_pairs, &scratch, &kstats);
@@ -756,7 +932,7 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
                                &scratch, &kstats)
                          : ContentScore(series, record);
       }
-      sv.social = SocialScore(query_names, query_vector, record);
+      sv.social = SocialScore(social_query, record, &timing);
       sv.score = FuseScore(sv.content, sv.social);
       scored.push_back(sv);
     }
@@ -787,7 +963,8 @@ StatusOr<social::MaintenanceStats> Recommender::ApplySocialUpdate(
     Record& record = records_[it->second];
     if (!record.descriptor.Contains(user)) {
       record.descriptor.Add(user);
-      if (options_.social_mode == SocialMode::kExact) {
+      if (options_.social_mode == SocialMode::kExact &&
+          !options_.exact_social_by_id) {
         record.user_names.push_back(social::UserName(user));
       }
       videos_of_user_[user].push_back(it->second);

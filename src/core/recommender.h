@@ -69,6 +69,23 @@ struct RecommenderOptions {
   /// candidates whose fused upper bound cannot displace the running k-th
   /// best result.
   bool prune_candidates = true;
+  /// Social fast-path toggles. Like the content prunes, every layer is
+  /// *exact* — top-K results are bit-for-bit identical with the flags on or
+  /// off — so the flags exist for ablation and the equivalence tests only.
+  /// Score SAR histograms in their sparse (bin, weight) form with the
+  /// two-pointer Σmin merge; off stores and sweeps dense k-dim vectors
+  /// (the naive baseline).
+  bool sparse_social = true;
+  /// kExact scoring by merge-intersection over the sorted user-id sets,
+  /// with the cardinality upper bound min(|D_Q|,|D_V|)/max(|D_Q|,|D_V|)
+  /// pruning dominated candidates; off recomputes the paper's quadratic
+  /// user-name string-set Jaccard per candidate.
+  bool exact_social_by_id = true;
+  /// SAR refinement scores from the Σmin accumulator filled during the
+  /// single inverted-file walk (term-at-a-time over the query's non-zero
+  /// bins), so records sharing no sub-community with the query are never
+  /// touched; off recomputes a pairwise histogram merge per candidate.
+  bool posting_social = true;
   /// Refinement pool size (top social + content candidates kept).
   size_t max_candidates = 400;
   /// Worker threads for Finalize() and RecommendBatch(): 0 picks the
@@ -106,6 +123,18 @@ struct QueryTiming {
   size_t emd_calls = 0;          // exact EMD kernel evaluations
   size_t pairs_pruned = 0;       // signature pairs skipped by the EMD bound
   size_t candidates_pruned = 0;  // pool entries skipped by the FJ bound
+  /// Social fast-path counters.
+  /// Pairwise Jaccard evaluations actually executed (dense sweeps, sparse
+  /// merges, id merge-intersections, or name-set comparisons).
+  size_t jaccard_calls = 0;
+  /// SAR posting-driven scoring: live records sharing no sub-community
+  /// with the query — never touched by the inverted-file walk, so they
+  /// were scored 0 without any per-record work.
+  size_t social_candidates_skipped = 0;
+  /// kExact id path: merge-intersections skipped because the cardinality
+  /// upper bound proved the candidate dominated (by the running candidate
+  /// heap or the refinement's k-th best bar).
+  size_t exact_social_pruned = 0;
 };
 
 /// One query of a RecommendBatch call.
@@ -256,9 +285,16 @@ class Recommender {
     /// after RemoveVideo). Every query-time EMD runs off this cache.
     signature::PreparedSeries prepared;
     social::SocialDescriptor descriptor;
-    std::vector<double> social_vector;  // SAR histogram (SAR modes)
-    /// Cached user-name strings (kExact mode only): the paper's baseline
-    /// CSF compares descriptors as raw name sets, string by string.
+    /// Sparse SAR histogram (SAR modes): sorted (bin, weight) pairs plus
+    /// the cached weight sum — O(nnz) per record instead of O(k).
+    social::SparseHistogram social_vector;
+    /// Dense k-dim histogram, materialized only when sparse_social is off
+    /// (the naive ablation baseline sweeps this bin-by-bin).
+    std::vector<double> social_dense;
+    /// Cached user-name strings (kExact mode with exact_social_by_id off
+    /// only): the paper's baseline CSF compares descriptors as raw name
+    /// sets, string by string. The id fast path reads the descriptor's
+    /// sorted id array instead and keeps no strings at all.
     std::vector<std::string> user_names;
     /// false after RemoveVideo (tombstone; slot indexes stay stable).
     bool active = true;
@@ -291,9 +327,25 @@ class Recommender {
   /// arithmetic. Monotone non-decreasing in `content` for every rule, which
   /// is what makes FuseScore(upper_bound, social) a valid FJ upper bound.
   double FuseScore(double content, double social) const;
-  double SocialScore(const std::vector<std::string>& query_names,
-                     const std::vector<double>& query_vector,
-                     const Record& record) const;
+  /// Per-query social state, built once in the social candidate stage and
+  /// read by every candidate score: the query descriptor view plus
+  /// whichever representations the active mode/layers need.
+  struct SocialQuery {
+    const social::SocialDescriptor* descriptor = nullptr;  // kExact (ids)
+    std::vector<std::string> names;          // kExact naive (name sets)
+    social::SparseHistogram sparse;          // SAR sparse/posting layers
+    std::vector<double> dense;               // SAR naive (dense sweeps)
+    /// video id -> Σ min(query mass, record mass) over shared bins, filled
+    /// by the posting-driven inverted-file walk; valid iff posting_scored.
+    std::unordered_map<video::VideoId, double> min_overlap;
+    bool posting_scored = false;
+  };
+  /// One candidate's social relevance under the active mode and fast-path
+  /// layers. Bumps `timing`'s jaccard_calls for every pairwise evaluation
+  /// actually executed (posting-driven lookups don't count — that work
+  /// happened once in the inverted-file walk).
+  double SocialScore(const SocialQuery& query, const Record& record,
+                     QueryTiming* timing) const;
   static std::vector<std::string> NamesOf(
       const social::SocialDescriptor& descriptor);
   void RefreshVideoVector(size_t index);

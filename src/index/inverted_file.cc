@@ -88,14 +88,28 @@ Status InvertedFile::CheckInvariants() const {
 
 std::vector<std::pair<int64_t, double>> InvertedFile::Candidates(
     const std::vector<double>& query_histogram) const {
-  std::unordered_map<int64_t, double> scores;
+  std::vector<std::pair<int, double>> bins;
   for (size_t c = 0; c < query_histogram.size(); ++c) {
-    const double mass = query_histogram[c];
+    if (query_histogram[c] > 0.0) {
+      bins.emplace_back(static_cast<int>(c), query_histogram[c]);
+    }
+  }
+  return CandidatesSparse(bins);
+}
+
+std::vector<std::pair<int64_t, double>> InvertedFile::CandidatesSparse(
+    const std::vector<std::pair<int, double>>& query_bins,
+    std::unordered_map<int64_t, double>* min_overlap) const {
+  std::unordered_map<int64_t, double> scores;
+  for (const auto& [bin, mass] : query_bins) {
     if (mass <= 0.0) continue;
-    const auto it = lists_.find(static_cast<int>(c));
+    const auto it = lists_.find(bin);
     if (it == lists_.end()) continue;
     for (const Posting& p : it->second) {
       scores[p.video_id] += mass * p.weight;
+      if (min_overlap != nullptr) {
+        (*min_overlap)[p.video_id] += std::min(mass, p.weight);
+      }
     }
   }
   std::vector<std::pair<int64_t, double>> out(scores.begin(), scores.end());

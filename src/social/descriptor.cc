@@ -57,6 +57,13 @@ double ExactJaccardByNames(const std::vector<std::string>& a,
   return static_cast<double>(intersection) / static_cast<double>(uni);
 }
 
+double JaccardCardinalityBound(size_t size_a, size_t size_b) {
+  const size_t lo = std::min(size_a, size_b);
+  if (lo == 0) return 0.0;
+  const size_t hi = std::max(size_a, size_b);
+  return static_cast<double>(lo) / static_cast<double>(hi);
+}
+
 std::string UserName(UserId id) { return "user_" + std::to_string(id); }
 
 }  // namespace vrec::social

@@ -47,6 +47,16 @@ double ExactJaccard(const SocialDescriptor& a, const SocialDescriptor& b);
 double ExactJaccardByNames(const std::vector<std::string>& a,
                            const std::vector<std::string>& b);
 
+/// Upper bound on the Jaccard coefficient from set cardinalities alone:
+/// |A ∩ B| ≤ min(|A|,|B|) and |A ∪ B| ≥ max(|A|,|B|), so
+/// J(A,B) ≤ min(|A|,|B|) / max(|A|,|B|). Returns 0 when either set is
+/// empty (J is then 0 by convention). Because IEEE division is monotone and
+/// the operands are integers, the computed bound dominates the computed
+/// ExactJaccard value in floating point too, never just in the reals —
+/// which is what lets the recommender's social fast path skip dominated
+/// merge-intersections without changing any result.
+double JaccardCardinalityBound(size_t size_a, size_t size_b);
+
 /// Canonical display name of a user id; the datasets name users this way and
 /// the chained hash table keys on these strings (the paper hashes "social
 /// user names").

@@ -1,9 +1,66 @@
 #include "social/sar.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 namespace vrec::social {
+
+namespace {
+
+// Folds a sorted bin list into (bin, count) pairs. Shared by every sparse
+// vectorization path so they produce byte-identical histograms.
+void RunLengthEncode(const std::vector<int>& sorted_bins,
+                     SparseHistogram* out) {
+  out->clear();
+  size_t i = 0;
+  while (i < sorted_bins.size()) {
+    size_t j = i + 1;
+    while (j < sorted_bins.size() && sorted_bins[j] == sorted_bins[i]) ++j;
+    const double weight = static_cast<double>(j - i);
+    out->bins.emplace_back(sorted_bins[i], weight);
+    out->sum += weight;
+    i = j;
+  }
+}
+
+}  // namespace
+
+std::vector<double> ToDense(const SparseHistogram& histogram, int k) {
+  std::vector<double> dense(static_cast<size_t>(std::max(k, 0)), 0.0);
+  for (const auto& [bin, weight] : histogram.bins) {
+    if (bin >= 0 && static_cast<size_t>(bin) < dense.size()) {
+      dense[static_cast<size_t>(bin)] += weight;
+    }
+  }
+  return dense;
+}
+
+Status CheckSparseHistogram(const SparseHistogram& histogram, int k) {
+  double sum = 0.0;
+  for (size_t i = 0; i < histogram.bins.size(); ++i) {
+    const auto& [bin, weight] = histogram.bins[i];
+    if (bin < 0 || (k >= 0 && bin >= k)) {
+      return Status::Internal("sparse histogram bin " + std::to_string(bin) +
+                              " outside [0, " + std::to_string(k) + ")");
+    }
+    if (!std::isfinite(weight) || weight <= 0.0) {
+      return Status::Internal("sparse histogram bin " + std::to_string(bin) +
+                              " has non-positive weight");
+    }
+    if (i > 0 && histogram.bins[i - 1].first >= bin) {
+      return Status::Internal("sparse histogram bins not strictly sorted at " +
+                              std::to_string(bin));
+    }
+    sum += weight;
+  }
+  if (sum != histogram.sum) {
+    return Status::Internal("sparse histogram cached sum " +
+                            std::to_string(histogram.sum) +
+                            " != recomputed " + std::to_string(sum));
+  }
+  return Status::Ok();
+}
 
 UserDictionary::UserDictionary(const std::vector<int>& labels, int k,
                                DictionaryLookup lookup)
@@ -186,6 +243,26 @@ std::vector<double> UserDictionary::Vectorize(
   return hist;
 }
 
+SparseHistogram UserDictionary::VectorizeSparse(
+    const SocialDescriptor& descriptor) const {
+  SparseHistogram out;
+  std::vector<int> scratch;
+  VectorizeSparse(descriptor, &out, &scratch);
+  return out;
+}
+
+void UserDictionary::VectorizeSparse(const SocialDescriptor& descriptor,
+                                     SparseHistogram* out,
+                                     std::vector<int>* scratch) const {
+  scratch->clear();
+  for (UserId u : descriptor.users()) {
+    const auto c = CommunityOf(u);
+    if (c.has_value() && *c >= 0 && *c < k_) scratch->push_back(*c);
+  }
+  std::sort(scratch->begin(), scratch->end());
+  RunLengthEncode(*scratch, out);
+}
+
 std::vector<double> UserDictionary::VectorizeByName(
     const std::vector<std::string>& names) const {
   std::vector<double> hist(static_cast<size_t>(k_), 0.0);
@@ -198,6 +275,20 @@ std::vector<double> UserDictionary::VectorizeByName(
   return hist;
 }
 
+SparseHistogram UserDictionary::VectorizeByNameSparse(
+    const std::vector<std::string>& names) const {
+  std::vector<int> bins;
+  bins.reserve(names.size());
+  for (const std::string& name : names) {
+    const auto c = CommunityOfName(name);
+    if (c.has_value() && *c >= 0 && *c < k_) bins.push_back(*c);
+  }
+  std::sort(bins.begin(), bins.end());
+  SparseHistogram out;
+  RunLengthEncode(bins, &out);
+  return out;
+}
+
 double ApproxJaccard(const std::vector<double>& a,
                      const std::vector<double>& b) {
   double num = 0.0, den = 0.0;
@@ -208,6 +299,25 @@ double ApproxJaccard(const std::vector<double>& a,
   }
   for (size_t i = n; i < a.size(); ++i) den += a[i];
   for (size_t i = n; i < b.size(); ++i) den += b[i];
+  return den > 0.0 ? num / den : 0.0;
+}
+
+double ApproxJaccardSparse(const SparseHistogram& a,
+                           const SparseHistogram& b) {
+  double num = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.bins.size() && j < b.bins.size()) {
+    if (a.bins[i].first < b.bins[j].first) {
+      ++i;
+    } else if (b.bins[j].first < a.bins[i].first) {
+      ++j;
+    } else {
+      num += std::min(a.bins[i].second, b.bins[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  const double den = a.sum + b.sum - num;
   return den > 0.0 ? num / den : 0.0;
 }
 

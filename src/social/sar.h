@@ -1,8 +1,10 @@
 #ifndef VREC_SOCIAL_SAR_H_
 #define VREC_SOCIAL_SAR_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "hashing/chained_hash_table.h"
@@ -10,6 +12,37 @@
 #include "util/status.h"
 
 namespace vrec::social {
+
+/// Sparse SAR histogram: the non-zero bins of a descriptor's k-dimensional
+/// user histogram as strictly bin-sorted (bin, weight) pairs, plus the
+/// cached total weight. A descriptor touches only as many bins as it has
+/// users, so queries and records carry O(nnz) state instead of O(k).
+///
+/// Invariants: bins strictly ascending, every weight > 0, and `sum` equals
+/// the exact sum of the weights. Weights are whole user counts, which is
+/// what makes the sparse arithmetic below bit-for-bit equal to the dense
+/// path (integer sums commute exactly in double).
+struct SparseHistogram {
+  std::vector<std::pair<int, double>> bins;
+  double sum = 0.0;
+
+  bool empty() const { return bins.empty(); }
+  size_t nnz() const { return bins.size(); }
+  void clear() {
+    bins.clear();
+    sum = 0.0;
+  }
+  bool operator==(const SparseHistogram& other) const = default;
+};
+
+/// Expands a sparse histogram back to a dense k-dimensional vector (the
+/// naive/ablation representation). Bins must lie in [0, k).
+std::vector<double> ToDense(const SparseHistogram& histogram, int k);
+
+/// Structural audit of the SparseHistogram invariants (sorted bins, positive
+/// weights, consistent cached sum, bins within [0, k) when k >= 0).
+[[nodiscard]]
+Status CheckSparseHistogram(const SparseHistogram& histogram, int k = -1);
 
 /// How the user dictionary resolves a user name to its sub-community id.
 enum class DictionaryLookup {
@@ -57,10 +90,26 @@ class UserDictionary {
   /// sub-community i. Unknown users are skipped.
   std::vector<double> Vectorize(const SocialDescriptor& descriptor) const;
 
+  /// Sparse-output form of Vectorize: same lookups, but the result lists
+  /// only the touched bins (strictly sorted) with the weight sum cached.
+  /// `ToDense(VectorizeSparse(d), k())` equals `Vectorize(d)` exactly.
+  SparseHistogram VectorizeSparse(const SocialDescriptor& descriptor) const;
+
+  /// Scratch-reusing form for batch vectorization loops: `out` is
+  /// overwritten and `scratch` (the per-user bin buffer) is recycled across
+  /// calls, so a tight loop performs no steady-state allocation.
+  void VectorizeSparse(const SocialDescriptor& descriptor,
+                       SparseHistogram* out, std::vector<int>* scratch) const;
+
   /// Like Vectorize but resolves through user *names*, exercising the exact
   /// lookup path (binary search or chained hash) whose cost Figure 12(a)
   /// measures.
   std::vector<double> VectorizeByName(
+      const std::vector<std::string>& names) const;
+
+  /// Sparse-output form of VectorizeByName: identical name lookups (the
+  /// SAR vs SAR-H cost being measured), sparse result.
+  SparseHistogram VectorizeByNameSparse(
       const std::vector<std::string>& names) const;
 
   /// Total string comparisons performed by hash lookups (SAR-H cost model).
@@ -91,6 +140,15 @@ class UserDictionary {
 /// Returns 0 when both vectors are all-zero. Vectors must share one size.
 double ApproxJaccard(const std::vector<double>& a,
                      const std::vector<double>& b);
+
+/// Sparse form of Equation 6: a two-pointer merge over the non-zero bins
+/// computing Σmin, with the denominator derived as `a.sum + b.sum − Σmin`
+/// (valid because all weights are non-negative, so
+/// Σmax = Σa + Σb − Σmin). O(nnz_a + nnz_b) instead of O(k), and
+/// bit-for-bit equal to the dense ApproxJaccard for whole-number weights:
+/// the Σmin terms are the identical doubles in the identical order, and
+/// integer-valued sums below 2^53 are exact under either association.
+double ApproxJaccardSparse(const SparseHistogram& a, const SparseHistogram& b);
 
 }  // namespace vrec::social
 

@@ -1,34 +1,70 @@
 #include "social/uig.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <string>
+#include <utility>
 
 #include "util/check.h"
 
 namespace vrec::social {
 
-graph::WeightedGraph BuildUserInterestGraph(
-    const std::vector<SocialDescriptor>& descriptors, size_t user_count) {
-  // Accumulate co-occurrence counts first; inserting through
-  // WeightedGraph::AddEdge per pair would scan adjacency lists repeatedly.
-  std::map<std::pair<size_t, size_t>, double> weights;
-  for (const SocialDescriptor& d : descriptors) {
-    const auto& users = d.users();
+namespace {
+
+using EdgeWeights = std::map<std::pair<size_t, size_t>, double>;
+
+// Pairwise co-occurrence counts of one shard's descriptors (every
+// `num_shards`-th descriptor starting at `shard`).
+void AccumulateShard(const std::vector<const SocialDescriptor*>& descriptors,
+                     size_t shard, size_t num_shards, EdgeWeights* weights) {
+  for (size_t d = shard; d < descriptors.size(); d += num_shards) {
+    if (descriptors[d] == nullptr) continue;
+    const auto& users = descriptors[d]->users();
     for (size_t i = 0; i < users.size(); ++i) {
       for (size_t j = i + 1; j < users.size(); ++j) {
         const auto u = static_cast<size_t>(users[i]);
         const auto v = static_cast<size_t>(users[j]);
-        weights[{u, v}] += 1.0;
+        (*weights)[{u, v}] += 1.0;
       }
     }
   }
+}
+
+}  // namespace
+
+graph::WeightedGraph BuildUserInterestGraph(
+    const std::vector<const SocialDescriptor*>& descriptors,
+    size_t user_count, util::ThreadPool* pool) {
+  // One weight map per worker shard; the merge adds whole counts, which is
+  // exact in double, so the edge set and weights are independent of the
+  // shard count (and thus of the thread count).
+  const size_t workers = pool != nullptr ? pool->size() + 1 : 1;
+  const size_t num_shards =
+      std::max<size_t>(1, std::min(workers, descriptors.size()));
+  std::vector<EdgeWeights> partial(num_shards);
+  util::ParallelFor(num_shards > 1 ? pool : nullptr, num_shards,
+                    [&](size_t s) {
+                      AccumulateShard(descriptors, s, num_shards, &partial[s]);
+                    });
+  EdgeWeights merged = std::move(partial[0]);
+  for (size_t s = 1; s < num_shards; ++s) {
+    for (const auto& [edge, w] : partial[s]) merged[edge] += w;
+  }
   graph::WeightedGraph g(user_count);
-  for (const auto& [edge, w] : weights) {
+  for (const auto& [edge, w] : merged) {
     g.AddEdge(edge.first, edge.second, w);
   }
   VREC_DCHECK_OK(CheckUigInvariants(g));
   return g;
+}
+
+graph::WeightedGraph BuildUserInterestGraph(
+    const std::vector<SocialDescriptor>& descriptors, size_t user_count) {
+  std::vector<const SocialDescriptor*> views;
+  views.reserve(descriptors.size());
+  for (const SocialDescriptor& d : descriptors) views.push_back(&d);
+  return BuildUserInterestGraph(views, user_count, nullptr);
 }
 
 Status CheckUigInvariants(const graph::WeightedGraph& uig) {

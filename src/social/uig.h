@@ -6,6 +6,7 @@
 #include "graph/weighted_graph.h"
 #include "social/descriptor.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace vrec::social {
 
@@ -14,8 +15,19 @@ namespace vrec::social {
 /// number of videos both users are interested in (appear together in the
 /// video's social descriptor).
 ///
-/// `descriptors` holds one descriptor per video. User ids must lie in
-/// [0, user_count).
+/// This is the allocation-light entry point: `descriptors` are views into
+/// caller-owned storage (one per video, none copied), and the pairwise
+/// co-occurrence accumulation fans across `pool` (null runs serially) with
+/// one edge-weight map per worker shard, merged once at the end. Edge
+/// weights are whole co-occurrence counts, so the merge is exact and the
+/// result is identical for every thread count. User ids must lie in
+/// [0, user_count). Null descriptor pointers are skipped.
+graph::WeightedGraph BuildUserInterestGraph(
+    const std::vector<const SocialDescriptor*>& descriptors,
+    size_t user_count, util::ThreadPool* pool = nullptr);
+
+/// Convenience overload over owned descriptors (tests, small tools); takes
+/// views of `descriptors` and delegates to the pointer-based builder.
 graph::WeightedGraph BuildUserInterestGraph(
     const std::vector<SocialDescriptor>& descriptors, size_t user_count);
 

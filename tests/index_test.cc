@@ -1,4 +1,6 @@
 #include <cmath>
+#include <cstdint>
+#include <unordered_map>
 
 #include "gtest/gtest.h"
 #include "index/emd_embedding.h"
@@ -238,6 +240,38 @@ TEST(InvertedFileTest, QueryLongerThanCommunities) {
   file.Add(0, 1, 1.0);
   const auto candidates = file.Candidates({1.0, 1.0, 1.0, 1.0});
   EXPECT_EQ(candidates.size(), 1u);
+}
+
+TEST(InvertedFileTest, CandidatesSparseMatchesDense) {
+  InvertedFile file;
+  file.Add(0, 10, 2.0);
+  file.Add(0, 11, 1.0);
+  file.Add(2, 10, 3.0);
+  file.Add(2, 12, 4.0);
+  // Same non-zero bins, same walk, same ranking — bit for bit.
+  const auto dense = file.Candidates({2.0, 0.0, 1.0});
+  const auto sparse = file.CandidatesSparse({{0, 2.0}, {2, 1.0}});
+  EXPECT_EQ(dense, sparse);
+  // Bins absent from the query (or with non-positive mass) are skipped.
+  const auto skipped = file.CandidatesSparse({{1, 0.0}, {2, 1.0}});
+  ASSERT_EQ(skipped.size(), 2u);
+  EXPECT_EQ(skipped[0].first, 12);
+}
+
+TEST(InvertedFileTest, CandidatesSparseAccumulatesMinOverlap) {
+  InvertedFile file;
+  file.Add(0, 10, 2.0);  // query mass 3 -> min 2
+  file.Add(1, 10, 5.0);  // query mass 4 -> min 4
+  file.Add(1, 11, 1.0);  // query mass 4 -> min 1
+  file.Add(3, 12, 2.0);  // bin absent from query: video 12 never touched
+  std::unordered_map<int64_t, double> min_overlap;
+  const auto candidates =
+      file.CandidatesSparse({{0, 3.0}, {1, 4.0}}, &min_overlap);
+  ASSERT_EQ(candidates.size(), 2u);
+  ASSERT_EQ(min_overlap.size(), 2u);
+  EXPECT_DOUBLE_EQ(min_overlap.at(10), 2.0 + 4.0);
+  EXPECT_DOUBLE_EQ(min_overlap.at(11), 1.0);
+  EXPECT_EQ(min_overlap.count(12), 0u);
 }
 
 }  // namespace

@@ -1,4 +1,7 @@
 #include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "social/sar.h"
@@ -172,6 +175,116 @@ TEST(ApproxJaccardTest, ApproximationTightensWithMoreCommunities) {
   };
   EXPECT_LE(error_for_k(40), 1e-12);          // k == users: exact
   EXPECT_LE(error_for_k(20), error_for_k(2) + 1e-12);
+}
+
+TEST(SparseHistogramTest, VectorizeSparseMatchesDense) {
+  const std::vector<int> labels = {0, 0, 1, 2, 2, 2};
+  UserDictionary dict(labels, 4, DictionaryLookup::kChainedHash);
+  const SocialDescriptor d({0, 1, 3, 4, 5});
+  const SparseHistogram sparse = dict.VectorizeSparse(d);
+  EXPECT_TRUE(CheckSparseHistogram(sparse, dict.k()).ok());
+  // Bins (0, 2) carry (2, 3); bins 1 and 3 are absent, not stored as zeros.
+  ASSERT_EQ(sparse.nnz(), 2u);
+  EXPECT_EQ(sparse.bins[0], (std::pair<int, double>{0, 2.0}));
+  EXPECT_EQ(sparse.bins[1], (std::pair<int, double>{2, 3.0}));
+  EXPECT_DOUBLE_EQ(sparse.sum, 5.0);
+  EXPECT_EQ(ToDense(sparse, dict.k()), dict.Vectorize(d));
+}
+
+TEST(SparseHistogramTest, ScratchOverloadReusesBuffers) {
+  const std::vector<int> labels = {0, 1, 1, 2};
+  UserDictionary dict(labels, 3, DictionaryLookup::kSortedArray);
+  SparseHistogram out;
+  std::vector<int> scratch;
+  dict.VectorizeSparse(SocialDescriptor({0, 1, 2}), &out, &scratch);
+  EXPECT_EQ(out, dict.VectorizeSparse(SocialDescriptor({0, 1, 2})));
+  // A second call must fully overwrite, not accumulate.
+  dict.VectorizeSparse(SocialDescriptor({3}), &out, &scratch);
+  EXPECT_EQ(out, dict.VectorizeSparse(SocialDescriptor({3})));
+  dict.VectorizeSparse(SocialDescriptor(), &out, &scratch);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(out.sum, 0.0);
+}
+
+TEST(SparseHistogramTest, VectorizeByNameSparseMatchesById) {
+  const std::vector<int> labels = {0, 1, 2, 1, 0};
+  UserDictionary dict(labels, 3, DictionaryLookup::kChainedHash);
+  const SocialDescriptor d({0, 2, 3});
+  std::vector<std::string> names;
+  for (UserId u : d.users()) names.push_back(UserName(u));
+  names.push_back("user_99");  // unknown: skipped, like Vectorize
+  EXPECT_EQ(dict.VectorizeByNameSparse(names), dict.VectorizeSparse(d));
+}
+
+TEST(SparseHistogramTest, ApproxJaccardSparseMatchesDense) {
+  // Equation 6 over the sparse pairs: Σmin / (sumA + sumB - Σmin), which
+  // equals the dense min-sum / max-sum exactly for whole-count weights.
+  Rng rng(431);
+  const int users = 30;
+  const int k = 7;
+  std::vector<int> labels(users);
+  for (int u = 0; u < users; ++u) {
+    labels[static_cast<size_t>(u)] = static_cast<int>(rng.UniformInt(0, k - 1));
+  }
+  UserDictionary dict(labels, k, DictionaryLookup::kSortedArray);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<UserId> ua, ub;
+    for (int u = 0; u < users; ++u) {
+      if (rng.Bernoulli(0.3)) ua.push_back(u);
+      if (rng.Bernoulli(0.3)) ub.push_back(u);
+    }
+    const SocialDescriptor da(ua), db(ub);
+    EXPECT_EQ(ApproxJaccardSparse(dict.VectorizeSparse(da),
+                                  dict.VectorizeSparse(db)),
+              ApproxJaccard(dict.Vectorize(da), dict.Vectorize(db)))
+        << "trial " << trial;
+  }
+}
+
+TEST(SparseHistogramTest, EmptyOperandsScoreZero) {
+  const SparseHistogram empty;
+  UserDictionary dict({0, 1}, 2, DictionaryLookup::kLinearScan);
+  const SparseHistogram full = dict.VectorizeSparse(SocialDescriptor({0, 1}));
+  EXPECT_EQ(ApproxJaccardSparse(empty, empty), 0.0);
+  EXPECT_EQ(ApproxJaccardSparse(empty, full), 0.0);
+  EXPECT_EQ(ApproxJaccardSparse(full, empty), 0.0);
+}
+
+TEST(SparseHistogramTest, CheckRejectsMalformedHistograms) {
+  SparseHistogram h;
+  h.bins = {{1, 2.0}, {0, 1.0}};  // unsorted
+  h.sum = 3.0;
+  EXPECT_FALSE(CheckSparseHistogram(h, 4).ok());
+  h.bins = {{0, 1.0}, {1, 2.0}};
+  h.sum = 4.0;  // cached sum disagrees
+  EXPECT_FALSE(CheckSparseHistogram(h, 4).ok());
+  h.sum = 3.0;
+  EXPECT_TRUE(CheckSparseHistogram(h, 4).ok());
+  EXPECT_FALSE(CheckSparseHistogram(h, 1).ok());  // bin out of range
+  h.bins = {{0, 0.0}};
+  h.sum = 0.0;
+  EXPECT_FALSE(CheckSparseHistogram(h, 4).ok());  // stored zero weight
+}
+
+TEST(JaccardCardinalityBoundTest, DominatesExactJaccardInFloat) {
+  // min/max cardinalities bound Equation 5 in floating point, not just in
+  // the reals: |A∩B| <= min <= max <= |A∪B| and x/y is monotone under IEEE
+  // rounding, so the computed bound dominates the computed score.
+  Rng rng(433);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<UserId> ua, ub;
+    for (int u = 0; u < 25; ++u) {
+      if (rng.Bernoulli(0.4)) ua.push_back(u);
+      if (rng.Bernoulli(0.4)) ub.push_back(u);
+    }
+    const SocialDescriptor da(ua), db(ub);
+    EXPECT_GE(JaccardCardinalityBound(da.size(), db.size()),
+              ExactJaccard(da, db))
+        << "trial " << trial;
+  }
+  EXPECT_EQ(JaccardCardinalityBound(0, 5), 0.0);
+  EXPECT_EQ(JaccardCardinalityBound(0, 0), 0.0);
+  EXPECT_EQ(JaccardCardinalityBound(7, 7), 1.0);
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+// Bit-for-bit equivalence of the social-path fast layers: sparse SAR
+// histograms, the id-keyed exact Jaccard with cardinality-bound pruning,
+// and posting-driven Σmin accumulation must each return exactly what the
+// dense / name-keyed / pairwise baselines return — same ids, same order,
+// same scores and tie-breaks, bit for bit. Sweeps cover all social modes,
+// fusion rules and omegas, each layer ablated alone, empty and unknown-user
+// query descriptors, and re-vectorization after ApplySocialUpdate().
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/recommender.h"
+#include "social/sar.h"
+#include "util/random.h"
+
+namespace vrec::core {
+namespace {
+
+using signature::Cuboid;
+using signature::CuboidSignature;
+using signature::SignatureSeries;
+using social::SocialDescriptor;
+
+struct CorpusEntry {
+  video::VideoId id;
+  SignatureSeries series;
+  SocialDescriptor descriptor;
+};
+
+CuboidSignature RandomSignature(Rng* rng) {
+  const int n = static_cast<int>(rng->UniformInt(1, 5));
+  CuboidSignature sig;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    Cuboid c;
+    // Coarse values make cross-video ties common — exactly where an inexact
+    // social shortcut would reorder results.
+    c.value = 5.0 * static_cast<double>(rng->UniformInt(-8, 8));
+    c.weight = rng->Uniform(0.1, 1.0);
+    total += c.weight;
+    sig.push_back(c);
+  }
+  for (Cuboid& c : sig) c.weight /= total;
+  return sig;
+}
+
+// `max_fans` controls descriptor-size skew: large spreads make the
+// cardinality bound bite, near-uniform sizes starve it.
+std::vector<CorpusEntry> RandomCorpus(Rng* rng, int videos, int users,
+                                      int max_fans = 4) {
+  std::vector<CorpusEntry> corpus;
+  corpus.reserve(static_cast<size_t>(videos));
+  for (int v = 0; v < videos; ++v) {
+    CorpusEntry entry;
+    entry.id = v;
+    const int segments = static_cast<int>(rng->UniformInt(1, 4));
+    for (int s = 0; s < segments; ++s) {
+      entry.series.push_back(RandomSignature(rng));
+    }
+    const int fans = static_cast<int>(rng->UniformInt(1, max_fans));
+    for (int f = 0; f < fans; ++f) {
+      const auto u =
+          static_cast<social::UserId>(rng->UniformInt(0, users - 1));
+      if (!entry.descriptor.Contains(u)) entry.descriptor.Add(u);
+    }
+    corpus.push_back(std::move(entry));
+  }
+  return corpus;
+}
+
+std::unique_ptr<Recommender> BuildFrom(
+    const std::vector<CorpusEntry>& corpus, int users,
+    RecommenderOptions options) {
+  options.num_threads = 1;
+  auto rec = std::make_unique<Recommender>(std::move(options));
+  for (const CorpusEntry& e : corpus) {
+    EXPECT_TRUE(rec->AddVideoRecord(e.id, e.series, e.descriptor).ok());
+  }
+  EXPECT_TRUE(rec->Finalize(static_cast<size_t>(users)).ok());
+  return rec;
+}
+
+// All three social fast layers off: dense histograms, name-set exact
+// Jaccard, pairwise SAR scoring.
+RecommenderOptions SocialNaive(RecommenderOptions options) {
+  options.sparse_social = false;
+  options.exact_social_by_id = false;
+  options.posting_social = false;
+  return options;
+}
+
+void ExpectSameResults(const std::vector<ScoredVideo>& got,
+                       const std::vector<ScoredVideo>& want,
+                       video::VideoId query) {
+  ASSERT_EQ(got.size(), want.size()) << "query " << query;
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "query " << query << " rank " << i;
+    EXPECT_EQ(got[i].score, want[i].score)
+        << "query " << query << " rank " << i;
+    EXPECT_EQ(got[i].content, want[i].content)
+        << "query " << query << " rank " << i;
+    EXPECT_EQ(got[i].social, want[i].social)
+        << "query " << query << " rank " << i;
+  }
+}
+
+// Runs every video as a query against both instances and demands bitwise
+// agreement. `counters` (optional) accumulates the fast instance's social
+// counters so callers can assert the shortcuts actually fired.
+void ExpectEquivalent(const Recommender& fast, const Recommender& naive,
+                      const std::vector<CorpusEntry>& corpus, int k,
+                      QueryTiming* counters = nullptr) {
+  for (const CorpusEntry& e : corpus) {
+    QueryTiming fast_timing;
+    QueryTiming naive_timing;
+    const auto got = fast.RecommendById(e.id, k, &fast_timing);
+    const auto want = naive.RecommendById(e.id, k, &naive_timing);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ExpectSameResults(*got, *want, e.id);
+    // With every layer off the naive instance must never skip social work.
+    EXPECT_EQ(naive_timing.social_candidates_skipped, 0u);
+    EXPECT_EQ(naive_timing.exact_social_pruned, 0u);
+    if (counters != nullptr) {
+      counters->jaccard_calls += fast_timing.jaccard_calls;
+      counters->social_candidates_skipped +=
+          fast_timing.social_candidates_skipped;
+      counters->exact_social_pruned += fast_timing.exact_social_pruned;
+    }
+  }
+}
+
+RecommenderOptions BaseOptions(SocialMode mode) {
+  RecommenderOptions options;
+  options.social_mode = mode;
+  options.k_subcommunities = 4;
+  return options;
+}
+
+TEST(SocialFastPathTest, AllSocialModesAgree) {
+  Rng rng(71);
+  const auto corpus = RandomCorpus(&rng, 40, 16);
+  for (const SocialMode mode : {SocialMode::kNone, SocialMode::kExact,
+                                SocialMode::kSar, SocialMode::kSarHash}) {
+    const auto fast = BuildFrom(corpus, 16, BaseOptions(mode));
+    const auto naive = BuildFrom(corpus, 16, SocialNaive(BaseOptions(mode)));
+    ExpectEquivalent(*fast, *naive, corpus, 8);
+  }
+}
+
+TEST(SocialFastPathTest, FusionRulesAndOmegasAgree) {
+  Rng rng(73);
+  const auto corpus = RandomCorpus(&rng, 30, 12);
+  const double omegas[] = {0.0, 0.7, 1.0};
+  for (const SocialMode mode : {SocialMode::kExact, SocialMode::kSarHash}) {
+    for (const FusionRule rule :
+         {FusionRule::kWeighted, FusionRule::kAverage, FusionRule::kMax}) {
+      for (const double omega : omegas) {
+        RecommenderOptions options = BaseOptions(mode);
+        options.fusion_rule = rule;
+        options.omega = omega;
+        const auto fast = BuildFrom(corpus, 12, options);
+        const auto naive = BuildFrom(corpus, 12, SocialNaive(options));
+        ExpectEquivalent(*fast, *naive, corpus, 6);
+      }
+    }
+  }
+}
+
+TEST(SocialFastPathTest, EachLayerAloneAgrees) {
+  Rng rng(79);
+  const auto corpus = RandomCorpus(&rng, 30, 12);
+  for (const SocialMode mode : {SocialMode::kExact, SocialMode::kSar,
+                                SocialMode::kSarHash}) {
+    const auto naive = BuildFrom(corpus, 12, SocialNaive(BaseOptions(mode)));
+    {
+      RecommenderOptions sparse_only = SocialNaive(BaseOptions(mode));
+      sparse_only.sparse_social = true;
+      const auto fast = BuildFrom(corpus, 12, sparse_only);
+      ExpectEquivalent(*fast, *naive, corpus, 6);
+    }
+    {
+      RecommenderOptions id_only = SocialNaive(BaseOptions(mode));
+      id_only.exact_social_by_id = true;
+      const auto fast = BuildFrom(corpus, 12, id_only);
+      ExpectEquivalent(*fast, *naive, corpus, 6);
+    }
+    {
+      // Posting-driven scoring does not require sparse record storage.
+      RecommenderOptions posting_only = SocialNaive(BaseOptions(mode));
+      posting_only.posting_social = true;
+      const auto fast = BuildFrom(corpus, 12, posting_only);
+      ExpectEquivalent(*fast, *naive, corpus, 6);
+    }
+  }
+}
+
+TEST(SocialFastPathTest, SocialOnlyRetrievalAgrees) {
+  // use_content = false exercises the SR configuration where the social
+  // candidate stage fully determines the pool.
+  Rng rng(83);
+  const auto corpus = RandomCorpus(&rng, 40, 16);
+  for (const SocialMode mode : {SocialMode::kExact, SocialMode::kSarHash}) {
+    RecommenderOptions options = BaseOptions(mode);
+    options.use_content = false;
+    const auto fast = BuildFrom(corpus, 16, options);
+    const auto naive = BuildFrom(corpus, 16, SocialNaive(options));
+    ExpectEquivalent(*fast, *naive, corpus, 8);
+  }
+}
+
+TEST(SocialFastPathTest, ExactBoundPrunesAndAgrees) {
+  // Skewed descriptor sizes plus a tight candidate budget: the cardinality
+  // bound must skip merges (nonzero counter) and change nothing.
+  Rng rng(89);
+  const auto corpus = RandomCorpus(&rng, 60, 16, /*max_fans=*/12);
+  RecommenderOptions options = BaseOptions(SocialMode::kExact);
+  options.max_candidates = 8;
+  const auto fast = BuildFrom(corpus, 16, options);
+  const auto naive = BuildFrom(corpus, 16, SocialNaive(options));
+  QueryTiming counters;
+  ExpectEquivalent(*fast, *naive, corpus, 4, &counters);
+  EXPECT_GT(counters.exact_social_pruned, 0u);
+  EXPECT_GT(counters.jaccard_calls, 0u);
+}
+
+TEST(SocialFastPathTest, PostingWalkSkipsDisjointAudiences) {
+  // Two audiences that never co-comment end up in disjoint sub-communities,
+  // so the posting walk never touches the other cluster's records: the
+  // skip counter must fire while results stay identical.
+  Rng rng(97);
+  std::vector<CorpusEntry> corpus;
+  for (int v = 0; v < 30; ++v) {
+    CorpusEntry entry;
+    entry.id = v;
+    const int segments = static_cast<int>(rng.UniformInt(1, 3));
+    for (int s = 0; s < segments; ++s) {
+      entry.series.push_back(RandomSignature(&rng));
+    }
+    const int base = v < 15 ? 0 : 30;
+    const int fans = static_cast<int>(rng.UniformInt(2, 4));
+    for (int f = 0; f < fans; ++f) {
+      const auto u =
+          static_cast<social::UserId>(base + rng.UniformInt(0, 29));
+      if (!entry.descriptor.Contains(u)) entry.descriptor.Add(u);
+    }
+    corpus.push_back(std::move(entry));
+  }
+  RecommenderOptions options = BaseOptions(SocialMode::kSarHash);
+  const auto fast = BuildFrom(corpus, 60, options);
+  const auto naive = BuildFrom(corpus, 60, SocialNaive(options));
+  QueryTiming counters;
+  ExpectEquivalent(*fast, *naive, corpus, 6, &counters);
+  EXPECT_GT(counters.social_candidates_skipped, 0u);
+}
+
+TEST(SocialFastPathTest, EmptyAndUnknownUserQueries) {
+  // An empty query descriptor and one made of users the dictionary has
+  // never seen both score zero social everywhere — on the fast and naive
+  // paths alike.
+  Rng rng(101);
+  const auto corpus = RandomCorpus(&rng, 25, 12);
+  SocialDescriptor empty;
+  SocialDescriptor unknown;
+  unknown.Add(500);
+  unknown.Add(501);
+  for (const SocialMode mode : {SocialMode::kExact, SocialMode::kSar,
+                                SocialMode::kSarHash}) {
+    const auto fast = BuildFrom(corpus, 12, BaseOptions(mode));
+    const auto naive = BuildFrom(corpus, 12, SocialNaive(BaseOptions(mode)));
+    for (const SocialDescriptor* d : {&empty, &unknown}) {
+      const auto got = fast->Recommend(corpus[0].series, *d, 6);
+      const auto want = naive->Recommend(corpus[0].series, *d, 6);
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ExpectSameResults(*got, *want, corpus[0].id);
+      for (const auto& r : *got) EXPECT_EQ(r.social, 0.0);
+    }
+  }
+}
+
+TEST(SocialFastPathTest, AgreesAfterSocialUpdates) {
+  // ApplySocialUpdate re-vectorizes touched records (sparse on the fast
+  // instance, dense-mirrored on the naive one) and can split or merge
+  // sub-communities; equivalence must survive the maintenance pass.
+  Rng rng(103);
+  const auto corpus = RandomCorpus(&rng, 30, 12);
+  for (const SocialMode mode : {SocialMode::kExact, SocialMode::kSarHash}) {
+    const auto fast = BuildFrom(corpus, 12, BaseOptions(mode));
+    const auto naive = BuildFrom(corpus, 12, SocialNaive(BaseOptions(mode)));
+    const std::vector<social::SocialConnection> connections = {
+        {0, 5, 4.0}, {3, 7, 2.0}, {1, 9, 6.0}};
+    std::vector<std::pair<video::VideoId, social::UserId>> comments;
+    for (int i = 0; i < 40; ++i) {
+      comments.emplace_back(
+          static_cast<video::VideoId>(rng.UniformInt(0, 29)),
+          static_cast<social::UserId>(rng.UniformInt(0, 11)));
+    }
+    ASSERT_TRUE(fast->ApplySocialUpdate(connections, comments).ok());
+    ASSERT_TRUE(naive->ApplySocialUpdate(connections, comments).ok());
+    ASSERT_TRUE(fast->CheckInvariants().ok());
+    ASSERT_TRUE(naive->CheckInvariants().ok());
+    ExpectEquivalent(*fast, *naive, corpus, 6);
+  }
+}
+
+TEST(SocialFastPathTest, SparseVectorizationMatchesDense) {
+  // Unit-level cross-check of the sparse kernels against their dense
+  // counterparts: same histogram after ToDense, same Jaccard bit for bit.
+  Rng rng(107);
+  const int k = 6;
+  std::vector<int> labels;
+  for (int u = 0; u < 24; ++u) {
+    labels.push_back(static_cast<int>(rng.UniformInt(0, k - 1)));
+  }
+  const social::UserDictionary dict(labels, k,
+                                    social::DictionaryLookup::kChainedHash);
+  std::vector<SocialDescriptor> descriptors;
+  for (int d = 0; d < 20; ++d) {
+    SocialDescriptor desc;
+    const int fans = static_cast<int>(rng.UniformInt(1, 8));
+    for (int f = 0; f < fans; ++f) {
+      const auto u = static_cast<social::UserId>(rng.UniformInt(0, 23));
+      if (!desc.Contains(u)) desc.Add(u);
+    }
+    descriptors.push_back(std::move(desc));
+  }
+  for (const SocialDescriptor& d : descriptors) {
+    const social::SparseHistogram sparse = dict.VectorizeSparse(d);
+    EXPECT_TRUE(social::CheckSparseHistogram(sparse, dict.k()).ok());
+    EXPECT_EQ(social::ToDense(sparse, dict.k()), dict.Vectorize(d));
+  }
+  for (size_t a = 0; a < descriptors.size(); ++a) {
+    for (size_t b = a + 1; b < descriptors.size(); ++b) {
+      const auto sa = dict.VectorizeSparse(descriptors[a]);
+      const auto sb = dict.VectorizeSparse(descriptors[b]);
+      EXPECT_EQ(social::ApproxJaccardSparse(sa, sb),
+                social::ApproxJaccard(dict.Vectorize(descriptors[a]),
+                                      dict.Vectorize(descriptors[b])));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vrec::core

@@ -261,6 +261,10 @@ int CmdQuery(const Flags& flags) {
               "%zu candidates pruned\n",
               timing.emd_calls, timing.pairs_pruned,
               timing.candidates_pruned);
+  std::printf("social fast path: %zu Jaccard calls, %zu candidates skipped, "
+              "%zu exact merges pruned\n",
+              timing.jaccard_calls, timing.social_candidates_skipped,
+              timing.exact_social_pruned);
   return 0;
 }
 
@@ -333,6 +337,9 @@ int CmdBatch(const Flags& flags) {
     sum.emd_calls += r.timing.emd_calls;
     sum.pairs_pruned += r.timing.pairs_pruned;
     sum.candidates_pruned += r.timing.candidates_pruned;
+    sum.jaccard_calls += r.timing.jaccard_calls;
+    sum.social_candidates_skipped += r.timing.social_candidates_skipped;
+    sum.exact_social_pruned += r.timing.exact_social_pruned;
   }
   const auto answered = static_cast<double>(results.size() - failed);
   if (answered == 0) {
@@ -354,6 +361,12 @@ int CmdBatch(const Flags& flags) {
       static_cast<double>(sum.emd_calls) / answered,
       static_cast<double>(sum.pairs_pruned) / answered,
       static_cast<double>(sum.candidates_pruned) / answered);
+  std::printf(
+      "social fast path: %.0f Jaccard calls, %.0f candidates skipped, "
+      "%.0f exact merges pruned (per query)\n",
+      static_cast<double>(sum.jaccard_calls) / answered,
+      static_cast<double>(sum.social_candidates_skipped) / answered,
+      static_cast<double>(sum.exact_social_pruned) / answered);
   return 0;
 }
 
