@@ -8,13 +8,25 @@
 // the max_batch=1 ablation — on the same workload, so the printed speedup
 // isolates what batch coalescing buys. Results go to BENCH_server.json.
 //
+// A third closed-loop phase replays a zipfian by-id workload against the
+// epoll front end's LRU result cache: popular ids repeat, so hits replay
+// the miss's encoded frame without touching the batcher. The open-loop
+// sweep additionally runs with a herd of idle connections parked on the
+// reactor — ~50 under --smoke, up to 10k in full mode (RLIMIT_NOFILE is
+// raised as far as the container allows) — which a thread-per-connection
+// design could not hold.
+//
 // Gates (exit non-zero on violation): the mean flushed batch size must
-// exceed 1 (batching actually happened). In full mode the batched
-// configuration must also out-serve the ablation; the throughput gate is
-// skipped under --smoke, where single-core CI containers make the
-// comparison noise.
+// exceed 1 (batching actually happened), and the zipfian phase must record
+// cache hits (the cache actually served). In full mode the batched
+// configuration must also out-serve the ablation and the idle-connection
+// target must be reached; both full-mode gates are skipped under --smoke,
+// where single-core CI containers make the comparison noise and fd limits
+// are unpredictable.
 //
 // Usage: bench_server_throughput [--smoke] [out.json]
+
+#include <sys/resource.h>
 
 #include <algorithm>
 #include <atomic>
@@ -28,6 +40,8 @@
 #include "bench_common.h"
 #include "client/client.h"
 #include "server/server.h"
+#include "util/net.h"
+#include "util/random.h"
 #include "util/stopwatch.h"
 
 namespace vrec::bench {
@@ -111,12 +125,100 @@ ClosedLoopResult RunClosedLoop(const core::Recommender* rec,
   return result;
 }
 
+struct CachedZipfResult {
+  double qps = 0.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  double hit_rate = 0.0;
+  size_t failed = 0;
+};
+
+/// Closed loop over a zipfian id distribution (exponent `skew`) with the
+/// by-id result cache enabled: the head of the distribution hits after its
+/// first miss, so the measured hit rate tracks the workload's skew. The
+/// cache is sized at a quarter of the corpus to keep eviction pressure in
+/// the picture.
+CachedZipfResult RunCachedZipfLoop(const core::Recommender* rec,
+                                   server::BatcherOptions batcher,
+                                   size_t num_videos, size_t threads,
+                                   size_t per_thread, int k, double skew) {
+  server::ServerOptions options;
+  options.batcher = batcher;
+  options.result_cache_capacity = std::max<size_t>(8, num_videos / 4);
+  server::RecommendServer srv(rec, options);
+  if (const Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+
+  std::atomic<size_t> failed{0};
+  Stopwatch timer;
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(0x5eed + t);
+      client::Client cli;
+      if (!cli.Connect("localhost", srv.port()).ok()) {
+        failed.fetch_add(per_thread);
+        return;
+      }
+      for (size_t i = 0; i < per_thread; ++i) {
+        server::QueryByIdRequest request;
+        // Zipf ranks are 1-based; rank 1 = the most popular video.
+        request.video = static_cast<video::VideoId>(
+            rng.Zipf(static_cast<int64_t>(num_videos), skew) - 1);
+        request.k = k;
+        const auto response = cli.QueryById(request);
+        if (!response.ok() || !response->status.ok()) failed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const double elapsed = timer.ElapsedSeconds();
+
+  CachedZipfResult result;
+  const auto stats = srv.stats();
+  result.qps = static_cast<double>(threads * per_thread) / elapsed;
+  result.cache_hits = stats.cache_hits;
+  result.cache_misses = stats.cache_misses;
+  result.cache_evictions = stats.cache_evictions;
+  const uint64_t lookups = stats.cache_hits + stats.cache_misses;
+  result.hit_rate = lookups == 0 ? 0.0
+                                 : static_cast<double>(stats.cache_hits) /
+                                       static_cast<double>(lookups);
+  result.failed = failed.load();
+  srv.Shutdown();
+  return result;
+}
+
+/// Raises RLIMIT_NOFILE toward `want` descriptors and returns how many
+/// idle sockets the process can afford after reserving `reserve` fds for
+/// clients, data files, and the server's own plumbing.
+size_t IdleConnectionAllowance(size_t want, size_t reserve) {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  const rlim_t target = static_cast<rlim_t>(want + reserve);
+  if (lim.rlim_cur < target) {
+    rlimit raised = lim;
+    raised.rlim_cur = lim.rlim_max == RLIM_INFINITY
+                          ? target
+                          : std::min<rlim_t>(target, lim.rlim_max);
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0) lim = raised;
+  }
+  if (lim.rlim_cur <= static_cast<rlim_t>(reserve)) return 0;
+  return std::min<size_t>(want,
+                          static_cast<size_t>(lim.rlim_cur) - reserve);
+}
+
 struct SweepPoint {
   double target_qps = 0.0;
   double achieved_qps = 0.0;
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+  size_t idle_held = 0;
   size_t failed = 0;
 };
 
@@ -127,13 +229,26 @@ struct SweepPoint {
 /// Concurrency is bounded by `threads` clients pulling the next index.
 SweepPoint RunOpenLoop(const core::Recommender* rec,
                        server::BatcherOptions batcher, size_t num_videos,
-                       size_t threads, double qps, size_t total, int k) {
+                       size_t threads, double qps, size_t total, int k,
+                       size_t idle_connections) {
   server::ServerOptions options;
   options.batcher = batcher;
+  options.max_connections = idle_connections + threads + 64;
   server::RecommendServer srv(rec, options);
   if (const Status s = srv.Start(); !s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     std::abort();
+  }
+
+  // Park the idle herd on the reactor before the clock starts: these
+  // connections never send a frame, they just occupy epoll slots for the
+  // whole sweep — the load a thread-per-connection server could not carry.
+  std::vector<util::UniqueFd> idle;
+  idle.reserve(idle_connections);
+  for (size_t i = 0; i < idle_connections; ++i) {
+    auto fd = util::ConnectTcp("localhost", srv.port());
+    if (!fd.ok()) break;  // fd budget exhausted: hold what we got
+    idle.push_back(std::move(*fd));
   }
 
   std::atomic<size_t> next{0};
@@ -180,7 +295,9 @@ SweepPoint RunOpenLoop(const core::Recommender* rec,
   point.p50_ms = Percentile(latencies_ms, 0.50);
   point.p95_ms = Percentile(latencies_ms, 0.95);
   point.p99_ms = Percentile(latencies_ms, 0.99);
+  point.idle_held = idle.size();
   point.failed = failed.load();
+  idle.clear();
   srv.Shutdown();
   return point;
 }
@@ -232,31 +349,63 @@ int Run(bool smoke, const std::string& out_path) {
     return 1;
   }
 
+  // Zipfian by-id workload against the result cache: skew 1.1 keeps a
+  // heavy head (high hit rate) without collapsing onto a single id.
+  const CachedZipfResult cached = RunCachedZipfLoop(
+      rec.get(), batched, num_videos, threads, per_thread, k, 1.1);
+  std::printf("  cached:   %8.0f qps  zipf(1.1) hit rate %.2f "
+              "(hits=%llu misses=%llu evictions=%llu)\n",
+              cached.qps, cached.hit_rate,
+              static_cast<unsigned long long>(cached.cache_hits),
+              static_cast<unsigned long long>(cached.cache_misses),
+              static_cast<unsigned long long>(cached.cache_evictions));
+  if (cached.failed > 0) {
+    std::fprintf(stderr, "%zu cached requests failed\n", cached.failed);
+    return 1;
+  }
+
+  // Full mode parks up to 10k idle connections on the reactor for the
+  // whole sweep (as far as RLIMIT_NOFILE can be raised in this container);
+  // smoke keeps a token herd of 50 so the code path always runs.
+  const size_t idle_target =
+      smoke ? 50 : IdleConnectionAllowance(10'000, 256);
   const std::vector<double> levels =
       smoke ? std::vector<double>{50.0} : std::vector<double>{50, 100, 200};
   const double sweep_seconds = smoke ? 0.5 : 2.0;
-  std::printf("open loop sweep (%.1fs per level):\n", sweep_seconds);
+  std::printf("open loop sweep (%.1fs per level, %zu idle connections):\n",
+              sweep_seconds, idle_target);
   std::printf("  %10s %12s %9s %9s %9s\n", "target", "achieved", "p50",
               "p95", "p99");
   std::vector<SweepPoint> sweep;
   for (const double qps : levels) {
     const auto total = static_cast<size_t>(qps * sweep_seconds);
     sweep.push_back(RunOpenLoop(rec.get(), batched, num_videos, threads, qps,
-                                total, k));
+                                total, k, idle_target));
     const SweepPoint& p = sweep.back();
-    std::printf("  %8.0f/s %10.0f/s %7.2fms %7.2fms %7.2fms\n", p.target_qps,
-                p.achieved_qps, p.p50_ms, p.p95_ms, p.p99_ms);
+    std::printf("  %8.0f/s %10.0f/s %7.2fms %7.2fms %7.2fms  (%zu idle)\n",
+                p.target_qps, p.achieved_qps, p.p50_ms, p.p95_ms, p.p99_ms,
+                p.idle_held);
     if (p.failed > 0) {
       std::fprintf(stderr, "%zu sweep requests failed\n", p.failed);
       return 1;
     }
   }
 
+  size_t min_idle_held = idle_target;
+  for (const SweepPoint& p : sweep) {
+    min_idle_held = std::min(min_idle_held, p.idle_held);
+  }
   const bool batching_observed = on.mean_batch > 1.0;
   const bool batching_won = speedup > 1.0;
-  std::printf("gates: mean batch > 1: %s; batched > ablation: %s%s\n",
+  const bool cache_served = cached.cache_hits > 0;
+  const bool idle_sustained = min_idle_held >= idle_target;
+  std::printf("gates: mean batch > 1: %s; cache hits > 0: %s; "
+              "batched > ablation: %s%s; idle held: %s%s\n",
               batching_observed ? "PASS" : "FAIL",
+              cache_served ? "PASS" : "FAIL",
               batching_won ? "PASS" : "FAIL",
+              smoke ? " (advisory under --smoke)" : "",
+              idle_sustained ? "PASS" : "FAIL",
               smoke ? " (advisory under --smoke)" : "");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
@@ -276,31 +425,49 @@ int Run(bool smoke, const std::string& out_path) {
                "  \"mean_batch_size\": %.4f,\n"
                "  \"batches_full\": %llu,\n"
                "  \"batches_timer\": %llu,\n"
+               "  \"cached_qps\": %.2f,\n"
+               "  \"cache_hits\": %llu,\n"
+               "  \"cache_misses\": %llu,\n"
+               "  \"cache_evictions\": %llu,\n"
+               "  \"cache_hit_rate\": %.4f,\n"
+               "  \"idle_connections\": %zu,\n"
                "  \"sweep\": [",
                smoke ? "true" : "false", threads, per_thread, k, on.qps,
                off.qps, speedup, on.mean_batch,
                static_cast<unsigned long long>(on.batches_full),
-               static_cast<unsigned long long>(on.batches_timer));
+               static_cast<unsigned long long>(on.batches_timer),
+               cached.qps,
+               static_cast<unsigned long long>(cached.cache_hits),
+               static_cast<unsigned long long>(cached.cache_misses),
+               static_cast<unsigned long long>(cached.cache_evictions),
+               cached.hit_rate, min_idle_held);
   for (size_t i = 0; i < sweep.size(); ++i) {
     std::fprintf(out,
                  "%s\n    {\"target_qps\": %.1f, \"achieved_qps\": %.2f, "
-                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f}",
+                 "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f, "
+                 "\"idle_held\": %zu}",
                  i == 0 ? "" : ",", sweep[i].target_qps,
                  sweep[i].achieved_qps, sweep[i].p50_ms, sweep[i].p95_ms,
-                 sweep[i].p99_ms);
+                 sweep[i].p99_ms, sweep[i].idle_held);
   }
   std::fprintf(out,
                "\n  ],\n"
                "  \"batching_observed\": %s,\n"
-               "  \"batching_won\": %s\n"
+               "  \"cache_served\": %s,\n"
+               "  \"batching_won\": %s,\n"
+               "  \"idle_sustained\": %s\n"
                "}\n",
                batching_observed ? "true" : "false",
-               batching_won ? "true" : "false");
+               cache_served ? "true" : "false",
+               batching_won ? "true" : "false",
+               idle_sustained ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
   if (!batching_observed) return 1;
+  if (!cache_served) return 1;
   if (!smoke && !batching_won) return 1;
+  if (!smoke && !idle_sustained) return 1;
   return 0;
 }
 

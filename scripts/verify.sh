@@ -48,6 +48,6 @@ echo "=== tsan: concurrency + serving tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DVREC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target vrec_tests
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|ThreadPool|ServerLoopback|MicroBatcher')
+  -R 'Concurrency|ThreadPool|ServerLoopback|MicroBatcher|Reactor|ResultCache')
 
 echo "verify: OK"

@@ -204,6 +204,7 @@ Status Recommender::Finalize(size_t user_count) {
   }
 
   finalized_ = true;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   VREC_DCHECK_OK(CheckInvariants());
   return Status::Ok();
 }
@@ -619,6 +620,7 @@ Status Recommender::RemoveVideo(video::VideoId id) {
     if (slots.empty()) videos_of_user_.erase(vit);
   }
   index_of_.erase(it);
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   VREC_DCHECK_OK(CheckInvariants());
   return Status::Ok();
 }
@@ -993,6 +995,7 @@ StatusOr<social::MaintenanceStats> Recommender::ApplySocialUpdate(
     for (size_t v : touched_videos) RefreshVideoVector(v);
   }
   stats.connections_processed = connections.size();
+  generation_.fetch_add(1, std::memory_order_acq_rel);
   VREC_DCHECK_OK(CheckInvariants());
   return stats;
 }

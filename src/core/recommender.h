@@ -1,6 +1,7 @@
 #ifndef VREC_CORE_RECOMMENDER_H_
 #define VREC_CORE_RECOMMENDER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -135,6 +136,25 @@ struct QueryTiming {
   /// upper bound proved the candidate dominated (by the running candidate
   /// heap or the refinement's k-th best bar).
   size_t exact_social_pruned = 0;
+
+  /// Field-wise accumulation — THE one place that sums timings. Aggregators
+  /// (the server's stats totals, bench reducers) must use this instead of
+  /// picking fields by hand, so a counter added here can never again be
+  /// silently dropped from downstream totals.
+  QueryTiming& operator+=(const QueryTiming& other) {
+    social_ms += other.social_ms;
+    content_ms += other.content_ms;
+    refine_ms += other.refine_ms;
+    total_ms += other.total_ms;
+    candidates += other.candidates;
+    emd_calls += other.emd_calls;
+    pairs_pruned += other.pairs_pruned;
+    candidates_pruned += other.candidates_pruned;
+    jaccard_calls += other.jaccard_calls;
+    social_candidates_skipped += other.social_candidates_skipped;
+    exact_social_pruned += other.exact_social_pruned;
+    return *this;
+  }
 };
 
 /// One query of a RecommendBatch call.
@@ -253,6 +273,13 @@ class Recommender {
   }
   size_t user_count() const { return user_count_; }
   bool finalized() const { return finalized_; }
+  /// Monotone counter bumped whenever query results may change: Finalize(),
+  /// RemoveVideo(), and ApplySocialUpdate() each increment it on success.
+  /// External result caches stamp entries with the generation they were
+  /// computed under and treat a mismatch on lookup as an invalidation.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
   const RecommenderOptions& options() const { return options_; }
   /// Total slot references held by the user -> videos index; shrinks when
   /// videos are removed (memory-growth monitoring under churn).
@@ -352,6 +379,10 @@ class Recommender {
 
   RecommenderOptions options_;
   bool finalized_ = false;
+  /// See generation(). Release-published after every successful mutation so
+  /// a reader that observes the new value also observes the new structures
+  /// (given its own external read/write synchronization with the mutator).
+  std::atomic<uint64_t> generation_{0};
   size_t user_count_ = 0;
   std::vector<Record> records_;
   std::unordered_map<video::VideoId, size_t> index_of_;

@@ -56,6 +56,7 @@ Status MicroBatcher::Submit(BatchJob job) {
     if (queue_.size() >= options_.queue_capacity) {
       return Status::ResourceExhausted("admission queue full");
     }
+    job.enqueued_at = std::chrono::steady_clock::now();
     queue_.push_back(std::move(job));
   }
   work_cv_.notify_one();
@@ -93,9 +94,13 @@ void MicroBatcher::WorkerLoop() {
     work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
     if (queue_.empty()) return;  // draining and nothing left
 
-    // A batch starts forming when its oldest request is queued; it flushes
-    // at max_batch, at the delay deadline, or immediately once draining.
-    const auto flush_at = std::chrono::steady_clock::now() +
+    // A batch starts forming when its oldest request is queued, so the
+    // delay deadline is anchored to that job's enqueue stamp — not to
+    // this wakeup. The difference matters under a slow flush: jobs that
+    // queued while the worker was busy have already burned part of their
+    // delay budget, and restarting the clock here would let them wait up
+    // to 2x max_delay_us.
+    const auto flush_at = queue_.front().enqueued_at +
                           std::chrono::microseconds(options_.max_delay_us);
     while (queue_.size() < options_.max_batch && !draining_) {
       if (work_cv_.wait_until(lock, flush_at) == std::cv_status::timeout) {

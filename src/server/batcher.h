@@ -50,13 +50,20 @@ class PendingResponse {
 };
 
 /// One admitted request: the query, its per-request deadline (admission
-/// time + deadline_ms; time_point::max() when none) and its completion
-/// slot.
+/// time + deadline_ms; time_point::max() when none) and where the answer
+/// goes — either a blocking completion slot (`response`) or an opaque
+/// completion tag the flush callback routes by (the reactor's ConnId).
 struct BatchJob {
   core::BatchQuery query;
   std::chrono::steady_clock::time_point deadline =
       std::chrono::steady_clock::time_point::max();
   std::shared_ptr<PendingResponse> response;
+  /// Caller-owned routing key, carried through untouched.
+  uint64_t tag = 0;
+  /// Stamped by Submit(): when the job entered the admission queue. The
+  /// worker deadlines its wait off the *oldest* queued job's stamp, per
+  /// the BatcherOptions contract.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 /// Why a batch was flushed (surfaced in the server stats).

@@ -1,0 +1,423 @@
+#include "server/reactor.h"
+
+#include <utility>
+
+#include "util/check.h"
+
+namespace vrec::server {
+namespace {
+
+// Reserved epoll tags; client connections start at ConnId 2.
+constexpr uint64_t kListenerTag = 0;
+constexpr uint64_t kWakeTag = 1;
+
+constexpr size_t kMaxEpollEvents = 64;
+constexpr size_t kReadChunkBytes = 16 * 1024;
+
+}  // namespace
+
+Reactor::Reactor(util::UniqueFd listen_fd, const ReactorOptions& options,
+                 ReactorEvents* events)
+    : listen_fd_(std::move(listen_fd)), options_(options), events_(events) {}
+
+Reactor::~Reactor() {
+  // Emergency teardown for callers that never drained; the server's
+  // Shutdown() runs the full protocol itself, leaving nothing to do here.
+  if (started_ && !joined_) {
+    BeginDrain();
+    FinishDrain();
+    Join();
+  }
+}
+
+Status Reactor::Start() {
+  VREC_CHECK(!started_);
+  auto epoll = util::EpollCreate();
+  if (!epoll.ok()) return epoll.status();
+  epoll_fd_ = std::move(*epoll);
+
+  auto wake = util::MakeWakePipe();
+  if (!wake.ok()) return wake.status();
+  wake_rd_ = std::move(wake->first);
+  wake_wr_ = std::move(wake->second);
+
+  if (const Status s = util::SetNonBlocking(listen_fd_.get()); !s.ok()) {
+    return s;
+  }
+  if (const Status s = util::EpollAdd(epoll_fd_.get(), listen_fd_.get(),
+                                      util::kEpollIn, kListenerTag);
+      !s.ok()) {
+    return s;
+  }
+  if (const Status s = util::EpollAdd(epoll_fd_.get(), wake_rd_.get(),
+                                      util::kEpollIn, kWakeTag);
+      !s.ok()) {
+    return s;
+  }
+  listener_open_ = true;
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::Ok();
+}
+
+void Reactor::Loop() {
+  loop_tid_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+  util::EpollEvent events[kMaxEpollEvents];
+  for (;;) {
+    RunCommands();
+    if (finish_requested_ && connections_.empty()) return;
+
+    const auto n =
+        util::EpollWait(epoll_fd_.get(), events, kMaxEpollEvents, -1);
+    if (!n.ok()) return;  // epoll itself broke; nothing left to serve
+
+    for (size_t i = 0; i < *n; ++i) {
+      const uint64_t tag = events[i].tag;
+      const uint32_t mask = events[i].events;
+      if (tag == kWakeTag) {
+        util::DrainWake(wake_rd_.get());
+        continue;  // commands run at the top of the loop
+      }
+      if (tag == kListenerTag) {
+        if (listener_open_ && (mask & util::kEpollIn) != 0) HandleAccept();
+        continue;
+      }
+      const ConnId id = tag;
+      if ((mask & util::kEpollIn) != 0) {
+        HandleReadable(id);  // EOF/errors surface through the read path
+      }
+      if (connections_.find(id) == connections_.end()) continue;
+      if ((mask & util::kEpollOut) != 0) {
+        if (!TryFlush(id)) continue;  // destroyed (error or final flush)
+        UpdateInterest(id);
+      }
+      if (connections_.find(id) == connections_.end()) continue;
+      if ((mask & (util::kEpollErr | util::kEpollHup)) != 0 &&
+          (mask & util::kEpollIn) == 0) {
+        // Hard error with nothing readable: the peer is gone.
+        const Connection& conn = connections_.at(id);
+        if (!conn.closing && !conn.awaiting_response) {
+          events_->OnDisconnect(id, /*mid_frame=*/false);
+        }
+        Destroy(id);
+      }
+    }
+  }
+}
+
+void Reactor::RunCommands() {
+  for (;;) {
+    Command command;
+    {
+      std::lock_guard<std::mutex> lock(commands_mutex_);
+      if (commands_.empty()) return;
+      command = std::move(commands_.front());
+      commands_.pop_front();
+    }
+    switch (command.kind) {
+      case Command::Kind::kSend:
+        SendResponseOnLoop(command.conn, std::move(command.frame));
+        break;
+      case Command::Kind::kBeginDrain:
+        BeginDrainOnLoop();
+        break;
+      case Command::Kind::kFinishDrain:
+        FinishDrainOnLoop();
+        break;
+    }
+    if (command.signal != nullptr) {
+      std::lock_guard<std::mutex> lock(command.signal->mutex);
+      command.signal->done = true;
+      command.signal->cv.notify_all();
+    }
+  }
+}
+
+void Reactor::EnqueueCommand(Command command, bool blocking) {
+  std::shared_ptr<CommandDone> signal;
+  if (blocking) {
+    signal = std::make_shared<CommandDone>();
+    command.signal = signal;
+  }
+  {
+    std::lock_guard<std::mutex> lock(commands_mutex_);
+    commands_.push_back(std::move(command));
+  }
+  util::SignalWake(wake_wr_.get());
+  if (blocking) {
+    std::unique_lock<std::mutex> lock(signal->mutex);
+    signal->cv.wait(lock, [&] { return signal->done; });
+  }
+}
+
+void Reactor::HandleAccept() {
+  for (;;) {
+    auto accepted = util::AcceptNonBlocking(listen_fd_.get());
+    if (!accepted.ok()) return;   // transient listener trouble; retry later
+    if (!accepted->valid()) return;  // EAGAIN: queue empty
+
+    const ConnId id = next_conn_id_++;
+    Connection conn;
+    conn.fd = std::move(*accepted);
+    const int fd = conn.fd.get();
+    const bool overflow = connections_.size() >= options_.max_connections;
+    if (const Status s = util::EpollAdd(epoll_fd_.get(), fd,
+                                        overflow ? 0 : util::kEpollIn, id);
+        !s.ok()) {
+      continue;  // conn.fd closes; the peer sees a reset
+    }
+    conn.interest = overflow ? 0 : util::kEpollIn;
+    connections_.emplace(id, std::move(conn));
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    if (overflow) {
+      // Load shedding: the handler answers once, then we flush and close.
+      events_->OnOverflow(id);
+      if (auto it = connections_.find(id); it != connections_.end()) {
+        it->second.closing = true;
+        if (TryFlush(id)) UpdateInterest(id);
+      }
+    }
+  }
+}
+
+void Reactor::HandleReadable(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  uint8_t chunk[kReadChunkBytes];
+  for (;;) {
+    const auto got = util::ReadNonBlocking(conn.fd.get(), chunk,
+                                           sizeof(chunk));
+    if (!got.ok()) {
+      // Peer reset mid-stream; the old server broke out without counting.
+      if (!conn.closing && !conn.awaiting_response) {
+        events_->OnDisconnect(id, /*mid_frame=*/false);
+      }
+      Destroy(id);
+      return;
+    }
+    if (got->eof) {
+      conn.read_eof = true;
+      break;
+    }
+    if (got->would_block) break;
+    conn.read_buf.insert(conn.read_buf.end(), chunk, chunk + got->bytes);
+  }
+  ProcessBuffer(id);
+  MaybeFinishEof(id);
+  if (connections_.find(id) != connections_.end()) UpdateInterest(id);
+}
+
+void Reactor::ProcessBuffer(ConnId id) {
+  for (;;) {
+    auto it = connections_.find(id);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+    if (conn.awaiting_response || conn.closing || draining_) return;
+
+    const size_t available = conn.read_buf.size() - conn.read_off;
+    if (available < kHeaderBytes) break;
+    const uint8_t* base = conn.read_buf.data() + conn.read_off;
+    const auto header = DecodeHeader(base, options_.max_payload_bytes);
+    if (!header.ok()) {
+      // Framing is broken: the handler answers once and closes; either
+      // way nothing further is parsed from this byte stream. `closing` is
+      // set BEFORE the callback — the handler's error answer re-enters
+      // ProcessBuffer through SendResponse, and without the flag that
+      // re-entry would parse the same bad bytes again, recursing forever.
+      conn.closing = true;
+      events_->OnMalformed(id, header.status());
+      return;
+    }
+    if (available < kHeaderBytes + header->payload_len) break;
+
+    std::vector<uint8_t> payload(base + kHeaderBytes,
+                                 base + kHeaderBytes + header->payload_len);
+    conn.read_off += kHeaderBytes + header->payload_len;
+    if (conn.read_off == conn.read_buf.size()) {
+      conn.read_buf.clear();
+      conn.read_off = 0;
+    }
+    conn.awaiting_response = true;
+    conn.in_parse = true;
+    events_->OnFrame(id, *header, std::move(payload));
+    if (auto again = connections_.find(id); again != connections_.end()) {
+      again->second.in_parse = false;
+    }
+  }
+}
+
+void Reactor::MaybeFinishEof(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  if (!conn.read_eof || conn.awaiting_response) return;
+  if (conn.closing) {
+    // Already on the way out; Destroy once the write buffer drains.
+    if (conn.write_off >= conn.write_buf.size()) Destroy(id);
+    return;
+  }
+  // Parsing can make no more progress: whatever trails is either the
+  // normal between-frames hangup (< header) or a truncated frame.
+  const size_t leftover = conn.read_buf.size() - conn.read_off;
+  events_->OnDisconnect(id, /*mid_frame=*/leftover >= kHeaderBytes);
+  Destroy(id);
+}
+
+void Reactor::SendResponse(ConnId conn, std::vector<uint8_t> frame) {
+  // A stale read routes through the command queue, which is always
+  // correct; inline dispatch is just the fast path for the loop thread
+  // answering its own handler (it always sees its own store).
+  if (std::this_thread::get_id() ==
+      loop_tid_.load(std::memory_order_relaxed)) {
+    SendResponseOnLoop(conn, std::move(frame));
+    return;
+  }
+  Command command;
+  command.kind = Command::Kind::kSend;
+  command.conn = conn;
+  command.frame = std::move(frame);
+  EnqueueCommand(std::move(command), /*blocking=*/false);
+}
+
+void Reactor::SendResponseOnLoop(ConnId id, std::vector<uint8_t> frame) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;  // client gone; drop (best effort)
+  Connection& conn = it->second;
+  conn.write_buf.insert(conn.write_buf.end(), frame.begin(), frame.end());
+  conn.awaiting_response = false;
+  const bool was_in_parse = conn.in_parse;
+  if (!TryFlush(id)) return;  // destroyed
+  UpdateInterest(id);
+  if (!was_in_parse) {
+    // A completion from the batcher: resume parsing pipelined requests
+    // (when called from inside OnFrame the outer parse loop does this).
+    ProcessBuffer(id);
+    MaybeFinishEof(id);
+    if (connections_.find(id) != connections_.end()) UpdateInterest(id);
+  }
+}
+
+void Reactor::CloseAfterFlush(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  it->second.closing = true;
+  if (!TryFlush(id)) return;  // destroyed: everything already flushed
+  UpdateInterest(id);
+}
+
+bool Reactor::TryFlush(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return false;
+  Connection& conn = it->second;
+  while (conn.write_off < conn.write_buf.size()) {
+    const auto wrote = util::WriteNonBlocking(
+        conn.fd.get(), conn.write_buf.data() + conn.write_off,
+        conn.write_buf.size() - conn.write_off);
+    if (!wrote.ok()) {
+      // Peer hung up before reading its answer; the old server broke out
+      // of its connection loop the same way.
+      Destroy(id);
+      return false;
+    }
+    if (wrote->would_block) break;
+    conn.write_off += wrote->bytes;
+  }
+  if (conn.write_off >= conn.write_buf.size()) {
+    conn.write_buf.clear();
+    conn.write_off = 0;
+    if (conn.closing) {
+      Destroy(id);
+      return false;
+    }
+  }
+  return true;
+}
+
+void Reactor::UpdateInterest(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  uint32_t want = 0;
+  if (!conn.awaiting_response && !conn.closing && !conn.read_eof &&
+      !draining_) {
+    want |= util::kEpollIn;
+  }
+  if (conn.write_off < conn.write_buf.size()) want |= util::kEpollOut;
+  if (want == conn.interest) return;
+  if (util::EpollMod(epoll_fd_.get(), conn.fd.get(), want, id).ok()) {
+    conn.interest = want;
+  }
+}
+
+void Reactor::Destroy(ConnId id) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) return;
+  // Deregister before close so a pending event for this fd cannot alias a
+  // future connection reusing the descriptor (ids are never reused, but
+  // kernel fds are).
+  static_cast<void>(util::EpollDel(epoll_fd_.get(), it->second.fd.get()));
+  util::ShutdownBoth(it->second.fd.get());
+  connections_.erase(it);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Reactor::BeginDrain() {
+  if (!started_) return;
+  Command command;
+  command.kind = Command::Kind::kBeginDrain;
+  EnqueueCommand(std::move(command), /*blocking=*/true);
+}
+
+void Reactor::FinishDrain() {
+  if (!started_) return;
+  Command command;
+  command.kind = Command::Kind::kFinishDrain;
+  EnqueueCommand(std::move(command), /*blocking=*/true);
+}
+
+void Reactor::BeginDrainOnLoop() {
+  if (draining_) return;
+  draining_ = true;
+  if (listener_open_) {
+    static_cast<void>(util::EpollDel(epoll_fd_.get(), listen_fd_.get()));
+    listen_fd_.Reset();
+    listener_open_ = false;
+  }
+  // Half-close every connection's read side (the peer sees EOF for its
+  // next request) and drop the ones with nothing left to say. Buffered
+  // requests that were never parsed are dropped, exactly like the old
+  // server's ShutdownRead during drain.
+  std::vector<ConnId> idle;
+  for (auto& [id, conn] : connections_) {
+    util::ShutdownRead(conn.fd.get());
+    conn.closing = true;
+    if (!conn.awaiting_response && conn.write_off >= conn.write_buf.size()) {
+      idle.push_back(id);
+    }
+  }
+  for (const ConnId id : idle) Destroy(id);
+  std::vector<ConnId> remaining;
+  remaining.reserve(connections_.size());
+  for (const auto& entry : connections_) remaining.push_back(entry.first);
+  for (const ConnId id : remaining) UpdateInterest(id);
+}
+
+void Reactor::FinishDrainOnLoop() {
+  finish_requested_ = true;
+  // Every admitted request has been answered by now (the batcher drained
+  // before this command was enqueued), so anything still here is flushing
+  // its final bytes; the loop exits when the last one drains.
+  std::vector<ConnId> flushed;
+  for (auto& [id, conn] : connections_) {
+    if (conn.write_off >= conn.write_buf.size()) flushed.push_back(id);
+  }
+  for (const ConnId id : flushed) Destroy(id);
+}
+
+void Reactor::Join() {
+  if (thread_.joinable()) thread_.join();
+  joined_ = true;
+}
+
+}  // namespace vrec::server

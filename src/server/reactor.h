@@ -1,0 +1,204 @@
+#ifndef VREC_SERVER_REACTOR_H_
+#define VREC_SERVER_REACTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/net.h"
+#include "util/status.h"
+
+namespace vrec::server {
+
+/// Identifies one client connection for the lifetime of the reactor.
+/// Ids are never reused, so a completion that outlives its connection
+/// (client gone before the batch flushed) addresses nothing — the response
+/// is dropped instead of reaching a stranger.
+using ConnId = uint64_t;
+
+struct ReactorOptions {
+  uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
+  /// Connections above the cap are still accepted, but only to deliver one
+  /// backpressure answer (OnOverflow) before closing — the reactor itself
+  /// imposes no thread cost per connection, so the cap is load shedding,
+  /// not a resource limit.
+  size_t max_connections = 64;
+};
+
+/// Protocol callbacks, all invoked on the reactor thread. The handler owns
+/// every protocol decision (checksum verification, dispatch, error
+/// answers); the reactor owns framing, buffering and socket lifecycle.
+class ReactorEvents {
+ public:
+  virtual ~ReactorEvents() = default;
+
+  /// One complete frame (header decoded; payload NOT yet checksum-
+  /// verified). The reactor stops parsing this connection until
+  /// SendResponse(conn, ...) is called — one request in flight per
+  /// connection, which is exactly the old thread-per-connection pacing and
+  /// what keeps responses in request order. The response may be sent
+  /// synchronously from inside this call or later from any thread.
+  virtual void OnFrame(ConnId conn, const FrameHeader& header,
+                       std::vector<uint8_t> payload) = 0;
+
+  /// The byte stream cannot be framed any more (bad magic/version/
+  /// oversized length). The handler should SendResponse an error and
+  /// CloseAfterFlush; the reactor stops parsing the connection either way.
+  virtual void OnMalformed(ConnId conn, const Status& error) = 0;
+
+  /// The peer went away (EOF, reset) outside a request/response exchange.
+  /// `mid_frame` is true when a decoded header was left waiting for the
+  /// rest of its payload — a truncated frame, counted as malformed by the
+  /// handler. Partial headers (< kHeaderBytes trailing bytes) are NOT
+  /// mid-frame: that is how every client hangs up between requests.
+  virtual void OnDisconnect(ConnId conn, bool mid_frame) = 0;
+
+  /// Accepted beyond max_connections. The handler should SendResponse a
+  /// backpressure answer and CloseAfterFlush; no frames will be read.
+  virtual void OnOverflow(ConnId conn) = 0;
+};
+
+/// Single-threaded level-triggered epoll reactor: owns the listener and
+/// every client socket, does non-blocking framed reads/writes against
+/// per-connection buffers, and surfaces complete frames to a ReactorEvents
+/// handler. Responses produced on other threads (the micro-batcher worker)
+/// re-enter through a command queue + wake pipe, so no thread ever blocks
+/// on a socket.
+///
+/// Drain protocol (mirrors the thread-per-connection server):
+///   1. BeginDrain()  — stop accepting, half-close reads, stop parsing
+///                      buffered requests, close idle connections.
+///   2. (caller drains the batcher: every admitted request is answered,
+///      each answer lands in the command queue before Drain() returns)
+///   3. FinishDrain() — close each connection once its write buffer
+///                      flushes; the event loop exits when none remain.
+///   4. Join()
+/// BeginDrain/FinishDrain block until the loop has executed them, which
+/// with the FIFO command queue guarantees every queued response is written
+/// (or owned by a connection's write buffer) before FinishDrain acts.
+class Reactor {
+ public:
+  /// `listen_fd` must already be listening; the reactor puts it in
+  /// non-blocking mode. `events` must outlive the reactor.
+  Reactor(util::UniqueFd listen_fd, const ReactorOptions& options,
+          ReactorEvents* events);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Creates the epoll instance and starts the event-loop thread.
+  [[nodiscard]]
+  Status Start();
+
+  /// Queues one encoded frame for `conn` and resumes parsing its buffered
+  /// requests. Thread-safe; called on the reactor thread it runs inline,
+  /// otherwise it goes through the command queue. A response for a
+  /// connection that no longer exists is dropped (the old server's
+  /// best-effort write to a hung-up peer).
+  void SendResponse(ConnId conn, std::vector<uint8_t> frame);
+
+  /// Marks `conn` to be closed once its write buffer drains; no further
+  /// frames are parsed from it. Reactor thread only (i.e. from handlers).
+  void CloseAfterFlush(ConnId conn);
+
+  /// See the drain protocol above. Both block until the loop obeyed.
+  void BeginDrain();
+  void FinishDrain();
+
+  /// Joins the event-loop thread (it exits after FinishDrain() once every
+  /// connection is gone).
+  void Join();
+
+  /// Live connection gauge (includes connections draining their last
+  /// response).
+  size_t open_connections() const {
+    return open_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    util::UniqueFd fd;
+    std::vector<uint8_t> read_buf;   // bytes received, not yet consumed
+    size_t read_off = 0;             // consumed prefix of read_buf
+    std::vector<uint8_t> write_buf;  // encoded frames awaiting the socket
+    size_t write_off = 0;            // flushed prefix of write_buf
+    bool awaiting_response = false;  // frame delivered, answer outstanding
+    bool closing = false;            // close once write_buf drains
+    bool read_eof = false;           // peer half-closed; buffer may remain
+    bool in_parse = false;           // ProcessBuffer frame on the stack
+    uint32_t interest = 0;           // kEpoll* mask currently registered
+  };
+
+  /// Signaled once a blocking command has been executed by the loop.
+  struct CommandDone {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+  };
+
+  struct Command {
+    enum class Kind { kSend, kBeginDrain, kFinishDrain };
+    Kind kind = Kind::kSend;
+    ConnId conn = 0;
+    std::vector<uint8_t> frame;
+    std::shared_ptr<CommandDone> signal;  // non-null for drain commands
+  };
+
+  void Loop();
+  void RunCommands();
+  void EnqueueCommand(Command command, bool blocking);
+  void HandleAccept();
+  void HandleReadable(ConnId id);
+  /// Frames as much of the read buffer as the protocol allows (stops on
+  /// awaiting_response / closing / drain).
+  void ProcessBuffer(ConnId id);
+  /// After EOF, once parsing can make no more progress: fires OnDisconnect
+  /// and destroys the connection.
+  void MaybeFinishEof(ConnId id);
+  void SendResponseOnLoop(ConnId id, std::vector<uint8_t> frame);
+  /// Writes until the socket would block. Returns false when the
+  /// connection was destroyed (write error, or closing and fully flushed).
+  bool TryFlush(ConnId id);
+  void UpdateInterest(ConnId id);
+  void Destroy(ConnId id);
+  void BeginDrainOnLoop();
+  void FinishDrainOnLoop();
+
+  util::UniqueFd listen_fd_;
+  const ReactorOptions options_;
+  ReactorEvents* const events_;
+
+  util::UniqueFd epoll_fd_;
+  util::UniqueFd wake_rd_;
+  util::UniqueFd wake_wr_;
+
+  std::thread thread_;
+  std::atomic<std::thread::id> loop_tid_{};
+  bool started_ = false;
+  bool joined_ = false;
+
+  std::mutex commands_mutex_;
+  std::deque<Command> commands_;
+
+  // Loop-thread state (no locking: only the event loop touches it).
+  std::unordered_map<ConnId, Connection> connections_;
+  ConnId next_conn_id_ = 2;  // 0 tags the listener, 1 the wake pipe
+  bool draining_ = false;
+  bool finish_requested_ = false;
+  bool listener_open_ = false;
+
+  std::atomic<size_t> open_connections_{0};
+};
+
+}  // namespace vrec::server
+
+#endif  // VREC_SERVER_REACTOR_H_

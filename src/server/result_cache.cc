@@ -1,0 +1,89 @@
+#include "server/result_cache.h"
+
+#include <utility>
+
+namespace vrec::server {
+
+std::optional<std::vector<uint8_t>> ResultCache::Lookup(int64_t video, int k,
+                                                        uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{video, k};
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  if (it->second->generation != generation) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++counters_.invalidated;
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++counters_.hits;
+  return it->second->frame;
+}
+
+void ResultCache::Insert(int64_t video, int k, uint64_t generation,
+                         std::vector<uint8_t> frame) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Key key{video, k};
+  if (const auto it = index_.find(key); it != index_.end()) {
+    it->second->generation = generation;
+    it->second->frame = std::move(frame);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  lru_.push_front(Entry{key, generation, std::move(frame)});
+  index_[key] = lru_.begin();
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+namespace {
+
+void FnvMix(uint64_t* h, uint64_t value) {
+  *h ^= value;
+  *h *= 1099511628211ULL;  // FNV-1a 64-bit prime
+}
+
+void FnvMixDouble(uint64_t* h, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  __builtin_memcpy(&bits, &value, sizeof(bits));
+  FnvMix(h, bits);
+}
+
+}  // namespace
+
+uint64_t OptionsFingerprint(const core::RecommenderOptions& options) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a 64-bit offset basis
+  FnvMixDouble(&h, options.omega);
+  FnvMix(&h, static_cast<uint64_t>(options.fusion_rule));
+  FnvMix(&h, static_cast<uint64_t>(options.k_subcommunities));
+  FnvMix(&h, static_cast<uint64_t>(options.social_mode));
+  FnvMix(&h, options.use_content ? 1 : 0);
+  FnvMix(&h, static_cast<uint64_t>(options.content_measure));
+  FnvMix(&h, options.use_lsb_index ? 1 : 0);
+  FnvMix(&h, static_cast<uint64_t>(options.lsb_probes));
+  FnvMix(&h, static_cast<uint64_t>(options.max_candidates));
+  FnvMixDouble(&h, options.kappa.match_threshold);
+  return h;
+}
+
+}  // namespace vrec::server

@@ -62,24 +62,29 @@ Status RecommendServer::Start() {
   auto listen = util::ListenTcp(static_cast<uint16_t>(options_.port),
                                 options_.backlog);
   if (!listen.ok()) return listen.status();
-  listen_fd_ = std::move(*listen);
-  const auto port = util::BoundPort(listen_fd_.get());
+  const auto port = util::BoundPort(listen->get());
   if (!port.ok()) return port.status();
   port_ = *port;
-
-  auto wake = util::MakeWakePipe();
-  if (!wake.ok()) return wake.status();
-  accept_wake_rd_ = std::move(wake->first);
-  accept_wake_wr_ = std::move(wake->second);
 
   batcher_ = std::make_unique<MicroBatcher>(
       options_.batcher,
       [this](std::vector<BatchJob>&& jobs, FlushReason reason) {
         FlushBatch(std::move(jobs), reason);
       });
+  if (options_.result_cache_capacity > 0) {
+    cache_ = std::make_unique<ResultCache>(options_.result_cache_capacity);
+  }
+
+  ReactorOptions reactor_options;
+  reactor_options.max_payload_bytes = options_.max_payload_bytes;
+  reactor_options.max_connections = options_.max_connections;
+  // The upcast is spelled here because the base is private: only members
+  // may convert, and make_unique's internals are not one.
+  reactor_ = std::make_unique<Reactor>(std::move(*listen), reactor_options,
+                                       static_cast<ReactorEvents*>(this));
+  if (const Status s = reactor_->Start(); !s.ok()) return s;
 
   running_.store(true, std::memory_order_release);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
 }
 
@@ -128,28 +133,23 @@ void RecommendServer::Shutdown() {
 void RecommendServer::DoShutdown() {
   running_.store(false, std::memory_order_release);
   if (started_.load()) {
-    // 1. Stop accepting: wake the accept loop and join it, so no new
-    //    connection threads can appear below.
-    if (accept_wake_wr_.valid()) util::SignalWake(accept_wake_wr_.get());
-    if (accept_thread_.joinable()) accept_thread_.join();
-    listen_fd_.Reset();
+    // 1. Stop accepting and parsing: the reactor closes the listener,
+    //    half-closes every connection's read side (the peer sees EOF for
+    //    its next request) and drops idle connections.
+    if (reactor_ != nullptr) reactor_->BeginDrain();
 
-    // 2. Stop reading new frames on live connections (half-close; queued
-    //    responses still go out the write side).
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      for (const auto& conn : connections_) {
-        if (conn->fd.valid()) util::ShutdownRead(conn->fd.get());
-      }
-    }
-
-    // 3. Flush: every admitted request is answered (in-flight batches
-    //    complete, queued jobs are flushed in max_batch chunks).
+    // 2. Flush: every admitted request is answered (in-flight batches
+    //    complete, queued jobs are flushed in max_batch chunks). Each
+    //    answer lands in the reactor's FIFO command queue before Drain()
+    //    returns.
     if (batcher_ != nullptr) batcher_->Drain();
 
-    // 4. Connection threads observe EOF after writing their last
-    //    response; join them all.
-    ReapConnections(/*all=*/true);
+    // 3. The reactor writes out the queued answers, closes each
+    //    connection as its buffer drains, and its loop exits.
+    if (reactor_ != nullptr) {
+      reactor_->FinishDrain();
+      reactor_->Join();
+    }
   }
 
   if (signal_drain_enabled_) {
@@ -175,189 +175,130 @@ void RecommendServer::WaitUntilStopped() {
   stopped_cv_.wait(lock, [this] { return stopped_; });
 }
 
-size_t RecommendServer::ReapConnections(bool all) {
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  size_t live = 0;
-  auto it = connections_.begin();
-  while (it != connections_.end()) {
-    Connection* conn = it->get();
-    if (all || conn->done.load(std::memory_order_acquire)) {
-      if (conn->thread.joinable()) conn->thread.join();
-      it = connections_.erase(it);
-    } else {
-      ++live;
-      ++it;
-    }
-  }
-  return live;
-}
-
 void RecommendServer::CountMalformed() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ++rejected_malformed_;
 }
 
-void RecommendServer::AcceptLoop() {
-  for (;;) {
-    auto conn_fd =
-        util::AcceptWithWake(listen_fd_.get(), accept_wake_rd_.get());
-    if (!conn_fd.ok()) return;     // listener broke; drain still works
-    if (!conn_fd->valid()) return; // woken: shutdown requested
-
-    const size_t live = ReapConnections(/*all=*/false);
-    if (live >= options_.max_connections) {
-      // Explicit backpressure at the connection level: answer, then close.
-      QueryResponse response;
-      response.status =
-          Status::ResourceExhausted("connection limit reached");
-      const auto frame = EncodeFrame(MessageType::kQueryResponse,
-                                     EncodeQueryResponse(response));
-      const Status written =
-          util::WriteFull(conn_fd->get(), frame.data(), frame.size());
-      static_cast<void>(written.ok());  // best effort on an overload path
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++rejected_overload_;
-      continue;
-    }
-
-    auto conn = std::make_unique<Connection>();
-    conn->fd = std::move(*conn_fd);
-    Connection* raw = conn.get();
-    {
-      std::lock_guard<std::mutex> lock(connections_mutex_);
-      connections_.push_back(std::move(conn));
-    }
-    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
-  }
-}
-
-void RecommendServer::ServeConnection(Connection* conn) {
-  const int fd = conn->fd.get();
-  const auto respond = [fd](MessageType type,
-                            const std::vector<uint8_t>& payload) {
-    const auto frame = EncodeFrame(type, payload);
-    return util::WriteFull(fd, frame.data(), frame.size());
-  };
-  const auto respond_error = [&respond](const Status& status) {
-    QueryResponse response;
-    response.status = status;
-    const Status written = respond(MessageType::kQueryResponse,
-                                   EncodeQueryResponse(response));
-    static_cast<void>(written.ok());  // the connection closes either way
-  };
-
-  for (;;) {
-    uint8_t header_buf[kHeaderBytes];
-    const auto got =
-        util::ReadFullOrEof(fd, header_buf, sizeof(header_buf));
-    if (!got.ok() || !*got) break;  // peer closed (or drain half-close)
-
-    const auto header =
-        DecodeHeader(header_buf, options_.max_payload_bytes);
-    if (!header.ok()) {
-      // Framing is broken (bad magic/version/oversized length): after
-      // this point the byte stream cannot be trusted, so answer once and
-      // close rather than resynchronize heuristically.
-      CountMalformed();
-      respond_error(header.status());
-      break;
-    }
-    std::vector<uint8_t> payload(header->payload_len);
-    if (header->payload_len > 0) {
-      if (const Status s = util::ReadFull(fd, payload.data(),
-                                          payload.size());
-          !s.ok()) {
-        CountMalformed();  // truncated mid-frame; no response possible
-        break;
-      }
-    }
-    if (const Status s = VerifyPayload(*header, payload); !s.ok()) {
-      CountMalformed();
-      respond_error(s);
-      break;
-    }
-
-    Status written = Status::Ok();
-    switch (header->type) {
-      case MessageType::kQueryRequest:
-        written =
-            respond(MessageType::kQueryResponse, HandleQuery(payload));
-        break;
-      case MessageType::kQueryByIdRequest:
-        written = respond(MessageType::kQueryResponse,
-                          HandleQueryById(payload));
-        break;
-      case MessageType::kStatsRequest:
-        written =
-            respond(MessageType::kStatsResponse, EncodeServerStats(stats()));
-        break;
-      default:
-        // A response type sent by a client is a protocol violation.
-        CountMalformed();
-        respond_error(
-            Status::InvalidArgument("unexpected message type from client"));
-        written = Status::FailedPrecondition("closing");
-        break;
-    }
-    if (!written.ok()) break;
-  }
-  // The peer must see EOF now, not when the accept loop gets around to
-  // reaping this connection (which may be never, if no further client
-  // connects).
-  util::ShutdownBoth(fd);
-  conn->done.store(true, std::memory_order_release);
-}
-
-std::vector<uint8_t> RecommendServer::HandleQuery(
-    const std::vector<uint8_t>& payload) {
-  auto request = DecodeQueryRequest(payload);
-  if (!request.ok()) {
-    // The frame was intact (checksum passed) but the body is not a valid
-    // query: an application-level error, the connection stays usable.
-    CountMalformed();
-    QueryResponse response;
-    response.status = request.status();
-    return EncodeQueryResponse(response);
-  }
-  core::BatchQuery query;
-  query.series = std::move(request->series);
-  query.descriptor = std::move(request->descriptor);
-  query.exclude = request->exclude;
-  return EncodeQueryResponse(
-      AdmitAndWait(std::move(query), request->k, request->deadline_ms));
-}
-
-std::vector<uint8_t> RecommendServer::HandleQueryById(
-    const std::vector<uint8_t>& payload) {
-  const auto request = DecodeQueryByIdRequest(payload);
-  if (!request.ok()) {
-    CountMalformed();
-    QueryResponse response;
-    response.status = request.status();
-    return EncodeQueryResponse(response);
-  }
-  const auto* series = recommender_->SeriesOf(request->video);
-  const auto* descriptor = recommender_->DescriptorOf(request->video);
-  if (series == nullptr || descriptor == nullptr) {
-    QueryResponse response;
-    response.status = Status::NotFound("unknown video id");
-    return EncodeQueryResponse(response);
-  }
-  core::BatchQuery query;
-  query.series = *series;
-  query.descriptor = *descriptor;
-  query.exclude = request->video;
-  return EncodeQueryResponse(
-      AdmitAndWait(std::move(query), request->k, request->deadline_ms));
-}
-
-QueryResponse RecommendServer::AdmitAndWait(core::BatchQuery query,
-                                            int32_t k,
-                                            uint32_t deadline_ms) {
+void RecommendServer::SendError(ConnId conn, const Status& status) {
   QueryResponse response;
+  response.status = status;
+  reactor_->SendResponse(conn, EncodeFrame(MessageType::kQueryResponse,
+                                           EncodeQueryResponse(response)));
+}
+
+void RecommendServer::OnMalformed(ConnId conn, const Status& error) {
+  // Framing is broken (bad magic/version/oversized length): after this
+  // point the byte stream cannot be trusted, so answer once and close
+  // rather than resynchronize heuristically.
+  CountMalformed();
+  SendError(conn, error);
+  reactor_->CloseAfterFlush(conn);
+}
+
+void RecommendServer::OnDisconnect(ConnId /*conn*/, bool mid_frame) {
+  // A peer that hung up mid-frame (decoded header, truncated payload)
+  // counts as malformed — same accounting as the blocking server's
+  // truncated ReadFull. A between-frames hangup is just a client leaving.
+  if (mid_frame) CountMalformed();
+}
+
+void RecommendServer::OnOverflow(ConnId conn) {
+  // Explicit backpressure at the connection level: answer, then close.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++rejected_overload_;
+  }
+  SendError(conn, Status::ResourceExhausted("connection limit reached"));
+  reactor_->CloseAfterFlush(conn);
+}
+
+void RecommendServer::OnFrame(ConnId conn, const FrameHeader& header,
+                              std::vector<uint8_t> payload) {
+  if (const Status s = VerifyPayload(header, payload); !s.ok()) {
+    CountMalformed();
+    SendError(conn, s);
+    reactor_->CloseAfterFlush(conn);
+    return;
+  }
+
+  switch (header.type) {
+    case MessageType::kStatsRequest:
+      reactor_->SendResponse(
+          conn,
+          EncodeFrame(MessageType::kStatsResponse,
+                      EncodeServerStats(stats())));
+      return;
+
+    case MessageType::kQueryRequest: {
+      auto request = DecodeQueryRequest(payload);
+      if (!request.ok()) {
+        // The frame was intact (checksum passed) but the body is not a
+        // valid query: an application-level error, the connection stays
+        // usable.
+        CountMalformed();
+        SendError(conn, request.status());
+        return;
+      }
+      core::BatchQuery query;
+      query.series = std::move(request->series);
+      query.descriptor = std::move(request->descriptor);
+      query.exclude = request->exclude;
+      AdmitQuery(conn, std::move(query), request->k, request->deadline_ms,
+                 /*cacheable=*/false, /*video=*/-1, /*generation=*/0);
+      return;
+    }
+
+    case MessageType::kQueryByIdRequest: {
+      const auto request = DecodeQueryByIdRequest(payload);
+      if (!request.ok()) {
+        CountMalformed();
+        SendError(conn, request.status());
+        return;
+      }
+      const uint64_t generation = recommender_->generation();
+      if (cache_ != nullptr) {
+        if (auto hit =
+                cache_->Lookup(request->video, request->k, generation)) {
+          // Replay the miss's exact response frame: bit-for-bit identical,
+          // no batcher involvement (not accepted, not completed).
+          reactor_->SendResponse(conn, std::move(*hit));
+          return;
+        }
+      }
+      const auto* series = recommender_->SeriesOf(request->video);
+      const auto* descriptor = recommender_->DescriptorOf(request->video);
+      if (series == nullptr || descriptor == nullptr) {
+        SendError(conn, Status::NotFound("unknown video id"));
+        return;
+      }
+      core::BatchQuery query;
+      query.series = *series;
+      query.descriptor = *descriptor;
+      query.exclude = request->video;
+      AdmitQuery(conn, std::move(query), request->k, request->deadline_ms,
+                 /*cacheable=*/cache_ != nullptr, request->video,
+                 generation);
+      return;
+    }
+
+    default:
+      // A response type sent by a client is a protocol violation.
+      CountMalformed();
+      SendError(conn,
+                Status::InvalidArgument("unexpected message type from client"));
+      reactor_->CloseAfterFlush(conn);
+      return;
+  }
+}
+
+void RecommendServer::AdmitQuery(ConnId conn, core::BatchQuery query,
+                                 int32_t k, uint32_t deadline_ms,
+                                 bool cacheable, int64_t video,
+                                 uint64_t generation) {
   if (k < 1) {
-    response.status = Status::InvalidArgument("k must be >= 1");
-    return response;
+    SendError(conn, Status::InvalidArgument("k must be >= 1"));
+    return;
   }
   BatchJob job;
   job.query = std::move(query);
@@ -366,33 +307,44 @@ QueryResponse RecommendServer::AdmitAndWait(core::BatchQuery query,
     job.deadline = std::chrono::steady_clock::now() +
                    std::chrono::milliseconds(deadline_ms);
   }
-  job.response = std::make_shared<PendingResponse>();
-  const auto pending = job.response;
+  job.tag = conn;
 
-  // Admission is counted before Submit: the batcher worker can flush the
-  // job before Submit even returns, and a concurrent stats() must never
-  // observe completed > accepted (the accepted == completed + expired
-  // invariant). An extra accepted_ during a failed Submit just looks like
-  // an in-flight request, which is the benign direction.
+  // The context goes in before Submit: the batcher worker can flush the
+  // job (and look the context up) before Submit even returns.
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    pending_[conn] = PendingQuery{cacheable, video, k, generation};
+  }
+  // Admission is counted before Submit for the same reason: a concurrent
+  // stats() must never observe completed > accepted (the accepted ==
+  // completed + expired invariant). An extra accepted_ during a failed
+  // Submit just looks like an in-flight request, the benign direction.
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++accepted_;
   }
   const Status admitted = batcher_->Submit(std::move(job));
   if (!admitted.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    --accepted_;
-    if (admitted.code() == Status::Code::kResourceExhausted) {
-      ++rejected_overload_;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      --accepted_;
+      if (admitted.code() == Status::Code::kResourceExhausted) {
+        ++rejected_overload_;
+      }
     }
-    response.status = admitted;
-    return response;
+    static_cast<void>(TakePending(conn));
+    SendError(conn, admitted);  // backpressure: the connection stays usable
   }
-  core::BatchResult result = pending->Take();
-  response.status = std::move(result.status);
-  response.results = std::move(result.results);
-  response.timing = result.timing;
-  return response;
+}
+
+std::optional<RecommendServer::PendingQuery> RecommendServer::TakePending(
+    ConnId conn) {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  const auto it = pending_.find(conn);
+  if (it == pending_.end()) return std::nullopt;
+  PendingQuery out = it->second;
+  pending_.erase(it);
+  return out;
 }
 
 void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
@@ -407,16 +359,19 @@ void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
   live.reserve(jobs.size());
   for (auto& job : jobs) {
     if (job.deadline < now) {
-      core::BatchResult result;
-      result.status =
-          Status::DeadlineExceeded("deadline expired in the admission queue");
       {
-        // Counted before Complete(), like completed_: once a client holds
-        // its answer, a stats() read must already reflect it.
+        // Counted before the response is queued, like completed_: once a
+        // client holds its answer, a stats() read must already reflect it.
         std::lock_guard<std::mutex> lock(stats_mutex_);
         ++expired_deadline_;
       }
-      job.response->Complete(std::move(result));
+      static_cast<void>(TakePending(job.tag));
+      QueryResponse response;
+      response.status =
+          Status::DeadlineExceeded("deadline expired in the admission queue");
+      reactor_->SendResponse(
+          job.tag, EncodeFrame(MessageType::kQueryResponse,
+                               EncodeQueryResponse(response)));
       continue;
     }
     queries.push_back(std::move(job.query));
@@ -432,17 +387,24 @@ void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++completed_;
-      timing_totals_.social_ms += results[i].timing.social_ms;
-      timing_totals_.content_ms += results[i].timing.content_ms;
-      timing_totals_.refine_ms += results[i].timing.refine_ms;
-      timing_totals_.total_ms += results[i].timing.total_ms;
-      timing_totals_.candidates += results[i].timing.candidates;
-      timing_totals_.emd_calls += results[i].timing.emd_calls;
-      timing_totals_.pairs_pruned += results[i].timing.pairs_pruned;
-      timing_totals_.candidates_pruned +=
-          results[i].timing.candidates_pruned;
+      // Field-wise accumulation so every QueryTiming counter — including
+      // the social fast-path ones — reaches the stats verb.
+      timing_totals_ += results[i].timing;
     }
-    live[i]->response->Complete(std::move(results[i]));
+    QueryResponse response;
+    response.timing = results[i].timing;
+    response.status = std::move(results[i].status);
+    response.results = std::move(results[i].results);
+    const bool answered_ok = response.status.ok();
+    auto frame = EncodeFrame(MessageType::kQueryResponse,
+                             EncodeQueryResponse(response));
+    const auto ctx = TakePending(live[i]->tag);
+    if (answered_ok && ctx.has_value() && ctx->cacheable &&
+        cache_ != nullptr &&
+        recommender_->generation() == ctx->generation) {
+      cache_->Insert(ctx->video, ctx->k, ctx->generation, frame);
+    }
+    reactor_->SendResponse(live[i]->tag, std::move(frame));
   }
 }
 
@@ -461,6 +423,16 @@ ServerStats RecommendServer::stats() const {
     out.batches_full = batcher_->batches_full();
     out.batches_timer = batcher_->batches_timer();
     out.batch_size_histogram = batcher_->batch_size_histogram();
+  }
+  if (cache_ != nullptr) {
+    const ResultCache::Counters counters = cache_->counters();
+    out.cache_hits = counters.hits;
+    out.cache_misses = counters.misses;
+    out.cache_evictions = counters.evictions;
+    out.cache_invalidated = counters.invalidated;
+  }
+  if (reactor_ != nullptr) {
+    out.open_connections = reactor_->open_connections();
   }
   return out;
 }

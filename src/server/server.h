@@ -6,11 +6,15 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "core/recommender.h"
 #include "server/batcher.h"
+#include "server/reactor.h"
+#include "server/result_cache.h"
 #include "server/wire.h"
 #include "util/net.h"
 #include "util/status.h"
@@ -26,10 +30,17 @@ struct ServerOptions {
   /// Frames whose length field exceeds this are rejected at header decode,
   /// before any allocation.
   uint32_t max_payload_bytes = kDefaultMaxPayloadBytes;
-  /// Connection slots (one blocking handler thread each). A connection
-  /// accepted beyond this is answered with kResourceExhausted and closed —
-  /// the same explicit-backpressure contract as the admission queue.
+  /// Serviced-connection cap. The epoll reactor costs no thread per
+  /// connection, so this is load shedding, not a resource limit: a
+  /// connection accepted beyond it is answered with kResourceExhausted and
+  /// closed — the same explicit-backpressure contract as the admission
+  /// queue. Idle connections below the cap cost one fd + two buffers.
   size_t max_connections = 64;
+  /// Entries in the by-id result cache (0 disables it). A hit replays the
+  /// exact response frame of the original miss — bit-for-bit — without
+  /// touching the batcher, so hits do not count as accepted/completed;
+  /// they surface in the cache_* stats counters instead.
+  size_t result_cache_capacity = 0;
   BatcherOptions batcher;
 };
 
@@ -38,9 +49,13 @@ struct ServerOptions {
 [[nodiscard]]
 Status ValidateServerOptions(const ServerOptions& options);
 
-/// The online serving front end: a POSIX-socket TCP server speaking the
-/// wire.h protocol, fronted by a dynamic micro-batcher that coalesces
-/// concurrently arriving queries into Recommender::RecommendBatch calls.
+/// The online serving front end: a single-threaded epoll reactor speaking
+/// the wire.h protocol, an optional LRU result cache for by-id queries,
+/// and a dynamic micro-batcher that coalesces concurrently arriving
+/// queries into Recommender::RecommendBatch calls. Completions flow back
+/// to the reactor through its wake pipe, so the only threads are the
+/// reactor and the batcher worker — concurrency no longer caps at a
+/// thread count.
 ///
 /// Lifecycle: construct over a *finalized* Recommender, Start(), serve,
 /// then Shutdown() — which drains gracefully: stop accepting, answer every
@@ -48,19 +63,21 @@ Status ValidateServerOptions(const ServerOptions& options);
 /// SIGTERM can be wired to the same drain with EnableSignalDrain().
 ///
 /// The recommender must outlive the server and must not be mutated
-/// (ApplySocialUpdate/RemoveVideo) while the server runs — the same
-/// exclusivity contract as any concurrent Recommend*() caller.
-class RecommendServer {
+/// (ApplySocialUpdate/RemoveVideo) while queries are in flight — the same
+/// exclusivity contract as any concurrent Recommend*() caller. A mutation
+/// between quiescent periods bumps the recommender's generation counter,
+/// which invalidates affected cache entries on their next lookup.
+class RecommendServer final : private ReactorEvents {
  public:
   RecommendServer(const core::Recommender* recommender,
                   ServerOptions options);
   /// Shuts down (gracefully) if still running.
-  ~RecommendServer();
+  ~RecommendServer() override;
 
   RecommendServer(const RecommendServer&) = delete;
   RecommendServer& operator=(const RecommendServer&) = delete;
 
-  /// Validates options, binds the listen socket and spawns the accept and
+  /// Validates options, binds the listen socket and spawns the reactor and
   /// batcher threads. Call once.
   [[nodiscard]]
   Status Start();
@@ -90,42 +107,54 @@ class RecommendServer {
   ServerStats stats() const;
 
  private:
-  struct Connection {
-    util::UniqueFd fd;
-    std::thread thread;
-    std::atomic<bool> done{false};
+  /// Where a by-id answer should be cached, captured at lookup-miss time
+  /// (one in-flight request per connection makes ConnId a valid key, and
+  /// the reactor never reuses ids).
+  struct PendingQuery {
+    bool cacheable = false;
+    int64_t video = -1;
+    int32_t k = 0;
+    /// Recommender generation at the cache miss. The insert re-checks it:
+    /// if the corpus mutated while the query was in flight, the result is
+    /// not cached (stamping the newer generation would launder a stale
+    /// result into a fresh-looking entry).
+    uint64_t generation = 0;
   };
 
-  void AcceptLoop();
-  void ServeConnection(Connection* conn);
-  /// Decodes + admits one query request; blocks until it is answered.
-  /// Returns the response frame to write.
-  std::vector<uint8_t> HandleQuery(const std::vector<uint8_t>& payload);
-  std::vector<uint8_t> HandleQueryById(const std::vector<uint8_t>& payload);
-  /// Admits a fully-built query; blocks until answered.
-  QueryResponse AdmitAndWait(core::BatchQuery query, int32_t k,
-                             uint32_t deadline_ms);
+  // ReactorEvents (all on the reactor thread).
+  void OnFrame(ConnId conn, const FrameHeader& header,
+               std::vector<uint8_t> payload) override;
+  void OnMalformed(ConnId conn, const Status& error) override;
+  void OnDisconnect(ConnId conn, bool mid_frame) override;
+  void OnOverflow(ConnId conn) override;
+
+  /// Encodes a status-only QueryResponse and queues it for `conn`.
+  void SendError(ConnId conn, const Status& status);
+  /// Validates k, records the pending-query context and submits to the
+  /// batcher; answers backpressure/drain rejections inline.
+  void AdmitQuery(ConnId conn, core::BatchQuery query, int32_t k,
+                  uint32_t deadline_ms, bool cacheable, int64_t video,
+                  uint64_t generation);
+  std::optional<PendingQuery> TakePending(ConnId conn);
   void FlushBatch(std::vector<BatchJob>&& jobs, FlushReason reason);
   void DoShutdown();
-  /// Joins/reaps finished connection threads; with `all` also joins the
-  /// live ones (drain path). Returns the number still live.
-  size_t ReapConnections(bool all);
   void CountMalformed();
 
   const core::Recommender* const recommender_;
   const ServerOptions options_;
 
-  util::UniqueFd listen_fd_;
-  util::UniqueFd accept_wake_rd_, accept_wake_wr_;
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::atomic<bool> started_{false};
 
   std::unique_ptr<MicroBatcher> batcher_;
-  std::thread accept_thread_;
+  std::unique_ptr<ResultCache> cache_;  // null when capacity is 0
+  std::unique_ptr<Reactor> reactor_;
 
-  std::mutex connections_mutex_;
-  std::vector<std::unique_ptr<Connection>> connections_;
+  /// In-flight by-id context, keyed by connection. Written by the reactor
+  /// thread at admission, consumed by the batcher worker at completion.
+  std::mutex pending_mutex_;
+  std::unordered_map<uint64_t, PendingQuery> pending_;
 
   mutable std::mutex stats_mutex_;
   uint64_t accepted_ = 0;

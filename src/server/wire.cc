@@ -60,6 +60,15 @@ Status ReadStatus(io::BinaryReader* r, Status* out) {
   return Status::Ok();
 }
 
+// Compile-time tripwire for the codec below: adding a QueryTiming field
+// changes the struct size, and whoever does it must extend WriteTiming,
+// ReadTiming, the wire_test.cc exhaustive round-trip, and the protocol
+// table in docs/serving.md (then update this expected size).
+static_assert(sizeof(core::QueryTiming) ==
+                  4 * sizeof(double) + 7 * sizeof(size_t),
+              "QueryTiming gained or lost a field: update WriteTiming/"
+              "ReadTiming, wire_test.cc, and docs/serving.md");
+
 void WriteTiming(io::BinaryWriter* w, const core::QueryTiming& t) {
   w->WriteDouble(t.social_ms);
   w->WriteDouble(t.content_ms);
@@ -69,6 +78,9 @@ void WriteTiming(io::BinaryWriter* w, const core::QueryTiming& t) {
   w->WriteU64(t.emd_calls);
   w->WriteU64(t.pairs_pruned);
   w->WriteU64(t.candidates_pruned);
+  w->WriteU64(t.jaccard_calls);
+  w->WriteU64(t.social_candidates_skipped);
+  w->WriteU64(t.exact_social_pruned);
 }
 
 StatusOr<core::QueryTiming> ReadTiming(io::BinaryReader* r) {
@@ -97,6 +109,15 @@ StatusOr<core::QueryTiming> ReadTiming(io::BinaryReader* r) {
   const auto cands = r->ReadU64();
   if (!cands.ok()) return cands.status();
   t.candidates_pruned = static_cast<size_t>(*cands);
+  const auto jaccard = r->ReadU64();
+  if (!jaccard.ok()) return jaccard.status();
+  t.jaccard_calls = static_cast<size_t>(*jaccard);
+  const auto skipped = r->ReadU64();
+  if (!skipped.ok()) return skipped.status();
+  t.social_candidates_skipped = static_cast<size_t>(*skipped);
+  const auto pruned = r->ReadU64();
+  if (!pruned.ok()) return pruned.status();
+  t.exact_social_pruned = static_cast<size_t>(*pruned);
   return t;
 }
 
@@ -350,6 +371,11 @@ std::vector<uint8_t> EncodeServerStats(const ServerStats& stats) {
   w.WriteU64(stats.completed);
   w.WriteU64(stats.batches_full);
   w.WriteU64(stats.batches_timer);
+  w.WriteU64(stats.cache_hits);
+  w.WriteU64(stats.cache_misses);
+  w.WriteU64(stats.cache_evictions);
+  w.WriteU64(stats.cache_invalidated);
+  w.WriteU64(stats.open_connections);
   w.WriteU32(static_cast<uint32_t>(stats.batch_size_histogram.size()));
   for (const uint64_t n : stats.batch_size_histogram) w.WriteU64(n);
   WriteTiming(&w, stats.timing_totals);
@@ -374,6 +400,11 @@ StatusOr<ServerStats> DecodeServerStats(
   if (const Status s = read_u64(&stats.completed); !s.ok()) return s;
   if (const Status s = read_u64(&stats.batches_full); !s.ok()) return s;
   if (const Status s = read_u64(&stats.batches_timer); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.cache_hits); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.cache_misses); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.cache_evictions); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.cache_invalidated); !s.ok()) return s;
+  if (const Status s = read_u64(&stats.open_connections); !s.ok()) return s;
   const auto hist_size = r.ReadU32();
   if (!hist_size.ok()) return hist_size.status();
   if (*hist_size > payload.size() / sizeof(uint64_t)) {

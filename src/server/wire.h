@@ -32,7 +32,10 @@ namespace vrec::server {
 /// every malformed input path returns a Status instead of crashing.
 
 inline constexpr uint32_t kWireMagic = 0x31535256;  // bytes 'V','R','S','1'
-inline constexpr uint8_t kWireVersion = 1;
+/// v2: QueryTiming grew the three social fast-path counters and
+/// ServerStats grew the result-cache counters + open_connections. Version
+/// mismatches are rejected at header decode (no cross-version reads).
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kHeaderBytes = 16;
 /// Default payload cap; oversized length fields are rejected at header
 /// decode, before any allocation.
@@ -109,6 +112,15 @@ struct ServerStats {
   uint64_t completed = 0;          // answered through RecommendBatch
   uint64_t batches_full = 0;       // flushes triggered by max_batch
   uint64_t batches_timer = 0;      // flushes triggered by max_delay_us
+  /// Result-cache counters (the by-id front end; all 0 with the cache
+  /// disabled). Hits are answered without touching the batcher, so they
+  /// are NOT part of accepted/completed.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;       // includes invalidated lookups
+  uint64_t cache_evictions = 0;    // LRU capacity-pressure removals
+  uint64_t cache_invalidated = 0;  // generation-mismatch removals
+  /// Live connection gauge at snapshot time (reactor front end).
+  uint64_t open_connections = 0;
   /// histogram[i] = number of flushed batches of size i+1.
   std::vector<uint64_t> batch_size_histogram;
   /// Element-wise sums of the per-query QueryTiming of completed requests.

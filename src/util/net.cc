@@ -7,8 +7,11 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+#include <vector>
 
 namespace vrec::util {
 namespace {
@@ -170,6 +173,134 @@ Status WriteFull(int fd, const void* buf, size_t len) {
     done += static_cast<size_t>(n);
   }
   return Status::Ok();
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<UniqueFd> AcceptNonBlocking(int listen_fd) {
+  for (;;) {
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return UniqueFd();
+      return Errno("accept");
+    }
+    UniqueFd fd(conn);
+    if (const Status s = SetNonBlocking(fd.get()); !s.ok()) return s;
+    const int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+  }
+}
+
+StatusOr<NbIoResult> ReadNonBlocking(int fd, void* buf, size_t len) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, len);
+    if (n > 0) {
+      NbIoResult r;
+      r.bytes = static_cast<size_t>(n);
+      return r;
+    }
+    if (n == 0) {
+      NbIoResult r;
+      r.eof = true;
+      return r;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      NbIoResult r;
+      r.would_block = true;
+      return r;
+    }
+    return Errno("read");
+  }
+}
+
+StatusOr<NbIoResult> WriteNonBlocking(int fd, const void* buf, size_t len) {
+  for (;;) {
+    // MSG_NOSIGNAL for the same reason as WriteFull: a hung-up peer must
+    // surface as a Status, never a process-killing SIGPIPE.
+    ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) n = ::write(fd, buf, len);
+    if (n >= 0) {
+      NbIoResult r;
+      r.bytes = static_cast<size_t>(n);
+      return r;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      NbIoResult r;
+      r.would_block = true;
+      return r;
+    }
+    return Errno("write");
+  }
+}
+
+static_assert(kEpollIn == EPOLLIN && kEpollOut == EPOLLOUT &&
+                  kEpollErr == EPOLLERR && kEpollHup == EPOLLHUP,
+              "kEpoll* constants must mirror <sys/epoll.h>");
+
+StatusOr<UniqueFd> EpollCreate() {
+  UniqueFd fd(::epoll_create1(EPOLL_CLOEXEC));
+  if (!fd.valid()) return Errno("epoll_create1");
+  return fd;
+}
+
+namespace {
+
+Status EpollCtl(int epoll_fd, int op, int fd, uint32_t events, uint64_t tag,
+                const char* what) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epoll_fd, op, fd, &ev) < 0) return Errno(what);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status EpollAdd(int epoll_fd, int fd, uint32_t events, uint64_t tag) {
+  return EpollCtl(epoll_fd, EPOLL_CTL_ADD, fd, events, tag,
+                  "epoll_ctl(ADD)");
+}
+
+Status EpollMod(int epoll_fd, int fd, uint32_t events, uint64_t tag) {
+  return EpollCtl(epoll_fd, EPOLL_CTL_MOD, fd, events, tag,
+                  "epoll_ctl(MOD)");
+}
+
+Status EpollDel(int epoll_fd, int fd) {
+  epoll_event unused{};
+  if (::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, &unused) < 0) {
+    return Errno("epoll_ctl(DEL)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> EpollWait(int epoll_fd, EpollEvent* out, size_t capacity,
+                           int timeout_ms) {
+  std::vector<epoll_event> events(capacity);
+  for (;;) {
+    const int n = ::epoll_wait(epoll_fd, events.data(),
+                               static_cast<int>(capacity), timeout_ms);
+    if (n >= 0) {
+      for (int i = 0; i < n; ++i) {
+        out[i].tag = events[static_cast<size_t>(i)].data.u64;
+        out[i].events = events[static_cast<size_t>(i)].events;
+      }
+      return static_cast<size_t>(n);
+    }
+    if (errno == EINTR) continue;
+    return Errno("epoll_wait");
+  }
 }
 
 void ShutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }

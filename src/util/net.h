@@ -99,6 +99,74 @@ void ShutdownRead(int fd);
 /// hang up.
 void ShutdownBoth(int fd);
 
+// --- Non-blocking I/O + epoll (the reactor's substrate) -------------------
+
+/// Puts the descriptor in non-blocking mode (O_NONBLOCK).
+[[nodiscard]]
+Status SetNonBlocking(int fd);
+
+/// Non-blocking accept: an *invalid* UniqueFd means no connection is
+/// pending right now (EAGAIN) — not an error. EINTR/ECONNABORTED are
+/// retried. The accepted socket comes back non-blocking with TCP_NODELAY
+/// set, ready for epoll registration.
+[[nodiscard]]
+StatusOr<UniqueFd> AcceptNonBlocking(int listen_fd);
+
+/// Outcome of one non-blocking transfer attempt. Exactly one of
+/// `bytes > 0`, `eof`, or `would_block` describes what happened (hard
+/// errors come back as a Status instead).
+struct NbIoResult {
+  size_t bytes = 0;        // transferred by this call
+  bool eof = false;        // read only: the peer closed cleanly
+  bool would_block = false;  // no progress possible without blocking
+};
+
+/// One read() attempt on a non-blocking descriptor (EINTR retried).
+[[nodiscard]]
+StatusOr<NbIoResult> ReadNonBlocking(int fd, void* buf, size_t len);
+
+/// One write attempt on a non-blocking descriptor (EINTR retried). On
+/// sockets the write is SIGPIPE-free (MSG_NOSIGNAL), like WriteFull.
+[[nodiscard]]
+StatusOr<NbIoResult> WriteNonBlocking(int fd, const void* buf, size_t len);
+
+/// Event bits for the epoll wrappers; values mirror EPOLLIN/EPOLLOUT/
+/// EPOLLERR/EPOLLHUP (static_asserted in net.cc) so callers never include
+/// <sys/epoll.h> themselves.
+inline constexpr uint32_t kEpollIn = 0x001;
+inline constexpr uint32_t kEpollOut = 0x004;
+inline constexpr uint32_t kEpollErr = 0x008;
+inline constexpr uint32_t kEpollHup = 0x010;
+
+struct EpollEvent {
+  uint64_t tag = 0;     // caller-chosen id registered with EpollAdd/Mod
+  uint32_t events = 0;  // kEpoll* bits
+};
+
+/// Creates a level-triggered epoll instance (CLOEXEC).
+[[nodiscard]]
+StatusOr<UniqueFd> EpollCreate();
+
+/// Registers `fd` with interest `events` (kEpoll* bits); `tag` comes back
+/// in EpollEvent::tag. EPOLLERR/EPOLLHUP are always reported by the
+/// kernel, interest mask or not.
+[[nodiscard]]
+Status EpollAdd(int epoll_fd, int fd, uint32_t events, uint64_t tag);
+
+/// Updates the interest mask (and tag) of an already-registered fd.
+[[nodiscard]]
+Status EpollMod(int epoll_fd, int fd, uint32_t events, uint64_t tag);
+
+/// Deregisters `fd`.
+[[nodiscard]]
+Status EpollDel(int epoll_fd, int fd);
+
+/// Blocks up to `timeout_ms` (-1 = forever) for events; returns how many
+/// of `out[0..capacity)` were filled. EINTR is retried.
+[[nodiscard]]
+StatusOr<size_t> EpollWait(int epoll_fd, EpollEvent* out, size_t capacity,
+                           int timeout_ms);
+
 /// A pipe whose write end can be written from a signal handler (one byte,
 /// async-signal-safe) to wake a poll()-er on the read end.
 [[nodiscard]]

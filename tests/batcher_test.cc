@@ -159,6 +159,65 @@ TEST(MicroBatcherTest, SubmitAfterDrainFailsCleanly) {
   batcher.Drain();  // idempotent
 }
 
+TEST(MicroBatcherTest, DelayCountsFromEnqueueNotFromWorkerWake) {
+  // Regression for the flush-deadline bug this PR fixes: the worker used to
+  // compute flush_at from the moment it woke with a non-empty queue. A job
+  // that arrived while the worker was stuck inside a long flush then waited
+  // its full max_delay_us *again* after the flush returned — up to 2x the
+  // contractual latency. The deadline must run from when the oldest queued
+  // job was submitted, so a job whose delay already elapsed while the
+  // worker was busy is flushed immediately on wake.
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  std::atomic<int> flushed{0};
+  std::atomic<int64_t> second_flush_at_us{0};
+  const auto start = std::chrono::steady_clock::now();
+
+  BatcherOptions options;
+  options.max_batch = 4;  // far from full: only the timer can flush job B
+  options.max_delay_us = 600'000;
+  options.queue_capacity = 8;
+  MicroBatcher batcher(options, [&](std::vector<BatchJob>&& jobs,
+                                    FlushReason /*reason*/) {
+    const int seen = flushed.fetch_add(static_cast<int>(jobs.size())) +
+                     static_cast<int>(jobs.size());
+    if (seen > 4) {
+      second_flush_at_us.store(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+
+  // A full batch flushes immediately (no timer involved) and blocks on the
+  // gate; job B arrives at ~0ms while the worker is stuck. Opening the
+  // gate at ~800ms puts B 200ms past its 600ms deadline: the fixed worker
+  // flushes it at once, the buggy one waited until ~1400ms (wake + another
+  // full max_delay_us).
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  }
+  while (flushed.load() < 4) std::this_thread::yield();
+  ASSERT_TRUE(batcher.Submit(MakeJob()).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  while (flushed.load() < 5) std::this_thread::yield();
+  batcher.Drain();
+
+  // Generous margin for slow CI: anything under one full extra delay
+  // proves the deadline ran from B's enqueue, not from the worker's wake.
+  EXPECT_LT(second_flush_at_us.load(),
+            800'000 + options.max_delay_us / 2)
+      << "job B waited a fresh max_delay_us after the worker woke";
+}
+
 TEST(MicroBatcherTest, CountersAndHistogramTrackFlushes) {
   BatcherOptions options;
   options.max_batch = 2;

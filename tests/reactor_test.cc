@@ -1,0 +1,589 @@
+// Reactor + result-cache tests. ResultCacheTest covers the LRU unit
+// contract (recency order, eviction, generation invalidation, disabled
+// mode). ReactorLoopbackTest drives the epoll front end over real loopback
+// sockets: cache hits replaying the miss's exact bytes, generation-bump
+// invalidation after a corpus mutation, pipelined frames on one connection,
+// hundreds of idle connections on a single reactor thread, the
+// connection-limit overflow answer, and the social-counter aggregation
+// regression (jaccard_calls / social_candidates_skipped /
+// exact_social_pruned were silently dropped from both the stats totals and
+// the wire before this PR). Runs in the ThreadSanitizer CI job
+// (ctest -R 'Reactor|ResultCache').
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "client/client.h"
+#include "core/recommender.h"
+#include "server/result_cache.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "util/net.h"
+#include "util/random.h"
+
+namespace vrec::server {
+namespace {
+
+using signature::SignatureSeries;
+using social::SocialDescriptor;
+
+// ---------------------------------------------------------------------------
+// ResultCache unit tests (no sockets).
+
+std::vector<uint8_t> Frame(std::initializer_list<uint8_t> bytes) {
+  return std::vector<uint8_t>(bytes);
+}
+
+TEST(ResultCacheTest, MissThenInsertThenHitReplaysExactBytes) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.Lookup(7, 10, 0).has_value());
+  cache.Insert(7, 10, 0, Frame({1, 2, 3}));
+  const auto hit = cache.Lookup(7, 10, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, Frame({1, 2, 3}));
+  // Same video, different k: a distinct key, not a hit.
+  EXPECT_FALSE(cache.Lookup(7, 5, 0).has_value());
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 2u);
+  EXPECT_EQ(counters.evictions, 0u);
+  EXPECT_EQ(counters.invalidated, 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedAndTouchRefreshesRecency) {
+  ResultCache cache(2);
+  cache.Insert(1, 10, 0, Frame({1}));
+  cache.Insert(2, 10, 0, Frame({2}));
+  // Touch 1 so 2 becomes the LRU entry, then insert 3: 2 must go.
+  ASSERT_TRUE(cache.Lookup(1, 10, 0).has_value());
+  cache.Insert(3, 10, 0, Frame({3}));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(1, 10, 0).has_value());
+  EXPECT_FALSE(cache.Lookup(2, 10, 0).has_value());
+  EXPECT_TRUE(cache.Lookup(3, 10, 0).has_value());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Re-inserting an existing key overwrites in place — no eviction, and the
+  // refreshed entry is now the most recent.
+  cache.Insert(1, 10, 0, Frame({9, 9}));
+  EXPECT_EQ(cache.counters().evictions, 1u);
+  cache.Insert(4, 10, 0, Frame({4}));  // evicts 3, not the refreshed 1
+  EXPECT_EQ(*cache.Lookup(1, 10, 0), Frame({9, 9}));
+  EXPECT_FALSE(cache.Lookup(3, 10, 0).has_value());
+}
+
+TEST(ResultCacheTest, StaleGenerationInvalidatesOnLookup) {
+  ResultCache cache(4);
+  cache.Insert(1, 10, /*generation=*/1, Frame({1}));
+  // The corpus mutated (generation 2): the entry is erased, not served.
+  EXPECT_FALSE(cache.Lookup(1, 10, 2).has_value());
+  EXPECT_EQ(cache.counters().invalidated, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+  // Erased for every generation — a later lookup at the stamp it was
+  // written under must not resurrect it.
+  EXPECT_FALSE(cache.Lookup(1, 10, 1).has_value());
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 0u);
+  EXPECT_EQ(counters.misses, 2u);  // the invalidated lookup counts as a miss
+}
+
+TEST(ResultCacheTest, CapacityZeroDisablesEverything) {
+  ResultCache cache(0);
+  cache.Insert(1, 10, 0, Frame({1}));
+  EXPECT_FALSE(cache.Lookup(1, 10, 0).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.counters().evictions, 0u);
+}
+
+TEST(ResultCacheTest, OptionsFingerprintTracksScoringKnobsOnly) {
+  core::RecommenderOptions a;
+  core::RecommenderOptions b;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+  b.omega = a.omega + 0.125;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  b = a;
+  b.social_mode = core::SocialMode::kExact;
+  a.social_mode = core::SocialMode::kSarHash;
+  EXPECT_NE(OptionsFingerprint(a), OptionsFingerprint(b));
+  // Threading knobs cannot change results and are excluded.
+  b = a;
+  b.num_threads = a.num_threads + 3;
+  EXPECT_EQ(OptionsFingerprint(a), OptionsFingerprint(b));
+}
+
+// ---------------------------------------------------------------------------
+// Loopback tests: same corpus shape as server_loopback_test.cc, but with
+// descriptor sizes varied so the exact-mode cardinality bound actually
+// prunes (equal-size descriptors would never trigger it).
+
+constexpr int kVideos = 48;
+constexpr int kUsers = 40;
+
+SignatureSeries MakeSeries(int cluster, Rng* rng) {
+  SignatureSeries s;
+  for (int i = 0; i < 4; ++i) {
+    const double base = 40.0 * cluster - 60.0;
+    s.push_back({{base + rng->Uniform(-3.0, 3.0), 1.0}});
+  }
+  return s;
+}
+
+SocialDescriptor MakeDescriptor(int group, int video, Rng* rng) {
+  std::vector<social::UserId> users;
+  const int base = group * (kUsers / 4);
+  const int size = 2 + video % 7;  // 2..8 users: audience sizes vary widely
+  for (int i = 0; i < size; ++i) {
+    users.push_back((base + rng->UniformInt(0, kUsers / 2)) % kUsers);
+  }
+  return SocialDescriptor(users);
+}
+
+std::unique_ptr<core::Recommender> BuildCorpus(core::SocialMode mode) {
+  core::RecommenderOptions options;
+  options.social_mode = mode;
+  options.k_subcommunities = 4;
+  options.max_candidates = 24;
+  options.num_threads = 2;
+  auto rec = std::make_unique<core::Recommender>(options);
+  Rng rng(20150531);
+  for (int v = 0; v < kVideos; ++v) {
+    const int cluster = v % 4;
+    EXPECT_TRUE(rec->AddVideoRecord(v, MakeSeries(cluster, &rng),
+                                    MakeDescriptor(cluster, v, &rng))
+                    .ok());
+  }
+  EXPECT_TRUE(rec->Finalize(kUsers).ok());
+  return rec;
+}
+
+bool SameResults(const std::vector<core::ScoredVideo>& a,
+                 const std::vector<core::ScoredVideo>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].score != b[i].score ||
+        a[i].content != b[i].content || a[i].social != b[i].social) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Reads one complete frame (header + payload) off a blocking socket and
+/// returns its raw bytes, so tests can compare responses bit-for-bit.
+std::vector<uint8_t> ReadFrameBytes(int fd) {
+  std::vector<uint8_t> bytes(kHeaderBytes);
+  EXPECT_TRUE(util::ReadFull(fd, bytes.data(), kHeaderBytes).ok());
+  const auto header = DecodeHeader(bytes.data(), kDefaultMaxPayloadBytes);
+  EXPECT_TRUE(header.ok()) << header.status().ToString();
+  if (!header.ok()) return {};
+  bytes.resize(kHeaderBytes + header->payload_len);
+  EXPECT_TRUE(
+      util::ReadFull(fd, bytes.data() + kHeaderBytes, header->payload_len)
+          .ok());
+  return bytes;
+}
+
+TEST(ReactorLoopbackTest, CacheHitReplaysTheExactMissBytes) {
+  const auto rec = BuildCorpus(core::SocialMode::kSarHash);
+  ServerOptions options;
+  options.result_cache_capacity = 16;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // Raw socket so the response frames themselves can be captured: the hit
+  // must replay the miss's bytes exactly, checksum and all.
+  auto fd = util::ConnectTcp("localhost", srv.port());
+  ASSERT_TRUE(fd.ok());
+  QueryByIdRequest request;
+  request.video = 3;
+  request.k = 10;
+  const auto frame = EncodeFrame(MessageType::kQueryByIdRequest,
+                                 EncodeQueryByIdRequest(request));
+  ASSERT_TRUE(util::WriteFull(fd->get(), frame.data(), frame.size()).ok());
+  const auto miss_bytes = ReadFrameBytes(fd->get());
+  ASSERT_TRUE(util::WriteFull(fd->get(), frame.data(), frame.size()).ok());
+  const auto hit_bytes = ReadFrameBytes(fd->get());
+  ASSERT_FALSE(miss_bytes.empty());
+  EXPECT_EQ(miss_bytes, hit_bytes);
+
+  // And the replayed frame decodes to the direct call's results.
+  const auto response = DecodeQueryResponse(std::vector<uint8_t>(
+      hit_bytes.begin() + static_cast<long>(kHeaderBytes), hit_bytes.end()));
+  ASSERT_TRUE(response.ok());
+  ASSERT_TRUE(response->status.ok());
+  const auto direct = rec->RecommendById(3, 10);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_TRUE(SameResults(*direct, response->results));
+
+  // Hits bypass the batcher: accepted/completed count the miss only, and
+  // the cache counters travel the stats verb.
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  const auto stats = cli.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->accepted, 1u);
+  EXPECT_EQ(stats->completed, 1u);
+  EXPECT_EQ(stats->cache_hits, 1u);
+  EXPECT_EQ(stats->cache_misses, 1u);
+  EXPECT_EQ(stats->cache_evictions, 0u);
+  EXPECT_EQ(stats->cache_invalidated, 0u);
+  srv.Shutdown();
+}
+
+TEST(ReactorLoopbackTest, GenerationBumpInvalidatesCachedEntries) {
+  auto rec = BuildCorpus(core::SocialMode::kExact);
+  ServerOptions options;
+  options.result_cache_capacity = 16;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  QueryByIdRequest request;
+  request.video = 0;
+  request.k = 10;
+  const auto before = cli.QueryById(request);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(before->status.ok());
+
+  // Mutate the corpus between quiescent periods (the recommender's
+  // exclusivity contract): video 4 sits in video 0's content cluster, so
+  // its removal genuinely changes video 0's candidate set. The cached
+  // pre-removal entry must not be served afterwards.
+  ASSERT_TRUE(rec->RemoveVideo(4).ok());
+  const auto direct = rec->RecommendById(0, 10);
+  ASSERT_TRUE(direct.ok());
+
+  const auto after = cli.QueryById(request);
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(after->status.ok());
+  EXPECT_TRUE(SameResults(*direct, after->results));
+  EXPECT_FALSE(SameResults(before->results, after->results))
+      << "removal of an in-cluster video should have changed the top-k";
+
+  // Both lookups missed: the second found a stale-generation entry and
+  // erased it. A third query now hits the refreshed entry.
+  const auto again = cli.QueryById(request);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(SameResults(*direct, again->results));
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.cache_invalidated, 1u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  srv.Shutdown();
+}
+
+TEST(ReactorLoopbackTest, CacheCapacityEvictionEndToEnd) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  ServerOptions options;
+  options.result_cache_capacity = 1;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  for (const int64_t video : {0, 1, 0}) {  // each query evicts the previous
+    QueryByIdRequest request;
+    request.video = video;
+    const auto response = cli.QueryById(request);
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->status.ok());
+  }
+  QueryByIdRequest request;
+  request.video = 0;  // still resident from the last miss
+  ASSERT_TRUE(cli.QueryById(request).ok());
+
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.cache_misses, 3u);
+  EXPECT_EQ(stats.cache_evictions, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.accepted, 3u);  // the hit never reached the batcher
+  srv.Shutdown();
+}
+
+/// Corpus tuned so the social fast-path counters demonstrably fire:
+/// *disjoint* 10-user audiences per group (cross-group Jaccard is 0 and
+/// groups share no sub-community, so the posting walk skips them) and a
+/// candidate cap small enough that the exact-mode heap fills and the
+/// cardinality bound starts pruning.
+std::unique_ptr<core::Recommender> BuildCountersCorpus(core::SocialMode mode) {
+  core::RecommenderOptions options;
+  options.social_mode = mode;
+  options.k_subcommunities = 4;
+  options.max_candidates = 8;
+  options.num_threads = 2;
+  auto rec = std::make_unique<core::Recommender>(options);
+  Rng rng(20150531);
+  for (int v = 0; v < kVideos; ++v) {
+    const int cluster = v % 4;
+    std::vector<social::UserId> users;
+    const int base = cluster * (kUsers / 4);
+    for (int i = 0; i < 2 + v % 7; ++i) {
+      // UniformInt is inclusive: stay strictly inside the group's 10-user
+      // range so the groups really are disjoint audiences.
+      users.push_back(base + rng.UniformInt(0, kUsers / 4 - 1));
+    }
+    EXPECT_TRUE(rec->AddVideoRecord(v, MakeSeries(cluster, &rng),
+                                    SocialDescriptor(users))
+                    .ok());
+  }
+  EXPECT_TRUE(rec->Finalize(kUsers).ok());
+  return rec;
+}
+
+TEST(ReactorLoopbackTest, SocialCountersAggregateAcrossTheWire) {
+  // Regression for the serving-stats bug this PR fixes: FlushBatch used to
+  // accumulate only the PR 3 timing fields, silently dropping
+  // jaccard_calls / social_candidates_skipped / exact_social_pruned from
+  // timing_totals_ — and WriteTiming dropped the same three fields from
+  // every response. Both the per-response counters and the aggregated
+  // stats-verb totals must now equal direct-call ground truth.
+  for (const auto mode :
+       {core::SocialMode::kExact, core::SocialMode::kSarHash}) {
+    const auto rec = BuildCountersCorpus(mode);
+    core::QueryTiming direct_totals;
+    std::vector<core::QueryTiming> direct(kVideos);
+    for (int v = 0; v < kVideos; ++v) {
+      ASSERT_TRUE(rec->RecommendById(v, 10, &direct[v]).ok());
+      direct_totals += direct[v];
+    }
+
+    RecommendServer srv(rec.get(), ServerOptions{});
+    ASSERT_TRUE(srv.Start().ok());
+    client::Client cli;
+    ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+    for (int v = 0; v < kVideos; ++v) {
+      QueryByIdRequest request;
+      request.video = v;
+      request.k = 10;
+      const auto response = cli.QueryById(request);
+      ASSERT_TRUE(response.ok());
+      ASSERT_TRUE(response->status.ok());
+      // The three counters survive the wire per response.
+      EXPECT_EQ(response->timing.jaccard_calls, direct[v].jaccard_calls);
+      EXPECT_EQ(response->timing.social_candidates_skipped,
+                direct[v].social_candidates_skipped);
+      EXPECT_EQ(response->timing.exact_social_pruned,
+                direct[v].exact_social_pruned);
+    }
+
+    // The aggregated totals match the direct sums exactly — both locally
+    // and through the remote stats verb.
+    const auto local = srv.stats();
+    const auto remote = cli.Stats();
+    ASSERT_TRUE(remote.ok());
+    for (const auto* stats : {&local, &*remote}) {
+      EXPECT_EQ(stats->timing_totals.jaccard_calls,
+                direct_totals.jaccard_calls);
+      EXPECT_EQ(stats->timing_totals.social_candidates_skipped,
+                direct_totals.social_candidates_skipped);
+      EXPECT_EQ(stats->timing_totals.exact_social_pruned,
+                direct_totals.exact_social_pruned);
+    }
+
+    // The corpus genuinely exercises each mode's counter — a zero here
+    // means the regression test lost its teeth, not that the server works.
+    if (mode == core::SocialMode::kExact) {
+      EXPECT_GT(direct_totals.jaccard_calls, 0u);
+      EXPECT_GT(direct_totals.exact_social_pruned, 0u);
+    } else {
+      EXPECT_GT(direct_totals.social_candidates_skipped, 0u);
+    }
+    srv.Shutdown();
+  }
+}
+
+TEST(ReactorLoopbackTest, PipelinedFramesOnOneConnectionAnswerInOrder) {
+  const auto rec = BuildCorpus(core::SocialMode::kSarHash);
+  ServerOptions options;
+  options.batcher.max_batch = 4;
+  options.batcher.max_delay_us = 500;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // The reactor parses one frame at a time per connection (request N+1
+  // waits until N's response is queued), so a client that writes a burst of
+  // frames without reading must get every answer back, in order.
+  auto fd = util::ConnectTcp("localhost", srv.port());
+  ASSERT_TRUE(fd.ok());
+  constexpr int kPipelined = 8;
+  std::vector<uint8_t> burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    QueryByIdRequest request;
+    request.video = i * 5 % kVideos;
+    request.k = 10;
+    const auto frame = EncodeFrame(MessageType::kQueryByIdRequest,
+                                   EncodeQueryByIdRequest(request));
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(util::WriteFull(fd->get(), burst.data(), burst.size()).ok());
+  for (int i = 0; i < kPipelined; ++i) {
+    const auto bytes = ReadFrameBytes(fd->get());
+    ASSERT_FALSE(bytes.empty()) << "response " << i;
+    const auto response = DecodeQueryResponse(std::vector<uint8_t>(
+        bytes.begin() + static_cast<long>(kHeaderBytes), bytes.end()));
+    ASSERT_TRUE(response.ok());
+    ASSERT_TRUE(response->status.ok());
+    const auto direct = rec->RecommendById(i * 5 % kVideos, 10);
+    ASSERT_TRUE(direct.ok());
+    EXPECT_TRUE(SameResults(*direct, response->results)) << "response " << i;
+  }
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kPipelined));
+  EXPECT_EQ(stats.completed, stats.accepted);
+  srv.Shutdown();
+}
+
+TEST(ReactorLoopbackTest, HundredsOfIdleConnectionsOnOneReactorThread) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  ServerOptions options;
+  options.max_connections = 512;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // Thread-per-connection died here (300 threads for 300 sockets); the
+  // reactor holds them all on one thread. The full 10k-connection sweep
+  // lives in bench_server_throughput — this keeps the property under TSan.
+  constexpr int kIdle = 300;
+  std::vector<util::UniqueFd> idle;
+  idle.reserve(kIdle);
+  for (int i = 0; i < kIdle; ++i) {
+    auto fd = util::ConnectTcp("localhost", srv.port());
+    ASSERT_TRUE(fd.ok()) << "connection " << i;
+    idle.push_back(std::move(*fd));
+  }
+  // The gauge is updated by the reactor thread as it accepts; poll briefly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (srv.stats().open_connections < static_cast<uint64_t>(kIdle) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_GE(srv.stats().open_connections, static_cast<uint64_t>(kIdle));
+
+  // Service is unimpaired with the idle herd attached.
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  QueryByIdRequest request;
+  request.video = 0;
+  const auto response = cli.QueryById(request);
+  ASSERT_TRUE(response.ok());
+  EXPECT_TRUE(response->status.ok());
+
+  idle.clear();
+  srv.Shutdown();
+  EXPECT_FALSE(srv.running());
+}
+
+TEST(ReactorLoopbackTest, ConnectionOverflowAnsweredResourceExhausted) {
+  const auto rec = BuildCorpus(core::SocialMode::kNone);
+  ServerOptions options;
+  options.max_connections = 2;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  auto idle1 = util::ConnectTcp("localhost", srv.port());
+  auto idle2 = util::ConnectTcp("localhost", srv.port());
+  ASSERT_TRUE(idle1.ok());
+  ASSERT_TRUE(idle2.ok());
+
+  // The third connection is accepted, told why it is being turned away
+  // (explicit backpressure, same contract as the admission queue), and
+  // closed. The rejection frame is sent before any request arrives.
+  auto overflow = util::ConnectTcp("localhost", srv.port());
+  ASSERT_TRUE(overflow.ok());
+  const auto bytes = ReadFrameBytes(overflow->get());
+  ASSERT_FALSE(bytes.empty());
+  const auto response = DecodeQueryResponse(std::vector<uint8_t>(
+      bytes.begin() + static_cast<long>(kHeaderBytes), bytes.end()));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status.code(), Status::Code::kResourceExhausted);
+  uint8_t byte = 0;
+  const auto eof = util::ReadFullOrEof(overflow->get(), &byte, 1);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(*eof);
+  EXPECT_GE(srv.stats().rejected_overload, 1u);
+
+  // Capacity freed by a hangup is reusable: drop one idle connection and
+  // the next client is served normally.
+  idle1->Reset();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (srv.stats().open_connections >= options.max_connections &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  QueryByIdRequest request;
+  request.video = 1;
+  const auto served = cli.QueryById(request);
+  ASSERT_TRUE(served.ok());
+  EXPECT_TRUE(served->status.ok());
+  srv.Shutdown();
+}
+
+TEST(ReactorLoopbackTest, ShutdownMidPipelineAnswersEveryAdmittedFrame) {
+  const auto rec = BuildCorpus(core::SocialMode::kSarHash);
+  ServerOptions options;
+  options.batcher.max_batch = 4;
+  options.batcher.max_delay_us = 2000;
+  options.result_cache_capacity = 8;
+  RecommendServer srv(rec.get(), options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  // A client floods one connection and a concurrent Shutdown() lands in the
+  // middle: the drain contract says every frame parsed before the drain
+  // began gets an answer, the rest see a clean close — never a hang.
+  auto fd = util::ConnectTcp("localhost", srv.port());
+  ASSERT_TRUE(fd.ok());
+  std::vector<uint8_t> burst;
+  constexpr int kFrames = 32;
+  for (int i = 0; i < kFrames; ++i) {
+    QueryByIdRequest request;
+    request.video = i % kVideos;
+    request.k = 5;
+    const auto frame = EncodeFrame(MessageType::kQueryByIdRequest,
+                                   EncodeQueryByIdRequest(request));
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+  ASSERT_TRUE(util::WriteFull(fd->get(), burst.data(), burst.size()).ok());
+
+  std::atomic<int> read_back{0};
+  std::thread reader([&] {
+    for (;;) {
+      std::vector<uint8_t> header(kHeaderBytes);
+      const auto got =
+          util::ReadFullOrEof(fd->get(), header.data(), kHeaderBytes);
+      if (!got.ok() || !*got) return;  // clean EOF: the drain closed us
+      const auto decoded = DecodeHeader(header.data(), kDefaultMaxPayloadBytes);
+      if (!decoded.ok()) return;
+      std::vector<uint8_t> payload(decoded->payload_len);
+      if (!util::ReadFull(fd->get(), payload.data(), payload.size()).ok()) {
+        return;
+      }
+      const auto response = DecodeQueryResponse(payload);
+      if (!response.ok() || !response->status.ok()) return;
+      read_back.fetch_add(1);
+    }
+  });
+  while (read_back.load() < 2) std::this_thread::yield();
+  srv.Shutdown();
+  reader.join();
+  EXPECT_FALSE(srv.running());
+
+  // Accounting closes: whatever was admitted was answered or expired, and
+  // cache hits (answered without admission) only ever add responses.
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.accepted, stats.completed + stats.expired_deadline);
+  EXPECT_GE(static_cast<uint64_t>(read_back.load()), stats.completed);
+}
+
+}  // namespace
+}  // namespace vrec::server

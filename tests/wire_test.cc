@@ -182,6 +182,41 @@ TEST(WireTest, QueryResponseRoundTripIncludingErrorStatus) {
   EXPECT_EQ(decoded->results[1].social, 1.0);
 }
 
+TEST(WireTest, QueryTimingRoundTripsEveryField) {
+  // Every QueryTiming field, each with a distinct value, so a field dropped
+  // from WriteTiming/ReadTiming (the regression this PR fixes: the three
+  // social counters were silently omitted) shows up as a mismatch here.
+  // The static_assert on sizeof(QueryTiming) in wire.cc catches fields
+  // added without updating the codec; this test catches fields the codec
+  // writes but scrambles or misorders.
+  QueryResponse response;
+  response.timing.social_ms = 1.5;
+  response.timing.content_ms = 2.25;
+  response.timing.refine_ms = 3.125;
+  response.timing.total_ms = 7.0625;
+  response.timing.candidates = 11;
+  response.timing.emd_calls = 22;
+  response.timing.pairs_pruned = 33;
+  response.timing.candidates_pruned = 44;
+  response.timing.jaccard_calls = 55;
+  response.timing.social_candidates_skipped = 66;
+  response.timing.exact_social_pruned = 77;
+
+  const auto decoded = DecodeQueryResponse(EncodeQueryResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->timing.social_ms, 1.5);
+  EXPECT_EQ(decoded->timing.content_ms, 2.25);
+  EXPECT_EQ(decoded->timing.refine_ms, 3.125);
+  EXPECT_EQ(decoded->timing.total_ms, 7.0625);
+  EXPECT_EQ(decoded->timing.candidates, 11u);
+  EXPECT_EQ(decoded->timing.emd_calls, 22u);
+  EXPECT_EQ(decoded->timing.pairs_pruned, 33u);
+  EXPECT_EQ(decoded->timing.candidates_pruned, 44u);
+  EXPECT_EQ(decoded->timing.jaccard_calls, 55u);
+  EXPECT_EQ(decoded->timing.social_candidates_skipped, 66u);
+  EXPECT_EQ(decoded->timing.exact_social_pruned, 77u);
+}
+
 TEST(WireTest, ServerStatsRoundTrip) {
   ServerStats stats;
   stats.accepted = 100;
@@ -191,15 +226,27 @@ TEST(WireTest, ServerStatsRoundTrip) {
   stats.completed = 96;
   stats.batches_full = 10;
   stats.batches_timer = 4;
+  stats.cache_hits = 40;
+  stats.cache_misses = 56;
+  stats.cache_evictions = 7;
+  stats.cache_invalidated = 2;
+  stats.open_connections = 13;
   stats.batch_size_histogram = {1, 0, 5, 8};
   stats.timing_totals.content_ms = 123.5;
+  stats.timing_totals.jaccard_calls = 9001;
   const auto decoded = DecodeServerStats(EncodeServerStats(stats));
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded->accepted, 100u);
   EXPECT_EQ(decoded->rejected_overload, 3u);
   EXPECT_EQ(decoded->completed, 96u);
+  EXPECT_EQ(decoded->cache_hits, 40u);
+  EXPECT_EQ(decoded->cache_misses, 56u);
+  EXPECT_EQ(decoded->cache_evictions, 7u);
+  EXPECT_EQ(decoded->cache_invalidated, 2u);
+  EXPECT_EQ(decoded->open_connections, 13u);
   EXPECT_EQ(decoded->batch_size_histogram, stats.batch_size_histogram);
   EXPECT_EQ(decoded->timing_totals.content_ms, 123.5);
+  EXPECT_EQ(decoded->timing_totals.jaccard_calls, 9001u);
 }
 
 TEST(WireTest, DecodersRejectTruncatedPayloads) {
@@ -251,7 +298,9 @@ TEST(WireTest, DecodersRejectForgedCountsWithoutAllocating) {
 
   ServerStats empty;
   auto stats = EncodeServerStats(empty);
-  const size_t hist_at = 7 * 8;
+  // 12 u64 counters (serving + batching + cache + gauge) precede the
+  // histogram count.
+  const size_t hist_at = 12 * 8;
   ASSERT_LT(hist_at + 4, stats.size());
   std::memset(stats.data() + hist_at, 0xff, 4);
   EXPECT_FALSE(DecodeServerStats(stats).ok());

@@ -12,6 +12,7 @@
 //   vrec_cli serve    --data FILE [--port P] [--mode MODE] [--threads T]
 //                     [--max-batch N] [--max-delay-us US]
 //                     [--queue-capacity N] [--max-connections N]
+//                     [--cache-capacity N]
 //   vrec_cli client   --port P [--host H] (--video ID [--k K]
 //                     [--deadline-ms MS] | --stats 1)
 //
@@ -89,6 +90,7 @@ int Usage() {
       "  vrec_cli serve    --data FILE [--port P] [--mode MODE] [--threads T]\n"
       "                    [--max-batch N] [--max-delay-us US]\n"
       "                    [--queue-capacity N] [--max-connections N]\n"
+      "                    [--cache-capacity N]\n"
       "  vrec_cli client   --port P [--host H] (--video ID [--k K]\n"
       "                    [--deadline-ms MS] | --stats 1)\n"
       "modes: cr, sr, csf, csf-sar, csf-sar-h\n");
@@ -329,17 +331,7 @@ int CmdBatch(const Flags& flags) {
       ++failed;
       continue;
     }
-    sum.social_ms += r.timing.social_ms;
-    sum.content_ms += r.timing.content_ms;
-    sum.refine_ms += r.timing.refine_ms;
-    sum.total_ms += r.timing.total_ms;
-    sum.candidates += r.timing.candidates;
-    sum.emd_calls += r.timing.emd_calls;
-    sum.pairs_pruned += r.timing.pairs_pruned;
-    sum.candidates_pruned += r.timing.candidates_pruned;
-    sum.jaccard_calls += r.timing.jaccard_calls;
-    sum.social_candidates_skipped += r.timing.social_candidates_skipped;
-    sum.exact_social_pruned += r.timing.exact_social_pruned;
+    sum += r.timing;
   }
   const auto answered = static_cast<double>(results.size() - failed);
   if (answered == 0) {
@@ -388,6 +380,11 @@ int CmdServe(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("--queue-capacity", 256));
   options.max_connections =
       static_cast<size_t>(flags.GetInt("--max-connections", 64));
+  // The CLI server enables the by-id result cache by default: a standing
+  // corpus means repeated ids hit without recomputation. --cache-capacity 0
+  // turns it off.
+  options.result_cache_capacity =
+      static_cast<size_t>(flags.GetInt("--cache-capacity", 1024));
 
   server::RecommendServer srv(rec.get(), options);
   if (const Status s = srv.Start(); !s.ok()) {
@@ -399,9 +396,11 @@ int CmdServe(const Flags& flags) {
     return 1;
   }
   std::printf("serving %zu videos on port %u "
-              "(max_batch=%zu, max_delay_us=%lld); SIGINT/SIGTERM drains\n",
+              "(max_batch=%zu, max_delay_us=%lld, cache=%zu); "
+              "SIGINT/SIGTERM drains\n",
               rec->video_count(), srv.port(), options.batcher.max_batch,
-              static_cast<long long>(options.batcher.max_delay_us));
+              static_cast<long long>(options.batcher.max_delay_us),
+              options.result_cache_capacity);
   std::fflush(stdout);
   srv.WaitUntilStopped();
 
@@ -415,6 +414,12 @@ int CmdServe(const Flags& flags) {
               static_cast<unsigned long long>(stats.expired_deadline),
               static_cast<unsigned long long>(stats.batches_full),
               static_cast<unsigned long long>(stats.batches_timer));
+  std::printf("cache: hits=%llu misses=%llu evictions=%llu "
+              "invalidated=%llu\n",
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.cache_misses),
+              static_cast<unsigned long long>(stats.cache_evictions),
+              static_cast<unsigned long long>(stats.cache_invalidated));
   return 0;
 }
 
@@ -445,6 +450,21 @@ int CmdClient(const Flags& flags) {
                 static_cast<unsigned long long>(stats->expired_deadline),
                 static_cast<unsigned long long>(stats->batches_full),
                 static_cast<unsigned long long>(stats->batches_timer));
+    std::printf("cache: hits=%llu misses=%llu evictions=%llu "
+                "invalidated=%llu  open_connections=%llu\n",
+                static_cast<unsigned long long>(stats->cache_hits),
+                static_cast<unsigned long long>(stats->cache_misses),
+                static_cast<unsigned long long>(stats->cache_evictions),
+                static_cast<unsigned long long>(stats->cache_invalidated),
+                static_cast<unsigned long long>(stats->open_connections));
+    std::printf("social totals: %llu Jaccard calls, %llu candidates "
+                "skipped, %llu exact merges pruned\n",
+                static_cast<unsigned long long>(
+                    stats->timing_totals.jaccard_calls),
+                static_cast<unsigned long long>(
+                    stats->timing_totals.social_candidates_skipped),
+                static_cast<unsigned long long>(
+                    stats->timing_totals.exact_social_pruned));
     uint64_t flushed = 0, weighted = 0;
     for (size_t i = 0; i < stats->batch_size_histogram.size(); ++i) {
       flushed += stats->batch_size_histogram[i];
@@ -484,6 +504,11 @@ int CmdClient(const Flags& flags) {
               "refine %.2f)\n",
               response->timing.total_ms, response->timing.social_ms,
               response->timing.content_ms, response->timing.refine_ms);
+  std::printf("social fast path: %zu Jaccard calls, %zu candidates "
+              "skipped, %zu exact merges pruned\n",
+              response->timing.jaccard_calls,
+              response->timing.social_candidates_skipped,
+              response->timing.exact_social_pruned);
   return 0;
 }
 
