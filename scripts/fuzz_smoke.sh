@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# 30-second libFuzzer smoke over the wire decoders: builds fuzz_wire with
+# Clang + ASan/UBSan (-DVREC_FUZZ=ON -DVREC_SANITIZE=address), seeds the
+# corpus with valid frames of every message type (fuzz_wire_corpus), and
+# runs coverage-guided mutation for FUZZ_SECONDS (default 30). Any crash,
+# OOM, or leak fails the stage. This is a smoke run, not a campaign — long
+# runs happen off-CI with the same binary and a persistent corpus dir.
+#
+# Auto-skips when clang++ is not installed (libFuzzer needs it), matching
+# the lint.sh / tsa.sh contract. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FUZZ_SECONDS="${FUZZ_SECONDS:-30}"
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "clang++ not installed; skipping libFuzzer smoke" \
+       "(harness: tests/fuzz/fuzz_wire.cc, config: -DVREC_FUZZ=ON)"
+  exit 0
+fi
+
+echo "=== fuzz: build harness (clang, ASan/UBSan, fuzzer-no-link tree) ==="
+cmake -B build-fuzz -S . \
+  -DCMAKE_CXX_COMPILER=clang++ -DVREC_FUZZ=ON -DVREC_SANITIZE=address \
+  >/dev/null
+cmake --build build-fuzz -j "$JOBS" --target fuzz_wire fuzz_wire_corpus
+
+echo "=== fuzz: seed corpus + ${FUZZ_SECONDS}s smoke ==="
+CORPUS=build-fuzz/corpus-wire
+mkdir -p "$CORPUS"
+./build-fuzz/tests/fuzz/fuzz_wire_corpus "$CORPUS"
+./build-fuzz/tests/fuzz/fuzz_wire "$CORPUS" \
+  -max_total_time="$FUZZ_SECONDS" -timeout=5 -max_len=65536 \
+  -print_final_stats=1
+echo "fuzz smoke: OK"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Compile-time lock-discipline stage: builds the whole tree with Clang under
+# -Wthread-safety -Werror=thread-safety (-DVREC_TSA=ON), then runs the
+# compile-fail probe pair:
+#
+#   tests/tsa_probe_ok.cc    must compile  (every annotation idiom we use)
+#   tests/tsa_probe_fail.cc  must NOT      (an unguarded write to a
+#                                           VREC_GUARDED_BY member)
+#
+# The failing probe is what keeps this stage honest: if a flag typo or a
+# macro regression ever turned the analysis off, the probe would start
+# compiling and the stage would fail loudly instead of passing vacuously.
+#
+# Auto-skips when clang++ is not installed (same contract as lint.sh for
+# clang-tidy): the annotations compile to no-ops elsewhere, so running this
+# under GCC would prove nothing. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "clang++ not installed; skipping thread-safety analysis" \
+       "(annotations: src/util/sync.h, config: -DVREC_TSA=ON)"
+  exit 0
+fi
+
+TSA_FLAGS=(-std=c++20 -fsyntax-only -I src
+           -Wthread-safety -Werror=thread-safety)
+
+echo "=== tsa: probe (the analysis must reject an unguarded access) ==="
+clang++ "${TSA_FLAGS[@]}" tests/tsa_probe_ok.cc
+echo "tsa probe: ok-twin compiles"
+if clang++ "${TSA_FLAGS[@]}" tests/tsa_probe_fail.cc 2>/dev/null; then
+  echo "tsa probe: tests/tsa_probe_fail.cc COMPILED — the analysis is not" \
+       "live (flag or macro regression); refusing to continue" >&2
+  exit 1
+fi
+echo "tsa probe: fail-twin rejected (analysis is live)"
+
+echo "=== tsa: full tree under -Werror=thread-safety ==="
+cmake -B build-tsa-clang -S . \
+  -DCMAKE_CXX_COMPILER=clang++ -DVREC_TSA=ON >/dev/null
+cmake --build build-tsa-clang -j "$JOBS"
+echo "tsa: OK"

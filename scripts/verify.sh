@@ -11,6 +11,11 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 echo "=== lint: vrec_lint + clang-tidy ==="
 ./scripts/lint.sh
 
+echo "=== tsa: Clang thread-safety analysis (compile-time lock discipline) ==="
+# Auto-skips without clang++; otherwise proves every guarded member is only
+# touched under its lock, with a compile-fail probe keeping the stage honest.
+./scripts/tsa.sh
+
 echo "=== tier-1: build + full test suite ==="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
@@ -44,10 +49,15 @@ cmake --build build-asan -j "$JOBS" --target vrec_tests
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
   -R 'InvariantStress|Status|DynamicsFixture|Wire')
 
+echo "=== fuzz: 30s libFuzzer smoke over the wire decoders ==="
+# Coverage-guided complement to the hand-written adversarial Wire tests
+# above; auto-skips without clang++ (libFuzzer needs it).
+./scripts/fuzz_smoke.sh
+
 echo "=== tsan: concurrency + serving tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DVREC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target vrec_tests
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|ThreadPool|ServerLoopback|MicroBatcher|Reactor|ResultCache')
+  -R 'Concurrency|ThreadPool|ServerLoopback|MicroBatcher|Reactor|ResultCache|Sync')
 
 echo "verify: OK"

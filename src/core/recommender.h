@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -382,6 +381,14 @@ class Recommender {
   /// See generation(). Release-published after every successful mutation so
   /// a reader that observes the new value also observes the new structures
   /// (given its own external read/write synchronization with the mutator).
+  ///
+  /// Ordering audit: this is the engine's only atomic, and it is
+  /// deliberately NOT a mutex-guarded member — queries are lock-free by
+  /// contract (the caller serializes mutation against queries; see the
+  /// class comment), so the generation stamp is the one cross-thread
+  /// signal and acquire/release is exactly the fence it needs. Do not
+  /// weaken to relaxed: ResultCache keys trust that a reader observing
+  /// generation N also observes the structures of generation N.
   std::atomic<uint64_t> generation_{0};
   size_t user_count_ = 0;
   std::vector<Record> records_;

@@ -84,6 +84,14 @@ class ChainedHashTable {
   std::vector<Triad> triads_;     // arena; erased slots are reused
   std::vector<int32_t> free_list_;
   size_t size_ = 0;
+  /// Ordering audit: genuinely lock-free, not "a mutex-guarded member in
+  /// disguise" — Find() is const and runs concurrently from every pool
+  /// worker during batch vectorization with no lock in sight, so the
+  /// counter must be atomic. relaxed is correct because it is a pure
+  /// tally: no reader infers any other state from its value, and the
+  /// only sequenced use (SAR-H comparison counts in the figures) reads it
+  /// after the batch joined, which ThreadPool::Wait's mutex already
+  /// orders.
   mutable std::atomic<uint64_t> comparisons_{0};
 };
 

@@ -23,17 +23,17 @@ Status ValidateBatcherOptions(const BatcherOptions& options) {
 
 void PendingResponse::Complete(core::BatchResult result) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     VREC_CHECK(!done_);
     result_ = std::move(result);
     done_ = true;
   }
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 core::BatchResult PendingResponse::Take() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [this] { return done_; });
+  util::MutexLock lock(mutex_);
+  while (!done_) done_cv_.Wait(mutex_);
   return std::move(result_);
 }
 
@@ -49,7 +49,7 @@ MicroBatcher::~MicroBatcher() { Drain(); }
 
 Status MicroBatcher::Submit(BatchJob job) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (draining_) {
       return Status::FailedPrecondition("server is draining");
     }
@@ -59,40 +59,64 @@ Status MicroBatcher::Submit(BatchJob job) {
     job.enqueued_at = std::chrono::steady_clock::now();
     queue_.push_back(std::move(job));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return Status::Ok();
 }
 
 void MicroBatcher::Drain() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     draining_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // Idempotent: a second caller finds the thread already joined.
   if (worker_.joinable()) worker_.join();
 }
 
 uint64_t MicroBatcher::batches_full() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return batches_full_count_;
 }
 
 uint64_t MicroBatcher::batches_timer() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return batches_timer_count_;
 }
 
 std::vector<uint64_t> MicroBatcher::batch_size_histogram() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return histogram_;
 }
 
+std::vector<BatchJob> MicroBatcher::FormBatchLocked(size_t take,
+                                                    FlushReason reason) {
+  if (reason == FlushReason::kFull) {
+    ++batches_full_count_;
+  } else if (reason == FlushReason::kTimer) {
+    ++batches_timer_count_;
+  }
+  ++histogram_[take - 1];
+  std::vector<BatchJob> batch;
+  batch.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
 void MicroBatcher::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  // The lock is held for the whole loop except the flush callback window;
+  // explicit Lock/Unlock (rather than a scope) because the analysis
+  // verifies balance across the unlock-flush-relock seam, which a scoped
+  // lock cannot straddle.
+  mutex_.Lock();
   for (;;) {
-    work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
-    if (queue_.empty()) return;  // draining and nothing left
+    while (queue_.empty() && !draining_) work_cv_.Wait(mutex_);
+    if (queue_.empty()) {  // draining and nothing left
+      mutex_.Unlock();
+      return;
+    }
 
     // A batch starts forming when its oldest request is queued, so the
     // delay deadline is anchored to that job's enqueue stamp — not to
@@ -103,7 +127,7 @@ void MicroBatcher::WorkerLoop() {
     const auto flush_at = queue_.front().enqueued_at +
                           std::chrono::microseconds(options_.max_delay_us);
     while (queue_.size() < options_.max_batch && !draining_) {
-      if (work_cv_.wait_until(lock, flush_at) == std::cv_status::timeout) {
+      if (work_cv_.WaitUntil(mutex_, flush_at) == std::cv_status::timeout) {
         break;
       }
     }
@@ -112,23 +136,14 @@ void MicroBatcher::WorkerLoop() {
     FlushReason reason = FlushReason::kTimer;
     if (take == options_.max_batch) {
       reason = FlushReason::kFull;
-      ++batches_full_count_;
     } else if (draining_) {
       reason = FlushReason::kDrain;
-    } else {
-      ++batches_timer_count_;
     }
-    ++histogram_[take - 1];
-    std::vector<BatchJob> batch;
-    batch.reserve(take);
-    for (size_t i = 0; i < take; ++i) {
-      batch.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
+    std::vector<BatchJob> batch = FormBatchLocked(take, reason);
 
-    lock.unlock();
+    mutex_.Unlock();
     flush_(std::move(batch), reason);
-    lock.lock();
+    mutex_.Lock();
   }
 }
 

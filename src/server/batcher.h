@@ -2,17 +2,16 @@
 #define VREC_SERVER_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/recommender.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace vrec::server {
 
@@ -43,10 +42,10 @@ class PendingResponse {
   core::BatchResult Take();
 
  private:
-  std::mutex mutex_;
-  std::condition_variable done_cv_;
-  bool done_ = false;
-  core::BatchResult result_;
+  util::Mutex mutex_;
+  util::CondVar done_cv_;
+  bool done_ VREC_GUARDED_BY(mutex_) = false;
+  core::BatchResult result_ VREC_GUARDED_BY(mutex_);
 };
 
 /// One admitted request: the query, its per-request deadline (admission
@@ -107,17 +106,22 @@ class MicroBatcher {
 
  private:
   void WorkerLoop();
+  /// Pops the first `take` queued jobs and updates the flush counters and
+  /// histogram. The MPSC handoff point: everything it touches is guarded.
+  [[nodiscard]]
+  std::vector<BatchJob> FormBatchLocked(size_t take, FlushReason reason)
+      VREC_REQUIRES(mutex_);
 
   const BatcherOptions options_;
   const FlushFn flush_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::deque<BatchJob> queue_;
-  bool draining_ = false;
-  uint64_t batches_full_count_ = 0;
-  uint64_t batches_timer_count_ = 0;
-  std::vector<uint64_t> histogram_;
+  mutable util::Mutex mutex_;
+  util::CondVar work_cv_;
+  std::deque<BatchJob> queue_ VREC_GUARDED_BY(mutex_);
+  bool draining_ VREC_GUARDED_BY(mutex_) = false;
+  uint64_t batches_full_count_ VREC_GUARDED_BY(mutex_) = 0;
+  uint64_t batches_timer_count_ VREC_GUARDED_BY(mutex_) = 0;
+  std::vector<uint64_t> histogram_ VREC_GUARDED_BY(mutex_);
 
   std::thread worker_;
 };

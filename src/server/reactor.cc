@@ -109,7 +109,7 @@ void Reactor::RunCommands() {
   for (;;) {
     Command command;
     {
-      std::lock_guard<std::mutex> lock(commands_mutex_);
+      util::MutexLock lock(commands_mutex_);
       if (commands_.empty()) return;
       command = std::move(commands_.front());
       commands_.pop_front();
@@ -126,9 +126,9 @@ void Reactor::RunCommands() {
         break;
     }
     if (command.signal != nullptr) {
-      std::lock_guard<std::mutex> lock(command.signal->mutex);
+      util::MutexLock lock(command.signal->mutex);
       command.signal->done = true;
-      command.signal->cv.notify_all();
+      command.signal->cv.NotifyAll();
     }
   }
 }
@@ -140,13 +140,13 @@ void Reactor::EnqueueCommand(Command command, bool blocking) {
     command.signal = signal;
   }
   {
-    std::lock_guard<std::mutex> lock(commands_mutex_);
+    util::MutexLock lock(commands_mutex_);
     commands_.push_back(std::move(command));
   }
   util::SignalWake(wake_wr_.get());
   if (blocking) {
-    std::unique_lock<std::mutex> lock(signal->mutex);
-    signal->cv.wait(lock, [&] { return signal->done; });
+    util::MutexLock lock(signal->mutex);
+    while (!signal->done) signal->cv.Wait(signal->mutex);
   }
 }
 

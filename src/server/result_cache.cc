@@ -6,7 +6,7 @@ namespace vrec::server {
 
 std::optional<std::vector<uint8_t>> ResultCache::Lookup(int64_t video, int k,
                                                         uint64_t generation) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const Key key{video, k};
   const auto it = index_.find(key);
   if (it == index_.end()) {
@@ -28,7 +28,7 @@ std::optional<std::vector<uint8_t>> ResultCache::Lookup(int64_t video, int k,
 void ResultCache::Insert(int64_t video, int k, uint64_t generation,
                          std::vector<uint8_t> frame) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   const Key key{video, k};
   if (const auto it = index_.find(key); it != index_.end()) {
     it->second->generation = generation;
@@ -46,12 +46,12 @@ void ResultCache::Insert(int64_t video, int k, uint64_t generation,
 }
 
 ResultCache::Counters ResultCache::counters() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return counters_;
 }
 
 size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   return lru_.size();
 }
 

@@ -4,12 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/recommender.h"
+#include "util/sync.h"
 
 namespace vrec::server {
 
@@ -85,10 +85,13 @@ class ResultCache {
   };
 
   const size_t capacity_;
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
-  Counters counters_;
+  mutable util::Mutex mutex_;
+  /// front = most recently used; index_ maps keys to their lru_ node. One
+  /// lock covers both so the list and the map can never disagree.
+  std::list<Entry> lru_ VREC_GUARDED_BY(mutex_);
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_
+      VREC_GUARDED_BY(mutex_);
+  Counters counters_ VREC_GUARDED_BY(mutex_);
 };
 
 /// A coarse fingerprint of every RecommenderOptions field that can change

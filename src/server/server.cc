@@ -12,6 +12,15 @@ namespace {
 // async-signal-safe state, so the handler writes one byte to a process-wide
 // wake pipe and the watcher thread does the actual (lock-taking) Shutdown.
 // One server per process may own the handlers at a time.
+//
+// Ordering contract (the handler's load is relaxed): the fd is published
+// by the CAS in EnableSignalDrain *before* sigaction() installs the
+// handler, and sigaction is itself a synchronization point between the
+// installing thread and any thread the handler later runs on — so no
+// handler can observe the pre-CAS value. The -1 store during shutdown
+// happens after the old handlers are restored; a racing handler that
+// still reads the live fd writes one byte to a pipe the watcher is
+// draining anyway (benign).
 std::atomic<int> g_signal_wake_fd{-1};
 struct sigaction g_old_sigint;   // NOLINT(cert-err58-cpp)
 struct sigaction g_old_sigterm;  // NOLINT(cert-err58-cpp)
@@ -118,7 +127,7 @@ Status RecommendServer::EnableSignalDrain() {
     if (!woke.ok()) return;  // pipe torn down without a wake
     bool already_stopped = false;
     {
-      std::lock_guard<std::mutex> lock(stopped_mutex_);
+      util::MutexLock lock(stopped_mutex_);
       already_stopped = stopped_;
     }
     if (!already_stopped) Shutdown();
@@ -158,10 +167,10 @@ void RecommendServer::DoShutdown() {
     g_signal_wake_fd.store(-1, std::memory_order_relaxed);
   }
   {
-    std::lock_guard<std::mutex> lock(stopped_mutex_);
+    util::MutexLock lock(stopped_mutex_);
     stopped_ = true;
   }
-  stopped_cv_.notify_all();
+  stopped_cv_.NotifyAll();
   // Wake the watcher (if any) so it can observe stopped_ and exit; it is
   // joined by the destructor, never here (the watcher itself may be the
   // thread running this drain).
@@ -171,12 +180,12 @@ void RecommendServer::DoShutdown() {
 }
 
 void RecommendServer::WaitUntilStopped() {
-  std::unique_lock<std::mutex> lock(stopped_mutex_);
-  stopped_cv_.wait(lock, [this] { return stopped_; });
+  util::MutexLock lock(stopped_mutex_);
+  while (!stopped_) stopped_cv_.Wait(stopped_mutex_);
 }
 
 void RecommendServer::CountMalformed() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  util::MutexLock lock(stats_mutex_);
   ++rejected_malformed_;
 }
 
@@ -206,7 +215,7 @@ void RecommendServer::OnDisconnect(ConnId /*conn*/, bool mid_frame) {
 void RecommendServer::OnOverflow(ConnId conn) {
   // Explicit backpressure at the connection level: answer, then close.
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++rejected_overload_;
   }
   SendError(conn, Status::ResourceExhausted("connection limit reached"));
@@ -312,7 +321,7 @@ void RecommendServer::AdmitQuery(ConnId conn, core::BatchQuery query,
   // The context goes in before Submit: the batcher worker can flush the
   // job (and look the context up) before Submit even returns.
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    util::MutexLock lock(pending_mutex_);
     pending_[conn] = PendingQuery{cacheable, video, k, generation};
   }
   // Admission is counted before Submit for the same reason: a concurrent
@@ -320,13 +329,13 @@ void RecommendServer::AdmitQuery(ConnId conn, core::BatchQuery query,
   // completed + expired invariant). An extra accepted_ during a failed
   // Submit just looks like an in-flight request, the benign direction.
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     ++accepted_;
   }
   const Status admitted = batcher_->Submit(std::move(job));
   if (!admitted.ok()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       --accepted_;
       if (admitted.code() == Status::Code::kResourceExhausted) {
         ++rejected_overload_;
@@ -339,7 +348,7 @@ void RecommendServer::AdmitQuery(ConnId conn, core::BatchQuery query,
 
 std::optional<RecommendServer::PendingQuery> RecommendServer::TakePending(
     ConnId conn) {
-  std::lock_guard<std::mutex> lock(pending_mutex_);
+  util::MutexLock lock(pending_mutex_);
   const auto it = pending_.find(conn);
   if (it == pending_.end()) return std::nullopt;
   PendingQuery out = it->second;
@@ -362,7 +371,7 @@ void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
       {
         // Counted before the response is queued, like completed_: once a
         // client holds its answer, a stats() read must already reflect it.
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        util::MutexLock lock(stats_mutex_);
         ++expired_deadline_;
       }
       static_cast<void>(TakePending(job.tag));
@@ -385,7 +394,7 @@ void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
   VREC_CHECK(results.size() == live.size());
   for (size_t i = 0; i < live.size(); ++i) {
     {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      util::MutexLock lock(stats_mutex_);
       ++completed_;
       // Field-wise accumulation so every QueryTiming counter — including
       // the social fast-path ones — reaches the stats verb.
@@ -411,7 +420,7 @@ void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
 ServerStats RecommendServer::stats() const {
   ServerStats out;
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    util::MutexLock lock(stats_mutex_);
     out.accepted = accepted_;
     out.rejected_overload = rejected_overload_;
     out.rejected_malformed = rejected_malformed_;

@@ -2,10 +2,9 @@
 #define VREC_SERVER_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <mutex>  // NOLINT(vrec-raw-mutex): std::once_flag/call_once only
 #include <optional>
 #include <thread>
 #include <unordered_map>
@@ -18,6 +17,7 @@
 #include "server/wire.h"
 #include "util/net.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace vrec::server {
 
@@ -135,16 +135,22 @@ class RecommendServer final : private ReactorEvents {
   void AdmitQuery(ConnId conn, core::BatchQuery query, int32_t k,
                   uint32_t deadline_ms, bool cacheable, int64_t video,
                   uint64_t generation);
-  std::optional<PendingQuery> TakePending(ConnId conn);
+  std::optional<PendingQuery> TakePending(ConnId conn)
+      VREC_EXCLUDES(pending_mutex_);
   void FlushBatch(std::vector<BatchJob>&& jobs, FlushReason reason);
   void DoShutdown();
-  void CountMalformed();
+  void CountMalformed() VREC_EXCLUDES(stats_mutex_);
 
   const core::Recommender* const recommender_;
   const ServerOptions options_;
 
   uint16_t port_ = 0;
+  /// acquire/release: running() is documented as "the server is serving",
+  /// so a reader that sees true must also see the Start()-built state
+  /// (port_, batcher_, reactor_) its caller will touch next.
   std::atomic<bool> running_{false};
+  /// exchange() makes Start() once-only; sequencing beyond that is not
+  /// needed (the loser returns an error without touching server state).
   std::atomic<bool> started_{false};
 
   std::unique_ptr<MicroBatcher> batcher_;
@@ -153,21 +159,26 @@ class RecommendServer final : private ReactorEvents {
 
   /// In-flight by-id context, keyed by connection. Written by the reactor
   /// thread at admission, consumed by the batcher worker at completion.
-  std::mutex pending_mutex_;
-  std::unordered_map<uint64_t, PendingQuery> pending_;
+  util::Mutex pending_mutex_;
+  std::unordered_map<uint64_t, PendingQuery> pending_
+      VREC_GUARDED_BY(pending_mutex_);
 
-  mutable std::mutex stats_mutex_;
-  uint64_t accepted_ = 0;
-  uint64_t rejected_overload_ = 0;
-  uint64_t rejected_malformed_ = 0;
-  uint64_t expired_deadline_ = 0;
-  uint64_t completed_ = 0;
-  core::QueryTiming timing_totals_;
+  /// One lock for every counter so a stats() snapshot is internally
+  /// consistent (accepted == completed + expired + in-flight holds at
+  /// every observable instant; see AdmitQuery/FlushBatch for the ordering
+  /// that preserves it).
+  mutable util::Mutex stats_mutex_;
+  uint64_t accepted_ VREC_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t rejected_overload_ VREC_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t rejected_malformed_ VREC_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t expired_deadline_ VREC_GUARDED_BY(stats_mutex_) = 0;
+  uint64_t completed_ VREC_GUARDED_BY(stats_mutex_) = 0;
+  core::QueryTiming timing_totals_ VREC_GUARDED_BY(stats_mutex_);
 
   std::once_flag shutdown_once_;
-  std::mutex stopped_mutex_;
-  std::condition_variable stopped_cv_;
-  bool stopped_ = false;
+  util::Mutex stopped_mutex_;
+  util::CondVar stopped_cv_;
+  bool stopped_ VREC_GUARDED_BY(stopped_mutex_) = false;
 
   // Signal-drain plumbing (EnableSignalDrain).
   util::UniqueFd signal_wake_rd_, signal_wake_wr_;

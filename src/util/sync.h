@@ -1,0 +1,201 @@
+#ifndef VREC_UTIL_SYNC_H_
+#define VREC_UTIL_SYNC_H_
+
+#include <chrono>
+#include <condition_variable>  // NOLINT(vrec-raw-mutex)
+#include <mutex>               // NOLINT(vrec-raw-mutex)
+
+/// Clang Thread Safety Analysis (TSA) annotations plus the mutex types the
+/// whole tree locks with.
+///
+/// Every mutex in library code is a `vrec::util::Mutex`, every guarded
+/// member is tagged `VREC_GUARDED_BY(mutex_)`, and every function with a
+/// locking precondition is tagged `VREC_REQUIRES(mutex_)`. Under Clang,
+/// `-Wthread-safety -Werror=thread-safety` (the `tsa` stage of
+/// scripts/verify.sh, enabled by -DVREC_TSA=ON) then proves at compile time
+/// that no guarded member is ever touched without its lock and that every
+/// acquire is balanced by a release on every path — the static complement
+/// to the TSan stage, which needs the racy schedule to actually occur. On
+/// non-Clang compilers every macro expands to nothing and `Mutex` is a
+/// zero-cost veneer over std::mutex.
+///
+/// Raw std::mutex / std::lock_guard / std::unique_lock /
+/// std::condition_variable are banned from src/ outside this file
+/// (tools/vrec_lint.py, rule vrec-raw-mutex): an unwrapped lock is
+/// invisible to the analysis, so it would silently punch a hole in the
+/// compile-time discipline.
+///
+/// Escape hatch policy: `VREC_NO_THREAD_SAFETY_ANALYSIS` is acceptable in
+/// exactly two places, each with a comment saying why —
+///   1. the lock-primitive implementations in this file (the analysis
+///      cannot see that std::mutex::lock() acquires the capability the
+///      wrapper declares; this is the idiom Clang's own documentation
+///      prescribes for locking interfaces), and
+///   2. condition-variable internals that temporarily adopt/release the
+///      native handle (CondVar::Wait* below). Call *sites* never need it:
+///      `Wait(mu)` is annotated VREC_REQUIRES(mu), which is exactly the
+///      truth — the caller holds the lock before and after, and the
+///      unlock/relock inside the wait is balanced and invisible.
+/// Wait loops must be written as explicit `while (!pred) cv.Wait(mu);`
+/// statements rather than the predicate-lambda overloads of the standard
+/// library: a lambda body is analyzed as its own function, which does not
+/// inherit the caller's lock set, so a predicate reading guarded state
+/// would need its own escape hatch. The explicit loop keeps the predicate
+/// in the annotated function, where the analysis can see the lock.
+
+#if defined(__clang__) && !defined(SWIG)
+#define VREC_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define VREC_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Tags a class as a lockable capability ("mutex" names it in diagnostics).
+#define VREC_CAPABILITY(x) VREC_THREAD_ANNOTATION_(capability(x))
+
+/// Tags an RAII class whose constructor acquires and destructor releases.
+#define VREC_SCOPED_CAPABILITY VREC_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Member may only be read/written while holding `x`.
+#define VREC_GUARDED_BY(x) VREC_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by `x`.
+#define VREC_PT_GUARDED_BY(x) VREC_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and
+/// leaves them held on exit).
+#define VREC_REQUIRES(...) \
+  VREC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on exit, not on entry).
+#define VREC_ACQUIRE(...) \
+  VREC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities.
+#define VREC_RELEASE(...) \
+  VREC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the first argument
+/// (e.g. VREC_TRY_ACQUIRE(true)).
+#define VREC_TRY_ACQUIRE(...) \
+  VREC_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed capabilities held (deadlock
+/// documentation: it will acquire them itself).
+#define VREC_EXCLUDES(...) VREC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define VREC_RETURN_CAPABILITY(x) VREC_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Disables the analysis for one function body. See the escape-hatch
+/// policy above: primitive implementations and condition-variable
+/// internals only, always with a justifying comment.
+#define VREC_NO_THREAD_SAFETY_ANALYSIS \
+  VREC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace vrec::util {
+
+class CondVar;
+
+/// The tree's mutex: std::mutex carrying the `capability` attribute so the
+/// analysis can name it. Prefer the scoped MutexLock; explicit
+/// Lock()/Unlock() is for the few loops that hand a lock across an
+/// unlock/relock window (e.g. MicroBatcher::WorkerLoop around its flush
+/// callback), where the analysis still verifies balance on every path.
+class VREC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  /// Escape hatch per the policy above: the analysis cannot see that the
+  /// wrapped std::mutex acquisition satisfies the declared capability.
+  void Lock() VREC_ACQUIRE() VREC_NO_THREAD_SAFETY_ANALYSIS { mu_.lock(); }
+
+  void Unlock() VREC_RELEASE() VREC_NO_THREAD_SAFETY_ANALYSIS {
+    mu_.unlock();
+  }
+
+  /// True (and the lock is held) iff the mutex was free. Branch on the
+  /// result — the analysis tracks the boolean.
+  [[nodiscard]]
+  bool TryLock() VREC_TRY_ACQUIRE(true) VREC_NO_THREAD_SAFETY_ANALYSIS {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;  // Wait* adopt the native handle; nobody else may.
+  std::mutex mu_;        // NOLINT(vrec-raw-mutex)
+};
+
+/// Scoped lock: acquires in the constructor, releases in the destructor.
+/// The scoped_lockable annotation makes the scope itself the proof of
+/// discipline — early returns and exceptions cannot leak the lock.
+class VREC_SCOPED_CAPABILITY MutexLock {
+ public:
+  /// Escape hatch per the policy above (primitive implementation).
+  explicit MutexLock(Mutex& mu) VREC_ACQUIRE(mu) VREC_NO_THREAD_SAFETY_ANALYSIS
+      : mu_(mu) {
+    mu_.Lock();
+  }
+
+  ~MutexLock() VREC_RELEASE() VREC_NO_THREAD_SAFETY_ANALYSIS { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait/WaitUntil are annotated
+/// VREC_REQUIRES(mu): the caller holds the lock on entry and on return,
+/// and the internal unlock-while-sleeping is balanced, so call sites need
+/// no escape hatch. Always wait in a loop:
+///
+///   MutexLock lock(mutex_);
+///   while (!ready_) cv_.Wait(mutex_);
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu` and sleeps; reacquires `mu` before
+  /// returning. Spurious wakeups happen — loop on the predicate.
+  ///
+  /// Escape hatch per the policy above (condition-variable internals):
+  /// the adopt/release dance below hands the held lock to the standard
+  /// wait primitive without double-locking; the analysis cannot model the
+  /// temporary ownership transfer, but the lock state at entry and exit
+  /// is exactly what VREC_REQUIRES declares.
+  void Wait(Mutex& mu) VREC_REQUIRES(mu) VREC_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(mu.mu_,  // NOLINT(vrec-raw-mutex)
+                                        std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // the caller still owns the (reacquired) lock
+  }
+
+  /// Wait(), with a deadline. Returns std::cv_status::timeout when the
+  /// deadline passed (the lock is reacquired either way).
+  template <typename Clock, typename Duration>
+  std::cv_status WaitUntil(Mutex& mu,
+                           const std::chrono::time_point<Clock, Duration>&
+                               deadline) VREC_REQUIRES(mu)
+      VREC_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> native(mu.mu_,  // NOLINT(vrec-raw-mutex)
+                                        std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, deadline);
+    native.release();
+    return status;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;  // NOLINT(vrec-raw-mutex)
+};
+
+}  // namespace vrec::util
+
+#endif  // VREC_UTIL_SYNC_H_

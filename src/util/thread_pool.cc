@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <memory>
 
 namespace vrec::util {
 
@@ -19,43 +20,41 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  while (in_flight_ != 0) all_done_.Wait(mutex_);
 }
 
 void ThreadPool::WorkerLoop() {
+  mutex_.Lock();
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // shutting down and drained
-      task = std::move(queue_.front());
-      queue_.pop_front();
+    while (!shutting_down_ && queue_.empty()) work_available_.Wait(mutex_);
+    if (queue_.empty()) {  // shutting down and drained
+      mutex_.Unlock();
+      return;
     }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    mutex_.Unlock();
     task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--in_flight_ == 0) all_done_.notify_all();
-    }
+    mutex_.Lock();
+    if (--in_flight_ == 0) all_done_.NotifyAll();
   }
 }
 
@@ -73,14 +72,22 @@ void ParallelFor(ThreadPool* pool, size_t n,
   // other batches. A per-call latch (not ThreadPool::Wait) lets concurrent
   // ParallelFor calls share one pool without waiting on each other's tasks.
   struct Latch {
+    // relaxed: the counter only distributes indices — no task observes
+    // another task's writes through it, so no ordering is required. The
+    // completion handshake below synchronizes through `mutex`.
     std::atomic<size_t> next{0};
-    std::mutex mutex;
-    std::condition_variable done;
-    size_t pending = 0;
+    Mutex mutex;
+    CondVar done;
+    size_t pending VREC_GUARDED_BY(mutex) = 0;
   };
   auto latch = std::make_shared<Latch>();
   const size_t tasks = std::min(workers, n - 1);  // caller covers the rest
-  latch->pending = tasks;
+  {
+    // Uncontended (no task submitted yet), but `pending` is guarded, and
+    // the analysis rightly has no notion of "not shared yet".
+    MutexLock lock(latch->mutex);
+    latch->pending = tasks;
+  }
 
   const auto drain = [latch, n, &fn] {
     for (size_t i = latch->next.fetch_add(1, std::memory_order_relaxed);
@@ -92,15 +99,15 @@ void ParallelFor(ThreadPool* pool, size_t n,
     pool->Submit([latch, drain] {
       drain();
       {
-        std::lock_guard<std::mutex> lock(latch->mutex);
+        MutexLock lock(latch->mutex);
         --latch->pending;
       }
-      latch->done.notify_one();
+      latch->done.NotifyOne();
     });
   }
   drain();
-  std::unique_lock<std::mutex> lock(latch->mutex);
-  latch->done.wait(lock, [&latch] { return latch->pending == 0; });
+  MutexLock lock(latch->mutex);
+  while (latch->pending != 0) latch->done.Wait(latch->mutex);
 }
 
 }  // namespace vrec::util

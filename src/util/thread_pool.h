@@ -2,13 +2,13 @@
 #define VREC_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace vrec::util {
 
@@ -45,12 +45,15 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;  // queued + currently executing
-  bool shutting_down_ = false;
+  Mutex mutex_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ VREC_GUARDED_BY(mutex_);
+  /// queued + currently executing
+  size_t in_flight_ VREC_GUARDED_BY(mutex_) = 0;
+  bool shutting_down_ VREC_GUARDED_BY(mutex_) = false;
+  /// Written only by the constructor, joined only by the destructor; never
+  /// touched while workers run, so no guard is needed.
   std::vector<std::thread> threads_;
 };
 

@@ -1,0 +1,114 @@
+// libFuzzer harness over the wire decoders (built behind -DVREC_FUZZ=ON;
+// see scripts/fuzz_smoke.sh for the 30-second CI smoke run).
+//
+// The decoders are the server's attack surface: every byte a client sends
+// flows through DecodeHeader / VerifyPayload and then one of the payload
+// decoders (DecodeQueryRequest, DecodeQueryByIdRequest, and — via the
+// client — DecodeQueryResponse / DecodeServerStats, whose QueryTiming
+// block is parsed by wire.cc's internal ReadTiming). The contract under
+// fuzzing is the library-wide one: *every* malformed input returns a
+// Status; nothing may crash, overflow, or allocate unboundedly (the
+// adversarial wire_test.cc cases — forged counts, truncation, bit flips —
+// are exactly the bugs this harness hunts for between releases).
+//
+// Every input is driven through two independent surfaces:
+//   1. as a raw byte stream: header decode, payload slice, checksum
+//      verification, then the type-dispatched payload decode — the
+//      reactor's exact parse path; and
+//   2. as a bare payload fed to each of the four payload decoders — this
+//      reaches deep decoder states that the header's checksum gate would
+//      otherwise force the fuzzer to solve FNV-1a to reach.
+// On a successful decode the harness re-encodes and re-decodes, aborting
+// on disagreement: decode∘encode must be the identity on accepted inputs
+// (the loopback equivalence suite depends on exactly this).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace {
+
+using vrec::server::DecodeHeader;
+using vrec::server::DecodeQueryByIdRequest;
+using vrec::server::DecodeQueryRequest;
+using vrec::server::DecodeQueryResponse;
+using vrec::server::DecodeServerStats;
+using vrec::server::EncodeQueryByIdRequest;
+using vrec::server::EncodeQueryRequest;
+using vrec::server::EncodeQueryResponse;
+using vrec::server::EncodeServerStats;
+using vrec::server::kHeaderBytes;
+using vrec::server::MessageType;
+using vrec::server::VerifyPayload;
+
+// Caps re-encode work on adversarial megabyte-scale accepted inputs; the
+// round-trip property is checked on everything below it.
+constexpr size_t kRoundTripBytes = 1 << 16;
+
+void DecodeAsEachPayload(const std::vector<uint8_t>& payload) {
+  const bool small = payload.size() <= kRoundTripBytes;
+  if (const auto request = DecodeQueryRequest(payload); request.ok() && small) {
+    const auto again = DecodeQueryRequest(EncodeQueryRequest(*request));
+    if (!again.ok()) abort();  // decode∘encode must accept its own output
+  }
+  if (const auto request = DecodeQueryByIdRequest(payload); request.ok()) {
+    const auto again = DecodeQueryByIdRequest(EncodeQueryByIdRequest(*request));
+    if (!again.ok() || again->video != request->video ||
+        again->k != request->k || again->deadline_ms != request->deadline_ms) {
+      abort();
+    }
+  }
+  if (const auto response = DecodeQueryResponse(payload);
+      response.ok() && small) {
+    const auto again = DecodeQueryResponse(EncodeQueryResponse(*response));
+    if (!again.ok() || again->results.size() != response->results.size()) {
+      abort();
+    }
+  }
+  if (const auto stats = DecodeServerStats(payload); stats.ok() && small) {
+    const auto again = DecodeServerStats(EncodeServerStats(*stats));
+    if (!again.ok() || again->accepted != stats->accepted) abort();
+  }
+}
+
+void DecodeAsFrame(const uint8_t* data, size_t size) {
+  if (size < kHeaderBytes) return;
+  const auto header =
+      DecodeHeader(data, vrec::server::kDefaultMaxPayloadBytes);
+  if (!header.ok()) return;
+  const size_t have = size - kHeaderBytes;
+  const size_t take =
+      header->payload_len <= have ? header->payload_len : have;
+  // Deliberately also try the truncated slice: a peer that hangs up
+  // mid-frame hands the server exactly this.
+  std::vector<uint8_t> payload(data + kHeaderBytes,
+                               data + kHeaderBytes + take);
+  if (!VerifyPayload(*header, payload).ok()) return;
+  switch (header->type) {
+    case MessageType::kQueryRequest:
+      static_cast<void>(DecodeQueryRequest(payload));
+      break;
+    case MessageType::kQueryByIdRequest:
+      static_cast<void>(DecodeQueryByIdRequest(payload));
+      break;
+    case MessageType::kQueryResponse:
+      static_cast<void>(DecodeQueryResponse(payload));
+      break;
+    case MessageType::kStatsResponse:
+      static_cast<void>(DecodeServerStats(payload));
+      break;
+    case MessageType::kStatsRequest:
+      break;  // empty payload by construction
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  DecodeAsFrame(data, size);
+  DecodeAsEachPayload(std::vector<uint8_t>(data, data + size));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Seed-corpus generator for fuzz_wire (built only under -DVREC_FUZZ=ON).
+// Writes one file per seed into the directory given as argv[1]: a valid v2
+// frame of every MessageType, their bare payloads (the harness also feeds
+// inputs straight to the payload decoders), and version-1 variants with the
+// header's version byte patched — rejected frames, but they start the
+// fuzzer one bit-flip away from the version check instead of making it
+// rediscover the magic + checksum from zero.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+
+namespace {
+
+using vrec::server::EncodeFrame;
+using vrec::server::MessageType;
+
+bool WriteSeed(const std::string& dir, const std::string& name,
+               const std::vector<uint8_t>& bytes) {
+  const std::string path = dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "make_corpus: cannot open %s\n", path.c_str());
+    return false;
+  }
+  const size_t written = bytes.empty()
+      ? 0
+      : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool ok = std::fclose(f) == 0 && written == bytes.size();
+  if (!ok) std::fprintf(stderr, "make_corpus: short write %s\n", path.c_str());
+  return ok;
+}
+
+vrec::server::QueryRequest MakeQueryRequest() {
+  vrec::server::QueryRequest request;
+  for (int s = 0; s < 3; ++s) {
+    vrec::signature::CuboidSignature sig;
+    for (int c = 0; c <= s; ++c) {
+      sig.push_back({10.0 * s + c, 1.0 / (c + 1)});
+    }
+    request.series.push_back(std::move(sig));
+  }
+  request.descriptor =
+      vrec::social::SocialDescriptor(std::vector<vrec::social::UserId>{
+          3, 14, 159, 2653});
+  request.exclude = 42;
+  request.k = 7;
+  request.deadline_ms = 250;
+  return request;
+}
+
+vrec::server::QueryResponse MakeQueryResponse() {
+  vrec::server::QueryResponse response;
+  response.results.push_back({11, 0.9, 0.5, 0.4});
+  response.results.push_back({23, 0.25, 0.25, 0.0});
+  response.timing.social_ms = 0.125;
+  response.timing.content_ms = 1.5;
+  response.timing.refine_ms = 0.75;
+  response.timing.total_ms = 2.375;
+  response.timing.candidates = 64;
+  response.timing.emd_calls = 12;
+  response.timing.jaccard_calls = 5;
+  return response;
+}
+
+vrec::server::ServerStats MakeServerStats() {
+  vrec::server::ServerStats stats;
+  stats.accepted = 100;
+  stats.rejected_overload = 3;
+  stats.completed = 97;
+  stats.batches_full = 20;
+  stats.batches_timer = 4;
+  stats.cache_hits = 31;
+  stats.cache_misses = 66;
+  stats.open_connections = 2;
+  stats.batch_size_histogram = {1, 0, 5, 18};
+  stats.timing_totals.total_ms = 212.5;
+  stats.timing_totals.candidates = 6400;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string dir = argv[1];
+
+  struct Seed {
+    const char* name;
+    MessageType type;
+    std::vector<uint8_t> payload;
+  };
+  const Seed seeds[] = {
+      {"query_request", MessageType::kQueryRequest,
+       EncodeQueryRequest(MakeQueryRequest())},
+      {"query_by_id_request", MessageType::kQueryByIdRequest,
+       vrec::server::EncodeQueryByIdRequest({77, 5, 1000})},
+      {"stats_request", MessageType::kStatsRequest, {}},
+      {"query_response", MessageType::kQueryResponse,
+       EncodeQueryResponse(MakeQueryResponse())},
+      {"stats_response", MessageType::kStatsResponse,
+       EncodeServerStats(MakeServerStats())},
+  };
+
+  bool ok = true;
+  for (const Seed& seed : seeds) {
+    std::vector<uint8_t> frame = EncodeFrame(seed.type, seed.payload);
+    ok = WriteSeed(dir, std::string("frame_v2_") + seed.name, frame) && ok;
+    ok = WriteSeed(dir, std::string("payload_") + seed.name, seed.payload) &&
+         ok;
+    frame[4] = 1;  // header version byte → a v1 frame (rejected, see above)
+    ok = WriteSeed(dir, std::string("frame_v1_") + seed.name, frame) && ok;
+  }
+  if (ok) std::printf("make_corpus: wrote %s\n", dir.c_str());
+  return ok ? 0 : 1;
+}

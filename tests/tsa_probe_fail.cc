@@ -1,0 +1,34 @@
+// NOT a test and NOT part of any build target: this file must FAIL to
+// compile under `-Wthread-safety -Werror=thread-safety`. scripts/tsa.sh
+// compiles it with -fsyntax-only and *requires a non-zero exit* — the
+// probe that proves the analysis is actually live, so a flag typo or a
+// broken macro expansion cannot let the tsa stage silently go soft. Its
+// twin tests/tsa_probe_ok.cc holds the corrected code and must compile.
+#include "util/sync.h"
+
+namespace {
+
+class Probe {
+ public:
+  // BUG (deliberate): writes a guarded member with no lock held. Clang
+  // must reject this with "writing variable 'value_' requires holding
+  // mutex 'mutex_' exclusively".
+  void Increment() { ++value_; }
+
+  int Read() {
+    vrec::util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+ private:
+  vrec::util::Mutex mutex_;
+  int value_ VREC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Probe probe;
+  probe.Increment();
+  return probe.Read();
+}

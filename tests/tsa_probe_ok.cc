@@ -1,0 +1,81 @@
+// NOT a test and NOT part of any build target: the positive twin of
+// tests/tsa_probe_fail.cc. scripts/tsa.sh compiles this file with
+// -fsyntax-only -Wthread-safety -Werror=thread-safety and requires it to
+// SUCCEED — it exercises every annotation idiom the tree relies on
+// (scoped lock, explicit Lock/Unlock across a seam, REQUIRES helpers,
+// branched TryLock, condition-variable wait loops), so a Clang release
+// that stopped accepting one of them fails here with a readable message
+// instead of somewhere deep in the build.
+#include "util/sync.h"
+
+namespace {
+
+class Conformance {
+ public:
+  // Scoped lock: the tree's default idiom.
+  void Add(int delta) {
+    vrec::util::MutexLock lock(mutex_);
+    value_ += delta;
+  }
+
+  // REQUIRES helper called with the lock already held.
+  int DoubledLocked() VREC_REQUIRES(mutex_) { return 2 * value_; }
+
+  // Explicit Lock/Unlock across an unlock/relock seam (the
+  // MicroBatcher::WorkerLoop shape).
+  int Drain() {
+    int sum = 0;
+    mutex_.Lock();
+    while (value_ > 0) {
+      --value_;
+      mutex_.Unlock();
+      ++sum;  // work done outside the lock
+      mutex_.Lock();
+    }
+    const int doubled = DoubledLocked();
+    mutex_.Unlock();
+    return sum + doubled;
+  }
+
+  // Branched TryLock: the capability is held only on the true path.
+  bool TryAdd(int delta) {
+    if (mutex_.TryLock()) {
+      value_ += delta;
+      mutex_.Unlock();
+      return true;
+    }
+    return false;
+  }
+
+  // Condition-variable wait loop: Wait is REQUIRES(mutex_), so the
+  // predicate read of the guarded member stays inside the analyzed
+  // function — no escape hatch at the call site.
+  void AwaitPositive() {
+    vrec::util::MutexLock lock(mutex_);
+    while (value_ <= 0) changed_.Wait(mutex_);
+  }
+
+  void Publish(int value) {
+    {
+      vrec::util::MutexLock lock(mutex_);
+      value_ = value;
+    }
+    changed_.NotifyAll();
+  }
+
+ private:
+  vrec::util::Mutex mutex_;
+  vrec::util::CondVar changed_;
+  int value_ VREC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Conformance c;
+  c.Publish(3);
+  c.AwaitPositive();
+  c.Add(1);
+  const bool tried = c.TryAdd(2);
+  return c.Drain() > 0 && tried ? 0 : 1;
+}

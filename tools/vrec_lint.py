@@ -24,6 +24,15 @@ Rules (all scoped to library code under src/ unless noted):
                    in library code — all byte I/O goes through the
                    EINTR-safe helpers in src/util/net.h, which that file
                    alone may implement.
+  raw-mutex        No std::mutex / std::lock_guard / std::unique_lock /
+                   std::condition_variable (or their timed/shared/scoped
+                   variants) in library code — locking goes through the
+                   annotated vrec::util types in src/util/sync.h (which
+                   alone wraps the std primitives), so Clang's thread
+                   safety analysis (-DVREC_TSA=ON) sees every acquisition.
+                   Bare `#include <mutex>` / `#include <condition_variable>`
+                   lines are flagged too; std::once_flag/std::call_once
+                   remain allowed — NOLINT the include and say so.
 
 Any rule can be silenced per line with `// NOLINT(vrec-<rule>)`.
 
@@ -56,6 +65,16 @@ _LAST_TIMING = re.compile(r"\blast_timing\s*\(")
 # (.read / ->write), qualified names (std::, util::) and longer identifiers
 # (fwrite, pread, ReadFull).
 _RAW_IO = re.compile(r"(?<![\w:.>])(?:send|recv|read|write)\s*\(")
+# Unannotated standard locking vocabulary: the types Clang's thread safety
+# analysis cannot see through, and the headers that provide them. Matching
+# `std::` + name (not the bare names) keeps vrec::util::Mutex and prose out;
+# once_flag/call_once are deliberately absent (they are init, not locking).
+_RAW_MUTEX = re.compile(
+    r"std::(?:mutex|timed_mutex|recursive_mutex|recursive_timed_mutex"
+    r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|shared_lock|condition_variable(?:_any)?)\b"
+    r"|^\s*#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+)
 _NOLINT = re.compile(r"//\s*NOLINT\(([^)]*)\)")
 
 # The one place allowed to touch raw file descriptors: the EINTR-safe
@@ -63,6 +82,13 @@ _NOLINT = re.compile(r"//\s*NOLINT\(([^)]*)\)")
 _RAW_IO_ALLOWED = {
     "src/util/net.h",
     "src/util/net.cc",
+}
+
+# The one place allowed to wrap the std locking primitives: the annotated
+# Mutex/MutexLock/CondVar layer itself.
+_RAW_MUTEX_ALLOWED = {
+    "src/util/sync.h",
+    "src/util/sync.cc",
 }
 
 
@@ -154,6 +180,12 @@ def lint_file(rel_path, lines):
                 report(line_no, "raw-io",
                        "raw send/recv/read/write in library code; use the "
                        "EINTR-safe helpers in src/util/net.h")
+            if (rel not in _RAW_MUTEX_ALLOWED and _RAW_MUTEX.search(code)
+                    and not _suppressed(raw, "raw-mutex")):
+                report(line_no, "raw-mutex",
+                       "raw std locking primitive in library code; use the "
+                       "annotated vrec::util types in src/util/sync.h so "
+                       "thread safety analysis sees the acquisition")
 
         if _LAST_TIMING.search(code) and not _suppressed(raw, "last-timing"):
             report(line_no, "last-timing",
@@ -287,6 +319,38 @@ void G(int fd, uint8_t* buf, size_t n) {
         "src/util/net.cc",
         """\
 ssize_t n = read(fd, buf, len);
+""",
+        [],
+    ),
+    (
+        "src/fake/locky.cc",
+        """\
+#include <mutex>
+#include <condition_variable>
+#include <mutex>  // NOLINT(vrec-raw-mutex): std::call_once only
+void H() {
+  std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::unique_lock<std::mutex> ul(mu);  // NOLINT(vrec-raw-mutex)
+  std::condition_variable cv;
+  std::shared_mutex sm;
+  vrec::util::Mutex ok;
+  // std::mutex in a comment is fine
+  const char* s = "std::mutex in a string is fine";
+}
+""",
+        ["raw-mutex", "raw-mutex", "raw-mutex", "raw-mutex", "raw-mutex",
+         "raw-mutex"],
+    ),
+    (
+        # The annotated wrapper layer itself may touch the std primitives.
+        "src/util/sync.h",
+        """\
+#ifndef VREC_UTIL_SYNC_H_
+#define VREC_UTIL_SYNC_H_
+#include <mutex>
+std::mutex mu_;
+#endif  // VREC_UTIL_SYNC_H_
 """,
         [],
     ),
