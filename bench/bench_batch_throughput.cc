@@ -78,15 +78,10 @@ int Run(int repeat, int k) {
                 1000.0 * elapsed / static_cast<double>(queries.size()),
                 qps / base_qps);
     if (threads == thread_counts.back()) {
+      // operator+= is QueryTiming's one aggregation point — summing fields
+      // by hand here silently drops newly added counters.
       core::QueryTiming sum;
-      for (const auto& r : results) {
-        sum.emd_calls += r.timing.emd_calls;
-        sum.pairs_pruned += r.timing.pairs_pruned;
-        sum.candidates_pruned += r.timing.candidates_pruned;
-        sum.jaccard_calls += r.timing.jaccard_calls;
-        sum.social_candidates_skipped += r.timing.social_candidates_skipped;
-        sum.exact_social_pruned += r.timing.exact_social_pruned;
-      }
+      for (const auto& r : results) sum += r.timing;
       const double n = static_cast<double>(queries.size());
       std::printf("fast path per query: %.0f EMD calls, %.0f pairs pruned, "
                   "%.0f candidates pruned\n",
@@ -98,6 +93,10 @@ int Run(int repeat, int k) {
                   static_cast<double>(sum.jaccard_calls) / n,
                   static_cast<double>(sum.social_candidates_skipped) / n,
                   static_cast<double>(sum.exact_social_pruned) / n);
+      std::printf("data layout per query: %.0f pool bytes streamed, "
+                  "%.0f bound batches\n",
+                  static_cast<double>(sum.pool_bytes_streamed) / n,
+                  static_cast<double>(sum.bound_batches) / n);
     }
   }
   if (hw < 2) {

@@ -2,14 +2,18 @@
 // posting-driven Σmin accumulation (SAR modes) and name-set Jaccard vs.
 // id-keyed merges with cardinality-bound pruning (exact mode), in SR
 // configuration (use_content = false) so the social stage is the whole
-// query cost.
+// query cost. The sar mode additionally sweeps the data-layout ablation
+// ladder (base fast path, +pooled_layout, +simd_kernels, +arena_scratch)
+// against one shared dense baseline.
 //
 // This is also a smoke gate for scripts/verify.sh and CI: it exits
-// non-zero unless (a) every mode's fast path returns bit-for-bit the naive
-// top-K for every query, (b) the skip counters fired (the cardinality
-// bound pruned merges and the posting walk skipped disjoint-audience
-// records), and (c) outside --smoke, the SAR scoring stage runs >= 2x
-// faster than the dense baseline. Results go to BENCH_social.json.
+// non-zero unless (a) every mode and layer row returns bit-for-bit the
+// naive top-K for every query, (b) the skip counters fired (the
+// cardinality bound pruned merges, the posting walk skipped
+// disjoint-audience records, the pool/bound counters engaged exactly on
+// the rows enabling them), and (c) outside --smoke, the pooled+simd SAR
+// scoring stage runs >= 2x faster than the dense baseline. Results go to
+// BENCH_social.json.
 //
 // Usage: bench_social_scoring [--smoke] [repeat] [k] [out.json]
 //   --smoke: smaller corpus, one replay, speedup gate advisory only
@@ -37,6 +41,8 @@ struct Measurement {
   size_t jaccard_calls = 0;
   size_t social_candidates_skipped = 0;
   size_t exact_social_pruned = 0;
+  size_t pool_bytes_streamed = 0;
+  size_t bound_batches = 0;
   std::vector<std::vector<core::ScoredVideo>> results;
 };
 
@@ -58,6 +64,8 @@ Measurement RunQueries(core::Recommender* rec,
     m.jaccard_calls += timing.jaccard_calls;
     m.social_candidates_skipped += timing.social_candidates_skipped;
     m.exact_social_pruned += timing.exact_social_pruned;
+    m.pool_bytes_streamed += timing.pool_bytes_streamed;
+    m.bound_batches += timing.bound_batches;
     m.results.push_back(std::move(results).value());
   }
   return m;
@@ -93,6 +101,8 @@ struct ModeResult {
   double naive_jaccard = 0.0;  // per query
   double skipped = 0.0;        // per query
   double pruned = 0.0;         // per query
+  double pool_bytes = 0.0;     // per query (pooled_layout rows only)
+  double batches = 0.0;        // per query (simd_kernels rows only)
   bool equivalent = false;
 };
 
@@ -143,9 +153,15 @@ void KernelMicrobench(double* dense_us, double* sparse_us) {
   if (sink < 0.0) std::printf("impossible %f\n", sink);  // keep `sink` live
 }
 
+// One row of the comparison: the fast side runs `mode` with the given
+// data-layout layers; the naive side always runs the dense all-layers-off
+// baseline. Pass `naive_cache` to reuse a baseline measured on the same
+// dataset/mode (the layer sweep shares one).
 ModeResult RunMode(const datagen::Dataset& dataset, core::SocialMode mode,
                    const std::string& name, int repeat, int k,
-                   size_t max_candidates) {
+                   size_t max_candidates, bool pooled, bool simd, bool arena,
+                   const Measurement* naive_cache = nullptr,
+                   Measurement* naive_out = nullptr) {
   core::RecommenderOptions options;
   options.social_mode = mode;
   options.use_content = false;  // SR: the social stage is the query
@@ -154,14 +170,17 @@ ModeResult RunMode(const datagen::Dataset& dataset, core::SocialMode mode,
   // the cardinality bound. Identical on both sides, so equivalence still
   // compares like with like.
   options.max_candidates = max_candidates;
+  options.pooled_layout = pooled;
+  options.simd_kernels = simd;
+  options.arena_scratch = arena;
 
   core::RecommenderOptions naive_options = options;
   naive_options.sparse_social = false;
   naive_options.exact_social_by_id = false;
   naive_options.posting_social = false;
-
-  const auto fast = BuildRecommender(dataset, options);
-  const auto naive = BuildRecommender(dataset, naive_options);
+  naive_options.pooled_layout = false;
+  naive_options.simd_kernels = false;
+  naive_options.arena_scratch = false;
 
   std::vector<video::VideoId> queries;
   for (int r = 0; r < repeat; ++r) {
@@ -170,11 +189,19 @@ ModeResult RunMode(const datagen::Dataset& dataset, core::SocialMode mode,
     }
   }
 
-  // Warm-up, then measure.
+  // Warm-up, then measure (the naive baseline once per dataset/mode).
+  const auto fast = BuildRecommender(dataset, options);
   RunQueries(fast.get(), {0}, k);
-  RunQueries(naive.get(), {0}, k);
   const Measurement fast_m = RunQueries(fast.get(), queries, k);
-  const Measurement naive_m = RunQueries(naive.get(), queries, k);
+  Measurement naive_local;
+  if (naive_cache == nullptr) {
+    const auto naive = BuildRecommender(dataset, naive_options);
+    RunQueries(naive.get(), {0}, k);
+    naive_local = RunQueries(naive.get(), queries, k);
+    naive_cache = &naive_local;
+  }
+  const Measurement& naive_m = *naive_cache;
+  if (naive_out != nullptr) *naive_out = naive_m;
 
   const double n = static_cast<double>(queries.size());
   ModeResult r;
@@ -190,13 +217,17 @@ ModeResult RunMode(const datagen::Dataset& dataset, core::SocialMode mode,
   r.naive_jaccard = static_cast<double>(naive_m.jaccard_calls) / n;
   r.skipped = static_cast<double>(fast_m.social_candidates_skipped) / n;
   r.pruned = static_cast<double>(fast_m.exact_social_pruned) / n;
+  r.pool_bytes = static_cast<double>(fast_m.pool_bytes_streamed) / n;
+  r.batches = static_cast<double>(fast_m.bound_batches) / n;
   r.equivalent = Identical(fast_m, naive_m);
-  std::printf("%-8s total naive %.3f -> fast %.3f ms/query (%.2fx), "
+  std::printf("%-18s total naive %.3f -> fast %.3f ms/query (%.2fx), "
               "scoring %.3f -> %.3f ms/query (%.2fx)\n"
-              "         Jaccard %.0f vs %.0f, skipped %.0f, pruned %.0f  %s\n",
+              "                   Jaccard %.0f vs %.0f, skipped %.0f, "
+              "pruned %.0f, pool B %.0f, batches %.1f  %s\n",
               name.c_str(), r.naive_ms, r.fast_ms, r.speedup,
               r.naive_scoring_ms, r.fast_scoring_ms, r.scoring_speedup,
               r.fast_jaccard, r.naive_jaccard, r.skipped, r.pruned,
+              r.pool_bytes, r.batches,
               r.equivalent ? "MATCH" : "MISMATCH");
   return r;
 }
@@ -230,13 +261,28 @@ int Run(bool smoke, int repeat, int k, const std::string& out_path) {
 
   // Exact mode gets a tight pool so the candidate heap fills and the bound
   // can reject merges; the SAR modes keep a wide pool so the scoring stage
-  // is the measured cost.
+  // is the measured cost. The headline rows run the full layer stack; the
+  // sar sweep below then peels the data-layout layers back off one at a
+  // time against one shared dense baseline.
   const ModeResult exact =
-      RunMode(exact_data, core::SocialMode::kExact, "exact", repeat, k, 12);
+      RunMode(exact_data, core::SocialMode::kExact, "exact", repeat, k, 12,
+              true, true, true);
+  Measurement sar_naive;
+  const ModeResult sar_base =
+      RunMode(sar_data, core::SocialMode::kSar, "sar/base", repeat, k, 400,
+              false, false, false, nullptr, &sar_naive);
+  const ModeResult sar_pooled =
+      RunMode(sar_data, core::SocialMode::kSar, "sar/pooled", repeat, k, 400,
+              true, false, false, &sar_naive);
   const ModeResult sar =
-      RunMode(sar_data, core::SocialMode::kSar, "sar", repeat, k, 400);
+      RunMode(sar_data, core::SocialMode::kSar, "sar/pooled+simd", repeat, k,
+              400, true, true, false, &sar_naive);
+  const ModeResult sar_arena =
+      RunMode(sar_data, core::SocialMode::kSar, "sar/all", repeat, k, 400,
+              true, true, true, &sar_naive);
   const ModeResult sarh =
-      RunMode(sar_data, core::SocialMode::kSarHash, "sar-h", repeat, k, 400);
+      RunMode(sar_data, core::SocialMode::kSarHash, "sar-h", repeat, k, 400,
+              true, true, true);
 
   double kernel_dense_us = 0.0;
   double kernel_sparse_us = 0.0;
@@ -245,20 +291,28 @@ int Run(bool smoke, int repeat, int k, const std::string& out_path) {
               kernel_dense_us, kernel_sparse_us,
               kernel_dense_us / kernel_sparse_us);
 
-  const bool equivalent =
-      exact.equivalent && sar.equivalent && sarh.equivalent;
+  const bool equivalent = exact.equivalent && sar_base.equivalent &&
+                          sar_pooled.equivalent && sar.equivalent &&
+                          sar_arena.equivalent && sarh.equivalent;
   // The shortcuts must actually fire: the bound skips exact merges, the
-  // posting walk leaves disjoint-audience records untouched, and the fast
-  // side runs strictly fewer pairwise Jaccard evaluations.
-  const bool counters_fired = exact.pruned > 0.0 && sar.skipped > 0.0 &&
-                              sarh.skipped > 0.0 &&
-                              exact.fast_jaccard < exact.naive_jaccard &&
-                              sar.fast_jaccard < sar.naive_jaccard;
+  // posting walk leaves disjoint-audience records untouched, the fast side
+  // runs strictly fewer pairwise Jaccard evaluations — and the data-layout
+  // counters engage exactly on the rows that enable them (the exact row's
+  // candidate sweep batches bounds; pooled sar rows stream pool bytes).
+  const bool counters_fired =
+      exact.pruned > 0.0 && sar.skipped > 0.0 && sarh.skipped > 0.0 &&
+      exact.fast_jaccard < exact.naive_jaccard &&
+      sar.fast_jaccard < sar.naive_jaccard && exact.batches > 0.0 &&
+      sar.pool_bytes > 0.0 && sar_base.pool_bytes == 0.0 &&
+      sar_base.batches == 0.0 && sar_pooled.batches == 0.0;
+  // The >= 2x full-mode gate holds on the pooled+simd layer: the SoA
+  // histogram pool must preserve (and it in practice extends) the sparse
+  // fast path's margin over the dense baseline.
   const double sar_speedup =
       std::min(sar.scoring_speedup, sarh.scoring_speedup);
   const bool fast_enough = sar_speedup >= 2.0;
-  std::printf("equivalence: %s, shortcuts fired: %s, SAR scoring stage "
-              "%.2fx (gate >= 2x%s): %s\n",
+  std::printf("equivalence: %s, shortcuts fired: %s, SAR pooled+simd "
+              "scoring stage %.2fx (gate >= 2x%s): %s\n",
               equivalent ? "PASS" : "FAIL",
               counters_fired ? "PASS" : "FAIL", sar_speedup,
               smoke ? ", advisory under --smoke" : "",
@@ -277,8 +331,10 @@ int Run(bool smoke, int repeat, int k, const std::string& out_path) {
                "  \"modes\": {\n",
                smoke ? "true" : "false",
                exact_data.video_count() * static_cast<size_t>(repeat), k);
-  const ModeResult* results[] = {&exact, &sar, &sarh};
-  for (size_t i = 0; i < 3; ++i) {
+  const ModeResult* results[] = {&exact,  &sar_base, &sar_pooled,
+                                 &sar,    &sar_arena, &sarh};
+  constexpr size_t kRows = sizeof(results) / sizeof(results[0]);
+  for (size_t i = 0; i < kRows; ++i) {
     const ModeResult& r = *results[i];
     std::fprintf(out,
                  "    \"%s\": {\n"
@@ -292,12 +348,15 @@ int Run(bool smoke, int repeat, int k, const std::string& out_path) {
                  "      \"naive_jaccard_calls_per_query\": %.2f,\n"
                  "      \"candidates_skipped_per_query\": %.2f,\n"
                  "      \"exact_merges_pruned_per_query\": %.2f,\n"
+                 "      \"pool_bytes_streamed_per_query\": %.1f,\n"
+                 "      \"bound_batches_per_query\": %.2f,\n"
                  "      \"equivalent\": %s\n"
                  "    }%s\n",
                  r.name.c_str(), r.naive_ms, r.fast_ms, r.naive_scoring_ms,
                  r.fast_scoring_ms, r.speedup, r.scoring_speedup,
                  r.fast_jaccard, r.naive_jaccard, r.skipped, r.pruned,
-                 r.equivalent ? "true" : "false", i + 1 < 3 ? "," : "");
+                 r.pool_bytes, r.batches,
+                 r.equivalent ? "true" : "false", i + 1 < kRows ? "," : "");
   }
   std::fprintf(out,
                "  },\n"

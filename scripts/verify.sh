@@ -22,9 +22,11 @@ cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
 echo "=== content fast path: release smoke (equivalence + prune counters) ==="
-# The bench exits non-zero unless the pruned fast path reproduces the naive
-# top-K bit for bit AND both prune counters are nonzero (bounds fired).
-./build/bench/bench_content_scoring 1 10 build/BENCH_content.json
+# The bench exits non-zero unless every data-layout ablation layer (SoA
+# pools, batched bound kernels, arena scratch) reproduces the naive top-K
+# bit for bit, both prune counters are nonzero (bounds fired), and the
+# pool/bound counters fire exactly on the layers that enable them.
+./build/bench/bench_content_scoring --smoke 1 10 build/BENCH_content.json
 
 echo "=== social fast path: release smoke (equivalence + skip counters) ==="
 # Exits non-zero unless every social mode's fast path reproduces the naive
@@ -32,6 +34,18 @@ echo "=== social fast path: release smoke (equivalence + skip counters) ==="
 # merges, posting walk skipped disjoint-audience records). The >= 2x SAR
 # scoring-stage gate is advisory under --smoke.
 ./build/bench/bench_social_scoring --smoke build/BENCH_social.json
+
+echo "=== simd-off: scalar-fallback build reproduces the vectorized results ==="
+# -DVREC_SIMD=OFF compiles the same loop bodies without the omp-simd
+# pragmas. The equivalence suites and the bench's bit-for-bit gate must
+# still pass — proving the pragmas only changed instruction scheduling,
+# never values, and that the scalar fallback path stays healthy.
+cmake -B build-nosimd -S . -DVREC_SIMD=OFF >/dev/null
+cmake --build build-nosimd -j "$JOBS" --target vrec_tests bench_content_scoring
+(cd build-nosimd && ctest --output-on-failure -j "$JOBS" \
+  -R 'FastPathEquivalence|SocialFastPath|PreparedPool|HistogramPool|SimdKernel')
+./build-nosimd/bench/bench_content_scoring --smoke 1 10 \
+  build-nosimd/BENCH_content.json
 
 echo "=== serving: micro-batching smoke against a live loopback server ==="
 # Exits non-zero unless concurrent queries actually coalesce (mean batch

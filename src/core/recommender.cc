@@ -9,7 +9,9 @@
 #include "signature/emd.h"
 #include "signature/sequence_distances.h"
 #include "social/uig.h"
+#include "util/arena.h"
 #include "util/check.h"
+#include "util/simd.h"
 #include "util/stopwatch.h"
 #include "video/segmenter.h"
 
@@ -103,9 +105,10 @@ void Recommender::RefreshVideoVector(size_t index) {
   for (const auto& bin : record.social_vector.bins) {
     inverted_file_.RemoveVideoFromCommunity(bin.first, record.id);
   }
-  std::vector<int> scratch;
+  util::Arena* arena = options_.arena_scratch ? util::ThisThreadArena() : nullptr;
+  if (arena != nullptr) arena->Reset();
   dictionary_->VectorizeSparse(record.descriptor, &record.social_vector,
-                               &scratch);
+                               arena);
   if (!options_.sparse_social) {
     record.social_dense = social::ToDense(record.social_vector,
                                           dictionary_->k());
@@ -115,6 +118,11 @@ void Recommender::RefreshVideoVector(size_t index) {
   // already know — append directly (keeps the rebuild linear).
   for (const auto& [c, w] : record.social_vector.bins) {
     inverted_file_.Append(c, record.id, w);
+  }
+  // Keep the pooled scoring mirror in sync (tombstoned old range, histogram
+  // re-appended at the tail; the pool self-compacts under churn).
+  if (histogram_pool_.slot_count() > index) {
+    histogram_pool_.Update(index, record.social_vector);
   }
 }
 
@@ -161,15 +169,17 @@ Status Recommender::Finalize(size_t user_count) {
         uig, *extraction, options_.k_subcommunities, dictionary_.get());
 
     // Vectorization is independent per record (each task writes only its
-    // own record's histogram), so it fans across the pool with one
-    // thread-local scratch buffer per worker — the batch loop performs no
+    // own record's histogram), so it fans across the pool with each
+    // worker's thread arena as scratch — the batch loop performs no
     // steady-state allocation. The inverted-file postings are appended
     // serially afterwards (shared map, cheap appends).
     util::ParallelFor(pool_.get(), records_.size(), [&](size_t i) {
       if (!records_[i].active) return;
-      thread_local std::vector<int> scratch;
+      util::Arena* arena =
+          options_.arena_scratch ? util::ThisThreadArena() : nullptr;
+      if (arena != nullptr) arena->Reset();
       dictionary_->VectorizeSparse(records_[i].descriptor,
-                                   &records_[i].social_vector, &scratch);
+                                   &records_[i].social_vector, arena);
       if (!options_.sparse_social) {
         records_[i].social_dense =
             social::ToDense(records_[i].social_vector, dictionary_->k());
@@ -180,6 +190,15 @@ Status Recommender::Finalize(size_t user_count) {
       for (const auto& [c, w] : r.social_vector.bins) {
         inverted_file_.Append(c, r.id, w);
       }
+    }
+    if (options_.pooled_layout) {
+      // Flatten the per-record histograms into the SoA scoring mirror.
+      std::vector<const social::SparseHistogram*> histograms;
+      histograms.reserve(records_.size());
+      for (const Record& r : records_) {
+        histograms.push_back(r.active ? &r.social_vector : nullptr);
+      }
+      histogram_pool_.Build(histograms);
     }
   }
 
@@ -201,6 +220,36 @@ Status Recommender::Finalize(size_t user_count) {
     series.reserve(records_.size());
     for (const Record& r : records_) series.emplace_back(r.id, &r.prepared);
     lsb_->AddVideosBulkPrepared(series, pool_.get());
+  }
+
+  if (UsesKappaFastPath() && options_.pooled_layout) {
+    // Migrate the prepared signatures into the flat SoA pool and drop the
+    // per-record copies — from here on the pool is the authoritative
+    // prepared store and every scoring kernel reads views into it. This
+    // must run after the LSB build above, which consumes r.prepared (it
+    // embeds the keys during the call and retains no pointers).
+    std::vector<const signature::PreparedSeries*> prepared;
+    prepared.reserve(records_.size());
+    for (const Record& r : records_) {
+      prepared.push_back(r.active ? &r.prepared : nullptr);
+    }
+    prepared_pool_.Build(prepared);
+    for (Record& r : records_) {
+      r.prepared.clear();
+      r.prepared.shrink_to_fit();
+    }
+  }
+
+  if (options_.social_mode == SocialMode::kExact &&
+      options_.exact_social_by_id) {
+    // Dense |descriptor| mirror for the batched cardinality-bound sweep.
+    descriptor_sizes_.resize(records_.size());
+    for (size_t i = 0; i < records_.size(); ++i) {
+      descriptor_sizes_[i] =
+          records_[i].active
+              ? static_cast<double>(records_[i].descriptor.size())
+              : 0.0;
+    }
   }
 
   finalized_ = true;
@@ -233,6 +282,19 @@ Status Recommender::CheckInvariants() const {
         return Status::Internal("tombstoned video " + std::to_string(r.id) +
                                 " retains prepared signatures");
       }
+      if (prepared_pool_.slot_count() > i && !prepared_pool_.View(i).empty()) {
+        return Status::Internal("tombstoned video " + std::to_string(r.id) +
+                                " retains a pooled prepared series");
+      }
+      if (histogram_pool_.slot_count() > i &&
+          !histogram_pool_.View(i).empty()) {
+        return Status::Internal("tombstoned video " + std::to_string(r.id) +
+                                " retains a pooled histogram");
+      }
+      if (!descriptor_sizes_.empty() && descriptor_sizes_[i] != 0.0) {
+        return Status::Internal("tombstoned video " + std::to_string(r.id) +
+                                " retains a descriptor-size mirror entry");
+      }
       continue;
     }
     ++active;
@@ -255,7 +317,30 @@ Status Recommender::CheckInvariants() const {
     }
     // Prepared cache mirrors the raw series signature for signature, with
     // value-sorted supports (what the two-pointer EMD kernel assumes).
-    if (UsesKappaFastPath()) {
+    // Under pooled_layout the mirror lives in prepared_pool_ and the
+    // per-record copies must be gone.
+    if (UsesKappaFastPath() && options_.pooled_layout) {
+      if (!r.prepared.empty()) {
+        return Status::Internal("video " + std::to_string(r.id) +
+                                " retains an owned prepared series in "
+                                "pooled layout");
+      }
+      if (prepared_pool_.slot_count() != records_.size()) {
+        return Status::Internal("prepared pool slot count off");
+      }
+      const signature::PreparedSeriesView view = prepared_pool_.View(i);
+      if (view.count != r.series.size()) {
+        return Status::Internal("pooled prepared series out of sync for "
+                                "video " + std::to_string(r.id));
+      }
+      for (size_t s = 0; s < view.count; ++s) {
+        if (view[s].len != r.series[s].size()) {
+          return Status::Internal("pooled prepared signature " +
+                                  std::to_string(s) + " corrupt for video " +
+                                  std::to_string(r.id));
+        }
+      }
+    } else if (UsesKappaFastPath()) {
       if (r.prepared.size() != r.series.size()) {
         return Status::Internal("prepared series out of sync for video " +
                                 std::to_string(r.id));
@@ -322,6 +407,55 @@ Status Recommender::CheckInvariants() const {
                                 "'s slot list");
       }
     }
+  }
+  // SoA scoring pools: structural self-audits, slot-per-record shape, and
+  // (for the histogram mirror) bin-for-bin agreement with the records'
+  // authoritative sparse vectors.
+  if (UsesKappaFastPath() && options_.pooled_layout) {
+    if (const Status s = prepared_pool_.CheckInvariants(); !s.ok()) return s;
+  } else if (prepared_pool_.slot_count() != 0) {
+    return Status::Internal("prepared pool populated outside pooled kKappaJ");
+  }
+  if (UsesSar() && options_.pooled_layout) {
+    if (const Status s = histogram_pool_.CheckInvariants(); !s.ok()) return s;
+    if (histogram_pool_.slot_count() != records_.size()) {
+      return Status::Internal("histogram pool slot count off");
+    }
+    for (size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      if (!r.active) continue;
+      const social::SparseHistogramView view = histogram_pool_.View(i);
+      bool mirrored = view.len == r.social_vector.nnz() &&
+                      view.sum == r.social_vector.sum;
+      for (size_t e = 0; mirrored && e < view.len; ++e) {
+        mirrored = view.bins[e] == r.social_vector.bins[e].first &&
+                   view.weights[e] == r.social_vector.bins[e].second;
+      }
+      if (!mirrored) {
+        return Status::Internal("pooled histogram out of sync for video " +
+                                std::to_string(r.id));
+      }
+    }
+  } else if (histogram_pool_.slot_count() != 0) {
+    return Status::Internal("histogram pool populated outside pooled SAR");
+  }
+  const bool wants_sizes = options_.social_mode == SocialMode::kExact &&
+                           options_.exact_social_by_id;
+  if (wants_sizes) {
+    if (descriptor_sizes_.size() != records_.size()) {
+      return Status::Internal("descriptor-size mirror length off");
+    }
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (records_[i].active &&
+          descriptor_sizes_[i] !=
+              static_cast<double>(records_[i].descriptor.size())) {
+        return Status::Internal("descriptor-size mirror out of sync for "
+                                "video " + std::to_string(records_[i].id));
+      }
+    }
+  } else if (!descriptor_sizes_.empty()) {
+    return Status::Internal(
+        "descriptor-size mirror populated outside the kExact id path");
   }
   // Social structures.
   if (UsesSar()) {
@@ -464,7 +598,7 @@ std::vector<std::string> Recommender::NamesOf(
   return names;
 }
 
-double Recommender::SocialScore(const SocialQuery& query,
+double Recommender::SocialScore(const SocialQuery& query, size_t slot,
                                 const Record& record,
                                 QueryTiming* timing) const {
   switch (options_.social_mode) {
@@ -483,19 +617,35 @@ double Recommender::SocialScore(const SocialQuery& query,
       return social::ExactJaccardByNames(query.names, record.user_names);
     case SocialMode::kSar:
     case SocialMode::kSarHash: {
+      const bool pooled = histogram_pool_.slot_count() > slot;
       if (query.posting_scored) {
         // Σmin was accumulated term-at-a-time during the inverted-file
         // walk; a missing entry means no shared sub-community, which the
-        // pairwise merge would score 0 as well.
+        // pairwise merge would score 0 as well. The candidate's total mass
+        // comes from the pool's cached per-slot sum when pooled (the value
+        // was copied verbatim at build, so the division is bit-identical).
         const auto it = query.min_overlap.find(record.id);
         if (it == query.min_overlap.end() || it->second <= 0.0) return 0.0;
         const double num = it->second;
-        const double den =
-            query.sparse.sum + record.social_vector.sum - num;
+        double record_sum;
+        if (pooled) {
+          record_sum = histogram_pool_.SumOf(slot);
+          timing->pool_bytes_streamed += sizeof(double);
+        } else {
+          record_sum = record.social_vector.sum;
+        }
+        const double den = query.sparse.sum + record_sum - num;
         return den > 0.0 ? num / den : 0.0;
       }
       ++timing->jaccard_calls;
       if (options_.sparse_social) {
+        if (pooled) {
+          // Same two-pointer merge, streaming the pool's flat bin/weight
+          // arrays instead of the record's pair vector.
+          timing->pool_bytes_streamed += histogram_pool_.BytesOf(slot);
+          return social::ApproxJaccardSparse(query.sparse,
+                                             histogram_pool_.View(slot));
+        }
         return social::ApproxJaccardSparse(query.sparse,
                                            record.social_vector);
       }
@@ -606,9 +756,13 @@ Status Recommender::RemoveVideo(video::VideoId id) {
   record.social_dense.clear();
   // Tombstones never score again; drop the prepared cache (the raw series
   // stays for the LSB invariant audit, whose stale entries are query-time
-  // filtered).
+  // filtered). The SoA pools tombstone the slot and self-compact once dead
+  // bytes dominate.
   record.prepared.clear();
   record.prepared.shrink_to_fit();
+  if (prepared_pool_.slot_count() > slot) prepared_pool_.Release(slot);
+  if (histogram_pool_.slot_count() > slot) histogram_pool_.Release(slot);
+  if (!descriptor_sizes_.empty()) descriptor_sizes_[slot] = 0.0;
   // Purge the tombstoned slot from its users' video lists — otherwise every
   // later ApplySocialUpdate re-touches the dead record and the map grows
   // without bound under add/remove churn.
@@ -634,6 +788,13 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
 
   Stopwatch total;
   QueryTiming timing;
+  // Per-query scratch arena (arena_scratch layer): one bump allocator per
+  // thread, reset at query entry, backing every transient buffer below
+  // (KappaJ scratch, signature views, bound matrices). Null when the layer
+  // is off — the identical containers then fall back to the heap.
+  util::Arena* const arena =
+      options_.arena_scratch ? util::ThisThreadArena() : nullptr;
+  if (arena != nullptr) arena->Reset();
   std::set<size_t> pool;
 
   // --- Social candidate stage (Figure 6 lines 1-3). ---
@@ -665,11 +826,28 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
           heap(cand_better);
       const size_t cap = options_.max_candidates;
       const size_t nq = descriptor.size();
+      // simd_kernels layer: the cardinality bound is an elementwise
+      // min/max/divide, so one batched sweep over the dense
+      // descriptor-size mirror fills every record's bound up front —
+      // bit-identical to the scalar per-record form (same casts, same
+      // IEEE division, lane-selected zero guard).
+      util::ArenaVector<double> bound_sweep{util::ArenaAllocator<double>(arena)};
+      const double* bounds_all = nullptr;
+      if (options_.simd_kernels && !records_.empty()) {
+        bound_sweep.resize(records_.size());
+        util::simd::JaccardCardinalityBoundMany(
+            static_cast<double>(nq), descriptor_sizes_.data(),
+            records_.size(), bound_sweep.data());
+        ++timing.bound_batches;
+        bounds_all = bound_sweep.data();
+      }
       for (size_t i = 0; i < records_.size(); ++i) {
         const Record& r = records_[i];
         if (!r.active) continue;
         const double bound =
-            social::JaccardCardinalityBound(nq, r.descriptor.size());
+            bounds_all != nullptr
+                ? bounds_all[i]
+                : social::JaccardCardinalityBound(nq, r.descriptor.size());
         if (bound <= 0.0) continue;  // exact score is 0; naive admits s > 0
         if (heap.size() == cap &&
             !cand_better({bound, r.id, i}, heap.top())) {
@@ -758,7 +936,12 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
   phase.Restart();
   const bool kappa_fast = UsesKappaFastPath();
   signature::PreparedSeries query_prepared;
-  if (kappa_fast) query_prepared = signature::PrepareSeries(series);
+  signature::SeriesViewStorage query_store(arena);
+  signature::PreparedSeriesView query_view;
+  if (kappa_fast) {
+    query_prepared = signature::PrepareSeries(series);
+    query_view = signature::MakeSeriesView(query_prepared, &query_store);
+  }
   if (options_.use_content) {
     if (lsb_ != nullptr) {
       auto hits = lsb_->CandidatesForPreparedSeries(query_prepared, probes);
@@ -803,8 +986,42 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
 
   // --- Refinement (Figure 6 lines 7-10): FJ over the pool. ---
   phase.Restart();
-  signature::KappaJScratch scratch;  // shared by every candidate this query
+  // Shared by every candidate this query; arena-backed when the layer is on.
+  signature::KappaJScratch scratch(arena);
   signature::KappaJStats kstats;
+  // Candidate prepared-series views: pooled_layout resolves the pool slot
+  // in O(1) (counting the bytes the kernels stream); otherwise the view is
+  // assembled over the record's own vectors in reused storage. Either way
+  // the kernels below run off the same PreparedSeriesView type, which is
+  // what makes the layouts trivially bit-identical.
+  signature::SeriesViewStorage cand_store(arena);
+  auto candidate_view = [&](size_t slot,
+                            const Record& record) -> signature::PreparedSeriesView {
+    if (prepared_pool_.slot_count() > slot) {
+      timing.pool_bytes_streamed += prepared_pool_.BytesOf(slot);
+      return prepared_pool_.View(slot);
+    }
+    return signature::MakeSeriesView(record.prepared, &cand_store);
+  };
+  // simd_kernels layer: per candidate, one batched SimCUpperBoundMany call
+  // per query signature fills the centroid-bound matrix, which the
+  // refinement cascade and the pair prune then share — the bound divisions
+  // happen once instead of twice, vectorized. Consumers read the matrix in
+  // the exact (i, j) order the scalar path computes the bounds, so every
+  // comparison sees the identical IEEE value.
+  util::ArenaVector<double> bound_matrix{util::ArenaAllocator<double>(arena)};
+  auto fill_bounds =
+      [&](const signature::PreparedSeriesView& q,
+          const signature::PreparedSeriesView& c) -> const double* {
+    if (q.count == 0 || c.count == 0) return nullptr;
+    bound_matrix.resize(q.count * c.count);
+    for (size_t qi = 0; qi < q.count; ++qi) {
+      util::simd::SimCUpperBoundMany(q.means[qi], c.means, c.count,
+                                     bound_matrix.data() + qi * c.count);
+    }
+    ++timing.bound_batches;
+    return bound_matrix.data();
+  };
   std::vector<ScoredVideo> scored;
   // The result order everywhere: score descending, ties by ascending id.
   auto better = [](const ScoredVideo& a, const ScoredVideo& b) {
@@ -846,7 +1063,7 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
           exact_bound_order
               ? social::JaccardCardinalityBound(descriptor.size(),
                                                 record.descriptor.size())
-              : SocialScore(social_query, record, &timing);
+              : SocialScore(social_query, i, record, &timing);
       pending.push_back({i, s});
     }
     std::sort(pending.begin(), pending.end(),
@@ -878,29 +1095,38 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
         }
       }
       const double social =
-          exact_bound_order ? SocialScore(social_query, record, &timing)
+          exact_bound_order ? SocialScore(social_query, p.slot, record, &timing)
                             : p.social;
+      if (full && exact_bound_order && FuseScore(1.0, social) < bar) {
+        // The resolved exact score can fail the bar its bound passed.
+        ++timing.candidates_pruned;
+        continue;
+      }
+      const signature::PreparedSeriesView cview =
+          candidate_view(p.slot, record);
+      const double* bounds = nullptr;  // filled at most once per candidate
       if (full) {
-        if (exact_bound_order && FuseScore(1.0, social) < bar) {
-          // The resolved exact score can fail the bar its bound passed.
-          ++timing.candidates_pruned;
-          continue;
-        }
         // Cascade stage 2: the centroid-bound matrix (O(|S1|*|S2|)
-        // subtractions, no EMD).
+        // subtractions, no EMD) — batch-filled once and reused by the pair
+        // prune below when the simd layer is on.
+        if (options_.simd_kernels) bounds = fill_bounds(query_view, cview);
         const double content_ub = signature::KappaJUpperBound(
-            query_prepared, record.prepared, options_.kappa, &scratch);
+            query_view, cview, options_.kappa, bounds, &scratch);
         if (FuseScore(content_ub, social) < bar) {
           ++timing.candidates_pruned;
           continue;
         }
       }
+      if (options_.simd_kernels && options_.prune_pairs &&
+          bounds == nullptr) {
+        bounds = fill_bounds(query_view, cview);
+      }
       ScoredVideo sv;
       sv.id = record.id;
       sv.social = social;
       sv.content = signature::KappaJPrepared(
-          query_prepared, record.prepared, options_.kappa,
-          options_.prune_pairs, &scratch, &kstats);
+          query_view, cview, options_.kappa, options_.prune_pairs, bounds,
+          &scratch, &kstats);
       sv.score = FuseScore(sv.content, sv.social);
       if (topk.size() < want) {
         topk.push(sv);
@@ -927,14 +1153,21 @@ StatusOr<std::vector<ScoredVideo>> Recommender::RecommendInternal(
       ScoredVideo sv;
       sv.id = record.id;
       if (options_.use_content) {
-        sv.content = kappa_fast
-                         ? signature::KappaJPrepared(
-                               query_prepared, record.prepared,
-                               options_.kappa, options_.prune_pairs,
-                               &scratch, &kstats)
-                         : ContentScore(series, record);
+        if (kappa_fast) {
+          const signature::PreparedSeriesView cview =
+              candidate_view(i, record);
+          const double* bounds =
+              options_.simd_kernels && options_.prune_pairs
+                  ? fill_bounds(query_view, cview)
+                  : nullptr;
+          sv.content = signature::KappaJPrepared(
+              query_view, cview, options_.kappa, options_.prune_pairs,
+              bounds, &scratch, &kstats);
+        } else {
+          sv.content = ContentScore(series, record);
+        }
       }
-      sv.social = SocialScore(social_query, record, &timing);
+      sv.social = SocialScore(social_query, i, record, &timing);
       sv.score = FuseScore(sv.content, sv.social);
       scored.push_back(sv);
     }
@@ -968,6 +1201,10 @@ StatusOr<social::MaintenanceStats> Recommender::ApplySocialUpdate(
       if (options_.social_mode == SocialMode::kExact &&
           !options_.exact_social_by_id) {
         record.user_names.push_back(social::UserName(user));
+      }
+      if (!descriptor_sizes_.empty()) {
+        descriptor_sizes_[it->second] =
+            static_cast<double>(record.descriptor.size());
       }
       videos_of_user_[user].push_back(it->second);
       touched_videos.insert(it->second);

@@ -10,9 +10,11 @@
 #include "index/inverted_file.h"
 #include "index/lsb_index.h"
 #include "signature/cuboid_signature.h"
+#include "signature/prepared_pool.h"
 #include "signature/prepared_signature.h"
 #include "signature/series_measures.h"
 #include "social/descriptor.h"
+#include "social/histogram_pool.h"
 #include "social/sar.h"
 #include "social/update_maintainer.h"
 #include "util/status.h"
@@ -86,6 +88,28 @@ struct RecommenderOptions {
   /// bins), so records sharing no sub-community with the query are never
   /// touched; off recomputes a pairwise histogram merge per candidate.
   bool posting_social = true;
+  /// Data-layout & SIMD layers. Like the fast-path toggles above, every
+  /// layer is *exact* — top-K results are bit-for-bit identical in every
+  /// flag combination — so these exist for ablation and the equivalence
+  /// suites, not as accuracy knobs (see docs/tuning.md "Data layout &
+  /// SIMD").
+  /// Store the prepared signatures and sparse SAR histograms in flat
+  /// structure-of-arrays pools (signature::PreparedPool /
+  /// social::HistogramPool) built at Finalize() and score through O(1)
+  /// views into them, so the scoring kernels stream contiguous memory; off
+  /// keeps the per-record heap vectors.
+  bool pooled_layout = true;
+  /// Batched bound kernels (util/simd.*, vectorized under -DVREC_SIMD=ON):
+  /// one centroid-bound matrix per refinement candidate — computed by
+  /// SimCUpperBoundMany and shared between the candidate-skip cascade and
+  /// the pair prune, halving the bound divisions — plus the batched
+  /// audience-cardinality bound over the whole corpus in the kExact
+  /// candidate stage. Off computes every bound inline, pair by pair.
+  bool simd_kernels = true;
+  /// Per-thread bump-allocator scratch (util/arena.h) behind the per-query
+  /// buffers (KappaJScratch, view storage, bound matrices), reset once per
+  /// query; off takes the identical code path with heap-backed buffers.
+  bool arena_scratch = true;
   /// Refinement pool size (top social + content candidates kept).
   size_t max_candidates = 400;
   /// Worker threads for Finalize() and RecommendBatch(): 0 picks the
@@ -135,6 +159,15 @@ struct QueryTiming {
   /// upper bound proved the candidate dominated (by the running candidate
   /// heap or the refinement's k-th best bar).
   size_t exact_social_pruned = 0;
+  /// Data-layout layer observability (see RecommenderOptions).
+  /// Bytes of pooled signature/histogram data handed to scoring kernels
+  /// through pool views this query. Nonzero iff pooled_layout is on and
+  /// the refinement touched at least one pooled candidate.
+  size_t pool_bytes_streamed = 0;
+  /// Batched bound-kernel invocations (one per refinement candidate bound
+  /// matrix; one per kExact candidate-stage sweep). Nonzero iff
+  /// simd_kernels is on and a bound was needed.
+  size_t bound_batches = 0;
 
   /// Field-wise accumulation — THE one place that sums timings. Aggregators
   /// (the server's stats totals, bench reducers) must use this instead of
@@ -152,6 +185,8 @@ struct QueryTiming {
     jaccard_calls += other.jaccard_calls;
     social_candidates_skipped += other.social_candidates_skipped;
     exact_social_pruned += other.exact_social_pruned;
+    pool_bytes_streamed += other.pool_bytes_streamed;
+    bound_batches += other.bound_batches;
     return *this;
   }
 };
@@ -308,7 +343,9 @@ class Recommender {
     signature::SignatureSeries series;
     /// Value-sorted, prefix-summed form of `series`, built once at
     /// Finalize() when the kKappaJ fast path is active (empty otherwise and
-    /// after RemoveVideo). Every query-time EMD runs off this cache.
+    /// after RemoveVideo). Every query-time EMD runs off this cache. Under
+    /// pooled_layout the data migrates into `prepared_pool_` at the end of
+    /// Finalize() and this member is cleared — the pool is authoritative.
     signature::PreparedSeries prepared;
     social::SocialDescriptor descriptor;
     /// Sparse SAR histogram (SAR modes): sorted (bin, weight) pairs plus
@@ -369,9 +406,11 @@ class Recommender {
   /// One candidate's social relevance under the active mode and fast-path
   /// layers. Bumps `timing`'s jaccard_calls for every pairwise evaluation
   /// actually executed (posting-driven lookups don't count — that work
-  /// happened once in the inverted-file walk).
-  double SocialScore(const SocialQuery& query, const Record& record,
-                     QueryTiming* timing) const;
+  /// happened once in the inverted-file walk). `slot` is the candidate's
+  /// record index, used to resolve its pooled histogram view under
+  /// pooled_layout.
+  double SocialScore(const SocialQuery& query, size_t slot,
+                     const Record& record, QueryTiming* timing) const;
   static std::vector<std::string> NamesOf(
       const social::SocialDescriptor& descriptor);
   void RefreshVideoVector(size_t index);
@@ -402,6 +441,15 @@ class Recommender {
 
   // Content index.
   std::unique_ptr<index::LsbIndex> lsb_;
+
+  // Structure-of-arrays scoring pools (pooled_layout; built at Finalize()).
+  // Slot i mirrors records_[i]; tombstoned/empty records hold empty slots.
+  signature::PreparedPool prepared_pool_;
+  social::HistogramPool histogram_pool_;
+  /// Dense |descriptor| mirror (kExact id path only): feeds the batched
+  /// audience-cardinality bound sweep in the candidate stage when
+  /// simd_kernels is on. Zero for tombstones.
+  std::vector<double> descriptor_sizes_;
 
   // Worker pool shared by Finalize() and RecommendBatch(); null when
   // options_.num_threads resolves to a single thread.

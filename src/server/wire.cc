@@ -65,7 +65,7 @@ Status ReadStatus(io::BinaryReader* r, Status* out) {
 // ReadTiming, the wire_test.cc exhaustive round-trip, and the protocol
 // table in docs/serving.md (then update this expected size).
 static_assert(sizeof(core::QueryTiming) ==
-                  4 * sizeof(double) + 7 * sizeof(size_t),
+                  4 * sizeof(double) + 9 * sizeof(size_t),
               "QueryTiming gained or lost a field: update WriteTiming/"
               "ReadTiming, wire_test.cc, and docs/serving.md");
 
@@ -81,6 +81,8 @@ void WriteTiming(io::BinaryWriter* w, const core::QueryTiming& t) {
   w->WriteU64(t.jaccard_calls);
   w->WriteU64(t.social_candidates_skipped);
   w->WriteU64(t.exact_social_pruned);
+  w->WriteU64(t.pool_bytes_streamed);
+  w->WriteU64(t.bound_batches);
 }
 
 StatusOr<core::QueryTiming> ReadTiming(io::BinaryReader* r) {
@@ -118,6 +120,12 @@ StatusOr<core::QueryTiming> ReadTiming(io::BinaryReader* r) {
   const auto pruned = r->ReadU64();
   if (!pruned.ok()) return pruned.status();
   t.exact_social_pruned = static_cast<size_t>(*pruned);
+  const auto pool_bytes = r->ReadU64();
+  if (!pool_bytes.ok()) return pool_bytes.status();
+  t.pool_bytes_streamed = static_cast<size_t>(*pool_bytes);
+  const auto batches = r->ReadU64();
+  if (!batches.ok()) return batches.status();
+  t.bound_batches = static_cast<size_t>(*batches);
   return t;
 }
 

@@ -33,9 +33,11 @@ namespace vrec::server {
 
 inline constexpr uint32_t kWireMagic = 0x31535256;  // bytes 'V','R','S','1'
 /// v2: QueryTiming grew the three social fast-path counters and
-/// ServerStats grew the result-cache counters + open_connections. Version
-/// mismatches are rejected at header decode (no cross-version reads).
-inline constexpr uint8_t kWireVersion = 2;
+/// ServerStats grew the result-cache counters + open_connections.
+/// v3: QueryTiming grew the data-layout counters pool_bytes_streamed and
+/// bound_batches. Version mismatches are rejected at header decode (no
+/// cross-version reads).
+inline constexpr uint8_t kWireVersion = 3;
 inline constexpr size_t kHeaderBytes = 16;
 /// Default payload cap; oversized length fields are rejected at header
 /// decode, before any allocation.

@@ -1,0 +1,196 @@
+#include "signature/prepared_pool.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace vrec::signature {
+
+namespace {
+
+// Pooled bytes behind one signature: values + weights + cdf + its entry in
+// the dense means array.
+size_t SignatureBytes(size_t len) {
+  return (3 * len + 1) * sizeof(double);
+}
+
+}  // namespace
+
+void PreparedPool::Build(
+    const std::vector<const PreparedSeries*>& series_list) {
+  Clear();
+  size_t total_sigs = 0;
+  size_t total_elems = 0;
+  for (const PreparedSeries* series : series_list) {
+    if (series == nullptr) continue;
+    total_sigs += series->size();
+    for (const PreparedSignature& p : *series) total_elems += p.size();
+  }
+  values_.reserve(total_elems);
+  weights_.reserve(total_elems);
+  cdf_.reserve(total_elems);
+  views_.reserve(total_sigs);
+  means_.reserve(total_sigs);
+  meta_.reserve(total_sigs);
+  slots_.reserve(series_list.size());
+
+  for (const PreparedSeries* series : series_list) {
+    Slot slot;
+    slot.view_offset = views_.size();
+    if (series != nullptr) {
+      for (const PreparedSignature& p : *series) {
+        meta_.push_back({values_.size(), p.size()});
+        values_.insert(values_.end(), p.values.begin(), p.values.end());
+        weights_.insert(weights_.end(), p.weights.begin(), p.weights.end());
+        cdf_.insert(cdf_.end(), p.cdf.begin(), p.cdf.end());
+        PreparedView view;  // pointers re-aimed below, moments cached now
+        view.len = p.size();
+        view.mean = p.mean;
+        view.min_value = p.min_value;
+        view.max_value = p.max_value;
+        views_.push_back(view);
+        means_.push_back(p.mean);
+        slot.bytes += SignatureBytes(p.size());
+      }
+      slot.count = series->size();
+    }
+    live_bytes_ += slot.bytes;
+    slots_.push_back(slot);
+  }
+  RebuildViewPointers();
+}
+
+void PreparedPool::Clear() {
+  values_.clear();
+  weights_.clear();
+  cdf_.clear();
+  views_.clear();
+  means_.clear();
+  meta_.clear();
+  slots_.clear();
+  live_bytes_ = 0;
+  dead_bytes_ = 0;
+}
+
+void PreparedPool::Release(size_t slot) {
+  VREC_CHECK(slot < slots_.size());
+  Slot& s = slots_[slot];
+  if (s.count == 0) return;
+  dead_bytes_ += s.bytes;
+  live_bytes_ -= s.bytes;
+  s.count = 0;
+  s.bytes = 0;
+  if (dead_bytes_ > live_bytes_) Compact();
+}
+
+PreparedSeriesView PreparedPool::View(size_t slot) const {
+  VREC_DCHECK(slot < slots_.size());
+  const Slot& s = slots_[slot];
+  if (s.count == 0) return {};
+  return {views_.data() + s.view_offset, means_.data() + s.view_offset,
+          s.count};
+}
+
+void PreparedPool::RebuildViewPointers() {
+  for (size_t v = 0; v < views_.size(); ++v) {
+    views_[v].values = values_.data() + meta_[v].elem_offset;
+    views_[v].weights = weights_.data() + meta_[v].elem_offset;
+    views_[v].cdf = cdf_.data() + meta_[v].elem_offset;
+    views_[v].len = meta_[v].len;
+  }
+}
+
+void PreparedPool::Compact() {
+  std::vector<double> values;
+  std::vector<double> weights;
+  std::vector<double> cdf;
+  std::vector<PreparedView> views;
+  std::vector<double> means;
+  std::vector<ViewMeta> meta;
+  views.reserve(views_.size());
+  for (Slot& s : slots_) {
+    const size_t new_offset = views.size();
+    for (size_t v = s.view_offset; v < s.view_offset + s.count; ++v) {
+      meta.push_back({values.size(), meta_[v].len});
+      const size_t off = meta_[v].elem_offset;
+      values.insert(values.end(), values_.begin() + off,
+                    values_.begin() + off + meta_[v].len);
+      weights.insert(weights.end(), weights_.begin() + off,
+                     weights_.begin() + off + meta_[v].len);
+      cdf.insert(cdf.end(), cdf_.begin() + off,
+                 cdf_.begin() + off + meta_[v].len);
+      views.push_back(views_[v]);
+      means.push_back(means_[v]);
+    }
+    s.view_offset = new_offset;
+  }
+  values_ = std::move(values);
+  weights_ = std::move(weights);
+  cdf_ = std::move(cdf);
+  views_ = std::move(views);
+  means_ = std::move(means);
+  meta_ = std::move(meta);
+  dead_bytes_ = 0;
+  RebuildViewPointers();
+}
+
+Status PreparedPool::CheckInvariants() const {
+  if (views_.size() != means_.size() || views_.size() != meta_.size()) {
+    return Status::Internal("prepared pool parallel arrays disagree");
+  }
+  size_t live = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.count == 0) {
+      if (s.bytes != 0) {
+        return Status::Internal("empty pool slot " + std::to_string(i) +
+                                " carries bytes");
+      }
+      continue;
+    }
+    if (s.view_offset + s.count > views_.size()) {
+      return Status::Internal("pool slot " + std::to_string(i) +
+                              " view range out of bounds");
+    }
+    size_t bytes = 0;
+    for (size_t v = s.view_offset; v < s.view_offset + s.count; ++v) {
+      const PreparedView& view = views_[v];
+      const ViewMeta& m = meta_[v];
+      if (m.elem_offset + m.len > values_.size()) {
+        return Status::Internal("pool view " + std::to_string(v) +
+                                " element range out of bounds");
+      }
+      if (view.len != m.len ||
+          view.values != values_.data() + m.elem_offset ||
+          view.weights != weights_.data() + m.elem_offset ||
+          view.cdf != cdf_.data() + m.elem_offset) {
+        return Status::Internal("pool view " + std::to_string(v) +
+                                " not aimed at the flat arrays");
+      }
+      if (means_[v] != view.mean) {
+        return Status::Internal("pool means array disagrees with view " +
+                                std::to_string(v));
+      }
+      for (size_t e = 1; e < m.len; ++e) {
+        if (view.values[e] < view.values[e - 1]) {
+          return Status::Internal("pool view " + std::to_string(v) +
+                                  " values not sorted");
+        }
+      }
+      bytes += SignatureBytes(m.len);
+    }
+    if (bytes != s.bytes) {
+      return Status::Internal("pool slot " + std::to_string(i) +
+                              " byte accounting off");
+    }
+    live += bytes;
+  }
+  if (live != live_bytes_) {
+    return Status::Internal("pool live byte total off");
+  }
+  return Status::Ok();
+}
+
+}  // namespace vrec::signature
+

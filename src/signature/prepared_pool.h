@@ -1,0 +1,86 @@
+#ifndef VREC_SIGNATURE_PREPARED_POOL_H_
+#define VREC_SIGNATURE_PREPARED_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "signature/prepared_signature.h"
+#include "util/status.h"
+
+namespace vrec::signature {
+
+/// Structure-of-arrays storage for every prepared signature of a corpus
+/// (`pooled_layout`). All values / weights / CDFs live in three flat
+/// contiguous arrays, the per-signature moments (mean/min/max) are cached in
+/// the per-signature `PreparedView`s, and every mean is repeated in one
+/// dense array per slot so the batched centroid bound streams sequential
+/// memory. A slot (= record index) resolves to a PreparedSeriesView in O(1)
+/// with no allocation.
+///
+/// Mutation model mirrors the recommender's: Build() happens in Finalize()
+/// under exclusive access, Release() tombstones a slot on RemoveVideo, and
+/// the pool compacts itself (rebuilding the flat arrays and view pointers)
+/// once released bytes exceed the live bytes. Views are only valid between
+/// mutations, exactly like every other index mirror in the engine.
+class PreparedPool {
+ public:
+  /// Builds one slot per entry of `series_list`; a null or empty entry
+  /// yields an empty slot. Replaces any previous contents.
+  void Build(const std::vector<const PreparedSeries*>& series_list);
+
+  /// Drops everything (slot_count() becomes 0).
+  void Clear();
+
+  /// Tombstones `slot`: its view becomes empty and its bytes count as dead.
+  /// Compacts the flat arrays when dead bytes exceed live bytes, so memory
+  /// stays bounded by ~2x the live corpus under any removal sequence.
+  void Release(size_t slot);
+
+  size_t slot_count() const { return slots_.size(); }
+
+  /// The pooled view of `slot`'s prepared series (empty for released or
+  /// originally-empty slots).
+  PreparedSeriesView View(size_t slot) const;
+
+  /// Pooled bytes backing `slot`'s views (flat element data + dense means);
+  /// what a kernel pass over this slot streams. 0 for empty/released slots.
+  size_t BytesOf(size_t slot) const { return slots_[slot].bytes; }
+
+  size_t live_bytes() const { return live_bytes_; }
+  size_t dead_bytes() const { return dead_bytes_; }
+
+  /// Structural audit: per-slot view ranges in bounds, view pointers aimed
+  /// at the flat arrays, means array consistent with the views, byte
+  /// accounting consistent.
+  [[nodiscard]] Status CheckInvariants() const;
+
+ private:
+  struct Slot {
+    size_t view_offset = 0;  // into views_ / means_ / meta_
+    size_t count = 0;        // signatures in this slot (0 = empty/released)
+    size_t bytes = 0;        // pooled bytes backing the slot
+  };
+  struct ViewMeta {
+    size_t elem_offset = 0;  // into values_ / weights_ / cdf_
+    size_t len = 0;
+  };
+
+  // Re-aims every PreparedView pointer at the current flat arrays. Called
+  // after any operation that may move them (Build, Compact).
+  void RebuildViewPointers();
+  void Compact();
+
+  std::vector<double> values_;
+  std::vector<double> weights_;
+  std::vector<double> cdf_;
+  std::vector<PreparedView> views_;  // moments cached; pointers into flats
+  std::vector<double> means_;        // means_[v] == views_[v].mean
+  std::vector<ViewMeta> meta_;       // meta_[v] locates views_[v]'s elements
+  std::vector<Slot> slots_;
+  size_t live_bytes_ = 0;
+  size_t dead_bytes_ = 0;
+};
+
+}  // namespace vrec::signature
+
+#endif  // VREC_SIGNATURE_PREPARED_POOL_H_

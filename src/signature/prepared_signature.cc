@@ -48,9 +48,30 @@ PreparedSeries PrepareSeries(const SignatureSeries& series) {
   return out;
 }
 
-double EmdPrepared(const PreparedSignature& a, const PreparedSignature& b) {
-  VREC_DCHECK(!a.empty() && !b.empty());
-  if (a.empty() || b.empty()) {
+PreparedSeriesView MakeSeriesView(const PreparedSeries& series,
+                                  SeriesViewStorage* storage) {
+  storage->sigs.clear();
+  storage->means.clear();
+  storage->sigs.reserve(series.size());
+  storage->means.reserve(series.size());
+  for (const PreparedSignature& p : series) {
+    storage->sigs.push_back(ViewOf(p));
+    storage->means.push_back(p.mean);
+  }
+  return {storage->sigs.data(), storage->means.data(), series.size()};
+}
+
+namespace {
+
+// One kernel body for both storage layouts (owned vectors and pool views).
+// Deliberately NOT vectorized: `cum` is a sequential signed prefix sum of
+// the merged weight events and `emd` accumulates in merge order, so any
+// reassociation (the price of a SIMD reduction) could change the rounding
+// and break the bit-for-bit oracle gate. See docs/algorithms.md.
+double EmdPreparedRaw(const double* av, const double* aw, size_t n,
+                      const double* bv, const double* bw, size_t m) {
+  VREC_DCHECK(n != 0 && m != 0);
+  if (n == 0 || m == 0) {
     // No mass to transport: reject as maximally distant, mirroring
     // EmdTransport's InvalidArgument (0 would mean perfect similarity).
     return std::numeric_limits<double>::infinity();
@@ -59,8 +80,6 @@ double EmdPrepared(const PreparedSignature& a, const PreparedSignature& b) {
   // EMD = integral of |F_a - F_b|. Equal values are consumed pairwise (one
   // event from each side) so that identical signatures keep the running sum
   // at exactly 0.0 and EmdPrepared(s, s) == 0 bit-for-bit.
-  const size_t n = a.size();
-  const size_t m = b.size();
   size_t i = 0;
   size_t j = 0;
   double emd = 0.0;
@@ -70,32 +89,48 @@ double EmdPrepared(const PreparedSignature& a, const PreparedSignature& b) {
   while (i < n || j < m) {
     double v;
     int take;  // 0: from a, 1: from b, 2: one from each (tie)
-    if (j >= m || (i < n && a.values[i] < b.values[j])) {
-      v = a.values[i];
+    if (j >= m || (i < n && av[i] < bv[j])) {
+      v = av[i];
       take = 0;
-    } else if (i >= n || b.values[j] < a.values[i]) {
-      v = b.values[j];
+    } else if (i >= n || bv[j] < av[i]) {
+      v = bv[j];
       take = 1;
     } else {
-      v = a.values[i];
+      v = av[i];
       take = 2;
     }
     if (!first) emd += std::abs(cum) * (v - prev);
     prev = v;
     first = false;
     if (take == 0) {
-      cum += a.weights[i++];
+      cum += aw[i++];
     } else if (take == 1) {
-      cum -= b.weights[j++];
+      cum -= bw[j++];
     } else {
-      cum += a.weights[i++];
-      cum -= b.weights[j++];
+      cum += aw[i++];
+      cum -= bw[j++];
     }
   }
   return emd;
 }
 
+}  // namespace
+
+double EmdPrepared(const PreparedSignature& a, const PreparedSignature& b) {
+  return EmdPreparedRaw(a.values.data(), a.weights.data(), a.size(),
+                        b.values.data(), b.weights.data(), b.size());
+}
+
+double EmdPrepared(const PreparedView& a, const PreparedView& b) {
+  return EmdPreparedRaw(a.values, a.weights, a.len, b.values, b.weights,
+                        b.len);
+}
+
 double SimCPrepared(const PreparedSignature& a, const PreparedSignature& b) {
+  return 1.0 / (1.0 + EmdPrepared(a, b));
+}
+
+double SimCPrepared(const PreparedView& a, const PreparedView& b) {
   return 1.0 / (1.0 + EmdPrepared(a, b));
 }
 
@@ -105,6 +140,10 @@ double EmdLowerBound(const PreparedSignature& a, const PreparedSignature& b) {
 
 double SimCUpperBound(const PreparedSignature& a, const PreparedSignature& b) {
   return 1.0 / (1.0 + EmdLowerBound(a, b));
+}
+
+double SimCUpperBound(const PreparedView& a, const PreparedView& b) {
+  return 1.0 / (1.0 + std::abs(a.mean - b.mean));
 }
 
 }  // namespace vrec::signature

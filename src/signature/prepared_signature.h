@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "signature/cuboid_signature.h"
+#include "util/arena.h"
 
 namespace vrec::signature {
 
@@ -32,6 +33,62 @@ struct PreparedSignature {
 /// The prepared form of a whole signature series.
 using PreparedSeries = std::vector<PreparedSignature>;
 
+/// Non-owning view of one prepared signature. The scoring kernels consume
+/// views, so one kernel serves both storage layouts: views over an owned
+/// PreparedSignature (naive layout) and views into a PreparedPool's flat
+/// arrays (`pooled_layout`). Where the data lives cannot change what the
+/// kernel computes, which is what makes the pooled layout bit-for-bit
+/// equivalent by construction.
+struct PreparedView {
+  const double* values = nullptr;
+  const double* weights = nullptr;
+  const double* cdf = nullptr;
+  size_t len = 0;
+  double mean = 0.0;
+  double min_value = 0.0;
+  double max_value = 0.0;
+
+  bool empty() const { return len == 0; }
+  size_t size() const { return len; }
+};
+
+/// Non-owning view of a whole prepared series: `sigs[0..count)` plus the
+/// per-signature means repeated in one dense array so the batched centroid
+/// bound (util::simd::SimCUpperBoundMany) can stream them.
+struct PreparedSeriesView {
+  const PreparedView* sigs = nullptr;
+  const double* means = nullptr;  // means[i] == sigs[i].mean
+  size_t count = 0;
+
+  bool empty() const { return count == 0; }
+  size_t size() const { return count; }
+  const PreparedView& operator[](size_t i) const { return sigs[i]; }
+};
+
+inline PreparedView ViewOf(const PreparedSignature& p) {
+  return {p.values.data(), p.weights.data(), p.cdf.data(),
+          p.values.size(), p.mean,           p.min_value,
+          p.max_value};
+}
+
+/// Backing store for a PreparedSeriesView materialized over an owned
+/// PreparedSeries. Arena-backed when built with one (per-query scratch);
+/// heap-backed with the default constructor.
+struct SeriesViewStorage {
+  SeriesViewStorage() = default;
+  explicit SeriesViewStorage(util::Arena* arena)
+      : sigs(util::ArenaAllocator<PreparedView>(arena)),
+        means(util::ArenaAllocator<double>(arena)) {}
+
+  util::ArenaVector<PreparedView> sigs;
+  util::ArenaVector<double> means;
+};
+
+/// Builds a view of `series` in `storage` (cleared and refilled; capacity is
+/// reused across calls). The view is valid while `series` and `storage` are.
+PreparedSeriesView MakeSeriesView(const PreparedSeries& series,
+                                  SeriesViewStorage* storage);
+
 /// Comparison slack used wherever a pruning bound is compared against a
 /// threshold or a running k-th best score. The bounds are mathematically
 /// exact; the slack absorbs the (<= ~1e-11 for in-domain signatures:
@@ -53,9 +110,11 @@ PreparedSeries PrepareSeries(const SignatureSeries& series);
 /// signature has no mass to transport, so in release builds the defensive
 /// answer is +infinity (similarity 0) — never 0 (perfect similarity).
 double EmdPrepared(const PreparedSignature& a, const PreparedSignature& b);
+double EmdPrepared(const PreparedView& a, const PreparedView& b);
 
 /// SimC = 1 / (1 + EMD) (Equation 3) over prepared signatures.
 double SimCPrepared(const PreparedSignature& a, const PreparedSignature& b);
+double SimCPrepared(const PreparedView& a, const PreparedView& b);
 
 /// Exact EMD lower bound for equal-mass 1D signatures: the centroid bound
 /// |mean_a - mean_b| <= EMD. (Any transport plan moves the mean by exactly
@@ -68,6 +127,7 @@ double EmdLowerBound(const PreparedSignature& a, const PreparedSignature& b);
 /// match threshold can be skipped without computing EMD — it could never
 /// have been a matched pair in Equation 4.
 double SimCUpperBound(const PreparedSignature& a, const PreparedSignature& b);
+double SimCUpperBound(const PreparedView& a, const PreparedView& b);
 
 }  // namespace vrec::signature
 

@@ -3,10 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <vector>
 
 #include "signature/cuboid_signature.h"
 #include "signature/prepared_signature.h"
+#include "util/arena.h"
 
 namespace vrec::signature {
 
@@ -25,17 +25,27 @@ struct KappaJStats {
 
 /// Reusable buffers for KappaJPrepared / KappaJUpperBound. One scratch per
 /// query amortizes every allocation across all candidates: the first few
-/// candidates grow the buffers, the rest run allocation-free.
+/// candidates grow the buffers, the rest run allocation-free. Constructed
+/// over an arena (`arena_scratch` layer) the buffers bump-allocate from
+/// per-thread memory reclaimed wholesale at query end; with a null arena
+/// they live on the heap — either way the same containers and code paths.
 struct KappaJScratch {
   struct Pair {
     double sim;
     uint32_t i;
     uint32_t j;
   };
-  std::vector<Pair> pairs;     // above-threshold pairs, then sorted
-  std::vector<char> used1;     // greedy-matching flags for s1 / s2
-  std::vector<char> used2;
-  std::vector<double> col_max;  // per-column SimC bound (KappaJUpperBound)
+
+  explicit KappaJScratch(util::Arena* arena = nullptr)
+      : pairs(util::ArenaAllocator<Pair>(arena)),
+        used1(util::ArenaAllocator<char>(arena)),
+        used2(util::ArenaAllocator<char>(arena)),
+        col_max(util::ArenaAllocator<double>(arena)) {}
+
+  util::ArenaVector<Pair> pairs;    // above-threshold pairs, then sorted
+  util::ArenaVector<char> used1;    // greedy-matching flags for s1 / s2
+  util::ArenaVector<char> used2;
+  util::ArenaVector<double> col_max;  // per-column bound (KappaJUpperBound)
 };
 
 /// Extended Jaccard similarity between two signature series (Equation 4):
@@ -55,7 +65,7 @@ struct KappaJScratch {
 double KappaJ(const SignatureSeries& s1, const SignatureSeries& s2,
               const KappaJOptions& options = {});
 
-/// The fast-path form of Equation 4 over prepared series.
+/// The fast-path form of Equation 4 over prepared series views.
 ///
 /// With prune_pairs on, any pair whose centroid SimC upper bound
 /// (SimCUpperBound) sits below match_threshold - kBoundSlack is skipped
@@ -64,8 +74,27 @@ double KappaJ(const SignatureSeries& s1, const SignatureSeries& s2,
 /// surviving pair set, and therefore the result, is bit-for-bit identical
 /// with pruning on or off.
 ///
+/// `bounds` (optional) is a row-major s1.count x s2.count matrix of
+/// precomputed SimCUpperBound values (bounds[i * s2.count + j] for the pair
+/// (s1[i], s2[j]), e.g. filled once per candidate with
+/// util::simd::SimCUpperBoundMany and shared with KappaJUpperBound). The
+/// batched kernel applies the identical elementwise arithmetic, so reading
+/// the matrix instead of recomputing each bound cannot change any prune
+/// decision. Null recomputes bounds inline per pair.
+///
 /// `scratch` (optional) supplies reusable buffers; `stats` (optional)
 /// accumulates EMD-call and prune counters across calls.
+double KappaJPrepared(const PreparedSeriesView& s1,
+                      const PreparedSeriesView& s2,
+                      const KappaJOptions& options = {},
+                      bool prune_pairs = true,
+                      const double* bounds = nullptr,
+                      KappaJScratch* scratch = nullptr,
+                      KappaJStats* stats = nullptr);
+
+/// Convenience overload over owned prepared series (materializes views
+/// internally; the recommender's hot path builds views once and calls the
+/// form above).
 double KappaJPrepared(const PreparedSeries& s1, const PreparedSeries& s2,
                       const KappaJOptions& options = {},
                       bool prune_pairs = true,
@@ -78,7 +107,16 @@ double KappaJPrepared(const PreparedSeries& s1, const PreparedSeries& s2,
 /// restricted to rows/columns that could reach the threshold, and the union
 /// size from below by |S1| + |S2| - #rows (resp. columns) that could match.
 /// Costs O(|S1| * |S2|) subtractions. Used by the recommender's top-K
-/// refinement to skip whole candidates.
+/// refinement to skip whole candidates. `bounds` as in KappaJPrepared; the
+/// row/column maxima reductions always run scalar in (i, j) order, matrix
+/// or not, so the results are bit-identical either way.
+double KappaJUpperBound(const PreparedSeriesView& s1,
+                        const PreparedSeriesView& s2,
+                        const KappaJOptions& options = {},
+                        const double* bounds = nullptr,
+                        KappaJScratch* scratch = nullptr);
+
+/// Convenience overload over owned prepared series.
 double KappaJUpperBound(const PreparedSeries& s1, const PreparedSeries& s2,
                         const KappaJOptions& options = {},
                         KappaJScratch* scratch = nullptr);

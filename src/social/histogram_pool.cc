@@ -1,0 +1,134 @@
+#include "social/histogram_pool.h"
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace vrec::social {
+
+namespace {
+
+size_t HistogramBytes(size_t len) {
+  return len * (sizeof(int) + sizeof(double));
+}
+
+}  // namespace
+
+void HistogramPool::Build(
+    const std::vector<const SparseHistogram*>& histograms) {
+  Clear();
+  size_t total = 0;
+  for (const SparseHistogram* h : histograms) {
+    if (h != nullptr) total += h->nnz();
+  }
+  bins_.reserve(total);
+  weights_.reserve(total);
+  slots_.resize(histograms.size());
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    if (histograms[i] != nullptr) Append(&slots_[i], *histograms[i]);
+  }
+}
+
+void HistogramPool::Clear() {
+  bins_.clear();
+  weights_.clear();
+  slots_.clear();
+  live_bytes_ = 0;
+  dead_bytes_ = 0;
+}
+
+void HistogramPool::Append(Slot* slot, const SparseHistogram& histogram) {
+  slot->offset = bins_.size();
+  slot->len = histogram.nnz();
+  slot->sum = histogram.sum;
+  for (const auto& [bin, weight] : histogram.bins) {
+    bins_.push_back(bin);
+    weights_.push_back(weight);
+  }
+  live_bytes_ += HistogramBytes(slot->len);
+}
+
+void HistogramPool::Update(size_t slot, const SparseHistogram& histogram) {
+  VREC_CHECK(slot < slots_.size());
+  Slot& s = slots_[slot];
+  const size_t old_bytes = HistogramBytes(s.len);
+  dead_bytes_ += old_bytes;
+  live_bytes_ -= old_bytes;
+  s = Slot{};
+  Append(&s, histogram);
+  if (dead_bytes_ > live_bytes_) Compact();
+}
+
+void HistogramPool::Release(size_t slot) {
+  VREC_CHECK(slot < slots_.size());
+  Slot& s = slots_[slot];
+  if (s.len == 0) {
+    s = Slot{};
+    return;
+  }
+  const size_t bytes = HistogramBytes(s.len);
+  dead_bytes_ += bytes;
+  live_bytes_ -= bytes;
+  s = Slot{};
+  if (dead_bytes_ > live_bytes_) Compact();
+}
+
+void HistogramPool::Compact() {
+  std::vector<int> bins;
+  std::vector<double> weights;
+  bins.reserve(live_bytes_ / (sizeof(int) + sizeof(double)));
+  weights.reserve(bins.capacity());
+  for (Slot& s : slots_) {
+    const size_t new_offset = bins.size();
+    bins.insert(bins.end(), bins_.begin() + s.offset,
+                bins_.begin() + s.offset + s.len);
+    weights.insert(weights.end(), weights_.begin() + s.offset,
+                   weights_.begin() + s.offset + s.len);
+    s.offset = new_offset;
+  }
+  bins_ = std::move(bins);
+  weights_ = std::move(weights);
+  dead_bytes_ = 0;
+}
+
+Status HistogramPool::CheckInvariants() const {
+  if (bins_.size() != weights_.size()) {
+    return Status::Internal("histogram pool bins/weights length mismatch");
+  }
+  size_t live = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (s.offset + s.len > bins_.size()) {
+      return Status::Internal("histogram pool slot " + std::to_string(i) +
+                              " range out of bounds");
+    }
+    double sum = 0.0;
+    for (size_t e = s.offset; e < s.offset + s.len; ++e) {
+      if (weights_[e] <= 0.0) {
+        return Status::Internal("histogram pool slot " + std::to_string(i) +
+                                " holds non-positive weight");
+      }
+      if (e > s.offset && bins_[e] <= bins_[e - 1]) {
+        return Status::Internal("histogram pool slot " + std::to_string(i) +
+                                " bins not strictly sorted");
+      }
+      sum += weights_[e];
+    }
+    if (s.len == 0 && s.sum != 0.0) {
+      return Status::Internal("empty histogram pool slot " +
+                              std::to_string(i) + " carries sum");
+    }
+    if (s.len > 0 && sum != s.sum) {
+      return Status::Internal("histogram pool slot " + std::to_string(i) +
+                              " cached sum off");
+    }
+    live += HistogramBytes(s.len);
+  }
+  if (live != live_bytes_) {
+    return Status::Internal("histogram pool live byte total off");
+  }
+  return Status::Ok();
+}
+
+}  // namespace vrec::social

@@ -1,0 +1,79 @@
+#ifndef VREC_SOCIAL_HISTOGRAM_POOL_H_
+#define VREC_SOCIAL_HISTOGRAM_POOL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "social/sar.h"
+#include "util/status.h"
+
+namespace vrec::social {
+
+/// Structure-of-arrays scoring mirror for the per-record SparseHistograms
+/// (`pooled_layout`): every histogram's bins and weights live in two flat
+/// parallel arrays; a slot (= record index) resolves to a
+/// SparseHistogramView in O(1). Unlike PreparedPool this is a mirror, not
+/// the owner — `Record::social_vector` stays authoritative because the
+/// mutation paths (RefreshVideoVector, ApplySocialUpdate) rebuild it —
+/// so the pool supports in-place slot updates: an update appends the new
+/// histogram at the tail and tombstones the old range, and the pool
+/// compacts once dead bytes exceed live bytes.
+class HistogramPool {
+ public:
+  /// Builds one slot per entry of `histograms`; a null or empty entry
+  /// yields an empty slot. Replaces any previous contents.
+  void Build(const std::vector<const SparseHistogram*>& histograms);
+
+  void Clear();
+
+  /// Replaces `slot`'s histogram (empty histogram = pure release).
+  void Update(size_t slot, const SparseHistogram& histogram);
+
+  /// Tombstones `slot` (RemoveVideo).
+  void Release(size_t slot);
+
+  size_t slot_count() const { return slots_.size(); }
+
+  SparseHistogramView View(size_t slot) const {
+    const Slot& s = slots_[slot];
+    return {bins_.data() + s.offset, weights_.data() + s.offset, s.len,
+            s.sum};
+  }
+
+  /// Cached total weight of `slot`'s histogram (== View(slot).sum); the
+  /// posting-driven SAR score needs only this.
+  double SumOf(size_t slot) const { return slots_[slot].sum; }
+
+  /// Pooled bytes backing `slot`'s view — what the merge kernel streams.
+  size_t BytesOf(size_t slot) const {
+    return slots_[slot].len * (sizeof(int) + sizeof(double));
+  }
+
+  size_t live_bytes() const { return live_bytes_; }
+  size_t dead_bytes() const { return dead_bytes_; }
+
+  /// Structural audit: slot ranges in bounds and non-overlapping counts,
+  /// bins strictly sorted with positive weights, cached sums exact, byte
+  /// accounting consistent.
+  [[nodiscard]] Status CheckInvariants() const;
+
+ private:
+  struct Slot {
+    size_t offset = 0;
+    size_t len = 0;
+    double sum = 0.0;
+  };
+
+  void Append(Slot* slot, const SparseHistogram& histogram);
+  void Compact();
+
+  std::vector<int> bins_;
+  std::vector<double> weights_;
+  std::vector<Slot> slots_;
+  size_t live_bytes_ = 0;
+  size_t dead_bytes_ = 0;
+};
+
+}  // namespace vrec::social
+
+#endif  // VREC_SOCIAL_HISTOGRAM_POOL_H_

@@ -9,14 +9,15 @@ namespace vrec::social {
 namespace {
 
 // Folds a sorted bin list into (bin, count) pairs. Shared by every sparse
-// vectorization path so they produce byte-identical histograms.
-void RunLengthEncode(const std::vector<int>& sorted_bins,
+// vectorization path so they produce byte-identical histograms. Takes a raw
+// span so heap- and arena-backed bin buffers go through the same code.
+void RunLengthEncode(const int* sorted_bins, size_t n,
                      SparseHistogram* out) {
   out->clear();
   size_t i = 0;
-  while (i < sorted_bins.size()) {
+  while (i < n) {
     size_t j = i + 1;
-    while (j < sorted_bins.size() && sorted_bins[j] == sorted_bins[i]) ++j;
+    while (j < n && sorted_bins[j] == sorted_bins[i]) ++j;
     const double weight = static_cast<double>(j - i);
     out->bins.emplace_back(sorted_bins[i], weight);
     out->sum += weight;
@@ -246,21 +247,21 @@ std::vector<double> UserDictionary::Vectorize(
 SparseHistogram UserDictionary::VectorizeSparse(
     const SocialDescriptor& descriptor) const {
   SparseHistogram out;
-  std::vector<int> scratch;
-  VectorizeSparse(descriptor, &out, &scratch);
+  VectorizeSparse(descriptor, &out, /*arena=*/nullptr);
   return out;
 }
 
 void UserDictionary::VectorizeSparse(const SocialDescriptor& descriptor,
                                      SparseHistogram* out,
-                                     std::vector<int>* scratch) const {
-  scratch->clear();
+                                     util::Arena* arena) const {
+  util::ArenaVector<int> scratch{util::ArenaAllocator<int>(arena)};
+  scratch.reserve(descriptor.size());
   for (UserId u : descriptor.users()) {
     const auto c = CommunityOf(u);
-    if (c.has_value() && *c >= 0 && *c < k_) scratch->push_back(*c);
+    if (c.has_value() && *c >= 0 && *c < k_) scratch.push_back(*c);
   }
-  std::sort(scratch->begin(), scratch->end());
-  RunLengthEncode(*scratch, out);
+  std::sort(scratch.begin(), scratch.end());
+  RunLengthEncode(scratch.data(), scratch.size(), out);
 }
 
 std::vector<double> UserDictionary::VectorizeByName(
@@ -285,7 +286,7 @@ SparseHistogram UserDictionary::VectorizeByNameSparse(
   }
   std::sort(bins.begin(), bins.end());
   SparseHistogram out;
-  RunLengthEncode(bins, &out);
+  RunLengthEncode(bins.data(), bins.size(), &out);
   return out;
 }
 
@@ -302,23 +303,61 @@ double ApproxJaccard(const std::vector<double>& a,
   return den > 0.0 ? num / den : 0.0;
 }
 
-double ApproxJaccardSparse(const SparseHistogram& a,
-                           const SparseHistogram& b) {
+namespace {
+
+// Accessor adapters funnel both histogram layouts through one merge body,
+// so the comparisons and the Σmin additions run in the identical order for
+// every overload — the view overloads are bit-for-bit the pair overload.
+struct AosBins {
+  const SparseHistogram& h;
+  size_t size() const { return h.bins.size(); }
+  int bin(size_t i) const { return h.bins[i].first; }
+  double weight(size_t i) const { return h.bins[i].second; }
+  double sum() const { return h.sum; }
+};
+
+struct SoaBins {
+  const SparseHistogramView& h;
+  size_t size() const { return h.len; }
+  int bin(size_t i) const { return h.bins[i]; }
+  double weight(size_t i) const { return h.weights[i]; }
+  double sum() const { return h.sum; }
+};
+
+template <typename A, typename B>
+double ApproxJaccardMerge(const A& a, const B& b) {
   double num = 0.0;
   size_t i = 0, j = 0;
-  while (i < a.bins.size() && j < b.bins.size()) {
-    if (a.bins[i].first < b.bins[j].first) {
+  while (i < a.size() && j < b.size()) {
+    if (a.bin(i) < b.bin(j)) {
       ++i;
-    } else if (b.bins[j].first < a.bins[i].first) {
+    } else if (b.bin(j) < a.bin(i)) {
       ++j;
     } else {
-      num += std::min(a.bins[i].second, b.bins[j].second);
+      num += std::min(a.weight(i), b.weight(j));
       ++i;
       ++j;
     }
   }
-  const double den = a.sum + b.sum - num;
+  const double den = a.sum() + b.sum() - num;
   return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+double ApproxJaccardSparse(const SparseHistogram& a,
+                           const SparseHistogram& b) {
+  return ApproxJaccardMerge(AosBins{a}, AosBins{b});
+}
+
+double ApproxJaccardSparse(const SparseHistogram& a,
+                           const SparseHistogramView& b) {
+  return ApproxJaccardMerge(AosBins{a}, SoaBins{b});
+}
+
+double ApproxJaccardSparse(const SparseHistogramView& a,
+                           const SparseHistogramView& b) {
+  return ApproxJaccardMerge(SoaBins{a}, SoaBins{b});
 }
 
 }  // namespace vrec::social

@@ -9,6 +9,7 @@
 
 #include "hashing/chained_hash_table.h"
 #include "social/descriptor.h"
+#include "util/arena.h"
 #include "util/status.h"
 
 namespace vrec::social {
@@ -33,6 +34,22 @@ struct SparseHistogram {
     sum = 0.0;
   }
   bool operator==(const SparseHistogram& other) const = default;
+};
+
+/// Non-owning structure-of-arrays view of a sparse histogram: the bins and
+/// weights as two parallel flat arrays (as a HistogramPool stores them)
+/// plus the cached sum. The merge kernel consumes either representation
+/// through the same template core, so where the (bin, weight) pairs live —
+/// per-record vector-of-pairs or pooled flat arrays — cannot change the
+/// computed score.
+struct SparseHistogramView {
+  const int* bins = nullptr;
+  const double* weights = nullptr;
+  size_t len = 0;
+  double sum = 0.0;
+
+  bool empty() const { return len == 0; }
+  size_t nnz() const { return len; }
 };
 
 /// Expands a sparse histogram back to a dense k-dimensional vector (the
@@ -95,11 +112,13 @@ class UserDictionary {
   /// `ToDense(VectorizeSparse(d), k())` equals `Vectorize(d)` exactly.
   SparseHistogram VectorizeSparse(const SocialDescriptor& descriptor) const;
 
-  /// Scratch-reusing form for batch vectorization loops: `out` is
-  /// overwritten and `scratch` (the per-user bin buffer) is recycled across
-  /// calls, so a tight loop performs no steady-state allocation.
+  /// Scratch-free form for batch vectorization loops: `out` is overwritten
+  /// and the per-user bin buffer bump-allocates from `arena` (null falls
+  /// back to the heap). Replaces the old caller-threaded scratch-vector
+  /// overload: a tight loop passes its thread's arena and performs no
+  /// steady-state allocation.
   void VectorizeSparse(const SocialDescriptor& descriptor,
-                       SparseHistogram* out, std::vector<int>* scratch) const;
+                       SparseHistogram* out, util::Arena* arena) const;
 
   /// Like Vectorize but resolves through user *names*, exercising the exact
   /// lookup path (binary search or chained hash) whose cost Figure 12(a)
@@ -149,6 +168,14 @@ double ApproxJaccard(const std::vector<double>& a,
 /// the Σmin terms are the identical doubles in the identical order, and
 /// integer-valued sums below 2^53 are exact under either association.
 double ApproxJaccardSparse(const SparseHistogram& a, const SparseHistogram& b);
+
+/// View forms of the sparse merge (`pooled_layout`): identical comparisons
+/// and additions in identical order via one shared template core, so the
+/// result is bit-for-bit the vector-of-pairs overload's.
+double ApproxJaccardSparse(const SparseHistogram& a,
+                           const SparseHistogramView& b);
+double ApproxJaccardSparse(const SparseHistogramView& a,
+                           const SparseHistogramView& b);
 
 }  // namespace vrec::social
 

@@ -1,0 +1,46 @@
+#include "util/simd.h"
+
+#include <algorithm>
+#include <cmath>
+
+// VREC_SIMD_LOOP marks a loop for vectorization. The guard keeps the pragma
+// out of builds that would warn on it (-DVREC_SIMD=OFF, or a compiler
+// without -fopenmp-simd), which is exactly the "scalar fallback compiled in
+// all builds" contract: the loop bodies below are the fallback.
+#if defined(VREC_SIMD_ENABLED) && (defined(__clang__) || defined(__GNUC__))
+#define VREC_SIMD_LOOP _Pragma("omp simd")
+#else
+#define VREC_SIMD_LOOP
+#endif
+
+namespace vrec::util::simd {
+
+bool CompiledWithSimd() {
+#if defined(VREC_SIMD_ENABLED) && (defined(__clang__) || defined(__GNUC__))
+  return true;
+#else
+  return false;
+#endif
+}
+
+void SimCUpperBoundMany(double query_mean, const double* means, size_t n,
+                        double* out) {
+  VREC_SIMD_LOOP
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = 1.0 / (1.0 + std::abs(query_mean - means[i]));
+  }
+}
+
+void JaccardCardinalityBoundMany(double query_size, const double* sizes,
+                                 size_t n, double* out) {
+  VREC_SIMD_LOOP
+  for (size_t i = 0; i < n; ++i) {
+    const double lo = std::min(query_size, sizes[i]);
+    const double hi = std::max(query_size, sizes[i]);
+    // Lane select, not a branch: when lo == 0 the (possibly 0/0) quotient
+    // is discarded, matching the scalar guard in JaccardCardinalityBound.
+    out[i] = lo == 0.0 ? 0.0 : lo / hi;
+  }
+}
+
+}  // namespace vrec::util::simd

@@ -1,0 +1,32 @@
+#ifndef VREC_UTIL_SIMD_H_
+#define VREC_UTIL_SIMD_H_
+
+#include <cstddef>
+
+namespace vrec::util::simd {
+
+/// Whether this build processes the `omp simd` annotations (configured with
+/// -DVREC_SIMD=ON and a compiler that accepts -fopenmp-simd). When false the
+/// batched kernels below compile to plain scalar loops — same arithmetic,
+/// same bits, no vector units involved.
+bool CompiledWithSimd();
+
+/// Batched centroid bound: out[i] = 1 / (1 + |query_mean - means[i]|), the
+/// SimC upper bound of one query signature against a block of candidate
+/// signature means. Every lane applies the same elementwise sub/abs/add/div
+/// chain as the scalar SimCUpperBound — IEEE 754 makes each of those
+/// operations exactly rounded per lane, so the batched result is
+/// bit-identical to the scalar loop regardless of vector width.
+void SimCUpperBoundMany(double query_mean, const double* means, size_t n,
+                        double* out);
+
+/// Batched audience-cardinality bound: out[i] equals
+/// social::JaccardCardinalityBound(query_size, sizes[i]) with both sizes
+/// carried as exact small integers in double (min/max/divide are elementwise,
+/// so bit-identity holds as above; the lo == 0 guard becomes a lane select).
+void JaccardCardinalityBoundMany(double query_size, const double* sizes,
+                                 size_t n, double* out);
+
+}  // namespace vrec::util::simd
+
+#endif  // VREC_UTIL_SIMD_H_

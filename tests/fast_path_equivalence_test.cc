@@ -108,6 +108,8 @@ void ExpectEquivalent(const Recommender& fast, const Recommender& naive,
       counters->emd_calls += fast_timing.emd_calls;
       counters->pairs_pruned += fast_timing.pairs_pruned;
       counters->candidates_pruned += fast_timing.candidates_pruned;
+      counters->pool_bytes_streamed += fast_timing.pool_bytes_streamed;
+      counters->bound_batches += fast_timing.bound_batches;
     }
   }
 }
@@ -213,6 +215,39 @@ TEST(FastPathEquivalenceTest, EachPruneLayerAloneAgrees) {
     QueryTiming counters;
     ExpectEquivalent(*fast, *naive, corpus, 6, &counters);
     EXPECT_EQ(counters.pairs_pruned, 0u);
+  }
+}
+
+TEST(FastPathEquivalenceTest, DataLayoutAblationAgrees) {
+  // All 8 combinations of the data-layout layers (SoA pools, batched bound
+  // kernels, arena scratch) against the everything-off oracle, in the
+  // exhaustive content mode where the bound matrix does real work. The
+  // layers change memory layout and batching only, so every combination
+  // must be bit-identical — and the layout counters must fire exactly on
+  // the combinations that enable the corresponding layer.
+  Rng rng(67);
+  const auto corpus = RandomCorpus(&rng, 50, 16);
+  RecommenderOptions oracle_options = BaseOptions();
+  oracle_options.use_lsb_index = false;
+  oracle_options.prune_pairs = false;
+  oracle_options.prune_candidates = false;
+  oracle_options.pooled_layout = false;
+  oracle_options.simd_kernels = false;
+  oracle_options.arena_scratch = false;
+  const auto oracle = BuildFrom(corpus, 16, oracle_options);
+  for (int mask = 0; mask < 8; ++mask) {
+    RecommenderOptions options = BaseOptions();
+    options.use_lsb_index = false;
+    options.pooled_layout = (mask & 1) != 0;
+    options.simd_kernels = (mask & 2) != 0;
+    options.arena_scratch = (mask & 4) != 0;
+    const auto fast = BuildFrom(corpus, 16, options);
+    QueryTiming counters;
+    ExpectEquivalent(*fast, *oracle, corpus, 6, &counters);
+    EXPECT_EQ(counters.pool_bytes_streamed > 0, options.pooled_layout)
+        << "mask " << mask;
+    EXPECT_EQ(counters.bound_batches > 0, options.simd_kernels)
+        << "mask " << mask;
   }
 }
 

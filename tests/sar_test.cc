@@ -191,19 +191,23 @@ TEST(SparseHistogramTest, VectorizeSparseMatchesDense) {
   EXPECT_EQ(ToDense(sparse, dict.k()), dict.Vectorize(d));
 }
 
-TEST(SparseHistogramTest, ScratchOverloadReusesBuffers) {
+TEST(SparseHistogramTest, ArenaOverloadMatchesHeapAndOverwrites) {
   const std::vector<int> labels = {0, 1, 1, 2};
   UserDictionary dict(labels, 3, DictionaryLookup::kSortedArray);
   SparseHistogram out;
-  std::vector<int> scratch;
-  dict.VectorizeSparse(SocialDescriptor({0, 1, 2}), &out, &scratch);
+  vrec::util::Arena arena;
+  dict.VectorizeSparse(SocialDescriptor({0, 1, 2}), &out, &arena);
   EXPECT_EQ(out, dict.VectorizeSparse(SocialDescriptor({0, 1, 2})));
   // A second call must fully overwrite, not accumulate.
-  dict.VectorizeSparse(SocialDescriptor({3}), &out, &scratch);
+  dict.VectorizeSparse(SocialDescriptor({3}), &out, &arena);
   EXPECT_EQ(out, dict.VectorizeSparse(SocialDescriptor({3})));
-  dict.VectorizeSparse(SocialDescriptor(), &out, &scratch);
+  dict.VectorizeSparse(SocialDescriptor(), &out, &arena);
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(out.sum, 0.0);
+  EXPECT_GT(arena.allocated_bytes(), 0u);
+  // The null-arena form takes the heap-fallback allocator path.
+  dict.VectorizeSparse(SocialDescriptor({0, 1, 2}), &out, nullptr);
+  EXPECT_EQ(out, dict.VectorizeSparse(SocialDescriptor({0, 1, 2})));
 }
 
 TEST(SparseHistogramTest, VectorizeByNameSparseMatchesById) {

@@ -129,6 +129,8 @@ void ExpectEquivalent(const Recommender& fast, const Recommender& naive,
       counters->social_candidates_skipped +=
           fast_timing.social_candidates_skipped;
       counters->exact_social_pruned += fast_timing.exact_social_pruned;
+      counters->pool_bytes_streamed += fast_timing.pool_bytes_streamed;
+      counters->bound_batches += fast_timing.bound_batches;
     }
   }
 }
@@ -194,6 +196,39 @@ TEST(SocialFastPathTest, EachLayerAloneAgrees) {
       posting_only.posting_social = true;
       const auto fast = BuildFrom(corpus, 12, posting_only);
       ExpectEquivalent(*fast, *naive, corpus, 6);
+    }
+  }
+}
+
+TEST(SocialFastPathTest, DataLayoutAblationAgrees) {
+  // The data-layout layers (pooled histograms / signature pool, batched
+  // bound kernels, arena scratch) cut across the social fast path: the SAR
+  // merge reads pooled histogram views, the exact mode's cardinality bound
+  // runs as one batched sweep, and vectorization is arena-backed. All 8
+  // combinations must match the layers-off oracle bit for bit, with the
+  // layout counters firing exactly when their layer is on.
+  Rng rng(83);
+  const auto corpus = RandomCorpus(&rng, 40, 16);
+  for (const SocialMode mode : {SocialMode::kExact, SocialMode::kSarHash}) {
+    // The oracle turns off the social fast layers AND the layout layers:
+    // every combination below must reproduce the dense pairwise baseline.
+    RecommenderOptions oracle_options = SocialNaive(BaseOptions(mode));
+    oracle_options.pooled_layout = false;
+    oracle_options.simd_kernels = false;
+    oracle_options.arena_scratch = false;
+    const auto oracle = BuildFrom(corpus, 16, oracle_options);
+    for (int mask = 0; mask < 8; ++mask) {
+      RecommenderOptions options = BaseOptions(mode);
+      options.pooled_layout = (mask & 1) != 0;
+      options.simd_kernels = (mask & 2) != 0;
+      options.arena_scratch = (mask & 4) != 0;
+      const auto fast = BuildFrom(corpus, 16, options);
+      QueryTiming counters;
+      ExpectEquivalent(*fast, *oracle, corpus, 6, &counters);
+      EXPECT_EQ(counters.pool_bytes_streamed > 0, options.pooled_layout)
+          << "mode " << static_cast<int>(mode) << " mask " << mask;
+      EXPECT_EQ(counters.bound_batches > 0, options.simd_kernels)
+          << "mode " << static_cast<int>(mode) << " mask " << mask;
     }
   }
 }

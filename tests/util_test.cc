@@ -1,10 +1,14 @@
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <set>
 #include <thread>
 
 #include "gtest/gtest.h"
+#include "util/arena.h"
 #include "util/random.h"
+#include "util/simd.h"
 #include "util/status.h"
 #include "util/stopwatch.h"
 
@@ -161,6 +165,110 @@ TEST(RngTest, CauchyProducesHeavyTails) {
   // P(|Cauchy| > 10) ~ 6.3%; a normal would essentially never exceed 10.
   EXPECT_GT(extreme, 300);
   EXPECT_LT(extreme, 1300);
+}
+
+TEST(ArenaTest, AllocateAlignsAndCounts) {
+  util::Arena arena;
+  void* a = arena.Allocate(3, 1);
+  void* b = arena.Allocate(8, 8);
+  void* c = arena.Allocate(1, 64);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(c) % 64, 0u);
+  // allocated_bytes counts bytes handed out, not padding.
+  EXPECT_EQ(arena.allocated_bytes(), 3u + 8u + 1u);
+  // Writes must not overlap.
+  std::memset(a, 0xAA, 3);
+  std::memset(b, 0xBB, 8);
+  std::memset(c, 0xCC, 1);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[0], 0xAA);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[7], 0xBB);
+  EXPECT_EQ(static_cast<unsigned char*>(c)[0], 0xCC);
+}
+
+TEST(ArenaTest, ResetReclaimsAndKeepsLargestChunk) {
+  util::Arena arena(64);
+  // Force several chunk additions (the minimum chunk is 16KB, so each
+  // allocation below consumes most of one).
+  for (int i = 0; i < 8; ++i) arena.Allocate(12 << 10, 8);
+  EXPECT_GT(arena.chunk_count(), 1u);
+  const size_t grown_capacity = arena.capacity_bytes();
+
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.chunk_count(), 1u);
+  EXPECT_LE(arena.capacity_bytes(), grown_capacity);
+  const size_t kept = arena.capacity_bytes();
+
+  // Steady state: a workload that fits the kept chunk never adds another.
+  for (int round = 0; round < 4; ++round) {
+    arena.Reset();
+    size_t used = 0;
+    while (used + 512 <= kept) {
+      arena.Allocate(512, 8);
+      used += 512;
+    }
+    EXPECT_EQ(arena.chunk_count(), 1u);
+  }
+}
+
+TEST(ArenaTest, AllocatorFallsBackToHeapOnNullArena) {
+  // The same container type must work in both `arena_scratch` states.
+  util::ArenaVector<double> heap_backed{util::ArenaAllocator<double>(nullptr)};
+  util::Arena arena;
+  util::ArenaVector<double> arena_backed{util::ArenaAllocator<double>(&arena)};
+  for (int i = 0; i < 300; ++i) {
+    heap_backed.push_back(static_cast<double>(i));
+    arena_backed.push_back(static_cast<double>(i));
+  }
+  ASSERT_EQ(heap_backed.size(), arena_backed.size());
+  for (size_t i = 0; i < heap_backed.size(); ++i) {
+    EXPECT_EQ(heap_backed[i], arena_backed[i]);
+  }
+  EXPECT_GT(arena.allocated_bytes(), 300u * sizeof(double));
+  EXPECT_EQ(util::ArenaAllocator<double>(nullptr).arena(), nullptr);
+}
+
+TEST(ArenaTest, ThisThreadArenaIsPerThread) {
+  util::Arena* const mine = util::ThisThreadArena();
+  ASSERT_NE(mine, nullptr);
+  EXPECT_EQ(mine, util::ThisThreadArena());
+  util::Arena* theirs = nullptr;
+  std::thread t([&theirs] { theirs = util::ThisThreadArena(); });
+  t.join();
+  EXPECT_NE(theirs, nullptr);
+  EXPECT_NE(theirs, mine);
+}
+
+TEST(SimdKernelTest, BatchedBoundsMatchScalarBitForBit) {
+  // The batched kernels are elementwise; each output lane must equal the
+  // scalar expression for that lane exactly, on denormals and zeros too.
+  Rng rng(97);
+  std::vector<double> means;
+  for (int i = 0; i < 257; ++i) means.push_back(rng.Uniform(-300.0, 300.0));
+  means.push_back(0.0);
+  means.push_back(-0.0);
+  const double query_mean = rng.Uniform(-300.0, 300.0);
+  std::vector<double> out(means.size());
+  util::simd::SimCUpperBoundMany(query_mean, means.data(), means.size(),
+                                 out.data());
+  for (size_t i = 0; i < means.size(); ++i) {
+    EXPECT_EQ(out[i], 1.0 / (1.0 + std::abs(query_mean - means[i])));
+  }
+
+  std::vector<double> sizes;
+  for (int i = 0; i < 129; ++i) {
+    sizes.push_back(static_cast<double>(rng.UniformInt(0, 40)));
+  }
+  const double query_size = 17.0;
+  std::vector<double> bounds(sizes.size());
+  util::simd::JaccardCardinalityBoundMany(query_size, sizes.data(),
+                                          sizes.size(), bounds.data());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const double lo = std::min(query_size, sizes[i]);
+    const double hi = std::max(query_size, sizes[i]);
+    EXPECT_EQ(bounds[i], lo == 0.0 ? 0.0 : lo / hi);
+  }
 }
 
 TEST(StopwatchTest, MeasuresElapsedTime) {

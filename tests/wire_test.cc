@@ -201,6 +201,8 @@ TEST(WireTest, QueryTimingRoundTripsEveryField) {
   response.timing.jaccard_calls = 55;
   response.timing.social_candidates_skipped = 66;
   response.timing.exact_social_pruned = 77;
+  response.timing.pool_bytes_streamed = 88;
+  response.timing.bound_batches = 99;
 
   const auto decoded = DecodeQueryResponse(EncodeQueryResponse(response));
   ASSERT_TRUE(decoded.ok());
@@ -215,6 +217,8 @@ TEST(WireTest, QueryTimingRoundTripsEveryField) {
   EXPECT_EQ(decoded->timing.jaccard_calls, 55u);
   EXPECT_EQ(decoded->timing.social_candidates_skipped, 66u);
   EXPECT_EQ(decoded->timing.exact_social_pruned, 77u);
+  EXPECT_EQ(decoded->timing.pool_bytes_streamed, 88u);
+  EXPECT_EQ(decoded->timing.bound_batches, 99u);
 }
 
 TEST(WireTest, ServerStatsRoundTrip) {

@@ -267,6 +267,8 @@ int CmdQuery(const Flags& flags) {
               "%zu exact merges pruned\n",
               timing.jaccard_calls, timing.social_candidates_skipped,
               timing.exact_social_pruned);
+  std::printf("data layout: %zu pool bytes streamed, %zu bound batches\n",
+              timing.pool_bytes_streamed, timing.bound_batches);
   return 0;
 }
 
@@ -359,6 +361,11 @@ int CmdBatch(const Flags& flags) {
       static_cast<double>(sum.jaccard_calls) / answered,
       static_cast<double>(sum.social_candidates_skipped) / answered,
       static_cast<double>(sum.exact_social_pruned) / answered);
+  std::printf(
+      "data layout: %.0f pool bytes streamed, %.0f bound batches "
+      "(per query)\n",
+      static_cast<double>(sum.pool_bytes_streamed) / answered,
+      static_cast<double>(sum.bound_batches) / answered);
   return 0;
 }
 
@@ -465,6 +472,12 @@ int CmdClient(const Flags& flags) {
                     stats->timing_totals.social_candidates_skipped),
                 static_cast<unsigned long long>(
                     stats->timing_totals.exact_social_pruned));
+    std::printf("data layout totals: %llu pool bytes streamed, %llu bound "
+                "batches\n",
+                static_cast<unsigned long long>(
+                    stats->timing_totals.pool_bytes_streamed),
+                static_cast<unsigned long long>(
+                    stats->timing_totals.bound_batches));
     uint64_t flushed = 0, weighted = 0;
     for (size_t i = 0; i < stats->batch_size_histogram.size(); ++i) {
       flushed += stats->batch_size_histogram[i];
@@ -509,6 +522,9 @@ int CmdClient(const Flags& flags) {
               response->timing.jaccard_calls,
               response->timing.social_candidates_skipped,
               response->timing.exact_social_pruned);
+  std::printf("data layout: %zu pool bytes streamed, %zu bound batches\n",
+              response->timing.pool_bytes_streamed,
+              response->timing.bound_batches);
   return 0;
 }
 

@@ -33,6 +33,12 @@ Rules (all scoped to library code under src/ unless noted):
                    Bare `#include <mutex>` / `#include <condition_variable>`
                    lines are flagged too; std::once_flag/std::call_once
                    remain allowed — NOLINT the include and say so.
+  raw-scratch      No raw `new T[...]` / malloc / calloc / realloc in the
+                   scoring kernels (src/signature/, src/social/) — per-query
+                   scratch goes through util::Arena / ArenaVector (or a
+                   plain std container for owned state), so the
+                   `arena_scratch` ablation stays the single allocation
+                   policy switch and nothing leaks on early return.
 
 Any rule can be silenced per line with `// NOLINT(vrec-<rule>)`.
 
@@ -74,6 +80,14 @@ _RAW_MUTEX = re.compile(
     r"|shared_mutex|shared_timed_mutex|lock_guard|unique_lock|scoped_lock"
     r"|shared_lock|condition_variable(?:_any)?)\b"
     r"|^\s*#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
+)
+# Raw scratch allocation in kernel code: array-new of any type, or the libc
+# allocation trio. The lookbehind keeps out methods (.malloc), qualified
+# names, and longer identifiers (my_malloc); `reallocate(` never matches
+# because the `(` must follow the bare name directly.
+_RAW_SCRATCH = re.compile(
+    r"\bnew\s+[A-Za-z_][\w:<>,\s]*\["
+    r"|(?<![\w:.>])(?:std::)?(?:malloc|calloc|realloc)\s*\("
 )
 _NOLINT = re.compile(r"//\s*NOLINT\(([^)]*)\)")
 
@@ -186,6 +200,14 @@ def lint_file(rel_path, lines):
                        "raw std locking primitive in library code; use the "
                        "annotated vrec::util types in src/util/sync.h so "
                        "thread safety analysis sees the acquisition")
+            if (rel.startswith(("src/signature/", "src/social/"))
+                    and _RAW_SCRATCH.search(code)
+                    and not _suppressed(raw, "raw-scratch")):
+                report(line_no, "raw-scratch",
+                       "raw new[]/malloc scratch in kernel code; use "
+                       "util::Arena / ArenaVector (src/util/arena.h) so "
+                       "arena_scratch remains the one allocation policy "
+                       "switch")
 
         if _LAST_TIMING.search(code) and not _suppressed(raw, "last-timing"):
             report(line_no, "last-timing",
@@ -341,6 +363,32 @@ void H() {
 """,
         ["raw-mutex", "raw-mutex", "raw-mutex", "raw-mutex", "raw-mutex",
          "raw-mutex"],
+    ),
+    (
+        "src/signature/scratchy.cc",
+        """\
+void K(size_t n) {
+  double* buf = new double[n];
+  auto* views = new PreparedView[n];  // NOLINT(vrec-raw-scratch)
+  void* p = malloc(n);
+  void* q = std::calloc(n, 8);
+  p = realloc(p, 2 * n);
+  my_malloc(n);
+  allocator.deallocate(ptr, n);
+  auto w = new Widget();
+  // new double[n] in a comment is fine
+}
+""",
+        ["raw-scratch", "raw-scratch", "raw-scratch", "raw-scratch"],
+    ),
+    (
+        # The rule is scoped to the scoring kernels; other library code is
+        # governed by review, not the lint.
+        "src/core/other.cc",
+        """\
+double* buf = new double[4];
+""",
+        [],
     ),
     (
         # The annotated wrapper layer itself may touch the std primitives.
