@@ -16,13 +16,19 @@
 // raised as far as the container allows) — which a thread-per-connection
 // design could not hold.
 //
+// A fourth phase sweeps the sharded scatter-gather tier: the closed-loop
+// workload replays against in-process fleets of 1, 2, and 4 shards behind
+// the unchanged server, recording throughput and the router's per-shard
+// merge statistics.
+//
 // Gates (exit non-zero on violation): the mean flushed batch size must
-// exceed 1 (batching actually happened), and the zipfian phase must record
-// cache hits (the cache actually served). In full mode the batched
-// configuration must also out-serve the ablation and the idle-connection
-// target must be reached; both full-mode gates are skipped under --smoke,
-// where single-core CI containers make the comparison noise and fd limits
-// are unpredictable.
+// exceed 1 (batching actually happened), the zipfian phase must record
+// cache hits (the cache actually served), and the shards=1 fleet must
+// answer bit-for-bit identically to the plain engine. In full mode the
+// batched configuration must also out-serve the ablation and the
+// idle-connection target must be reached; both full-mode gates are skipped
+// under --smoke, where single-core CI containers make the comparison noise
+// and fd limits are unpredictable.
 //
 // Usage: bench_server_throughput [--smoke] [out.json]
 
@@ -39,6 +45,7 @@
 
 #include "bench_common.h"
 #include "client/client.h"
+#include "shard/sharded_recommender.h"
 #include "server/server.h"
 #include "util/net.h"
 #include "util/random.h"
@@ -69,7 +76,7 @@ struct ClosedLoopResult {
 /// `threads` clients each replay `per_thread` QueryById requests as fast
 /// as the server answers them (closed loop: the next request leaves when
 /// the previous response lands).
-ClosedLoopResult RunClosedLoop(const core::Recommender* rec,
+ClosedLoopResult RunClosedLoop(const core::QueryEngine* rec,
                                server::BatcherOptions batcher,
                                size_t num_videos, size_t threads,
                                size_t per_thread, int k) {
@@ -139,7 +146,7 @@ struct CachedZipfResult {
 /// first miss, so the measured hit rate tracks the workload's skew. The
 /// cache is sized at a quarter of the corpus to keep eviction pressure in
 /// the picture.
-CachedZipfResult RunCachedZipfLoop(const core::Recommender* rec,
+CachedZipfResult RunCachedZipfLoop(const core::QueryEngine* rec,
                                    server::BatcherOptions batcher,
                                    size_t num_videos, size_t threads,
                                    size_t per_thread, int k, double skew) {
@@ -193,6 +200,61 @@ CachedZipfResult RunCachedZipfLoop(const core::Recommender* rec,
   return result;
 }
 
+struct ShardSweepPoint {
+  int shards = 0;
+  double qps = 0.0;
+  double mean_batch = 0.0;
+  uint64_t merge_queries = 0;
+  uint64_t shard_answers = 0;
+  uint64_t merged_rows = 0;
+  std::vector<uint64_t> per_shard_rows;
+  size_t failed = 0;
+};
+
+/// Builds an in-process fleet over the same corpus the single-box engine
+/// ingested (same ids in the same order, so the global social build is
+/// identical).
+std::unique_ptr<shard::ShardedRecommender> BuildFleet(
+    const datagen::Dataset& dataset, core::RecommenderOptions options,
+    int num_shards) {
+  shard::ShardOptions shard_options;
+  shard_options.num_shards = num_shards;
+  shard_options.threads_per_shard = 0;  // hardware concurrency per shard
+  auto fleet =
+      std::make_unique<shard::ShardedRecommender>(shard_options, options);
+  const auto descriptors = dataset.SourceDescriptors();
+  for (size_t v = 0; v < dataset.video_count(); ++v) {
+    const Status status =
+        fleet->AddVideo(dataset.corpus.videos[v], descriptors[v]);
+    if (!status.ok()) {
+      std::fprintf(stderr, "fleet ingest failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+  }
+  if (const Status status = fleet->Finalize(dataset.community.user_count);
+      !status.ok()) {
+    std::fprintf(stderr, "fleet finalize failed: %s\n",
+                 status.ToString().c_str());
+    std::abort();
+  }
+  return fleet;
+}
+
+/// Bit-for-bit comparison of two result lists (the loopback suite's
+/// convention: raw IEEE-754 equality on every component).
+bool SameResults(const std::vector<core::ScoredVideo>& a,
+                 const std::vector<core::ScoredVideo>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].score != b[i].score ||
+        a[i].content != b[i].content || a[i].social != b[i].social) {
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Raises RLIMIT_NOFILE toward `want` descriptors and returns how many
 /// idle sockets the process can afford after reserving `reserve` fds for
 /// clients, data files, and the server's own plumbing.
@@ -227,7 +289,7 @@ struct SweepPoint {
 /// each latency sample is measured from the scheduled time, so backlog
 /// shows up as tail latency (the coordinated-omission-free convention).
 /// Concurrency is bounded by `threads` clients pulling the next index.
-SweepPoint RunOpenLoop(const core::Recommender* rec,
+SweepPoint RunOpenLoop(const core::QueryEngine* rec,
                        server::BatcherOptions batcher, size_t num_videos,
                        size_t threads, double qps, size_t total, int k,
                        size_t idle_connections) {
@@ -364,6 +426,60 @@ int Run(bool smoke, const std::string& out_path) {
     return 1;
   }
 
+  // Sharded serving: the same closed-loop workload against scatter-gather
+  // fleets of 1, 2, and 4 shards behind the unchanged server, with the
+  // shards=1 fleet gated bit-for-bit against the plain engine (one shard
+  // owns the whole corpus, so the router must be a transparent pass-through
+  // plus merge). Cross-shard-count bit-identity is gated separately by the
+  // equivalence tests under saturating-probe configs; the bench corpus
+  // runs the production probe budget.
+  bool shard_equivalent = true;
+  std::vector<ShardSweepPoint> shard_sweep;
+  std::printf("shard sweep (closed loop, %zu clients x %zu requests):\n",
+              threads, per_thread);
+  for (const int num_shards : {1, 2, 4}) {
+    const auto fleet = BuildFleet(dataset, rec_options, num_shards);
+    if (num_shards == 1) {
+      const size_t sample = std::min<size_t>(num_videos, 32);
+      for (size_t v = 0; v < sample; ++v) {
+        const auto direct =
+            rec->RecommendById(static_cast<video::VideoId>(v), k);
+        const auto routed =
+            fleet->RecommendById(static_cast<video::VideoId>(v), k);
+        if (!direct.ok() || !routed.ok() ||
+            !SameResults(*direct, *routed)) {
+          shard_equivalent = false;
+          std::fprintf(stderr,
+                       "shards=1 mismatch vs plain engine at video %zu\n", v);
+          break;
+        }
+      }
+    }
+    ShardSweepPoint point;
+    point.shards = num_shards;
+    const ClosedLoopResult run = RunClosedLoop(fleet.get(), batched,
+                                               num_videos, threads,
+                                               per_thread, k);
+    point.qps = run.qps;
+    point.mean_batch = run.mean_batch;
+    point.failed = run.failed;
+    const auto merge = fleet->merge_stats();
+    point.merge_queries = merge.queries;
+    point.shard_answers = merge.shard_answers;
+    point.merged_rows = merge.merged_rows;
+    point.per_shard_rows = merge.per_shard_rows;
+    std::printf("  shards=%d: %8.0f qps  mean batch %.2f  "
+                "(merged %llu queries, %llu shard answers)\n",
+                num_shards, point.qps, point.mean_batch,
+                static_cast<unsigned long long>(point.merge_queries),
+                static_cast<unsigned long long>(point.shard_answers));
+    if (point.failed > 0) {
+      std::fprintf(stderr, "%zu sharded requests failed\n", point.failed);
+      return 1;
+    }
+    shard_sweep.push_back(std::move(point));
+  }
+
   // Full mode parks up to 10k idle connections on the reactor for the
   // whole sweep (as far as RLIMIT_NOFILE can be raised in this container);
   // smoke keeps a token herd of 50 so the code path always runs.
@@ -400,13 +516,15 @@ int Run(bool smoke, const std::string& out_path) {
   const bool cache_served = cached.cache_hits > 0;
   const bool idle_sustained = min_idle_held >= idle_target;
   std::printf("gates: mean batch > 1: %s; cache hits > 0: %s; "
-              "batched > ablation: %s%s; idle held: %s%s\n",
+              "batched > ablation: %s%s; idle held: %s%s; "
+              "shards=1 == plain: %s\n",
               batching_observed ? "PASS" : "FAIL",
               cache_served ? "PASS" : "FAIL",
               batching_won ? "PASS" : "FAIL",
               smoke ? " (advisory under --smoke)" : "",
               idle_sustained ? "PASS" : "FAIL",
-              smoke ? " (advisory under --smoke)" : "");
+              smoke ? " (advisory under --smoke)" : "",
+              shard_equivalent ? "PASS" : "FAIL");
 
   std::FILE* out = std::fopen(out_path.c_str(), "w");
   if (out == nullptr) {
@@ -450,17 +568,37 @@ int Run(bool smoke, const std::string& out_path) {
                  sweep[i].achieved_qps, sweep[i].p50_ms, sweep[i].p95_ms,
                  sweep[i].p99_ms, sweep[i].idle_held);
   }
+  std::fprintf(out, "\n  ],\n  \"shard_sweep\": [");
+  for (size_t i = 0; i < shard_sweep.size(); ++i) {
+    const ShardSweepPoint& p = shard_sweep[i];
+    std::fprintf(out,
+                 "%s\n    {\"shards\": %d, \"qps\": %.2f, "
+                 "\"mean_batch_size\": %.4f, \"merge_queries\": %llu, "
+                 "\"shard_answers\": %llu, \"merged_rows\": %llu, "
+                 "\"per_shard_rows\": [",
+                 i == 0 ? "" : ",", p.shards, p.qps, p.mean_batch,
+                 static_cast<unsigned long long>(p.merge_queries),
+                 static_cast<unsigned long long>(p.shard_answers),
+                 static_cast<unsigned long long>(p.merged_rows));
+    for (size_t s = 0; s < p.per_shard_rows.size(); ++s) {
+      std::fprintf(out, "%s%llu", s == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(p.per_shard_rows[s]));
+    }
+    std::fprintf(out, "]}");
+  }
   std::fprintf(out,
                "\n  ],\n"
                "  \"batching_observed\": %s,\n"
                "  \"cache_served\": %s,\n"
                "  \"batching_won\": %s,\n"
-               "  \"idle_sustained\": %s\n"
+               "  \"idle_sustained\": %s,\n"
+               "  \"shard_equivalent\": %s\n"
                "}\n",
                batching_observed ? "true" : "false",
                cache_served ? "true" : "false",
                batching_won ? "true" : "false",
-               idle_sustained ? "true" : "false");
+               idle_sustained ? "true" : "false",
+               shard_equivalent ? "true" : "false");
   std::fclose(out);
   std::printf("wrote %s\n", out_path.c_str());
 
@@ -468,6 +606,7 @@ int Run(bool smoke, const std::string& out_path) {
   if (!cache_served) return 1;
   if (!smoke && !batching_won) return 1;
   if (!smoke && !idle_sustained) return 1;
+  if (!shard_equivalent) return 1;
   return 0;
 }
 

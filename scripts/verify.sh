@@ -49,8 +49,17 @@ cmake --build build-nosimd -j "$JOBS" --target vrec_tests bench_content_scoring
 
 echo "=== serving: micro-batching smoke against a live loopback server ==="
 # Exits non-zero unless concurrent queries actually coalesce (mean batch
-# size > 1) and every request is answered.
+# size > 1), every request is answered, and the shards=1 fleet reproduces
+# the plain engine bit for bit (the bench's shard sweep).
 ./build/bench/bench_server_throughput --smoke build/BENCH_server.json
+
+echo "=== shard equivalence: scatter-gather vs single box, bit for bit ==="
+# The loopback-style suite under saturating candidate admission: every
+# social mode, fusion rule, and post-mutation state, with shards {1,2,4}
+# compared bit-for-bit against the single-box engine — in-process AND over
+# the VRS1 wire (each shard behind its own loopback RecommendServer).
+(cd build && ctest --output-on-failure -j "$JOBS" \
+  -R 'Sharded|Partitioner|QueryTimingAggregation|ValidateShardOptions')
 
 echo "=== asan: invariant stress + wire decoders under Address+UBSanitizer ==="
 # The DCHECK layer is live here: every engine mutation re-audits itself via
@@ -72,6 +81,6 @@ echo "=== tsan: concurrency + serving tests under ThreadSanitizer ==="
 cmake -B build-tsan -S . -DVREC_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" --target vrec_tests
 (cd build-tsan && ctest --output-on-failure -j "$JOBS" \
-  -R 'Concurrency|ThreadPool|ServerLoopback|MicroBatcher|Reactor|ResultCache|Sync')
+  -R 'Concurrency|ThreadPool|ServerLoopback|MicroBatcher|Reactor|ResultCache|Sync|Sharded')
 
 echo "verify: OK"

@@ -95,4 +95,15 @@ StatusOr<server::ServerStats> Client::Stats() {
   return server::DecodeServerStats(*payload);
 }
 
+StatusOr<server::FetchVideoResponse> Client::FetchVideo(
+    video::VideoId video) {
+  server::FetchVideoRequest request;
+  request.video = video;
+  auto payload = RoundTrip(MessageType::kFetchVideoRequest,
+                           server::EncodeFetchVideoRequest(request),
+                           MessageType::kFetchVideoResponse);
+  if (!payload.ok()) return payload.status();
+  return server::DecodeFetchVideoResponse(*payload);
+}
+
 }  // namespace vrec::client

@@ -41,6 +41,13 @@ class Client {
   [[nodiscard]]
   StatusOr<server::ServerStats> Stats();
 
+  /// Resolves an ingested video into its series + descriptor (the v4
+  /// shard-to-shard verb). Transport errors come back here; the
+  /// application outcome (kNotFound for unknown ids) rides in
+  /// FetchVideoResponse::status.
+  [[nodiscard]]
+  StatusOr<server::FetchVideoResponse> FetchVideo(video::VideoId video);
+
  private:
   /// Writes one frame, reads one frame back, verifies it and checks the
   /// response type. On any transport/framing error the connection is

@@ -127,16 +127,39 @@ void Recommender::RefreshVideoVector(size_t index) {
 }
 
 Status Recommender::Finalize(size_t user_count) {
+  return FinalizeImpl(user_count, nullptr);
+}
+
+Status Recommender::Finalize(
+    size_t user_count,
+    const std::vector<const social::SocialDescriptor*>& global_descriptors) {
+  return FinalizeImpl(user_count, &global_descriptors);
+}
+
+Status Recommender::FinalizeImpl(
+    size_t user_count,
+    const std::vector<const social::SocialDescriptor*>* global_descriptors) {
   if (finalized_) return Status::FailedPrecondition("already finalized");
   if (const Status s = ValidateOptions(options_); !s.ok()) return s;
   user_count_ = user_count;
 
   if (UsesSar()) {
     // Views into the records' own descriptors — BuildUserInterestGraph
-    // never copies a user list — accumulated in per-worker shards.
-    std::vector<const social::SocialDescriptor*> descriptors;
-    descriptors.reserve(records_.size());
-    for (const Record& r : records_) descriptors.push_back(&r.descriptor);
+    // never copies a user list — accumulated in per-worker shards. A
+    // sharded build substitutes the router's global descriptor list so
+    // every shard derives the identical UIG -> sub-community -> dictionary
+    // chain the single-box build would (the bit-identity precondition;
+    // both graph construction and extraction are thread-count- and
+    // order-deterministic, so shards may differ in thread budget).
+    std::vector<const social::SocialDescriptor*> own_descriptors;
+    if (global_descriptors == nullptr) {
+      own_descriptors.reserve(records_.size());
+      for (const Record& r : records_) {
+        own_descriptors.push_back(&r.descriptor);
+      }
+    }
+    const std::vector<const social::SocialDescriptor*>& descriptors =
+        global_descriptors != nullptr ? *global_descriptors : own_descriptors;
     const graph::WeightedGraph uig =
         social::BuildUserInterestGraph(descriptors, user_count, pool_.get());
     // Users who never co-commented form singleton components; they would
@@ -559,6 +582,17 @@ const social::SocialDescriptor* Recommender::DescriptorOf(
   return it == index_of_.end() ? nullptr : &records_[it->second].descriptor;
 }
 
+StatusOr<BatchQuery> Recommender::ResolveById(video::VideoId id) const {
+  const auto it = index_of_.find(id);
+  if (it == index_of_.end()) return Status::NotFound("unknown video id");
+  const Record& record = records_[it->second];
+  BatchQuery query;
+  query.series = record.series;
+  query.descriptor = record.descriptor;
+  query.exclude = id;
+  return query;
+}
+
 double Recommender::ContentScore(const signature::SignatureSeries& query,
                                  const Record& record) const {
   switch (options_.content_measure) {
@@ -719,6 +753,11 @@ std::vector<BatchResult> Recommender::RecommendBatch(
                       if (result.ok()) r.results = std::move(result).value();
                     });
   return out;
+}
+
+std::vector<BatchResult> Recommender::RecommendBatch(
+    const std::vector<BatchQuery>& queries, int k) const {
+  return RecommendBatch(queries, k, nullptr);
 }
 
 std::vector<BatchResult> Recommender::RecommendBatchByIds(

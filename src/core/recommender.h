@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/engine.h"
 #include "index/inverted_file.h"
 #include "index/lsb_index.h"
 #include "signature/cuboid_signature.h"
@@ -125,91 +126,9 @@ struct RecommenderOptions {
 [[nodiscard]]
 Status ValidateOptions(const RecommenderOptions& options);
 
-/// One recommendation with its score decomposition.
-struct ScoredVideo {
-  video::VideoId id = -1;
-  double score = 0.0;    // FJ (Equation 9)
-  double content = 0.0;  // kJ / DTW-sim / ERP-sim component
-  double social = 0.0;   // sJ or its SAR approximation
-};
-
-/// Wall-clock breakdown of one query (Figure 12 instrumentation).
-struct QueryTiming {
-  double social_ms = 0.0;   // descriptor vectorization + inverted file
-  double content_ms = 0.0;  // LSB probing
-  double refine_ms = 0.0;   // FJ computation over the candidate pool
-  double total_ms = 0.0;
-  /// Refinement pool size after candidate admission + padding. With the
-  /// LSB index this never exceeds max(max_candidates, k + 1); exhaustive
-  /// content modes (DTW/ERP or use_lsb_index=false) scan the live corpus.
-  size_t candidates = 0;
-  /// Fast-path work counters (kKappaJ content only; all 0 for DTW/ERP).
-  size_t emd_calls = 0;          // exact EMD kernel evaluations
-  size_t pairs_pruned = 0;       // signature pairs skipped by the EMD bound
-  size_t candidates_pruned = 0;  // pool entries skipped by the FJ bound
-  /// Social fast-path counters.
-  /// Pairwise Jaccard evaluations actually executed (dense sweeps, sparse
-  /// merges, id merge-intersections, or name-set comparisons).
-  size_t jaccard_calls = 0;
-  /// SAR posting-driven scoring: live records sharing no sub-community
-  /// with the query — never touched by the inverted-file walk, so they
-  /// were scored 0 without any per-record work.
-  size_t social_candidates_skipped = 0;
-  /// kExact id path: merge-intersections skipped because the cardinality
-  /// upper bound proved the candidate dominated (by the running candidate
-  /// heap or the refinement's k-th best bar).
-  size_t exact_social_pruned = 0;
-  /// Data-layout layer observability (see RecommenderOptions).
-  /// Bytes of pooled signature/histogram data handed to scoring kernels
-  /// through pool views this query. Nonzero iff pooled_layout is on and
-  /// the refinement touched at least one pooled candidate.
-  size_t pool_bytes_streamed = 0;
-  /// Batched bound-kernel invocations (one per refinement candidate bound
-  /// matrix; one per kExact candidate-stage sweep). Nonzero iff
-  /// simd_kernels is on and a bound was needed.
-  size_t bound_batches = 0;
-
-  /// Field-wise accumulation — THE one place that sums timings. Aggregators
-  /// (the server's stats totals, bench reducers) must use this instead of
-  /// picking fields by hand, so a counter added here can never again be
-  /// silently dropped from downstream totals.
-  QueryTiming& operator+=(const QueryTiming& other) {
-    social_ms += other.social_ms;
-    content_ms += other.content_ms;
-    refine_ms += other.refine_ms;
-    total_ms += other.total_ms;
-    candidates += other.candidates;
-    emd_calls += other.emd_calls;
-    pairs_pruned += other.pairs_pruned;
-    candidates_pruned += other.candidates_pruned;
-    jaccard_calls += other.jaccard_calls;
-    social_candidates_skipped += other.social_candidates_skipped;
-    exact_social_pruned += other.exact_social_pruned;
-    pool_bytes_streamed += other.pool_bytes_streamed;
-    bound_batches += other.bound_batches;
-    return *this;
-  }
-};
-
-/// One query of a RecommendBatch call.
-struct BatchQuery {
-  signature::SignatureSeries series;
-  social::SocialDescriptor descriptor;
-  /// Dropped from the results when >= 0 (e.g. the query video itself).
-  video::VideoId exclude = -1;
-  /// Per-query result count; <= 0 falls back to the call-level `k`. Lets a
-  /// serving batch mix requests that asked for different top-K sizes.
-  int k = -1;
-};
-
-/// Per-query outcome of a RecommendBatch call; `results` is meaningful only
-/// when `status.ok()`. Timing is returned by value so concurrent queries
-/// never share instrumentation state.
-struct BatchResult {
-  Status status;
-  std::vector<ScoredVideo> results;
-  QueryTiming timing;
-};
+// ScoredVideo, QueryTiming, BatchQuery, BatchResult and the QueryEngine
+// interface live in core/engine.h (pulled in above) so the serving layer
+// and the sharded router can depend on them without this full header.
 
 /// The content-social video recommender (Sections 3-4).
 ///
@@ -218,7 +137,7 @@ struct BatchResult {
 /// dictionary -> descriptor vectors -> inverted files) and the LSB content
 /// index; then Recommend*() any number of times, interleaved with
 /// ApplySocialUpdate() as new activity arrives.
-class Recommender {
+class Recommender : public QueryEngine {
  public:
   explicit Recommender(RecommenderOptions options);
 
@@ -238,6 +157,20 @@ class Recommender {
   /// space. Must be called exactly once, after ingestion.
   [[nodiscard]]
   Status Finalize(size_t user_count);
+
+  /// Shard-aware Finalize: identical to Finalize(user_count) except that
+  /// the SAR social substrate (user interest graph -> sub-communities ->
+  /// dictionary -> maintainer) is built from `global_descriptors` instead
+  /// of this instance's own records. A sharded router passes every
+  /// corpus descriptor here so all shards derive the *same* community
+  /// structure the single-box build would — the load-bearing half of the
+  /// scatter-gather bit-identity guarantee (per-record vectorization,
+  /// postings and content indexes still cover only this instance's
+  /// records). The pointed-to descriptors only need to outlive the call.
+  [[nodiscard]]
+  Status Finalize(
+      size_t user_count,
+      const std::vector<const social::SocialDescriptor*>& global_descriptors);
 
   /// Top-K recommendations for an already-ingested video (self excluded).
   /// `timing` (optional) receives this query's wall-clock breakdown — the
@@ -277,7 +210,11 @@ class Recommender {
   /// result count for queries that leave BatchQuery::k unset.
   std::vector<BatchResult> RecommendBatch(
       const std::vector<BatchQuery>& queries, int k,
-      util::ThreadPool* pool = nullptr) const;
+      util::ThreadPool* pool) const;
+
+  /// QueryEngine form: fans across the recommender's own pool.
+  std::vector<BatchResult> RecommendBatch(
+      const std::vector<BatchQuery>& queries, int k) const override;
 
   /// Batch form of RecommendById (each id excluded from its own results).
   std::vector<BatchResult> RecommendBatchByIds(
@@ -306,12 +243,12 @@ class Recommender {
     return n;
   }
   size_t user_count() const { return user_count_; }
-  bool finalized() const { return finalized_; }
+  bool finalized() const override { return finalized_; }
   /// Monotone counter bumped whenever query results may change: Finalize(),
   /// RemoveVideo(), and ApplySocialUpdate() each increment it on success.
   /// External result caches stamp entries with the generation they were
   /// computed under and treat a mismatch on lookup as an invalidation.
-  uint64_t generation() const {
+  uint64_t generation() const override {
     return generation_.load(std::memory_order_acquire);
   }
   const RecommenderOptions& options() const { return options_; }
@@ -336,8 +273,20 @@ class Recommender {
   /// The signature series of an ingested video (for query construction).
   const signature::SignatureSeries* SeriesOf(video::VideoId id) const;
   const social::SocialDescriptor* DescriptorOf(video::VideoId id) const;
+  /// QueryEngine form of the two accessors above: the video's series +
+  /// descriptor as a self-excluding query, copied out (so it can cross a
+  /// process boundary). kNotFound for unknown or removed ids.
+  [[nodiscard]]
+  StatusOr<BatchQuery> ResolveById(video::VideoId id) const override;
 
  private:
+  /// Shared body of the two Finalize overloads; `global_descriptors` null
+  /// means "use this instance's own records" (the single-box build).
+  [[nodiscard]]
+  Status FinalizeImpl(
+      size_t user_count,
+      const std::vector<const social::SocialDescriptor*>* global_descriptors);
+
   struct Record {
     video::VideoId id = -1;
     signature::SignatureSeries series;

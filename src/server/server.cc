@@ -49,9 +49,9 @@ Status ValidateServerOptions(const ServerOptions& options) {
   return ValidateBatcherOptions(options.batcher);
 }
 
-RecommendServer::RecommendServer(const core::Recommender* recommender,
+RecommendServer::RecommendServer(const core::QueryEngine* engine,
                                  ServerOptions options)
-    : recommender_(recommender), options_(options) {}
+    : engine_(engine), options_(options) {}
 
 RecommendServer::~RecommendServer() {
   Shutdown();
@@ -62,9 +62,9 @@ Status RecommendServer::Start() {
   if (started_.exchange(true)) {
     return Status::FailedPrecondition("Start() already called");
   }
-  if (recommender_ == nullptr || !recommender_->finalized()) {
+  if (engine_ == nullptr || !engine_->finalized()) {
     return Status::FailedPrecondition(
-        "the server needs a finalized Recommender");
+        "the server needs a finalized query engine");
   }
   if (const Status s = ValidateServerOptions(options_); !s.ok()) return s;
 
@@ -265,7 +265,7 @@ void RecommendServer::OnFrame(ConnId conn, const FrameHeader& header,
         SendError(conn, request.status());
         return;
       }
-      const uint64_t generation = recommender_->generation();
+      const uint64_t generation = engine_->generation();
       if (cache_ != nullptr) {
         if (auto hit =
                 cache_->Lookup(request->video, request->k, generation)) {
@@ -275,19 +275,43 @@ void RecommendServer::OnFrame(ConnId conn, const FrameHeader& header,
           return;
         }
       }
-      const auto* series = recommender_->SeriesOf(request->video);
-      const auto* descriptor = recommender_->DescriptorOf(request->video);
-      if (series == nullptr || descriptor == nullptr) {
-        SendError(conn, Status::NotFound("unknown video id"));
+      // ResolveById copies the query material out of the engine — which
+      // may mean a fetch from the owning shard when the engine is a
+      // wire-backed router.
+      auto query = engine_->ResolveById(request->video);
+      if (!query.ok()) {
+        SendError(conn, query.status());
         return;
       }
-      core::BatchQuery query;
-      query.series = *series;
-      query.descriptor = *descriptor;
-      query.exclude = request->video;
-      AdmitQuery(conn, std::move(query), request->k, request->deadline_ms,
+      AdmitQuery(conn, std::move(query).value(), request->k,
+                 request->deadline_ms,
                  /*cacheable=*/cache_ != nullptr, request->video,
                  generation);
+      return;
+    }
+
+    case MessageType::kFetchVideoRequest: {
+      // Shard-to-shard resolve (v4): answered inline on the reactor thread
+      // — a map lookup plus one series copy, no batcher involvement.
+      // Application errors (unknown id) ride in the response's status
+      // field; the connection stays usable either way.
+      const auto request = DecodeFetchVideoRequest(payload);
+      if (!request.ok()) {
+        CountMalformed();
+        SendError(conn, request.status());
+        return;
+      }
+      FetchVideoResponse response;
+      auto resolved = engine_->ResolveById(request->video);
+      if (resolved.ok()) {
+        response.series = std::move(resolved->series);
+        response.descriptor = std::move(resolved->descriptor);
+      } else {
+        response.status = resolved.status();
+      }
+      reactor_->SendResponse(
+          conn, EncodeFrame(MessageType::kFetchVideoResponse,
+                            EncodeFetchVideoResponse(response)));
       return;
     }
 
@@ -390,7 +414,7 @@ void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
 
   // Every admitted query carries its own k (>= 1, validated at admission),
   // so the call-level fallback is never used.
-  auto results = recommender_->RecommendBatch(queries, /*k=*/1);
+  auto results = engine_->RecommendBatch(queries, /*k=*/1);
   VREC_CHECK(results.size() == live.size());
   for (size_t i = 0; i < live.size(); ++i) {
     {
@@ -410,7 +434,7 @@ void RecommendServer::FlushBatch(std::vector<BatchJob>&& jobs,
     const auto ctx = TakePending(live[i]->tag);
     if (answered_ok && ctx.has_value() && ctx->cacheable &&
         cache_ != nullptr &&
-        recommender_->generation() == ctx->generation) {
+        engine_->generation() == ctx->generation) {
       cache_->Insert(ctx->video, ctx->k, ctx->generation, frame);
     }
     reactor_->SendResponse(live[i]->tag, std::move(frame));

@@ -10,7 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "core/recommender.h"
+#include "core/engine.h"
 #include "server/batcher.h"
 #include "server/reactor.h"
 #include "server/result_cache.h"
@@ -52,25 +52,29 @@ Status ValidateServerOptions(const ServerOptions& options);
 /// The online serving front end: a single-threaded epoll reactor speaking
 /// the wire.h protocol, an optional LRU result cache for by-id queries,
 /// and a dynamic micro-batcher that coalesces concurrently arriving
-/// queries into Recommender::RecommendBatch calls. Completions flow back
+/// queries into QueryEngine::RecommendBatch calls. Completions flow back
 /// to the reactor through its wake pipe, so the only threads are the
 /// reactor and the batcher worker — concurrency no longer caps at a
 /// thread count.
 ///
-/// Lifecycle: construct over a *finalized* Recommender, Start(), serve,
+/// The engine can be a single-box core::Recommender or a
+/// shard::ShardedRecommender — the pipeline is identical either way, and
+/// a server can also front one *shard* of a fleet (the remote backend
+/// fetches by-id query material through the kFetchVideoRequest verb).
+///
+/// Lifecycle: construct over a *finalized* engine, Start(), serve,
 /// then Shutdown() — which drains gracefully: stop accepting, answer every
 /// admitted request (flushing in-flight batches), then join. SIGINT/
 /// SIGTERM can be wired to the same drain with EnableSignalDrain().
 ///
-/// The recommender must outlive the server and must not be mutated
+/// The engine must outlive the server and must not be mutated
 /// (ApplySocialUpdate/RemoveVideo) while queries are in flight — the same
 /// exclusivity contract as any concurrent Recommend*() caller. A mutation
-/// between quiescent periods bumps the recommender's generation counter,
+/// between quiescent periods bumps the engine's generation counter,
 /// which invalidates affected cache entries on their next lookup.
 class RecommendServer final : private ReactorEvents {
  public:
-  RecommendServer(const core::Recommender* recommender,
-                  ServerOptions options);
+  RecommendServer(const core::QueryEngine* engine, ServerOptions options);
   /// Shuts down (gracefully) if still running.
   ~RecommendServer() override;
 
@@ -114,10 +118,12 @@ class RecommendServer final : private ReactorEvents {
     bool cacheable = false;
     int64_t video = -1;
     int32_t k = 0;
-    /// Recommender generation at the cache miss. The insert re-checks it:
-    /// if the corpus mutated while the query was in flight, the result is
+    /// Engine generation at the cache miss. The insert re-checks it: if
+    /// the corpus mutated while the query was in flight, the result is
     /// not cached (stamping the newer generation would launder a stale
-    /// result into a fresh-looking entry).
+    /// result into a fresh-looking entry). A sharded engine reports an
+    /// aggregate generation that moves whenever any shard's results may
+    /// change, so the same check stays sound fleet-wide.
     uint64_t generation = 0;
   };
 
@@ -141,7 +147,7 @@ class RecommendServer final : private ReactorEvents {
   void DoShutdown();
   void CountMalformed() VREC_EXCLUDES(stats_mutex_);
 
-  const core::Recommender* const recommender_;
+  const core::QueryEngine* const engine_;
   const ServerOptions options_;
 
   uint16_t port_ = 0;

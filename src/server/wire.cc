@@ -231,7 +231,7 @@ StatusOr<FrameHeader> DecodeHeader(const uint8_t* data,
   }
   const uint8_t type = data[5];
   if (type < static_cast<uint8_t>(MessageType::kQueryRequest) ||
-      type > static_cast<uint8_t>(MessageType::kStatsResponse)) {
+      type > static_cast<uint8_t>(MessageType::kFetchVideoResponse)) {
     return Status::InvalidArgument("unknown message type");
   }
   if (data[6] != 0 || data[7] != 0) {
@@ -428,6 +428,50 @@ StatusOr<ServerStats> DecodeServerStats(
   if (!timing.ok()) return timing.status();
   stats.timing_totals = *timing;
   return stats;
+}
+
+std::vector<uint8_t> EncodeFetchVideoRequest(
+    const FetchVideoRequest& request) {
+  std::ostringstream out;
+  io::BinaryWriter w(&out);
+  w.WriteI64(request.video);
+  return ToBytes(out);
+}
+
+StatusOr<FetchVideoRequest> DecodeFetchVideoRequest(
+    const std::vector<uint8_t>& payload) {
+  std::istringstream in(ToString(payload));
+  io::BinaryReader r(&in);
+  FetchVideoRequest request;
+  const auto video = r.ReadI64();
+  if (!video.ok()) return video.status();
+  request.video = *video;
+  return request;
+}
+
+std::vector<uint8_t> EncodeFetchVideoResponse(
+    const FetchVideoResponse& response) {
+  std::ostringstream out;
+  io::BinaryWriter w(&out);
+  WriteStatus(&w, response.status);
+  w.WriteI64Vector(response.descriptor.users());
+  WriteSeries(&w, response.series);
+  return ToBytes(out);
+}
+
+StatusOr<FetchVideoResponse> DecodeFetchVideoResponse(
+    const std::vector<uint8_t>& payload) {
+  std::istringstream in(ToString(payload));
+  io::BinaryReader r(&in);
+  FetchVideoResponse response;
+  if (const Status s = ReadStatus(&r, &response.status); !s.ok()) return s;
+  auto users = ReadI64VectorBudgeted(&r, payload.size());
+  if (!users.ok()) return users.status();
+  response.descriptor = social::SocialDescriptor(std::move(*users));
+  auto series = ReadSeries(&r, payload.size());
+  if (!series.ok()) return series.status();
+  response.series = std::move(*series);
+  return response;
 }
 
 }  // namespace vrec::server

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/recommender.h"
+#include "core/engine.h"
 #include "signature/cuboid_signature.h"
 #include "social/descriptor.h"
 #include "util/status.h"
@@ -35,9 +35,12 @@ inline constexpr uint32_t kWireMagic = 0x31535256;  // bytes 'V','R','S','1'
 /// v2: QueryTiming grew the three social fast-path counters and
 /// ServerStats grew the result-cache counters + open_connections.
 /// v3: QueryTiming grew the data-layout counters pool_bytes_streamed and
-/// bound_batches. Version mismatches are rejected at header decode (no
-/// cross-version reads).
-inline constexpr uint8_t kWireVersion = 3;
+/// bound_batches.
+/// v4: the shard-to-shard verbs kFetchVideoRequest/kFetchVideoResponse
+/// (resolve an ingested video into its series + descriptor, so a remote
+/// router can serve by-id queries). Version mismatches are rejected at
+/// header decode (no cross-version reads).
+inline constexpr uint8_t kWireVersion = 4;
 inline constexpr size_t kHeaderBytes = 16;
 /// Default payload cap; oversized length fields are rejected at header
 /// decode, before any allocation.
@@ -49,6 +52,8 @@ enum class MessageType : uint8_t {
   kStatsRequest = 3,     // server counters (the STATS verb)
   kQueryResponse = 4,
   kStatsResponse = 5,
+  kFetchVideoRequest = 6,  // resolve an id into series + descriptor (v4)
+  kFetchVideoResponse = 7,
 };
 
 struct FrameHeader {
@@ -147,6 +152,33 @@ StatusOr<QueryResponse> DecodeQueryResponse(
 std::vector<uint8_t> EncodeServerStats(const ServerStats& stats);
 [[nodiscard]]
 StatusOr<ServerStats> DecodeServerStats(const std::vector<uint8_t>& payload);
+
+/// Shard-to-shard (v4): resolve an ingested video into the raw material a
+/// remote router needs to scatter it as an anonymous query — its signature
+/// series and social descriptor. The response carries application errors
+/// (kNotFound for unknown/removed ids) in `status`; series/descriptor are
+/// meaningful only when ok. Scores never cross this verb, so the merge
+/// arithmetic stays wherever the query runs.
+struct FetchVideoRequest {
+  video::VideoId video = 0;
+};
+
+struct FetchVideoResponse {
+  Status status;
+  signature::SignatureSeries series;
+  social::SocialDescriptor descriptor;
+};
+
+std::vector<uint8_t> EncodeFetchVideoRequest(const FetchVideoRequest& request);
+[[nodiscard]]
+StatusOr<FetchVideoRequest> DecodeFetchVideoRequest(
+    const std::vector<uint8_t>& payload);
+
+std::vector<uint8_t> EncodeFetchVideoResponse(
+    const FetchVideoResponse& response);
+[[nodiscard]]
+StatusOr<FetchVideoResponse> DecodeFetchVideoResponse(
+    const std::vector<uint8_t>& payload);
 
 }  // namespace vrec::server
 

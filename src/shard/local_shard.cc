@@ -1,0 +1,16 @@
+#include "shard/local_shard.h"
+
+#include <utility>
+
+namespace vrec::shard {
+
+StatusOr<FetchedVideo> LocalShard::Fetch(video::VideoId id) const {
+  auto query = recommender_->ResolveById(id);
+  if (!query.ok()) return query.status();
+  FetchedVideo out;
+  out.series = std::move(query->series);
+  out.descriptor = std::move(query->descriptor);
+  return out;
+}
+
+}  // namespace vrec::shard

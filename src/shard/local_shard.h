@@ -1,0 +1,32 @@
+#ifndef VREC_SHARD_LOCAL_SHARD_H_
+#define VREC_SHARD_LOCAL_SHARD_H_
+
+#include "core/recommender.h"
+#include "shard/shard_backend.h"
+
+namespace vrec::shard {
+
+/// In-process shard backend: a thin adapter over a core::Recommender the
+/// ShardedRecommender owns. Queries fan across the shard's own worker
+/// pool (its num_threads budget), independent of the router's scatter
+/// pool — two distinct pools, so the nested ParallelFor is deadlock-free.
+class LocalShard final : public ShardBackend {
+ public:
+  explicit LocalShard(const core::Recommender* recommender)
+      : recommender_(recommender) {}
+
+  std::vector<core::BatchResult> QueryBatch(
+      const std::vector<core::BatchQuery>& queries, int k) const override {
+    return recommender_->RecommendBatch(queries, k);
+  }
+
+  [[nodiscard]] StatusOr<FetchedVideo> Fetch(
+      video::VideoId id) const override;
+
+ private:
+  const core::Recommender* const recommender_;
+};
+
+}  // namespace vrec::shard
+
+#endif  // VREC_SHARD_LOCAL_SHARD_H_

@@ -1,0 +1,29 @@
+#ifndef VREC_SHARD_PARTITIONER_H_
+#define VREC_SHARD_PARTITIONER_H_
+
+#include <cstdint>
+
+#include "video/video.h"
+
+namespace vrec::shard {
+
+/// Owner shard of a video id. splitmix64's finalizer (same mixer as the
+/// server's ResultCache key hash) rather than std::hash: the standard hash
+/// is implementation-defined, and shard assignment must be stable across
+/// compilers, libc++ versions and processes — a router and a remote shard
+/// built on different toolchains have to agree on who owns what.
+/// Deterministic, total (every id maps to exactly one shard < num_shards),
+/// and uniform enough that sequential ids spread evenly.
+inline uint32_t ShardOf(video::VideoId id, uint32_t num_shards) {
+  uint64_t x = static_cast<uint64_t>(id);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x % num_shards);
+}
+
+}  // namespace vrec::shard
+
+#endif  // VREC_SHARD_PARTITIONER_H_

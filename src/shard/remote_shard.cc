@@ -1,0 +1,59 @@
+#include "shard/remote_shard.h"
+
+#include <utility>
+
+namespace vrec::shard {
+
+Status RemoteShard::EnsureConnected() const {
+  if (client_.connected()) return Status::Ok();
+  return client_.Connect(host_, port_);
+}
+
+Status RemoteShard::Connect() {
+  util::MutexLock lock(mutex_);
+  return EnsureConnected();
+}
+
+std::vector<core::BatchResult> RemoteShard::QueryBatch(
+    const std::vector<core::BatchQuery>& queries, int k) const {
+  util::MutexLock lock(mutex_);
+  std::vector<core::BatchResult> out(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    core::BatchResult& result = out[i];
+    if (const Status s = EnsureConnected(); !s.ok()) {
+      result.status = s;
+      continue;
+    }
+    server::QueryRequest request;
+    request.series = queries[i].series;
+    request.descriptor = queries[i].descriptor;
+    request.exclude = queries[i].exclude;
+    request.k = queries[i].k > 0 ? queries[i].k : k;
+    auto response = client_.Query(request);
+    if (!response.ok()) {
+      // Transport failure: the client closed itself; the next query (or
+      // batch) re-connects. Reported per query, same shape as an
+      // application error.
+      result.status = response.status();
+      continue;
+    }
+    result.status = std::move(response->status);
+    result.results = std::move(response->results);
+    result.timing = response->timing;
+  }
+  return out;
+}
+
+StatusOr<FetchedVideo> RemoteShard::Fetch(video::VideoId id) const {
+  util::MutexLock lock(mutex_);
+  if (const Status s = EnsureConnected(); !s.ok()) return s;
+  auto response = client_.FetchVideo(id);
+  if (!response.ok()) return response.status();
+  if (!response->status.ok()) return response->status;
+  FetchedVideo out;
+  out.series = std::move(response->series);
+  out.descriptor = std::move(response->descriptor);
+  return out;
+}
+
+}  // namespace vrec::shard

@@ -1,0 +1,54 @@
+#ifndef VREC_SHARD_REMOTE_SHARD_H_
+#define VREC_SHARD_REMOTE_SHARD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "client/client.h"
+#include "shard/shard_backend.h"
+#include "util/sync.h"
+
+namespace vrec::shard {
+
+/// Wire-backed shard backend: the shard is a RecommendServer somewhere
+/// else, reached through the blocking VRS1 client. Queries scatter as
+/// anonymous kQueryRequest frames (series + descriptor travel with the
+/// query, so the remote shard needs no knowledge of the full corpus) and
+/// by-id resolution uses the v4 kFetchVideoRequest verb against the id's
+/// owner.
+///
+/// One connection, one request in flight: the batch is serialized over it
+/// (the *shards* are what run in parallel — the router scatters to all
+/// backends concurrently). The client is re-connected lazily after a
+/// transport failure, so a shard restart heals on the next batch. The
+/// mutex makes concurrent router calls safe, not fast.
+class RemoteShard final : public ShardBackend {
+ public:
+  RemoteShard(std::string host, uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  /// Eagerly opens the connection (optional — calls reconnect lazily).
+  [[nodiscard]]
+  Status Connect() VREC_EXCLUDES(mutex_);
+
+  std::vector<core::BatchResult> QueryBatch(
+      const std::vector<core::BatchQuery>& queries, int k) const override
+      VREC_EXCLUDES(mutex_);
+
+  [[nodiscard]] StatusOr<FetchedVideo> Fetch(video::VideoId id) const override
+      VREC_EXCLUDES(mutex_);
+
+ private:
+  [[nodiscard]]
+  Status EnsureConnected() const VREC_REQUIRES(mutex_);
+
+  const std::string host_;
+  const uint16_t port_;
+  mutable util::Mutex mutex_;
+  mutable client::Client client_ VREC_GUARDED_BY(mutex_);
+};
+
+}  // namespace vrec::shard
+
+#endif  // VREC_SHARD_REMOTE_SHARD_H_

@@ -1,0 +1,44 @@
+#ifndef VREC_SHARD_SHARD_BACKEND_H_
+#define VREC_SHARD_SHARD_BACKEND_H_
+
+#include <vector>
+
+#include "core/engine.h"
+#include "signature/cuboid_signature.h"
+#include "social/descriptor.h"
+#include "util/status.h"
+#include "video/video.h"
+
+namespace vrec::shard {
+
+/// An ingested video's query material, as fetched from its owner shard.
+struct FetchedVideo {
+  signature::SignatureSeries series;
+  social::SocialDescriptor descriptor;
+};
+
+/// One shard as the router sees it: answer a scattered query batch, and
+/// resolve an owned video id into its query material. Two implementations:
+/// LocalShard wraps an in-process core::Recommender; RemoteShard speaks
+/// the VRS1 wire protocol to a RecommendServer fronting the shard.
+///
+/// QueryBatch is scatter-side: every shard receives the *full* batch and
+/// answers it over its own partition; the router merges the per-shard
+/// top-K lists. Transport failures surface as per-query error statuses
+/// (same shape as an application failure), so one dead shard fails the
+/// affected queries instead of crashing the router.
+class ShardBackend {
+ public:
+  virtual ~ShardBackend() = default;
+
+  virtual std::vector<core::BatchResult> QueryBatch(
+      const std::vector<core::BatchQuery>& queries, int k) const = 0;
+
+  /// kNotFound when this shard does not hold the id (unknown or removed).
+  [[nodiscard]]
+  virtual StatusOr<FetchedVideo> Fetch(video::VideoId id) const = 0;
+};
+
+}  // namespace vrec::shard
+
+#endif  // VREC_SHARD_SHARD_BACKEND_H_

@@ -1,0 +1,304 @@
+#include "shard/sharded_recommender.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "shard/local_shard.h"
+#include "shard/partitioner.h"
+#include "shard/remote_shard.h"
+#include "util/check.h"
+#include "video/segmenter.h"
+
+namespace vrec::shard {
+
+Status ValidateShardOptions(const ShardOptions& options) {
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options.num_shards > 1024) {
+    return Status::InvalidArgument(
+        "num_shards must be <= 1024 (a scatter hits every shard)");
+  }
+  if (options.threads_per_shard < 0) {
+    return Status::InvalidArgument("threads_per_shard must be >= 0");
+  }
+  if (options.router_threads < 0) {
+    return Status::InvalidArgument("router_threads must be >= 0");
+  }
+  return Status::Ok();
+}
+
+ShardedRecommender::ShardedRecommender(const ShardOptions& shard_options,
+                                       core::RecommenderOptions base_options)
+    : shard_options_(shard_options),
+      base_options_(std::move(base_options)),
+      remote_(false) {
+  // Invalid num_shards is reported by Finalize (validate-late, like the
+  // Recommender); clamp here so routing before that stays well-defined.
+  const size_t num_shards =
+      shard_options_.num_shards >= 1
+          ? static_cast<size_t>(shard_options_.num_shards)
+          : 1;
+  core::RecommenderOptions per_shard = base_options_;
+  per_shard.num_threads = shard_options_.threads_per_shard;
+  shards_.reserve(num_shards);
+  backends_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<core::Recommender>(per_shard));
+    backends_.push_back(std::make_unique<LocalShard>(shards_.back().get()));
+  }
+  InitRouter(num_shards);
+}
+
+ShardedRecommender::ShardedRecommender(const ShardOptions& shard_options,
+                                       RemoteTag)
+    : shard_options_(shard_options), remote_(true) {
+  // A remote fleet was finalized wherever its shards live; the router
+  // itself never mutates, so the generation is a nonzero constant (the
+  // result cache only needs mismatch detection, and there is nothing
+  // here for entries to go stale against).
+  generation_.store(1, std::memory_order_release);
+}
+
+ShardedRecommender::~ShardedRecommender() = default;
+
+void ShardedRecommender::InitRouter(size_t num_shards) {
+  per_shard_rows_ = std::make_unique<std::atomic<uint64_t>[]>(num_shards);
+  const size_t fan_out = shard_options_.router_threads > 0
+                             ? static_cast<size_t>(
+                                   shard_options_.router_threads)
+                             : num_shards;
+  if (num_shards > 1 && fan_out > 1) {
+    router_pool_ = std::make_unique<util::ThreadPool>(fan_out);
+  }
+}
+
+StatusOr<std::unique_ptr<ShardedRecommender>>
+ShardedRecommender::ConnectRemote(const ShardOptions& shard_options,
+                                  const std::vector<RemoteEndpoint>& endpoints) {
+  if (const Status s = ValidateShardOptions(shard_options); !s.ok()) return s;
+  if (endpoints.size() != static_cast<size_t>(shard_options.num_shards)) {
+    return Status::InvalidArgument(
+        "endpoint count must equal num_shards (endpoint i serves shard i)");
+  }
+  std::unique_ptr<ShardedRecommender> router(
+      new ShardedRecommender(shard_options, RemoteTag{}));
+  router->backends_.reserve(endpoints.size());
+  for (const RemoteEndpoint& endpoint : endpoints) {
+    auto backend = std::make_unique<RemoteShard>(endpoint.host, endpoint.port);
+    if (const Status s = backend->Connect(); !s.ok()) return s;
+    router->backends_.push_back(std::move(backend));
+  }
+  router->InitRouter(endpoints.size());
+  return router;
+}
+
+Status ShardedRecommender::AddVideo(const video::Video& video,
+                                    const social::SocialDescriptor& descriptor) {
+  const video::Segmenter segmenter(base_options_.segmenter);
+  const signature::SignatureBuilder builder(base_options_.signature);
+  StatusOr<signature::SignatureSeries> series =
+      builder.BuildSeries(segmenter.Segment(video));
+  if (!series.ok()) return series.status();
+  return AddVideoRecord(video.id(), std::move(series).value(), descriptor);
+}
+
+Status ShardedRecommender::AddVideoRecord(video::VideoId id,
+                                          signature::SignatureSeries series,
+                                          social::SocialDescriptor descriptor) {
+  if (remote_) {
+    return Status::FailedPrecondition(
+        "a remote fleet is ingested where its shards live");
+  }
+  if (finalized_) {
+    return Status::FailedPrecondition("cannot add videos after Finalize");
+  }
+  const uint32_t owner =
+      ShardOf(id, static_cast<uint32_t>(shards_.size()));
+  // Retain the descriptor (arrival order) for the global social build;
+  // rolled back if the owner shard rejects the record (duplicate ids land
+  // on the same shard, so the shard's own check covers the fleet).
+  global_descriptors_.push_back(descriptor);
+  const Status s = shards_[owner]->AddVideoRecord(id, std::move(series),
+                                                  std::move(descriptor));
+  if (!s.ok()) global_descriptors_.pop_back();
+  return s;
+}
+
+Status ShardedRecommender::Finalize(size_t user_count) {
+  if (remote_) {
+    return Status::FailedPrecondition(
+        "a remote fleet is finalized where its shards live");
+  }
+  if (const Status s = ValidateShardOptions(shard_options_); !s.ok()) return s;
+  if (finalized_) return Status::FailedPrecondition("already finalized");
+
+  std::vector<const social::SocialDescriptor*> global;
+  global.reserve(global_descriptors_.size());
+  for (const social::SocialDescriptor& d : global_descriptors_) {
+    global.push_back(&d);
+  }
+  // Shard builds are independent (each touches only its own structures;
+  // the global list is read-only), so they fan across the router pool.
+  std::vector<Status> statuses(shards_.size());
+  util::ParallelFor(router_pool_.get(), shards_.size(), [&](size_t s) {
+    statuses[s] = shards_[s]->Finalize(user_count, global);
+  });
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  finalized_ = true;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  global_descriptors_.clear();
+  global_descriptors_.shrink_to_fit();
+  return Status::Ok();
+}
+
+Status ShardedRecommender::RemoveVideo(video::VideoId id) {
+  if (remote_) {
+    return Status::FailedPrecondition(
+        "a remote fleet is mutated where its shards live");
+  }
+  if (!finalized_) return Status::FailedPrecondition("Finalize() not called");
+  const uint32_t owner =
+      ShardOf(id, static_cast<uint32_t>(shards_.size()));
+  if (const Status s = shards_[owner]->RemoveVideo(id); !s.ok()) return s;
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::Ok();
+}
+
+StatusOr<social::MaintenanceStats> ShardedRecommender::ApplySocialUpdate(
+    const std::vector<social::SocialConnection>& connections,
+    const std::vector<std::pair<video::VideoId, social::UserId>>&
+        new_comments) {
+  if (remote_) {
+    return Status::FailedPrecondition(
+        "a remote fleet is mutated where its shards live");
+  }
+  if (!finalized_) return Status::FailedPrecondition("Finalize() not called");
+  // Broadcast: the connections drive every maintainer replica through the
+  // identical Figure-5 steps; comments only stick on the shard owning
+  // their video (the same unknown-id skip the single box applies).
+  social::MaintenanceStats stats;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    StatusOr<social::MaintenanceStats> result =
+        shards_[s]->ApplySocialUpdate(connections, new_comments);
+    if (!result.ok()) return result.status();
+    if (s == 0) stats = std::move(result).value();
+  }
+  generation_.fetch_add(1, std::memory_order_acq_rel);
+  return stats;
+}
+
+std::vector<core::BatchResult> ShardedRecommender::RecommendBatch(
+    const std::vector<core::BatchQuery>& queries, int k) const {
+  const size_t num_shards = backends_.size();
+  // Scatter: every shard answers the full batch over its own partition.
+  std::vector<std::vector<core::BatchResult>> scattered(num_shards);
+  util::ParallelFor(router_pool_.get(), num_shards, [&](size_t s) {
+    scattered[s] = backends_[s]->QueryBatch(queries, k);
+  });
+
+  // Gather: per query, concatenate the per-shard top-K lists, re-rank
+  // under the engine-wide (score desc, id asc) order and truncate to K.
+  // Every true global top-K entry is in its shard's top-K, so the merge
+  // is the exact global top-K of the union.
+  const auto better = [](const core::ScoredVideo& a,
+                         const core::ScoredVideo& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  };
+  std::vector<core::BatchResult> merged(queries.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    core::BatchResult& out = merged[q];
+    size_t incoming = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      VREC_CHECK(scattered[s].size() == queries.size());
+      const core::BatchResult& r = scattered[s][q];
+      // Field-wise sum (QueryTiming::operator+=) — work performed across
+      // the fleet; the one aggregation point, so no counter is dropped.
+      out.timing += r.timing;
+      if (!r.status.ok() && out.status.ok()) out.status = r.status;
+      incoming += r.results.size();
+    }
+    if (!out.status.ok()) continue;  // any shard failing fails the query
+    out.results.reserve(incoming);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const std::vector<core::ScoredVideo>& rows = scattered[s][q].results;
+      per_shard_rows_[s].fetch_add(rows.size(), std::memory_order_relaxed);
+      out.results.insert(out.results.end(), rows.begin(), rows.end());
+    }
+    std::sort(out.results.begin(), out.results.end(), better);
+    const int effective_k = queries[q].k > 0 ? queries[q].k : k;
+    if (out.results.size() > static_cast<size_t>(effective_k)) {
+      out.results.resize(static_cast<size_t>(effective_k));
+    }
+    merged_queries_.fetch_add(1, std::memory_order_relaxed);
+    shard_answers_.fetch_add(num_shards, std::memory_order_relaxed);
+    merged_rows_.fetch_add(out.results.size(), std::memory_order_relaxed);
+  }
+  return merged;
+}
+
+StatusOr<core::BatchQuery> ShardedRecommender::ResolveById(
+    video::VideoId id) const {
+  const uint32_t owner =
+      ShardOf(id, static_cast<uint32_t>(backends_.size()));
+  StatusOr<FetchedVideo> fetched = backends_[owner]->Fetch(id);
+  if (!fetched.ok()) return fetched.status();
+  core::BatchQuery query;
+  query.series = std::move(fetched->series);
+  query.descriptor = std::move(fetched->descriptor);
+  query.exclude = id;
+  return query;
+}
+
+StatusOr<std::vector<core::ScoredVideo>> ShardedRecommender::RecommendById(
+    video::VideoId query, int k, core::QueryTiming* timing) const {
+  StatusOr<core::BatchQuery> resolved = ResolveById(query);
+  if (!resolved.ok()) return resolved.status();
+  resolved->k = k;
+  std::vector<core::BatchQuery> batch;
+  batch.push_back(std::move(resolved).value());
+  std::vector<core::BatchResult> results = RecommendBatch(batch, k);
+  VREC_CHECK(results.size() == 1);
+  if (!results[0].status.ok()) return results[0].status;
+  if (timing != nullptr) *timing = results[0].timing;
+  return std::move(results[0].results);
+}
+
+StatusOr<std::vector<core::ScoredVideo>> ShardedRecommender::Recommend(
+    const signature::SignatureSeries& series,
+    const social::SocialDescriptor& descriptor, int k, video::VideoId exclude,
+    core::QueryTiming* timing) const {
+  std::vector<core::BatchQuery> batch(1);
+  batch[0].series = series;
+  batch[0].descriptor = descriptor;
+  batch[0].exclude = exclude;
+  batch[0].k = k;
+  std::vector<core::BatchResult> results = RecommendBatch(batch, k);
+  VREC_CHECK(results.size() == 1);
+  if (!results[0].status.ok()) return results[0].status;
+  if (timing != nullptr) *timing = results[0].timing;
+  return std::move(results[0].results);
+}
+
+size_t ShardedRecommender::video_count() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += shard->video_count();
+  return n;
+}
+
+ShardedRecommender::MergeStats ShardedRecommender::merge_stats() const {
+  MergeStats out;
+  out.queries = merged_queries_.load(std::memory_order_relaxed);
+  out.shard_answers = shard_answers_.load(std::memory_order_relaxed);
+  out.merged_rows = merged_rows_.load(std::memory_order_relaxed);
+  out.per_shard_rows.resize(backends_.size());
+  for (size_t s = 0; s < backends_.size(); ++s) {
+    out.per_shard_rows[s] = per_shard_rows_[s].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace vrec::shard

@@ -1,0 +1,230 @@
+#ifndef VREC_SHARD_SHARDED_RECOMMENDER_H_
+#define VREC_SHARD_SHARDED_RECOMMENDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/recommender.h"
+#include "shard/shard_backend.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace vrec::shard {
+
+/// Configuration of a ShardedRecommender.
+struct ShardOptions {
+  /// Number of partitions the corpus is hashed across.
+  int num_shards = 1;
+  /// Worker threads of each shard's own Recommender (in-process fleet
+  /// only): 0 picks the hardware concurrency, 1 runs that shard serially.
+  /// Shards may use any thread budget without affecting results — every
+  /// stage of the shard build and query path is thread-count-deterministic.
+  int threads_per_shard = 1;
+  /// Scatter fan-out threads of the router; 0 sizes the pool to the shard
+  /// count (every shard's sub-batch in flight at once).
+  int router_threads = 0;
+};
+
+/// Validates shard + router knobs (same Status-returning pattern as
+/// core::ValidateOptions); errors name the offending field.
+[[nodiscard]]
+Status ValidateShardOptions(const ShardOptions& options);
+
+/// One remote shard's address (a RecommendServer fronting that shard).
+struct RemoteEndpoint {
+  std::string host;
+  uint16_t port = 0;
+};
+
+/// Scatter-gather router over N Recommender shards, itself a
+/// core::QueryEngine — so it slots behind the unchanged RecommendServer /
+/// MicroBatcher / ResultCache pipeline.
+///
+/// Partitioning: each video id hashes to exactly one owner shard
+/// (partitioner.h). Every query scatters to *all* shards; each shard
+/// answers its own top-K over its partition, and the router merges the
+/// per-shard lists under the engine-wide (score desc, id asc) order and
+/// truncates to K.
+///
+/// Bit-identity with the single-box Recommender: per-pair scores are
+/// shard-invariant because every shard builds the SAR social substrate
+/// from the router's *global* descriptor list (the Finalize overload), so
+/// sub-communities, dictionaries and maintainers are replicas of the
+/// single-box build — a video's social vector does not depend on which
+/// shard holds it. The merged top-K is then the exact global top-K of the
+/// union of per-shard candidates; it equals the single-box top-K whenever
+/// candidate admission is exhaustive over each shard's live records (LSB
+/// probes that saturate the trees, use_lsb_index=false, DTW/ERP, or
+/// non-binding max_candidates) — the regime the equivalence suite gates
+/// bit for bit. Under competitive admission (tight max_candidates, narrow
+/// probe windows) shards admit *at least* the candidates the single box
+/// admits from their partition, so sharded recall is >= single-box — the
+/// ranking arithmetic still matches to the bit, only admission differs.
+///
+/// Per-query timing is the field-wise sum of the shard timings
+/// (QueryTiming::operator+=): work performed across the fleet, not router
+/// wall-clock.
+///
+/// Mutation routing: RemoveVideo goes to the owner shard only;
+/// ApplySocialUpdate broadcasts to every shard (connections keep the
+/// maintainer replicas in lockstep; each shard applies only the comments
+/// of videos it owns — the same skip rule the single box applies to
+/// unknown ids). The router's generation moves on any mutation, so a
+/// by-id result cache stamped with it invalidates fleet-wide.
+///
+/// Concurrency contract is the Recommender's: RecommendBatch/ResolveById
+/// may run concurrently; the caller serializes mutation against queries.
+class ShardedRecommender final : public core::QueryEngine {
+ public:
+  /// In-process fleet: num_shards Recommenders built from `base_options`
+  /// (with num_threads = threads_per_shard). Invalid shard options are
+  /// reported by Finalize(), matching the Recommender's validate-late
+  /// pattern.
+  ShardedRecommender(const ShardOptions& shard_options,
+                     core::RecommenderOptions base_options);
+  ~ShardedRecommender() override;
+
+  ShardedRecommender(const ShardedRecommender&) = delete;
+  ShardedRecommender& operator=(const ShardedRecommender&) = delete;
+
+  /// Wire-backed fleet: endpoint i *is* shard i — a RecommendServer built
+  /// over the partition that ShardOf(id, num_shards) == i owns (each
+  /// remote engine must already be finalized; mutation goes through
+  /// whoever owns those servers, not this router). Requires exactly
+  /// num_shards endpoints; connects eagerly so a dead shard fails here
+  /// rather than on the first query.
+  [[nodiscard]]
+  static StatusOr<std::unique_ptr<ShardedRecommender>> ConnectRemote(
+      const ShardOptions& shard_options,
+      const std::vector<RemoteEndpoint>& endpoints);
+
+  // --- Ingestion + mutation (in-process fleet only). -----------------------
+
+  /// Segments + signs the video (the base options' segmenter/signature)
+  /// and routes the record to its owner shard.
+  [[nodiscard]]
+  Status AddVideo(const video::Video& video,
+                  const social::SocialDescriptor& descriptor);
+
+  /// Routes a pre-computed record to its owner shard. The descriptor is
+  /// also retained (in arrival order) for the global social build at
+  /// Finalize().
+  [[nodiscard]]
+  Status AddVideoRecord(video::VideoId id,
+                        signature::SignatureSeries series,
+                        social::SocialDescriptor descriptor);
+
+  /// Fans Finalize across the shards, each building its social substrate
+  /// from the full corpus descriptor list (see the class comment). The
+  /// retained descriptors are released afterwards.
+  [[nodiscard]]
+  Status Finalize(size_t user_count);
+
+  /// Removes the video from its owner shard.
+  [[nodiscard]]
+  Status RemoveVideo(video::VideoId id);
+
+  /// Broadcasts one period of social updates to every shard. On error the
+  /// fleet may be partially updated (same as a single box failing mid-
+  /// maintenance); the returned stats are shard 0's (the maintainers are
+  /// replicas, so per-shard stats agree).
+  [[nodiscard]]
+  StatusOr<social::MaintenanceStats> ApplySocialUpdate(
+      const std::vector<social::SocialConnection>& connections,
+      const std::vector<std::pair<video::VideoId, social::UserId>>&
+          new_comments);
+
+  // --- QueryEngine. --------------------------------------------------------
+
+  bool finalized() const override { return remote_ || finalized_; }
+  uint64_t generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
+  std::vector<core::BatchResult> RecommendBatch(
+      const std::vector<core::BatchQuery>& queries, int k) const override;
+  [[nodiscard]]
+  StatusOr<core::BatchQuery> ResolveById(video::VideoId id) const override;
+
+  // --- Convenience single-query forms (scatter-gather underneath). ---------
+
+  [[nodiscard]]
+  StatusOr<std::vector<core::ScoredVideo>> RecommendById(
+      video::VideoId query, int k, core::QueryTiming* timing = nullptr) const;
+
+  [[nodiscard]]
+  StatusOr<std::vector<core::ScoredVideo>> Recommend(
+      const signature::SignatureSeries& series,
+      const social::SocialDescriptor& descriptor, int k,
+      video::VideoId exclude = -1,
+      core::QueryTiming* timing = nullptr) const;
+
+  // --- Observability. ------------------------------------------------------
+
+  size_t num_shards() const { return backends_.size(); }
+  /// Shard i's engine (in-process fleet; null for a remote fleet) — lets a
+  /// test or a serving harness front an individual shard with its own
+  /// RecommendServer.
+  const core::Recommender* shard(size_t i) const {
+    return i < shards_.size() ? shards_[i].get() : nullptr;
+  }
+  /// Live videos across the in-process fleet (0 for a remote fleet).
+  size_t video_count() const;
+
+  /// Router merge counters (monotone since construction).
+  struct MergeStats {
+    /// Queries merged successfully.
+    uint64_t queries = 0;
+    /// Per-shard result lists consumed by those merges (= queries x
+    /// num_shards).
+    uint64_t shard_answers = 0;
+    /// Result rows that survived truncation to K.
+    uint64_t merged_rows = 0;
+    /// Rows each shard's top-K contributed before the merge.
+    std::vector<uint64_t> per_shard_rows;
+  };
+  MergeStats merge_stats() const;
+
+ private:
+  struct RemoteTag {};
+  explicit ShardedRecommender(const ShardOptions& shard_options, RemoteTag);
+
+  void InitRouter(size_t num_shards);
+
+  const ShardOptions shard_options_;
+  const core::RecommenderOptions base_options_;
+  const bool remote_;
+
+  /// In-process shard engines (empty for a remote fleet); backends_ is the
+  /// uniform query-side view over either kind.
+  std::vector<std::unique_ptr<core::Recommender>> shards_;
+  std::vector<std::unique_ptr<ShardBackend>> backends_;
+
+  /// Corpus descriptors in arrival order — the global list every shard's
+  /// Finalize builds its social substrate from; released after Finalize.
+  std::vector<social::SocialDescriptor> global_descriptors_;
+
+  bool finalized_ = false;
+  /// Aggregate generation (see core::QueryEngine): bumped by Finalize,
+  /// RemoveVideo and ApplySocialUpdate. Remote fleets hold it constant —
+  /// their shards are finalized elsewhere and this router performs no
+  /// mutation.
+  std::atomic<uint64_t> generation_{0};
+
+  /// Scatter pool: one task per shard. Distinct from every shard's own
+  /// worker pool, so the shard-level ParallelFor nests without deadlock.
+  std::unique_ptr<util::ThreadPool> router_pool_;
+
+  // Merge counters (relaxed: independent monotone counters, snapshot-read).
+  mutable std::atomic<uint64_t> merged_queries_{0};
+  mutable std::atomic<uint64_t> shard_answers_{0};
+  mutable std::atomic<uint64_t> merged_rows_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> per_shard_rows_;
+};
+
+}  // namespace vrec::shard
+
+#endif  // VREC_SHARD_SHARDED_RECOMMENDER_H_

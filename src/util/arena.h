@@ -121,9 +121,8 @@ class ArenaAllocator {
     }
     return static_cast<T*>(::operator new(n * sizeof(T)));
   }
-  void deallocate(T* p, size_t n) {
+  void deallocate(T* p, size_t /*n*/) {
     if (arena_ == nullptr) ::operator delete(p);
-    (void)n;
   }
 
   Arena* arena() const { return arena_; }

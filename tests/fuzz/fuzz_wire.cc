@@ -31,11 +31,15 @@
 
 namespace {
 
+using vrec::server::DecodeFetchVideoRequest;
+using vrec::server::DecodeFetchVideoResponse;
 using vrec::server::DecodeHeader;
 using vrec::server::DecodeQueryByIdRequest;
 using vrec::server::DecodeQueryRequest;
 using vrec::server::DecodeQueryResponse;
 using vrec::server::DecodeServerStats;
+using vrec::server::EncodeFetchVideoRequest;
+using vrec::server::EncodeFetchVideoResponse;
 using vrec::server::EncodeQueryByIdRequest;
 using vrec::server::EncodeQueryRequest;
 using vrec::server::EncodeQueryResponse;
@@ -72,6 +76,19 @@ void DecodeAsEachPayload(const std::vector<uint8_t>& payload) {
     const auto again = DecodeServerStats(EncodeServerStats(*stats));
     if (!again.ok() || again->accepted != stats->accepted) abort();
   }
+  if (const auto fetch = DecodeFetchVideoRequest(payload); fetch.ok()) {
+    const auto again = DecodeFetchVideoRequest(EncodeFetchVideoRequest(*fetch));
+    if (!again.ok() || again->video != fetch->video) abort();
+  }
+  if (const auto fetched = DecodeFetchVideoResponse(payload);
+      fetched.ok() && small) {
+    const auto again =
+        DecodeFetchVideoResponse(EncodeFetchVideoResponse(*fetched));
+    if (!again.ok() || again->series.size() != fetched->series.size() ||
+        again->descriptor.users() != fetched->descriptor.users()) {
+      abort();
+    }
+  }
 }
 
 void DecodeAsFrame(const uint8_t* data, size_t size) {
@@ -102,6 +119,12 @@ void DecodeAsFrame(const uint8_t* data, size_t size) {
       break;
     case MessageType::kStatsRequest:
       break;  // empty payload by construction
+    case MessageType::kFetchVideoRequest:
+      static_cast<void>(DecodeFetchVideoRequest(payload));
+      break;
+    case MessageType::kFetchVideoResponse:
+      static_cast<void>(DecodeFetchVideoResponse(payload));
+      break;
   }
 }
 

@@ -82,6 +82,14 @@ vrec::server::ServerStats MakeServerStats() {
   return stats;
 }
 
+vrec::server::FetchVideoResponse MakeFetchVideoResponse() {
+  vrec::server::FetchVideoResponse response;
+  const vrec::server::QueryRequest material = MakeQueryRequest();
+  response.series = material.series;
+  response.descriptor = material.descriptor;
+  return response;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,6 +114,10 @@ int main(int argc, char** argv) {
        EncodeQueryResponse(MakeQueryResponse())},
       {"stats_response", MessageType::kStatsResponse,
        EncodeServerStats(MakeServerStats())},
+      {"fetch_video_request", MessageType::kFetchVideoRequest,
+       vrec::server::EncodeFetchVideoRequest({77})},
+      {"fetch_video_response", MessageType::kFetchVideoResponse,
+       vrec::server::EncodeFetchVideoResponse(MakeFetchVideoResponse())},
   };
 
   bool ok = true;

@@ -1,6 +1,7 @@
 #include "gtest/gtest.h"
 #include "core/recommender.h"
 #include "server/server.h"
+#include "shard/sharded_recommender.h"
 
 namespace vrec::core {
 namespace {
@@ -129,6 +130,43 @@ TEST(ValidateServerOptionsTest, NestedBatcherOptionsAreChecked) {
   const Status s = server::ValidateServerOptions(o);
   ASSERT_FALSE(s.ok());
   EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ValidateShardOptionsTest, DefaultsAreValid) {
+  EXPECT_TRUE(shard::ValidateShardOptions(shard::ShardOptions{}).ok());
+}
+
+TEST(ValidateShardOptionsTest, ShardCountBounds) {
+  shard::ShardOptions o;
+  o.num_shards = 0;
+  EXPECT_FALSE(shard::ValidateShardOptions(o).ok());
+  o.num_shards = -3;
+  EXPECT_FALSE(shard::ValidateShardOptions(o).ok());
+  o.num_shards = 1;
+  EXPECT_TRUE(shard::ValidateShardOptions(o).ok());
+  o.num_shards = 1024;
+  EXPECT_TRUE(shard::ValidateShardOptions(o).ok());
+  // Every query scatters to every shard: an absurd fleet size is a config
+  // bug, not a scaling strategy.
+  o.num_shards = 1025;
+  const Status s = shard::ValidateShardOptions(o);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ValidateShardOptionsTest, ThreadBudgets) {
+  shard::ShardOptions o;
+  o.threads_per_shard = -1;
+  EXPECT_FALSE(shard::ValidateShardOptions(o).ok());
+  o = shard::ShardOptions{};
+  o.router_threads = -1;
+  EXPECT_FALSE(shard::ValidateShardOptions(o).ok());
+  // 0 is legal for both: threads_per_shard 0 picks hardware concurrency,
+  // router_threads 0 sizes the scatter pool to the shard count.
+  o = shard::ShardOptions{};
+  o.threads_per_shard = 0;
+  o.router_threads = 0;
+  EXPECT_TRUE(shard::ValidateShardOptions(o).ok());
 }
 
 }  // namespace

