@@ -1,0 +1,201 @@
+// Cold-start cost of the snapshot path: ingesting raw frames and
+// finalizing the engine from scratch vs restoring a serving-ready twin
+// from a versioned snapshot file (src/io/snapshot.h). The build phase
+// times the full AddVideo loop plus Finalize over the standard
+// effectiveness dataset; the restore phase times Recommender::LoadSnapshot
+// both mmap-backed (flat pools adopted zero-copy) and streamed through the
+// heap, so the printed speedup isolates what skipping re-finalization and
+// re-preparation buys at process start.
+//
+// Gates (exit non-zero on violation): the restored engines — mapped and
+// streamed — must answer every by-id query bit-for-bit identically to the
+// never-saved original (ids AND scores), and the mapped load must adopt at
+// least one flat pool byte (bytes_mapped > 0, i.e. the zero-copy path
+// actually engaged). In full mode the mapped load must additionally be at
+// least 10x faster than the from-scratch build; that ratio is advisory
+// under --smoke, where the shrunken corpus makes the build side too small
+// to time reliably.
+//
+// Results go to BENCH_snapshot.json.
+//
+// Usage: bench_snapshot [--smoke] [out.json]
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "util/stopwatch.h"
+
+namespace vrec::bench {
+namespace {
+
+/// Bit-for-bit comparison of top-k lists over every video in the corpus;
+/// error codes must agree too (tombstones, unknown ids).
+bool SameAnswers(const datagen::Dataset& dataset, core::Recommender* lhs,
+                 core::Recommender* rhs, int k, const char* label) {
+  for (size_t v = 0; v < dataset.video_count(); ++v) {
+    const auto id = dataset.corpus.videos[v].id();
+    const auto a = lhs->RecommendById(id, k);
+    const auto b = rhs->RecommendById(id, k);
+    if (a.ok() != b.ok()) {
+      std::fprintf(stderr, "%s: status mismatch on video %lld\n", label,
+                   static_cast<long long>(id));
+      return false;
+    }
+    if (!a.ok()) continue;
+    if (a->size() != b->size()) {
+      std::fprintf(stderr, "%s: result count mismatch on video %lld\n", label,
+                   static_cast<long long>(id));
+      return false;
+    }
+    for (size_t i = 0; i < a->size(); ++i) {
+      if ((*a)[i].id != (*b)[i].id || (*a)[i].score != (*b)[i].score ||
+          (*a)[i].content != (*b)[i].content ||
+          (*a)[i].social != (*b)[i].social) {
+        std::fprintf(stderr, "%s: rank %zu differs on video %lld\n", label, i,
+                     static_cast<long long>(id));
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_snapshot.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      out_path = arg;
+    }
+  }
+
+  datagen::DatasetOptions data_options = EffectivenessDatasetOptions();
+  // Full mode carries a realistic frame load: the cold-start asymmetry the
+  // snapshot exists to exploit is that building re-runs shot detection and
+  // signature extraction over every frame, while restoring only reads the
+  // finished signatures back.
+  data_options.corpus.frames_per_video = 256;
+  if (smoke) {
+    data_options.corpus.frames_per_video = 32;
+    data_options.num_topics = 8;
+    data_options.community.num_users = 200;
+    data_options.community.num_user_groups = 20;
+    data_options.community.months = 8;
+    data_options.source_months = 6;
+  }
+  const datagen::Dataset dataset = datagen::GenerateDataset(data_options);
+  const core::RecommenderOptions options;  // full engine: SAR-hash + content
+                                           // + LSB index + pooled layout.
+
+  std::printf("snapshot cold-start bench (%zu videos, %zu users)%s\n",
+              dataset.video_count(),
+              static_cast<size_t>(dataset.community.user_count),
+              smoke ? " [smoke]" : "");
+
+  Stopwatch watch;
+  const std::unique_ptr<core::Recommender> built =
+      BuildRecommender(dataset, options);
+  const double build_ms = watch.ElapsedMillis();
+  std::printf("  build from frames: %10.2f ms\n", build_ms);
+
+  const std::string snap_path =
+      (std::filesystem::temp_directory_path() / "bench_snapshot.vsnp")
+          .string();
+  watch.Restart();
+  const Status save_status = built->SaveSnapshot(snap_path);
+  const double save_ms = watch.ElapsedMillis();
+  if (!save_status.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", save_status.ToString().c_str());
+    return 1;
+  }
+  const auto file_bytes =
+      static_cast<size_t>(std::filesystem::file_size(snap_path));
+  std::printf("  save snapshot:     %10.2f ms (%zu bytes)\n", save_ms,
+              file_bytes);
+
+  core::SnapshotLoadOptions mapped_load;
+  mapped_load.use_mmap = true;
+  watch.Restart();
+  auto mapped = core::Recommender::LoadSnapshot(snap_path, mapped_load);
+  const double load_mmap_ms = watch.ElapsedMillis();
+  if (!mapped.ok()) {
+    std::fprintf(stderr, "mmap load failed: %s\n",
+                 mapped.status().ToString().c_str());
+    return 1;
+  }
+  const size_t bytes_mapped = (*mapped)->snapshot_bytes_mapped();
+  std::printf("  load (mmap):       %10.2f ms (%zu flat bytes adopted)\n",
+              load_mmap_ms, bytes_mapped);
+
+  core::SnapshotLoadOptions stream_load;
+  stream_load.use_mmap = false;
+  watch.Restart();
+  auto streamed = core::Recommender::LoadSnapshot(snap_path, stream_load);
+  const double load_stream_ms = watch.ElapsedMillis();
+  if (!streamed.ok()) {
+    std::fprintf(stderr, "stream load failed: %s\n",
+                 streamed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  load (stream):     %10.2f ms\n", load_stream_ms);
+  std::filesystem::remove(snap_path);
+
+  const int k = 10;
+  const bool mapped_same =
+      SameAnswers(dataset, built.get(), mapped->get(), k, "mmap");
+  const bool streamed_same =
+      SameAnswers(dataset, built.get(), streamed->get(), k, "stream");
+  const bool adopted = bytes_mapped > 0;
+  const double speedup = load_mmap_ms > 0.0 ? build_ms / load_mmap_ms : 0.0;
+  const bool fast_enough = speedup >= 10.0;
+
+  std::printf("  cold-start speedup: %.1fx (build / mmap load)\n", speedup);
+  std::printf("gates: mmap bit-identical: %s; stream bit-identical: %s; "
+              "flat pools adopted: %s; >= 10x faster: %s%s\n",
+              mapped_same ? "PASS" : "FAIL", streamed_same ? "PASS" : "FAIL",
+              adopted ? "PASS" : "FAIL", fast_enough ? "PASS" : "FAIL",
+              smoke ? " (advisory under --smoke)" : "");
+
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"smoke\": %s,\n"
+               "  \"videos\": %zu,\n"
+               "  \"users\": %zu,\n"
+               "  \"build_ms\": %.3f,\n"
+               "  \"save_ms\": %.3f,\n"
+               "  \"load_ms\": %.3f,\n"
+               "  \"load_stream_ms\": %.3f,\n"
+               "  \"speedup\": %.3f,\n"
+               "  \"bytes_mapped\": %zu,\n"
+               "  \"file_bytes\": %zu,\n"
+               "  \"bit_identical\": %s\n"
+               "}\n",
+               smoke ? "true" : "false", dataset.video_count(),
+               static_cast<size_t>(dataset.community.user_count), build_ms,
+               save_ms, load_mmap_ms, load_stream_ms, speedup, bytes_mapped,
+               file_bytes, (mapped_same && streamed_same) ? "true" : "false");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (!mapped_same || !streamed_same || !adopted) return 1;
+  if (!smoke && !fast_enough) return 1;
+  return 0;
+}
+
+}  // namespace
+}  // namespace vrec::bench
+
+int main(int argc, char** argv) { return vrec::bench::Main(argc, argv); }

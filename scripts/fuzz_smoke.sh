@@ -24,13 +24,26 @@ echo "=== fuzz: build harness (clang, ASan/UBSan, fuzzer-no-link tree) ==="
 cmake -B build-fuzz -S . \
   -DCMAKE_CXX_COMPILER=clang++ -DVREC_FUZZ=ON -DVREC_SANITIZE=address \
   >/dev/null
-cmake --build build-fuzz -j "$JOBS" --target fuzz_wire fuzz_wire_corpus
+cmake --build build-fuzz -j "$JOBS" \
+  --target fuzz_wire fuzz_wire_corpus fuzz_snapshot fuzz_snapshot_corpus
 
-echo "=== fuzz: seed corpus + ${FUZZ_SECONDS}s smoke ==="
+echo "=== fuzz: wire seed corpus + ${FUZZ_SECONDS}s smoke ==="
 CORPUS=build-fuzz/corpus-wire
 mkdir -p "$CORPUS"
 ./build-fuzz/tests/fuzz/fuzz_wire_corpus "$CORPUS"
 ./build-fuzz/tests/fuzz/fuzz_wire "$CORPUS" \
   -max_total_time="$FUZZ_SECONDS" -timeout=5 -max_len=65536 \
   -print_final_stats=1
+
+echo "=== fuzz: snapshot seed corpus + ${FUZZ_SECONDS}s smoke ==="
+# Snapshot seeds are whole engine images (hundreds of KB), so max_len must
+# cover them or libFuzzer would truncate every seed below its own header
+# checks; timeout is generous because an accepted mutant loads, queries,
+# and re-saves a full engine.
+SNAP_CORPUS=build-fuzz/corpus-snapshot
+mkdir -p "$SNAP_CORPUS"
+./build-fuzz/tests/fuzz/fuzz_snapshot_corpus "$SNAP_CORPUS"
+./build-fuzz/tests/fuzz/fuzz_snapshot "$SNAP_CORPUS" \
+  -max_total_time="$FUZZ_SECONDS" -timeout=10 -max_len=1048576 \
+  -rss_limit_mb=4096 -print_final_stats=1
 echo "fuzz smoke: OK"

@@ -61,6 +61,16 @@ echo "=== shard equivalence: scatter-gather vs single box, bit for bit ==="
 (cd build && ctest --output-on-failure -j "$JOBS" \
   -R 'Sharded|Partitioner|QueryTimingAggregation|ValidateShardOptions')
 
+echo "=== snapshot: save/load equivalence + mmap cold-start smoke ==="
+# The full suite above already runs the Snapshot tests; this stage re-runs
+# them by name so a persistence regression is called out as its own
+# failure, then drives the cold-start bench: save, mmap-load, stream-load,
+# every by-id query bit-for-bit vs the never-saved engine, bytes_mapped > 0
+# (the zero-copy pool adoption actually engaged). The >= 10x restore
+# speedup gate is advisory under --smoke.
+(cd build && ctest --output-on-failure -j "$JOBS" -R 'Snapshot')
+./build/bench/bench_snapshot --smoke build/BENCH_snapshot.json
+
 echo "=== asan: invariant stress + wire decoders under Address+UBSanitizer ==="
 # The DCHECK layer is live here: every engine mutation re-audits itself via
 # VREC_DCHECK_OK(CheckInvariants()) while ASan/UBSan watch the internals,
@@ -72,9 +82,10 @@ cmake --build build-asan -j "$JOBS" --target vrec_tests
 (cd build-asan && ctest --output-on-failure -j "$JOBS" \
   -R 'InvariantStress|Status|DynamicsFixture|Wire')
 
-echo "=== fuzz: 30s libFuzzer smoke over the wire decoders ==="
-# Coverage-guided complement to the hand-written adversarial Wire tests
-# above; auto-skips without clang++ (libFuzzer needs it).
+echo "=== fuzz: 30s libFuzzer smoke over the wire decoders + snapshot loader ==="
+# Coverage-guided complement to the hand-written adversarial Wire and
+# SnapshotRobustness tests above; auto-skips without clang++ (libFuzzer
+# needs it).
 ./scripts/fuzz_smoke.sh
 
 echo "=== tsan: concurrency + serving tests under ThreadSanitizer ==="

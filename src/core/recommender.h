@@ -2,8 +2,10 @@
 #define VREC_CORE_RECOMMENDER_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -125,6 +127,28 @@ struct RecommenderOptions {
 /// Validates a configuration; returned errors name the offending field.
 [[nodiscard]]
 Status ValidateOptions(const RecommenderOptions& options);
+
+/// How LoadSnapshot maps the file (see docs/persistence.md).
+struct SnapshotLoadOptions {
+  /// Map the file and adopt the 64-byte-aligned flat pool sections in place
+  /// (zero-copy; the engine keeps the mapping alive until a mutation
+  /// materializes owned copies). Off streams the file through the heap.
+  bool use_mmap = true;
+  /// Worker threads for the loaded engine (-1 keeps the saved engine's
+  /// setting; otherwise overrides RecommenderOptions::num_threads).
+  int num_threads = -1;
+};
+
+/// Fleet coordinates pinned in every snapshot header so a sharded load can
+/// reject mismatched or mixed snapshot sets. A single-box snapshot is the
+/// degenerate 1-shard fleet with digest 0.
+struct SnapshotFleetInfo {
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  /// FNV-1a digest of the global descriptor set all shards were finalized
+  /// against (0 for single-box engines). Must agree across a fleet.
+  uint32_t global_digest = 0;
+};
 
 // ScoredVideo, QueryTiming, BatchQuery, BatchResult and the QueryEngine
 // interface live in core/engine.h (pulled in above) so the serving layer
@@ -270,6 +294,41 @@ class Recommender : public QueryEngine {
   /// sanitizer builds.
   [[nodiscard]]
   Status CheckInvariants() const;
+  /// Writes the complete finalized engine state to `path` as a single
+  /// versioned, checksummed snapshot file (see docs/persistence.md). The
+  /// write goes to `path + ".tmp"` first and is renamed into place, so a
+  /// crash mid-save never clobbers an existing good snapshot. `fleet` pins
+  /// this engine's shard coordinates in the header (defaulted for a
+  /// single-box engine). Defined in src/io/snapshot.cc.
+  [[nodiscard]]
+  Status SaveSnapshot(const std::string& path,
+                      const SnapshotFleetInfo& fleet = {}) const;
+
+  /// Restores a serving-ready engine from a snapshot file without
+  /// re-finalizing: every derived structure (prepared pools, histograms,
+  /// LSB forest, inverted files, dictionary, maintainer) is adopted or
+  /// rebuilt from the persisted bytes, and the loaded engine answers
+  /// queries bit-for-bit identically to the engine that saved it —
+  /// including its generation() stamp, so external result caches stay
+  /// coherent. With `load.use_mmap` the large flat sections are adopted
+  /// zero-copy from the mapping. `fleet` (optional) receives the header's
+  /// shard coordinates. Defined in src/io/snapshot.cc.
+  [[nodiscard]]
+  static StatusOr<std::unique_ptr<Recommender>> LoadSnapshot(
+      const std::string& path, const SnapshotLoadOptions& load = {},
+      SnapshotFleetInfo* fleet = nullptr);
+
+  /// Buffer form of LoadSnapshot (always copies — no mapping to adopt).
+  /// Exercised by the corruption tests and the fuzz harness.
+  [[nodiscard]]
+  static StatusOr<std::unique_ptr<Recommender>> LoadSnapshotFromBuffer(
+      const uint8_t* data, size_t size, const SnapshotLoadOptions& load = {},
+      SnapshotFleetInfo* fleet = nullptr);
+
+  /// Flat pool bytes adopted zero-copy from the snapshot mapping (0 for
+  /// engines that were built, stream-loaded, or mutated since loading).
+  size_t snapshot_bytes_mapped() const { return snapshot_bytes_mapped_; }
+
   /// The signature series of an ingested video (for query construction).
   const signature::SignatureSeries* SeriesOf(video::VideoId id) const;
   const social::SocialDescriptor* DescriptorOf(video::VideoId id) const;
@@ -280,6 +339,15 @@ class Recommender : public QueryEngine {
   StatusOr<BatchQuery> ResolveById(video::VideoId id) const override;
 
  private:
+  /// Shared snapshot-load body (src/io/snapshot.cc): parses the buffer,
+  /// adopting the flat pool sections in place when `adopt_flats` (the
+  /// mmap path, with `backing` pinning the mapping) or copying otherwise.
+  [[nodiscard]]
+  static StatusOr<std::unique_ptr<Recommender>> LoadSnapshotFromMemory(
+      const uint8_t* data, size_t size, bool adopt_flats,
+      std::shared_ptr<const void> backing, const SnapshotLoadOptions& load,
+      SnapshotFleetInfo* fleet);
+
   /// Shared body of the two Finalize overloads; `global_descriptors` null
   /// means "use this instance's own records" (the single-box build).
   [[nodiscard]]
@@ -403,6 +471,12 @@ class Recommender : public QueryEngine {
   // Worker pool shared by Finalize() and RecommendBatch(); null when
   // options_.num_threads resolves to a single thread.
   std::unique_ptr<util::ThreadPool> pool_;
+
+  /// Keeps the snapshot mapping alive while any pool borrows its flats
+  /// (type-erased so this header does not depend on src/io). Reset when the
+  /// pools materialize owned copies on first mutation.
+  std::shared_ptr<const void> snapshot_backing_;
+  size_t snapshot_bytes_mapped_ = 0;
 };
 
 }  // namespace vrec::core

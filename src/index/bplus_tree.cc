@@ -95,6 +95,70 @@ void BPlusTree::Insert(uint64_t key, Payload payload) {
   ++size_;
 }
 
+Status BPlusTree::BulkLoad(const std::vector<Entry>& entries) {
+  if (size_ != 0) {
+    return Status::FailedPrecondition("bulk load requires an empty tree");
+  }
+  for (size_t i = 1; i < entries.size(); ++i) {
+    if (entries[i].key < entries[i - 1].key) {
+      return Status::InvalidArgument("bulk load entries not in key order");
+    }
+  }
+  if (entries.empty()) return Status::Ok();
+
+  arena_.clear();
+  root_ = nullptr;
+
+  // Build the leaf level: full leaves left to right, doubly linked.
+  struct LevelEntry {
+    Node* node;
+    uint64_t min_key;  // smallest key in the subtree; becomes a separator
+  };
+  const auto fanout = static_cast<size_t>(fanout_);
+  std::vector<LevelEntry> level;
+  level.reserve(entries.size() / fanout + 1);
+  Node* prev_leaf = nullptr;
+  for (size_t start = 0; start < entries.size(); start += fanout) {
+    const size_t end = std::min(start + fanout, entries.size());
+    Node* leaf = NewNode(/*is_leaf=*/true);
+    leaf->keys.reserve(end - start);
+    leaf->payloads.reserve(end - start);
+    for (size_t i = start; i < end; ++i) {
+      leaf->keys.push_back(entries[i].key);
+      leaf->payloads.push_back(entries[i].payload);
+    }
+    leaf->prev = prev_leaf;
+    if (prev_leaf != nullptr) prev_leaf->next = leaf;
+    prev_leaf = leaf;
+    level.push_back({leaf, leaf->keys.front()});
+  }
+  height_ = 1;
+
+  // Group children upward (fanout_+1 per internal node); the separator for
+  // child i (i > 0) is the smallest key of its subtree, which keeps every
+  // key inside the [keys[i-1], keys[i]] bracket CheckInvariants enforces.
+  while (level.size() > 1) {
+    std::vector<LevelEntry> upper;
+    upper.reserve(level.size() / (fanout + 1) + 1);
+    for (size_t start = 0; start < level.size(); start += fanout + 1) {
+      const size_t end = std::min(start + fanout + 1, level.size());
+      Node* internal = NewNode(/*is_leaf=*/false);
+      internal->children.reserve(end - start);
+      internal->keys.reserve(end - start - 1);
+      for (size_t i = start; i < end; ++i) {
+        if (i > start) internal->keys.push_back(level[i].min_key);
+        internal->children.push_back(level[i].node);
+      }
+      upper.push_back({internal, level[start].min_key});
+    }
+    level = std::move(upper);
+    ++height_;
+  }
+  root_ = level.front().node;
+  size_ = entries.size();
+  return Status::Ok();
+}
+
 const BPlusTree::Entry BPlusTree::Cursor::Get() const {
   return {leaf_->keys[slot_], leaf_->payloads[slot_]};
 }

@@ -41,6 +41,15 @@ class BPlusTree {
 
   void Insert(uint64_t key, Payload payload);
 
+  /// Bottom-up O(n) bulk build from entries already in key order (e.g. a
+  /// Scan() of another tree, or a snapshot section). Requires an empty
+  /// tree. Leaves are filled left to right, so the leaf chain reproduces
+  /// `entries` exactly — cursor walks over a bulk-loaded tree visit the
+  /// same entry sequence as over the insert-built original, which is what
+  /// makes snapshot restore probe-identical.
+  [[nodiscard]]
+  Status BulkLoad(const std::vector<Entry>& entries);
+
   size_t size() const { return size_; }
   int height() const { return height_; }
   size_t node_count() const { return arena_.size(); }

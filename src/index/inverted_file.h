@@ -68,6 +68,11 @@ class InvertedFile {
 
   size_t community_count() const { return lists_.size(); }
 
+  /// Snapshot accessor: the full community -> posting-list map, in
+  /// ascending community order. Restoring via Append() in this order
+  /// reproduces the structure exactly.
+  const std::map<int, std::vector<Posting>>& lists() const { return lists_; }
+
   /// Verifies the class invariant: every list is non-empty and strictly
   /// sorted by video id (hence deduped), with finite positive weights.
   [[nodiscard]]

@@ -1,6 +1,7 @@
 #include "index/lsb_index.h"
 
 #include <string>
+#include <utility>
 
 #include "index/zorder.h"
 
@@ -159,6 +160,36 @@ std::unordered_map<int64_t, int> LsbIndex::CandidatesForPreparedSeries(
     ProbeEmbedded(EmbedPrepared(sig, options_.embedding), probes, hits);
   }
   return hits;
+}
+
+std::vector<BPlusTree::Entry> LsbIndex::TreeEntries(size_t t) const {
+  return trees_[t].Scan();
+}
+
+Status LsbIndex::RestoreTrees(
+    const std::vector<std::vector<BPlusTree::Entry>>& per_tree,
+    size_t indexed) {
+  if (per_tree.size() != trees_.size()) {
+    return Status::InvalidArgument(
+        "restored LSB forest has " + std::to_string(per_tree.size()) +
+        " trees, expected " + std::to_string(trees_.size()));
+  }
+  std::vector<BPlusTree> trees;
+  trees.reserve(per_tree.size());
+  for (size_t t = 0; t < per_tree.size(); ++t) {
+    if (per_tree[t].size() != indexed) {
+      return Status::InvalidArgument(
+          "restored LSB tree " + std::to_string(t) + " holds " +
+          std::to_string(per_tree[t].size()) + " entries, expected " +
+          std::to_string(indexed));
+    }
+    BPlusTree tree(options_.tree_fanout);
+    if (const Status s = tree.BulkLoad(per_tree[t]); !s.ok()) return s;
+    trees.push_back(std::move(tree));
+  }
+  trees_ = std::move(trees);
+  indexed_ = indexed;
+  return Status::Ok();
 }
 
 Status LsbIndex::CheckInvariants() const {

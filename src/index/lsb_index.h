@@ -74,6 +74,19 @@ class LsbIndex {
   size_t indexed_signatures() const { return indexed_; }
   const Options& options() const { return options_; }
 
+  /// Snapshot support: all entries of tree `t` in key order (the Scan()
+  /// order a RestoreTrees-built tree reproduces exactly).
+  std::vector<BPlusTree::Entry> TreeEntries(size_t t) const;
+
+  /// Rebuilds the forest from per-tree key-ordered entry lists (one list
+  /// per configured tree, each of length `indexed`), bulk-loading each
+  /// B+-tree bottom-up in O(n). Probe-identical to the saved forest
+  /// because probes only walk the leaf chain, which preserves entry order.
+  [[nodiscard]]
+  Status RestoreTrees(
+      const std::vector<std::vector<BPlusTree::Entry>>& per_tree,
+      size_t indexed);
+
   /// Forest-level audit: one LSH function and one structurally-valid B+-tree
   /// per configured tree, and every tree holds exactly indexed_signatures()
   /// entries (each signature is hashed into every tree).

@@ -13,25 +13,15 @@ constexpr uint32_t kMagicSeries = 0x56524353;      // ... 'S'
 constexpr uint32_t kMagicDescriptors = 0x56524344; // ... 'D'
 constexpr uint32_t kMagicDataset = 0x56524341;     // ... 'A'
 
+// Delegates to the shared magic/version idiom in io/binary_format.h (the
+// same helpers the snapshot format uses).
 Status WriteHeader(BinaryWriter* w, uint32_t magic) {
-  w->WriteU32(magic);
-  w->WriteU32(kVersion);
+  WriteMagicHeader(w, magic, kVersion);
   return w->Finish();
 }
 
 Status CheckHeader(BinaryReader* r, uint32_t magic, const char* kind) {
-  const auto m = r->ReadU32();
-  if (!m.ok()) return m.status();
-  if (*m != magic) {
-    return Status::InvalidArgument(std::string("not a ") + kind +
-                                   " archive");
-  }
-  const auto v = r->ReadU32();
-  if (!v.ok()) return v.status();
-  if (*v != kVersion) {
-    return Status::InvalidArgument("unsupported archive version");
-  }
-  return Status::Ok();
+  return CheckMagicHeader(r, magic, kVersion, kind);
 }
 
 void WriteFrame(BinaryWriter* w, const video::Frame& f) {

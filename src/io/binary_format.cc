@@ -50,24 +50,49 @@ void BinaryWriter::WriteBytes(const std::vector<uint8_t>& bytes) {
               static_cast<std::streamsize>(bytes.size()));
 }
 
+void BinaryWriter::WriteSpan(const void* src, size_t bytes) {
+  out_->write(static_cast<const char*>(src),
+              static_cast<std::streamsize>(bytes));
+}
+
+// On little-endian hosts the in-memory layout of a double/int vector IS
+// the wire layout, so the element loop collapses to one bulk write; the
+// per-element path stays as the big-endian fallback.
+
 void BinaryWriter::WriteDoubleVector(const std::vector<double>& v) {
   WriteU32(static_cast<uint32_t>(v.size()));
-  for (double d : v) WriteDouble(d);
+  if constexpr (std::endian::native == std::endian::little) {
+    WriteSpan(v.data(), v.size() * sizeof(double));
+  } else {
+    for (double d : v) WriteDouble(d);
+  }
 }
 
 void BinaryWriter::WriteI64Vector(const std::vector<int64_t>& v) {
   WriteU32(static_cast<uint32_t>(v.size()));
-  for (int64_t x : v) WriteI64(x);
+  if constexpr (std::endian::native == std::endian::little) {
+    WriteSpan(v.data(), v.size() * sizeof(int64_t));
+  } else {
+    for (int64_t x : v) WriteI64(x);
+  }
 }
 
 void BinaryWriter::WriteI32Vector(const std::vector<int32_t>& v) {
   WriteU32(static_cast<uint32_t>(v.size()));
-  for (int32_t x : v) WriteI32(x);
+  if constexpr (std::endian::native == std::endian::little) {
+    WriteSpan(v.data(), v.size() * sizeof(int32_t));
+  } else {
+    for (int32_t x : v) WriteI32(x);
+  }
 }
 
 Status BinaryWriter::Finish() const {
   if (!out_->good()) return Status::Internal("write failed");
   return Status::Ok();
+}
+
+Status BinaryReader::ReadSpan(void* dst, size_t bytes) {
+  return ReadRaw(dst, bytes);
 }
 
 Status BinaryReader::ReadRaw(void* dst, size_t bytes) {
@@ -144,10 +169,15 @@ StatusOr<std::vector<double>> BinaryReader::ReadDoubleVector() {
     return Status::OutOfRange("vector too large");
   }
   std::vector<double> v(*len);
-  for (auto& d : v) {
-    const auto x = ReadDouble();
-    if (!x.ok()) return x.status();
-    d = *x;
+  if constexpr (std::endian::native == std::endian::little) {
+    const Status st = ReadRaw(v.data(), v.size() * sizeof(double));
+    if (!st.ok()) return st;
+  } else {
+    for (auto& d : v) {
+      const auto x = ReadDouble();
+      if (!x.ok()) return x.status();
+      d = *x;
+    }
   }
   return v;
 }
@@ -159,10 +189,15 @@ StatusOr<std::vector<int64_t>> BinaryReader::ReadI64Vector() {
     return Status::OutOfRange("vector too large");
   }
   std::vector<int64_t> v(*len);
-  for (auto& x : v) {
-    const auto y = ReadI64();
-    if (!y.ok()) return y.status();
-    x = *y;
+  if constexpr (std::endian::native == std::endian::little) {
+    const Status st = ReadRaw(v.data(), v.size() * sizeof(int64_t));
+    if (!st.ok()) return st;
+  } else {
+    for (auto& x : v) {
+      const auto y = ReadI64();
+      if (!y.ok()) return y.status();
+      x = *y;
+    }
   }
   return v;
 }
@@ -174,12 +209,39 @@ StatusOr<std::vector<int32_t>> BinaryReader::ReadI32Vector() {
     return Status::OutOfRange("vector too large");
   }
   std::vector<int32_t> v(*len);
+  if constexpr (std::endian::native == std::endian::little) {
+    const Status st = ReadRaw(v.data(), v.size() * sizeof(int32_t));
+    if (!st.ok()) return st;
+    return v;
+  }
   for (auto& x : v) {
     const auto y = ReadI32();
     if (!y.ok()) return y.status();
     x = *y;
   }
   return v;
+}
+
+void WriteMagicHeader(BinaryWriter* w, uint32_t magic, uint32_t version) {
+  w->WriteU32(magic);
+  w->WriteU32(version);
+}
+
+Status CheckMagicHeader(BinaryReader* r, uint32_t magic, uint32_t version,
+                        const char* kind) {
+  const auto got_magic = r->ReadU32();
+  if (!got_magic.ok()) return got_magic.status();
+  if (*got_magic != magic) {
+    return Status::InvalidArgument(std::string("not a ") + kind +
+                                   " file (bad magic)");
+  }
+  const auto got_version = r->ReadU32();
+  if (!got_version.ok()) return got_version.status();
+  if (*got_version != version) {
+    return Status::InvalidArgument(std::string("unsupported ") + kind +
+                                   " version");
+  }
+  return Status::Ok();
 }
 
 }  // namespace vrec::io

@@ -11,6 +11,47 @@
 
 namespace vrec::io {
 
+/// FNV-1a 32-bit hash: the one checksum shared by the "VRS1" wire frames
+/// (server/wire.cc), the dataset archives (io/archive.cc), and the engine
+/// snapshots (io/snapshot.cc). Inline so callers in any library can use it
+/// without a link-order concern.
+inline uint32_t Fnv1a32(const uint8_t* data, size_t len) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// Incremental FNV-1a-32, for digesting structures without serializing
+/// them into a contiguous buffer first. Feed bytes or integral values
+/// (mixed LSB-first, matching what Fnv1a32 over the serialized form would
+/// see) and take digest() at the end.
+class Fnv1a32Builder {
+ public:
+  void Mix(const uint8_t* data, size_t len) {
+    for (size_t i = 0; i < len; ++i) {
+      hash_ ^= data[i];
+      hash_ *= 16777619u;
+    }
+  }
+  void MixU32(uint32_t v) {
+    uint8_t buf[4];
+    for (size_t i = 0; i < 4; ++i) buf[i] = (v >> (8 * i)) & 0xFF;
+    Mix(buf, 4);
+  }
+  void MixU64(uint64_t v) {
+    uint8_t buf[8];
+    for (size_t i = 0; i < 8; ++i) buf[i] = (v >> (8 * i)) & 0xFF;
+    Mix(buf, 8);
+  }
+  uint32_t digest() const { return hash_; }
+
+ private:
+  uint32_t hash_ = 2166136261u;
+};
+
 /// Little-endian binary writer over a std::ostream. All multi-byte values
 /// are written LSB-first regardless of host order, so archives are
 /// portable. Failures are sticky: once the stream errors, subsequent
@@ -35,6 +76,8 @@ class BinaryWriter {
   void WriteI64Vector(const std::vector<int64_t>& v);
   /// Length-prefixed vector of 32-bit ints.
   void WriteI32Vector(const std::vector<int32_t>& v);
+  /// Raw bytes, no length prefix (mirror of BinaryReader::ReadSpan).
+  void WriteSpan(const void* src, size_t bytes);
 
   /// Ok() unless any write failed.
   [[nodiscard]]
@@ -74,6 +117,12 @@ class BinaryReader {
   [[nodiscard]]
   StatusOr<std::vector<int32_t>> ReadI32Vector();
 
+  /// Reads exactly `bytes` raw bytes into `dst` (no length prefix). The
+  /// caller owns interpreting them; use only for trivially-copyable
+  /// payloads whose wire layout matches the in-memory layout.
+  [[nodiscard]]
+  Status ReadSpan(void* dst, size_t bytes);
+
  private:
   /// Sanity cap on length prefixes so corrupt archives fail cleanly
   /// instead of attempting multi-GB allocations.
@@ -83,6 +132,16 @@ class BinaryReader {
   Status ReadRaw(void* dst, size_t bytes);
   std::istream* in_;
 };
+
+/// Writes the 8-byte magic+version preamble every vrec binary artifact
+/// (archive section, snapshot file) starts with.
+void WriteMagicHeader(BinaryWriter* w, uint32_t magic, uint32_t version);
+
+/// Validates magic + exact version; error messages name `kind` (e.g.
+/// "dataset", "snapshot") so a mis-fed file is diagnosable.
+[[nodiscard]]
+Status CheckMagicHeader(BinaryReader* r, uint32_t magic, uint32_t version,
+                        const char* kind);
 
 }  // namespace vrec::io
 

@@ -1,0 +1,40 @@
+#ifndef VREC_IO_MAPPED_FILE_H_
+#define VREC_IO_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace vrec::io {
+
+/// Read-only memory mapping of a whole file. The mapping lives until the
+/// object is destroyed, so structures that adopt pointers into it (the
+/// snapshot loader's zero-copy pool arrays) must keep the MappedFile alive
+/// alongside them. Move-only; src/io is the one layer allowed to touch raw
+/// file descriptors and mmap (enforced by the vrec-raw-file-io lint rule).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. An empty file maps to {nullptr, 0}.
+  [[nodiscard]]
+  static StatusOr<MappedFile> Open(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace vrec::io
+
+#endif  // VREC_IO_MAPPED_FILE_H_

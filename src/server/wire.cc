@@ -197,12 +197,9 @@ StatusOr<signature::SignatureSeries> ReadSeries(io::BinaryReader* r,
 }  // namespace
 
 uint32_t Fnv1a32(const uint8_t* data, size_t len) {
-  uint32_t hash = 2166136261u;
-  for (size_t i = 0; i < len; ++i) {
-    hash ^= data[i];
-    hash *= 16777619u;
-  }
-  return hash;
+  // One definition of the checksum for the whole tree: the wire frames,
+  // the archives, and the engine snapshots must never drift apart.
+  return io::Fnv1a32(data, len);
 }
 
 std::vector<uint8_t> EncodeFrame(MessageType type,

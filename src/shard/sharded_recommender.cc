@@ -1,8 +1,11 @@
 #include "shard/sharded_recommender.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <system_error>
 #include <utility>
 
+#include "io/snapshot.h"
 #include "shard/local_shard.h"
 #include "shard/partitioner.h"
 #include "shard/remote_shard.h"
@@ -149,9 +152,117 @@ Status ShardedRecommender::Finalize(size_t user_count) {
   }
   finalized_ = true;
   generation_.fetch_add(1, std::memory_order_acq_rel);
+  // Capture the fleet fingerprint before releasing the list: every shard
+  // snapshot pins it, so LoadSnapshots can reject files from a different
+  // social build.
+  global_digest_ = io::DigestDescriptors(global_descriptors_);
   global_descriptors_.clear();
   global_descriptors_.shrink_to_fit();
   return Status::Ok();
+}
+
+namespace {
+std::string ShardSnapshotPath(const std::string& dir, size_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".vsnp";
+}
+}  // namespace
+
+Status ShardedRecommender::SaveSnapshots(const std::string& dir) const {
+  if (remote_) {
+    return Status::FailedPrecondition(
+        "a remote fleet snapshots where its shards live");
+  }
+  if (!finalized_) return Status::FailedPrecondition("Finalize() not called");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create snapshot directory " + dir + ": " +
+                            ec.message());
+  }
+  core::SnapshotFleetInfo fleet;
+  fleet.shard_count = static_cast<uint32_t>(shards_.size());
+  fleet.global_digest = global_digest_;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    fleet.shard_index = static_cast<uint32_t>(s);
+    if (const Status st =
+            shards_[s]->SaveSnapshot(ShardSnapshotPath(dir, s), fleet);
+        !st.ok()) {
+      return st;
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<ShardedRecommender>>
+ShardedRecommender::LoadSnapshots(const std::string& dir,
+                                  const ShardOptions& shard_options,
+                                  const core::SnapshotLoadOptions& load) {
+  // Shard 0's header fixes the partitioner config (the shard count) and
+  // the fleet fingerprints every other file must match.
+  StatusOr<io::SnapshotInfo> head = io::InspectSnapshot(ShardSnapshotPath(dir, 0));
+  if (!head.ok()) return head.status();
+  const uint32_t shard_count = head->fleet.shard_count;
+  if (head->fleet.shard_index != 0) {
+    return Status::InvalidArgument(
+        "snapshot set corrupt: shard-0.vsnp carries shard index " +
+        std::to_string(head->fleet.shard_index));
+  }
+  ShardOptions effective = shard_options;
+  effective.num_shards = static_cast<int>(shard_count);
+  if (const Status s = ValidateShardOptions(effective); !s.ok()) return s;
+
+  // Cross-file consistency first (headers only), so a mixed set fails
+  // before any expensive shard load.
+  for (uint32_t s = 1; s < shard_count; ++s) {
+    StatusOr<io::SnapshotInfo> info =
+        io::InspectSnapshot(ShardSnapshotPath(dir, s));
+    if (!info.ok()) return info.status();
+    if (info->fleet.shard_index != s ||
+        info->fleet.shard_count != shard_count ||
+        info->fleet.global_digest != head->fleet.global_digest ||
+        info->options_fingerprint != head->options_fingerprint) {
+      return Status::InvalidArgument(
+          "snapshot set mismatch: " + ShardSnapshotPath(dir, s) +
+          " belongs to a different fleet build");
+    }
+  }
+
+  core::SnapshotLoadOptions shard_load = load;
+  if (load.num_threads < 0) {
+    shard_load.num_threads = effective.threads_per_shard;
+  }
+  std::vector<std::unique_ptr<core::Recommender>> shards;
+  shards.reserve(shard_count);
+  uint64_t generation = 0;
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    auto shard =
+        core::Recommender::LoadSnapshot(ShardSnapshotPath(dir, s), shard_load);
+    if (!shard.ok()) return shard.status();
+    generation = std::max(generation, (*shard)->generation());
+    shards.push_back(std::move(*shard));
+  }
+  std::unique_ptr<ShardedRecommender> router(new ShardedRecommender(
+      effective, std::move(shards), head->fleet.global_digest, RestoreTag{}));
+  router->generation_.store(generation, std::memory_order_release);
+  return router;
+}
+
+ShardedRecommender::ShardedRecommender(
+    const ShardOptions& shard_options,
+    std::vector<std::unique_ptr<core::Recommender>> shards,
+    uint32_t global_digest, RestoreTag)
+    : shard_options_(shard_options),
+      base_options_(shards.empty() ? core::RecommenderOptions{}
+                                   : shards.front()->options()),
+      remote_(false),
+      shards_(std::move(shards)),
+      finalized_(true),
+      global_digest_(global_digest) {
+  backends_.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    backends_.push_back(std::make_unique<LocalShard>(shard.get()));
+  }
+  InitRouter(shards_.size());
 }
 
 Status ShardedRecommender::RemoveVideo(video::VideoId id) {

@@ -138,6 +138,31 @@ class ShardedRecommender final : public core::QueryEngine {
       const std::vector<std::pair<video::VideoId, social::UserId>>&
           new_comments);
 
+  // --- Snapshots (in-process fleet only; see docs/persistence.md). ---------
+
+  /// Writes one engine snapshot per shard into `dir` (created if missing)
+  /// as `shard-<i>.vsnp`. Every file's header pins the fleet coordinates
+  /// (i, num_shards) — the partitioner config — and the global descriptor
+  /// digest captured at Finalize(), so a mixed, re-partitioned or
+  /// differently-built snapshot set is rejected at load instead of served.
+  [[nodiscard]]
+  Status SaveSnapshots(const std::string& dir) const;
+
+  /// Restores a serving-ready fleet from a SaveSnapshots directory without
+  /// re-finalizing. The shard count comes from the snapshot set itself
+  /// (shard_options.num_shards is ignored); threads_per_shard and
+  /// router_threads apply as in the building constructor unless
+  /// load.num_threads overrides the former. Every shard file must agree on
+  /// shard_count, options fingerprint and global digest.
+  [[nodiscard]]
+  static StatusOr<std::unique_ptr<ShardedRecommender>> LoadSnapshots(
+      const std::string& dir, const ShardOptions& shard_options = {},
+      const core::SnapshotLoadOptions& load = {});
+
+  /// FNV-1a digest of the global descriptor list, captured at Finalize()
+  /// (0 before Finalize and for remote fleets).
+  uint32_t global_digest() const { return global_digest_; }
+
   // --- QueryEngine. --------------------------------------------------------
 
   bool finalized() const override { return remote_ || finalized_; }
@@ -192,6 +217,13 @@ class ShardedRecommender final : public core::QueryEngine {
   struct RemoteTag {};
   explicit ShardedRecommender(const ShardOptions& shard_options, RemoteTag);
 
+  /// Snapshot-restore constructor (LoadSnapshots): adopts pre-loaded,
+  /// already-finalized shard engines.
+  struct RestoreTag {};
+  ShardedRecommender(const ShardOptions& shard_options,
+                     std::vector<std::unique_ptr<core::Recommender>> shards,
+                     uint32_t global_digest, RestoreTag);
+
   void InitRouter(size_t num_shards);
 
   const ShardOptions shard_options_;
@@ -208,6 +240,10 @@ class ShardedRecommender final : public core::QueryEngine {
   std::vector<social::SocialDescriptor> global_descriptors_;
 
   bool finalized_ = false;
+  /// Fleet fingerprint of the global social build: FNV-1a over the global
+  /// descriptor list, captured in Finalize() just before the list is
+  /// released. SaveSnapshots pins it into every shard's header.
+  uint32_t global_digest_ = 0;
   /// Aggregate generation (see core::QueryEngine): bumped by Finalize,
   /// RemoveVideo and ApplySocialUpdate. Remote fleets hold it constant —
   /// their shards are finalized elsewhere and this router performs no

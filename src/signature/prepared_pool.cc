@@ -71,9 +71,134 @@ void PreparedPool::Clear() {
   slots_.clear();
   live_bytes_ = 0;
   dead_bytes_ = 0;
+  ext_values_ = nullptr;
+  ext_weights_ = nullptr;
+  ext_cdf_ = nullptr;
+  ext_means_ = nullptr;
+  ext_elems_ = 0;
+}
+
+Status PreparedPool::InstallRestored(std::vector<Slot> slots,
+                                     std::vector<ViewMeta> meta,
+                                     std::vector<PreparedView> views,
+                                     size_t elem_count, size_t means_count,
+                                     size_t live_bytes, size_t dead_bytes) {
+  if (meta.size() != views.size() || means_count != views.size()) {
+    return Status::InvalidArgument(
+        "restored pool parallel arrays disagree");
+  }
+  // Every meta range must be valid (dead views included): the view
+  // pointers are formed for all of them.
+  for (const ViewMeta& m : meta) {
+    if (m.len > elem_count || m.elem_offset > elem_count - m.len) {
+      return Status::InvalidArgument(
+          "restored pool view range out of bounds");
+    }
+  }
+  size_t live = 0;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const Slot& s = slots[i];
+    if (s.count == 0) {
+      if (s.bytes != 0) {
+        return Status::InvalidArgument("restored empty pool slot " +
+                                       std::to_string(i) + " carries bytes");
+      }
+      continue;
+    }
+    if (s.count > views.size() || s.view_offset > views.size() - s.count) {
+      return Status::InvalidArgument("restored pool slot " +
+                                     std::to_string(i) +
+                                     " view range out of bounds");
+    }
+    size_t bytes = 0;
+    for (size_t v = s.view_offset; v < s.view_offset + s.count; ++v) {
+      bytes += SignatureBytes(meta[v].len);
+    }
+    if (bytes != s.bytes) {
+      return Status::InvalidArgument("restored pool slot " +
+                                     std::to_string(i) +
+                                     " byte accounting off");
+    }
+    live += bytes;
+  }
+  if (live != live_bytes) {
+    return Status::InvalidArgument("restored pool live byte total off");
+  }
+  slots_ = std::move(slots);
+  meta_ = std::move(meta);
+  views_ = std::move(views);
+  live_bytes_ = live_bytes;
+  dead_bytes_ = dead_bytes;
+  return Status::Ok();
+}
+
+Status PreparedPool::RestoreBorrowed(std::vector<Slot> slots,
+                                     std::vector<ViewMeta> meta,
+                                     std::vector<PreparedView> views,
+                                     const AdoptedFlats& flats,
+                                     size_t live_bytes, size_t dead_bytes) {
+  Clear();
+  if (const Status s =
+          InstallRestored(std::move(slots), std::move(meta), std::move(views),
+                          flats.elem_count, flats.means_count, live_bytes,
+                          dead_bytes);
+      !s.ok()) {
+    Clear();
+    return s;
+  }
+  ext_values_ = flats.values;
+  ext_weights_ = flats.weights;
+  ext_cdf_ = flats.cdf;
+  ext_means_ = flats.means;
+  ext_elems_ = flats.elem_count;
+  RebuildViewPointers();
+  return Status::Ok();
+}
+
+Status PreparedPool::RestoreOwned(std::vector<Slot> slots,
+                                  std::vector<ViewMeta> meta,
+                                  std::vector<PreparedView> views,
+                                  std::vector<double> values,
+                                  std::vector<double> weights,
+                                  std::vector<double> cdf,
+                                  std::vector<double> means,
+                                  size_t live_bytes, size_t dead_bytes) {
+  Clear();
+  if (weights.size() != values.size() || cdf.size() != values.size()) {
+    return Status::InvalidArgument("restored pool flat arrays disagree");
+  }
+  if (const Status s =
+          InstallRestored(std::move(slots), std::move(meta), std::move(views),
+                          values.size(), means.size(), live_bytes,
+                          dead_bytes);
+      !s.ok()) {
+    Clear();
+    return s;
+  }
+  values_ = std::move(values);
+  weights_ = std::move(weights);
+  cdf_ = std::move(cdf);
+  means_ = std::move(means);
+  RebuildViewPointers();
+  return Status::Ok();
+}
+
+void PreparedPool::MaterializeOwned() {
+  if (!borrowed()) return;
+  values_.assign(ext_values_, ext_values_ + ext_elems_);
+  weights_.assign(ext_weights_, ext_weights_ + ext_elems_);
+  cdf_.assign(ext_cdf_, ext_cdf_ + ext_elems_);
+  means_.assign(ext_means_, ext_means_ + views_.size());
+  ext_values_ = nullptr;
+  ext_weights_ = nullptr;
+  ext_cdf_ = nullptr;
+  ext_means_ = nullptr;
+  ext_elems_ = 0;
+  RebuildViewPointers();
 }
 
 void PreparedPool::Release(size_t slot) {
+  MaterializeOwned();
   VREC_CHECK(slot < slots_.size());
   Slot& s = slots_[slot];
   if (s.count == 0) return;
@@ -88,20 +213,24 @@ PreparedSeriesView PreparedPool::View(size_t slot) const {
   VREC_DCHECK(slot < slots_.size());
   const Slot& s = slots_[slot];
   if (s.count == 0) return {};
-  return {views_.data() + s.view_offset, means_.data() + s.view_offset,
+  return {views_.data() + s.view_offset, means_data() + s.view_offset,
           s.count};
 }
 
 void PreparedPool::RebuildViewPointers() {
+  const double* values = values_data();
+  const double* weights = weights_data();
+  const double* cdf = cdf_data();
   for (size_t v = 0; v < views_.size(); ++v) {
-    views_[v].values = values_.data() + meta_[v].elem_offset;
-    views_[v].weights = weights_.data() + meta_[v].elem_offset;
-    views_[v].cdf = cdf_.data() + meta_[v].elem_offset;
+    views_[v].values = values + meta_[v].elem_offset;
+    views_[v].weights = weights + meta_[v].elem_offset;
+    views_[v].cdf = cdf + meta_[v].elem_offset;
     views_[v].len = meta_[v].len;
   }
 }
 
 void PreparedPool::Compact() {
+  VREC_CHECK(!borrowed());
   std::vector<double> values;
   std::vector<double> weights;
   std::vector<double> cdf;
@@ -136,9 +265,15 @@ void PreparedPool::Compact() {
 }
 
 Status PreparedPool::CheckInvariants() const {
-  if (views_.size() != means_.size() || views_.size() != meta_.size()) {
+  if (views_.size() != meta_.size() ||
+      (!borrowed() && views_.size() != means_.size())) {
     return Status::Internal("prepared pool parallel arrays disagree");
   }
+  const double* values = values_data();
+  const double* weights = weights_data();
+  const double* cdf = cdf_data();
+  const double* means = means_data();
+  const size_t elem_count = element_count();
   size_t live = 0;
   for (size_t i = 0; i < slots_.size(); ++i) {
     const Slot& s = slots_[i];
@@ -157,18 +292,17 @@ Status PreparedPool::CheckInvariants() const {
     for (size_t v = s.view_offset; v < s.view_offset + s.count; ++v) {
       const PreparedView& view = views_[v];
       const ViewMeta& m = meta_[v];
-      if (m.elem_offset + m.len > values_.size()) {
+      if (m.elem_offset + m.len > elem_count) {
         return Status::Internal("pool view " + std::to_string(v) +
                                 " element range out of bounds");
       }
-      if (view.len != m.len ||
-          view.values != values_.data() + m.elem_offset ||
-          view.weights != weights_.data() + m.elem_offset ||
-          view.cdf != cdf_.data() + m.elem_offset) {
+      if (view.len != m.len || view.values != values + m.elem_offset ||
+          view.weights != weights + m.elem_offset ||
+          view.cdf != cdf + m.elem_offset) {
         return Status::Internal("pool view " + std::to_string(v) +
                                 " not aimed at the flat arrays");
       }
-      if (means_[v] != view.mean) {
+      if (means[v] != view.mean) {
         return Status::Internal("pool means array disagrees with view " +
                                 std::to_string(v));
       }

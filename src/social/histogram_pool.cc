@@ -36,6 +36,79 @@ void HistogramPool::Clear() {
   slots_.clear();
   live_bytes_ = 0;
   dead_bytes_ = 0;
+  ext_bins_ = nullptr;
+  ext_weights_ = nullptr;
+  ext_len_ = 0;
+}
+
+Status HistogramPool::ValidateRestored(const std::vector<Slot>& slots,
+                                       size_t flat_len,
+                                       size_t live_bytes) const {
+  size_t live = 0;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    const Slot& s = slots[i];
+    if (s.len > flat_len || s.offset > flat_len - s.len) {
+      return Status::InvalidArgument("restored histogram slot " +
+                                     std::to_string(i) +
+                                     " range out of bounds");
+    }
+    if (s.len == 0 && s.sum != 0.0) {
+      return Status::InvalidArgument("restored empty histogram slot " +
+                                     std::to_string(i) + " carries sum");
+    }
+    live += HistogramBytes(s.len);
+  }
+  if (live != live_bytes) {
+    return Status::InvalidArgument("restored histogram live byte total off");
+  }
+  return Status::Ok();
+}
+
+Status HistogramPool::RestoreBorrowed(std::vector<Slot> slots,
+                                      const AdoptedFlats& flats,
+                                      size_t live_bytes, size_t dead_bytes) {
+  Clear();
+  if (const Status s = ValidateRestored(slots, flats.len, live_bytes);
+      !s.ok()) {
+    return s;
+  }
+  slots_ = std::move(slots);
+  live_bytes_ = live_bytes;
+  dead_bytes_ = dead_bytes;
+  ext_bins_ = flats.bins;
+  ext_weights_ = flats.weights;
+  ext_len_ = flats.len;
+  return Status::Ok();
+}
+
+Status HistogramPool::RestoreOwned(std::vector<Slot> slots,
+                                   std::vector<int> bins,
+                                   std::vector<double> weights,
+                                   size_t live_bytes, size_t dead_bytes) {
+  Clear();
+  if (bins.size() != weights.size()) {
+    return Status::InvalidArgument(
+        "restored histogram bins/weights length mismatch");
+  }
+  if (const Status s = ValidateRestored(slots, bins.size(), live_bytes);
+      !s.ok()) {
+    return s;
+  }
+  slots_ = std::move(slots);
+  bins_ = std::move(bins);
+  weights_ = std::move(weights);
+  live_bytes_ = live_bytes;
+  dead_bytes_ = dead_bytes;
+  return Status::Ok();
+}
+
+void HistogramPool::MaterializeOwned() {
+  if (!borrowed()) return;
+  bins_.assign(ext_bins_, ext_bins_ + ext_len_);
+  weights_.assign(ext_weights_, ext_weights_ + ext_len_);
+  ext_bins_ = nullptr;
+  ext_weights_ = nullptr;
+  ext_len_ = 0;
 }
 
 void HistogramPool::Append(Slot* slot, const SparseHistogram& histogram) {
@@ -50,6 +123,7 @@ void HistogramPool::Append(Slot* slot, const SparseHistogram& histogram) {
 }
 
 void HistogramPool::Update(size_t slot, const SparseHistogram& histogram) {
+  MaterializeOwned();
   VREC_CHECK(slot < slots_.size());
   Slot& s = slots_[slot];
   const size_t old_bytes = HistogramBytes(s.len);
@@ -61,6 +135,7 @@ void HistogramPool::Update(size_t slot, const SparseHistogram& histogram) {
 }
 
 void HistogramPool::Release(size_t slot) {
+  MaterializeOwned();
   VREC_CHECK(slot < slots_.size());
   Slot& s = slots_[slot];
   if (s.len == 0) {
@@ -75,6 +150,7 @@ void HistogramPool::Release(size_t slot) {
 }
 
 void HistogramPool::Compact() {
+  VREC_CHECK(!borrowed());
   std::vector<int> bins;
   std::vector<double> weights;
   bins.reserve(live_bytes_ / (sizeof(int) + sizeof(double)));
@@ -93,27 +169,30 @@ void HistogramPool::Compact() {
 }
 
 Status HistogramPool::CheckInvariants() const {
-  if (bins_.size() != weights_.size()) {
+  if (!borrowed() && bins_.size() != weights_.size()) {
     return Status::Internal("histogram pool bins/weights length mismatch");
   }
+  const int* bins = bins_data();
+  const double* weights = weights_data();
+  const size_t flat_len = this->flat_len();
   size_t live = 0;
   for (size_t i = 0; i < slots_.size(); ++i) {
     const Slot& s = slots_[i];
-    if (s.offset + s.len > bins_.size()) {
+    if (s.offset + s.len > flat_len) {
       return Status::Internal("histogram pool slot " + std::to_string(i) +
                               " range out of bounds");
     }
     double sum = 0.0;
     for (size_t e = s.offset; e < s.offset + s.len; ++e) {
-      if (weights_[e] <= 0.0) {
+      if (weights[e] <= 0.0) {
         return Status::Internal("histogram pool slot " + std::to_string(i) +
                                 " holds non-positive weight");
       }
-      if (e > s.offset && bins_[e] <= bins_[e - 1]) {
+      if (e > s.offset && bins[e] <= bins[e - 1]) {
         return Status::Internal("histogram pool slot " + std::to_string(i) +
                                 " bins not strictly sorted");
       }
-      sum += weights_[e];
+      sum += weights[e];
     }
     if (s.len == 0 && s.sum != 0.0) {
       return Status::Internal("empty histogram pool slot " +

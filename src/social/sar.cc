@@ -65,12 +65,17 @@ Status CheckSparseHistogram(const SparseHistogram& histogram, int k) {
 
 UserDictionary::UserDictionary(const std::vector<int>& labels, int k,
                                DictionaryLookup lookup)
+    // Size the table for ~2 entries per bucket on average.
+    : UserDictionary(labels, k, lookup,
+                     std::max<size_t>(16, labels.size() / 2)) {}
+
+UserDictionary::UserDictionary(const std::vector<int>& labels, int k,
+                               DictionaryLookup lookup, size_t hash_buckets)
     : k_(k),
       lookup_(lookup),
       user_count_(labels.size()),
       label_of_user_(labels),
-      // Size the table for ~2 entries per bucket on average.
-      hash_table_(std::max<size_t>(16, labels.size() / 2)) {
+      hash_table_(hash_buckets) {
   RebuildLookupStructures();
 }
 

@@ -85,6 +85,13 @@ class UserDictionary {
   UserDictionary(const std::vector<int>& labels, int k,
                  DictionaryLookup lookup);
 
+  /// Snapshot-restore form: as above, but pins the chained-hash bucket
+  /// count instead of deriving it from labels.size(). A saved engine's
+  /// table keeps its finalize-time geometry even after users were added by
+  /// social updates, so a bit-identical restore must carry it explicitly.
+  UserDictionary(const std::vector<int>& labels, int k,
+                 DictionaryLookup lookup, size_t hash_buckets);
+
   int k() const { return k_; }
   DictionaryLookup lookup() const { return lookup_; }
   size_t user_count() const { return user_count_; }
@@ -133,6 +140,11 @@ class UserDictionary {
 
   /// Total string comparisons performed by hash lookups (SAR-H cost model).
   uint64_t hash_comparisons() const { return hash_table_.comparisons(); }
+
+  /// Snapshot accessors: the persisted state (labels + k + lookup mode +
+  /// bucket geometry) from which the lookup structures rebuild exactly.
+  const std::vector<int>& labels() const { return label_of_user_; }
+  size_t hash_bucket_count() const { return hash_table_.bucket_count(); }
 
   /// Audits the dictionary: the lookup structure of the configured mode
   /// (linear/sorted entries or chained hash table, including its own

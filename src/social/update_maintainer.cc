@@ -34,6 +34,104 @@ SubCommunityMaintainer::SubCommunityMaintainer(
   }
 }
 
+SubCommunityMaintainer::SubCommunityMaintainer(
+    int k, double w, int next_label, std::vector<int> labels,
+    const std::vector<EdgeRecord>& active,
+    const std::vector<EdgeRecord>& dormant, UserDictionary* dictionary)
+    : k_(k),
+      w_(w),
+      next_label_(next_label),
+      dictionary_(dictionary),
+      label_of_user_(std::move(labels)) {
+  for (size_t u = 0; u < label_of_user_.size(); ++u) {
+    members_[label_of_user_[u]].insert(static_cast<UserId>(u));
+  }
+  // Snapshots serialize these maps in iteration (= key) order, so the
+  // end-hinted emplace is amortized O(1) per edge; unsorted input just
+  // degrades to a normal insert. Duplicate keys are silently dropped here
+  // and caught by Restore's size cross-check.
+  for (const EdgeRecord& e : active) {
+    active_edges_.emplace_hint(
+        active_edges_.end(),
+        MakeKey(static_cast<size_t>(e.u), static_cast<size_t>(e.v)),
+        e.weight);
+  }
+  for (const EdgeRecord& e : dormant) {
+    dormant_edges_.emplace_hint(
+        dormant_edges_.end(),
+        MakeKey(static_cast<size_t>(e.u), static_cast<size_t>(e.v)),
+        e.weight);
+  }
+}
+
+StatusOr<std::unique_ptr<SubCommunityMaintainer>>
+SubCommunityMaintainer::Restore(int k, double w, int next_label,
+                                std::vector<int> labels,
+                                const std::vector<EdgeRecord>& active,
+                                const std::vector<EdgeRecord>& dormant,
+                                UserDictionary* dictionary) {
+  if (k <= 0) {
+    return Status::InvalidArgument("restored maintainer k must be positive");
+  }
+  std::unique_ptr<SubCommunityMaintainer> maintainer(
+      new SubCommunityMaintainer(k, w, next_label, std::move(labels), active,
+                                 dormant, dictionary));
+  if (active.size() != maintainer->active_edges_.size() ||
+      dormant.size() != maintainer->dormant_edges_.size()) {
+    return Status::InvalidArgument(
+        "restored maintainer edge lists contain duplicate keys");
+  }
+  // Cross-check that the active edges actually connect each community: the
+  // persisted labels must be the connected components of the active edge
+  // set (plus singletons), or maintenance splits would misbehave.
+  graph::UnionFind uf(maintainer->label_of_user_.size());
+  for (const auto& [key, weight] : maintainer->active_edges_) {
+    if (key.first >= maintainer->label_of_user_.size() ||
+        key.second >= maintainer->label_of_user_.size()) {
+      return Status::InvalidArgument(
+          "restored maintainer edge endpoint outside the user space");
+    }
+    uf.Union(key.first, key.second);
+  }
+  for (const auto& [label, mem] : maintainer->members_) {
+    const size_t root = uf.Find(static_cast<size_t>(*mem.begin()));
+    for (UserId u : mem) {
+      if (uf.Find(static_cast<size_t>(u)) != root) {
+        return Status::InvalidArgument(
+            "restored community " + std::to_string(label) +
+            " is not connected by the active edge set");
+      }
+    }
+  }
+  if (const Status s = maintainer->CheckInvariants(); !s.ok()) {
+    return Status::InvalidArgument("restored maintainer invalid: " +
+                                   s.message());
+  }
+  return maintainer;
+}
+
+std::vector<SubCommunityMaintainer::EdgeRecord>
+SubCommunityMaintainer::ActiveEdges() const {
+  std::vector<EdgeRecord> edges;
+  edges.reserve(active_edges_.size());
+  for (const auto& [key, weight] : active_edges_) {
+    edges.push_back({static_cast<uint64_t>(key.first),
+                     static_cast<uint64_t>(key.second), weight});
+  }
+  return edges;
+}
+
+std::vector<SubCommunityMaintainer::EdgeRecord>
+SubCommunityMaintainer::DormantEdges() const {
+  std::vector<EdgeRecord> edges;
+  edges.reserve(dormant_edges_.size());
+  for (const auto& [key, weight] : dormant_edges_) {
+    edges.push_back({static_cast<uint64_t>(key.first),
+                     static_cast<uint64_t>(key.second), weight});
+  }
+  return edges;
+}
+
 int SubCommunityMaintainer::CommunityOf(UserId user) const {
   if (user < 0 || static_cast<size_t>(user) >= label_of_user_.size()) {
     return -1;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -57,10 +58,32 @@ struct MaintenanceStats {
 /// descriptor histograms, which Equation 6 ignores.
 class SubCommunityMaintainer {
  public:
+  /// One persisted UIG edge: endpoints by user id plus accumulated weight.
+  /// The snapshot format stores the active and dormant edge sets as flat
+  /// lists of these records.
+  struct EdgeRecord {
+    uint64_t u = 0;
+    uint64_t v = 0;
+    double weight = 0.0;
+  };
+
   /// `dictionary` must outlive the maintainer; it is updated in place.
   SubCommunityMaintainer(const graph::WeightedGraph& uig,
                          const SubCommunityResult& extraction, int k,
                          UserDictionary* dictionary);
+
+  /// Snapshot-restore factory: rebuilds a maintainer from its persisted
+  /// state (target k, threshold w, mint counter, per-user labels, and both
+  /// edge sets). Member sets are regrouped from the labels — exact, because
+  /// merges erase retired ids so the non-empty groups are precisely the
+  /// live communities. Validates the result with CheckInvariants before
+  /// returning, so a corrupt snapshot cannot produce a structurally invalid
+  /// maintainer. `dictionary` must outlive the maintainer.
+  [[nodiscard]]
+  static StatusOr<std::unique_ptr<SubCommunityMaintainer>> Restore(
+      int k, double w, int next_label, std::vector<int> labels,
+      const std::vector<EdgeRecord>& active,
+      const std::vector<EdgeRecord>& dormant, UserDictionary* dictionary);
 
   /// Applies one period of updates.
   [[nodiscard]]
@@ -79,6 +102,12 @@ class SubCommunityMaintainer {
   /// Members of community `label` (empty if retired/unknown).
   std::vector<UserId> MembersOf(int label) const;
 
+  /// Snapshot accessors: the persisted state from which Restore rebuilds
+  /// the maintainer exactly.
+  const std::vector<int>& labels() const { return label_of_user_; }
+  std::vector<EdgeRecord> ActiveEdges() const;
+  std::vector<EdgeRecord> DormantEdges() const;
+
   /// Audits the maintainer: per-user labels and member sets agree and
   /// partition the user space, live labels stay below the mint counter,
   /// every active edge is intra-community, the active and dormant edge sets
@@ -93,6 +122,14 @@ class SubCommunityMaintainer {
   static EdgeKey MakeKey(size_t a, size_t b) {
     return a < b ? EdgeKey{a, b} : EdgeKey{b, a};
   }
+
+  /// Restore-path constructor: installs persisted fields verbatim and
+  /// regroups members_ from the labels. Validation happens in Restore.
+  SubCommunityMaintainer(int k, double w, int next_label,
+                         std::vector<int> labels,
+                         const std::vector<EdgeRecord>& active,
+                         const std::vector<EdgeRecord>& dormant,
+                         UserDictionary* dictionary);
 
   void Relabel(int from, int to, MaintenanceStats* stats);
   void RecomputeLightestIntraWeight();

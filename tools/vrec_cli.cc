@@ -9,10 +9,13 @@
 //                     [--communities K] [--cutoff N]
 //   vrec_cli batch    --data FILE [--k K] [--threads T] [--repeat R]
 //                     [--mode MODE] [--omega W] [--communities K]
-//   vrec_cli serve    --data FILE [--port P] [--mode MODE] [--threads T]
+//   vrec_cli snapshot --data FILE --out PATH [--shards N] [--mode MODE]
+//                     [--omega W] [--communities K] [--threads T]
+//   vrec_cli serve    (--data FILE | --snapshot PATH) [--port P]
+//                     [--mode MODE] [--threads T]
 //                     [--shards N] [--max-batch N] [--max-delay-us US]
 //                     [--queue-capacity N] [--max-connections N]
-//                     [--cache-capacity N]
+//                     [--cache-capacity N] [--mmap 0|1]
 //   vrec_cli client   --port P [--host H] (--video ID [--k K]
 //                     [--deadline-ms MS] | --stats 1)
 //
@@ -21,18 +24,27 @@
 // the corpus is hash-partitioned across N in-process shard engines and
 // every query is merged bit-identically to single-shard serving.
 //
+// `snapshot` builds the engine once and writes it to PATH (a file for a
+// single box, a directory of shard-<i>.vsnp files with --shards N > 1).
+// `serve --snapshot PATH` restores that serving-ready state without
+// re-finalizing — near-instant cold start; a directory serves the fleet
+// through the scatter-gather router. --mode/--omega are baked into the
+// snapshot and must not be re-specified at restore.
+//
 // Typical session:
 //   vrec_cli gen --out /tmp/community.bin --hours 20
 //   vrec_cli info --data /tmp/community.bin
 //   vrec_cli query --data /tmp/community.bin --video 0 --k 5
 //   vrec_cli evaluate --data /tmp/community.bin --mode cr
 //   vrec_cli batch --data /tmp/community.bin --threads 4
-//   vrec_cli serve --data /tmp/community.bin --port 4450 &
+//   vrec_cli snapshot --data /tmp/community.bin --out /tmp/engine.vsnp
+//   vrec_cli serve --snapshot /tmp/engine.vsnp --port 4450 &
 //   vrec_cli client --port 4450 --video 0 --k 5
 //   vrec_cli client --port 4450 --stats 1
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <string>
 
@@ -91,10 +103,13 @@ int Usage() {
       "                    [--communities K] [--cutoff N]\n"
       "  vrec_cli batch    --data FILE [--k K] [--threads T] [--repeat R]\n"
       "                    [--mode MODE] [--omega W] [--communities K]\n"
-      "  vrec_cli serve    --data FILE [--port P] [--mode MODE] [--threads T]\n"
+      "  vrec_cli snapshot --data FILE --out PATH [--shards N] [--mode MODE]\n"
+      "                    [--omega W] [--communities K] [--threads T]\n"
+      "  vrec_cli serve    (--data FILE | --snapshot PATH) [--port P]\n"
+      "                    [--mode MODE] [--threads T]\n"
       "                    [--shards N] [--max-batch N] [--max-delay-us US]\n"
       "                    [--queue-capacity N] [--max-connections N]\n"
-      "                    [--cache-capacity N]\n"
+      "                    [--cache-capacity N] [--mmap 0|1]\n"
       "  vrec_cli client   --port P [--host H] (--video ID [--k K]\n"
       "                    [--deadline-ms MS] | --stats 1)\n"
       "modes: cr, sr, csf, csf-sar, csf-sar-h\n");
@@ -403,27 +418,102 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
-int CmdServe(const Flags& flags) {
+int CmdSnapshot(const Flags& flags) {
+  const std::string out = flags.GetString("--out");
+  if (out.empty()) return Usage();
   const auto dataset = LoadData(flags);
   if (!dataset.ok()) {
     std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
     return 1;
   }
   const int num_shards = static_cast<int>(flags.GetInt("--shards", 1));
+  Stopwatch watch;
+  Status saved = Status::Ok();
+  if (num_shards > 1) {
+    auto fleet = BuildShardedFleet(*dataset, flags, num_shards);
+    if (fleet == nullptr) return 1;
+    const double build_ms = watch.ElapsedMillis();
+    watch.Restart();
+    saved = fleet->SaveSnapshots(out);
+    std::printf("built %d-shard fleet in %.1f ms\n", num_shards, build_ms);
+  } else {
+    auto rec = BuildRecommender(*dataset, flags);
+    if (rec == nullptr) return 1;
+    const double build_ms = watch.ElapsedMillis();
+    watch.Restart();
+    saved = rec->SaveSnapshot(out);
+    std::printf("built engine in %.1f ms\n", build_ms);
+  }
+  if (!saved.ok()) {
+    std::fprintf(stderr, "snapshot save failed: %s\n",
+                 saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("snapshot written to %s in %.1f ms\n", out.c_str(),
+              watch.ElapsedMillis());
+  return 0;
+}
+
+int CmdServe(const Flags& flags) {
+  const int num_shards = static_cast<int>(flags.GetInt("--shards", 1));
   std::unique_ptr<core::Recommender> rec;
   std::unique_ptr<shard::ShardedRecommender> fleet;
   const core::QueryEngine* engine = nullptr;
   size_t video_count = 0;
-  if (num_shards > 1) {
-    fleet = BuildShardedFleet(*dataset, flags, num_shards);
-    if (fleet == nullptr) return 1;
-    engine = fleet.get();
-    video_count = fleet->video_count();
+  if (flags.Has("--snapshot")) {
+    // Restore a serving-ready engine; the snapshot pins every engine
+    // option, so --mode/--omega/--communities are deliberately ignored.
+    const std::string path = flags.GetString("--snapshot");
+    core::SnapshotLoadOptions load;
+    load.use_mmap = flags.GetInt("--mmap", 1) != 0;
+    if (flags.Has("--threads")) {
+      load.num_threads = static_cast<int>(flags.GetInt("--threads", 0));
+    }
+    Stopwatch watch;
+    if (std::filesystem::is_directory(path)) {
+      auto restored = shard::ShardedRecommender::LoadSnapshots(path, {}, load);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "snapshot load failed: %s\n",
+                     restored.status().ToString().c_str());
+        return 1;
+      }
+      fleet = std::move(*restored);
+      engine = fleet.get();
+      video_count = fleet->video_count();
+      std::printf("restored %zu-shard fleet from %s in %.1f ms\n",
+                  fleet->num_shards(), path.c_str(), watch.ElapsedMillis());
+    } else {
+      auto restored = core::Recommender::LoadSnapshot(path, load);
+      if (!restored.ok()) {
+        std::fprintf(stderr, "snapshot load failed: %s\n",
+                     restored.status().ToString().c_str());
+        return 1;
+      }
+      rec = std::move(*restored);
+      engine = rec.get();
+      video_count = rec->video_count();
+      std::printf("restored engine from %s in %.1f ms "
+                  "(%zu bytes mapped)\n",
+                  path.c_str(), watch.ElapsedMillis(),
+                  rec->snapshot_bytes_mapped());
+    }
   } else {
-    rec = BuildRecommender(*dataset, flags);
-    if (rec == nullptr) return 1;
-    engine = rec.get();
-    video_count = rec->video_count();
+    const auto dataset = LoadData(flags);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+      return 1;
+    }
+    if (num_shards > 1) {
+      fleet = BuildShardedFleet(*dataset, flags, num_shards);
+      if (fleet == nullptr) return 1;
+      engine = fleet.get();
+      video_count = fleet->video_count();
+    } else {
+      rec = BuildRecommender(*dataset, flags);
+      if (rec == nullptr) return 1;
+      engine = rec.get();
+      video_count = rec->video_count();
+    }
   }
 
   server::ServerOptions options;
@@ -451,9 +541,10 @@ int CmdServe(const Flags& flags) {
     return 1;
   }
   std::printf("serving %zu videos on port %u "
-              "(shards=%d, max_batch=%zu, max_delay_us=%lld, cache=%zu); "
+              "(shards=%zu, max_batch=%zu, max_delay_us=%lld, cache=%zu); "
               "SIGINT/SIGTERM drains\n",
-              video_count, srv.port(), num_shards,
+              video_count, srv.port(),
+              fleet != nullptr ? fleet->num_shards() : size_t{1},
               options.batcher.max_batch,
               static_cast<long long>(options.batcher.max_delay_us),
               options.result_cache_capacity);
@@ -595,6 +686,7 @@ int main(int argc, char** argv) {
   if (command == "query") return CmdQuery(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "batch") return CmdBatch(flags);
+  if (command == "snapshot") return CmdSnapshot(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "client") return CmdClient(flags);
   return Usage();

@@ -33,6 +33,13 @@ Rules (all scoped to library code under src/ unless noted):
                    Bare `#include <mutex>` / `#include <condition_variable>`
                    lines are flagged too; std::once_flag/std::call_once
                    remain allowed — NOLINT the include and say so.
+  raw-file-io      No raw file-layer calls (fopen/fdopen/open/mmap/munmap)
+                   in library code outside src/io/ — file bytes enter the
+                   engine through the archive/snapshot readers and
+                   io::MappedFile, so checksum verification, EINTR
+                   handling, and mapping lifetime live in one audited
+                   place. Stream-class methods (`in.open(...)`) and the
+                   std::{i,o}fstream types remain allowed.
   raw-scratch      No raw `new T[...]` / malloc / calloc / realloc in the
                    scoring kernels (src/signature/, src/social/) — per-query
                    scratch goes through util::Arena / ArenaVector (or a
@@ -81,6 +88,14 @@ _RAW_MUTEX = re.compile(
     r"|shared_lock|condition_variable(?:_any)?)\b"
     r"|^\s*#\s*include\s*<(?:mutex|condition_variable|shared_mutex)>"
 )
+# Raw file-layer calls. The lookbehind keeps out method calls (in.open),
+# qualified names (MappedFile::Open resolves as `Open` after `::` — also
+# excluded), and longer identifiers (fdopendir, popen_wrapper); matching
+# the bare lowercase names keeps io::MappedFile::Open and prose out.
+_RAW_FILE_IO = re.compile(
+    r"(?<![\w:.>])(?:fopen|fdopen|freopen|open|openat|creat|mmap|munmap)"
+    r"\s*\("
+)
 # Raw scratch allocation in kernel code: array-new of any type, or the libc
 # allocation trio. The lookbehind keeps out methods (.malloc), qualified
 # names, and longer identifiers (my_malloc); `reallocate(` never matches
@@ -104,6 +119,10 @@ _RAW_MUTEX_ALLOWED = {
     "src/util/sync.h",
     "src/util/sync.cc",
 }
+
+# The one subtree allowed to touch the raw file layer: the archive /
+# snapshot / mapped-file readers and writers.
+_RAW_FILE_IO_ALLOWED_PREFIX = "src/io/"
 
 
 def _strip_comments_and_strings(line):
@@ -200,6 +219,13 @@ def lint_file(rel_path, lines):
                        "raw std locking primitive in library code; use the "
                        "annotated vrec::util types in src/util/sync.h so "
                        "thread safety analysis sees the acquisition")
+            if (not rel.startswith(_RAW_FILE_IO_ALLOWED_PREFIX)
+                    and _RAW_FILE_IO.search(code)
+                    and not _suppressed(raw, "raw-file-io")):
+                report(line_no, "raw-file-io",
+                       "raw fopen/open/mmap in library code; file bytes go "
+                       "through the readers in src/io/ (io::MappedFile, "
+                       "archive, snapshot)")
             if (rel.startswith(("src/signature/", "src/social/"))
                     and _RAW_SCRATCH.search(code)
                     and not _suppressed(raw, "raw-scratch")):
@@ -341,6 +367,31 @@ void G(int fd, uint8_t* buf, size_t n) {
         "src/util/net.cc",
         """\
 ssize_t n = read(fd, buf, len);
+""",
+        [],
+    ),
+    (
+        "src/fake/filey.cc",
+        """\
+void F(const char* path) {
+  FILE* f = fopen(path, "rb");
+  int fd = open(path, O_RDONLY);
+  void* p = mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);  // NOLINT(vrec-raw-file-io)
+  munmap(p, n);
+  in.open(path);
+  auto m = io::MappedFile::Open(path);
+  fdopendir(fd);
+  // fopen() in a comment is fine
+}
+""",
+        ["raw-file-io", "raw-file-io", "raw-file-io"],
+    ),
+    (
+        # The file-reader layer itself may touch the raw file API.
+        "src/io/mapped_file.cc",
+        """\
+int fd = open(path.c_str(), O_RDONLY);
+void* p = mmap(nullptr, n, PROT_READ, MAP_PRIVATE, fd, 0);
 """,
         [],
     ),
